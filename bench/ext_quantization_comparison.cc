@@ -1,0 +1,70 @@
+// Extension (beyond the paper's figures): the quantization trade-off
+// spectrum the paper's §II-B surveys — IVF_FLAT vs IVF_SQ8 vs IVF_PQ vs
+// IVF_PQ with re-ranking — measured on size, query time, and recall@100,
+// in the specialized engine.
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  if (args.datasets.empty()) args.datasets = {"SIFT1M"};
+  Banner("Extension: quantization trade-offs (IVF_FLAT / SQ8 / PQ / "
+         "PQ+refine)",
+         "paper §II-B: quantization trades recall for space", args);
+
+  for (auto& bd : LoadDatasets(args)) {
+    ComputeGroundTruth(&bd.data, 100, Metric::kL2);
+    std::printf("--- %s (n=%zu, dim=%u, c=%u) ---\n", bd.spec.name.c_str(),
+                bd.data.num_base, bd.data.dim, bd.clusters);
+
+    SearchParams params;
+    params.k = 100;
+    params.nprobe = 20;
+    TablePrinter table({"index", "size", "bytes/vec", "avg ms",
+                        "recall@100"},
+                       {22, 11, 10, 9, 10});
+    auto report = [&](const VectorIndex& index, const char* name) {
+      auto run = std::move(RunSearchBatch(index, bd.data, params,
+                                          args.max_queries))
+                     .ValueOrDie();
+      table.Row({name, TablePrinter::Megabytes(index.SizeBytes()),
+                 TablePrinter::Num(static_cast<double>(index.SizeBytes()) /
+                                       static_cast<double>(bd.data.num_base),
+                                   1),
+                 TablePrinter::Num(run.avg_millis, 3),
+                 TablePrinter::Num(run.recall_at_k, 3)});
+    };
+
+    faisslike::IvfFlatOptions flat;
+    flat.num_clusters = bd.clusters;
+    faisslike::IvfFlatIndex flat_index(bd.data.dim, flat);
+    if (!flat_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+    report(flat_index, "IVF_FLAT (exact in-cell)");
+
+    faisslike::IvfSq8Options sq8;
+    sq8.num_clusters = bd.clusters;
+    faisslike::IvfSq8Index sq8_index(bd.data.dim, sq8);
+    if (!sq8_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+    report(sq8_index, "IVF_SQ8 (8-bit scalar)");
+
+    faisslike::IvfPqOptions pq;
+    pq.num_clusters = bd.clusters;
+    pq.pq_m = bd.spec.pq_m;
+    faisslike::IvfPqIndex pq_index(bd.data.dim, pq);
+    if (!pq_index.Build(bd.data.base.data(), bd.data.num_base).ok()) return 1;
+    report(pq_index, "IVF_PQ (m-byte codes)");
+
+    pq.refine_factor = 4;
+    faisslike::IvfPqIndex refined(bd.data.dim, pq);
+    if (!refined.Build(bd.data.base.data(), bd.data.num_base).ok()) return 1;
+    report(refined, "IVF_PQ + refine x4");
+    std::printf("\n");
+  }
+  std::printf("expected shape: recall FLAT > SQ8 > PQ+refine > PQ; size "
+              "FLAT > PQ+refine > SQ8 > PQ.\n");
+  return 0;
+}

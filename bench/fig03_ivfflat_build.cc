@@ -1,0 +1,52 @@
+// Fig 3: IVF_FLAT index construction time, PASE vs Faiss, on the six
+// datasets with the Table II parameters, split into training and adding
+// phases. Paper: PASE is 35.0x-84.8x slower, driven by SGEMM (RC#1).
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Fig 3: IVF_FLAT build time",
+         "PASE 35.0x-84.8x slower than Faiss; adding phase dominates", args);
+
+  TablePrinter table({"dataset", "engine", "train s", "add s", "total s",
+                      "slowdown"},
+                     {10, 18, 9, 9, 9, 9});
+  for (auto& bd : LoadDatasets(args)) {
+    faisslike::IvfFlatOptions fopt;
+    fopt.num_clusters = bd.clusters;
+    faisslike::IvfFlatIndex faiss_index(bd.data.dim, fopt);
+    if (Status s = faiss_index.Build(bd.data.base.data(), bd.data.num_base);
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    const auto& fs = faiss_index.build_stats();
+
+    PgEnv pg(FreshDir(args, "fig03_" + bd.spec.name));
+    pase::PaseIvfFlatOptions popt;
+    popt.num_clusters = bd.clusters;
+    pase::PaseIvfFlatIndex pase_index(pg.env(), bd.data.dim, popt);
+    if (Status s = pase_index.Build(bd.data.base.data(), bd.data.num_base);
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    const auto& ps = pase_index.build_stats();
+
+    table.Row({bd.spec.name, "Faiss IVF_FLAT", TablePrinter::Num(fs.train_seconds, 3),
+               TablePrinter::Num(fs.add_seconds, 3),
+               TablePrinter::Num(fs.total_seconds(), 3), "1.0x"});
+    table.Row({bd.spec.name, "PASE IVF_FLAT",
+               TablePrinter::Num(ps.train_seconds, 3),
+               TablePrinter::Num(ps.add_seconds, 3),
+               TablePrinter::Num(ps.total_seconds(), 3),
+               TablePrinter::Ratio(ps.total_seconds() / fs.total_seconds())});
+    table.Separator();
+  }
+  std::printf("\nexpected shape: PASE total >> Faiss total on every dataset; "
+              "the adding phase dominates both.\n");
+  return 0;
+}

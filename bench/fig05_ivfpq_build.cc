@@ -1,0 +1,54 @@
+// Fig 5: IVF_PQ index construction time, PASE vs Faiss, Table II
+// parameters. Paper: Faiss wins by 6.5x-20.2x — same RC#1 story as Fig 3.
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Fig 5: IVF_PQ build time",
+         "PASE 6.5x-20.2x slower than Faiss (RC#1)", args);
+
+  TablePrinter table({"dataset", "engine", "train s", "add s", "total s",
+                      "slowdown"},
+                     {10, 16, 9, 9, 9, 9});
+  for (auto& bd : LoadDatasets(args)) {
+    faisslike::IvfPqOptions fopt;
+    fopt.num_clusters = bd.clusters;
+    fopt.pq_m = bd.spec.pq_m;
+    faisslike::IvfPqIndex faiss_index(bd.data.dim, fopt);
+    if (Status s = faiss_index.Build(bd.data.base.data(), bd.data.num_base);
+        !s.ok()) {
+      std::fprintf(stderr, "faiss: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const auto& fs = faiss_index.build_stats();
+
+    PgEnv pg(FreshDir(args, "fig05_" + bd.spec.name));
+    pase::PaseIvfPqOptions popt;
+    popt.num_clusters = bd.clusters;
+    popt.pq_m = bd.spec.pq_m;
+    pase::PaseIvfPqIndex pase_index(pg.env(), bd.data.dim, popt);
+    if (Status s = pase_index.Build(bd.data.base.data(), bd.data.num_base);
+        !s.ok()) {
+      std::fprintf(stderr, "pase: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const auto& ps = pase_index.build_stats();
+
+    table.Row({bd.spec.name, "Faiss IVF_PQ",
+               TablePrinter::Num(fs.train_seconds, 3),
+               TablePrinter::Num(fs.add_seconds, 3),
+               TablePrinter::Num(fs.total_seconds(), 3), "1.0x"});
+    table.Row({bd.spec.name, "PASE IVF_PQ",
+               TablePrinter::Num(ps.train_seconds, 3),
+               TablePrinter::Num(ps.add_seconds, 3),
+               TablePrinter::Num(ps.total_seconds(), 3),
+               TablePrinter::Ratio(ps.total_seconds() / fs.total_seconds())});
+    table.Separator();
+  }
+  std::printf("\nexpected shape: same direction as Fig 3 with a smaller "
+              "factor (PQ encoding cost is shared by both engines).\n");
+  return 0;
+}

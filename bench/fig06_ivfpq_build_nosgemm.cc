@@ -1,0 +1,54 @@
+// Fig 6: IVF_PQ build with SGEMM disabled in Faiss. Paper: the gap becomes
+// negligible; what remains is the K-means/PQ implementation difference.
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Fig 6: IVF_PQ build time with SGEMM disabled in Faiss",
+         "gap is negligible without SGEMM", args);
+
+  TablePrinter table({"dataset", "engine", "train s", "add s", "total s",
+                      "slowdown"},
+                     {10, 22, 9, 9, 9, 9});
+  for (auto& bd : LoadDatasets(args)) {
+    faisslike::IvfPqOptions fopt;
+    fopt.num_clusters = bd.clusters;
+    fopt.pq_m = bd.spec.pq_m;
+    fopt.use_sgemm = false;  // the Fig 6 switch
+    faisslike::IvfPqIndex faiss_index(bd.data.dim, fopt);
+    if (Status s = faiss_index.Build(bd.data.base.data(), bd.data.num_base);
+        !s.ok()) {
+      std::fprintf(stderr, "faiss: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const auto& fs = faiss_index.build_stats();
+
+    PgEnv pg(FreshDir(args, "fig06_" + bd.spec.name));
+    pase::PaseIvfPqOptions popt;
+    popt.num_clusters = bd.clusters;
+    popt.pq_m = bd.spec.pq_m;
+    pase::PaseIvfPqIndex pase_index(pg.env(), bd.data.dim, popt);
+    if (Status s = pase_index.Build(bd.data.base.data(), bd.data.num_base);
+        !s.ok()) {
+      std::fprintf(stderr, "pase: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const auto& ps = pase_index.build_stats();
+
+    table.Row({bd.spec.name, "Faiss w/o SGEMM",
+               TablePrinter::Num(fs.train_seconds, 3),
+               TablePrinter::Num(fs.add_seconds, 3),
+               TablePrinter::Num(fs.total_seconds(), 3), "1.0x"});
+    table.Row({bd.spec.name, "PASE IVF_PQ",
+               TablePrinter::Num(ps.train_seconds, 3),
+               TablePrinter::Num(ps.add_seconds, 3),
+               TablePrinter::Num(ps.total_seconds(), 3),
+               TablePrinter::Ratio(ps.total_seconds() / fs.total_seconds())});
+    table.Separator();
+  }
+  std::printf("\nexpected shape: slowdown close to 1x (compare Fig 5).\n");
+  return 0;
+}

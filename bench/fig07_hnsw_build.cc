@@ -1,0 +1,50 @@
+// Fig 7: HNSW index construction time, PASE vs Faiss, bnn=16/efb=40.
+// Paper: PASE 1.6x-8.7x slower — but here the cause is NOT SGEMM (HNSW
+// never uses it); it is the buffer-manager tuple access (RC#2).
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  if (args.max_base == 0) args.max_base = 20000;  // graph builds are O(n log n) page walks
+  Banner("Fig 7: HNSW build time",
+         "PASE 1.6x-8.7x slower; root cause is memory management (RC#2), "
+         "not SGEMM",
+         args);
+
+  TablePrinter table({"dataset", "n", "Faiss s", "PASE s", "slowdown"},
+                     {10, 9, 10, 10, 9});
+  for (auto& bd : LoadDatasets(args)) {
+    faisslike::HnswOptions fopt;
+    fopt.bnn = 16;
+    fopt.efb = 40;
+    faisslike::HnswIndex faiss_index(bd.data.dim, fopt);
+    if (Status s = faiss_index.Build(bd.data.base.data(), bd.data.num_base);
+        !s.ok()) {
+      std::fprintf(stderr, "faiss: %s\n", s.ToString().c_str());
+      return 1;
+    }
+
+    PgEnv pg(FreshDir(args, "fig07_" + bd.spec.name));
+    pase::PaseHnswOptions popt;
+    popt.bnn = 16;
+    popt.efb = 40;
+    pase::PaseHnswIndex pase_index(pg.env(), bd.data.dim, popt);
+    if (Status s = pase_index.Build(bd.data.base.data(), bd.data.num_base);
+        !s.ok()) {
+      std::fprintf(stderr, "pase: %s\n", s.ToString().c_str());
+      return 1;
+    }
+
+    const double ft = faiss_index.build_stats().total_seconds();
+    const double pt = pase_index.build_stats().total_seconds();
+    table.Row({bd.spec.name, std::to_string(bd.data.num_base),
+               TablePrinter::Num(ft, 2), TablePrinter::Num(pt, 2),
+               TablePrinter::Ratio(pt / ft)});
+  }
+  std::printf("\nexpected shape: PASE consistently slower by a small "
+              "multiple; see tab03/fig08 for the breakdown.\n");
+  return 0;
+}

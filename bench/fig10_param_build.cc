@@ -1,0 +1,91 @@
+// Fig 10: impact of index parameters on the build-time gap on SIFT1M —
+// c in {100, 500, 1000} for IVF_FLAT/IVF_PQ and bnn in {16, 32, 64} for
+// HNSW. Paper: the gap widens as c and bnn grow.
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  if (args.max_base == 0) args.max_base = 20000;
+  if (args.datasets.empty()) args.datasets = {"SIFT1M"};
+  Banner("Fig 10: build-time gap vs parameters (SIFT1M)",
+         "gap grows with c (IVF_*) and with bnn (HNSW)", args);
+
+  for (auto& bd : LoadDatasets(args)) {
+    std::printf("--- %s (n=%zu) ---\n", bd.spec.name.c_str(),
+                bd.data.num_base);
+
+    std::printf("(a) IVF_FLAT, varying c\n");
+    TablePrinter t1({"c", "Faiss s", "PASE s", "slowdown"}, {6, 9, 9, 9});
+    for (uint32_t c : {100u, 500u, 1000u}) {
+      const uint32_t cc =
+          std::min<uint32_t>(c, static_cast<uint32_t>(bd.data.num_base / 4));
+      faisslike::IvfFlatOptions fopt;
+      fopt.num_clusters = cc;
+      faisslike::IvfFlatIndex faiss_index(bd.data.dim, fopt);
+      if (!faiss_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+        return 1;
+      PgEnv pg(FreshDir(args, "fig10a_" + std::to_string(c)));
+      pase::PaseIvfFlatOptions popt;
+      popt.num_clusters = cc;
+      pase::PaseIvfFlatIndex pase_index(pg.env(), bd.data.dim, popt);
+      if (!pase_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+        return 1;
+      const double ft = faiss_index.build_stats().total_seconds();
+      const double pt = pase_index.build_stats().total_seconds();
+      t1.Row({std::to_string(cc), TablePrinter::Num(ft, 3),
+              TablePrinter::Num(pt, 3), TablePrinter::Ratio(pt / ft)});
+    }
+
+    std::printf("\n(b) IVF_PQ, varying c\n");
+    TablePrinter t2({"c", "Faiss s", "PASE s", "slowdown"}, {6, 9, 9, 9});
+    for (uint32_t c : {100u, 500u, 1000u}) {
+      const uint32_t cc =
+          std::min<uint32_t>(c, static_cast<uint32_t>(bd.data.num_base / 4));
+      faisslike::IvfPqOptions fopt;
+      fopt.num_clusters = cc;
+      fopt.pq_m = bd.spec.pq_m;
+      faisslike::IvfPqIndex faiss_index(bd.data.dim, fopt);
+      if (!faiss_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+        return 1;
+      PgEnv pg(FreshDir(args, "fig10b_" + std::to_string(c)));
+      pase::PaseIvfPqOptions popt;
+      popt.num_clusters = cc;
+      popt.pq_m = bd.spec.pq_m;
+      pase::PaseIvfPqIndex pase_index(pg.env(), bd.data.dim, popt);
+      if (!pase_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+        return 1;
+      const double ft = faiss_index.build_stats().total_seconds();
+      const double pt = pase_index.build_stats().total_seconds();
+      t2.Row({std::to_string(cc), TablePrinter::Num(ft, 3),
+              TablePrinter::Num(pt, 3), TablePrinter::Ratio(pt / ft)});
+    }
+
+    std::printf("\n(c) HNSW, varying bnn\n");
+    TablePrinter t3({"bnn", "Faiss s", "PASE s", "slowdown"}, {6, 9, 9, 9});
+    for (uint32_t bnn : {16u, 32u, 64u}) {
+      faisslike::HnswOptions fopt;
+      fopt.bnn = bnn;
+      fopt.efb = 40;
+      faisslike::HnswIndex faiss_index(bd.data.dim, fopt);
+      if (!faiss_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+        return 1;
+      PgEnv pg(FreshDir(args, "fig10c_" + std::to_string(bnn)));
+      pase::PaseHnswOptions popt;
+      popt.bnn = bnn;
+      popt.efb = 40;
+      pase::PaseHnswIndex pase_index(pg.env(), bd.data.dim, popt);
+      if (!pase_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+        return 1;
+      const double ft = faiss_index.build_stats().total_seconds();
+      const double pt = pase_index.build_stats().total_seconds();
+      t3.Row({std::to_string(bnn), TablePrinter::Num(ft, 2),
+              TablePrinter::Num(pt, 2), TablePrinter::Ratio(pt / ft)});
+    }
+    std::printf("\n");
+  }
+  std::printf("expected shape: the slowdown column grows down each table.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig 11: IVF_FLAT index size, PASE vs Faiss. Paper: almost the same —
+// the IVF page layout aligns well with the memory representation.
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Fig 11: IVF_FLAT index size",
+         "sizes are nearly identical (sequential page layout aligns with "
+         "memory layout)",
+         args);
+
+  TablePrinter table({"dataset", "Faiss size", "PASE size", "ratio"},
+                     {10, 12, 12, 8});
+  for (auto& bd : LoadDatasets(args)) {
+    faisslike::IvfFlatOptions fopt;
+    fopt.num_clusters = bd.clusters;
+    faisslike::IvfFlatIndex faiss_index(bd.data.dim, fopt);
+    if (!faiss_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+    PgEnv pg(FreshDir(args, "fig11_" + bd.spec.name));
+    pase::PaseIvfFlatOptions popt;
+    popt.num_clusters = bd.clusters;
+    pase::PaseIvfFlatIndex pase_index(pg.env(), bd.data.dim, popt);
+    if (!pase_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+    table.Row({bd.spec.name, TablePrinter::Megabytes(faiss_index.SizeBytes()),
+               TablePrinter::Megabytes(pase_index.SizeBytes()),
+               TablePrinter::Ratio(
+                   static_cast<double>(pase_index.SizeBytes()) /
+                   static_cast<double>(faiss_index.SizeBytes()))});
+  }
+  std::printf("\nexpected shape: ratio near 1x on every dataset (page "
+              "headers and partially filled chain tails add a few "
+              "percent).\n");
+  return 0;
+}

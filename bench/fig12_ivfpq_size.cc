@@ -1,0 +1,38 @@
+// Fig 12: IVF_PQ index size, PASE vs Faiss. Paper: no obvious difference,
+// for the same reason as Fig 11.
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Fig 12: IVF_PQ index size", "sizes are nearly identical", args);
+
+  TablePrinter table({"dataset", "Faiss size", "PASE size", "ratio"},
+                     {10, 12, 12, 8});
+  for (auto& bd : LoadDatasets(args)) {
+    faisslike::IvfPqOptions fopt;
+    fopt.num_clusters = bd.clusters;
+    fopt.pq_m = bd.spec.pq_m;
+    faisslike::IvfPqIndex faiss_index(bd.data.dim, fopt);
+    if (!faiss_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+    PgEnv pg(FreshDir(args, "fig12_" + bd.spec.name));
+    pase::PaseIvfPqOptions popt;
+    popt.num_clusters = bd.clusters;
+    popt.pq_m = bd.spec.pq_m;
+    pase::PaseIvfPqIndex pase_index(pg.env(), bd.data.dim, popt);
+    if (!pase_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+    table.Row({bd.spec.name, TablePrinter::Megabytes(faiss_index.SizeBytes()),
+               TablePrinter::Megabytes(pase_index.SizeBytes()),
+               TablePrinter::Ratio(
+                   static_cast<double>(pase_index.SizeBytes()) /
+                   static_cast<double>(faiss_index.SizeBytes()))});
+  }
+  std::printf("\nexpected shape: ratio near 1x on every dataset. PQ tuples "
+              "are tiny, so page rounding of short bucket chains is the "
+              "main residual.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig 13: HNSW index size, PASE vs Faiss. Paper: PASE consumes
+// 2.9x-13.3x more space, because of (1) 24-byte HNSWNeighborTuples vs
+// 4-byte ids and (2) a fresh page for every vertex's adjacency lists
+// (RC#4). The bridged engine's packed/compact image is shown as the fix.
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  if (args.max_base == 0) args.max_base = 20000;
+  Banner("Fig 13: HNSW index size",
+         "PASE 2.9x-13.3x larger than Faiss (RC#4)", args);
+
+  TablePrinter table({"dataset", "n", "Faiss", "PASE", "ratio", "bridged",
+                      "bridged ratio"},
+                     {10, 8, 11, 11, 7, 11, 13});
+  for (auto& bd : LoadDatasets(args)) {
+    faisslike::HnswOptions fopt;
+    fopt.bnn = 16;
+    fopt.efb = 40;
+    faisslike::HnswIndex faiss_index(bd.data.dim, fopt);
+    if (!faiss_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+
+    PgEnv pg(FreshDir(args, "fig13_" + bd.spec.name));
+    pase::PaseHnswOptions popt;
+    popt.bnn = 16;
+    popt.efb = 40;
+    pase::PaseHnswIndex pase_index(pg.env(), bd.data.dim, popt);
+    if (!pase_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+
+    bridge::BridgedHnswOptions bopt;
+    bopt.bnn = 16;
+    bopt.efb = 40;
+    bridge::BridgedHnswIndex bridged(pg.env(), bd.data.dim, bopt);
+    if (!bridged.Build(bd.data.base.data(), bd.data.num_base).ok()) return 1;
+
+    const double f = static_cast<double>(faiss_index.SizeBytes());
+    table.Row({bd.spec.name, std::to_string(bd.data.num_base),
+               TablePrinter::Megabytes(faiss_index.SizeBytes()),
+               TablePrinter::Megabytes(pase_index.SizeBytes()),
+               TablePrinter::Ratio(pase_index.SizeBytes() / f),
+               TablePrinter::Megabytes(bridged.SizeBytes()),
+               TablePrinter::Ratio(bridged.SizeBytes() / f)});
+  }
+  std::printf("\nexpected shape: PASE several times larger; the bridged "
+              "packed/compact image lands close to Faiss.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig 14: IVF_FLAT average query time on the six datasets (k=100,
+// nprobe=20). Paper: PASE 2.0x-3.4x slower than Faiss, due to K-means
+// quality (RC#5), tuple access (RC#2), and the n-sized heap (RC#6).
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Fig 14: IVF_FLAT search time",
+         "PASE 2.0x-3.4x slower than Faiss", args);
+
+  TablePrinter table({"dataset", "Faiss ms", "PASE ms", "slowdown",
+                      "recall F", "recall P"},
+                     {10, 10, 10, 9, 9, 9});
+  for (auto& bd : LoadDatasets(args)) {
+    ComputeGroundTruth(&bd.data, 100, Metric::kL2);
+    faisslike::IvfFlatOptions fopt;
+    fopt.num_clusters = bd.clusters;
+    faisslike::IvfFlatIndex faiss_index(bd.data.dim, fopt);
+    if (!faiss_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+
+    PgEnv pg(FreshDir(args, "fig14_" + bd.spec.name));
+    pase::PaseIvfFlatOptions popt;
+    popt.num_clusters = bd.clusters;
+    pase::PaseIvfFlatIndex pase_index(pg.env(), bd.data.dim, popt);
+    if (!pase_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+
+    SearchParams params;
+    params.k = 100;
+    params.nprobe = 20;
+    auto fr = std::move(RunSearchBatch(faiss_index, bd.data, params,
+                                       args.max_queries))
+                  .ValueOrDie();
+    auto pr = std::move(RunSearchBatch(pase_index, bd.data, params,
+                                       args.max_queries))
+                  .ValueOrDie();
+    table.Row({bd.spec.name, TablePrinter::Num(fr.avg_millis, 3),
+               TablePrinter::Num(pr.avg_millis, 3),
+               TablePrinter::Ratio(pr.avg_millis / fr.avg_millis),
+               TablePrinter::Num(fr.recall_at_k, 3),
+               TablePrinter::Num(pr.recall_at_k, 3)});
+  }
+  std::printf("\nexpected shape: PASE a small multiple slower on every "
+              "dataset; recalls differ slightly because the K-means "
+              "implementations differ (RC#5).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig 15: IVF_FLAT search with replaced centroids ("Faiss*"): Faiss is fed
+// the centroids and clustering PASE produced, isolating the K-means
+// difference (RC#5). Paper: the PASE-vs-Faiss* gap is smaller than the
+// PASE-vs-Faiss gap of Fig 14.
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Fig 15: IVF_FLAT search with transplanted centroids (Faiss*)",
+         "with PASE's centroids inside Faiss, the gap shrinks (RC#5 "
+         "isolated)",
+         args);
+
+  TablePrinter table({"dataset", "Faiss ms", "Faiss* ms", "PASE ms",
+                      "PASE/Faiss", "PASE/Faiss*"},
+                     {10, 10, 10, 10, 11, 11});
+  for (auto& bd : LoadDatasets(args)) {
+    faisslike::IvfFlatOptions fopt;
+    fopt.num_clusters = bd.clusters;
+    faisslike::IvfFlatIndex faiss_index(bd.data.dim, fopt);
+    if (!faiss_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+
+    PgEnv pg(FreshDir(args, "fig15_" + bd.spec.name));
+    pase::PaseIvfFlatOptions popt;
+    popt.num_clusters = bd.clusters;
+    pase::PaseIvfFlatIndex pase_index(pg.env(), bd.data.dim, popt);
+    if (!pase_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+
+    // Faiss*: PASE's codebook transplanted into the specialized engine.
+    faisslike::IvfFlatIndex faiss_star(bd.data.dim, fopt);
+    if (!faiss_star
+             .SetCentroids(pase_index.centroids(), pase_index.num_clusters())
+             .ok() ||
+        !faiss_star.AddBatch(bd.data.base.data(), bd.data.num_base).ok()) {
+      return 1;
+    }
+
+    SearchParams params;
+    params.k = 100;
+    params.nprobe = 20;
+    auto f = std::move(RunSearchBatch(faiss_index, bd.data, params,
+                                      args.max_queries))
+                 .ValueOrDie();
+    auto fs = std::move(RunSearchBatch(faiss_star, bd.data, params,
+                                       args.max_queries))
+                  .ValueOrDie();
+    auto p = std::move(RunSearchBatch(pase_index, bd.data, params,
+                                      args.max_queries))
+                 .ValueOrDie();
+    table.Row({bd.spec.name, TablePrinter::Num(f.avg_millis, 3),
+               TablePrinter::Num(fs.avg_millis, 3),
+               TablePrinter::Num(p.avg_millis, 3),
+               TablePrinter::Ratio(p.avg_millis / f.avg_millis),
+               TablePrinter::Ratio(p.avg_millis / fs.avg_millis)});
+  }
+  std::printf("\nexpected shape: PASE/Faiss* <= PASE/Faiss on most "
+              "datasets — part of Fig 14's gap was clustering quality, the "
+              "rest is substrate overhead (RC#2, RC#6).\n");
+  return 0;
+}

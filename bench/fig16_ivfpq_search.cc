@@ -1,0 +1,49 @@
+// Fig 16: IVF_PQ average query time. Paper: PASE 3.9x-11.2x slower — the
+// new factor on top of Fig 14's causes is the naive precomputed distance
+// table (RC#7).
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Fig 16: IVF_PQ search time",
+         "PASE 3.9x-11.2x slower than Faiss (RC#7 on top of RC#2/5/6)",
+         args);
+
+  TablePrinter table({"dataset", "Faiss ms", "PASE ms", "slowdown"},
+                     {10, 10, 10, 9});
+  for (auto& bd : LoadDatasets(args)) {
+    faisslike::IvfPqOptions fopt;
+    fopt.num_clusters = bd.clusters;
+    fopt.pq_m = bd.spec.pq_m;
+    faisslike::IvfPqIndex faiss_index(bd.data.dim, fopt);
+    if (!faiss_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+    PgEnv pg(FreshDir(args, "fig16_" + bd.spec.name));
+    pase::PaseIvfPqOptions popt;
+    popt.num_clusters = bd.clusters;
+    popt.pq_m = bd.spec.pq_m;
+    pase::PaseIvfPqIndex pase_index(pg.env(), bd.data.dim, popt);
+    if (!pase_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+
+    SearchParams params;
+    params.k = 100;
+    params.nprobe = 20;
+    auto fr = std::move(RunSearchBatch(faiss_index, bd.data, params,
+                                       args.max_queries))
+                  .ValueOrDie();
+    auto pr = std::move(RunSearchBatch(pase_index, bd.data, params,
+                                       args.max_queries))
+                  .ValueOrDie();
+    table.Row({bd.spec.name, TablePrinter::Num(fr.avg_millis, 3),
+               TablePrinter::Num(pr.avg_millis, 3),
+               TablePrinter::Ratio(pr.avg_millis / fr.avg_millis)});
+  }
+  std::printf("\nexpected shape: larger slowdowns than Fig 14, biggest on "
+              "high-dimensional datasets where the naive per-query table "
+              "(m*c_pq kernel calls) costs most.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig 17: HNSW average query time (efs=200). Paper: PASE 2.2x-7.3x slower,
+// almost entirely tuple access (RC#2) — per-distance cost is equal.
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  if (args.max_base == 0) args.max_base = 20000;
+  Banner("Fig 17: HNSW search time",
+         "PASE 2.2x-7.3x slower; tuple access dominates (RC#2)", args);
+
+  TablePrinter table({"dataset", "Faiss ms", "PASE ms", "slowdown"},
+                     {10, 10, 10, 9});
+  for (auto& bd : LoadDatasets(args)) {
+    faisslike::HnswOptions fopt;
+    fopt.bnn = 16;
+    fopt.efb = 40;
+    faisslike::HnswIndex faiss_index(bd.data.dim, fopt);
+    if (!faiss_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+    PgEnv pg(FreshDir(args, "fig17_" + bd.spec.name));
+    pase::PaseHnswOptions popt;
+    popt.bnn = 16;
+    popt.efb = 40;
+    pase::PaseHnswIndex pase_index(pg.env(), bd.data.dim, popt);
+    if (!pase_index.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+
+    SearchParams params;
+    params.k = 100;
+    params.efs = 200;
+    auto fr = std::move(RunSearchBatch(faiss_index, bd.data, params,
+                                       args.max_queries))
+                  .ValueOrDie();
+    auto pr = std::move(RunSearchBatch(pase_index, bd.data, params,
+                                       args.max_queries))
+                  .ValueOrDie();
+    table.Row({bd.spec.name, TablePrinter::Num(fr.avg_millis, 3),
+               TablePrinter::Num(pr.avg_millis, 3),
+               TablePrinter::Ratio(pr.avg_millis / fr.avg_millis)});
+  }
+  std::printf("\nexpected shape: PASE a small multiple slower on every "
+              "dataset.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig 18: intra-query parallel search with 1/2/4/8 threads on IVF_FLAT and
+// IVF_PQ. Paper: Faiss scales well (local heaps merged lock-free); PASE
+// does not (one global heap behind a lock — every insertion serializes,
+// RC#3).
+//
+// The container has one core, so the harness reports the MODELED makespan:
+// max per-worker busy time + serialized time measured by the engines'
+// accounting (lock-held heap time is serialized for PASE, only the final
+// merge for Faiss). See DESIGN.md §3.
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+namespace {
+void Sweep(const char* title, const VectorIndex& index, const Dataset& ds,
+           size_t nq, uint32_t nprobe) {
+  std::printf("%s\n", title);
+  TablePrinter table({"threads", "modeled ms/q", "speedup", "serial %"},
+                     {8, 13, 8, 9});
+  double base = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    SearchParams params;
+    params.k = 100;
+    params.nprobe = nprobe;
+    params.num_threads = threads;
+    ParallelAccounting acct;
+    acct.Reset(threads);
+    params.accounting = &acct;
+    for (size_t q = 0; q < nq; ++q) {
+      if (!index.Search(ds.query_vector(q), params).ok()) return;
+    }
+    const double modeled = acct.ModeledSeconds() * 1e3 / nq;
+    const double serial_share =
+        acct.serial_nanos * 1e-9 / std::max(1e-12, acct.TotalWorkSeconds());
+    if (threads == 1) base = modeled;
+    table.Row({std::to_string(threads), TablePrinter::Num(modeled, 3),
+               TablePrinter::Ratio(base / modeled),
+               TablePrinter::Num(serial_share * 100.0, 1)});
+  }
+  std::printf("\n");
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  if (args.datasets.empty()) args.datasets = {"SIFT1M"};
+  Banner("Fig 18: intra-query parallel search",
+         "Faiss scales with threads; PASE saturates on its locked global "
+         "heap (RC#3)",
+         args);
+
+  for (auto& bd : LoadDatasets(args)) {
+    const size_t nq = std::min(args.max_queries, bd.data.num_queries);
+    std::printf("--- %s (n=%zu, nprobe=20) ---\n\n", bd.spec.name.c_str(),
+                bd.data.num_base);
+
+    faisslike::IvfFlatOptions ff;
+    ff.num_clusters = bd.clusters;
+    faisslike::IvfFlatIndex faiss_flat(bd.data.dim, ff);
+    if (!faiss_flat.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+    Sweep("(a) Faiss IVF_FLAT", faiss_flat, bd.data, nq, 20);
+
+    PgEnv pg(FreshDir(args, "fig18_" + bd.spec.name));
+    pase::PaseIvfFlatOptions pf;
+    pf.num_clusters = bd.clusters;
+    pase::PaseIvfFlatIndex pase_flat(pg.env(), bd.data.dim, pf);
+    if (!pase_flat.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+    Sweep("(b) PASE IVF_FLAT", pase_flat, bd.data, nq, 20);
+
+    faisslike::IvfPqOptions fq;
+    fq.num_clusters = bd.clusters;
+    fq.pq_m = bd.spec.pq_m;
+    faisslike::IvfPqIndex faiss_pq(bd.data.dim, fq);
+    if (!faiss_pq.Build(bd.data.base.data(), bd.data.num_base).ok()) return 1;
+    Sweep("(c) Faiss IVF_PQ", faiss_pq, bd.data, nq, 20);
+
+    pase::PaseIvfPqOptions pq;
+    pq.num_clusters = bd.clusters;
+    pq.pq_m = bd.spec.pq_m;
+    pq.rel_prefix = "pase_pq18";
+    pase::PaseIvfPqIndex pase_pq(pg.env(), bd.data.dim, pq);
+    if (!pase_pq.Build(bd.data.base.data(), bd.data.num_base).ok()) return 1;
+    Sweep("(d) PASE IVF_PQ", pase_pq, bd.data, nq, 20);
+  }
+  std::printf("expected shape: Faiss speedup approaches the thread count; "
+              "PASE's saturates as the serialized share grows.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Fig 19: impact of search parameters on the query-time gap on SIFT1M —
+// nprobe in {10, 20, 50} for IVF_FLAT/IVF_PQ, efs in {16, 100, 200} for
+// HNSW. Paper: IVF_FLAT's gap stays flat; IVF_PQ's and HNSW's grow.
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  if (args.max_base == 0) args.max_base = 20000;
+  if (args.datasets.empty()) args.datasets = {"SIFT1M"};
+  Banner("Fig 19: search-time gap vs parameters (SIFT1M)",
+         "flat for IVF_FLAT, growing for IVF_PQ (nprobe) and HNSW (efs)",
+         args);
+
+  for (auto& bd : LoadDatasets(args)) {
+    std::printf("--- %s (n=%zu) ---\n", bd.spec.name.c_str(),
+                bd.data.num_base);
+
+    faisslike::IvfFlatOptions ff;
+    ff.num_clusters = bd.clusters;
+    faisslike::IvfFlatIndex faiss_flat(bd.data.dim, ff);
+    if (!faiss_flat.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+    PgEnv pg(FreshDir(args, "fig19_" + bd.spec.name));
+    pase::PaseIvfFlatOptions pf;
+    pf.num_clusters = bd.clusters;
+    pase::PaseIvfFlatIndex pase_flat(pg.env(), bd.data.dim, pf);
+    if (!pase_flat.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+
+    std::printf("(a) IVF_FLAT, varying nprobe\n");
+    TablePrinter t1({"nprobe", "Faiss ms", "PASE ms", "slowdown"},
+                    {7, 10, 10, 9});
+    for (uint32_t nprobe : {10u, 20u, 50u}) {
+      SearchParams params;
+      params.k = 100;
+      params.nprobe = nprobe;
+      auto f = std::move(RunSearchBatch(faiss_flat, bd.data, params,
+                                        args.max_queries))
+                   .ValueOrDie();
+      auto p = std::move(RunSearchBatch(pase_flat, bd.data, params,
+                                        args.max_queries))
+                   .ValueOrDie();
+      t1.Row({std::to_string(nprobe), TablePrinter::Num(f.avg_millis, 3),
+              TablePrinter::Num(p.avg_millis, 3),
+              TablePrinter::Ratio(p.avg_millis / f.avg_millis)});
+    }
+
+    faisslike::IvfPqOptions fq;
+    fq.num_clusters = bd.clusters;
+    fq.pq_m = bd.spec.pq_m;
+    faisslike::IvfPqIndex faiss_pq(bd.data.dim, fq);
+    if (!faiss_pq.Build(bd.data.base.data(), bd.data.num_base).ok()) return 1;
+    pase::PaseIvfPqOptions pqo;
+    pqo.num_clusters = bd.clusters;
+    pqo.pq_m = bd.spec.pq_m;
+    pqo.rel_prefix = "pase_pq19";
+    pase::PaseIvfPqIndex pase_pq(pg.env(), bd.data.dim, pqo);
+    if (!pase_pq.Build(bd.data.base.data(), bd.data.num_base).ok()) return 1;
+
+    std::printf("\n(b) IVF_PQ, varying nprobe\n");
+    TablePrinter t2({"nprobe", "Faiss ms", "PASE ms", "slowdown"},
+                    {7, 10, 10, 9});
+    for (uint32_t nprobe : {10u, 20u, 50u}) {
+      SearchParams params;
+      params.k = 100;
+      params.nprobe = nprobe;
+      auto f = std::move(RunSearchBatch(faiss_pq, bd.data, params,
+                                        args.max_queries))
+                   .ValueOrDie();
+      auto p = std::move(RunSearchBatch(pase_pq, bd.data, params,
+                                        args.max_queries))
+                   .ValueOrDie();
+      t2.Row({std::to_string(nprobe), TablePrinter::Num(f.avg_millis, 3),
+              TablePrinter::Num(p.avg_millis, 3),
+              TablePrinter::Ratio(p.avg_millis / f.avg_millis)});
+    }
+
+    faisslike::HnswOptions fh;
+    fh.bnn = 16;
+    fh.efb = 40;
+    faisslike::HnswIndex faiss_hnsw(bd.data.dim, fh);
+    if (!faiss_hnsw.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+    pase::PaseHnswOptions ph;
+    ph.bnn = 16;
+    ph.efb = 40;
+    ph.rel_prefix = "pase_hnsw19";
+    pase::PaseHnswIndex pase_hnsw(pg.env(), bd.data.dim, ph);
+    if (!pase_hnsw.Build(bd.data.base.data(), bd.data.num_base).ok())
+      return 1;
+
+    std::printf("\n(c) HNSW, varying efs\n");
+    TablePrinter t3({"efs", "Faiss ms", "PASE ms", "slowdown"},
+                    {7, 10, 10, 9});
+    for (uint32_t efs : {16u, 100u, 200u}) {
+      SearchParams params;
+      params.k = std::min<size_t>(100, efs);
+      params.efs = efs;
+      auto f = std::move(RunSearchBatch(faiss_hnsw, bd.data, params,
+                                        args.max_queries))
+                   .ValueOrDie();
+      auto p = std::move(RunSearchBatch(pase_hnsw, bd.data, params,
+                                        args.max_queries))
+                   .ValueOrDie();
+      t3.Row({std::to_string(efs), TablePrinter::Num(f.avg_millis, 3),
+              TablePrinter::Num(p.avg_millis, 3),
+              TablePrinter::Ratio(p.avg_millis / f.avg_millis)});
+    }
+    std::printf("\n");
+  }
+  std::printf("expected shape: (a) roughly flat; (b) grows with nprobe "
+              "(naive precomputed table amortizes worse); (c) grows with "
+              "efs (more tuple accesses per query).\n");
+  return 0;
+}

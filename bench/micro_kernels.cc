@@ -1,0 +1,242 @@
+// google-benchmark micro benches over the kernels the root causes hinge on:
+// per-pair vs SGEMM-decomposed distance batches (RC#1), k-heap vs n-heap
+// (RC#6), naive vs optimized PQ tables (RC#7), and direct vs page-mediated
+// tuple access (RC#2).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "distance/kernels.h"
+#include "distance/sgemm.h"
+#include "pgstub/bufmgr.h"
+#include "pgstub/heap_table.h"
+#include "pgstub/wal.h"
+#include "quantizer/pq.h"
+#include "topk/heaps.h"
+
+namespace vecdb {
+namespace {
+
+std::vector<float> RandomVectors(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(n * d);
+  for (auto& v : out) v = rng.Gaussian();
+  return out;
+}
+
+void BM_L2SqrSingle(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  auto data = RandomVectors(2, d, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L2Sqr(data.data(), data.data() + d, d));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2SqrSingle)->Arg(96)->Arg(128)->Arg(256)->Arg(960);
+
+void BM_AssignNaive(benchmark::State& state) {
+  // RC#1 baseline: per-pair distance loops over 256 centroids.
+  const size_t d = 128, n = 1024, c = 256;
+  auto base = RandomVectors(n, d, 2);
+  auto centroids = RandomVectors(c, d, 3);
+  std::vector<float> dists(n * c);
+  for (auto _ : state) {
+    AllPairsL2SqrNaive(base.data(), n, centroids.data(), c, d, dists.data());
+    benchmark::DoNotOptimize(dists.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * c);
+}
+BENCHMARK(BM_AssignNaive);
+
+void BM_AssignSgemm(benchmark::State& state) {
+  // RC#1 fix: one SGEMM + norm tables.
+  const size_t d = 128, n = 1024, c = 256;
+  auto base = RandomVectors(n, d, 2);
+  auto centroids = RandomVectors(c, d, 3);
+  std::vector<float> cnorms(c);
+  RowNormsSqr(centroids.data(), c, d, cnorms.data());
+  std::vector<float> dists(n * c);
+  for (auto _ : state) {
+    AllPairsL2Sqr(base.data(), n, centroids.data(), c, d, nullptr,
+                  cnorms.data(), dists.data());
+    benchmark::DoNotOptimize(dists.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * c);
+}
+BENCHMARK(BM_AssignSgemm);
+
+void BM_TopKKHeap(benchmark::State& state) {
+  // RC#6 fix: bounded heap of k over n candidates.
+  const size_t n = static_cast<size_t>(state.range(0)), k = 100;
+  Rng rng(4);
+  std::vector<float> dists(n);
+  for (auto& v : dists) v = rng.UniformFloat();
+  for (auto _ : state) {
+    KMaxHeap heap(k);
+    for (size_t i = 0; i < n; ++i) {
+      heap.Push(dists[i], static_cast<int64_t>(i));
+    }
+    benchmark::DoNotOptimize(heap.TakeSorted());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TopKKHeap)->Arg(10000)->Arg(100000);
+
+void BM_TopKNHeap(benchmark::State& state) {
+  // RC#6 defect: heapify all n, pop k.
+  const size_t n = static_cast<size_t>(state.range(0)), k = 100;
+  Rng rng(4);
+  std::vector<float> dists(n);
+  for (auto& v : dists) v = rng.UniformFloat();
+  for (auto _ : state) {
+    NHeap heap;
+    for (size_t i = 0; i < n; ++i) {
+      heap.Push(dists[i], static_cast<int64_t>(i));
+    }
+    benchmark::DoNotOptimize(heap.PopK(k));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TopKNHeap)->Arg(10000)->Arg(100000);
+
+void BM_PqTableNaive(benchmark::State& state) {
+  const size_t d = 128, n = 2000;
+  auto data = RandomVectors(n, d, 5);
+  PqOptions opt;
+  opt.num_subvectors = 16;
+  opt.num_codes = 256;
+  opt.max_iterations = 3;
+  auto pq = ProductQuantizer::Train(data.data(), n, d, opt).ValueOrDie();
+  auto query = RandomVectors(1, d, 6);
+  std::vector<float> table(pq.table_size());
+  for (auto _ : state) {
+    pq.ComputeDistanceTableNaive(query.data(), table.data());
+    benchmark::DoNotOptimize(table.data());
+  }
+}
+BENCHMARK(BM_PqTableNaive);
+
+void BM_PqTableOptimized(benchmark::State& state) {
+  const size_t d = 128, n = 2000;
+  auto data = RandomVectors(n, d, 5);
+  PqOptions opt;
+  opt.num_subvectors = 16;
+  opt.num_codes = 256;
+  opt.max_iterations = 3;
+  auto pq = ProductQuantizer::Train(data.data(), n, d, opt).ValueOrDie();
+  auto query = RandomVectors(1, d, 6);
+  std::vector<float> table(pq.table_size());
+  for (auto _ : state) {
+    pq.ComputeDistanceTableOptimized(query.data(), table.data());
+    benchmark::DoNotOptimize(table.data());
+  }
+}
+BENCHMARK(BM_PqTableOptimized);
+
+void BM_TupleAccessDirect(benchmark::State& state) {
+  // RC#2 baseline: pointer-direct vector reads.
+  const size_t d = 128, n = 1000;
+  auto data = RandomVectors(n, d, 7);
+  auto query = RandomVectors(1, d, 8);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        L2Sqr(query.data(), data.data() + (i % n) * d, d));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TupleAccessDirect);
+
+void BM_TupleAccessBufferManager(benchmark::State& state) {
+  // RC#2 defect: Pin -> line pointer -> copy -> Unpin per access, even
+  // with a 100% buffer hit rate.
+  const size_t d = 128, n = 1000;
+  auto data = RandomVectors(n, d, 7);
+  auto query = RandomVectors(1, d, 8);
+  const std::string dir = "/tmp/vecdb_micro_tuple";
+  const std::string cmd = "rm -rf " + dir;
+  if (std::system(cmd.c_str()) != 0) state.SkipWithError("cleanup failed");
+  auto smgr = std::move(pgstub::StorageManager::Open(dir, 8192)).ValueOrDie();
+  pgstub::BufferManager bufmgr(&smgr, 4096);
+  auto table = std::move(pgstub::HeapTable::Create(&bufmgr, &smgr, "t",
+                                                   static_cast<uint32_t>(d)))
+                   .ValueOrDie();
+  std::vector<pgstub::TupleId> tids;
+  for (size_t i = 0; i < n; ++i) {
+    tids.push_back(
+        std::move(table.Insert(static_cast<int64_t>(i), data.data() + i * d))
+            .ValueOrDie());
+  }
+  std::vector<float> vec(d);
+  size_t i = 0;
+  for (auto _ : state) {
+    int64_t row_id;
+    if (!table.Read(tids[i % n], &row_id, vec.data()).ok()) {
+      state.SkipWithError("read failed");
+      break;
+    }
+    benchmark::DoNotOptimize(L2Sqr(query.data(), vec.data(), d));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TupleAccessBufferManager);
+
+void BM_HeapInsertNoWal(benchmark::State& state) {
+  // Relational insert path without durability logging.
+  const size_t d = 128;
+  auto data = RandomVectors(1, d, 9);
+  const std::string dir = "/tmp/vecdb_micro_nowal";
+  if (std::system(("rm -rf " + dir).c_str()) != 0) {
+    state.SkipWithError("cleanup failed");
+  }
+  auto smgr = std::move(pgstub::StorageManager::Open(dir, 8192)).ValueOrDie();
+  pgstub::BufferManager bufmgr(&smgr, 4096);
+  auto table = std::move(pgstub::HeapTable::Create(&bufmgr, &smgr, "t",
+                                                   static_cast<uint32_t>(d)))
+                   .ValueOrDie();
+  int64_t id = 0;
+  for (auto _ : state) {
+    if (!table.Insert(id++, data.data()).ok()) {
+      state.SkipWithError("insert failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapInsertNoWal);
+
+void BM_HeapInsertWal(benchmark::State& state) {
+  // The same insert path with full-page-image WAL attached: the durability
+  // tax a generalized vector database pays on writes.
+  const size_t d = 128;
+  auto data = RandomVectors(1, d, 9);
+  const std::string dir = "/tmp/vecdb_micro_wal";
+  if (std::system(("rm -rf " + dir).c_str()) != 0) {
+    state.SkipWithError("cleanup failed");
+  }
+  auto smgr = std::move(pgstub::StorageManager::Open(dir, 8192)).ValueOrDie();
+  auto wal = std::move(pgstub::WalManager::Open(dir + "/wal.log")).ValueOrDie();
+  pgstub::BufferManager bufmgr(&smgr, 4096);
+  bufmgr.SetWal(&wal);
+  auto table = std::move(pgstub::HeapTable::Create(&bufmgr, &smgr, "t",
+                                                   static_cast<uint32_t>(d)))
+                   .ValueOrDie();
+  int64_t id = 0;
+  for (auto _ : state) {
+    if (!table.Insert(id++, data.data()).ok()) {
+      state.SkipWithError("insert failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapInsertWal);
+
+}  // namespace
+}  // namespace vecdb
+
+BENCHMARK_MAIN();

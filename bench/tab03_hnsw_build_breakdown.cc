@@ -1,0 +1,66 @@
+// Table III: time breakdown of HNSW building on SIFT1M — SearchNbToAdd /
+// AddLink / GreedyUpdate / ShrinkNbList / Others, for PASE and Faiss.
+// Paper: SearchNbToAdd dominates both (70-76%), and PASE's SearchNbToAdd
+// is ~3.4x slower in absolute time.
+#include "bench/bench_common.h"
+
+using namespace vecdb;
+using namespace vecdb::bench;
+
+namespace {
+void Report(const char* engine, const Profiler& profiler,
+            double total_seconds) {
+  const int64_t total = static_cast<int64_t>(total_seconds * 1e9);
+  std::printf("%s (total %.2f s)\n", engine, total_seconds);
+  PrintBreakdown("  phases", profiler,
+                 {"SearchNbToAdd", "AddLink", "GreedyUpdate", "ShrinkNbList"},
+                 total);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  if (args.max_base == 0) args.max_base = 20000;
+  if (args.datasets.empty()) args.datasets = {"SIFT1M"};
+  Banner("Table III: HNSW build time breakdown",
+         "SearchNbToAdd dominates both engines; PASE's is ~3.4x slower",
+         args);
+
+  for (auto& bd : LoadDatasets(args)) {
+    std::printf("--- %s (n=%zu, dim=%u) ---\n", bd.spec.name.c_str(),
+                bd.data.num_base, bd.data.dim);
+
+    Profiler faiss_prof;
+    faisslike::HnswOptions fopt;
+    fopt.bnn = 16;
+    fopt.efb = 40;
+    fopt.profiler = &faiss_prof;
+    faisslike::HnswIndex faiss_index(bd.data.dim, fopt);
+    if (Status s = faiss_index.Build(bd.data.base.data(), bd.data.num_base);
+        !s.ok()) {
+      std::fprintf(stderr, "faiss: %s\n", s.ToString().c_str());
+      return 1;
+    }
+
+    Profiler pase_prof;
+    PgEnv pg(FreshDir(args, "tab03_" + bd.spec.name));
+    pase::PaseHnswOptions popt;
+    popt.bnn = 16;
+    popt.efb = 40;
+    popt.profiler = &pase_prof;
+    pase::PaseHnswIndex pase_index(pg.env(), bd.data.dim, popt);
+    if (Status s = pase_index.Build(bd.data.base.data(), bd.data.num_base);
+        !s.ok()) {
+      std::fprintf(stderr, "pase: %s\n", s.ToString().c_str());
+      return 1;
+    }
+
+    Report("PASE", pase_prof, pase_index.build_stats().total_seconds());
+    Report("Faiss", faiss_prof, faiss_index.build_stats().total_seconds());
+    std::printf("SearchNbToAdd absolute: PASE %.2f s vs Faiss %.2f s "
+                "(paper: 487.3 s vs 142.0 s)\n\n",
+                pase_prof.Seconds("SearchNbToAdd"),
+                faiss_prof.Seconds("SearchNbToAdd"));
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Image-search scenario: an HNSW index over SIFT-like 128-dim descriptors
+// (the workload the paper's introduction motivates). Shows the
+// recall/latency trade-off of the efs knob and compares the specialized
+// engine against the generalized one on the same graph parameters.
+#include <cstdio>
+
+#include "core/vecdb.h"
+
+using namespace vecdb;
+
+int main() {
+  // A scaled-down analog of SIFT1M (dimensionality preserved at 128).
+  const DatasetSpec* spec = FindDataset("SIFT1M");
+  Dataset ds = MakePaperAnalog(*spec, /*scale=*/0.008);  // 8000 vectors
+  ComputeGroundTruth(&ds, 10, Metric::kL2);
+  std::printf("image corpus: %zu descriptors, dim %u, %zu queries\n",
+              ds.num_base, ds.dim, ds.num_queries);
+
+  // Specialized engine HNSW (paper Table II defaults: bnn=16, efb=40).
+  faisslike::HnswOptions hnsw_opt;
+  hnsw_opt.bnn = 16;
+  hnsw_opt.efb = 40;
+  faisslike::HnswIndex index(ds.dim, hnsw_opt);
+  if (Status s = index.Build(ds.base.data(), ds.num_base); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("built %s in %.2f s, size %.1f MB, top level %d\n",
+              index.Describe().c_str(),
+              index.build_stats().total_seconds(),
+              index.SizeBytes() / (1024.0 * 1024.0), index.max_level());
+
+  std::printf("\nefs sweep (recall@10 vs latency):\n");
+  std::printf("  %-6s %-12s %-10s\n", "efs", "avg ms", "recall@10");
+  for (uint32_t efs : {16, 50, 100, 200, 400}) {
+    SearchParams params;
+    params.k = 10;
+    params.efs = efs;
+    auto run = std::move(RunSearchBatch(index, ds, params)).ValueOrDie();
+    std::printf("  %-6u %-12.3f %-10.3f\n", efs, run.avg_millis,
+                run.recall_at_k);
+  }
+
+  // The same workload on the generalized engine: identical algorithm, but
+  // every graph hop goes through pages and the buffer manager (RC#2).
+  auto smgr = std::move(pgstub::StorageManager::Open(
+                            "/tmp/vecdb_image_search", 8192))
+                  .ValueOrDie();
+  pgstub::BufferManager bufmgr(&smgr, 32768);
+  pase::PaseEnv env{&smgr, &bufmgr};
+  pase::PaseHnswOptions pase_opt;
+  pase_opt.bnn = 16;
+  pase_opt.efb = 40;
+  pase::PaseHnswIndex pase_index(env, ds.dim, pase_opt);
+  if (Status s = pase_index.Build(ds.base.data(), ds.num_base); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  SearchParams params;
+  params.k = 10;
+  params.efs = 200;
+  auto faiss_run = std::move(RunSearchBatch(index, ds, params)).ValueOrDie();
+  auto pase_run =
+      std::move(RunSearchBatch(pase_index, ds, params)).ValueOrDie();
+  std::printf("\nengine comparison at efs=200:\n");
+  std::printf("  %-28s %8.3f ms  recall %.3f  size %6.1f MB\n",
+              index.Describe().c_str(), faiss_run.avg_millis,
+              faiss_run.recall_at_k, index.SizeBytes() / (1024.0 * 1024.0));
+  std::printf("  %-28s %8.3f ms  recall %.3f  size %6.1f MB\n",
+              pase_index.Describe().c_str(), pase_run.avg_millis,
+              pase_run.recall_at_k,
+              pase_index.SizeBytes() / (1024.0 * 1024.0));
+  std::printf("  query slowdown %.1fx, space amplification %.1fx "
+              "(paper: 2.2x-7.3x and 2.9x-13.3x)\n",
+              pase_run.avg_millis / faiss_run.avg_millis,
+              static_cast<double>(pase_index.SizeBytes()) /
+                  static_cast<double>(index.SizeBytes()));
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Interactive SQL shell over MiniDatabase — a psql-flavored REPL for the
+// paper's query interface. Reads one statement per line; meta-commands:
+//   \q        quit
+//   \timing   toggle per-statement timing
+//   \help     list the supported SQL surface
+//
+// Usage: vecdb_shell [data_dir]     (default /tmp/vecdb_shell)
+// Also works non-interactively:  echo "CREATE TABLE ..." | vecdb_shell
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/vecdb.h"
+
+using namespace vecdb;
+
+namespace {
+void PrintHelp() {
+  std::printf(
+      "statements:\n"
+      "  CREATE TABLE t (id int, vec float[8]);\n"
+      "  INSERT INTO t VALUES (1, '0.1,0.2,...'), (2, '[0.3, 0.4, ...]');\n"
+      "  CREATE INDEX i ON t USING {ivfflat|ivfpq|ivfsq8|hnsw} (vec)\n"
+      "      WITH (clusters=256, m=16, bnn=16, efb=40, sample_ratio=0.01,\n"
+      "            engine='pase'|'faiss'|'bridge');\n"
+      "  SELECT id FROM t ORDER BY vec <-> '...' [OPTIONS (nprobe=20,\n"
+      "      efs=200)] LIMIT 10;      (also <#> inner product, <=> cosine)\n"
+      "  EXPLAIN SELECT ...;\n"
+      "  DROP INDEX i; / DROP TABLE t;\n");
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string data_dir = argc > 1 ? argv[1] : "/tmp/vecdb_shell";
+  auto opened = sql::MiniDatabase::Open(data_dir);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "cannot open database: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(opened).ValueOrDie();
+  std::printf("vecdb shell — data dir %s. Type \\help for syntax, \\q to "
+              "quit.\n",
+              data_dir.c_str());
+
+  bool timing = false;
+  std::string line;
+  while (true) {
+    std::printf("vecdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Trim whitespace.
+    const auto begin = line.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r\n");
+    line = line.substr(begin, end - begin + 1);
+
+    if (line == "\\q" || line == "\\quit" || line == "exit") break;
+    if (line == "\\help" || line == "help") {
+      PrintHelp();
+      continue;
+    }
+    if (line == "\\timing") {
+      timing = !timing;
+      std::printf("timing %s\n", timing ? "on" : "off");
+      continue;
+    }
+
+    Timer timer;
+    auto result = db->Execute(line);
+    const double millis = timer.ElapsedMillis();
+    if (!result.ok()) {
+      std::printf("ERROR: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (!result->message.empty()) std::printf("%s\n", result->message.c_str());
+    if (!result->rows.empty()) {
+      if (result->columns.size() == 2) {
+        std::printf("%-12s %-12s\n", "id", "distance");
+        for (const auto& row : result->rows) {
+          std::printf("%-12lld %-12.4f\n", static_cast<long long>(row.id),
+                      row.distance);
+        }
+      } else {
+        std::printf("%-12s\n", "id");
+        for (const auto& row : result->rows) {
+          std::printf("%-12lld\n", static_cast<long long>(row.id));
+        }
+      }
+      std::printf("(%zu rows)\n", result->rows.size());
+    }
+    if (timing) std::printf("Time: %.3f ms\n", millis);
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

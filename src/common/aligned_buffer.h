@@ -1,0 +1,85 @@
+// Cache-line/SIMD aligned float storage for vector data. Alignment keeps the
+// auto-vectorized distance kernels and the blocked SGEMM on their fast paths.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace vecdb {
+
+/// Owning, 64-byte-aligned float array.
+///
+/// Movable, non-copyable; `resize` preserves existing contents up to the new
+/// size. Intended for bulk vector matrices (`n * dim` floats) where
+/// std::vector's value-initialization and unaligned storage would cost.
+class AlignedFloats {
+ public:
+  AlignedFloats() = default;
+
+  explicit AlignedFloats(size_t n) { Resize(n); }
+
+  ~AlignedFloats() { std::free(data_); }
+
+  AlignedFloats(AlignedFloats&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+
+  AlignedFloats& operator=(AlignedFloats&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+
+  AlignedFloats(const AlignedFloats&) = delete;
+  AlignedFloats& operator=(const AlignedFloats&) = delete;
+
+  /// Grows or shrinks to `n` floats, preserving the common prefix.
+  /// New elements are zero-initialized.
+  void Resize(size_t n) {
+    if (n > capacity_) {
+      size_t cap = capacity_ == 0 ? 1024 : capacity_;
+      while (cap < n) cap *= 2;
+      float* fresh = static_cast<float*>(
+          std::aligned_alloc(64, RoundUp(cap * sizeof(float), 64)));
+      if (data_ != nullptr) {
+        std::memcpy(fresh, data_, size_ * sizeof(float));
+        std::free(data_);
+      }
+      data_ = fresh;
+      capacity_ = cap;
+    }
+    if (n > size_) std::memset(data_ + size_, 0, (n - size_) * sizeof(float));
+    size_ = n;
+  }
+
+  /// Appends `count` floats from `src`.
+  void Append(const float* src, size_t count) {
+    const size_t old = size_;
+    Resize(old + count);
+    std::memcpy(data_ + old, src, count * sizeof(float));
+  }
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  float& operator[](size_t i) { return data_[i]; }
+  const float& operator[](size_t i) const { return data_[i]; }
+
+ private:
+  static size_t RoundUp(size_t v, size_t to) { return (v + to - 1) / to * to; }
+
+  float* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace vecdb

@@ -1,0 +1,90 @@
+// Named-counter profiler that replaces the paper's use of Linux `perf` +
+// flame graphs. Both engines are instrumented with the same phase labels the
+// paper reports (e.g. "fvec_L2sqr", "TupleAccess", "MinHeap",
+// "SearchNbToAdd"), so the breakdown tables (Table III, Table V, Fig 8) can
+// be regenerated deterministically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/timer.h"
+
+namespace vecdb {
+
+/// Accumulates elapsed nanoseconds and hit counts under string labels.
+///
+/// Not thread-safe by design: each worker thread profiles into its own
+/// Profiler and the harness merges them (see Merge()). Engines accept a
+/// nullable `Profiler*`; a null profiler costs one branch per scope.
+class Profiler {
+ public:
+  /// Adds `nanos` (and one hit) to the counter named `label`.
+  void Add(std::string_view label, int64_t nanos) {
+    auto& e = entries_[std::string(label)];
+    e.nanos += nanos;
+    e.hits += 1;
+  }
+
+  /// Total nanoseconds recorded under `label` (0 if absent).
+  int64_t Nanos(std::string_view label) const {
+    auto it = entries_.find(std::string(label));
+    return it == entries_.end() ? 0 : it->second.nanos;
+  }
+
+  /// Number of times `label` was recorded.
+  int64_t Hits(std::string_view label) const {
+    auto it = entries_.find(std::string(label));
+    return it == entries_.end() ? 0 : it->second.hits;
+  }
+
+  /// Seconds recorded under `label`.
+  double Seconds(std::string_view label) const { return Nanos(label) * 1e-9; }
+
+  /// Folds another profiler's counters into this one.
+  void Merge(const Profiler& other) {
+    for (const auto& [label, e] : other.entries_) {
+      auto& mine = entries_[label];
+      mine.nanos += e.nanos;
+      mine.hits += e.hits;
+    }
+  }
+
+  /// Drops all counters.
+  void Reset() { entries_.clear(); }
+
+  /// All labels in lexicographic order with their totals.
+  struct Entry {
+    int64_t nanos = 0;
+    int64_t hits = 0;
+  };
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII scope that charges its lifetime to `label` on a (nullable) profiler.
+class ProfScope {
+ public:
+  ProfScope(Profiler* profiler, std::string_view label)
+      : profiler_(profiler), label_(label) {
+    if (profiler_ != nullptr) start_ = NowNanos();
+  }
+
+  ~ProfScope() {
+    if (profiler_ != nullptr) profiler_->Add(label_, NowNanos() - start_);
+  }
+
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  Profiler* profiler_;
+  std::string_view label_;
+  int64_t start_ = 0;
+};
+
+}  // namespace vecdb

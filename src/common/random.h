@@ -1,0 +1,55 @@
+// Deterministic, fast PRNG used throughout vecdb (dataset synthesis,
+// K-means seeding, HNSW level draws). A fixed seed makes every experiment
+// reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vecdb {
+
+/// SplitMix64-seeded xoshiro256** generator.
+///
+/// Not cryptographic; chosen for speed and high statistical quality.
+/// Satisfies the UniformRandomBitGenerator concept so it can also be used
+/// with `<random>` distributions.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator; the same seed yields the same stream.
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically via SplitMix64 expansion.
+  void Seed(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  /// Next raw 64-bit draw.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform float in [0, 1).
+  float UniformFloat();
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Standard normal draw (Box-Muller, cached spare).
+  float Gaussian();
+
+  /// Samples `k` distinct indices from [0, n) via partial Fisher-Yates.
+  /// If k >= n, returns the full permutation of [0, n).
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_ = false;
+  float spare_ = 0.f;
+};
+
+}  // namespace vecdb

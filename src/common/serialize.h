@@ -1,0 +1,97 @@
+// Minimal binary (de)serialization over stdio FILEs, used for index
+// persistence (faisslike Save/Load). Little-endian host format with a
+// per-file magic + version header; not portable across endianness.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+
+namespace vecdb {
+
+/// Sequential writer with Status-based error reporting.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing and emits the header.
+  static Result<BinaryWriter> Open(const std::string& path, uint32_t magic,
+                                   uint32_t version);
+
+  ~BinaryWriter();
+  BinaryWriter(BinaryWriter&& other) noexcept;
+  BinaryWriter& operator=(BinaryWriter&&) = delete;
+  BinaryWriter(const BinaryWriter&) = delete;
+
+  /// Writes a trivially-copyable value.
+  template <typename T>
+  Status Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return WriteBytes(&value, sizeof(T));
+  }
+
+  /// Writes a length-prefixed array of trivially-copyable elements.
+  template <typename T>
+  Status WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    VECDB_RETURN_NOT_OK(Write<uint64_t>(values.size()));
+    return WriteBytes(values.data(), values.size() * sizeof(T));
+  }
+
+  /// Writes a length-prefixed float buffer.
+  Status WriteFloats(const AlignedFloats& values);
+
+  /// Writes a length-prefixed string.
+  Status WriteString(const std::string& value);
+
+  /// Flushes and closes; further writes are invalid.
+  Status Close();
+
+ private:
+  explicit BinaryWriter(std::FILE* file) : file_(file) {}
+  Status WriteBytes(const void* data, size_t len);
+
+  std::FILE* file_;
+};
+
+/// Sequential reader mirroring BinaryWriter.
+class BinaryReader {
+ public:
+  /// Opens `path`, validating magic and version.
+  static Result<BinaryReader> Open(const std::string& path, uint32_t magic,
+                                   uint32_t expected_version);
+
+  ~BinaryReader();
+  BinaryReader(BinaryReader&& other) noexcept;
+  BinaryReader& operator=(BinaryReader&&) = delete;
+  BinaryReader(const BinaryReader&) = delete;
+
+  template <typename T>
+  Status Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(value, sizeof(T));
+  }
+
+  template <typename T>
+  Status ReadVector(std::vector<T>* values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    VECDB_RETURN_NOT_OK(Read(&count));
+    if (count > (1ull << 40)) return Status::Corruption("absurd array size");
+    values->resize(count);
+    return ReadBytes(values->data(), count * sizeof(T));
+  }
+
+  Status ReadFloats(AlignedFloats* values);
+  Status ReadString(std::string* value);
+
+ private:
+  explicit BinaryReader(std::FILE* file) : file_(file) {}
+  Status ReadBytes(void* data, size_t len);
+
+  std::FILE* file_;
+};
+
+}  // namespace vecdb

@@ -1,0 +1,163 @@
+// Status/Result error model for vecdb, following the RocksDB/Arrow idiom:
+// library code never throws; fallible operations return Status or Result<T>.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace vecdb {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kCorruption,
+  kNotSupported,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns the canonical name of a status code, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+/// The result of a fallible operation: a code plus a human-readable message.
+///
+/// Cheap to copy when OK (no allocation); error states carry a message
+/// string. Use the static constructors (`Status::InvalidArgument(...)`) to
+/// build errors and `Status::OK()` for success.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category.
+  StatusCode code() const { return code_; }
+
+  /// The human-readable error message (empty when OK).
+  const std::string& message() const { return msg_; }
+
+  /// Renders "Code: message" for logs and test failures.
+  std::string ToString() const;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// A value-or-error holder: either a `T` or a non-OK Status.
+///
+/// Mirrors arrow::Result. Check `ok()` before dereferencing; `ValueOrDie()`
+/// aborts on error and is intended for tests and examples. `T` only needs
+/// to be movable (no default constructor required).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs a failed result; `status` must be non-OK.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; undefined behaviour if `!ok()`.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value or aborts with the error message (test/example use).
+  T ValueOrDie() &&;
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+T Result<T>::ValueOrDie() && {
+  if (!status_.ok()) internal::DieOnBadResult(status_);
+  return std::move(*value_);
+}
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define VECDB_RETURN_NOT_OK(expr)                    \
+  do {                                               \
+    ::vecdb::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Evaluates a Result expression, propagating errors, else binds the value.
+#define VECDB_ASSIGN_OR_RETURN(lhs, rexpr)           \
+  auto VECDB_CONCAT_(_res_, __LINE__) = (rexpr);     \
+  if (!VECDB_CONCAT_(_res_, __LINE__).ok())          \
+    return VECDB_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(VECDB_CONCAT_(_res_, __LINE__)).value()
+
+#define VECDB_CONCAT_IMPL_(a, b) a##b
+#define VECDB_CONCAT_(a, b) VECDB_CONCAT_IMPL_(a, b)
+
+}  // namespace vecdb

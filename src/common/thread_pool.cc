@@ -1,0 +1,72 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace vecdb {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push(std::move(fn));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(int, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t t = static_cast<size_t>(num_threads());
+  const size_t chunk = (n + t - 1) / t;
+  for (size_t w = 0; w * chunk < n; ++w) {
+    const size_t begin = w * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    Submit([&fn, w, begin, end] { fn(static_cast<int>(w), begin, end); });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace vecdb

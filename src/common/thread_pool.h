@@ -1,0 +1,55 @@
+// Minimal persistent thread pool plus a static-chunked ParallelFor, used for
+// parallel index construction and intra-query parallel search (paper RC#3).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vecdb {
+
+/// Fixed-size pool of worker threads executing submitted closures.
+///
+/// `ParallelFor` splits an index range into one contiguous chunk per worker
+/// (static scheduling), which matches how both engines partition buckets and
+/// vectors, and makes per-thread work accounting deterministic.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` for execution on some worker.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs `fn(worker_index, begin, end)` over a static partition of [0, n).
+  /// Blocks until all chunks complete. `worker_index` is in
+  /// [0, num_threads()) and each index of [0, n) is covered exactly once.
+  void ParallelFor(size_t n,
+                   const std::function<void(int, size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace vecdb

@@ -1,0 +1,63 @@
+// Wall-clock timing helpers used by benchmarks and the profiler.
+#pragma once
+
+#include <ctime>
+
+#include <chrono>
+#include <cstdint>
+
+namespace vecdb {
+
+/// Monotonic nanosecond timestamp.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Nanoseconds of CPU time consumed by the calling thread. Used by the
+/// parallel-scaling accounting (core/parallel.h): on an oversubscribed
+/// machine, wall time includes time spent descheduled, but per-thread CPU
+/// time measures the actual work each worker performed.
+inline int64_t ThreadCpuNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+/// Stopwatch over the calling thread's CPU clock.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(ThreadCpuNanos()) {}
+  void Reset() { start_ = ThreadCpuNanos(); }
+  int64_t ElapsedNanos() const { return ThreadCpuNanos() - start_; }
+
+ private:
+  int64_t start_;
+};
+
+/// Simple stopwatch over the steady clock.
+class Timer {
+ public:
+  Timer() : start_(NowNanos()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = NowNanos(); }
+
+  /// Nanoseconds since construction or the last Reset().
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+
+  /// Microseconds since construction or the last Reset().
+  double ElapsedMicros() const { return ElapsedNanos() * 1e-3; }
+
+  /// Milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedNanos() * 1e-6; }
+
+  /// Seconds since construction or the last Reset().
+  double ElapsedSeconds() const { return ElapsedNanos() * 1e-9; }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace vecdb

@@ -1,0 +1,36 @@
+// Public index factory: creates any index of any engine from a declarative
+// spec — the programmatic twin of SQL's CREATE INDEX ... USING ... WITH.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/index.h"
+#include "pase/pase_common.h"
+
+namespace vecdb {
+
+/// Declarative index description.
+struct IndexSpec {
+  std::string method;  ///< "ivfflat" | "ivfpq" | "ivfsq8" | "hnsw" | "flat"
+  std::string engine = "faiss";  ///< "faiss" | "pase" | "bridge"
+  uint32_t dim = 0;
+
+  /// Numeric options; recognized keys: clusters, sample_ratio, iterations,
+  /// m, pq_codes, bnn, efb, seed, refine_factor. Unknown keys are an
+  /// InvalidArgument error (catching typos beats silently ignoring them).
+  std::map<std::string, double> options;
+
+  /// Relation-name prefix for page-resident engines ("pase", "bridge").
+  std::string rel_prefix = "idx";
+};
+
+/// Instantiates an index. `env` is required for the "pase" and "bridge"
+/// engines (their indexes live in pgstub relations) and ignored for
+/// "faiss". The returned index is untrained; call Build().
+Result<std::unique_ptr<VectorIndex>> CreateIndex(const IndexSpec& spec,
+                                                 pase::PaseEnv env = {});
+
+}  // namespace vecdb

@@ -1,0 +1,83 @@
+// The engine-neutral index interface. Every index in the three engines
+// (faisslike, pase, bridge) implements this, so benchmarks, examples, and
+// the SQL executor can drive any of them interchangeably.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/profiler.h"
+#include "common/status.h"
+#include "core/parallel.h"
+#include "topk/neighbor.h"
+
+namespace vecdb {
+
+/// Per-query knobs. Field names follow the paper's Table II.
+struct SearchParams {
+  size_t k = 100;        ///< top-k result size
+  uint32_t nprobe = 20;  ///< IVF buckets probed (IVF_* indexes only)
+  uint32_t efs = 200;    ///< HNSW search queue length (HNSW only)
+  int num_threads = 1;   ///< intra-query parallelism (RC#3)
+  Profiler* profiler = nullptr;  ///< optional phase breakdown capture
+  /// Optional per-worker busy/serial accounting (Fig 18 scaling model).
+  ParallelAccounting* accounting = nullptr;
+};
+
+/// Wall-clock split of index construction, matching the paper's
+/// training/adding decomposition (Fig 3).
+struct BuildStats {
+  double train_seconds = 0.0;
+  double add_seconds = 0.0;
+  double total_seconds() const { return train_seconds + add_seconds; }
+  /// Worker accounting for parallel builds (Fig 9 scaling model).
+  ParallelAccounting accounting;
+};
+
+/// Abstract approximate-nearest-neighbor index over row-major float data.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Trains internal structures (if any) and adds vectors 0..n-1.
+  /// Populates build_stats().
+  virtual Status Build(const float* data, size_t n) = 0;
+
+  /// Inserts one vector after Build; its id is the current NumVectors().
+  /// Indexes without incremental maintenance return NotSupported.
+  virtual Status Insert(const float* vec) {
+    (void)vec;
+    return Status::NotSupported(Describe() +
+                                ": incremental insert not supported");
+  }
+
+  /// Tombstones a row id: it stops appearing in results (amdelete; the
+  /// space is reclaimed on rebuild, like PostgreSQL's VACUUM). Fails with
+  /// NotFound if the id was never indexed or is already deleted.
+  virtual Status Delete(int64_t id) {
+    (void)id;
+    return Status::NotSupported(Describe() + ": delete not supported");
+  }
+
+  /// Top-k search; results ascending by distance.
+  virtual Result<std::vector<Neighbor>> Search(
+      const float* query, const SearchParams& params) const = 0;
+
+  /// Total bytes the index occupies (paper's "index size" metric).
+  virtual size_t SizeBytes() const = 0;
+
+  /// Number of indexed vectors.
+  virtual size_t NumVectors() const = 0;
+
+  /// Human-readable one-line description ("faisslike::IVF_FLAT c=1000").
+  virtual std::string Describe() const = 0;
+
+  /// Construction timing recorded by the last Build().
+  const BuildStats& build_stats() const { return build_stats_; }
+
+ protected:
+  BuildStats build_stats_;
+};
+
+}  // namespace vecdb

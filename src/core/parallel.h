@@ -1,0 +1,47 @@
+// Work accounting for the parallel-scaling experiments (paper Fig 9 and
+// Fig 18). The reproduction container has a single core, so wall-clock time
+// cannot demonstrate multi-thread scaling; instead, engines record how much
+// busy time each worker accumulated and how much time was inherently
+// serialized (global-lock critical sections, result merging, or
+// BLAS-delegated kernels). The modeled makespan
+//     max(worker busy) + serialized
+// is what a machine with one core per worker would observe, and it exposes
+// exactly the contrast the paper measures: Faiss's local-heap reduction has
+// a negligible serial term, while PASE's locked global heap serializes
+// every insertion.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace vecdb {
+
+/// Per-worker busy time plus serialized time for one parallel operation.
+struct ParallelAccounting {
+  std::vector<int64_t> worker_busy_nanos;
+  int64_t serial_nanos = 0;
+
+  /// Clears counters and sizes the per-worker slots.
+  void Reset(int num_workers) {
+    worker_busy_nanos.assign(static_cast<size_t>(num_workers), 0);
+    serial_nanos = 0;
+  }
+
+  /// Modeled wall seconds on one core per worker: critical path of the
+  /// static-partitioned phase plus everything serialized.
+  double ModeledSeconds() const {
+    int64_t busy = 0;
+    for (int64_t b : worker_busy_nanos) busy = std::max(busy, b);
+    return (busy + serial_nanos) * 1e-9;
+  }
+
+  /// Total CPU work in seconds (busy + serial), independent of thread count.
+  double TotalWorkSeconds() const {
+    int64_t total = serial_nanos;
+    for (int64_t b : worker_busy_nanos) total += b;
+    return total * 1e-9;
+  }
+};
+
+}  // namespace vecdb

@@ -1,0 +1,37 @@
+// Shared tombstone set used by every index's Delete() implementation:
+// deleted ids are filtered at search time and reclaimed on rebuild.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/status.h"
+
+namespace vecdb {
+
+/// Set of deleted row ids with cheap emptiness fast-path.
+class TombstoneSet {
+ public:
+  /// Marks `id` deleted; NotFound if it already is.
+  Status Mark(int64_t id) {
+    if (!set_.insert(id).second) {
+      return Status::NotFound("id " + std::to_string(id) +
+                              " already deleted");
+    }
+    return Status::OK();
+  }
+
+  /// True if `id` is deleted. One branch when nothing was ever deleted.
+  bool Contains(int64_t id) const {
+    return !set_.empty() && set_.count(id) != 0;
+  }
+
+  size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+  void Clear() { set_.clear(); }
+
+ private:
+  std::unordered_set<int64_t> set_;
+};
+
+}  // namespace vecdb

@@ -1,0 +1,62 @@
+// Umbrella header: the public API of the vecdb library.
+//
+// Three engines implement the same VectorIndex interface:
+//   vecdb::faisslike — specialized in-memory engine (Faiss analog)
+//   vecdb::pase      — generalized page-resident engine (PASE/PostgreSQL
+//                      analog, over the pgstub substrate)
+//   vecdb::bridge    — the paper's §IX-C guidelines applied
+// plus vecdb::sql::MiniDatabase, the SQL front end over the substrate.
+#pragma once
+
+#include "common/profiler.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+#include "distance/kernels.h"
+#include "distance/metric.h"
+#include "distance/sgemm.h"
+
+#include "topk/heaps.h"
+#include "topk/neighbor.h"
+
+#include "clustering/kmeans.h"
+#include "quantizer/pq.h"
+#include "quantizer/sq8.h"
+
+#include "datasets/dataset.h"
+#include "datasets/ground_truth.h"
+#include "datasets/io.h"
+#include "datasets/registry.h"
+#include "datasets/synthetic.h"
+
+#include "core/experiment.h"
+#include "core/factory.h"
+#include "core/index.h"
+#include "core/parallel.h"
+
+#include "faisslike/flat_index.h"
+#include "faisslike/hnsw.h"
+#include "faisslike/ivf_flat.h"
+#include "faisslike/ivf_pq.h"
+#include "faisslike/ivf_sq8.h"
+
+#include "pgstub/bufmgr.h"
+#include "pgstub/heap_table.h"
+#include "pgstub/index_am.h"
+#include "pgstub/page.h"
+#include "pgstub/smgr.h"
+#include "pgstub/wal.h"
+
+#include "pase/hnsw.h"
+#include "pase/ivf_flat.h"
+#include "pase/ivf_pq.h"
+#include "pase/ivf_sq8.h"
+#include "pase/pase_common.h"
+
+#include "bridge/bridged_hnsw.h"
+#include "bridge/bridged_ivf_flat.h"
+
+#include "sql/database.h"
+#include "sql/parser.h"

@@ -1,0 +1,31 @@
+// In-memory dataset container shared by tests, examples, and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+
+namespace vecdb {
+
+/// A base set, a query set, and (optionally) exact ground truth.
+struct Dataset {
+  std::string name;
+  uint32_t dim = 0;
+  size_t num_base = 0;
+  size_t num_queries = 0;
+  AlignedFloats base;     ///< num_base * dim row-major floats
+  AlignedFloats queries;  ///< num_queries * dim row-major floats
+
+  /// ground_truth[q] holds the exact nearest ids for query q, ascending by
+  /// distance; empty until ComputeGroundTruth is called.
+  std::vector<std::vector<int64_t>> ground_truth;
+
+  const float* base_vector(size_t i) const { return base.data() + i * dim; }
+  const float* query_vector(size_t i) const {
+    return queries.data() + i * dim;
+  }
+};
+
+}  // namespace vecdb

@@ -1,0 +1,58 @@
+#include "datasets/ground_truth.h"
+
+#include <unordered_set>
+
+#include "distance/kernels.h"
+#include "topk/heaps.h"
+
+namespace vecdb {
+
+void ComputeGroundTruth(Dataset* ds, size_t k, Metric metric,
+                        ThreadPool* pool) {
+  ds->ground_truth.assign(ds->num_queries, {});
+  auto run = [&](size_t qbegin, size_t qend) {
+    for (size_t q = qbegin; q < qend; ++q) {
+      const float* query = ds->query_vector(q);
+      KMaxHeap heap(k);
+      for (size_t i = 0; i < ds->num_base; ++i) {
+        const float dist =
+            Distance(metric, query, ds->base_vector(i), ds->dim);
+        heap.Push(dist, static_cast<int64_t>(i));
+      }
+      auto sorted = heap.TakeSorted();
+      auto& gt = ds->ground_truth[q];
+      gt.reserve(sorted.size());
+      for (const auto& nb : sorted) gt.push_back(nb.id);
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(ds->num_queries,
+                      [&](int, size_t b, size_t e) { run(b, e); });
+  } else {
+    run(0, ds->num_queries);
+  }
+}
+
+double RecallAtK(const std::vector<Neighbor>& results,
+                 const std::vector<int64_t>& gt, size_t k) {
+  const size_t depth = std::min({k, gt.size(), results.size()});
+  if (depth == 0) return 0.0;
+  std::unordered_set<int64_t> truth(gt.begin(), gt.begin() + depth);
+  size_t hits = 0;
+  for (size_t i = 0; i < std::min(k, results.size()); ++i) {
+    if (truth.count(results[i].id) != 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(depth);
+}
+
+double MeanRecallAtK(const std::vector<std::vector<Neighbor>>& results,
+                     const std::vector<std::vector<int64_t>>& gt, size_t k) {
+  if (results.empty() || results.size() != gt.size()) return 0.0;
+  double total = 0.0;
+  for (size_t q = 0; q < results.size(); ++q) {
+    total += RecallAtK(results[q], gt[q], k);
+  }
+  return total / static_cast<double>(results.size());
+}
+
+}  // namespace vecdb

@@ -1,0 +1,28 @@
+// Exact nearest-neighbor computation and recall measurement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "datasets/dataset.h"
+#include "distance/metric.h"
+#include "topk/neighbor.h"
+
+namespace vecdb {
+
+/// Fills `ds->ground_truth` with the exact top-k ids per query by brute
+/// force over the base set. `pool` (optional) parallelizes over queries.
+void ComputeGroundTruth(Dataset* ds, size_t k, Metric metric,
+                        ThreadPool* pool = nullptr);
+
+/// Fraction of the exact top-k ids that appear in `results` (recall@k).
+/// Uses min(k, |gt|, |results|) as the denominator guard.
+double RecallAtK(const std::vector<Neighbor>& results,
+                 const std::vector<int64_t>& gt, size_t k);
+
+/// Mean recall@k across all queries of a result batch.
+double MeanRecallAtK(const std::vector<std::vector<Neighbor>>& results,
+                     const std::vector<std::vector<int64_t>>& gt, size_t k);
+
+}  // namespace vecdb

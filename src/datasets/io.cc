@@ -1,0 +1,91 @@
+#include "datasets/io.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace vecdb {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+Result<FvecsData> ReadFvecs(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  FvecsData out;
+  std::vector<float> row;
+  for (;;) {
+    int32_t d = 0;
+    const size_t got = std::fread(&d, sizeof(d), 1, f.get());
+    if (got == 0) break;  // clean EOF
+    if (d <= 0) return Status::Corruption(path + ": non-positive dim");
+    if (out.dim == 0) {
+      out.dim = static_cast<uint32_t>(d);
+    } else if (out.dim != static_cast<uint32_t>(d)) {
+      return Status::Corruption(path + ": inconsistent dims");
+    }
+    row.resize(static_cast<size_t>(d));
+    if (std::fread(row.data(), sizeof(float), row.size(), f.get()) !=
+        row.size()) {
+      return Status::Corruption(path + ": truncated record");
+    }
+    out.values.Append(row.data(), row.size());
+    ++out.num;
+  }
+  return out;
+}
+
+Status WriteFvecs(const std::string& path, const float* data, size_t n,
+                  uint32_t dim) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot create " + path);
+  const int32_t d = static_cast<int32_t>(dim);
+  for (size_t i = 0; i < n; ++i) {
+    if (std::fwrite(&d, sizeof(d), 1, f.get()) != 1 ||
+        std::fwrite(data + i * dim, sizeof(float), dim, f.get()) != dim) {
+      return Status::IOError("short write to " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<int32_t>>> ReadIvecs(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  std::vector<std::vector<int32_t>> rows;
+  for (;;) {
+    int32_t d = 0;
+    const size_t got = std::fread(&d, sizeof(d), 1, f.get());
+    if (got == 0) break;
+    if (d <= 0) return Status::Corruption(path + ": non-positive dim");
+    std::vector<int32_t> row(static_cast<size_t>(d));
+    if (std::fread(row.data(), sizeof(int32_t), row.size(), f.get()) !=
+        row.size()) {
+      return Status::Corruption(path + ": truncated record");
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Status WriteIvecs(const std::string& path,
+                  const std::vector<std::vector<int32_t>>& rows) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot create " + path);
+  for (const auto& row : rows) {
+    const int32_t d = static_cast<int32_t>(row.size());
+    if (std::fwrite(&d, sizeof(d), 1, f.get()) != 1 ||
+        std::fwrite(row.data(), sizeof(int32_t), row.size(), f.get()) !=
+            row.size()) {
+      return Status::IOError("short write to " + path);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vecdb

@@ -1,0 +1,37 @@
+// fvecs/ivecs readers and writers (the TEXMEX format SIFT1M/GIST1M ship in).
+// If the real dataset files are present, benchmarks can run on them instead
+// of the synthetic analogs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+
+namespace vecdb {
+
+/// A matrix loaded from an fvecs file: n row-major d-dim float rows.
+struct FvecsData {
+  uint32_t dim = 0;
+  size_t num = 0;
+  AlignedFloats values;
+};
+
+/// Reads an .fvecs file (each record: int32 dim, then dim floats).
+/// Fails with IOError if unreadable or Corruption on inconsistent dims.
+Result<FvecsData> ReadFvecs(const std::string& path);
+
+/// Writes row-major float vectors to an .fvecs file.
+Status WriteFvecs(const std::string& path, const float* data, size_t n,
+                  uint32_t dim);
+
+/// Reads an .ivecs file (each record: int32 dim, then dim int32s), the
+/// TEXMEX ground-truth format.
+Result<std::vector<std::vector<int32_t>>> ReadIvecs(const std::string& path);
+
+/// Writes int32 rows to an .ivecs file (all rows must share `dim`).
+Status WriteIvecs(const std::string& path,
+                  const std::vector<std::vector<int32_t>>& rows);
+
+}  // namespace vecdb

@@ -1,0 +1,61 @@
+#include "datasets/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "datasets/synthetic.h"
+
+namespace vecdb {
+
+const std::vector<DatasetSpec>& PaperDatasets() {
+  // Table I + Table II of the paper. pq_m values: 16 (SIFT1M/SIFT10M/DEEP1M),
+  // 60 (GIST1M), 12 (DEEP10M), 10 (TURING10M). c: 1000 for the 1M sets,
+  // 3162 (~sqrt(10M)) for the 10M sets.
+  static const std::vector<DatasetSpec> kSpecs = {
+      {"SIFT1M", 128, 1000000, 10000, 1000, 16},
+      {"GIST1M", 960, 1000000, 1000, 1000, 60},
+      {"DEEP1M", 256, 1000000, 1000, 1000, 16},
+      {"SIFT10M", 128, 10000000, 10000, 3162, 16},
+      {"DEEP10M", 96, 10000000, 10000, 3162, 12},
+      {"TURING10M", 100, 10000000, 10000, 3162, 10},
+  };
+  return kSpecs;
+}
+
+const DatasetSpec* FindDataset(const std::string& name) {
+  auto lower = [](std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+  };
+  const std::string want = lower(name);
+  for (const auto& spec : PaperDatasets()) {
+    if (lower(spec.name) == want) return &spec;
+  }
+  return nullptr;
+}
+
+uint32_t ScaledClusterCount(const DatasetSpec& spec, double scale) {
+  if (scale >= 1.0) return spec.paper_c;
+  const double c = spec.paper_c * std::sqrt(scale);
+  return std::max(16u, static_cast<uint32_t>(c));
+}
+
+Dataset MakePaperAnalog(const DatasetSpec& spec, double scale, uint64_t seed) {
+  SyntheticOptions opt;
+  opt.dim = spec.dim;
+  opt.num_base = std::max<size_t>(
+      1000, static_cast<size_t>(spec.paper_num_base * scale));
+  opt.num_queries = std::clamp<size_t>(
+      static_cast<size_t>(spec.paper_num_queries * scale), 16,
+      spec.paper_num_queries);
+  // Natural mode count tracks the IVF cluster regime loosely.
+  opt.num_natural_clusters = std::max(16u, ScaledClusterCount(spec, scale) / 4);
+  opt.seed = seed;
+  Dataset ds = GenerateClustered(opt);
+  ds.name = spec.name;
+  return ds;
+}
+
+}  // namespace vecdb

@@ -1,0 +1,42 @@
+// Registry of the paper's six benchmark datasets (Table I) with their
+// Table II parameter defaults, plus synthetic-analog construction at a
+// chosen scale. If the real fvecs files are available they can be loaded
+// instead via datasets/io.h; all benchmarks consume a `Dataset` either way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datasets/dataset.h"
+
+namespace vecdb {
+
+/// Static description of one paper dataset and its default parameters.
+struct DatasetSpec {
+  std::string name;        ///< e.g. "SIFT1M"
+  uint32_t dim;            ///< paper Table I dimensionality (kept exact)
+  size_t paper_num_base;   ///< paper Table I vector count
+  size_t paper_num_queries;
+  uint32_t paper_c;        ///< Table II IVF cluster count for this dataset
+  uint32_t pq_m;           ///< Table II number of PQ sub-vectors
+};
+
+/// The six datasets from the paper's Table I in paper order.
+const std::vector<DatasetSpec>& PaperDatasets();
+
+/// Looks up a spec by (case-insensitive) name; nullptr if unknown.
+const DatasetSpec* FindDataset(const std::string& name);
+
+/// Materializes a synthetic analog of `spec` at `scale` (fraction of the
+/// paper's base count, e.g. 0.06 -> 60k vectors for a 1M dataset). Query
+/// count scales likewise but is clamped to [16, paper count]. The IVF
+/// cluster count shrinks as sqrt(scale) to preserve the paper's
+/// c = sqrt(n) regime; retrieve it via ScaledClusterCount.
+Dataset MakePaperAnalog(const DatasetSpec& spec, double scale,
+                        uint64_t seed = 42);
+
+/// The Table II cluster count adjusted for a scaled-down analog.
+uint32_t ScaledClusterCount(const DatasetSpec& spec, double scale);
+
+}  // namespace vecdb

@@ -1,0 +1,50 @@
+#include "datasets/synthetic.h"
+
+#include <cstring>
+
+#include "common/random.h"
+
+namespace vecdb {
+
+Dataset GenerateClustered(const SyntheticOptions& options) {
+  Dataset ds;
+  ds.name = "synthetic-d" + std::to_string(options.dim);
+  ds.dim = options.dim;
+  ds.num_base = options.num_base;
+  ds.num_queries = options.num_queries;
+  ds.base.Resize(options.num_base * options.dim);
+  ds.queries.Resize(options.num_queries * options.dim);
+
+  Rng rng(options.seed);
+  const uint32_t modes = options.num_natural_clusters == 0
+                             ? 1
+                             : options.num_natural_clusters;
+
+  // Mode centers on the unit hypercube scaled by dimension-stable factor.
+  AlignedFloats centers(static_cast<size_t>(modes) * options.dim);
+  for (size_t i = 0; i < centers.size(); ++i) {
+    centers[i] = rng.UniformFloat();
+  }
+
+  for (size_t i = 0; i < options.num_base; ++i) {
+    const uint32_t m = static_cast<uint32_t>(rng.Uniform(modes));
+    const float* c = centers.data() + static_cast<size_t>(m) * options.dim;
+    float* x = ds.base.data() + i * options.dim;
+    for (uint32_t t = 0; t < options.dim; ++t) {
+      x[t] = c[t] + options.cluster_stddev * rng.Gaussian();
+    }
+  }
+
+  // Queries: perturb random base vectors so each has near neighbors.
+  for (size_t q = 0; q < options.num_queries; ++q) {
+    const size_t pick = rng.Uniform(options.num_base);
+    const float* x = ds.base.data() + pick * options.dim;
+    float* out = ds.queries.data() + q * options.dim;
+    for (uint32_t t = 0; t < options.dim; ++t) {
+      out[t] = x[t] + 0.25f * options.cluster_stddev * rng.Gaussian();
+    }
+  }
+  return ds;
+}
+
+}  // namespace vecdb

@@ -1,0 +1,30 @@
+// Synthetic clustered dataset generation. Stands in for the paper's real
+// embedding datasets (SIFT/GIST/DEEP/TURING), which are not available
+// offline; dimensionality — the property that drives kernel and index cost —
+// is matched exactly, and a mixture-of-Gaussians structure gives IVF/HNSW
+// realistic cluster locality.
+#pragma once
+
+#include <cstdint>
+
+#include "datasets/dataset.h"
+
+namespace vecdb {
+
+/// Parameters of the mixture-of-Gaussians generator.
+struct SyntheticOptions {
+  uint32_t dim = 128;
+  size_t num_base = 10000;
+  size_t num_queries = 100;
+  /// Natural modes in the data; unrelated to any index's cluster count.
+  uint32_t num_natural_clusters = 64;
+  /// Within-mode standard deviation relative to unit mode centers.
+  float cluster_stddev = 0.15f;
+  uint64_t seed = 42;
+};
+
+/// Generates base vectors from a random Gaussian mixture and queries as
+/// perturbed base members (so nearest neighbors are meaningful).
+Dataset GenerateClustered(const SyntheticOptions& options);
+
+}  // namespace vecdb

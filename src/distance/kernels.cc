@@ -1,0 +1,93 @@
+#include "distance/kernels.h"
+
+#include <cmath>
+
+namespace vecdb {
+
+float L2Sqr(const float* a, const float* b, size_t d) {
+  // Four accumulators break the loop-carried dependence so GCC vectorizes
+  // and pipelines the adds.
+  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; i < d; ++i) {
+    const float di = a[i] - b[i];
+    s0 += di * di;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+__attribute__((optimize("no-tree-vectorize", "no-unroll-loops")))
+float L2SqrRef(const float* a, const float* b, size_t d) {
+  float s = 0.f;
+  for (size_t i = 0; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+float InnerProduct(const float* a, const float* b, size_t d) {
+  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < d; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+float L2NormSqr(const float* a, size_t d) { return InnerProduct(a, a, d); }
+
+float CosineDistance(const float* a, const float* b, size_t d) {
+  const float dot = InnerProduct(a, b, d);
+  const float na = L2NormSqr(a, d);
+  const float nb = L2NormSqr(b, d);
+  if (na == 0.f || nb == 0.f) return 1.f;
+  return 1.f - dot / std::sqrt(na * nb);
+}
+
+float Distance(Metric metric, const float* a, const float* b, size_t d) {
+  switch (metric) {
+    case Metric::kL2:
+      return L2Sqr(a, b, d);
+    case Metric::kInnerProduct:
+      return -InnerProduct(a, b, d);
+    case Metric::kCosine:
+      return CosineDistance(a, b, d);
+  }
+  return 0.f;
+}
+
+void DistanceBatch(Metric metric, const float* query, const float* base,
+                   size_t n, size_t d, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Distance(metric, query, base + i * d, d);
+  }
+}
+
+std::string_view MetricName(Metric m) {
+  switch (m) {
+    case Metric::kL2:
+      return "l2";
+    case Metric::kInnerProduct:
+      return "ip";
+    case Metric::kCosine:
+      return "cosine";
+  }
+  return "unknown";
+}
+
+}  // namespace vecdb

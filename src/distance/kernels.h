@@ -1,0 +1,42 @@
+// Scalar (auto-vectorized) distance kernels. `L2Sqr` is the hot function the
+// paper profiles as fvec_L2sqr / fvec_L2sqr_ref in both PASE and Faiss.
+#pragma once
+
+#include <cstddef>
+
+#include "distance/metric.h"
+
+namespace vecdb {
+
+/// Squared Euclidean distance between two d-dimensional vectors
+/// (optimized: unrolled, auto-vectorized — the Faiss fvec_L2sqr).
+float L2Sqr(const float* a, const float* b, size_t d);
+
+/// Reference scalar implementation (PASE's fvec_L2sqr_ref): a plain loop
+/// compiled without vectorization or unrolling. The paper identifies this
+/// kernel as the IVF build bottleneck in PASE (RC#1's counterpart); it is
+/// used on the PASE adding/training paths and by the "SGEMM disabled"
+/// Faiss configurations, which the paper made "use the same code as in
+/// PASE" (Fig 4/6).
+float L2SqrRef(const float* a, const float* b, size_t d);
+
+/// Inner product of two d-dimensional vectors.
+float InnerProduct(const float* a, const float* b, size_t d);
+
+/// Squared L2 norm of a d-dimensional vector.
+float L2NormSqr(const float* a, size_t d);
+
+/// Cosine distance 1 - (a·b)/(|a||b|); returns 1 if either vector is zero.
+float CosineDistance(const float* a, const float* b, size_t d);
+
+/// Dispatches to the kernel for `metric`, returning a value where smaller
+/// means more similar (inner product is negated).
+float Distance(Metric metric, const float* a, const float* b, size_t d);
+
+/// Distances from one query to `n` contiguous base vectors (row-major),
+/// writing `n` outputs. A simple loop over the single-pair kernel; both
+/// engines use this on paths where the paper's systems do likewise.
+void DistanceBatch(Metric metric, const float* query, const float* base,
+                   size_t n, size_t d, float* out);
+
+}  // namespace vecdb

@@ -1,0 +1,20 @@
+// Similarity metrics supported by every index in vecdb. The paper's
+// experiments use Euclidean distance (PASE similarity "type 0").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace vecdb {
+
+/// Distance/similarity function used to rank vectors.
+enum class Metric : uint8_t {
+  kL2 = 0,            ///< squared Euclidean distance (smaller is closer)
+  kInnerProduct = 1,  ///< negative inner product (smaller is closer)
+  kCosine = 2,        ///< cosine distance 1 - cos(a, b) (smaller is closer)
+};
+
+/// Canonical lowercase name ("l2", "ip", "cosine").
+std::string_view MetricName(Metric m);
+
+}  // namespace vecdb

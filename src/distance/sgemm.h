@@ -1,0 +1,38 @@
+// Hand-written cache-blocked SGEMM. The offline build has no BLAS, so this
+// stands in for the library Faiss calls through (paper RC#1). What matters
+// for reproducing RC#1 is the algorithmic restructuring: computing all
+// centroid-vector distances via ‖x‖² + ‖c‖² − 2·x·c with one matrix-matrix
+// product and precomputed norms, instead of a per-pair L2 loop.
+#pragma once
+
+#include <cstddef>
+
+namespace vecdb {
+
+/// C (m×n, row-major) = A (m×k, row-major) · Bᵀ where B is (n×k, row-major).
+///
+/// The B-transposed convention matches vector-search use: A holds queries or
+/// base vectors, B holds centroids, both stored row-major with dimension k.
+/// Register-tiled 4x4 micro-kernel with L2-sized panel blocking.
+void SgemmTransB(size_t m, size_t n, size_t k, const float* a, const float* b,
+                 float* c);
+
+/// Computes squared L2 norms of `n` row-major k-dim vectors into `out[n]`.
+void RowNormsSqr(const float* x, size_t n, size_t k, float* out);
+
+/// All-pairs squared L2 distances via the SGEMM decomposition:
+/// out[i*ny + j] = ‖x_i‖² + ‖y_j‖² − 2 x_i·y_j.
+///
+/// `x_norms` / `y_norms` may be null, in which case norms are computed
+/// internally; pass precomputed norms to amortize across calls (this is the
+/// "store those items in a table" optimization the paper describes).
+void AllPairsL2Sqr(const float* x, size_t nx, const float* y, size_t ny,
+                   size_t d, const float* x_norms, const float* y_norms,
+                   float* out);
+
+/// Reference all-pairs distances via the per-pair kernel (the PASE way).
+/// Used by tests and the SGEMM-disabled benchmark configurations.
+void AllPairsL2SqrNaive(const float* x, size_t nx, const float* y, size_t ny,
+                        size_t d, float* out);
+
+}  // namespace vecdb

@@ -1,0 +1,53 @@
+#include "faisslike/flat_index.h"
+
+#include "common/timer.h"
+#include "distance/kernels.h"
+#include "topk/heaps.h"
+
+namespace vecdb::faisslike {
+
+Status FlatIndex::Build(const float* data, size_t n) {
+  if (data == nullptr && n > 0) {
+    return Status::InvalidArgument("FlatIndex::Build: null data");
+  }
+  Timer timer;
+  vectors_.Resize(0);
+  ids_.clear();
+  vectors_.Append(data, n * dim_);
+  ids_.reserve(n);
+  for (size_t i = 0; i < n; ++i) ids_.push_back(static_cast<int64_t>(i));
+  build_stats_ = {};
+  build_stats_.add_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status FlatIndex::Add(const float* vec, int64_t id) {
+  if (vec == nullptr) return Status::InvalidArgument("FlatIndex::Add: null");
+  vectors_.Append(vec, dim_);
+  ids_.push_back(id);
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> FlatIndex::Search(
+    const float* query, const SearchParams& params) const {
+  if (query == nullptr) {
+    return Status::InvalidArgument("FlatIndex::Search: null query");
+  }
+  if (params.k == 0) {
+    return Status::InvalidArgument("FlatIndex::Search: k == 0");
+  }
+  KMaxHeap heap(params.k);
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    const float dist =
+        Distance(metric_, query, vectors_.data() + i * dim_, dim_);
+    heap.Push(dist, ids_[i]);
+  }
+  return heap.TakeSorted();
+}
+
+std::string FlatIndex::Describe() const {
+  return "faisslike::FLAT dim=" + std::to_string(dim_) + " metric=" +
+         std::string(MetricName(metric_));
+}
+
+}  // namespace vecdb::faisslike

@@ -1,0 +1,285 @@
+#include "faisslike/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/timer.h"
+#include "distance/kernels.h"
+
+namespace vecdb::faisslike {
+
+int HnswIndex::RandomLevel() {
+  const double u = rng_.UniformDouble();
+  const double mult = 1.0 / std::log(static_cast<double>(options_.bnn));
+  const int level = static_cast<int>(-std::log(u + 1e-30) * mult);
+  return std::min(level, 31);
+}
+
+size_t HnswIndex::LinkOffset(uint32_t node, int level) const {
+  size_t off = link_offset_[node];
+  if (level > 0) {
+    off += LevelCapacity(0) + static_cast<size_t>(level - 1) * options_.bnn;
+  }
+  return off;
+}
+
+std::vector<uint32_t> HnswIndex::NeighborsOf(uint32_t node, int level) const {
+  const uint16_t count = link_counts_[count_offset_[node] + level];
+  const size_t off = LinkOffset(node, level);
+  return {links_.begin() + off, links_.begin() + off + count};
+}
+
+uint32_t HnswIndex::GreedyClosest(const float* query, uint32_t entry,
+                                  int level, Profiler* profiler) const {
+  ProfScope scope(profiler, "GreedyUpdate");
+  uint32_t cur = entry;
+  float cur_dist = L2Sqr(query, NodeVector(cur), dim_);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    const uint16_t count = link_counts_[count_offset_[cur] + level];
+    const uint32_t* nbrs = links_.data() + LinkOffset(cur, level);
+    for (uint16_t i = 0; i < count; ++i) {
+      const float d = L2Sqr(query, NodeVector(nbrs[i]), dim_);
+      if (d < cur_dist) {
+        cur_dist = d;
+        cur = nbrs[i];
+        improved = true;
+      }
+    }
+  }
+  return cur;
+}
+
+std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
+                                             uint32_t entry, uint32_t ef,
+                                             int level,
+                                             Profiler* profiler) const {
+  // O(1) visited reset via epoch stamping — the cheap path PASE's HVTGet
+  // hash probing is contrasted against (Fig 8).
+  if (++visit_epoch_ == 0) {
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0u);
+    visit_epoch_ = 1;
+  }
+  const uint32_t epoch = visit_epoch_;
+
+  auto greater = [](const Neighbor& a, const Neighbor& b) { return b < a; };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(greater)>
+      candidates(greater);
+  KMaxHeap results(ef);
+
+  const float d0 = L2Sqr(query, NodeVector(entry), dim_);
+  visit_stamp_[entry] = epoch;
+  candidates.push({d0, static_cast<int64_t>(entry)});
+  results.Push(d0, entry);
+
+  std::vector<uint32_t> fresh;
+  fresh.reserve(LevelCapacity(level));
+  while (!candidates.empty()) {
+    const Neighbor c = candidates.top();
+    if (results.full() && c.dist > results.worst()) break;
+    candidates.pop();
+
+    const uint32_t node = static_cast<uint32_t>(c.id);
+    const uint16_t count = link_counts_[count_offset_[node] + level];
+    const uint32_t* nbrs = links_.data() + LinkOffset(node, level);
+
+    // Visited filtering — Faiss's array lookup, charged as HVTGet so the
+    // PASE hash-table variant is directly comparable.
+    fresh.clear();
+    {
+      ProfScope scope(profiler, "HVTGet");
+      for (uint16_t i = 0; i < count; ++i) {
+        const uint32_t u = nbrs[i];
+        if (visit_stamp_[u] != epoch) {
+          visit_stamp_[u] = epoch;
+          fresh.push_back(u);
+        }
+      }
+    }
+    // Distance batch over the unvisited frontier.
+    ProfScope scope(profiler, "fvec_L2sqr");
+    for (uint32_t u : fresh) {
+      const float d = L2Sqr(query, NodeVector(u), dim_);
+      if (!results.full() || d < results.worst()) {
+        results.Push(d, u);
+        candidates.push({d, static_cast<int64_t>(u)});
+      }
+    }
+  }
+  return results.TakeSorted();
+}
+
+std::vector<uint32_t> HnswIndex::SelectNeighbors(
+    const std::vector<Neighbor>& cands, uint32_t max_count,
+    Profiler* profiler) const {
+  ProfScope scope(profiler, "ShrinkNbList");
+  std::vector<uint32_t> selected;
+  selected.reserve(max_count);
+  for (const auto& c : cands) {
+    if (selected.size() >= max_count) break;
+    const float* cv = NodeVector(static_cast<uint32_t>(c.id));
+    bool keep = true;
+    for (uint32_t s : selected) {
+      if (L2Sqr(cv, NodeVector(s), dim_) < c.dist) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) selected.push_back(static_cast<uint32_t>(c.id));
+  }
+  return selected;
+}
+
+void HnswIndex::AddLinks(uint32_t node, const std::vector<uint32_t>& peers,
+                         int level, Profiler* profiler) {
+  ProfScope scope(profiler, "AddLink");
+  const uint32_t cap = LevelCapacity(level);
+
+  // Forward edges: node -> peers (node's list was empty at this level).
+  uint16_t& count = link_counts_[count_offset_[node] + level];
+  uint32_t* slots = links_.data() + LinkOffset(node, level);
+  for (uint32_t p : peers) {
+    if (count >= cap) break;
+    slots[count++] = p;
+  }
+
+  // Reverse edges: peer -> node, shrinking with the heuristic on overflow.
+  for (uint32_t p : peers) {
+    uint16_t& pcount = link_counts_[count_offset_[p] + level];
+    uint32_t* pslots = links_.data() + LinkOffset(p, level);
+    if (pcount < cap) {
+      pslots[pcount++] = node;
+      continue;
+    }
+    std::vector<Neighbor> merged;
+    merged.reserve(pcount + 1);
+    const float* pv = NodeVector(p);
+    for (uint16_t i = 0; i < pcount; ++i) {
+      merged.push_back({L2Sqr(pv, NodeVector(pslots[i]), dim_),
+                        static_cast<int64_t>(pslots[i])});
+    }
+    merged.push_back(
+        {L2Sqr(pv, NodeVector(node), dim_), static_cast<int64_t>(node)});
+    std::sort(merged.begin(), merged.end());
+    auto kept = SelectNeighbors(merged, cap, nullptr);
+    pcount = static_cast<uint16_t>(kept.size());
+    std::copy(kept.begin(), kept.end(), pslots);
+  }
+}
+
+Status HnswIndex::Add(const float* vec) {
+  if (vec == nullptr) return Status::InvalidArgument("Hnsw::Add: null vector");
+  Profiler* profiler = options_.profiler;
+
+  const uint32_t node = num_nodes_++;
+  const int level = RandomLevel();
+  vectors_.Append(vec, dim_);
+  node_level_.push_back(level);
+  link_offset_.push_back(links_.size());
+  links_.resize(links_.size() + LevelCapacity(0) +
+                static_cast<size_t>(level) * options_.bnn);
+  count_offset_.push_back(link_counts_.size());
+  link_counts_.resize(link_counts_.size() + level + 1, 0);
+  visit_stamp_.push_back(0);
+
+  if (node == 0) {
+    entry_point_ = 0;
+    max_level_ = level;
+    return Status::OK();
+  }
+
+  uint32_t cur = entry_point_;
+  // Descend through levels above the new node's level (GreedyUpdate).
+  for (int lev = max_level_; lev > level; --lev) {
+    cur = GreedyClosest(vec, cur, lev, profiler);
+  }
+
+  // Connect at each level from min(level, max_level_) down to 0.
+  for (int lev = std::min(level, max_level_); lev >= 0; --lev) {
+    std::vector<Neighbor> cands;
+    {
+      ProfScope scope(profiler, "SearchNbToAdd");
+      cands = SearchLayer(vec, cur, options_.efb, lev, profiler);
+    }
+    auto selected = SelectNeighbors(cands, options_.bnn, profiler);
+    AddLinks(node, selected, lev, profiler);
+    if (!cands.empty()) cur = static_cast<uint32_t>(cands.front().id);
+  }
+
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = node;
+  }
+  return Status::OK();
+}
+
+Status HnswIndex::Build(const float* data, size_t n) {
+  if (data == nullptr || n == 0) {
+    return Status::InvalidArgument("Hnsw::Build: empty input");
+  }
+  build_stats_ = {};
+  Timer timer;
+  for (size_t i = 0; i < n; ++i) {
+    VECDB_RETURN_NOT_OK(Add(data + i * dim_));
+  }
+  // HNSW has no training phase; everything is the adding phase.
+  build_stats_.add_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status HnswIndex::Delete(int64_t id) {
+  if (id < 0 || static_cast<uint32_t>(id) >= num_nodes_) {
+    return Status::NotFound("no node with id " + std::to_string(id));
+  }
+  return tombstones_.Mark(id);
+}
+
+Result<std::vector<Neighbor>> HnswIndex::Search(
+    const float* query, const SearchParams& params) const {
+  if (query == nullptr) {
+    return Status::InvalidArgument("Hnsw::Search: null query");
+  }
+  if (params.k == 0) return Status::InvalidArgument("Hnsw::Search: k == 0");
+  if (num_nodes_ == 0) {
+    return Status::InvalidArgument("Hnsw::Search: index is empty");
+  }
+  uint32_t cur = entry_point_;
+  for (int lev = max_level_; lev > 0; --lev) {
+    cur = GreedyClosest(query, cur, lev, params.profiler);
+  }
+  // Over-fetch by the tombstone count so deletions do not starve top-k.
+  const uint32_t ef = std::max<uint32_t>(
+      params.efs,
+      static_cast<uint32_t>(params.k + tombstones_.size()));
+  auto cands = SearchLayer(query, cur, ef, 0, params.profiler);
+  if (!tombstones_.empty()) {
+    std::vector<Neighbor> kept;
+    kept.reserve(cands.size());
+    for (const auto& nb : cands) {
+      if (!tombstones_.Contains(nb.id)) kept.push_back(nb);
+    }
+    cands = std::move(kept);
+  }
+  if (cands.size() > params.k) cands.resize(params.k);
+  return cands;
+}
+
+size_t HnswIndex::SizeBytes() const {
+  // Faiss-style accounting: raw vectors + 4-byte neighbor slots + per-node
+  // metadata. This is the in-memory footprint Fig 13 compares against.
+  return vectors_.size() * sizeof(float) + links_.size() * sizeof(uint32_t) +
+         link_counts_.size() * sizeof(uint16_t) +
+         link_offset_.size() * sizeof(size_t) +
+         count_offset_.size() * sizeof(size_t) +
+         node_level_.size() * sizeof(int);
+}
+
+std::string HnswIndex::Describe() const {
+  return "faisslike::HNSW dim=" + std::to_string(dim_) +
+         " bnn=" + std::to_string(options_.bnn) +
+         " efb=" + std::to_string(options_.efb);
+}
+
+}  // namespace vecdb::faisslike

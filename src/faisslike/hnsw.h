@@ -1,0 +1,128 @@
+// Specialized-engine HNSW (Faiss analog): hierarchical proximity graph with
+// contiguous 4-byte neighbor arrays, direct pointer access to vectors, and
+// an epoch-stamped visited table. Construction is instrumented with the
+// paper's Table III phases (SearchNbToAdd / AddLink / GreedyUpdate /
+// ShrinkNbList) and Fig 8 sub-phases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/random.h"
+#include "core/index.h"
+#include "core/tombstones.h"
+#include "topk/heaps.h"
+
+namespace vecdb::faisslike {
+
+/// Construction knobs for HnswIndex. Names follow the paper's Table II.
+struct HnswOptions {
+  uint32_t bnn = 16;   ///< base neighbor count M (level 0 holds 2*bnn)
+  uint32_t efb = 40;   ///< construction priority-queue length
+  uint64_t seed = 42;
+  Profiler* profiler = nullptr;  ///< phase breakdown during Build
+};
+
+/// In-memory hierarchical navigable small world graph.
+class HnswIndex final : public VectorIndex {
+ public:
+  HnswIndex(uint32_t dim, HnswOptions options)
+      : dim_(dim), options_(options), rng_(options.seed) {}
+
+  Status Build(const float* data, size_t n) override;
+
+  /// Inserts one vector (id is the insertion order).
+  Status Add(const float* vec);
+
+  /// Incremental insert via the graph insertion path.
+  Status Insert(const float* vec) override { return Add(vec); }
+
+  /// Tombstones a node: it stays in the graph for routing but is filtered
+  /// from results (the standard HNSW deletion strategy).
+  Status Delete(int64_t id) override;
+
+  Result<std::vector<Neighbor>> Search(const float* query,
+                                       const SearchParams& params) const override;
+
+  size_t SizeBytes() const override;
+  size_t NumVectors() const override {
+    return num_nodes_ - tombstones_.size();
+  }
+  std::string Describe() const override;
+
+  /// Persists the built graph (vectors + links) to a file.
+  Status Save(const std::string& path) const;
+
+  /// Loads a graph previously written by Save.
+  static Result<HnswIndex> Load(const std::string& path);
+
+  int max_level() const { return max_level_; }
+  /// Top level of `node` in the hierarchy.
+  int NodeLevel(uint32_t node) const { return node_level_[node]; }
+  /// Neighbor ids of `node` at `level` (testing/diagnostics; `level` must
+  /// be <= NodeLevel(node)).
+  std::vector<uint32_t> NeighborsOf(uint32_t node, int level) const;
+
+ private:
+  /// Capacity of a node's neighbor list at a level: 2*bnn at level 0
+  /// (paper §II-B), bnn above.
+  uint32_t LevelCapacity(int level) const {
+    return level == 0 ? 2 * options_.bnn : options_.bnn;
+  }
+
+  /// Draws the level for a new node: floor(-ln(U) / ln(bnn)).
+  int RandomLevel();
+
+  /// Start offset of the neighbor slots of `node` at `level`.
+  size_t LinkOffset(uint32_t node, int level) const;
+
+  /// Greedy single-entry descent at `level` (GreedyUpdate phase).
+  uint32_t GreedyClosest(const float* query, uint32_t entry, int level,
+                         Profiler* profiler) const;
+
+  /// Beam search at one level; returns up to `ef` candidates ascending.
+  /// Instrumented with the Fig 8 sub-phase labels.
+  std::vector<Neighbor> SearchLayer(const float* query, uint32_t entry,
+                                    uint32_t ef, int level,
+                                    Profiler* profiler) const;
+
+  /// HNSW neighbor-selection heuristic (ShrinkNbList phase): keeps a
+  /// candidate only if it is closer to the base point than to every
+  /// already-selected neighbor; caps at `max_count`.
+  std::vector<uint32_t> SelectNeighbors(const std::vector<Neighbor>& cands,
+                                        uint32_t max_count,
+                                        Profiler* profiler) const;
+
+  /// Connects `node` <-> `peers` at `level`, shrinking overflow lists
+  /// (AddLink phase).
+  void AddLinks(uint32_t node, const std::vector<uint32_t>& peers, int level,
+                Profiler* profiler);
+
+  const float* NodeVector(uint32_t node) const {
+    return vectors_.data() + static_cast<size_t>(node) * dim_;
+  }
+
+  uint32_t dim_;
+  HnswOptions options_;
+  Rng rng_;
+
+  AlignedFloats vectors_;
+  std::vector<int> node_level_;
+  std::vector<size_t> link_offset_;     // per node: start into links_
+  std::vector<uint32_t> links_;         // flat neighbor slots, 4 bytes each
+  std::vector<uint16_t> link_counts_;   // used slots per (node, level)
+  std::vector<size_t> count_offset_;    // per node: start into link_counts_
+
+  uint32_t num_nodes_ = 0;
+  TombstoneSet tombstones_;
+  uint32_t entry_point_ = 0;
+  int max_level_ = -1;
+
+  // Epoch-stamped visited table (Faiss's VisitedTable): O(1) reset.
+  mutable std::vector<uint32_t> visit_stamp_;
+  mutable uint32_t visit_epoch_ = 0;
+};
+
+}  // namespace vecdb::faisslike

@@ -1,0 +1,102 @@
+// Specialized-engine IVF_FLAT (Faiss analog): K-means codebook, per-bucket
+// contiguous vector storage, SGEMM-batched assignment in the adding phase
+// (paper RC#1), k-sized result heaps (RC#6), and lock-free local-heap
+// parallel search (RC#3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/thread_pool.h"
+#include "clustering/kmeans.h"
+#include "core/index.h"
+#include "core/tombstones.h"
+#include "topk/heaps.h"
+
+namespace vecdb::faisslike {
+
+/// Construction knobs for IvfFlatIndex. Names follow the paper's Table II.
+struct IvfFlatOptions {
+  uint32_t num_clusters = 256;  ///< c
+  double sample_ratio = 0.01;   ///< sr — training sample fraction
+  int train_iterations = 10;    ///< K-means Lloyd iterations
+  bool use_sgemm = true;        ///< RC#1 toggle (Fig 4 disables this)
+  uint64_t seed = 42;
+  int num_threads = 1;          ///< build parallelism (RC#3)
+  Profiler* profiler = nullptr;
+};
+
+/// In-memory inverted-file index with exact in-bucket distances.
+class IvfFlatIndex final : public VectorIndex {
+ public:
+  IvfFlatIndex(uint32_t dim, IvfFlatOptions options)
+      : dim_(dim), options_(options) {}
+
+  /// Training phase: learns the codebook from a sample of `data`.
+  Status Train(const float* data, size_t n);
+
+  /// Replaces the codebook with externally supplied centroids (used by the
+  /// paper's Fig 15 "Faiss*" experiment, which transplants PASE centroids).
+  /// Must be called before adding; clears any existing buckets.
+  Status SetCentroids(const float* centroids, uint32_t num_clusters);
+
+  /// Adding phase: assigns vectors to buckets. Ids are `ids[i]`, or the
+  /// running count when `ids` is null.
+  Status AddBatch(const float* data, size_t n, const int64_t* ids = nullptr);
+
+  /// Train + AddBatch with phase timing recorded in build_stats().
+  Status Build(const float* data, size_t n) override;
+
+  /// Incremental insert (PASE's aminsert counterpart).
+  Status Insert(const float* vec) override { return AddBatch(vec, 1); }
+
+  /// Tombstones a row id (filtered at search, reclaimed on rebuild).
+  Status Delete(int64_t id) override { return tombstones_.Mark(id); }
+
+  Result<std::vector<Neighbor>> Search(const float* query,
+                                       const SearchParams& params) const override;
+
+  size_t SizeBytes() const override;
+  size_t NumVectors() const override {
+    return num_vectors_ - tombstones_.size();
+  }
+  std::string Describe() const override;
+
+  /// Persists the built index (codebook + buckets) to a file.
+  Status Save(const std::string& path) const;
+
+  /// Loads an index previously written by Save.
+  static Result<IvfFlatIndex> Load(const std::string& path);
+
+  uint32_t dim() const { return dim_; }
+  uint32_t num_clusters() const { return num_clusters_; }
+  /// Row-major codebook (num_clusters * dim), valid after Train.
+  const float* centroids() const { return centroids_.data(); }
+  /// Ids in one bucket (testing/diagnostics).
+  const std::vector<int64_t>& bucket_ids(uint32_t b) const {
+    return bucket_ids_[b];
+  }
+
+ private:
+  /// Scans one bucket, pushing candidates into `heap`; profiler labels
+  /// match the paper's Table V categories.
+  void ScanBucket(uint32_t bucket, const float* query, KMaxHeap& heap,
+                  Profiler* profiler) const;
+
+  /// Selects the nprobe closest buckets to the query.
+  std::vector<uint32_t> SelectBuckets(const float* query,
+                                      uint32_t nprobe) const;
+
+  uint32_t dim_;
+  IvfFlatOptions options_;
+  uint32_t num_clusters_ = 0;
+  AlignedFloats centroids_;
+  std::vector<AlignedFloats> bucket_vecs_;
+  std::vector<std::vector<int64_t>> bucket_ids_;
+  size_t num_vectors_ = 0;
+  TombstoneSet tombstones_;
+};
+
+}  // namespace vecdb::faisslike

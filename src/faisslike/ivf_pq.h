@@ -1,0 +1,96 @@
+// Specialized-engine IVF_PQ (Faiss analog): coarse K-means quantizer plus
+// per-bucket product-quantized codes. Exercises RC#1 (SGEMM in training and
+// assignment) and RC#7 (the optimized precomputed distance table).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "core/index.h"
+#include "core/tombstones.h"
+#include "quantizer/pq.h"
+#include "topk/heaps.h"
+
+namespace vecdb::faisslike {
+
+/// Construction knobs for IvfPqIndex. Names follow the paper's Table II.
+struct IvfPqOptions {
+  uint32_t num_clusters = 256;  ///< c — coarse codebook size
+  uint32_t pq_m = 16;           ///< m — sub-vectors per code
+  uint32_t pq_codes = 256;      ///< c_pq — codewords per subspace
+  double sample_ratio = 0.01;   ///< sr
+  int train_iterations = 10;
+  bool use_sgemm = true;        ///< RC#1 toggle (Fig 6 disables this)
+  bool optimized_table = true;  ///< RC#7: Faiss-style precomputed table
+  /// Re-ranking (Faiss IndexRefineFlat): keep the raw vectors and rescore
+  /// the top `refine_factor * k` ADC candidates with exact distances.
+  /// 0 disables refinement and raw-vector storage.
+  uint32_t refine_factor = 0;
+  uint64_t seed = 42;
+  int num_threads = 1;
+  Profiler* profiler = nullptr;
+};
+
+/// Inverted file with product-quantized residual-free codes.
+class IvfPqIndex final : public VectorIndex {
+ public:
+  IvfPqIndex(uint32_t dim, IvfPqOptions options)
+      : dim_(dim), options_(options) {}
+
+  /// Trains the coarse codebook and the product quantizer on a sample.
+  Status Train(const float* data, size_t n);
+
+  /// Encodes and buckets vectors; ids default to the running count.
+  Status AddBatch(const float* data, size_t n, const int64_t* ids = nullptr);
+
+  Status Build(const float* data, size_t n) override;
+
+  /// Incremental insert (PASE's aminsert counterpart).
+  Status Insert(const float* vec) override { return AddBatch(vec, 1); }
+
+  /// Tombstones a row id (filtered at search, reclaimed on rebuild).
+  Status Delete(int64_t id) override { return tombstones_.Mark(id); }
+
+  Result<std::vector<Neighbor>> Search(const float* query,
+                                       const SearchParams& params) const override;
+
+  size_t SizeBytes() const override;
+  size_t NumVectors() const override {
+    return num_vectors_ - tombstones_.size();
+  }
+  std::string Describe() const override;
+
+  /// Persists the built index (codebooks + coded buckets) to a file.
+  Status Save(const std::string& path) const;
+
+  /// Loads an index previously written by Save.
+  static Result<IvfPqIndex> Load(const std::string& path);
+
+  const ProductQuantizer* pq() const { return pq_ ? &*pq_ : nullptr; }
+  uint32_t num_clusters() const { return num_clusters_; }
+
+ private:
+  void ScanBucket(uint32_t bucket, const float* table, KMaxHeap& heap,
+                  Profiler* profiler) const;
+  std::vector<uint32_t> SelectBuckets(const float* query,
+                                      uint32_t nprobe) const;
+
+  uint32_t dim_;
+  IvfPqOptions options_;
+  uint32_t num_clusters_ = 0;
+  AlignedFloats centroids_;
+  std::optional<ProductQuantizer> pq_;
+  std::vector<std::vector<uint8_t>> bucket_codes_;
+  std::vector<std::vector<int64_t>> bucket_ids_;
+  /// Raw vectors for re-ranking, kept only when refine_factor > 0.
+  AlignedFloats refine_vectors_;
+  std::unordered_map<int64_t, size_t> refine_pos_;  ///< id -> row
+  size_t num_vectors_ = 0;
+  TombstoneSet tombstones_;
+};
+
+}  // namespace vecdb::faisslike

@@ -1,0 +1,127 @@
+#include "faisslike/ivf_sq8.h"
+
+#include "clustering/kmeans.h"
+#include "common/timer.h"
+#include "distance/kernels.h"
+
+namespace vecdb::faisslike {
+
+Status IvfSq8Index::Train(const float* data, size_t n) {
+  KMeansOptions km;
+  km.num_clusters = options_.num_clusters;
+  km.max_iterations = options_.train_iterations;
+  km.sample_ratio = options_.sample_ratio;
+  km.style = KMeansStyle::kFaissStyle;
+  km.use_sgemm = options_.use_sgemm;
+  km.seed = options_.seed;
+  km.profiler = options_.profiler;
+  VECDB_ASSIGN_OR_RETURN(KMeansModel model, TrainKMeans(data, n, dim_, km));
+  num_clusters_ = model.num_clusters;
+  centroids_.Resize(0);
+  centroids_.Append(model.centroids.data(),
+                    static_cast<size_t>(num_clusters_) * dim_);
+  VECDB_ASSIGN_OR_RETURN(ScalarQuantizer8 sq,
+                         ScalarQuantizer8::Train(data, n, dim_));
+  sq_.emplace(std::move(sq));
+  bucket_codes_.assign(num_clusters_, {});
+  bucket_ids_.assign(num_clusters_, {});
+  num_vectors_ = 0;
+  tombstones_.Clear();
+  return Status::OK();
+}
+
+Status IvfSq8Index::AddBatch(const float* data, size_t n,
+                             const int64_t* ids) {
+  if (!sq_) return Status::InvalidArgument("IvfSq8::AddBatch: not trained");
+  if (data == nullptr && n > 0) {
+    return Status::InvalidArgument("IvfSq8::AddBatch: null data");
+  }
+  std::vector<uint32_t> assign(n);
+  AssignToNearest(data, n, dim_, centroids_.data(), num_clusters_,
+                  options_.use_sgemm, assign.data(), nullptr, nullptr,
+                  options_.profiler);
+  std::vector<uint8_t> code(sq_->code_size());
+  for (size_t i = 0; i < n; ++i) {
+    sq_->Encode(data + i * dim_, code.data());
+    const uint32_t b = assign[i];
+    bucket_codes_[b].insert(bucket_codes_[b].end(), code.begin(), code.end());
+    bucket_ids_[b].push_back(ids != nullptr
+                                 ? ids[i]
+                                 : static_cast<int64_t>(num_vectors_ + i));
+  }
+  num_vectors_ += n;
+  return Status::OK();
+}
+
+Status IvfSq8Index::Build(const float* data, size_t n) {
+  if (data == nullptr || n == 0) {
+    return Status::InvalidArgument("IvfSq8::Build: empty input");
+  }
+  if (options_.num_clusters > n) {
+    return Status::InvalidArgument("IvfSq8::Build: c > n");
+  }
+  build_stats_ = {};
+  Timer timer;
+  VECDB_RETURN_NOT_OK(Train(data, n));
+  build_stats_.train_seconds = timer.ElapsedSeconds();
+  timer.Reset();
+  VECDB_RETURN_NOT_OK(AddBatch(data, n));
+  build_stats_.add_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+std::vector<uint32_t> IvfSq8Index::SelectBuckets(const float* query,
+                                                 uint32_t nprobe) const {
+  KMaxHeap heap(nprobe);
+  for (uint32_t c = 0; c < num_clusters_; ++c) {
+    heap.Push(L2Sqr(query, centroids_.data() + static_cast<size_t>(c) * dim_,
+                    dim_),
+              c);
+  }
+  auto sorted = heap.TakeSorted();
+  std::vector<uint32_t> out;
+  out.reserve(sorted.size());
+  for (const auto& nb : sorted) out.push_back(static_cast<uint32_t>(nb.id));
+  return out;
+}
+
+Result<std::vector<Neighbor>> IvfSq8Index::Search(
+    const float* query, const SearchParams& params) const {
+  if (query == nullptr) {
+    return Status::InvalidArgument("IvfSq8::Search: null query");
+  }
+  if (params.k == 0) return Status::InvalidArgument("IvfSq8::Search: k == 0");
+  if (!sq_) return Status::InvalidArgument("IvfSq8::Search: index not built");
+  const uint32_t nprobe =
+      std::min(params.nprobe == 0 ? 1u : params.nprobe, num_clusters_);
+  auto probes = SelectBuckets(query, nprobe);
+
+  KMaxHeap heap(params.k);
+  for (uint32_t b : probes) {
+    const auto& ids = bucket_ids_[b];
+    const uint8_t* codes = bucket_codes_[b].data();
+    ProfScope scope(params.profiler, "sq8_scan");
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (tombstones_.Contains(ids[i])) continue;
+      heap.Push(sq_->DistanceToCode(query, codes + i * dim_), ids[i]);
+    }
+  }
+  return heap.TakeSorted();
+}
+
+size_t IvfSq8Index::SizeBytes() const {
+  size_t bytes = centroids_.size() * sizeof(float);
+  bytes += 2 * static_cast<size_t>(dim_) * sizeof(float);  // vmin/vscale
+  for (uint32_t b = 0; b < num_clusters_; ++b) {
+    bytes += bucket_codes_[b].size();
+    bytes += bucket_ids_[b].size() * sizeof(int64_t);
+  }
+  return bytes;
+}
+
+std::string IvfSq8Index::Describe() const {
+  return "faisslike::IVF_SQ8 dim=" + std::to_string(dim_) +
+         " c=" + std::to_string(num_clusters_);
+}
+
+}  // namespace vecdb::faisslike

@@ -1,0 +1,76 @@
+// Specialized-engine IVF_SQ8 (paper §II-B's third quantization index, as
+// in Faiss/Milvus): coarse K-means routing plus 8-bit scalar-quantized
+// vectors in each bucket — 4x smaller than IVF_FLAT with far better recall
+// than IVF_PQ at the same footprint class.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "core/index.h"
+#include "core/tombstones.h"
+#include "quantizer/sq8.h"
+#include "topk/heaps.h"
+
+namespace vecdb::faisslike {
+
+/// Construction knobs for IvfSq8Index.
+struct IvfSq8Options {
+  uint32_t num_clusters = 256;  ///< c
+  double sample_ratio = 0.01;   ///< sr
+  int train_iterations = 10;
+  bool use_sgemm = true;
+  uint64_t seed = 42;
+  Profiler* profiler = nullptr;
+};
+
+/// Inverted file over SQ8-coded vectors.
+class IvfSq8Index final : public VectorIndex {
+ public:
+  IvfSq8Index(uint32_t dim, IvfSq8Options options)
+      : dim_(dim), options_(options) {}
+
+  /// Trains the coarse codebook and the per-dimension scalar ranges.
+  Status Train(const float* data, size_t n);
+
+  /// Encodes and buckets vectors; ids default to the running count.
+  Status AddBatch(const float* data, size_t n, const int64_t* ids = nullptr);
+
+  Status Build(const float* data, size_t n) override;
+
+  /// Incremental insert (PASE's aminsert counterpart).
+  Status Insert(const float* vec) override { return AddBatch(vec, 1); }
+
+  /// Tombstones a row id (filtered at search, reclaimed on rebuild).
+  Status Delete(int64_t id) override { return tombstones_.Mark(id); }
+
+  Result<std::vector<Neighbor>> Search(const float* query,
+                                       const SearchParams& params) const override;
+
+  size_t SizeBytes() const override;
+  size_t NumVectors() const override {
+    return num_vectors_ - tombstones_.size();
+  }
+  std::string Describe() const override;
+
+  uint32_t num_clusters() const { return num_clusters_; }
+
+ private:
+  std::vector<uint32_t> SelectBuckets(const float* query,
+                                      uint32_t nprobe) const;
+
+  uint32_t dim_;
+  IvfSq8Options options_;
+  uint32_t num_clusters_ = 0;
+  AlignedFloats centroids_;
+  std::optional<ScalarQuantizer8> sq_;
+  std::vector<std::vector<uint8_t>> bucket_codes_;
+  std::vector<std::vector<int64_t>> bucket_ids_;
+  size_t num_vectors_ = 0;
+  TombstoneSet tombstones_;
+};
+
+}  // namespace vecdb::faisslike

@@ -1,0 +1,432 @@
+#include "pase/ivf_flat.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "clustering/kmeans.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "distance/kernels.h"
+
+namespace vecdb::pase {
+
+namespace {
+/// Special space of data pages: forward link of the bucket's chain.
+struct DataPageSpecial {
+  pgstub::BlockId next;
+};
+
+// pgvector-mode distance evaluation: the executor dispatches the `<->`
+// operator through a function pointer per tuple (SQL expression
+// machinery), instead of a direct inlined kernel call.
+__attribute__((noinline)) float IndirectL2Sqr(const float* a, const float* b,
+                                              size_t d) {
+  return L2Sqr(a, b, d);
+}
+using DistanceFn = float (*)(const float*, const float*, size_t);
+volatile DistanceFn g_pgvector_distance = &IndirectL2Sqr;
+
+/// Centroid tuple: id + chain head + vector.
+struct CentroidTupleHeader {
+  uint32_t cid;
+  pgstub::BlockId head;
+};
+}  // namespace
+
+Status PaseIvfFlatIndex::AppendToBucket(uint32_t bucket, int64_t row_id,
+                                        const float* vec) {
+  const uint32_t tuple_bytes =
+      sizeof(PaseVectorTuple) + dim_ * sizeof(float);
+  std::vector<char> tuple(tuple_bytes);
+  auto* header = reinterpret_cast<PaseVectorTuple*>(tuple.data());
+  header->row_id = row_id;
+  header->level = 0;
+  std::memcpy(tuple.data() + sizeof(PaseVectorTuple), vec,
+              dim_ * sizeof(float));
+
+  BucketChain& chain = chains_[bucket];
+  if (chain.tail != pgstub::kInvalidBlock) {
+    VECDB_ASSIGN_OR_RETURN(pgstub::BufferHandle handle,
+                           env_.bufmgr->Pin(data_rel_, chain.tail));
+    pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+    if (page.AddItem(tuple.data(), static_cast<uint16_t>(tuple_bytes)) !=
+        pgstub::kInvalidOffset) {
+      env_.bufmgr->Unpin(handle, true);
+      return Status::OK();
+    }
+    env_.bufmgr->Unpin(handle, false);
+  }
+
+  // Chain a fresh page onto the bucket.
+  VECDB_ASSIGN_OR_RETURN(auto fresh, env_.bufmgr->NewPage(data_rel_));
+  pgstub::PageView page(fresh.second.data, env_.bufmgr->page_size());
+  page.Init(sizeof(DataPageSpecial));
+  reinterpret_cast<DataPageSpecial*>(page.Special())->next =
+      pgstub::kInvalidBlock;
+  if (page.AddItem(tuple.data(), static_cast<uint16_t>(tuple_bytes)) ==
+      pgstub::kInvalidOffset) {
+    env_.bufmgr->Unpin(fresh.second, true);
+    return Status::Internal("PaseIvfFlat: tuple larger than a page");
+  }
+  env_.bufmgr->Unpin(fresh.second, true);
+
+  if (chain.tail != pgstub::kInvalidBlock) {
+    VECDB_ASSIGN_OR_RETURN(pgstub::BufferHandle prev,
+                           env_.bufmgr->Pin(data_rel_, chain.tail));
+    pgstub::PageView prev_page(prev.data, env_.bufmgr->page_size());
+    reinterpret_cast<DataPageSpecial*>(prev_page.Special())->next =
+        fresh.first;
+    env_.bufmgr->Unpin(prev, true);
+  } else {
+    chain.head = fresh.first;
+  }
+  chain.tail = fresh.first;
+  return Status::OK();
+}
+
+Status PaseIvfFlatIndex::WriteCentroidPages() {
+  const uint32_t tuple_bytes =
+      sizeof(CentroidTupleHeader) + dim_ * sizeof(float);
+  std::vector<char> tuple(tuple_bytes);
+  pgstub::BufferHandle handle;
+  bool have_page = false;
+  for (uint32_t c = 0; c < num_clusters_; ++c) {
+    auto* header = reinterpret_cast<CentroidTupleHeader*>(tuple.data());
+    header->cid = c;
+    header->head = chains_[c].head;
+    std::memcpy(tuple.data() + sizeof(CentroidTupleHeader),
+                centroids_.data() + static_cast<size_t>(c) * dim_,
+                dim_ * sizeof(float));
+    if (have_page) {
+      pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+      if (page.AddItem(tuple.data(), static_cast<uint16_t>(tuple_bytes)) !=
+          pgstub::kInvalidOffset) {
+        continue;
+      }
+      env_.bufmgr->Unpin(handle, true);
+      have_page = false;
+    }
+    VECDB_ASSIGN_OR_RETURN(auto fresh, env_.bufmgr->NewPage(centroid_rel_));
+    handle = fresh.second;
+    have_page = true;
+    pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+    page.Init(0);
+    if (page.AddItem(tuple.data(), static_cast<uint16_t>(tuple_bytes)) ==
+        pgstub::kInvalidOffset) {
+      env_.bufmgr->Unpin(handle, true);
+      return Status::Internal("PaseIvfFlat: centroid tuple exceeds page");
+    }
+  }
+  if (have_page) env_.bufmgr->Unpin(handle, true);
+  return Status::OK();
+}
+
+Status PaseIvfFlatIndex::Build(const float* data, size_t n) {
+  if (!env_.valid()) return Status::InvalidArgument("PaseIvfFlat: bad env");
+  if (data == nullptr || n == 0) {
+    return Status::InvalidArgument("PaseIvfFlat: empty input");
+  }
+  if (options_.num_clusters > n) {
+    return Status::InvalidArgument("PaseIvfFlat: c > n");
+  }
+  build_stats_ = {};
+  Timer timer;
+
+  // --- Training phase: PASE-style K-means (RC#5), per-pair distances.
+  KMeansOptions km;
+  km.num_clusters = options_.num_clusters;
+  km.max_iterations = options_.train_iterations;
+  km.sample_ratio = options_.sample_ratio;
+  km.style = KMeansStyle::kPaseStyle;
+  km.use_sgemm = false;  // RC#1: PASE has no SGEMM path
+  km.seed = options_.seed;
+  km.profiler = options_.profiler;
+  VECDB_ASSIGN_OR_RETURN(KMeansModel model, TrainKMeans(data, n, dim_, km));
+  num_clusters_ = model.num_clusters;
+  centroids_.Resize(0);
+  centroids_.Append(model.centroids.data(),
+                    static_cast<size_t>(num_clusters_) * dim_);
+  build_stats_.train_seconds = timer.ElapsedSeconds();
+  timer.Reset();
+
+  // --- Adding phase: naive per-pair assignment (the fvec_L2sqr_ref
+  // bottleneck of Fig 3) and page-chain appends through the buffer manager.
+  VECDB_ASSIGN_OR_RETURN(centroid_rel_, env_.smgr->CreateRelation(
+                                            options_.rel_prefix + "_centroid"));
+  VECDB_ASSIGN_OR_RETURN(
+      data_rel_, env_.smgr->CreateRelation(options_.rel_prefix + "_data"));
+  chains_.assign(num_clusters_, {});
+
+  std::vector<uint32_t> assign(n);
+  AssignToNearest(data, n, dim_, centroids_.data(), num_clusters_,
+                  /*use_sgemm=*/false, assign.data(), nullptr, nullptr,
+                  options_.profiler);
+  for (size_t i = 0; i < n; ++i) {
+    VECDB_RETURN_NOT_OK(AppendToBucket(assign[i], static_cast<int64_t>(i),
+                                       data + i * dim_));
+  }
+  VECDB_RETURN_NOT_OK(WriteCentroidPages());
+  num_vectors_ = n;
+  next_row_id_ = static_cast<int64_t>(n);
+  build_stats_.add_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status PaseIvfFlatIndex::Vacuum() {
+  if (num_clusters_ == 0) {
+    return Status::InvalidArgument("PaseIvfFlat: index not built");
+  }
+  if (tombstones_.empty()) return Status::OK();
+
+  // Collect live tuples bucket by bucket from the old chains.
+  struct LiveRow {
+    int64_t row_id;
+    std::vector<float> vec;
+  };
+  std::vector<std::vector<LiveRow>> live(num_clusters_);
+  for (uint32_t b = 0; b < num_clusters_; ++b) {
+    pgstub::BlockId block = chains_[b].head;
+    while (block != pgstub::kInvalidBlock) {
+      VECDB_ASSIGN_OR_RETURN(pgstub::BufferHandle handle,
+                             env_.bufmgr->Pin(data_rel_, block));
+      pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+      const uint16_t count = page.ItemCount();
+      for (pgstub::OffsetNumber slot = 1; slot <= count; ++slot) {
+        const char* item = page.GetItem(slot);
+        const auto* header = reinterpret_cast<const PaseVectorTuple*>(item);
+        if (tombstones_.Contains(header->row_id)) continue;
+        const float* vec = reinterpret_cast<const float*>(
+            item + sizeof(PaseVectorTuple));
+        live[b].push_back({header->row_id, {vec, vec + dim_}});
+      }
+      block = reinterpret_cast<const DataPageSpecial*>(page.Special())->next;
+      env_.bufmgr->Unpin(handle, false);
+    }
+  }
+
+  // Swap in a fresh data relation and rewrite the chains densely.
+  VECDB_RETURN_NOT_OK(env_.bufmgr->InvalidateRelation(data_rel_));
+  VECDB_RETURN_NOT_OK(env_.smgr->DropRelation(data_rel_));
+  VECDB_ASSIGN_OR_RETURN(
+      data_rel_, env_.smgr->CreateRelation(options_.rel_prefix + "_data"));
+  chains_.assign(num_clusters_, {});
+  size_t total = 0;
+  for (uint32_t b = 0; b < num_clusters_; ++b) {
+    for (const auto& row : live[b]) {
+      VECDB_RETURN_NOT_OK(AppendToBucket(b, row.row_id, row.vec.data()));
+      ++total;
+    }
+  }
+  num_vectors_ = total;
+  tombstones_.Clear();
+  return Status::OK();
+}
+
+Status PaseIvfFlatIndex::Insert(const float* vec) {
+  if (num_clusters_ == 0) {
+    return Status::InvalidArgument("PaseIvfFlat: index not built");
+  }
+  if (vec == nullptr) return Status::InvalidArgument("PaseIvfFlat: null vec");
+  uint32_t bucket = 0;
+  AssignToNearest(vec, 1, dim_, centroids_.data(), num_clusters_,
+                  /*use_sgemm=*/false, &bucket, nullptr);
+  VECDB_RETURN_NOT_OK(AppendToBucket(bucket, next_row_id_, vec));
+  ++next_row_id_;
+  ++num_vectors_;
+  return Status::OK();
+}
+
+Result<std::vector<uint32_t>> PaseIvfFlatIndex::SelectBuckets(
+    const float* query, uint32_t nprobe, Profiler* profiler) const {
+  ProfScope scope(profiler, "SelectBuckets");
+  KMaxHeap heap(nprobe);
+  VECDB_ASSIGN_OR_RETURN(pgstub::BlockId blocks,
+                         env_.smgr->NumBlocks(centroid_rel_));
+  for (pgstub::BlockId b = 0; b < blocks; ++b) {
+    VECDB_ASSIGN_OR_RETURN(pgstub::BufferHandle handle,
+                           env_.bufmgr->Pin(centroid_rel_, b));
+    pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+    const uint16_t count = page.ItemCount();
+    for (pgstub::OffsetNumber slot = 1; slot <= count; ++slot) {
+      const char* item = page.GetItem(slot);
+      const auto* header = reinterpret_cast<const CentroidTupleHeader*>(item);
+      const float* vec =
+          reinterpret_cast<const float*>(item + sizeof(CentroidTupleHeader));
+      heap.Push(L2Sqr(query, vec, dim_), header->cid);
+    }
+    env_.bufmgr->Unpin(handle, false);
+  }
+  auto sorted = heap.TakeSorted();
+  std::vector<uint32_t> out;
+  out.reserve(sorted.size());
+  for (const auto& nb : sorted) out.push_back(static_cast<uint32_t>(nb.id));
+  return out;
+}
+
+Status PaseIvfFlatIndex::ScanBucket(uint32_t bucket, const float* query,
+                                    NHeap* collector, std::mutex* mu,
+                                    int64_t* serial_nanos,
+                                    Profiler* profiler) const {
+  pgstub::BlockId block = chains_[bucket].head;
+  std::vector<const char*> items;
+  std::vector<float> dists;
+  while (block != pgstub::kInvalidBlock) {
+    pgstub::BufferHandle handle;
+    items.clear();
+    {
+      // Tuple access: buffer-manager pin + line-pointer resolution (RC#2).
+      ProfScope scope(profiler, "TupleAccess");
+      VECDB_ASSIGN_OR_RETURN(handle, env_.bufmgr->Pin(data_rel_, block));
+      pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+      const uint16_t count = page.ItemCount();
+      for (pgstub::OffsetNumber slot = 1; slot <= count; ++slot) {
+        items.push_back(page.GetItem(slot));
+      }
+    }
+    dists.resize(items.size());
+    {
+      ProfScope scope(profiler, "fvec_L2sqr");
+      if (options_.pgvector_mode) {
+        DistanceFn fn = g_pgvector_distance;
+        for (size_t i = 0; i < items.size(); ++i) {
+          const float* vec = reinterpret_cast<const float*>(
+              items[i] + sizeof(PaseVectorTuple));
+          dists[i] = fn(query, vec, dim_);
+        }
+      } else {
+        for (size_t i = 0; i < items.size(); ++i) {
+          const float* vec = reinterpret_cast<const float*>(
+              items[i] + sizeof(PaseVectorTuple));
+          dists[i] = L2Sqr(query, vec, dim_);
+        }
+      }
+    }
+    {
+      ProfScope scope(profiler, "MinHeap");
+      if (mu == nullptr) {
+        for (size_t i = 0; i < items.size(); ++i) {
+          const auto* header =
+              reinterpret_cast<const PaseVectorTuple*>(items[i]);
+          if (tombstones_.Contains(header->row_id)) continue;
+          collector->Push(dists[i], header->row_id);
+        }
+      } else {
+        // RC#3: one lock acquisition per candidate insertion, as PASE's
+        // shared global heap does. The whole push loop is serialized work.
+        CpuTimer timer;
+        for (size_t i = 0; i < items.size(); ++i) {
+          const auto* header =
+              reinterpret_cast<const PaseVectorTuple*>(items[i]);
+          if (tombstones_.Contains(header->row_id)) continue;
+          std::lock_guard<std::mutex> guard(*mu);
+          collector->Push(dists[i], header->row_id);
+        }
+        if (serial_nanos != nullptr) {
+          std::lock_guard<std::mutex> guard(*mu);
+          *serial_nanos += timer.ElapsedNanos();
+        }
+      }
+    }
+    pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+    block = reinterpret_cast<const DataPageSpecial*>(page.Special())->next;
+    env_.bufmgr->Unpin(handle, false);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> PaseIvfFlatIndex::Search(
+    const float* query, const SearchParams& params) const {
+  if (query == nullptr) {
+    return Status::InvalidArgument("PaseIvfFlat: null query");
+  }
+  if (params.k == 0) return Status::InvalidArgument("PaseIvfFlat: k == 0");
+  if (num_clusters_ == 0) {
+    return Status::InvalidArgument("PaseIvfFlat: index not built");
+  }
+  const uint32_t nprobe =
+      std::min(params.nprobe == 0 ? 1u : params.nprobe, num_clusters_);
+  VECDB_ASSIGN_OR_RETURN(std::vector<uint32_t> probes,
+                         SelectBuckets(query, nprobe, params.profiler));
+
+  // RC#6: all candidates go into one n-sized heap, popped k times at the
+  // end — never a bounded k-heap.
+  NHeap collector;
+
+  if (params.num_threads <= 1) {
+    CpuTimer timer;
+    for (uint32_t b : probes) {
+      VECDB_RETURN_NOT_OK(
+          ScanBucket(b, query, &collector, nullptr, nullptr, params.profiler));
+    }
+    if (params.accounting != nullptr) {
+      if (params.accounting->worker_busy_nanos.empty()) {
+        params.accounting->Reset(1);
+      }
+      params.accounting->worker_busy_nanos[0] += timer.ElapsedNanos();
+    }
+    ProfScope scope(params.profiler, "MinHeap");
+    if (options_.pgvector_mode) {
+      // pgvector sorts the full candidate set (ORDER BY semantics) rather
+      // than heap-selecting k of n.
+      auto all = collector.PopK(collector.size());
+      if (all.size() > params.k) all.resize(params.k);
+      return all;
+    }
+    return collector.PopK(params.k);
+  }
+
+  // Parallel PASE search: workers share ONE global collector behind a lock.
+  ThreadPool pool(params.num_threads);
+  std::mutex mu;
+  int64_t serial_nanos = 0;
+  ParallelAccounting* acct = params.accounting;
+  if (acct != nullptr &&
+      acct->worker_busy_nanos.size() != static_cast<size_t>(params.num_threads)) {
+    acct->Reset(params.num_threads);
+  }
+  Status worker_status = Status::OK();
+  std::mutex status_mu;
+  pool.ParallelFor(probes.size(), [&](int worker, size_t begin, size_t end) {
+    CpuTimer timer;
+    for (size_t i = begin; i < end; ++i) {
+      Status s = ScanBucket(probes[i], query, &collector, &mu, &serial_nanos,
+                            nullptr);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> guard(status_mu);
+        if (worker_status.ok()) worker_status = s;
+      }
+    }
+    if (acct != nullptr) {
+      acct->worker_busy_nanos[worker] += timer.ElapsedNanos();
+    }
+  });
+  VECDB_RETURN_NOT_OK(worker_status);
+  CpuTimer pop_timer;
+  auto results = collector.PopK(params.k);
+  if (acct != nullptr) {
+    // Busy time already includes the serialized push section; move it to
+    // the serial term so the model reflects the lock's serialization.
+    acct->serial_nanos += serial_nanos + pop_timer.ElapsedNanos();
+    for (auto& busy : acct->worker_busy_nanos) {
+      busy = std::max<int64_t>(
+          0, busy - serial_nanos / static_cast<int64_t>(
+                        acct->worker_busy_nanos.size()));
+    }
+  }
+  return results;
+}
+
+size_t PaseIvfFlatIndex::SizeBytes() const {
+  size_t blocks = 0;
+  if (auto r = env_.smgr->NumBlocks(centroid_rel_); r.ok()) blocks += *r;
+  if (auto r = env_.smgr->NumBlocks(data_rel_); r.ok()) blocks += *r;
+  return blocks * static_cast<size_t>(env_.bufmgr->page_size());
+}
+
+std::string PaseIvfFlatIndex::Describe() const {
+  return "pase::IVF_FLAT dim=" + std::to_string(dim_) +
+         " c=" + std::to_string(num_clusters_) + " page=" +
+         std::to_string(env_.bufmgr->page_size());
+}
+
+}  // namespace vecdb::pase

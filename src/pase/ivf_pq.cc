@@ -1,0 +1,378 @@
+#include "pase/ivf_pq.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "distance/kernels.h"
+
+namespace vecdb::pase {
+
+namespace {
+struct DataPageSpecial {
+  pgstub::BlockId next;
+};
+
+struct CentroidTupleHeader {
+  uint32_t cid;
+  pgstub::BlockId head;
+};
+
+/// Code tuple: row id + m PQ bytes.
+struct CodeTupleHeader {
+  int64_t row_id;
+};
+}  // namespace
+
+Status PaseIvfPqIndex::AppendToBucket(uint32_t bucket, int64_t row_id,
+                                      const uint8_t* code) {
+  const uint32_t tuple_bytes =
+      sizeof(CodeTupleHeader) + static_cast<uint32_t>(pq_->code_size());
+  std::vector<char> tuple(tuple_bytes);
+  reinterpret_cast<CodeTupleHeader*>(tuple.data())->row_id = row_id;
+  std::memcpy(tuple.data() + sizeof(CodeTupleHeader), code, pq_->code_size());
+
+  BucketChain& chain = chains_[bucket];
+  if (chain.tail != pgstub::kInvalidBlock) {
+    VECDB_ASSIGN_OR_RETURN(pgstub::BufferHandle handle,
+                           env_.bufmgr->Pin(data_rel_, chain.tail));
+    pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+    if (page.AddItem(tuple.data(), static_cast<uint16_t>(tuple_bytes)) !=
+        pgstub::kInvalidOffset) {
+      env_.bufmgr->Unpin(handle, true);
+      return Status::OK();
+    }
+    env_.bufmgr->Unpin(handle, false);
+  }
+  VECDB_ASSIGN_OR_RETURN(auto fresh, env_.bufmgr->NewPage(data_rel_));
+  pgstub::PageView page(fresh.second.data, env_.bufmgr->page_size());
+  page.Init(sizeof(DataPageSpecial));
+  reinterpret_cast<DataPageSpecial*>(page.Special())->next =
+      pgstub::kInvalidBlock;
+  if (page.AddItem(tuple.data(), static_cast<uint16_t>(tuple_bytes)) ==
+      pgstub::kInvalidOffset) {
+    env_.bufmgr->Unpin(fresh.second, true);
+    return Status::Internal("PaseIvfPq: tuple larger than a page");
+  }
+  env_.bufmgr->Unpin(fresh.second, true);
+  if (chain.tail != pgstub::kInvalidBlock) {
+    VECDB_ASSIGN_OR_RETURN(pgstub::BufferHandle prev,
+                           env_.bufmgr->Pin(data_rel_, chain.tail));
+    pgstub::PageView prev_page(prev.data, env_.bufmgr->page_size());
+    reinterpret_cast<DataPageSpecial*>(prev_page.Special())->next =
+        fresh.first;
+    env_.bufmgr->Unpin(prev, true);
+  } else {
+    chain.head = fresh.first;
+  }
+  chain.tail = fresh.first;
+  return Status::OK();
+}
+
+Status PaseIvfPqIndex::Build(const float* data, size_t n) {
+  if (!env_.valid()) return Status::InvalidArgument("PaseIvfPq: bad env");
+  if (data == nullptr || n == 0) {
+    return Status::InvalidArgument("PaseIvfPq: empty input");
+  }
+  if (options_.num_clusters > n) {
+    return Status::InvalidArgument("PaseIvfPq: c > n");
+  }
+  build_stats_ = {};
+  Timer timer;
+
+  // --- Training: PASE-style coarse K-means and PQ, no SGEMM anywhere.
+  KMeansOptions km;
+  km.num_clusters = options_.num_clusters;
+  km.max_iterations = options_.train_iterations;
+  km.sample_ratio = options_.sample_ratio;
+  km.style = KMeansStyle::kPaseStyle;
+  km.use_sgemm = false;
+  km.seed = options_.seed;
+  km.profiler = options_.profiler;
+  VECDB_ASSIGN_OR_RETURN(KMeansModel model, TrainKMeans(data, n, dim_, km));
+  num_clusters_ = model.num_clusters;
+  centroids_.Resize(0);
+  centroids_.Append(model.centroids.data(),
+                    static_cast<size_t>(num_clusters_) * dim_);
+
+  size_t sample_n = std::max<size_t>(
+      options_.pq_codes, static_cast<size_t>(options_.sample_ratio * n));
+  sample_n = std::min(sample_n, n);
+  Rng rng(options_.seed + 1);
+  auto picks = rng.SampleWithoutReplacement(static_cast<uint32_t>(n),
+                                            static_cast<uint32_t>(sample_n));
+  AlignedFloats sample(sample_n * dim_);
+  for (size_t i = 0; i < sample_n; ++i) {
+    std::memcpy(sample.data() + i * dim_,
+                data + static_cast<size_t>(picks[i]) * dim_,
+                dim_ * sizeof(float));
+  }
+  PqOptions pq_opt;
+  pq_opt.num_subvectors = options_.pq_m;
+  pq_opt.num_codes = options_.pq_codes;
+  pq_opt.max_iterations = options_.train_iterations;
+  pq_opt.style = KMeansStyle::kPaseStyle;
+  pq_opt.use_sgemm = false;
+  pq_opt.seed = options_.seed + 2;
+  pq_opt.profiler = options_.profiler;
+  VECDB_ASSIGN_OR_RETURN(
+      ProductQuantizer pq,
+      ProductQuantizer::Train(sample.data(), sample_n, dim_, pq_opt));
+  pq_.emplace(std::move(pq));
+  build_stats_.train_seconds = timer.ElapsedSeconds();
+  timer.Reset();
+
+  // --- Adding: naive assignment + encode + page-chain append.
+  VECDB_ASSIGN_OR_RETURN(centroid_rel_, env_.smgr->CreateRelation(
+                                            options_.rel_prefix + "_centroid"));
+  VECDB_ASSIGN_OR_RETURN(
+      data_rel_, env_.smgr->CreateRelation(options_.rel_prefix + "_data"));
+  chains_.assign(num_clusters_, {});
+
+  std::vector<uint32_t> assign(n);
+  AssignToNearest(data, n, dim_, centroids_.data(), num_clusters_,
+                  /*use_sgemm=*/false, assign.data(), nullptr, nullptr,
+                  options_.profiler);
+  std::vector<uint8_t> code(pq_->code_size());
+  for (size_t i = 0; i < n; ++i) {
+    {
+      ProfScope scope(options_.profiler, "pq_encode");
+      pq_->Encode(data + i * dim_, code.data());
+    }
+    VECDB_RETURN_NOT_OK(
+        AppendToBucket(assign[i], static_cast<int64_t>(i), code.data()));
+  }
+
+  // Write centroid pages (same layout as IVF_FLAT).
+  const uint32_t tuple_bytes =
+      sizeof(CentroidTupleHeader) + dim_ * sizeof(float);
+  std::vector<char> tuple(tuple_bytes);
+  pgstub::BufferHandle handle;
+  bool have_page = false;
+  for (uint32_t c = 0; c < num_clusters_; ++c) {
+    auto* header = reinterpret_cast<CentroidTupleHeader*>(tuple.data());
+    header->cid = c;
+    header->head = chains_[c].head;
+    std::memcpy(tuple.data() + sizeof(CentroidTupleHeader),
+                centroids_.data() + static_cast<size_t>(c) * dim_,
+                dim_ * sizeof(float));
+    if (have_page) {
+      pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+      if (page.AddItem(tuple.data(), static_cast<uint16_t>(tuple_bytes)) !=
+          pgstub::kInvalidOffset) {
+        continue;
+      }
+      env_.bufmgr->Unpin(handle, true);
+      have_page = false;
+    }
+    VECDB_ASSIGN_OR_RETURN(auto fresh, env_.bufmgr->NewPage(centroid_rel_));
+    handle = fresh.second;
+    have_page = true;
+    pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+    page.Init(0);
+    if (page.AddItem(tuple.data(), static_cast<uint16_t>(tuple_bytes)) ==
+        pgstub::kInvalidOffset) {
+      env_.bufmgr->Unpin(handle, true);
+      return Status::Internal("PaseIvfPq: centroid tuple exceeds page");
+    }
+  }
+  if (have_page) env_.bufmgr->Unpin(handle, true);
+
+  num_vectors_ = n;
+  build_stats_.add_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status PaseIvfPqIndex::Insert(const float* vec) {
+  if (!pq_) return Status::InvalidArgument("PaseIvfPq: index not built");
+  if (vec == nullptr) return Status::InvalidArgument("PaseIvfPq: null vec");
+  uint32_t bucket = 0;
+  AssignToNearest(vec, 1, dim_, centroids_.data(), num_clusters_,
+                  /*use_sgemm=*/false, &bucket, nullptr);
+  std::vector<uint8_t> code(pq_->code_size());
+  pq_->Encode(vec, code.data());
+  VECDB_RETURN_NOT_OK(AppendToBucket(
+      bucket, static_cast<int64_t>(num_vectors_), code.data()));
+  ++num_vectors_;
+  return Status::OK();
+}
+
+Result<std::vector<uint32_t>> PaseIvfPqIndex::SelectBuckets(
+    const float* query, uint32_t nprobe, Profiler* profiler) const {
+  ProfScope scope(profiler, "SelectBuckets");
+  KMaxHeap heap(nprobe);
+  VECDB_ASSIGN_OR_RETURN(pgstub::BlockId blocks,
+                         env_.smgr->NumBlocks(centroid_rel_));
+  for (pgstub::BlockId b = 0; b < blocks; ++b) {
+    VECDB_ASSIGN_OR_RETURN(pgstub::BufferHandle handle,
+                           env_.bufmgr->Pin(centroid_rel_, b));
+    pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+    const uint16_t count = page.ItemCount();
+    for (pgstub::OffsetNumber slot = 1; slot <= count; ++slot) {
+      const char* item = page.GetItem(slot);
+      const auto* header = reinterpret_cast<const CentroidTupleHeader*>(item);
+      const float* vec =
+          reinterpret_cast<const float*>(item + sizeof(CentroidTupleHeader));
+      heap.Push(L2Sqr(query, vec, dim_), header->cid);
+    }
+    env_.bufmgr->Unpin(handle, false);
+  }
+  auto sorted = heap.TakeSorted();
+  std::vector<uint32_t> out;
+  out.reserve(sorted.size());
+  for (const auto& nb : sorted) out.push_back(static_cast<uint32_t>(nb.id));
+  return out;
+}
+
+Status PaseIvfPqIndex::ScanBucket(uint32_t bucket, const float* table,
+                                  NHeap* collector, std::mutex* mu,
+                                  int64_t* serial_nanos,
+                                  Profiler* profiler) const {
+  pgstub::BlockId block = chains_[bucket].head;
+  std::vector<const char*> items;
+  std::vector<float> dists;
+  while (block != pgstub::kInvalidBlock) {
+    pgstub::BufferHandle handle;
+    items.clear();
+    {
+      ProfScope scope(profiler, "TupleAccess");
+      VECDB_ASSIGN_OR_RETURN(handle, env_.bufmgr->Pin(data_rel_, block));
+      pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+      const uint16_t count = page.ItemCount();
+      for (pgstub::OffsetNumber slot = 1; slot <= count; ++slot) {
+        items.push_back(page.GetItem(slot));
+      }
+    }
+    dists.resize(items.size());
+    {
+      ProfScope scope(profiler, "adc_scan");
+      for (size_t i = 0; i < items.size(); ++i) {
+        const uint8_t* code = reinterpret_cast<const uint8_t*>(
+            items[i] + sizeof(CodeTupleHeader));
+        dists[i] = pq_->AdcDistance(table, code);
+      }
+    }
+    {
+      ProfScope scope(profiler, "MinHeap");
+      if (mu == nullptr) {
+        for (size_t i = 0; i < items.size(); ++i) {
+          const auto* header =
+              reinterpret_cast<const CodeTupleHeader*>(items[i]);
+          if (tombstones_.Contains(header->row_id)) continue;
+          collector->Push(dists[i], header->row_id);
+        }
+      } else {
+        CpuTimer timer;
+        for (size_t i = 0; i < items.size(); ++i) {
+          const auto* header =
+              reinterpret_cast<const CodeTupleHeader*>(items[i]);
+          if (tombstones_.Contains(header->row_id)) continue;
+          std::lock_guard<std::mutex> guard(*mu);
+          collector->Push(dists[i], header->row_id);
+        }
+        if (serial_nanos != nullptr) {
+          std::lock_guard<std::mutex> guard(*mu);
+          *serial_nanos += timer.ElapsedNanos();
+        }
+      }
+    }
+    pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+    block = reinterpret_cast<const DataPageSpecial*>(page.Special())->next;
+    env_.bufmgr->Unpin(handle, false);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> PaseIvfPqIndex::Search(
+    const float* query, const SearchParams& params) const {
+  if (query == nullptr) return Status::InvalidArgument("PaseIvfPq: null query");
+  if (params.k == 0) return Status::InvalidArgument("PaseIvfPq: k == 0");
+  if (!pq_) return Status::InvalidArgument("PaseIvfPq: index not built");
+  const uint32_t nprobe =
+      std::min(params.nprobe == 0 ? 1u : params.nprobe, num_clusters_);
+  VECDB_ASSIGN_OR_RETURN(std::vector<uint32_t> probes,
+                         SelectBuckets(query, nprobe, params.profiler));
+
+  // RC#7: the naive per-query precomputed table — one L2 kernel call per
+  // (subspace, codeword) pair, recomputed from scratch for every query.
+  std::vector<float> table(pq_->table_size());
+  {
+    ProfScope scope(params.profiler, "PrecomputedTable");
+    pq_->ComputeDistanceTableNaive(query, table.data());
+  }
+
+  NHeap collector;
+  if (params.num_threads <= 1) {
+    CpuTimer timer;
+    for (uint32_t b : probes) {
+      VECDB_RETURN_NOT_OK(ScanBucket(b, table.data(), &collector, nullptr,
+                                     nullptr, params.profiler));
+    }
+    if (params.accounting != nullptr) {
+      if (params.accounting->worker_busy_nanos.empty()) {
+        params.accounting->Reset(1);
+      }
+      params.accounting->worker_busy_nanos[0] += timer.ElapsedNanos();
+    }
+    ProfScope scope(params.profiler, "MinHeap");
+    return collector.PopK(params.k);
+  }
+
+  ThreadPool pool(params.num_threads);
+  std::mutex mu;
+  int64_t serial_nanos = 0;
+  ParallelAccounting* acct = params.accounting;
+  if (acct != nullptr &&
+      acct->worker_busy_nanos.size() != static_cast<size_t>(params.num_threads)) {
+    acct->Reset(params.num_threads);
+  }
+  Status worker_status = Status::OK();
+  std::mutex status_mu;
+  pool.ParallelFor(probes.size(), [&](int worker, size_t begin, size_t end) {
+    CpuTimer timer;
+    for (size_t i = begin; i < end; ++i) {
+      Status s = ScanBucket(probes[i], table.data(), &collector, &mu,
+                            &serial_nanos, nullptr);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> guard(status_mu);
+        if (worker_status.ok()) worker_status = s;
+      }
+    }
+    if (acct != nullptr) acct->worker_busy_nanos[worker] += timer.ElapsedNanos();
+  });
+  VECDB_RETURN_NOT_OK(worker_status);
+  CpuTimer pop_timer;
+  auto results = collector.PopK(params.k);
+  if (acct != nullptr) {
+    acct->serial_nanos += serial_nanos + pop_timer.ElapsedNanos();
+    for (auto& busy : acct->worker_busy_nanos) {
+      busy = std::max<int64_t>(
+          0, busy - serial_nanos / static_cast<int64_t>(
+                        acct->worker_busy_nanos.size()));
+    }
+  }
+  return results;
+}
+
+size_t PaseIvfPqIndex::SizeBytes() const {
+  size_t blocks = 0;
+  if (auto r = env_.smgr->NumBlocks(centroid_rel_); r.ok()) blocks += *r;
+  if (auto r = env_.smgr->NumBlocks(data_rel_); r.ok()) blocks += *r;
+  size_t bytes = blocks * static_cast<size_t>(env_.bufmgr->page_size());
+  if (pq_) {
+    // Codebook pages: PASE stores the PQ codebook alongside the index.
+    bytes += static_cast<size_t>(pq_->num_subvectors()) * pq_->num_codes() *
+             pq_->sub_dim() * sizeof(float);
+  }
+  return bytes;
+}
+
+std::string PaseIvfPqIndex::Describe() const {
+  return "pase::IVF_PQ dim=" + std::to_string(dim_) +
+         " c=" + std::to_string(num_clusters_) +
+         " m=" + std::to_string(options_.pq_m);
+}
+
+}  // namespace vecdb::pase

@@ -1,0 +1,87 @@
+// PASE IVF_PQ: page-resident inverted file over product-quantized codes.
+// Reproduces RC#1 (no SGEMM), RC#2 (tuple access), RC#5 (PASE K-means),
+// RC#6 (n-sized heap), RC#7 (naive per-query precomputed table), and RC#3
+// (locked global heap when parallel).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "core/index.h"
+#include "core/tombstones.h"
+#include "pase/pase_common.h"
+#include "quantizer/pq.h"
+#include "topk/heaps.h"
+
+namespace vecdb::pase {
+
+/// Construction knobs. Names follow the paper's Table II.
+struct PaseIvfPqOptions {
+  uint32_t num_clusters = 256;  ///< c
+  uint32_t pq_m = 16;           ///< m
+  uint32_t pq_codes = 256;      ///< c_pq
+  double sample_ratio = 0.01;   ///< sr
+  int train_iterations = 10;
+  uint64_t seed = 42;
+  std::string rel_prefix = "pase_ivfpq";
+  Profiler* profiler = nullptr;
+};
+
+/// Page-resident IVF_PQ index.
+class PaseIvfPqIndex final : public VectorIndex {
+ public:
+  PaseIvfPqIndex(PaseEnv env, uint32_t dim, PaseIvfPqOptions options)
+      : env_(env), dim_(dim), options_(options) {}
+
+  Status Build(const float* data, size_t n) override;
+
+  /// aminsert: encodes and appends the new row to its bucket chain.
+  Status Insert(const float* vec) override;
+
+  /// amdelete: tombstones a row (PASE marks dead tuples; VACUUM reclaims).
+  Status Delete(int64_t id) override { return tombstones_.Mark(id); }
+
+  Result<std::vector<Neighbor>> Search(const float* query,
+                                       const SearchParams& params) const override;
+
+  size_t SizeBytes() const override;
+  size_t NumVectors() const override {
+    return num_vectors_ - tombstones_.size();
+  }
+  std::string Describe() const override;
+
+  uint32_t num_clusters() const { return num_clusters_; }
+  const float* centroids() const { return centroids_.data(); }
+
+ private:
+  struct BucketChain {
+    pgstub::BlockId head = pgstub::kInvalidBlock;
+    pgstub::BlockId tail = pgstub::kInvalidBlock;
+  };
+
+  Status AppendToBucket(uint32_t bucket, int64_t row_id, const uint8_t* code);
+  Result<std::vector<uint32_t>> SelectBuckets(const float* query,
+                                              uint32_t nprobe,
+                                              Profiler* profiler) const;
+  Status ScanBucket(uint32_t bucket, const float* table, NHeap* collector,
+                    std::mutex* mu, int64_t* serial_nanos,
+                    Profiler* profiler) const;
+
+  PaseEnv env_;
+  uint32_t dim_;
+  PaseIvfPqOptions options_;
+
+  uint32_t num_clusters_ = 0;
+  size_t num_vectors_ = 0;
+  pgstub::RelId centroid_rel_ = pgstub::kInvalidRel;
+  pgstub::RelId data_rel_ = pgstub::kInvalidRel;
+  std::vector<BucketChain> chains_;
+  AlignedFloats centroids_;
+  std::optional<ProductQuantizer> pq_;
+  TombstoneSet tombstones_;
+};
+
+}  // namespace vecdb::pase

@@ -1,0 +1,191 @@
+#include "pase/ivf_sq8.h"
+
+#include <cstring>
+
+#include "clustering/kmeans.h"
+#include "common/timer.h"
+#include "distance/kernels.h"
+
+namespace vecdb::pase {
+
+namespace {
+struct DataPageSpecial {
+  pgstub::BlockId next;
+};
+
+struct CodeTupleHeader {
+  int64_t row_id;
+};
+}  // namespace
+
+Status PaseIvfSq8Index::AppendToBucket(uint32_t bucket, int64_t row_id,
+                                       const uint8_t* code) {
+  const uint32_t tuple_bytes = sizeof(CodeTupleHeader) + dim_;
+  std::vector<char> tuple(tuple_bytes);
+  reinterpret_cast<CodeTupleHeader*>(tuple.data())->row_id = row_id;
+  std::memcpy(tuple.data() + sizeof(CodeTupleHeader), code, dim_);
+
+  BucketChain& chain = chains_[bucket];
+  if (chain.tail != pgstub::kInvalidBlock) {
+    VECDB_ASSIGN_OR_RETURN(pgstub::BufferHandle handle,
+                           env_.bufmgr->Pin(data_rel_, chain.tail));
+    pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+    if (page.AddItem(tuple.data(), static_cast<uint16_t>(tuple_bytes)) !=
+        pgstub::kInvalidOffset) {
+      env_.bufmgr->Unpin(handle, true);
+      return Status::OK();
+    }
+    env_.bufmgr->Unpin(handle, false);
+  }
+  VECDB_ASSIGN_OR_RETURN(auto fresh, env_.bufmgr->NewPage(data_rel_));
+  pgstub::PageView page(fresh.second.data, env_.bufmgr->page_size());
+  page.Init(sizeof(DataPageSpecial));
+  reinterpret_cast<DataPageSpecial*>(page.Special())->next =
+      pgstub::kInvalidBlock;
+  if (page.AddItem(tuple.data(), static_cast<uint16_t>(tuple_bytes)) ==
+      pgstub::kInvalidOffset) {
+    env_.bufmgr->Unpin(fresh.second, true);
+    return Status::Internal("PaseIvfSq8: tuple larger than a page");
+  }
+  env_.bufmgr->Unpin(fresh.second, true);
+  if (chain.tail != pgstub::kInvalidBlock) {
+    VECDB_ASSIGN_OR_RETURN(pgstub::BufferHandle prev,
+                           env_.bufmgr->Pin(data_rel_, chain.tail));
+    pgstub::PageView prev_page(prev.data, env_.bufmgr->page_size());
+    reinterpret_cast<DataPageSpecial*>(prev_page.Special())->next =
+        fresh.first;
+    env_.bufmgr->Unpin(prev, true);
+  } else {
+    chain.head = fresh.first;
+  }
+  chain.tail = fresh.first;
+  return Status::OK();
+}
+
+Status PaseIvfSq8Index::Build(const float* data, size_t n) {
+  if (!env_.valid()) return Status::InvalidArgument("PaseIvfSq8: bad env");
+  if (data == nullptr || n == 0) {
+    return Status::InvalidArgument("PaseIvfSq8: empty input");
+  }
+  if (options_.num_clusters > n) {
+    return Status::InvalidArgument("PaseIvfSq8: c > n");
+  }
+  build_stats_ = {};
+  Timer timer;
+
+  KMeansOptions km;
+  km.num_clusters = options_.num_clusters;
+  km.max_iterations = options_.train_iterations;
+  km.sample_ratio = options_.sample_ratio;
+  km.style = KMeansStyle::kPaseStyle;
+  km.use_sgemm = false;
+  km.seed = options_.seed;
+  km.profiler = options_.profiler;
+  VECDB_ASSIGN_OR_RETURN(KMeansModel model, TrainKMeans(data, n, dim_, km));
+  num_clusters_ = model.num_clusters;
+  centroids_.Resize(0);
+  centroids_.Append(model.centroids.data(),
+                    static_cast<size_t>(num_clusters_) * dim_);
+  VECDB_ASSIGN_OR_RETURN(ScalarQuantizer8 sq,
+                         ScalarQuantizer8::Train(data, n, dim_));
+  sq_.emplace(std::move(sq));
+  build_stats_.train_seconds = timer.ElapsedSeconds();
+  timer.Reset();
+
+  VECDB_ASSIGN_OR_RETURN(
+      data_rel_, env_.smgr->CreateRelation(options_.rel_prefix + "_data"));
+  chains_.assign(num_clusters_, {});
+  std::vector<uint32_t> assign(n);
+  AssignToNearest(data, n, dim_, centroids_.data(), num_clusters_,
+                  /*use_sgemm=*/false, assign.data(), nullptr, nullptr,
+                  options_.profiler);
+  std::vector<uint8_t> code(sq_->code_size());
+  for (size_t i = 0; i < n; ++i) {
+    sq_->Encode(data + i * dim_, code.data());
+    VECDB_RETURN_NOT_OK(
+        AppendToBucket(assign[i], static_cast<int64_t>(i), code.data()));
+  }
+  num_vectors_ = n;
+  build_stats_.add_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status PaseIvfSq8Index::Insert(const float* vec) {
+  if (!sq_) return Status::InvalidArgument("PaseIvfSq8: index not built");
+  if (vec == nullptr) return Status::InvalidArgument("PaseIvfSq8: null vec");
+  uint32_t bucket = 0;
+  AssignToNearest(vec, 1, dim_, centroids_.data(), num_clusters_,
+                  /*use_sgemm=*/false, &bucket, nullptr);
+  std::vector<uint8_t> code(sq_->code_size());
+  sq_->Encode(vec, code.data());
+  VECDB_RETURN_NOT_OK(AppendToBucket(
+      bucket, static_cast<int64_t>(num_vectors_), code.data()));
+  ++num_vectors_;
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> PaseIvfSq8Index::Search(
+    const float* query, const SearchParams& params) const {
+  if (query == nullptr) {
+    return Status::InvalidArgument("PaseIvfSq8: null query");
+  }
+  if (params.k == 0) return Status::InvalidArgument("PaseIvfSq8: k == 0");
+  if (!sq_) return Status::InvalidArgument("PaseIvfSq8: index not built");
+  const uint32_t nprobe =
+      std::min(params.nprobe == 0 ? 1u : params.nprobe, num_clusters_);
+
+  KMaxHeap centroid_heap(nprobe);
+  {
+    ProfScope scope(params.profiler, "SelectBuckets");
+    for (uint32_t c = 0; c < num_clusters_; ++c) {
+      centroid_heap.Push(
+          L2Sqr(query, centroids_.data() + static_cast<size_t>(c) * dim_,
+                dim_),
+          c);
+    }
+  }
+
+  NHeap collector;  // RC#6 applies to every PASE IVF index
+  for (const auto& probe : centroid_heap.TakeSorted()) {
+    pgstub::BlockId block = chains_[static_cast<uint32_t>(probe.id)].head;
+    while (block != pgstub::kInvalidBlock) {
+      pgstub::BufferHandle handle;
+      {
+        ProfScope scope(params.profiler, "TupleAccess");
+        VECDB_ASSIGN_OR_RETURN(handle, env_.bufmgr->Pin(data_rel_, block));
+      }
+      pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+      const uint16_t count = page.ItemCount();
+      {
+        ProfScope scope(params.profiler, "sq8_scan");
+        for (pgstub::OffsetNumber slot = 1; slot <= count; ++slot) {
+          const char* item = page.GetItem(slot);
+          const auto* header =
+              reinterpret_cast<const CodeTupleHeader*>(item);
+          if (tombstones_.Contains(header->row_id)) continue;
+          const uint8_t* code = reinterpret_cast<const uint8_t*>(
+              item + sizeof(CodeTupleHeader));
+          collector.Push(sq_->DistanceToCode(query, code), header->row_id);
+        }
+      }
+      block = reinterpret_cast<const DataPageSpecial*>(page.Special())->next;
+      env_.bufmgr->Unpin(handle, false);
+    }
+  }
+  ProfScope scope(params.profiler, "MinHeap");
+  return collector.PopK(params.k);
+}
+
+size_t PaseIvfSq8Index::SizeBytes() const {
+  size_t blocks = 0;
+  if (auto r = env_.smgr->NumBlocks(data_rel_); r.ok()) blocks += *r;
+  return blocks * static_cast<size_t>(env_.bufmgr->page_size()) +
+         centroids_.size() * sizeof(float);
+}
+
+std::string PaseIvfSq8Index::Describe() const {
+  return "pase::IVF_SQ8 dim=" + std::to_string(dim_) +
+         " c=" + std::to_string(num_clusters_);
+}
+
+}  // namespace vecdb::pase

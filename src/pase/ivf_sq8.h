@@ -1,0 +1,73 @@
+// PASE IVF_SQ8: the page-resident counterpart of faisslike::IvfSq8Index —
+// centroid pages plus per-bucket chains of SQ8 code tuples, scanned
+// through the buffer manager with PASE's n-sized heap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "core/index.h"
+#include "core/tombstones.h"
+#include "pase/pase_common.h"
+#include "quantizer/sq8.h"
+#include "topk/heaps.h"
+
+namespace vecdb::pase {
+
+/// Construction knobs.
+struct PaseIvfSq8Options {
+  uint32_t num_clusters = 256;
+  double sample_ratio = 0.01;
+  int train_iterations = 10;
+  uint64_t seed = 42;
+  std::string rel_prefix = "pase_ivfsq8";
+  Profiler* profiler = nullptr;
+};
+
+/// Page-resident IVF_SQ8 index.
+class PaseIvfSq8Index final : public VectorIndex {
+ public:
+  PaseIvfSq8Index(PaseEnv env, uint32_t dim, PaseIvfSq8Options options)
+      : env_(env), dim_(dim), options_(options) {}
+
+  Status Build(const float* data, size_t n) override;
+
+  /// aminsert: encodes and appends the new row to its bucket chain.
+  Status Insert(const float* vec) override;
+
+  /// amdelete: tombstones a row (PASE marks dead tuples; VACUUM reclaims).
+  Status Delete(int64_t id) override { return tombstones_.Mark(id); }
+
+  Result<std::vector<Neighbor>> Search(const float* query,
+                                       const SearchParams& params) const override;
+
+  size_t SizeBytes() const override;
+  size_t NumVectors() const override {
+    return num_vectors_ - tombstones_.size();
+  }
+  std::string Describe() const override;
+
+ private:
+  struct BucketChain {
+    pgstub::BlockId head = pgstub::kInvalidBlock;
+    pgstub::BlockId tail = pgstub::kInvalidBlock;
+  };
+
+  Status AppendToBucket(uint32_t bucket, int64_t row_id, const uint8_t* code);
+
+  PaseEnv env_;
+  uint32_t dim_;
+  PaseIvfSq8Options options_;
+  uint32_t num_clusters_ = 0;
+  size_t num_vectors_ = 0;
+  pgstub::RelId data_rel_ = pgstub::kInvalidRel;
+  std::vector<BucketChain> chains_;
+  AlignedFloats centroids_;
+  std::optional<ScalarQuantizer8> sq_;
+  TombstoneSet tombstones_;
+};
+
+}  // namespace vecdb::pase

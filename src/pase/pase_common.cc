@@ -1,0 +1,13 @@
+#include "pase/pase_common.h"
+
+namespace vecdb::pase {
+
+// Out-of-line on purpose: PASE pays a function call + hash probe per
+// visited check (paper Fig 8's HVTGet), and so do we.
+__attribute__((noinline)) bool HashVisitedTable::GetAndSet(uint64_t key) {
+  auto [it, inserted] = set_.insert(key);
+  (void)it;
+  return !inserted;
+}
+
+}  // namespace vecdb::pase

@@ -1,0 +1,70 @@
+// Shared definitions of the PASE-like generalized engine: the storage
+// environment handle, on-page tuple formats (including the 24-byte
+// HNSWNeighborTuple the paper dissects in §VI-C), and the hash-based
+// visited table whose HVTGet() calls show up in the paper's Fig 8.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "pgstub/bufmgr.h"
+#include "pgstub/smgr.h"
+
+namespace vecdb::pase {
+
+/// The PostgreSQL-like runtime a PASE index lives in. Both pointers are
+/// borrowed and must outlive the index.
+struct PaseEnv {
+  pgstub::StorageManager* smgr = nullptr;
+  pgstub::BufferManager* bufmgr = nullptr;
+
+  bool valid() const { return smgr != nullptr && bufmgr != nullptr; }
+};
+
+/// On-page vector tuple of the PASE data pages: row id + raw floats.
+struct PaseVectorTuple {
+  int64_t row_id;
+  uint32_t level;  // used by HNSW; 0 elsewhere
+  // float vec[dim] follows
+};
+
+/// The virtual-link half of a PASE neighbor entry (8-byte char pointer in
+/// PASE; reproduced as an 8-byte field so the layout cost is identical).
+struct PaseTuple {
+  uint64_t vlink;
+};
+
+/// Physical vertex locator: neighbor page + data tuple address.
+struct HnswGlobalId {
+  uint32_t nblkid;   ///< block of the vertex's adjacency page
+  uint32_t dblkid;   ///< block of the vertex's vector tuple
+  uint32_t doffset;  ///< slot of the vertex's vector tuple
+};
+
+/// One neighbor slot in a PASE HNSW adjacency list: 24 bytes after
+/// alignment (8-byte PaseTuple + 12-byte HnswGlobalId + 4 padding), versus
+/// Faiss's 4-byte neighbor id — the first cause of the paper's Fig 13
+/// space blow-up (RC#4).
+struct HnswNeighborTuple {
+  PaseTuple link;
+  HnswGlobalId gid;
+};
+static_assert(sizeof(HnswNeighborTuple) == 24,
+              "paper reports 24 bytes for HNSWNeighborTuple");
+
+/// PASE's visited-vector hash table. The lookup is an out-of-line function
+/// call into a hash set — deliberately shaped like PASE's HVTGet(), in
+/// contrast to Faiss's inlined epoch-stamp array probe.
+class HashVisitedTable {
+ public:
+  void Reset() { set_.clear(); }
+
+  /// Returns true if `key` was already visited, marking it either way.
+  bool GetAndSet(uint64_t key);
+
+ private:
+  std::unordered_set<uint64_t> set_;
+};
+
+}  // namespace vecdb::pase

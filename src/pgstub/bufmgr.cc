@@ -1,0 +1,141 @@
+#include "pgstub/bufmgr.h"
+
+namespace vecdb::pgstub {
+
+BufferManager::BufferManager(StorageManager* smgr, size_t pool_pages)
+    : smgr_(smgr),
+      frames_(pool_pages),
+      pool_(pool_pages * smgr->page_size()) {
+  table_.reserve(pool_pages * 2);
+}
+
+Result<int32_t> BufferManager::AllocFrame() {
+  // Clock sweep: each frame gets `usage` extra chances, so a full victim
+  // search can need (max usage + 1) rotations. Fail only once an entire
+  // rotation encounters nothing but pinned frames.
+  const size_t n = frames_.size();
+  size_t pinned_streak = 0;
+  for (size_t step = 0; step < 8 * n; ++step) {
+    Frame& f = frames_[clock_hand_];
+    const size_t frame_idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (!f.valid) return static_cast<int32_t>(frame_idx);
+    if (f.pin_count > 0) {
+      if (++pinned_streak >= n) break;
+      continue;
+    }
+    pinned_streak = 0;
+    if (f.usage > 0) {
+      --f.usage;
+      continue;
+    }
+    // Victim: write back if dirty, drop the mapping.
+    if (f.dirty) {
+      VECDB_RETURN_NOT_OK(smgr_->WriteBlock(
+          f.rel, f.block, pool_.data() + frame_idx * smgr_->page_size()));
+      f.dirty = false;
+    }
+    table_.erase(TagKey(f.rel, f.block));
+    f.valid = false;
+    ++stats_.evictions;
+    return static_cast<int32_t>(frame_idx);
+  }
+  return Status::ResourceExhausted("buffer pool: all frames pinned");
+}
+
+Result<BufferHandle> BufferManager::Pin(RelId rel, BlockId block) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ++stats_.pins;
+  auto it = table_.find(TagKey(rel, block));
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    if (f.usage < 5) ++f.usage;
+    ++stats_.hits;
+    return BufferHandle{it->second,
+                        pool_.data() + static_cast<size_t>(it->second) *
+                                           smgr_->page_size()};
+  }
+  ++stats_.misses;
+  VECDB_ASSIGN_OR_RETURN(int32_t frame, AllocFrame());
+  char* data = pool_.data() + static_cast<size_t>(frame) * smgr_->page_size();
+  VECDB_RETURN_NOT_OK(smgr_->ReadBlock(rel, block, data));
+  Frame& f = frames_[frame];
+  f.rel = rel;
+  f.block = block;
+  f.pin_count = 1;
+  f.usage = 1;
+  f.dirty = false;
+  f.valid = true;
+  table_[TagKey(rel, block)] = frame;
+  return BufferHandle{frame, data};
+}
+
+Result<std::pair<BlockId, BufferHandle>> BufferManager::NewPage(RelId rel) {
+  std::lock_guard<std::mutex> guard(mu_);
+  VECDB_ASSIGN_OR_RETURN(BlockId block, smgr_->ExtendRelation(rel));
+  VECDB_ASSIGN_OR_RETURN(int32_t frame, AllocFrame());
+  char* data = pool_.data() + static_cast<size_t>(frame) * smgr_->page_size();
+  std::memset(data, 0, smgr_->page_size());
+  Frame& f = frames_[frame];
+  f.rel = rel;
+  f.block = block;
+  f.pin_count = 1;
+  f.usage = 1;
+  f.dirty = true;
+  f.valid = true;
+  table_[TagKey(rel, block)] = frame;
+  ++stats_.pins;
+  return std::make_pair(block, BufferHandle{frame, data});
+}
+
+void BufferManager::Unpin(const BufferHandle& handle, bool dirty) {
+  if (!handle.valid()) return;
+  std::lock_guard<std::mutex> guard(mu_);
+  Frame& f = frames_[handle.frame];
+  if (f.pin_count > 0) --f.pin_count;
+  if (dirty) {
+    f.dirty = true;
+    if (wal_ != nullptr) {
+      auto logged = wal_->LogFullPage(
+          f.rel, f.block,
+          pool_.data() + static_cast<size_t>(handle.frame) *
+                             smgr_->page_size(),
+          smgr_->page_size());
+      if (!logged.ok() && wal_error_.ok()) wal_error_ = logged.status();
+    }
+  }
+}
+
+Status BufferManager::FlushAll() {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.valid && f.dirty) {
+      VECDB_RETURN_NOT_OK(smgr_->WriteBlock(
+          f.rel, f.block, pool_.data() + i * smgr_->page_size()));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferManager::InvalidateRelation(RelId rel) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& f : frames_) {
+    if (f.valid && f.rel == rel && f.pin_count > 0) {
+      return Status::InvalidArgument("relation has pinned pages");
+    }
+  }
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.valid && f.rel == rel) {
+      table_.erase(TagKey(f.rel, f.block));
+      f.valid = false;
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vecdb::pgstub

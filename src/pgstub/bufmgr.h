@@ -1,0 +1,109 @@
+// Buffer manager: fixed pool of page frames with clock-sweep replacement,
+// pin counts, and a tag hash table (PostgreSQL's bufmgr.c analog). Every
+// PASE tuple access goes Pin -> line-pointer lookup -> Unpin; this
+// indirection — even with a 100% hit rate — is the paper's RC#2.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "pgstub/page.h"
+#include "pgstub/smgr.h"
+#include "pgstub/wal.h"
+
+namespace vecdb::pgstub {
+
+/// A pinned page frame. Valid until Unpin; `data` points at page_size bytes.
+struct BufferHandle {
+  int32_t frame = -1;
+  char* data = nullptr;
+
+  bool valid() const { return frame >= 0; }
+};
+
+/// Hit/miss/eviction counters (diagnostics and tests).
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t pins = 0;
+};
+
+/// Clock-sweep buffer pool over a StorageManager.
+///
+/// Thread-safe: a single mutex guards the mapping and frame metadata
+/// (page contents are read outside the lock while pinned). In the paper's
+/// experiments the pool is sized to hold the whole dataset, so after
+/// warm-up every access is a hit — yet still pays hash lookup, pinning, and
+/// line-pointer indirection.
+class BufferManager {
+ public:
+  /// `pool_pages` frames over `smgr` (not owned; must outlive this).
+  BufferManager(StorageManager* smgr, size_t pool_pages);
+
+  /// Pins (reading from disk on miss) block `block` of `rel`.
+  /// Fails with ResourceExhausted when every frame is pinned.
+  Result<BufferHandle> Pin(RelId rel, BlockId block);
+
+  /// Extends the relation by one zero-initialized page and pins it.
+  /// The caller must PageView::Init the page.
+  Result<std::pair<BlockId, BufferHandle>> NewPage(RelId rel);
+
+  /// Releases a pin; `dirty` marks the page for write-back. When a WAL is
+  /// attached, dirty unpins log a full-page image before the page becomes
+  /// eligible for eviction (WAL-before-data); logging failures surface via
+  /// wal_error().
+  void Unpin(const BufferHandle& handle, bool dirty);
+
+  /// Attaches a write-ahead log (not owned; may be null to detach).
+  void SetWal(WalManager* wal) { wal_ = wal; }
+
+  /// First WAL logging failure observed by Unpin, if any.
+  const Status& wal_error() const { return wal_error_; }
+
+  /// Writes all dirty unpinned pages back to storage.
+  Status FlushAll();
+
+  /// Drops every mapping for `rel` (before DropRelation). Fails if any of
+  /// its pages are still pinned.
+  Status InvalidateRelation(RelId rel);
+
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+  size_t pool_pages() const { return frames_.size(); }
+  uint32_t page_size() const { return smgr_->page_size(); }
+
+ private:
+  struct Frame {
+    RelId rel = kInvalidRel;
+    BlockId block = kInvalidBlock;
+    int32_t pin_count = 0;
+    uint8_t usage = 0;
+    bool dirty = false;
+    bool valid = false;
+  };
+
+  static uint64_t TagKey(RelId rel, BlockId block) {
+    return (static_cast<uint64_t>(rel) << 32) | block;
+  }
+
+  /// Finds a victim frame via clock sweep; evicts (writing back if dirty).
+  /// Returns -1 with ResourceExhausted if all frames are pinned.
+  Result<int32_t> AllocFrame();
+
+  StorageManager* smgr_;
+  std::vector<Frame> frames_;
+  std::vector<char> pool_;
+  std::unordered_map<uint64_t, int32_t> table_;
+  size_t clock_hand_ = 0;
+  BufferStats stats_;
+  WalManager* wal_ = nullptr;
+  Status wal_error_;
+  std::mutex mu_;
+};
+
+}  // namespace vecdb::pgstub

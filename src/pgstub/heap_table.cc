@@ -1,0 +1,110 @@
+#include "pgstub/heap_table.h"
+
+#include <cstring>
+#include <vector>
+
+namespace vecdb::pgstub {
+
+Result<HeapTable> HeapTable::Create(BufferManager* bufmgr,
+                                    StorageManager* smgr,
+                                    const std::string& name, uint32_t dim) {
+  if (dim == 0) return Status::InvalidArgument("HeapTable: dim == 0");
+  VECDB_ASSIGN_OR_RETURN(RelId rel, smgr->CreateRelation(name));
+  HeapTable table(bufmgr, smgr, rel, dim);
+  const uint32_t tuple = table.tuple_size();
+  // A tuple must fit on one page (no TOAST in this substrate).
+  if (tuple + sizeof(PageView::Header) + sizeof(ItemId) >
+      smgr->page_size()) {
+    return Status::InvalidArgument(
+        "HeapTable: tuple of dim " + std::to_string(dim) +
+        " does not fit in a " + std::to_string(smgr->page_size()) +
+        "-byte page");
+  }
+  return table;
+}
+
+Result<TupleId> HeapTable::Insert(int64_t row_id, const float* vec) {
+  if (vec == nullptr) return Status::InvalidArgument("HeapTable: null vec");
+  std::vector<char> tuple(tuple_size());
+  auto* header = reinterpret_cast<HeapTupleHeader*>(tuple.data());
+  header->row_id = row_id;
+  header->dim = dim_;
+  std::memcpy(tuple.data() + sizeof(HeapTupleHeader), vec,
+              dim_ * sizeof(float));
+
+  // Try the current tail page first; extend on overflow.
+  if (last_block_ != kInvalidBlock) {
+    VECDB_ASSIGN_OR_RETURN(BufferHandle handle,
+                           bufmgr_->Pin(rel_, last_block_));
+    PageView page(handle.data, bufmgr_->page_size());
+    const OffsetNumber slot =
+        page.AddItem(tuple.data(), static_cast<uint16_t>(tuple.size()));
+    if (slot != kInvalidOffset) {
+      bufmgr_->Unpin(handle, /*dirty=*/true);
+      ++num_rows_;
+      return TupleId{last_block_, slot};
+    }
+    bufmgr_->Unpin(handle, /*dirty=*/false);
+  }
+
+  VECDB_ASSIGN_OR_RETURN(auto fresh, bufmgr_->NewPage(rel_));
+  PageView page(fresh.second.data, bufmgr_->page_size());
+  page.Init(/*special_size=*/0);
+  const OffsetNumber slot =
+      page.AddItem(tuple.data(), static_cast<uint16_t>(tuple.size()));
+  bufmgr_->Unpin(fresh.second, /*dirty=*/true);
+  if (slot == kInvalidOffset) {
+    return Status::Internal("HeapTable: tuple does not fit on a fresh page");
+  }
+  last_block_ = fresh.first;
+  ++num_rows_;
+  return TupleId{fresh.first, slot};
+}
+
+Status HeapTable::Read(TupleId tid, int64_t* row_id, float* vec) const {
+  if (!tid.valid()) return Status::InvalidArgument("HeapTable: invalid tid");
+  VECDB_ASSIGN_OR_RETURN(BufferHandle handle, bufmgr_->Pin(rel_, tid.block));
+  PageView page(handle.data, bufmgr_->page_size());
+  const char* item = page.GetItem(tid.offset);
+  if (item == nullptr) {
+    bufmgr_->Unpin(handle, false);
+    return Status::NotFound("HeapTable: no tuple at slot " +
+                            std::to_string(tid.offset));
+  }
+  const auto* header = reinterpret_cast<const HeapTupleHeader*>(item);
+  if (header->dim != dim_) {
+    bufmgr_->Unpin(handle, false);
+    return Status::Corruption("HeapTable: tuple dim mismatch");
+  }
+  if (row_id != nullptr) *row_id = header->row_id;
+  if (vec != nullptr) {
+    std::memcpy(vec, item + sizeof(HeapTupleHeader), dim_ * sizeof(float));
+  }
+  bufmgr_->Unpin(handle, false);
+  return Status::OK();
+}
+
+Status HeapTable::SeqScan(
+    const std::function<bool(TupleId, int64_t, const float*)>& fn) const {
+  VECDB_ASSIGN_OR_RETURN(BlockId num_blocks, smgr_->NumBlocks(rel_));
+  for (BlockId block = 0; block < num_blocks; ++block) {
+    VECDB_ASSIGN_OR_RETURN(BufferHandle handle, bufmgr_->Pin(rel_, block));
+    PageView page(handle.data, bufmgr_->page_size());
+    const uint16_t count = page.ItemCount();
+    for (OffsetNumber slot = 1; slot <= count; ++slot) {
+      const char* item = page.GetItem(slot);
+      if (item == nullptr) continue;
+      const auto* header = reinterpret_cast<const HeapTupleHeader*>(item);
+      const float* vec =
+          reinterpret_cast<const float*>(item + sizeof(HeapTupleHeader));
+      if (!fn(TupleId{block, slot}, header->row_id, vec)) {
+        bufmgr_->Unpin(handle, false);
+        return Status::OK();
+      }
+    }
+    bufmgr_->Unpin(handle, false);
+  }
+  return Status::OK();
+}
+
+}  // namespace vecdb::pgstub

@@ -1,0 +1,60 @@
+// Heap table storing (row id, float[]) tuples in slotted pages via the
+// buffer manager — the PASE/PostgreSQL way of storing a vector column.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "pgstub/bufmgr.h"
+
+namespace vecdb::pgstub {
+
+/// On-page tuple header; `dim` floats follow immediately.
+struct HeapTupleHeader {
+  int64_t row_id;
+  uint32_t dim;
+};
+
+/// Append-only table of fixed-dimension vector rows.
+class HeapTable {
+ public:
+  /// Creates a new relation named `name` for dim-dimensional rows.
+  static Result<HeapTable> Create(BufferManager* bufmgr, StorageManager* smgr,
+                                  const std::string& name, uint32_t dim);
+
+  /// Inserts a row; returns its physical TupleId.
+  Result<TupleId> Insert(int64_t row_id, const float* vec);
+
+  /// Reads the row at `tid` through the buffer manager into `row_id`/`vec`
+  /// (vec must hold dim() floats). This is the paper's "Tuple Access" path.
+  Status Read(TupleId tid, int64_t* row_id, float* vec) const;
+
+  /// Sequential scan invoking `fn(tid, row_id, vec)` for every tuple;
+  /// stops early if `fn` returns false.
+  Status SeqScan(
+      const std::function<bool(TupleId, int64_t, const float*)>& fn) const;
+
+  uint32_t dim() const { return dim_; }
+  RelId rel() const { return rel_; }
+  size_t num_rows() const { return num_rows_; }
+  uint32_t tuple_size() const {
+    return static_cast<uint32_t>(sizeof(HeapTupleHeader)) +
+           dim_ * static_cast<uint32_t>(sizeof(float));
+  }
+
+ private:
+  HeapTable(BufferManager* bufmgr, StorageManager* smgr, RelId rel,
+            uint32_t dim)
+      : bufmgr_(bufmgr), smgr_(smgr), rel_(rel), dim_(dim) {}
+
+  BufferManager* bufmgr_;
+  StorageManager* smgr_;
+  RelId rel_;
+  uint32_t dim_;
+  BlockId last_block_ = kInvalidBlock;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace vecdb::pgstub

@@ -1,0 +1,84 @@
+#include "pgstub/index_am.h"
+
+#include <vector>
+
+#include "common/aligned_buffer.h"
+
+namespace vecdb::pgstub {
+
+namespace {
+
+/// Materialized result cursor: holds the top-k list and yields sequentially.
+class MaterializedCursor final : public IndexScanCursor {
+ public:
+  explicit MaterializedCursor(std::vector<Neighbor> results)
+      : results_(std::move(results)) {}
+
+  Result<bool> AmGetTuple(Neighbor* out) override {
+    if (pos_ >= results_.size()) return false;
+    *out = results_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<Neighbor> results_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status VectorIndexAm::AmBuild(const HeapTable& table) {
+  // Collect the rows in storage order, then bulk-build. PASE's ambuild also
+  // scans the heap once before constructing the index. VectorIndex::Build
+  // numbers vectors by position; row_ids_ maps positions back to user ids.
+  AlignedFloats vecs;
+  row_ids_.clear();
+  VECDB_RETURN_NOT_OK(table.SeqScan(
+      [&](TupleId, int64_t row_id, const float* vec) {
+        vecs.Append(vec, table.dim());
+        row_ids_.push_back(row_id);
+        return true;
+      }));
+  if (row_ids_.empty()) {
+    return Status::InvalidArgument("AmBuild: table is empty");
+  }
+  return index_->Build(vecs.data(), row_ids_.size());
+}
+
+Status VectorIndexAm::AmInsert(const float* vec, int64_t row_id) {
+  // Delegates to the index's incremental path (NotSupported for indexes
+  // that require a rebuild); on success, extend the position -> row-id map.
+  VECDB_RETURN_NOT_OK(index_->Insert(vec));
+  row_ids_.push_back(row_id);
+  return Status::OK();
+}
+
+Status VectorIndexAm::AmDelete(int64_t row_id) {
+  // Translate the user row id to the index's position before tombstoning.
+  for (size_t pos = 0; pos < row_ids_.size(); ++pos) {
+    if (row_ids_[pos] == row_id) {
+      return index_->Delete(static_cast<int64_t>(pos));
+    }
+  }
+  return Status::NotFound("row " + std::to_string(row_id) +
+                          " not present in index");
+}
+
+Result<std::unique_ptr<IndexScanCursor>> VectorIndexAm::AmBeginScan(
+    const float* query, const AmScanOptions& options) const {
+  SearchParams params;
+  params.k = options.k;
+  params.nprobe = options.nprobe;
+  params.efs = options.efs;
+  VECDB_ASSIGN_OR_RETURN(std::vector<Neighbor> results,
+                         index_->Search(query, params));
+  for (auto& nb : results) {
+    if (nb.id >= 0 && static_cast<size_t>(nb.id) < row_ids_.size()) {
+      nb.id = row_ids_[static_cast<size_t>(nb.id)];
+    }
+  }
+  return std::unique_ptr<IndexScanCursor>(
+      new MaterializedCursor(std::move(results)));
+}
+
+}  // namespace vecdb::pgstub

@@ -1,0 +1,72 @@
+// PostgreSQL-style index access method interface (IndexAmRoutine analog,
+// paper §II-E): a new index type plugs into the executor by implementing
+// build / insert / beginscan / gettuple / endscan. The SQL planner drives
+// PASE indexes exclusively through this interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "core/index.h"
+#include "pgstub/heap_table.h"
+
+namespace vecdb::pgstub {
+
+/// Scan-time options handed to ambeginscan (PASE encodes these in the query
+/// operator's option string).
+struct AmScanOptions {
+  size_t k = 100;
+  uint32_t nprobe = 20;
+  uint32_t efs = 200;
+};
+
+/// An open ordered index scan; amgettuple yields one result at a time.
+class IndexScanCursor {
+ public:
+  virtual ~IndexScanCursor() = default;
+
+  /// Fetches the next (distance-ordered) match. Returns false at the end.
+  virtual Result<bool> AmGetTuple(Neighbor* out) = 0;
+};
+
+/// The access-method routine table, as a virtual interface.
+class IndexAccessMethod {
+ public:
+  virtual ~IndexAccessMethod() = default;
+
+  /// ambuild: bulk-builds the index over every row of `table`.
+  virtual Status AmBuild(const HeapTable& table) = 0;
+
+  /// aminsert: adds one new row to the index.
+  virtual Status AmInsert(const float* vec, int64_t row_id) = 0;
+
+  /// amdelete: removes (tombstones) a row from the index.
+  virtual Status AmDelete(int64_t row_id) = 0;
+
+  /// ambeginscan: opens an ordered scan for `query`.
+  virtual Result<std::unique_ptr<IndexScanCursor>> AmBeginScan(
+      const float* query, const AmScanOptions& options) const = 0;
+};
+
+/// Adapter exposing any VectorIndex as an access method: the scan
+/// materializes the top-k result at beginscan and dribbles tuples out,
+/// which is how PASE services ORDER BY ... LIMIT k plans. Rows may carry
+/// arbitrary user ids; the adapter maintains the position -> row-id map.
+class VectorIndexAm final : public IndexAccessMethod {
+ public:
+  /// Wraps `index` (not owned; must outlive the adapter).
+  explicit VectorIndexAm(VectorIndex* index) : index_(index) {}
+
+  Status AmBuild(const HeapTable& table) override;
+  Status AmInsert(const float* vec, int64_t row_id) override;
+  Status AmDelete(int64_t row_id) override;
+  Result<std::unique_ptr<IndexScanCursor>> AmBeginScan(
+      const float* query, const AmScanOptions& options) const override;
+
+ private:
+  VectorIndex* index_;
+  std::vector<int64_t> row_ids_;  ///< index position -> user row id
+};
+
+}  // namespace vecdb::pgstub

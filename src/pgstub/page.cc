@@ -1,0 +1,71 @@
+#include "pgstub/page.h"
+
+namespace vecdb::pgstub {
+
+void PageView::Init(uint16_t special_size) {
+  std::memset(buf_, 0, page_size_);
+  Header* h = header();
+  h->lower = sizeof(Header);
+  h->special = static_cast<uint16_t>(page_size_ - special_size);
+  h->upper = h->special;
+  h->item_count = 0;
+}
+
+OffsetNumber PageView::AddItem(const void* data, uint16_t len) {
+  Header* h = header();
+  const uint32_t need = sizeof(ItemId) + static_cast<uint32_t>(len);
+  if (h->upper < h->lower ||
+      static_cast<uint32_t>(h->upper - h->lower) < need) {
+    return kInvalidOffset;
+  }
+  h->upper = static_cast<uint16_t>(h->upper - len);
+  ItemId* iid = item_ids() + h->item_count;
+  iid->off = h->upper;
+  iid->len = len;
+  std::memcpy(buf_ + h->upper, data, len);
+  h->lower = static_cast<uint16_t>(h->lower + sizeof(ItemId));
+  h->item_count += 1;
+  return h->item_count;  // 1-based
+}
+
+char* PageView::GetItem(OffsetNumber slot) const {
+  if (slot == kInvalidOffset || slot > header()->item_count) return nullptr;
+  const ItemId& iid = item_ids()[slot - 1];
+  if (iid.len == 0) return nullptr;
+  return buf_ + iid.off;
+}
+
+uint16_t PageView::GetItemLength(OffsetNumber slot) const {
+  if (slot == kInvalidOffset || slot > header()->item_count) return 0;
+  return item_ids()[slot - 1].len;
+}
+
+uint32_t PageView::FreeSpace() const {
+  const Header* h = header();
+  if (h->upper < h->lower) return 0;
+  const uint32_t gap = h->upper - h->lower;
+  return gap < sizeof(ItemId) ? 0 : gap - sizeof(ItemId);
+}
+
+Status PageView::Check() const {
+  const Header* h = header();
+  if (h->lower < sizeof(Header) || h->lower > h->upper ||
+      h->upper > h->special || h->special > page_size_) {
+    return Status::Corruption("page header invariants violated");
+  }
+  const uint32_t expected_lower =
+      sizeof(Header) + static_cast<uint32_t>(h->item_count) * sizeof(ItemId);
+  if (h->lower != expected_lower) {
+    return Status::Corruption("page item_count inconsistent with lower");
+  }
+  for (uint16_t i = 0; i < h->item_count; ++i) {
+    const ItemId& iid = item_ids()[i];
+    if (iid.len != 0 &&
+        (iid.off < h->upper || iid.off + iid.len > h->special)) {
+      return Status::Corruption("line pointer outside item area");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vecdb::pgstub

@@ -1,0 +1,99 @@
+// PostgreSQL-style slotted page: a fixed-size block holding a header, an
+// array of line pointers (ItemIds) growing down from the header, and tuple
+// data growing up from the end. PASE's indexes are laid out in these pages,
+// which is the source of the paper's RC#2 (page indirection on every tuple
+// access) and RC#4 (page-granular space amplification).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/status.h"
+
+namespace vecdb::pgstub {
+
+using BlockId = uint32_t;
+/// 1-based slot number within a page, like PostgreSQL's OffsetNumber.
+using OffsetNumber = uint16_t;
+
+constexpr BlockId kInvalidBlock = 0xffffffffu;
+constexpr OffsetNumber kInvalidOffset = 0;
+
+/// Physical tuple address: (block, slot), PostgreSQL's ItemPointer.
+struct TupleId {
+  BlockId block = kInvalidBlock;
+  OffsetNumber offset = kInvalidOffset;
+
+  bool valid() const {
+    return block != kInvalidBlock && offset != kInvalidOffset;
+  }
+  friend bool operator==(const TupleId& a, const TupleId& b) {
+    return a.block == b.block && a.offset == b.offset;
+  }
+};
+
+/// Line pointer: byte offset and length of one item in the page.
+struct ItemId {
+  uint16_t off = 0;
+  uint16_t len = 0;
+};
+
+/// Non-owning view over one page-sized buffer with slotted-page accessors.
+///
+/// Layout mirrors PostgreSQL: [PageHeader][ItemId array ->][free][<- items]
+/// [special space]. The "special" region at the page end carries
+/// index-specific metadata (e.g. PASE HNSW page chaining).
+class PageView {
+ public:
+  struct Header {
+    uint16_t lower;    // end of the ItemId array
+    uint16_t upper;    // start of item data
+    uint16_t special;  // start of the special space
+    uint16_t item_count;
+  };
+
+  /// Wraps an existing buffer of `page_size` bytes (no initialization).
+  PageView(char* buf, uint32_t page_size) : buf_(buf), page_size_(page_size) {}
+
+  /// Formats the buffer as an empty page with `special_size` reserved bytes.
+  void Init(uint16_t special_size);
+
+  /// Adds an item; returns its 1-based offset number, or kInvalidOffset if
+  /// the page lacks space.
+  OffsetNumber AddItem(const void* data, uint16_t len);
+
+  /// Pointer to item `slot` (1-based); nullptr if out of range or dead.
+  char* GetItem(OffsetNumber slot) const;
+
+  /// Length of item `slot`; 0 if invalid.
+  uint16_t GetItemLength(OffsetNumber slot) const;
+
+  /// Number of line pointers on the page.
+  uint16_t ItemCount() const { return header()->item_count; }
+
+  /// Bytes available for one more item (including its line pointer).
+  uint32_t FreeSpace() const;
+
+  /// Pointer to the index-specific special space.
+  char* Special() const { return buf_ + header()->special; }
+  uint16_t SpecialSize() const {
+    return static_cast<uint16_t>(page_size_ - header()->special);
+  }
+
+  /// Validates header invariants; Corruption status on violation.
+  Status Check() const;
+
+  char* raw() const { return buf_; }
+  uint32_t page_size() const { return page_size_; }
+
+ private:
+  Header* header() const { return reinterpret_cast<Header*>(buf_); }
+  ItemId* item_ids() const {
+    return reinterpret_cast<ItemId*>(buf_ + sizeof(Header));
+  }
+
+  char* buf_;
+  uint32_t page_size_;
+};
+
+}  // namespace vecdb::pgstub

@@ -1,0 +1,150 @@
+#include "pgstub/smgr.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace vecdb::pgstub {
+
+Result<StorageManager> StorageManager::Open(const std::string& dir,
+                                            uint32_t page_size) {
+  if (page_size < 512 || (page_size & (page_size - 1)) != 0) {
+    return Status::InvalidArgument(
+        "StorageManager: page_size must be a power of two >= 512");
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("cannot create data directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  return StorageManager(dir, page_size);
+}
+
+StorageManager::~StorageManager() {
+  for (auto& rel : rels_) {
+    if (rel.file != nullptr) std::fclose(rel.file);
+  }
+}
+
+StorageManager::StorageManager(StorageManager&& other) noexcept
+    : dir_(std::move(other.dir_)),
+      page_size_(other.page_size_),
+      rels_(std::move(other.rels_)),
+      by_name_(std::move(other.by_name_)) {
+  other.rels_.clear();
+}
+
+StorageManager& StorageManager::operator=(StorageManager&& other) noexcept {
+  if (this != &other) {
+    for (auto& rel : rels_) {
+      if (rel.file != nullptr) std::fclose(rel.file);
+    }
+    dir_ = std::move(other.dir_);
+    page_size_ = other.page_size_;
+    rels_ = std::move(other.rels_);
+    by_name_ = std::move(other.by_name_);
+    other.rels_.clear();
+  }
+  return *this;
+}
+
+Result<RelId> StorageManager::CreateRelation(const std::string& name) {
+  if (name.empty() || name.find('/') != std::string::npos) {
+    return Status::InvalidArgument("bad relation name: " + name);
+  }
+  if (by_name_.count(name) != 0) {
+    return Status::AlreadyExists("relation exists: " + name);
+  }
+  const std::string path = dir_ + "/" + name + ".rel";
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) {
+    return Status::IOError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  RelFile rel;
+  rel.name = name;
+  rel.file = f;
+  rel.num_blocks = 0;
+  const RelId id = static_cast<RelId>(rels_.size());
+  rels_.push_back(rel);
+  by_name_[name] = id;
+  return id;
+}
+
+Result<RelId> StorageManager::FindRelation(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no relation named " + name);
+  }
+  return it->second;
+}
+
+Status StorageManager::DropRelation(RelId rel) {
+  VECDB_RETURN_NOT_OK(CheckRel(rel));
+  RelFile& rf = rels_[rel];
+  std::fclose(rf.file);
+  const std::string path = dir_ + "/" + rf.name + ".rel";
+  std::remove(path.c_str());
+  by_name_.erase(rf.name);
+  rf.file = nullptr;
+  rf.num_blocks = 0;
+  rf.name.clear();
+  return Status::OK();
+}
+
+Status StorageManager::CheckRel(RelId rel) const {
+  if (rel >= rels_.size() || rels_[rel].file == nullptr) {
+    return Status::NotFound("invalid relation id " + std::to_string(rel));
+  }
+  return Status::OK();
+}
+
+Result<BlockId> StorageManager::NumBlocks(RelId rel) const {
+  VECDB_RETURN_NOT_OK(CheckRel(rel));
+  return rels_[rel].num_blocks;
+}
+
+Result<BlockId> StorageManager::ExtendRelation(RelId rel) {
+  VECDB_RETURN_NOT_OK(CheckRel(rel));
+  RelFile& rf = rels_[rel];
+  std::vector<char> zeros(page_size_, 0);
+  if (std::fseek(rf.file, static_cast<long>(rf.num_blocks) * page_size_,
+                 SEEK_SET) != 0 ||
+      std::fwrite(zeros.data(), 1, page_size_, rf.file) != page_size_) {
+    return Status::IOError("extend failed on relation " + rf.name);
+  }
+  return rf.num_blocks++;
+}
+
+Status StorageManager::ReadBlock(RelId rel, BlockId block, char* buf) const {
+  VECDB_RETURN_NOT_OK(CheckRel(rel));
+  const RelFile& rf = rels_[rel];
+  if (block >= rf.num_blocks) {
+    return Status::OutOfRange("block " + std::to_string(block) +
+                              " beyond relation " + rf.name);
+  }
+  if (std::fseek(rf.file, static_cast<long>(block) * page_size_, SEEK_SET) !=
+          0 ||
+      std::fread(buf, 1, page_size_, rf.file) != page_size_) {
+    return Status::IOError("read failed on relation " + rf.name);
+  }
+  return Status::OK();
+}
+
+Status StorageManager::WriteBlock(RelId rel, BlockId block, const char* buf) {
+  VECDB_RETURN_NOT_OK(CheckRel(rel));
+  RelFile& rf = rels_[rel];
+  if (block >= rf.num_blocks) {
+    return Status::OutOfRange("block " + std::to_string(block) +
+                              " beyond relation " + rf.name);
+  }
+  if (std::fseek(rf.file, static_cast<long>(block) * page_size_, SEEK_SET) !=
+          0 ||
+      std::fwrite(buf, 1, page_size_, rf.file) != page_size_) {
+    return Status::IOError("write failed on relation " + rf.name);
+  }
+  return Status::OK();
+}
+
+}  // namespace vecdb::pgstub

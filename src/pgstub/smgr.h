@@ -1,0 +1,80 @@
+// Storage manager: one file per relation under a data directory, read and
+// written in page-sized blocks (PostgreSQL's md.c analog). The buffer
+// manager is the only intended caller.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "pgstub/page.h"
+
+namespace vecdb::pgstub {
+
+/// Relation identifier assigned by the storage manager.
+using RelId = uint32_t;
+constexpr RelId kInvalidRel = 0xffffffffu;
+
+/// File-per-relation block storage rooted at a data directory.
+///
+/// Not thread-safe; the buffer manager serializes access. Files are kept
+/// open for the manager's lifetime (PostgreSQL keeps per-backend fd caches
+/// the same way).
+class StorageManager {
+ public:
+  /// Creates/opens a data directory; `page_size` applies to all relations.
+  static Result<StorageManager> Open(const std::string& dir,
+                                     uint32_t page_size);
+
+  ~StorageManager();
+  StorageManager(StorageManager&&) noexcept;
+  StorageManager& operator=(StorageManager&&) noexcept;
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  /// Creates a relation file; fails with AlreadyExists on a name clash.
+  Result<RelId> CreateRelation(const std::string& name);
+
+  /// Looks up a relation by name.
+  Result<RelId> FindRelation(const std::string& name) const;
+
+  /// Removes a relation and its file.
+  Status DropRelation(RelId rel);
+
+  /// Number of blocks currently allocated to the relation.
+  Result<BlockId> NumBlocks(RelId rel) const;
+
+  /// Appends a zeroed block; returns its BlockId.
+  Result<BlockId> ExtendRelation(RelId rel);
+
+  /// Reads block `block` of `rel` into `buf` (page_size bytes).
+  Status ReadBlock(RelId rel, BlockId block, char* buf) const;
+
+  /// Writes `buf` to block `block` of `rel`.
+  Status WriteBlock(RelId rel, BlockId block, const char* buf);
+
+  uint32_t page_size() const { return page_size_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct RelFile {
+    std::string name;
+    std::FILE* file = nullptr;
+    BlockId num_blocks = 0;
+  };
+
+  StorageManager(std::string dir, uint32_t page_size)
+      : dir_(std::move(dir)), page_size_(page_size) {}
+
+  Status CheckRel(RelId rel) const;
+
+  std::string dir_;
+  uint32_t page_size_;
+  std::vector<RelFile> rels_;
+  std::unordered_map<std::string, RelId> by_name_;
+};
+
+}  // namespace vecdb::pgstub

@@ -1,0 +1,161 @@
+#include "pgstub/wal.h"
+
+#include <cstring>
+#include <utility>
+
+namespace vecdb::pgstub {
+
+namespace {
+struct RecordHeader {
+  Lsn lsn;
+  uint32_t payload_len;
+  uint32_t rel;
+  uint32_t block;
+  uint8_t type;
+  uint8_t pad[3];
+};
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    crc ^= bytes[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0x82f63b78u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xffffffffu;
+}
+
+Result<WalManager> WalManager::Open(const std::string& path) {
+  // Scan any existing log to find the next LSN, then reopen for append.
+  Lsn next = 1;
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  if (probe != nullptr) {
+    std::fclose(probe);
+    Status scan = Replay(path, [&next](const WalRecord& record) {
+      next = record.lsn + 1;
+      return Status::OK();
+    });
+    if (!scan.ok()) return scan;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return Status::IOError("cannot open WAL " + path);
+  return WalManager(f, next);
+}
+
+WalManager::~WalManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+WalManager::WalManager(WalManager&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)), next_lsn_(other.next_lsn_) {}
+
+Status WalManager::AppendRecord(WalRecordType type, RelId rel, BlockId block,
+                                const char* payload, uint32_t payload_len) {
+  if (file_ == nullptr) return Status::InvalidArgument("WAL closed");
+  RecordHeader header{};
+  header.lsn = next_lsn_;
+  header.payload_len = payload_len;
+  header.rel = rel;
+  header.block = block;
+  header.type = static_cast<uint8_t>(type);
+  uint32_t crc = Crc32c(&header, sizeof(header));
+  if (payload_len > 0) {
+    // Chain the CRC over header and payload.
+    crc ^= Crc32c(payload, payload_len);
+  }
+  if (std::fwrite(&header, sizeof(header), 1, file_) != 1 ||
+      (payload_len > 0 &&
+       std::fwrite(payload, 1, payload_len, file_) != payload_len) ||
+      std::fwrite(&crc, sizeof(crc), 1, file_) != 1) {
+    return Status::IOError("WAL append failed");
+  }
+  ++next_lsn_;
+  return Status::OK();
+}
+
+Result<Lsn> WalManager::LogFullPage(RelId rel, BlockId block,
+                                    const char* page, uint32_t page_size) {
+  const Lsn lsn = next_lsn_;
+  VECDB_RETURN_NOT_OK(
+      AppendRecord(WalRecordType::kFullPage, rel, block, page, page_size));
+  return lsn;
+}
+
+Result<Lsn> WalManager::LogCheckpoint() {
+  const Lsn lsn = next_lsn_;
+  VECDB_RETURN_NOT_OK(AppendRecord(WalRecordType::kCheckpoint, kInvalidRel,
+                                   kInvalidBlock, nullptr, 0));
+  VECDB_RETURN_NOT_OK(Flush());
+  return lsn;
+}
+
+Status WalManager::Flush() {
+  if (file_ == nullptr) return Status::OK();
+  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
+  return Status::OK();
+}
+
+Status WalManager::Replay(
+    const std::string& path,
+    const std::function<Status(const WalRecord&)>& apply) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open WAL " + path);
+
+  // First pass: decode all intact records, remember the last checkpoint.
+  std::vector<WalRecord> records;
+  size_t last_checkpoint = 0;  // index+1 of last checkpoint record
+  for (;;) {
+    RecordHeader header;
+    if (std::fread(&header, sizeof(header), 1, f) != 1) break;  // clean EOF
+    if (header.payload_len > (64u << 20)) break;  // torn/corrupt tail
+    WalRecord record;
+    record.lsn = header.lsn;
+    record.type = static_cast<WalRecordType>(header.type);
+    record.rel = header.rel;
+    record.block = header.block;
+    record.payload.resize(header.payload_len);
+    if (header.payload_len > 0 &&
+        std::fread(record.payload.data(), 1, header.payload_len, f) !=
+            header.payload_len) {
+      break;  // torn tail
+    }
+    uint32_t stored_crc = 0;
+    if (std::fread(&stored_crc, sizeof(stored_crc), 1, f) != 1) break;
+    uint32_t crc = Crc32c(&header, sizeof(header));
+    if (header.payload_len > 0) {
+      crc ^= Crc32c(record.payload.data(), header.payload_len);
+    }
+    if (crc != stored_crc) break;  // torn or corrupt: stop replay here
+    if (record.type == WalRecordType::kCheckpoint) {
+      last_checkpoint = records.size() + 1;
+    }
+    records.push_back(std::move(record));
+  }
+  std::fclose(f);
+
+  for (size_t i = last_checkpoint; i < records.size(); ++i) {
+    VECDB_RETURN_NOT_OK(apply(records[i]));
+  }
+  return Status::OK();
+}
+
+Status WalManager::Recover(const std::string& path, StorageManager* smgr) {
+  return Replay(path, [smgr](const WalRecord& record) -> Status {
+    if (record.type != WalRecordType::kFullPage) return Status::OK();
+    if (record.payload.size() != smgr->page_size()) {
+      return Status::Corruption("WAL page image size mismatch");
+    }
+    // Extend the relation up to the logged block, then write the image.
+    VECDB_ASSIGN_OR_RETURN(BlockId blocks, smgr->NumBlocks(record.rel));
+    while (blocks <= record.block) {
+      VECDB_ASSIGN_OR_RETURN(BlockId fresh, smgr->ExtendRelation(record.rel));
+      blocks = fresh + 1;
+    }
+    return smgr->WriteBlock(record.rel, record.block, record.payload.data());
+  });
+}
+
+}  // namespace vecdb::pgstub

@@ -1,0 +1,92 @@
+// Write-ahead log for the pgstub substrate: full-page-image records with
+// CRC-checked framing, checkpoints, and replay-based recovery. PostgreSQL
+// durability in miniature — and one more cost a generalized vector
+// database pays on writes that a specialized in-memory system does not.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pgstub/page.h"
+#include "pgstub/smgr.h"
+
+namespace vecdb::pgstub {
+
+/// Monotonically increasing log sequence number (1-based; 0 = invalid).
+using Lsn = uint64_t;
+
+/// Record kinds. Full-page images make replay idempotent and simple
+/// (PostgreSQL's full_page_writes, without the page-delta optimization).
+enum class WalRecordType : uint8_t {
+  kFullPage = 1,   ///< payload: page image for (rel, block)
+  kCheckpoint = 2, ///< everything before this LSN is on disk
+};
+
+/// One decoded WAL record.
+struct WalRecord {
+  Lsn lsn = 0;
+  WalRecordType type = WalRecordType::kFullPage;
+  RelId rel = kInvalidRel;
+  BlockId block = kInvalidBlock;
+  std::vector<char> payload;
+};
+
+/// Appender/replayer over a single log file.
+///
+/// Not thread-safe; the buffer manager serializes writers. Records are
+/// framed as [lsn, type, rel, block, payload_len, payload, crc32] and a
+/// torn tail (from a crash mid-write) is detected and truncated at replay.
+class WalManager {
+ public:
+  /// Opens (creating if absent) the log at `path` for appending.
+  static Result<WalManager> Open(const std::string& path);
+
+  ~WalManager();
+  WalManager(WalManager&&) noexcept;
+  WalManager& operator=(WalManager&&) = delete;
+  WalManager(const WalManager&) = delete;
+
+  /// Appends a full-page image; returns its LSN.
+  Result<Lsn> LogFullPage(RelId rel, BlockId block, const char* page,
+                          uint32_t page_size);
+
+  /// Appends a checkpoint record and flushes the log.
+  Result<Lsn> LogCheckpoint();
+
+  /// Forces buffered records to the OS (fflush; no fsync in this
+  /// reproduction — the container has no power-failure model).
+  Status Flush();
+
+  /// Next LSN to be assigned.
+  Lsn next_lsn() const { return next_lsn_; }
+
+  /// Reads every intact record of the log at `path` in order, stopping
+  /// cleanly at a torn tail. Records before the LAST checkpoint are
+  /// skipped (they are guaranteed on disk).
+  static Status Replay(const std::string& path,
+                       const std::function<Status(const WalRecord&)>& apply);
+
+  /// Replays the log into a storage manager: full-page images are written
+  /// back, extending relations as needed. `rel_map` translates logged rel
+  /// ids if the relation set changed (identity when null).
+  static Status Recover(const std::string& path, StorageManager* smgr);
+
+ private:
+  WalManager(std::FILE* file, Lsn next_lsn)
+      : file_(file), next_lsn_(next_lsn) {}
+
+  Status AppendRecord(WalRecordType type, RelId rel, BlockId block,
+                      const char* payload, uint32_t payload_len);
+
+  std::FILE* file_;
+  Lsn next_lsn_;
+};
+
+/// CRC-32 (Castagnoli polynomial, bitwise) over a byte range.
+uint32_t Crc32c(const void* data, size_t len);
+
+}  // namespace vecdb::pgstub

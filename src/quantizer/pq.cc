@@ -1,0 +1,180 @@
+#include "quantizer/pq.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/serialize.h"
+#include "distance/kernels.h"
+#include "distance/sgemm.h"
+
+namespace vecdb {
+
+Result<ProductQuantizer> ProductQuantizer::Train(const float* data, size_t n,
+                                                 size_t d,
+                                                 const PqOptions& options) {
+  if (data == nullptr || n == 0 || d == 0) {
+    return Status::InvalidArgument("PQ::Train: empty input");
+  }
+  if (options.num_subvectors == 0 || d % options.num_subvectors != 0) {
+    return Status::InvalidArgument(
+        "PQ::Train: num_subvectors must divide dim (m=" +
+        std::to_string(options.num_subvectors) + ", d=" + std::to_string(d) +
+        ")");
+  }
+  if (options.num_codes == 0 || options.num_codes > 256) {
+    return Status::InvalidArgument("PQ::Train: num_codes must be in [1, 256]");
+  }
+  if (n < options.num_codes) {
+    return Status::InvalidArgument(
+        "PQ::Train: need at least c_pq training vectors");
+  }
+
+  ProductQuantizer pq;
+  pq.dim_ = static_cast<uint32_t>(d);
+  pq.use_ref_kernel_ = !options.use_sgemm;
+  pq.m_ = options.num_subvectors;
+  pq.c_pq_ = options.num_codes;
+  pq.sub_dim_ = pq.dim_ / pq.m_;
+  pq.codebooks_.Resize(static_cast<size_t>(pq.m_) * pq.c_pq_ * pq.sub_dim_);
+  pq.codeword_norms_.resize(static_cast<size_t>(pq.m_) * pq.c_pq_);
+
+  // Train one K-means per subspace on the sliced training set.
+  AlignedFloats slice(n * pq.sub_dim_);
+  for (uint32_t sub = 0; sub < pq.m_; ++sub) {
+    ProfScope scope(options.profiler, "pq_train_subspace");
+    for (size_t i = 0; i < n; ++i) {
+      std::memcpy(slice.data() + i * pq.sub_dim_,
+                  data + i * d + static_cast<size_t>(sub) * pq.sub_dim_,
+                  pq.sub_dim_ * sizeof(float));
+    }
+    KMeansOptions km;
+    km.num_clusters = pq.c_pq_;
+    km.max_iterations = options.max_iterations;
+    km.sample_ratio = 1.0;  // the caller already sampled the training set
+    km.style = options.style;
+    km.use_sgemm = options.use_sgemm;
+    km.seed = options.seed + sub;
+    km.pool = options.pool;
+    km.profiler = options.profiler;
+    VECDB_ASSIGN_OR_RETURN(KMeansModel model,
+                           TrainKMeans(slice.data(), n, pq.sub_dim_, km));
+    std::memcpy(pq.codebooks_.data() +
+                    static_cast<size_t>(sub) * pq.c_pq_ * pq.sub_dim_,
+                model.centroids.data(),
+                static_cast<size_t>(pq.c_pq_) * pq.sub_dim_ * sizeof(float));
+  }
+
+  // Train-time codeword norms power the optimized distance table (RC#7).
+  for (uint32_t sub = 0; sub < pq.m_; ++sub) {
+    RowNormsSqr(pq.codebook(sub), pq.c_pq_, pq.sub_dim_,
+                pq.codeword_norms_.data() + static_cast<size_t>(sub) * pq.c_pq_);
+  }
+  return pq;
+}
+
+void ProductQuantizer::Encode(const float* vec, uint8_t* code) const {
+  // PASE encodes with its reference scalar kernel; the Faiss path uses the
+  // optimized one (the same contrast as the IVF adding phase, RC#1).
+  auto kernel = use_ref_kernel_ ? &L2SqrRef : &L2Sqr;
+  for (uint32_t sub = 0; sub < m_; ++sub) {
+    const float* x = vec + static_cast<size_t>(sub) * sub_dim_;
+    const float* cb = codebook(sub);
+    uint32_t best = 0;
+    float best_d = std::numeric_limits<float>::infinity();
+    for (uint32_t j = 0; j < c_pq_; ++j) {
+      const float dist = kernel(x, cb + static_cast<size_t>(j) * sub_dim_,
+                                sub_dim_);
+      if (dist < best_d) {
+        best_d = dist;
+        best = j;
+      }
+    }
+    code[sub] = static_cast<uint8_t>(best);
+  }
+}
+
+void ProductQuantizer::Decode(const uint8_t* code, float* vec) const {
+  for (uint32_t sub = 0; sub < m_; ++sub) {
+    std::memcpy(vec + static_cast<size_t>(sub) * sub_dim_,
+                codebook(sub) + static_cast<size_t>(code[sub]) * sub_dim_,
+                sub_dim_ * sizeof(float));
+  }
+}
+
+void ProductQuantizer::ComputeDistanceTableNaive(const float* query,
+                                                 float* table) const {
+  // The PASE implementation: one reference scalar kernel call per
+  // (subspace, codeword) pair, recomputing everything per query (RC#7).
+  for (uint32_t sub = 0; sub < m_; ++sub) {
+    const float* q = query + static_cast<size_t>(sub) * sub_dim_;
+    const float* cb = codebook(sub);
+    float* row = table + static_cast<size_t>(sub) * c_pq_;
+    for (uint32_t j = 0; j < c_pq_; ++j) {
+      row[j] = L2SqrRef(q, cb + static_cast<size_t>(j) * sub_dim_, sub_dim_);
+    }
+  }
+}
+
+void ProductQuantizer::ComputeDistanceTableOptimized(const float* query,
+                                                     float* table) const {
+  // The Faiss implementation (RC#7): codeword norms were computed once at
+  // training time, so the per-query work reduces to vectorized inner
+  // products combined as ‖q‖² + ‖c‖² − 2 q·c.
+  for (uint32_t sub = 0; sub < m_; ++sub) {
+    const float* q = query + static_cast<size_t>(sub) * sub_dim_;
+    const float* cb = codebook(sub);
+    const float* norms = codeword_norms_.data() + static_cast<size_t>(sub) * c_pq_;
+    float* row = table + static_cast<size_t>(sub) * c_pq_;
+    const float qn = L2NormSqr(q, sub_dim_);
+    for (uint32_t j = 0; j < c_pq_; ++j) {
+      const float ip = InnerProduct(q, cb + static_cast<size_t>(j) * sub_dim_,
+                                    sub_dim_);
+      const float v = qn + norms[j] - 2.f * ip;
+      row[j] = v < 0.f ? 0.f : v;
+    }
+  }
+}
+
+Status ProductQuantizer::Serialize(BinaryWriter* writer) const {
+  VECDB_RETURN_NOT_OK(writer->Write(dim_));
+  VECDB_RETURN_NOT_OK(writer->Write(m_));
+  VECDB_RETURN_NOT_OK(writer->Write(c_pq_));
+  VECDB_RETURN_NOT_OK(writer->Write(sub_dim_));
+  VECDB_RETURN_NOT_OK(writer->Write(use_ref_kernel_));
+  VECDB_RETURN_NOT_OK(writer->WriteFloats(codebooks_));
+  VECDB_RETURN_NOT_OK(writer->WriteVector(codeword_norms_));
+  return Status::OK();
+}
+
+Result<ProductQuantizer> ProductQuantizer::Deserialize(BinaryReader* reader) {
+  ProductQuantizer pq;
+  VECDB_RETURN_NOT_OK(reader->Read(&pq.dim_));
+  VECDB_RETURN_NOT_OK(reader->Read(&pq.m_));
+  VECDB_RETURN_NOT_OK(reader->Read(&pq.c_pq_));
+  VECDB_RETURN_NOT_OK(reader->Read(&pq.sub_dim_));
+  VECDB_RETURN_NOT_OK(reader->Read(&pq.use_ref_kernel_));
+  VECDB_RETURN_NOT_OK(reader->ReadFloats(&pq.codebooks_));
+  VECDB_RETURN_NOT_OK(reader->ReadVector(&pq.codeword_norms_));
+  if (pq.m_ == 0 || pq.sub_dim_ == 0 || pq.dim_ != pq.m_ * pq.sub_dim_ ||
+      pq.codebooks_.size() !=
+          static_cast<size_t>(pq.m_) * pq.c_pq_ * pq.sub_dim_ ||
+      pq.codeword_norms_.size() != static_cast<size_t>(pq.m_) * pq.c_pq_) {
+    return Status::Corruption("PQ: inconsistent serialized geometry");
+  }
+  return pq;
+}
+
+double ProductQuantizer::ReconstructionError(const float* data,
+                                             size_t n) const {
+  std::vector<uint8_t> code(code_size());
+  std::vector<float> rec(dim_);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    Encode(data + i * dim_, code.data());
+    Decode(code.data(), rec.data());
+    total += L2Sqr(data + i * dim_, rec.data(), dim_);
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+}  // namespace vecdb

@@ -1,0 +1,107 @@
+// Product quantization (Jégou et al.), the compression layer of IVF_PQ.
+// Includes both precomputed-distance-table implementations the paper
+// contrasts (RC#7): PASE's naive per-pair table and Faiss's optimized
+// norm/inner-product decomposition with train-time centroid norms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/profiler.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "clustering/kmeans.h"
+
+namespace vecdb {
+
+/// Training knobs for ProductQuantizer. Names follow the paper's Table II.
+struct PqOptions {
+  uint32_t num_subvectors = 16;  ///< m — must divide the vector dimension
+  uint32_t num_codes = 256;      ///< c_pq — codewords per subspace (≤ 256)
+  int max_iterations = 10;       ///< K-means iterations per subspace
+  KMeansStyle style = KMeansStyle::kFaissStyle;
+  /// When false, encoding and the naive distance table run on the PASE
+  /// reference scalar kernel (fvec_L2sqr_ref) — the paper's "use the same
+  /// code as in PASE" configuration (Fig 6).
+  bool use_sgemm = true;
+  uint64_t seed = 42;
+  ThreadPool* pool = nullptr;
+  Profiler* profiler = nullptr;
+};
+
+/// A trained product quantizer: m per-subspace codebooks of c_pq codewords.
+///
+/// Codes are m bytes per vector (c_pq ≤ 256). Asymmetric distance
+/// computation (ADC) evaluates ‖q − decode(code)‖² as a sum of m table
+/// lookups after building a per-query distance table.
+class ProductQuantizer {
+ public:
+  /// Trains per-subspace codebooks on `n` row-major d-dim vectors.
+  /// Fails if m does not divide d, c_pq > 256, or n < c_pq.
+  static Result<ProductQuantizer> Train(const float* data, size_t n, size_t d,
+                                        const PqOptions& options);
+
+  uint32_t dim() const { return dim_; }
+  uint32_t num_subvectors() const { return m_; }
+  uint32_t num_codes() const { return c_pq_; }
+  uint32_t sub_dim() const { return sub_dim_; }
+
+  /// Bytes per encoded vector (= m).
+  size_t code_size() const { return m_; }
+
+  /// Floats per query distance table (= m * c_pq).
+  size_t table_size() const { return static_cast<size_t>(m_) * c_pq_; }
+
+  /// Quantizes `vec` (dim floats) into `code` (code_size() bytes).
+  void Encode(const float* vec, uint8_t* code) const;
+
+  /// Reconstructs an approximate vector from a code.
+  void Decode(const uint8_t* code, float* vec) const;
+
+  /// Builds the per-query ADC table the PASE way: an L2 kernel call per
+  /// (subspace, codeword) pair (paper RC#7 naive variant).
+  void ComputeDistanceTableNaive(const float* query, float* table) const;
+
+  /// Builds the ADC table the Faiss way: centroid norms precomputed at
+  /// train time, query-codeword inner products via one batched product per
+  /// subspace, combined as ‖q‖² + ‖c‖² − 2 q·c (paper RC#7 optimized).
+  void ComputeDistanceTableOptimized(const float* query, float* table) const;
+
+  /// ADC distance: sum over subspaces of table[sub * c_pq + code[sub]].
+  float AdcDistance(const float* table, const uint8_t* code) const {
+    float s = 0.f;
+    for (uint32_t sub = 0; sub < m_; ++sub) {
+      s += table[sub * c_pq_ + code[sub]];
+    }
+    return s;
+  }
+
+  /// Codebook for one subspace: c_pq rows of sub_dim floats.
+  const float* codebook(uint32_t sub) const {
+    return codebooks_.data() +
+           static_cast<size_t>(sub) * c_pq_ * sub_dim_;
+  }
+
+  /// Mean squared reconstruction error over `n` vectors (diagnostic).
+  double ReconstructionError(const float* data, size_t n) const;
+
+  /// Appends the quantizer's state to an open writer.
+  Status Serialize(class BinaryWriter* writer) const;
+
+  /// Reads a quantizer previously written by Serialize.
+  static Result<ProductQuantizer> Deserialize(class BinaryReader* reader);
+
+ private:
+  ProductQuantizer() = default;
+
+  uint32_t dim_ = 0;
+  uint32_t m_ = 0;
+  uint32_t c_pq_ = 0;
+  uint32_t sub_dim_ = 0;
+  bool use_ref_kernel_ = false;        // PASE-path scalar kernel
+  AlignedFloats codebooks_;           // m * c_pq * sub_dim
+  std::vector<float> codeword_norms_;  // m * c_pq, ‖c‖² (optimized table)
+};
+
+}  // namespace vecdb

@@ -1,0 +1,63 @@
+#include "quantizer/sq8.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vecdb {
+
+Result<ScalarQuantizer8> ScalarQuantizer8::Train(const float* data, size_t n,
+                                                 size_t d) {
+  if (data == nullptr || n == 0 || d == 0) {
+    return Status::InvalidArgument("SQ8::Train: empty input");
+  }
+  ScalarQuantizer8 sq;
+  sq.dim_ = static_cast<uint32_t>(d);
+  sq.vmin_.assign(d, data[0]);
+  std::vector<float> vmax(d, data[0]);
+  for (size_t t = 0; t < d; ++t) {
+    sq.vmin_[t] = vmax[t] = data[t];
+  }
+  for (size_t i = 1; i < n; ++i) {
+    const float* x = data + i * d;
+    for (size_t t = 0; t < d; ++t) {
+      sq.vmin_[t] = std::min(sq.vmin_[t], x[t]);
+      vmax[t] = std::max(vmax[t], x[t]);
+    }
+  }
+  sq.vscale_.resize(d);
+  for (size_t t = 0; t < d; ++t) {
+    sq.vscale_[t] = (vmax[t] - sq.vmin_[t]) / 255.f;
+  }
+  return sq;
+}
+
+void ScalarQuantizer8::Encode(const float* vec, uint8_t* code) const {
+  for (uint32_t t = 0; t < dim_; ++t) {
+    if (vscale_[t] == 0.f) {
+      code[t] = 0;
+      continue;
+    }
+    float q = std::round((vec[t] - vmin_[t]) / vscale_[t]);
+    q = std::clamp(q, 0.f, 255.f);
+    code[t] = static_cast<uint8_t>(q);
+  }
+}
+
+void ScalarQuantizer8::Decode(const uint8_t* code, float* vec) const {
+  for (uint32_t t = 0; t < dim_; ++t) {
+    vec[t] = vmin_[t] + (static_cast<float>(code[t]) + 0.5f) * vscale_[t];
+  }
+}
+
+float ScalarQuantizer8::DistanceToCode(const float* query,
+                                       const uint8_t* code) const {
+  float s = 0.f;
+  for (uint32_t t = 0; t < dim_; ++t) {
+    const float rec = vmin_[t] + (static_cast<float>(code[t]) + 0.5f) * vscale_[t];
+    const float diff = query[t] - rec;
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace vecdb

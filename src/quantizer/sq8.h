@@ -1,0 +1,40 @@
+// Scalar quantization to 8 bits per dimension (the IVF_SQ8 building block
+// the paper mentions in §II-B). Provided as an extension index component.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vecdb {
+
+/// Per-dimension min/max affine quantizer: f -> round(255 * (f-min)/(max-min)).
+class ScalarQuantizer8 {
+ public:
+  /// Learns per-dimension ranges from `n` row-major d-dim vectors.
+  static Result<ScalarQuantizer8> Train(const float* data, size_t n, size_t d);
+
+  uint32_t dim() const { return dim_; }
+  size_t code_size() const { return dim_; }
+
+  /// Quantizes one vector into `code` (dim bytes). Values outside the
+  /// trained range clamp to the boundary codes.
+  void Encode(const float* vec, uint8_t* code) const;
+
+  /// Reconstructs the midpoint value of each code bucket.
+  void Decode(const uint8_t* code, float* vec) const;
+
+  /// Squared L2 distance between a float query and an encoded vector,
+  /// decoding on the fly.
+  float DistanceToCode(const float* query, const uint8_t* code) const;
+
+ private:
+  ScalarQuantizer8() = default;
+
+  uint32_t dim_ = 0;
+  std::vector<float> vmin_;   // per-dimension minimum
+  std::vector<float> vscale_; // per-dimension (max-min)/255, 0 if constant
+};
+
+}  // namespace vecdb

@@ -1,0 +1,88 @@
+// Abstract syntax tree for the vecdb SQL dialect.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distance/metric.h"
+
+namespace vecdb::sql {
+
+/// CREATE TABLE t (id int, vec float[dim]);
+struct CreateTableStmt {
+  std::string table;
+  std::string id_column;
+  std::string vec_column;
+  uint32_t dim = 0;  ///< required: float[dim]
+};
+
+/// INSERT INTO t VALUES (1, '0.1,0.2'), (2, '[0.3, 0.4]');
+struct InsertStmt {
+  std::string table;
+  struct Row {
+    int64_t id;
+    std::vector<float> vec;
+  };
+  std::vector<Row> rows;
+};
+
+/// CREATE INDEX name ON t USING method (vec) WITH (key=value, ...);
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::string method;  ///< "ivfflat" | "ivfpq" | "hnsw"
+  std::string column;
+  /// Numeric options (clusters, sample_ratio, m, bnn, efb, ...) plus the
+  /// string option engine='pase'|'faiss'|'bridge'.
+  std::map<std::string, double> options;
+  std::string engine = "pase";
+};
+
+/// SELECT id FROM t ORDER BY vec <-> 'q' [OPTIONS (...)] LIMIT k;
+struct SelectStmt {
+  std::string table;
+  std::string select_column;      ///< must be the id column or '*'
+  bool select_distance = false;   ///< SELECT *: id plus distance
+  std::string order_column;
+  Metric metric = Metric::kL2;    ///< from <->, <#>, <=>
+  std::vector<float> query;
+  std::map<std::string, double> options;  ///< nprobe, efs, threads
+  size_t limit = 0;
+  bool explain = false;
+};
+
+/// DROP TABLE t; / DROP INDEX name;
+struct DropStmt {
+  bool is_index = false;
+  std::string name;
+};
+
+/// DELETE FROM t WHERE id = n;
+struct DeleteStmt {
+  std::string table;
+  std::string where_column;  ///< must be the id column
+  int64_t id = 0;
+};
+
+/// A parsed statement (exactly one member is set).
+struct Statement {
+  enum class Kind {
+    kCreateTable,
+    kInsert,
+    kCreateIndex,
+    kSelect,
+    kDrop,
+    kDelete,
+  } kind;
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<DropStmt> drop;
+  std::unique_ptr<DeleteStmt> delete_row;
+};
+
+}  // namespace vecdb::sql

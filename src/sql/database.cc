@@ -1,0 +1,301 @@
+#include "sql/database.h"
+
+#include <algorithm>
+
+#include "core/factory.h"
+#include "distance/kernels.h"
+#include "sql/parser.h"
+#include "topk/heaps.h"
+
+namespace vecdb::sql {
+
+namespace {
+double OptionOr(const std::map<std::string, double>& options,
+                const std::string& key, double fallback) {
+  auto it = options.find(key);
+  return it == options.end() ? fallback : it->second;
+}
+}  // namespace
+
+Result<std::unique_ptr<MiniDatabase>> MiniDatabase::Open(
+    const std::string& data_dir, const DatabaseOptions& options) {
+  if (options.pool_pages < 16) {
+    return Status::InvalidArgument("pool_pages must be >= 16");
+  }
+  VECDB_ASSIGN_OR_RETURN(
+      pgstub::StorageManager smgr,
+      pgstub::StorageManager::Open(data_dir, options.page_size));
+  return std::unique_ptr<MiniDatabase>(
+      new MiniDatabase(std::move(smgr), options.pool_pages));
+}
+
+Result<QueryResult> MiniDatabase::Execute(const std::string& statement) {
+  VECDB_ASSIGN_OR_RETURN(Statement stmt, Parse(statement));
+  switch (stmt.kind) {
+    case Statement::Kind::kCreateTable:
+      return ExecCreateTable(*stmt.create_table);
+    case Statement::Kind::kInsert:
+      return ExecInsert(*stmt.insert);
+    case Statement::Kind::kCreateIndex:
+      return ExecCreateIndex(*stmt.create_index);
+    case Statement::Kind::kSelect:
+      return ExecSelect(*stmt.select);
+    case Statement::Kind::kDrop:
+      return ExecDrop(*stmt.drop);
+    case Statement::Kind::kDelete:
+      return ExecDelete(*stmt.delete_row);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<QueryResult> MiniDatabase::ExecCreateTable(
+    const CreateTableStmt& stmt) {
+  if (tables_.count(stmt.table) != 0) {
+    return Status::AlreadyExists("table exists: " + stmt.table);
+  }
+  VECDB_ASSIGN_OR_RETURN(
+      pgstub::HeapTable heap,
+      pgstub::HeapTable::Create(&bufmgr_, &smgr_, stmt.table, stmt.dim));
+  TableEntry entry;
+  entry.schema = stmt;
+  entry.heap = std::make_unique<pgstub::HeapTable>(std::move(heap));
+  tables_.emplace(stmt.table, std::move(entry));
+  QueryResult out;
+  out.message = "CREATE TABLE";
+  return out;
+}
+
+Result<QueryResult> MiniDatabase::ExecInsert(const InsertStmt& stmt) {
+  auto it = tables_.find(stmt.table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + stmt.table);
+  }
+  TableEntry& table = it->second;
+  for (const auto& row : stmt.rows) {
+    if (row.vec.size() != table.schema.dim) {
+      return Status::InvalidArgument(
+          "vector has " + std::to_string(row.vec.size()) +
+          " dimensions, table expects " + std::to_string(table.schema.dim));
+    }
+  }
+  for (const auto& row : stmt.rows) {
+    VECDB_RETURN_NOT_OK(table.heap->Insert(row.id, row.vec.data()).status());
+    for (const auto& index_name : table.indexes) {
+      auto idx = indexes_.find(index_name);
+      if (idx != indexes_.end()) {
+        Status s = idx->second.am->AmInsert(row.vec.data(), row.id);
+        if (!s.ok() && !s.IsNotSupported()) return s;
+        // NotSupported: PASE-era indexes require a rebuild after bulk
+        // loads; the paper's workloads build after loading, as we do.
+      }
+    }
+  }
+  QueryResult out;
+  out.message = "INSERT " + std::to_string(stmt.rows.size());
+  return out;
+}
+
+Result<std::unique_ptr<VectorIndex>> MiniDatabase::MakeIndex(
+    const CreateIndexStmt& stmt, uint32_t dim) {
+  // Translate the parsed statement into a factory spec; SQL option keys
+  // are the factory's option keys.
+  IndexSpec spec;
+  spec.method = stmt.method;
+  spec.engine = stmt.engine;
+  spec.dim = dim;
+  spec.options = stmt.options;
+  spec.rel_prefix = stmt.index;
+  return CreateIndex(spec, pase::PaseEnv{&smgr_, &bufmgr_});
+}
+
+Result<QueryResult> MiniDatabase::ExecCreateIndex(
+    const CreateIndexStmt& stmt) {
+  if (indexes_.count(stmt.index) != 0) {
+    return Status::AlreadyExists("index exists: " + stmt.index);
+  }
+  auto it = tables_.find(stmt.table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + stmt.table);
+  }
+  TableEntry& table = it->second;
+  if (stmt.column != table.schema.vec_column) {
+    return Status::InvalidArgument("column " + stmt.column +
+                                   " is not the vector column of " +
+                                   stmt.table);
+  }
+  IndexEntry entry;
+  entry.def = stmt;
+  VECDB_ASSIGN_OR_RETURN(entry.index, MakeIndex(stmt, table.schema.dim));
+  entry.am = std::make_unique<pgstub::VectorIndexAm>(entry.index.get());
+  VECDB_RETURN_NOT_OK(entry.am->AmBuild(*table.heap));
+  table.indexes.push_back(stmt.index);
+  indexes_.emplace(stmt.index, std::move(entry));
+  QueryResult out;
+  out.message = "CREATE INDEX";
+  return out;
+}
+
+Result<QueryResult> MiniDatabase::SeqScanSelect(const SelectStmt& stmt,
+                                                const TableEntry& table) {
+  KMaxHeap heap(stmt.limit);
+  VECDB_RETURN_NOT_OK(table.heap->SeqScan(
+      [&](pgstub::TupleId, int64_t row_id, const float* vec) {
+        if (!table.deleted.empty() && table.deleted.count(row_id) != 0) {
+          return true;  // dead tuple
+        }
+        heap.Push(Distance(stmt.metric, stmt.query.data(), vec,
+                           table.schema.dim),
+                  row_id);
+        return true;
+      }));
+  QueryResult out;
+  out.columns = stmt.select_distance
+                    ? std::vector<std::string>{"id", "distance"}
+                    : std::vector<std::string>{"id"};
+  for (const auto& nb : heap.TakeSorted()) {
+    out.rows.push_back({nb.id, nb.dist});
+  }
+  return out;
+}
+
+Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt) {
+  auto it = tables_.find(stmt.table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + stmt.table);
+  }
+  const TableEntry& table = it->second;
+  if (!stmt.select_distance && stmt.select_column != table.schema.id_column) {
+    return Status::InvalidArgument("can only select the id column ('" +
+                                   table.schema.id_column + "') or *");
+  }
+  if (stmt.order_column != table.schema.vec_column) {
+    return Status::InvalidArgument("ORDER BY column must be the vector "
+                                   "column '" +
+                                   table.schema.vec_column + "'");
+  }
+  if (stmt.query.size() != table.schema.dim) {
+    return Status::InvalidArgument(
+        "query vector has " + std::to_string(stmt.query.size()) +
+        " dimensions, table expects " + std::to_string(table.schema.dim));
+  }
+
+  // Plan: an index scan needs an index on this column and an L2 operator
+  // (the engines implement Euclidean distance, PASE similarity type 0).
+  const IndexEntry* chosen = nullptr;
+  if (stmt.metric == Metric::kL2) {
+    for (const auto& index_name : table.indexes) {
+      auto idx = indexes_.find(index_name);
+      if (idx != indexes_.end()) {
+        chosen = &idx->second;
+        break;
+      }
+    }
+  }
+
+  if (stmt.explain) {
+    QueryResult out;
+    if (chosen != nullptr) {
+      out.message = "Index Scan using " + chosen->def.index + " (" +
+                    chosen->index->Describe() + ") k=" +
+                    std::to_string(stmt.limit);
+    } else {
+      out.message = "Seq Scan on " + stmt.table + " (brute force, metric=" +
+                    std::string(MetricName(stmt.metric)) + ") k=" +
+                    std::to_string(stmt.limit);
+    }
+    return out;
+  }
+
+  if (chosen == nullptr) return SeqScanSelect(stmt, table);
+
+  pgstub::AmScanOptions scan;
+  scan.k = stmt.limit;
+  scan.nprobe = static_cast<uint32_t>(OptionOr(stmt.options, "nprobe", 20));
+  scan.efs = static_cast<uint32_t>(OptionOr(stmt.options, "efs", 200));
+  VECDB_ASSIGN_OR_RETURN(std::unique_ptr<pgstub::IndexScanCursor> cursor,
+                         chosen->am->AmBeginScan(stmt.query.data(), scan));
+  QueryResult out;
+  out.columns = stmt.select_distance
+                    ? std::vector<std::string>{"id", "distance"}
+                    : std::vector<std::string>{"id"};
+  Neighbor nb;
+  for (;;) {
+    VECDB_ASSIGN_OR_RETURN(bool more, cursor->AmGetTuple(&nb));
+    if (!more) break;
+    out.rows.push_back({nb.id, nb.dist});
+  }
+  return out;
+}
+
+Result<QueryResult> MiniDatabase::ExecDelete(const DeleteStmt& stmt) {
+  auto it = tables_.find(stmt.table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + stmt.table);
+  }
+  TableEntry& table = it->second;
+  if (stmt.where_column != table.schema.id_column) {
+    return Status::InvalidArgument("DELETE supports WHERE " +
+                                   table.schema.id_column + " = <n> only");
+  }
+  if (table.deleted.count(stmt.id) != 0) {
+    return Status::NotFound("row " + std::to_string(stmt.id) +
+                            " already deleted");
+  }
+  // The row must exist in the heap before it can be tombstoned.
+  bool exists = false;
+  VECDB_RETURN_NOT_OK(table.heap->SeqScan(
+      [&](pgstub::TupleId, int64_t row_id, const float*) {
+        if (row_id == stmt.id) {
+          exists = true;
+          return false;
+        }
+        return true;
+      }));
+  if (!exists) {
+    return Status::NotFound("no row with id " + std::to_string(stmt.id));
+  }
+  table.deleted.insert(stmt.id);
+  // Tombstone the row in every index on the table; ids unknown to an index
+  // (never inserted) surface as NotFound from the heap-side check above.
+  for (const auto& index_name : table.indexes) {
+    auto idx = indexes_.find(index_name);
+    if (idx != indexes_.end()) {
+      Status s = idx->second.am->AmDelete(stmt.id);
+      if (!s.ok() && !s.IsNotSupported()) return s;
+    }
+  }
+  QueryResult out;
+  out.message = "DELETE 1";
+  return out;
+}
+
+Result<QueryResult> MiniDatabase::ExecDrop(const DropStmt& stmt) {
+  QueryResult out;
+  if (stmt.is_index) {
+    auto it = indexes_.find(stmt.name);
+    if (it == indexes_.end()) {
+      return Status::NotFound("no index named " + stmt.name);
+    }
+    for (auto& [_, table] : tables_) {
+      auto& list = table.indexes;
+      list.erase(std::remove(list.begin(), list.end(), stmt.name),
+                 list.end());
+    }
+    indexes_.erase(it);
+    out.message = "DROP INDEX";
+    return out;
+  }
+  auto it = tables_.find(stmt.name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + stmt.name);
+  }
+  if (!it->second.indexes.empty()) {
+    return Status::InvalidArgument("drop indexes on " + stmt.name +
+                                   " first");
+  }
+  tables_.erase(it);
+  out.message = "DROP TABLE";
+  return out;
+}
+
+}  // namespace vecdb::sql

@@ -1,0 +1,91 @@
+// MiniDatabase: the SQL front end tying the substrate together — catalog,
+// planner, and executor for the paper's §II-E interface. Statements flow
+// lexer -> parser -> plan (index scan vs. sequential scan) -> execution
+// against pgstub heap tables and any of the three engines' indexes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/index.h"
+#include "pgstub/bufmgr.h"
+#include "pgstub/heap_table.h"
+#include "pgstub/index_am.h"
+#include "pgstub/smgr.h"
+#include "sql/ast.h"
+
+namespace vecdb::sql {
+
+/// Result of one statement: DDL/DML return a message, SELECT returns rows.
+struct QueryResult {
+  struct Row {
+    int64_t id = 0;
+    double distance = 0.0;
+  };
+  std::vector<std::string> columns;  ///< "id" or {"id", "distance"}
+  std::vector<Row> rows;
+  std::string message;  ///< DDL acknowledgements and EXPLAIN plans
+};
+
+/// Configuration for MiniDatabase::Open.
+struct DatabaseOptions {
+  uint32_t page_size = 8192;   ///< PostgreSQL default block size
+  size_t pool_pages = 65536;   ///< buffer pool frames (512MB at 8KB)
+};
+
+/// A single-session vector database over the pgstub substrate.
+class MiniDatabase {
+ public:
+  /// Opens (creating if needed) a database rooted at `data_dir`.
+  static Result<std::unique_ptr<MiniDatabase>> Open(
+      const std::string& data_dir, const DatabaseOptions& options = {});
+
+  /// Parses and executes one SQL statement.
+  Result<QueryResult> Execute(const std::string& statement);
+
+  pgstub::BufferManager* bufmgr() { return &bufmgr_; }
+  pgstub::StorageManager* smgr() { return &smgr_; }
+
+ private:
+  struct TableEntry {
+    CreateTableStmt schema;
+    std::unique_ptr<pgstub::HeapTable> heap;
+    std::vector<std::string> indexes;  ///< names of indexes on this table
+    /// Tombstoned row ids (dead tuples until a rebuild "vacuums" them).
+    std::unordered_set<int64_t> deleted;
+  };
+  struct IndexEntry {
+    CreateIndexStmt def;
+    std::unique_ptr<VectorIndex> index;
+    std::unique_ptr<pgstub::VectorIndexAm> am;
+  };
+
+  MiniDatabase(pgstub::StorageManager smgr, size_t pool_pages)
+      : smgr_(std::move(smgr)), bufmgr_(&smgr_, pool_pages) {}
+
+  Result<QueryResult> ExecCreateTable(const CreateTableStmt& stmt);
+  Result<QueryResult> ExecInsert(const InsertStmt& stmt);
+  Result<QueryResult> ExecCreateIndex(const CreateIndexStmt& stmt);
+  Result<QueryResult> ExecSelect(const SelectStmt& stmt);
+  Result<QueryResult> ExecDrop(const DropStmt& stmt);
+  Result<QueryResult> ExecDelete(const DeleteStmt& stmt);
+
+  /// Instantiates an engine index per (method, engine) for `dim`.
+  Result<std::unique_ptr<VectorIndex>> MakeIndex(const CreateIndexStmt& stmt,
+                                                 uint32_t dim);
+
+  /// Brute-force fallback when no usable index exists.
+  Result<QueryResult> SeqScanSelect(const SelectStmt& stmt,
+                                    const TableEntry& table);
+
+  pgstub::StorageManager smgr_;
+  pgstub::BufferManager bufmgr_;
+  std::map<std::string, TableEntry> tables_;
+  std::map<std::string, IndexEntry> indexes_;
+};
+
+}  // namespace vecdb::sql

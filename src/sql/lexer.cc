@@ -1,0 +1,157 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace vecdb::sql {
+
+bool IsKeyword(const std::string& word) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM",   "ORDER",  "BY",     "LIMIT",  "CREATE", "TABLE",
+      "INDEX",  "ON",     "USING",  "WITH",   "INSERT", "INTO",   "VALUES",
+      "INT",    "BIGINT", "FLOAT",  "ASC",    "DESC",   "DROP",   "OPTIONS",
+      "AS",     "WHERE",  "EXPLAIN", "DELETE"};
+  return kKeywords.count(word) != 0;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto make = [&](TokenType type, std::string text, size_t pos) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.pos = pos;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) !=
+                           0 ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      std::string word = input.substr(i, j - i);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(),
+                     [](unsigned char ch) { return std::toupper(ch); });
+      if (IsKeyword(upper)) {
+        make(TokenType::kKeyword, upper, start);
+      } else {
+        std::transform(word.begin(), word.end(), word.begin(),
+                       [](unsigned char ch) { return std::tolower(ch); });
+        make(TokenType::kIdentifier, word, start);
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])) != 0) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])) != 0)) {
+      size_t j = i;
+      if (input[j] == '-') ++j;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) !=
+                           0 ||
+                       input[j] == '.' || input[j] == 'e' ||
+                       input[j] == 'E' ||
+                       ((input[j] == '+' || input[j] == '-') && j > i &&
+                        (input[j - 1] == 'e' || input[j - 1] == 'E')))) {
+        ++j;
+      }
+      Token t;
+      t.type = TokenType::kNumber;
+      t.text = input.substr(i, j - i);
+      t.number = std::strtod(t.text.c_str(), nullptr);
+      t.pos = start;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      std::string text;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text.push_back(input[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at byte " +
+                                       std::to_string(start));
+      }
+      make(TokenType::kString, std::move(text), start);
+      i = j;
+      continue;
+    }
+    if (c == '<') {
+      // <->, <#>, <=> distance operators.
+      if (i + 2 < n && input[i + 2] == '>' &&
+          (input[i + 1] == '-' || input[i + 1] == '#' ||
+           input[i + 1] == '=')) {
+        make(TokenType::kDistanceOp, input.substr(i, 3), start);
+        i += 3;
+        continue;
+      }
+      return Status::InvalidArgument("unexpected '<' at byte " +
+                                     std::to_string(start));
+    }
+    switch (c) {
+      case '(':
+        make(TokenType::kLParen, "(", start);
+        break;
+      case ')':
+        make(TokenType::kRParen, ")", start);
+        break;
+      case '[':
+        make(TokenType::kLBracket, "[", start);
+        break;
+      case ']':
+        make(TokenType::kRBracket, "]", start);
+        break;
+      case ',':
+        make(TokenType::kComma, ",", start);
+        break;
+      case ';':
+        make(TokenType::kSemicolon, ";", start);
+        break;
+      case '=':
+        make(TokenType::kEquals, "=", start);
+        break;
+      case '*':
+        make(TokenType::kStar, "*", start);
+        break;
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at byte " +
+                                       std::to_string(start));
+    }
+    ++i;
+  }
+  make(TokenType::kEof, "", n);
+  return out;
+}
+
+}  // namespace vecdb::sql

@@ -1,0 +1,19 @@
+// Hand-written lexer for the vecdb SQL dialect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace vecdb::sql {
+
+/// Tokenizes one SQL statement. Keywords are recognized case-insensitively
+/// and reported uppercased; identifiers are lowercased (PostgreSQL folding).
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+/// True if `word` (already uppercased) is a reserved keyword.
+bool IsKeyword(const std::string& word);
+
+}  // namespace vecdb::sql

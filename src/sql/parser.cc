@@ -1,0 +1,326 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/lexer.h"
+
+namespace vecdb::sql {
+
+namespace {
+
+/// Token stream with single-token lookahead and typed expect helpers.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_ == tokens_.size() - 1 ? pos_ : pos_++]; }
+
+  bool MatchKeyword(const std::string& kw) {
+    if (Peek().type == TokenType::kKeyword && Peek().text == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool Match(TokenType type) {
+    if (Peek().type == type) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::InvalidArgument("expected " + kw + " near '" +
+                                     Peek().text + "' (byte " +
+                                     std::to_string(Peek().pos) + ")");
+    }
+    return Status::OK();
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (!Match(type)) {
+      return Status::InvalidArgument(std::string("expected ") + what +
+                                     " near '" + Peek().text + "' (byte " +
+                                     std::to_string(Peek().pos) + ")");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument(std::string("expected ") + what +
+                                     " near '" + Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  Result<double> ExpectNumber(const char* what) {
+    if (Peek().type != TokenType::kNumber) {
+      return Status::InvalidArgument(std::string("expected ") + what +
+                                     " near '" + Peek().text + "'");
+    }
+    return Advance().number;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+/// WITH/OPTIONS (key = value [, ...]) — values numeric or identifier/string
+/// (the string form is only used by engine=...).
+Status ParseOptionList(Cursor& cur, std::map<std::string, double>* numeric,
+                       std::string* engine) {
+  VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kLParen, "'('"));
+  for (;;) {
+    VECDB_ASSIGN_OR_RETURN(std::string key, cur.ExpectIdentifier("option"));
+    VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kEquals, "'='"));
+    if (cur.Peek().type == TokenType::kNumber) {
+      (*numeric)[key] = cur.Advance().number;
+    } else if (cur.Peek().type == TokenType::kString ||
+               cur.Peek().type == TokenType::kIdentifier) {
+      if (engine == nullptr || key != "engine") {
+        return Status::InvalidArgument("option " + key +
+                                       " requires a numeric value");
+      }
+      *engine = cur.Advance().text;
+    } else {
+      return Status::InvalidArgument("bad value for option " + key);
+    }
+    if (cur.Match(TokenType::kComma)) continue;
+    break;
+  }
+  return cur.Expect(TokenType::kRParen, "')'");
+}
+
+Result<Statement> ParseCreate(Cursor& cur) {
+  if (cur.MatchKeyword("TABLE")) {
+    auto stmt = std::make_unique<CreateTableStmt>();
+    VECDB_ASSIGN_OR_RETURN(stmt->table, cur.ExpectIdentifier("table name"));
+    VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kLParen, "'('"));
+    // id column
+    VECDB_ASSIGN_OR_RETURN(stmt->id_column, cur.ExpectIdentifier("column"));
+    if (!cur.MatchKeyword("INT") && !cur.MatchKeyword("BIGINT")) {
+      return Status::InvalidArgument("first column must be INT or BIGINT");
+    }
+    VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kComma, "','"));
+    // vec column
+    VECDB_ASSIGN_OR_RETURN(stmt->vec_column, cur.ExpectIdentifier("column"));
+    VECDB_RETURN_NOT_OK(cur.ExpectKeyword("FLOAT"));
+    VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kLBracket, "'['"));
+    if (cur.Peek().type == TokenType::kNumber) {
+      stmt->dim = static_cast<uint32_t>(cur.Advance().number);
+    }
+    VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kRBracket, "']'"));
+    VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kRParen, "')'"));
+    if (stmt->dim == 0) {
+      return Status::InvalidArgument(
+          "vector column needs an explicit dimension, e.g. vec float[128]");
+    }
+    Statement out;
+    out.kind = Statement::Kind::kCreateTable;
+    out.create_table = std::move(stmt);
+    return out;
+  }
+  if (cur.MatchKeyword("INDEX")) {
+    auto stmt = std::make_unique<CreateIndexStmt>();
+    VECDB_ASSIGN_OR_RETURN(stmt->index, cur.ExpectIdentifier("index name"));
+    VECDB_RETURN_NOT_OK(cur.ExpectKeyword("ON"));
+    VECDB_ASSIGN_OR_RETURN(stmt->table, cur.ExpectIdentifier("table name"));
+    VECDB_RETURN_NOT_OK(cur.ExpectKeyword("USING"));
+    VECDB_ASSIGN_OR_RETURN(stmt->method, cur.ExpectIdentifier("method"));
+    VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kLParen, "'('"));
+    VECDB_ASSIGN_OR_RETURN(stmt->column, cur.ExpectIdentifier("column"));
+    VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kRParen, "')'"));
+    if (cur.MatchKeyword("WITH")) {
+      VECDB_RETURN_NOT_OK(
+          ParseOptionList(cur, &stmt->options, &stmt->engine));
+    }
+    Statement out;
+    out.kind = Statement::Kind::kCreateIndex;
+    out.create_index = std::move(stmt);
+    return out;
+  }
+  return Status::InvalidArgument("expected TABLE or INDEX after CREATE");
+}
+
+Result<Statement> ParseInsert(Cursor& cur) {
+  auto stmt = std::make_unique<InsertStmt>();
+  VECDB_RETURN_NOT_OK(cur.ExpectKeyword("INTO"));
+  VECDB_ASSIGN_OR_RETURN(stmt->table, cur.ExpectIdentifier("table name"));
+  VECDB_RETURN_NOT_OK(cur.ExpectKeyword("VALUES"));
+  for (;;) {
+    VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kLParen, "'('"));
+    InsertStmt::Row row;
+    VECDB_ASSIGN_OR_RETURN(double id, cur.ExpectNumber("row id"));
+    row.id = static_cast<int64_t>(id);
+    VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kComma, "','"));
+    if (cur.Peek().type != TokenType::kString) {
+      return Status::InvalidArgument("expected vector literal string");
+    }
+    VECDB_ASSIGN_OR_RETURN(row.vec, ParseVectorLiteral(cur.Advance().text));
+    VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kRParen, "')'"));
+    stmt->rows.push_back(std::move(row));
+    if (cur.Match(TokenType::kComma)) continue;
+    break;
+  }
+  Statement out;
+  out.kind = Statement::Kind::kInsert;
+  out.insert = std::move(stmt);
+  return out;
+}
+
+Result<Statement> ParseSelect(Cursor& cur, bool explain) {
+  auto stmt = std::make_unique<SelectStmt>();
+  stmt->explain = explain;
+  if (cur.Match(TokenType::kStar)) {
+    stmt->select_distance = true;
+    stmt->select_column = "*";
+  } else {
+    VECDB_ASSIGN_OR_RETURN(stmt->select_column,
+                           cur.ExpectIdentifier("select column"));
+  }
+  VECDB_RETURN_NOT_OK(cur.ExpectKeyword("FROM"));
+  VECDB_ASSIGN_OR_RETURN(stmt->table, cur.ExpectIdentifier("table name"));
+  VECDB_RETURN_NOT_OK(cur.ExpectKeyword("ORDER"));
+  VECDB_RETURN_NOT_OK(cur.ExpectKeyword("BY"));
+  VECDB_ASSIGN_OR_RETURN(stmt->order_column,
+                         cur.ExpectIdentifier("vector column"));
+  if (cur.Peek().type != TokenType::kDistanceOp) {
+    return Status::InvalidArgument("expected a distance operator (<->, <#>, "
+                                   "<=>) after ORDER BY column");
+  }
+  const std::string op = cur.Advance().text;
+  stmt->metric = op == "<->" ? Metric::kL2
+                 : op == "<#>" ? Metric::kInnerProduct
+                               : Metric::kCosine;
+  if (cur.Peek().type != TokenType::kString) {
+    return Status::InvalidArgument("expected quoted query vector literal");
+  }
+  VECDB_ASSIGN_OR_RETURN(stmt->query, ParseVectorLiteral(cur.Advance().text));
+  cur.MatchKeyword("ASC");  // optional, and the only supported direction
+  if (cur.MatchKeyword("OPTIONS")) {
+    VECDB_RETURN_NOT_OK(ParseOptionList(cur, &stmt->options, nullptr));
+  }
+  VECDB_RETURN_NOT_OK(cur.ExpectKeyword("LIMIT"));
+  VECDB_ASSIGN_OR_RETURN(double limit, cur.ExpectNumber("limit"));
+  if (limit < 1) return Status::InvalidArgument("LIMIT must be >= 1");
+  stmt->limit = static_cast<size_t>(limit);
+  Statement out;
+  out.kind = Statement::Kind::kSelect;
+  out.select = std::move(stmt);
+  return out;
+}
+
+Result<Statement> ParseDelete(Cursor& cur) {
+  auto stmt = std::make_unique<DeleteStmt>();
+  VECDB_RETURN_NOT_OK(cur.ExpectKeyword("FROM"));
+  VECDB_ASSIGN_OR_RETURN(stmt->table, cur.ExpectIdentifier("table name"));
+  VECDB_RETURN_NOT_OK(cur.ExpectKeyword("WHERE"));
+  VECDB_ASSIGN_OR_RETURN(stmt->where_column,
+                         cur.ExpectIdentifier("id column"));
+  VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kEquals, "'='"));
+  VECDB_ASSIGN_OR_RETURN(double id, cur.ExpectNumber("row id"));
+  stmt->id = static_cast<int64_t>(id);
+  Statement out;
+  out.kind = Statement::Kind::kDelete;
+  out.delete_row = std::move(stmt);
+  return out;
+}
+
+Result<Statement> ParseDrop(Cursor& cur) {
+  auto stmt = std::make_unique<DropStmt>();
+  if (cur.MatchKeyword("INDEX")) {
+    stmt->is_index = true;
+  } else if (!cur.MatchKeyword("TABLE")) {
+    return Status::InvalidArgument("expected TABLE or INDEX after DROP");
+  }
+  VECDB_ASSIGN_OR_RETURN(stmt->name, cur.ExpectIdentifier("name"));
+  Statement out;
+  out.kind = Statement::Kind::kDrop;
+  out.drop = std::move(stmt);
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<float>> ParseVectorLiteral(const std::string& text) {
+  std::vector<float> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto skip_ws = [&] {
+    while (i < n && (text[i] == ' ' || text[i] == '\t')) ++i;
+  };
+  skip_ws();
+  bool bracketed = false;
+  if (i < n && text[i] == '[') {
+    bracketed = true;
+    ++i;
+  }
+  for (;;) {
+    skip_ws();
+    if (i >= n) break;
+    if (bracketed && text[i] == ']') {
+      ++i;
+      break;
+    }
+    char* end = nullptr;
+    const float v = std::strtof(text.c_str() + i, &end);
+    if (end == text.c_str() + i) {
+      return Status::InvalidArgument("bad vector literal near '" +
+                                     text.substr(i, 8) + "'");
+    }
+    out.push_back(v);
+    i = static_cast<size_t>(end - text.c_str());
+    skip_ws();
+    if (i < n && text[i] == ',') {
+      ++i;
+      continue;
+    }
+  }
+  skip_ws();
+  if (i != n) {
+    return Status::InvalidArgument("trailing garbage in vector literal");
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("empty vector literal");
+  }
+  return out;
+}
+
+Result<Statement> Parse(const std::string& input) {
+  VECDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Cursor cur(std::move(tokens));
+
+  Result<Statement> result = Status::InvalidArgument("empty statement");
+  if (cur.MatchKeyword("CREATE")) {
+    result = ParseCreate(cur);
+  } else if (cur.MatchKeyword("INSERT")) {
+    result = ParseInsert(cur);
+  } else if (cur.MatchKeyword("SELECT")) {
+    result = ParseSelect(cur, /*explain=*/false);
+  } else if (cur.MatchKeyword("EXPLAIN")) {
+    VECDB_RETURN_NOT_OK(cur.ExpectKeyword("SELECT"));
+    result = ParseSelect(cur, /*explain=*/true);
+  } else if (cur.MatchKeyword("DROP")) {
+    result = ParseDrop(cur);
+  } else if (cur.MatchKeyword("DELETE")) {
+    result = ParseDelete(cur);
+  } else {
+    return Status::InvalidArgument("unrecognized statement start: '" +
+                                   cur.Peek().text + "'");
+  }
+  if (!result.ok()) return result;
+  cur.Match(TokenType::kSemicolon);
+  if (cur.Peek().type != TokenType::kEof) {
+    return Status::InvalidArgument("trailing tokens after statement: '" +
+                                   cur.Peek().text + "'");
+  }
+  return result;
+}
+
+}  // namespace vecdb::sql

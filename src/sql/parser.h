@@ -1,0 +1,17 @@
+// Recursive-descent parser for the vecdb SQL dialect.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace vecdb::sql {
+
+/// Parses one statement (an optional trailing ';' is accepted).
+Result<Statement> Parse(const std::string& input);
+
+/// Parses a vector literal: "0.1,0.2,0.3" or "[0.1, 0.2, 0.3]".
+Result<std::vector<float>> ParseVectorLiteral(const std::string& text);
+
+}  // namespace vecdb::sql

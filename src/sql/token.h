@@ -1,0 +1,35 @@
+// Token definitions for the vecdb SQL dialect (the paper's §II-E surface:
+// CREATE TABLE / INSERT / CREATE INDEX ... USING ... WITH (...) /
+// SELECT ... ORDER BY vec <-> '...' LIMIT k).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vecdb::sql {
+
+enum class TokenType : uint8_t {
+  kEof,
+  kIdentifier,   // table, column, index names (case-insensitive keywords)
+  kKeyword,      // SELECT, FROM, ORDER, ...
+  kNumber,       // integer or decimal literal
+  kString,       // '...' literal (vector payloads)
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kEquals,
+  kStar,
+  kDistanceOp,   // <->  (L2), <#> (inner product), <=> (cosine)
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;   // raw text (uppercased for keywords)
+  double number = 0;  // value when type == kNumber
+  size_t pos = 0;     // byte offset in the statement, for error messages
+};
+
+}  // namespace vecdb::sql

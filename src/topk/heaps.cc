@@ -1,0 +1,32 @@
+#include "topk/heaps.h"
+
+#include <limits>
+
+namespace vecdb {
+
+std::vector<Neighbor> NHeap::PopK(size_t k) {
+  // Min-heap over ALL n candidates, then k pops — the n-sized-heap
+  // behaviour the paper measures in PASE (RC#6).
+  auto greater = [](const Neighbor& a, const Neighbor& b) { return b < a; };
+  std::make_heap(items_.begin(), items_.end(), greater);
+  std::vector<Neighbor> out;
+  out.reserve(std::min(k, items_.size()));
+  auto end = items_.end();
+  for (size_t i = 0; i < k && items_.begin() != end; ++i) {
+    std::pop_heap(items_.begin(), end, greater);
+    --end;
+    out.push_back(*end);
+  }
+  return out;
+}
+
+std::vector<Neighbor> MergeTopK(std::vector<std::vector<Neighbor>> locals,
+                                size_t k) {
+  KMaxHeap merged(k);
+  for (const auto& local : locals) {
+    for (const auto& nb : local) merged.Push(nb.dist, nb.id);
+  }
+  return merged.TakeSorted();
+}
+
+}  // namespace vecdb

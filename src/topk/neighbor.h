@@ -1,0 +1,24 @@
+// The (distance, id) pair every search path produces.
+#pragma once
+
+#include <cstdint>
+
+namespace vecdb {
+
+/// A search candidate or result: distance to the query plus the row id.
+/// Smaller distance means more similar for every metric in vecdb.
+struct Neighbor {
+  float dist = 0.f;
+  int64_t id = -1;
+
+  /// Orders by distance, then id, so result lists are deterministic.
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  }
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.dist == b.dist && a.id == b.id;
+  }
+};
+
+}  // namespace vecdb

@@ -1,0 +1,100 @@
+// Inter-query concurrency: many threads issuing independent queries
+// against one shared index must agree with serial results. (Intra-query
+// parallelism is covered by the engine tests; HNSW search is documented as
+// single-session because of its mutable visited table, matching the
+// paper's setup where neither system parallelizes HNSW queries.)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "datasets/synthetic.h"
+#include "faisslike/ivf_flat.h"
+#include "pase/ivf_flat.h"
+#include "pgstub/bufmgr.h"
+
+namespace vecdb {
+namespace {
+
+Dataset TestData() {
+  SyntheticOptions opt;
+  opt.dim = 16;
+  opt.num_base = 2000;
+  opt.num_queries = 32;
+  return GenerateClustered(opt);
+}
+
+template <typename IndexT>
+void RunConcurrentQueries(const IndexT& index, const Dataset& ds) {
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 8;
+  // Serial reference answers.
+  std::vector<std::vector<Neighbor>> expected;
+  for (size_t q = 0; q < ds.num_queries; ++q) {
+    expected.push_back(index.Search(ds.query_vector(q), params).ValueOrDie());
+  }
+  // 8 threads x multiple passes over the query set.
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int pass = 0; pass < 5; ++pass) {
+        const size_t q = (t * 7 + pass * 3) % ds.num_queries;
+        auto result = index.Search(ds.query_vector(q), params);
+        if (!result.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (*result != expected[q]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, FaissIvfFlatSharedAcrossThreads) {
+  auto ds = TestData();
+  faisslike::IvfFlatOptions opt;
+  opt.num_clusters = 16;
+  faisslike::IvfFlatIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  RunConcurrentQueries(index, ds);
+}
+
+TEST(ConcurrencyTest, PaseIvfFlatSharedAcrossThreads) {
+  // Every concurrent query goes through the same buffer manager — its
+  // mutex-guarded pin path must stay correct under contention.
+  const std::string dir = ::testing::TempDir() + "/conc_pase";
+  auto smgr = std::make_unique<pgstub::StorageManager>(
+      pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
+  pgstub::BufferManager bufmgr(smgr.get(), 4096);
+  auto ds = TestData();
+  pase::PaseIvfFlatOptions opt;
+  opt.num_clusters = 16;
+  pase::PaseIvfFlatIndex index({smgr.get(), &bufmgr}, ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  RunConcurrentQueries(index, ds);
+}
+
+TEST(ConcurrencyTest, PaseSurvivesEvictionUnderConcurrency) {
+  // A pool smaller than the working set forces concurrent eviction.
+  const std::string dir = ::testing::TempDir() + "/conc_evict";
+  auto smgr = std::make_unique<pgstub::StorageManager>(
+      pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
+  pgstub::BufferManager bufmgr(smgr.get(), 24);
+  auto ds = TestData();
+  pase::PaseIvfFlatOptions opt;
+  opt.num_clusters = 16;
+  pase::PaseIvfFlatIndex index({smgr.get(), &bufmgr}, ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  RunConcurrentQueries(index, ds);
+  EXPECT_GT(bufmgr.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace vecdb

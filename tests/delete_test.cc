@@ -1,0 +1,171 @@
+// Delete (amdelete) tests: tombstoned rows disappear from results across
+// all indexes and both engines; double deletes and bad ids fail cleanly.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/synthetic.h"
+#include "faisslike/hnsw.h"
+#include "faisslike/ivf_flat.h"
+#include "faisslike/ivf_pq.h"
+#include "faisslike/ivf_sq8.h"
+#include "pase/hnsw.h"
+#include "pase/ivf_flat.h"
+#include "pase/ivf_sq8.h"
+
+namespace vecdb {
+namespace {
+
+Dataset TestData() {
+  SyntheticOptions opt;
+  opt.dim = 16;
+  opt.num_base = 500;
+  opt.num_queries = 2;
+  return GenerateClustered(opt);
+}
+
+bool ResultsContain(const std::vector<Neighbor>& results, int64_t id) {
+  for (const auto& nb : results) {
+    if (nb.id == id) return true;
+  }
+  return false;
+}
+
+/// Deletes a vector's exact-match target and verifies it vanishes while
+/// other results survive.
+void CheckDelete(VectorIndex& index, const Dataset& ds,
+                 const SearchParams& params) {
+  const size_t probe = 123;
+  auto before =
+      index.Search(ds.base_vector(probe), params).ValueOrDie();
+  ASSERT_TRUE(ResultsContain(before, static_cast<int64_t>(probe)))
+      << index.Describe();
+  const size_t count_before = index.NumVectors();
+
+  ASSERT_TRUE(index.Delete(static_cast<int64_t>(probe)).ok());
+  EXPECT_EQ(index.NumVectors(), count_before - 1);
+  auto after = index.Search(ds.base_vector(probe), params).ValueOrDie();
+  EXPECT_FALSE(ResultsContain(after, static_cast<int64_t>(probe)))
+      << index.Describe();
+  EXPECT_FALSE(after.empty());
+
+  // Double delete fails.
+  EXPECT_FALSE(index.Delete(static_cast<int64_t>(probe)).ok());
+}
+
+TEST(DeleteTest, FaissIvfFlat) {
+  auto ds = TestData();
+  faisslike::IvfFlatOptions opt;
+  opt.num_clusters = 8;
+  opt.sample_ratio = 1.0;
+  faisslike::IvfFlatIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 8;
+  CheckDelete(index, ds, params);
+}
+
+TEST(DeleteTest, FaissIvfSq8) {
+  auto ds = TestData();
+  faisslike::IvfSq8Options opt;
+  opt.num_clusters = 8;
+  opt.sample_ratio = 1.0;
+  faisslike::IvfSq8Index index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 8;
+  CheckDelete(index, ds, params);
+}
+
+TEST(DeleteTest, FaissHnsw) {
+  auto ds = TestData();
+  faisslike::HnswOptions opt;
+  opt.bnn = 8;
+  opt.efb = 20;
+  faisslike::HnswIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = 10;
+  params.efs = 50;
+  CheckDelete(index, ds, params);
+  // Out-of-range ids are NotFound for the graph.
+  EXPECT_TRUE(index.Delete(99999).IsNotFound());
+  EXPECT_TRUE(index.Delete(-1).IsNotFound());
+}
+
+TEST(DeleteTest, HnswSurvivesManyDeletes) {
+  auto ds = TestData();
+  faisslike::HnswOptions opt;
+  opt.bnn = 8;
+  opt.efb = 20;
+  faisslike::HnswIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  // Delete a third of the nodes; search must still return k live results.
+  for (int64_t id = 0; id < 160; ++id) {
+    ASSERT_TRUE(index.Delete(id).ok());
+  }
+  SearchParams params;
+  params.k = 10;
+  params.efs = 50;
+  auto results = index.Search(ds.query_vector(0), params).ValueOrDie();
+  EXPECT_EQ(results.size(), 10u);
+  for (const auto& nb : results) EXPECT_GE(nb.id, 160);
+}
+
+class PaseDeleteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string dir =
+        ::testing::TempDir() + "/delete_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    smgr_ = std::make_unique<pgstub::StorageManager>(
+        pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
+    bufmgr_ = std::make_unique<pgstub::BufferManager>(smgr_.get(), 4096);
+  }
+  pase::PaseEnv Env() { return {smgr_.get(), bufmgr_.get()}; }
+
+  std::unique_ptr<pgstub::StorageManager> smgr_;
+  std::unique_ptr<pgstub::BufferManager> bufmgr_;
+};
+
+TEST_F(PaseDeleteTest, PaseIvfFlat) {
+  auto ds = TestData();
+  pase::PaseIvfFlatOptions opt;
+  opt.num_clusters = 8;
+  opt.sample_ratio = 1.0;
+  pase::PaseIvfFlatIndex index(Env(), ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 8;
+  CheckDelete(index, ds, params);
+}
+
+TEST_F(PaseDeleteTest, PaseHnsw) {
+  auto ds = TestData();
+  pase::PaseHnswOptions opt;
+  opt.bnn = 8;
+  opt.efb = 20;
+  pase::PaseHnswIndex index(Env(), ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = 10;
+  params.efs = 50;
+  CheckDelete(index, ds, params);
+}
+
+TEST(DeleteTest, SaveRefusesTombstonedIndex) {
+  auto ds = TestData();
+  faisslike::IvfFlatOptions opt;
+  opt.num_clusters = 8;
+  opt.sample_ratio = 1.0;
+  faisslike::IvfFlatIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  ASSERT_TRUE(index.Delete(1).ok());
+  EXPECT_FALSE(index.Save(::testing::TempDir() + "/tomb.idx").ok());
+}
+
+}  // namespace
+}  // namespace vecdb

@@ -1,0 +1,109 @@
+#include "distance/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "distance/metric.h"
+
+namespace vecdb {
+namespace {
+
+float NaiveL2Sqr(const std::vector<float>& a, const std::vector<float>& b) {
+  float s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return s;
+}
+
+TEST(DistanceTest, L2SqrMatchesNaiveAcrossDims) {
+  Rng rng(1);
+  // Odd dims exercise the scalar tail of the unrolled kernel.
+  for (size_t d : {1u, 2u, 3u, 4u, 7u, 16u, 33u, 96u, 100u, 128u, 960u}) {
+    std::vector<float> a(d), b(d);
+    for (size_t i = 0; i < d; ++i) {
+      a[i] = rng.Gaussian();
+      b[i] = rng.Gaussian();
+    }
+    const float expect = NaiveL2Sqr(a, b);
+    EXPECT_NEAR(L2Sqr(a.data(), b.data(), d), expect,
+                1e-4f * (expect + 1.f))
+        << "dim " << d;
+  }
+}
+
+TEST(DistanceTest, L2SqrIdenticalVectorsIsZero) {
+  std::vector<float> a(128, 0.5f);
+  EXPECT_FLOAT_EQ(L2Sqr(a.data(), a.data(), a.size()), 0.f);
+}
+
+TEST(DistanceTest, InnerProductMatchesNaive) {
+  Rng rng(2);
+  for (size_t d : {1u, 5u, 64u, 129u}) {
+    std::vector<float> a(d), b(d);
+    float expect = 0;
+    for (size_t i = 0; i < d; ++i) {
+      a[i] = rng.Gaussian();
+      b[i] = rng.Gaussian();
+      expect += a[i] * b[i];
+    }
+    EXPECT_NEAR(InnerProduct(a.data(), b.data(), d), expect,
+                1e-4f * (std::abs(expect) + 1.f));
+  }
+}
+
+TEST(DistanceTest, NormSqrIsSelfInnerProduct) {
+  std::vector<float> a = {1.f, 2.f, 3.f};
+  EXPECT_FLOAT_EQ(L2NormSqr(a.data(), 3), 14.f);
+}
+
+TEST(DistanceTest, CosineOfParallelVectorsIsZero) {
+  std::vector<float> a = {1.f, 2.f, 3.f};
+  std::vector<float> b = {2.f, 4.f, 6.f};
+  EXPECT_NEAR(CosineDistance(a.data(), b.data(), 3), 0.f, 1e-6f);
+}
+
+TEST(DistanceTest, CosineOfOrthogonalVectorsIsOne) {
+  std::vector<float> a = {1.f, 0.f};
+  std::vector<float> b = {0.f, 1.f};
+  EXPECT_NEAR(CosineDistance(a.data(), b.data(), 2), 1.f, 1e-6f);
+}
+
+TEST(DistanceTest, CosineWithZeroVectorDefined) {
+  std::vector<float> a = {0.f, 0.f};
+  std::vector<float> b = {1.f, 1.f};
+  EXPECT_FLOAT_EQ(CosineDistance(a.data(), b.data(), 2), 1.f);
+}
+
+TEST(DistanceTest, MetricDispatchSmallerMeansCloser) {
+  std::vector<float> q = {1.f, 0.f};
+  std::vector<float> near = {0.9f, 0.1f};
+  std::vector<float> far = {-1.f, 0.f};
+  for (Metric m : {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+    EXPECT_LT(Distance(m, q.data(), near.data(), 2),
+              Distance(m, q.data(), far.data(), 2))
+        << MetricName(m);
+  }
+}
+
+TEST(DistanceTest, BatchMatchesSingle) {
+  Rng rng(3);
+  const size_t d = 32, n = 50;
+  std::vector<float> q(d), base(n * d), out(n);
+  for (auto& v : q) v = rng.Gaussian();
+  for (auto& v : base) v = rng.Gaussian();
+  DistanceBatch(Metric::kL2, q.data(), base.data(), n, d, out.data());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(out[i], L2Sqr(q.data(), base.data() + i * d, d));
+  }
+}
+
+TEST(DistanceTest, MetricNames) {
+  EXPECT_EQ(MetricName(Metric::kL2), "l2");
+  EXPECT_EQ(MetricName(Metric::kInnerProduct), "ip");
+  EXPECT_EQ(MetricName(Metric::kCosine), "cosine");
+}
+
+}  // namespace
+}  // namespace vecdb

@@ -1,0 +1,111 @@
+#include "core/factory.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/synthetic.h"
+#include "pgstub/bufmgr.h"
+
+namespace vecdb {
+namespace {
+
+class FactoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string dir =
+        ::testing::TempDir() + "/factory_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    smgr_ = std::make_unique<pgstub::StorageManager>(
+        pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
+    bufmgr_ = std::make_unique<pgstub::BufferManager>(smgr_.get(), 2048);
+    SyntheticOptions opt;
+    opt.dim = 8;
+    opt.num_base = 300;
+    opt.num_queries = 3;
+    ds_ = GenerateClustered(opt);
+  }
+  pase::PaseEnv Env() { return {smgr_.get(), bufmgr_.get()}; }
+
+  std::unique_ptr<pgstub::StorageManager> smgr_;
+  std::unique_ptr<pgstub::BufferManager> bufmgr_;
+  Dataset ds_;
+};
+
+TEST_F(FactoryTest, EveryMethodEngineComboBuildsAndSearches) {
+  struct Combo {
+    const char* method;
+    const char* engine;
+  };
+  const Combo combos[] = {
+      {"flat", "faiss"},    {"ivfflat", "faiss"}, {"ivfpq", "faiss"},
+      {"ivfsq8", "faiss"},  {"hnsw", "faiss"},    {"ivfflat", "pase"},
+      {"ivfpq", "pase"},    {"ivfsq8", "pase"},   {"hnsw", "pase"},
+      {"ivfflat", "bridge"}, {"hnsw", "bridge"},
+  };
+  int counter = 0;
+  for (const auto& combo : combos) {
+    IndexSpec spec;
+    spec.method = combo.method;
+    spec.engine = combo.engine;
+    spec.dim = ds_.dim;
+    spec.options = {{"clusters", 4}, {"sample_ratio", 1},
+                    {"m", 4},        {"pq_codes", 16},
+                    {"bnn", 8},      {"efb", 16}};
+    spec.rel_prefix = "f" + std::to_string(counter++);
+    auto index = CreateIndex(spec, Env());
+    ASSERT_TRUE(index.ok()) << combo.method << "/" << combo.engine << ": "
+                            << index.status().ToString();
+    ASSERT_TRUE((*index)->Build(ds_.base.data(), ds_.num_base).ok())
+        << combo.method << "/" << combo.engine;
+    SearchParams params;
+    params.k = 5;
+    params.nprobe = 4;
+    params.efs = 20;
+    auto results = (*index)->Search(ds_.query_vector(0), params);
+    ASSERT_TRUE(results.ok()) << combo.method << "/" << combo.engine;
+    EXPECT_EQ(results->size(), 5u) << combo.method << "/" << combo.engine;
+  }
+}
+
+TEST_F(FactoryTest, RejectsBadSpecs) {
+  IndexSpec spec;
+  spec.method = "ivfflat";
+  spec.dim = 0;  // missing dim
+  EXPECT_FALSE(CreateIndex(spec).ok());
+
+  spec.dim = 8;
+  spec.engine = "oracle";
+  EXPECT_TRUE(CreateIndex(spec).status().IsInvalidArgument());
+
+  spec.engine = "faiss";
+  spec.method = "btree";
+  EXPECT_TRUE(CreateIndex(spec).status().IsInvalidArgument());
+
+  spec.method = "ivfflat";
+  spec.options = {{"clustres", 16}};  // typo must be caught
+  EXPECT_TRUE(CreateIndex(spec).status().IsInvalidArgument());
+}
+
+TEST_F(FactoryTest, PageEnginesRequireEnv) {
+  IndexSpec spec;
+  spec.method = "ivfflat";
+  spec.engine = "pase";
+  spec.dim = 8;
+  EXPECT_TRUE(CreateIndex(spec).status().IsInvalidArgument());
+  EXPECT_TRUE(CreateIndex(spec, Env()).ok());
+  // The faiss engine ignores the env entirely.
+  spec.engine = "faiss";
+  EXPECT_TRUE(CreateIndex(spec).ok());
+}
+
+TEST_F(FactoryTest, BridgeRejectsUnsupportedMethods) {
+  IndexSpec spec;
+  spec.method = "ivfpq";
+  spec.engine = "bridge";
+  spec.dim = 8;
+  EXPECT_TRUE(CreateIndex(spec, Env()).status().IsNotSupported());
+}
+
+}  // namespace
+}  // namespace vecdb

@@ -1,0 +1,145 @@
+#include "topk/heaps.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace vecdb {
+namespace {
+
+std::vector<Neighbor> ReferenceTopK(std::vector<Neighbor> all, size_t k) {
+  std::sort(all.begin(), all.end());
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(KMaxHeapTest, KeepsKSmallest) {
+  KMaxHeap heap(3);
+  for (int i = 10; i >= 1; --i) {
+    heap.Push(static_cast<float>(i), i);
+  }
+  auto sorted = heap.TakeSorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].id, 1);
+  EXPECT_EQ(sorted[1].id, 2);
+  EXPECT_EQ(sorted[2].id, 3);
+}
+
+TEST(KMaxHeapTest, WorstIsInfUntilFull) {
+  KMaxHeap heap(2);
+  EXPECT_TRUE(std::isinf(heap.worst()));
+  heap.Push(1.f, 1);
+  EXPECT_TRUE(std::isinf(heap.worst()));
+  heap.Push(2.f, 2);
+  EXPECT_FLOAT_EQ(heap.worst(), 2.f);
+  heap.Push(0.5f, 3);
+  EXPECT_FLOAT_EQ(heap.worst(), 1.f);
+}
+
+TEST(KMaxHeapTest, ZeroKClampedToOne) {
+  KMaxHeap heap(0);
+  EXPECT_EQ(heap.capacity(), 1u);
+  heap.Push(2.f, 2);
+  heap.Push(1.f, 1);
+  auto sorted = heap.TakeSorted();
+  ASSERT_EQ(sorted.size(), 1u);
+  EXPECT_EQ(sorted[0].id, 1);
+}
+
+TEST(KMaxHeapTest, FewerThanKCandidates) {
+  KMaxHeap heap(10);
+  heap.Push(3.f, 3);
+  heap.Push(1.f, 1);
+  auto sorted = heap.TakeSorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 1);
+}
+
+class HeapEquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HeapEquivalenceTest, KHeapAndNHeapAgreeWithPartialSort) {
+  const size_t k = GetParam();
+  Rng rng(k * 7 + 1);
+  std::vector<Neighbor> all;
+  KMaxHeap kheap(k);
+  NHeap nheap;
+  for (int64_t i = 0; i < 500; ++i) {
+    const float d = rng.UniformFloat();
+    all.push_back({d, i});
+    kheap.Push(d, i);
+    nheap.Push(d, i);
+  }
+  auto expect = ReferenceTopK(all, k);
+  EXPECT_EQ(kheap.TakeSorted(), expect);
+  EXPECT_EQ(nheap.PopK(k), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, HeapEquivalenceTest,
+                         ::testing::Values(1, 2, 10, 100, 499, 500, 1000));
+
+TEST(NHeapTest, PopKBeyondSizeReturnsAll) {
+  NHeap heap;
+  heap.Push(2.f, 2);
+  heap.Push(1.f, 1);
+  auto out = heap.PopK(10);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 1);
+}
+
+TEST(NHeapTest, TieBreakById) {
+  NHeap heap;
+  heap.Push(1.f, 9);
+  heap.Push(1.f, 3);
+  heap.Push(1.f, 5);
+  auto out = heap.PopK(2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 3);
+  EXPECT_EQ(out[1].id, 5);
+}
+
+TEST(LockedGlobalHeapTest, ConcurrentPushesKeepTopK) {
+  LockedGlobalHeap heap(50);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&heap, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < 2500; ++i) {
+        heap.Push(rng.UniformFloat(), t * 2500 + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto sorted = heap.TakeSorted();
+  ASSERT_EQ(sorted.size(), 50u);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted[i - 1].dist, sorted[i].dist);
+  }
+}
+
+TEST(MergeTopKTest, MergesLocalsCorrectly) {
+  Rng rng(55);
+  std::vector<Neighbor> all;
+  std::vector<std::vector<Neighbor>> locals(4);
+  for (int64_t i = 0; i < 400; ++i) {
+    const float d = rng.UniformFloat();
+    all.push_back({d, i});
+    locals[i % 4].push_back({d, i});
+  }
+  // Locals are each pre-truncated top-k lists in the real flow; merging
+  // untruncated lists must also work.
+  auto merged = MergeTopK(locals, 25);
+  EXPECT_EQ(merged, ReferenceTopK(all, 25));
+}
+
+TEST(MergeTopKTest, EmptyLocals) {
+  auto merged = MergeTopK({{}, {}}, 5);
+  EXPECT_TRUE(merged.empty());
+}
+
+}  // namespace
+}  // namespace vecdb

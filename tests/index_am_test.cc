@@ -1,0 +1,83 @@
+#include "pgstub/index_am.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "faisslike/flat_index.h"
+
+namespace vecdb::pgstub {
+namespace {
+
+class IndexAmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string dir =
+        ::testing::TempDir() + "/am_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    smgr_ = std::make_unique<StorageManager>(
+        StorageManager::Open(dir, 8192).ValueOrDie());
+    bufmgr_ = std::make_unique<BufferManager>(smgr_.get(), 256);
+    table_ = std::make_unique<HeapTable>(
+        HeapTable::Create(bufmgr_.get(), smgr_.get(), "t", 2).ValueOrDie());
+    // Rows with non-dense user ids.
+    const float vecs[4][2] = {{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+    const int64_t ids[4] = {100, 200, 300, 400};
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(table_->Insert(ids[i], vecs[i]).ok());
+    }
+  }
+
+  std::unique_ptr<StorageManager> smgr_;
+  std::unique_ptr<BufferManager> bufmgr_;
+  std::unique_ptr<HeapTable> table_;
+};
+
+TEST_F(IndexAmTest, BuildAndScanTranslatesRowIds) {
+  faisslike::FlatIndex index(2);
+  VectorIndexAm am(&index);
+  ASSERT_TRUE(am.AmBuild(*table_).ok());
+  const float query[2] = {0.9f, 0.9f};
+  AmScanOptions options;
+  options.k = 2;
+  auto cursor = am.AmBeginScan(query, options).ValueOrDie();
+  Neighbor nb;
+  ASSERT_TRUE(*cursor->AmGetTuple(&nb));
+  EXPECT_EQ(nb.id, 200);  // the user id, not position 1
+  ASSERT_TRUE(*cursor->AmGetTuple(&nb));
+  EXPECT_EQ(nb.id, 100);
+  EXPECT_FALSE(*cursor->AmGetTuple(&nb));  // k=2 exhausted
+}
+
+TEST_F(IndexAmTest, CursorIsExhaustedNotResettable) {
+  faisslike::FlatIndex index(2);
+  VectorIndexAm am(&index);
+  ASSERT_TRUE(am.AmBuild(*table_).ok());
+  const float query[2] = {0, 0};
+  AmScanOptions options;
+  options.k = 10;  // more than rows: returns all 4 then stops
+  auto cursor = am.AmBeginScan(query, options).ValueOrDie();
+  Neighbor nb;
+  int count = 0;
+  while (*cursor->AmGetTuple(&nb)) ++count;
+  EXPECT_EQ(count, 4);
+  EXPECT_FALSE(*cursor->AmGetTuple(&nb));
+}
+
+TEST_F(IndexAmTest, EmptyTableFailsBuild) {
+  auto empty = HeapTable::Create(bufmgr_.get(), smgr_.get(), "empty", 2)
+                   .ValueOrDie();
+  faisslike::FlatIndex index(2);
+  VectorIndexAm am(&index);
+  EXPECT_FALSE(am.AmBuild(empty).ok());
+}
+
+TEST_F(IndexAmTest, AmInsertIsNotSupported) {
+  faisslike::FlatIndex index(2);
+  VectorIndexAm am(&index);
+  const float vec[2] = {0, 0};
+  EXPECT_TRUE(am.AmInsert(vec, 1).IsNotSupported());
+}
+
+}  // namespace
+}  // namespace vecdb::pgstub

@@ -1,0 +1,178 @@
+// Cross-module integration tests: the equivalences the paper's methodology
+// rests on (same index + same parameters + same centroids => same results
+// across engines), end-to-end behaviour on paper-analog datasets, and the
+// substrate under memory pressure.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bridge/bridged_ivf_flat.h"
+#include "datasets/ground_truth.h"
+#include "datasets/registry.h"
+#include "faisslike/hnsw.h"
+#include "faisslike/ivf_flat.h"
+#include "pase/hnsw.h"
+#include "pase/ivf_flat.h"
+
+namespace vecdb {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/integ_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    smgr_ = std::make_unique<pgstub::StorageManager>(
+        pgstub::StorageManager::Open(dir_, 8192).ValueOrDie());
+    bufmgr_ = std::make_unique<pgstub::BufferManager>(smgr_.get(), 16384);
+    const auto* spec = FindDataset("SIFT1M");
+    ds_ = MakePaperAnalog(*spec, 0.004);  // 4000 x 128
+    ComputeGroundTruth(&ds_, 10, Metric::kL2);
+  }
+
+  pase::PaseEnv Env() { return {smgr_.get(), bufmgr_.get()}; }
+
+  std::string dir_;
+  std::unique_ptr<pgstub::StorageManager> smgr_;
+  std::unique_ptr<pgstub::BufferManager> bufmgr_;
+  Dataset ds_;
+};
+
+TEST_F(IntegrationTest, Fig15Mechanism_FaissWithPaseCentroidsIsIdentical) {
+  // Build PASE IVF_FLAT, transplant its centroids into the Faiss-like
+  // engine ("Faiss*"), and verify identical result sets — the exact
+  // equivalence the paper's Fig 15 exploits.
+  pase::PaseIvfFlatOptions popt;
+  popt.num_clusters = 32;
+  popt.sample_ratio = 0.2;
+  pase::PaseIvfFlatIndex pase_index(Env(), ds_.dim, popt);
+  ASSERT_TRUE(pase_index.Build(ds_.base.data(), ds_.num_base).ok());
+
+  faisslike::IvfFlatOptions fopt;
+  fopt.num_clusters = 32;
+  faisslike::IvfFlatIndex faiss_star(ds_.dim, fopt);
+  ASSERT_TRUE(faiss_star
+                  .SetCentroids(pase_index.centroids(),
+                                pase_index.num_clusters())
+                  .ok());
+  ASSERT_TRUE(faiss_star.AddBatch(ds_.base.data(), ds_.num_base).ok());
+
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 8;
+  for (size_t q = 0; q < ds_.num_queries; ++q) {
+    auto rp = pase_index.Search(ds_.query_vector(q), params).ValueOrDie();
+    auto rf = faiss_star.Search(ds_.query_vector(q), params).ValueOrDie();
+    ASSERT_EQ(rp.size(), rf.size()) << "query " << q;
+    for (size_t i = 0; i < rp.size(); ++i) {
+      EXPECT_EQ(rp[i].id, rf[i].id) << "query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, AllEnginesReachTargetRecallOnPaperAnalog) {
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 16;
+  params.efs = 100;
+
+  faisslike::IvfFlatOptions fopt;
+  fopt.num_clusters = 63;  // sqrt-ish of 4000
+  faisslike::IvfFlatIndex faiss_index(ds_.dim, fopt);
+  ASSERT_TRUE(faiss_index.Build(ds_.base.data(), ds_.num_base).ok());
+
+  pase::PaseIvfFlatOptions popt;
+  popt.num_clusters = 63;
+  pase::PaseIvfFlatIndex pase_index(Env(), ds_.dim, popt);
+  ASSERT_TRUE(pase_index.Build(ds_.base.data(), ds_.num_base).ok());
+
+  bridge::BridgedIvfFlatOptions bopt;
+  bopt.num_clusters = 63;
+  bridge::BridgedIvfFlatIndex bridged(Env(), ds_.dim, bopt);
+  ASSERT_TRUE(bridged.Build(ds_.base.data(), ds_.num_base).ok());
+
+  for (const VectorIndex* index :
+       {static_cast<const VectorIndex*>(&faiss_index),
+        static_cast<const VectorIndex*>(&pase_index),
+        static_cast<const VectorIndex*>(&bridged)}) {
+    std::vector<std::vector<Neighbor>> results;
+    for (size_t q = 0; q < ds_.num_queries; ++q) {
+      results.push_back(
+          index->Search(ds_.query_vector(q), params).ValueOrDie());
+    }
+    EXPECT_GE(MeanRecallAtK(results, ds_.ground_truth, 10), 0.7)
+        << index->Describe();
+  }
+}
+
+TEST_F(IntegrationTest, HnswSizeBlowupMatchesPaperDirection) {
+  // Fig 13: PASE HNSW is several times larger than Faiss HNSW.
+  faisslike::HnswOptions fopt;
+  fopt.bnn = 16;
+  fopt.efb = 40;
+  faisslike::HnswIndex faiss_hnsw(ds_.dim, fopt);
+  const size_t n = 1200;
+  ASSERT_TRUE(faiss_hnsw.Build(ds_.base.data(), n).ok());
+
+  pase::PaseHnswOptions popt;
+  popt.bnn = 16;
+  popt.efb = 40;
+  pase::PaseHnswIndex pase_hnsw(Env(), ds_.dim, popt);
+  ASSERT_TRUE(pase_hnsw.Build(ds_.base.data(), n).ok());
+
+  EXPECT_GT(pase_hnsw.SizeBytes(), 2 * faiss_hnsw.SizeBytes());
+}
+
+TEST_F(IntegrationTest, PaseSurvivesTinyBufferPool) {
+  // With a pool far smaller than the index, every search faults pages in
+  // and out through the clock sweep — results must stay correct.
+  auto small_pool =
+      std::make_unique<pgstub::BufferManager>(smgr_.get(), 32);
+  pase::PaseEnv env{smgr_.get(), small_pool.get()};
+  pase::PaseIvfFlatOptions opt;
+  opt.num_clusters = 16;
+  opt.rel_prefix = "tiny_pool";
+  pase::PaseIvfFlatIndex index(env, ds_.dim, opt);
+  ASSERT_TRUE(index.Build(ds_.base.data(), 2000).ok());
+  EXPECT_GT(small_pool->stats().evictions, 0u);
+
+  // Compare against a generously-pooled twin.
+  pase::PaseIvfFlatOptions opt2 = opt;
+  opt2.rel_prefix = "big_pool";
+  pase::PaseIvfFlatIndex big(Env(), ds_.dim, opt2);
+  ASSERT_TRUE(big.Build(ds_.base.data(), 2000).ok());
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 8;
+  for (size_t q = 0; q < 5; ++q) {
+    EXPECT_EQ(index.Search(ds_.query_vector(q), params).ValueOrDie(),
+              big.Search(ds_.query_vector(q), params).ValueOrDie());
+  }
+}
+
+TEST_F(IntegrationTest, NHeapVsKHeapSameAnswersDifferentCost) {
+  // RC#6 is a pure performance defect: result correctness is unaffected.
+  pase::PaseIvfFlatOptions popt;
+  popt.num_clusters = 32;
+  pase::PaseIvfFlatIndex pase_index(Env(), ds_.dim, popt);
+  ASSERT_TRUE(pase_index.Build(ds_.base.data(), ds_.num_base).ok());
+
+  faisslike::IvfFlatOptions fopt;
+  fopt.num_clusters = 32;
+  faisslike::IvfFlatIndex faiss_star(ds_.dim, fopt);
+  ASSERT_TRUE(faiss_star
+                  .SetCentroids(pase_index.centroids(),
+                                pase_index.num_clusters())
+                  .ok());
+  ASSERT_TRUE(faiss_star.AddBatch(ds_.base.data(), ds_.num_base).ok());
+
+  SearchParams params;
+  params.k = 100;
+  params.nprobe = 32;
+  auto rp = pase_index.Search(ds_.query_vector(0), params).ValueOrDie();
+  auto rf = faiss_star.Search(ds_.query_vector(0), params).ValueOrDie();
+  EXPECT_EQ(rp, rf);
+}
+
+}  // namespace
+}  // namespace vecdb

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/ground_truth.h"
+#include "datasets/synthetic.h"
+#include "faisslike/ivf_flat.h"
+#include "faisslike/ivf_sq8.h"
+#include "pase/ivf_sq8.h"
+#include "sql/database.h"
+
+namespace vecdb {
+namespace {
+
+Dataset TestData() {
+  SyntheticOptions opt;
+  opt.dim = 32;
+  opt.num_base = 2000;
+  opt.num_queries = 15;
+  opt.num_natural_clusters = 16;
+  auto ds = GenerateClustered(opt);
+  ComputeGroundTruth(&ds, 10, Metric::kL2);
+  return ds;
+}
+
+double MeasureRecall(const VectorIndex& index, const Dataset& ds,
+                     const SearchParams& params) {
+  std::vector<std::vector<Neighbor>> results;
+  for (size_t q = 0; q < ds.num_queries; ++q) {
+    results.push_back(index.Search(ds.query_vector(q), params).ValueOrDie());
+  }
+  return MeanRecallAtK(results, ds.ground_truth, 10);
+}
+
+TEST(IvfSq8Test, NearFlatRecallAtQuarterSize) {
+  auto ds = TestData();
+  faisslike::IvfSq8Options sq_opt;
+  sq_opt.num_clusters = 16;
+  sq_opt.sample_ratio = 0.5;
+  faisslike::IvfSq8Index sq_index(ds.dim, sq_opt);
+  ASSERT_TRUE(sq_index.Build(ds.base.data(), ds.num_base).ok());
+
+  faisslike::IvfFlatOptions flat_opt;
+  flat_opt.num_clusters = 16;
+  flat_opt.sample_ratio = 0.5;
+  faisslike::IvfFlatIndex flat_index(ds.dim, flat_opt);
+  ASSERT_TRUE(flat_index.Build(ds.base.data(), ds.num_base).ok());
+
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 16;
+  // SQ8 should land close to IVF_FLAT recall (8-bit quantization is mild).
+  EXPECT_GE(MeasureRecall(sq_index, ds, params), 0.9);
+  // ...at roughly a quarter of the vector payload.
+  EXPECT_LT(sq_index.SizeBytes(), flat_index.SizeBytes() / 2);
+}
+
+TEST(IvfSq8Test, PaseVariantMatchesRecallBand) {
+  auto ds = TestData();
+  const std::string dir = ::testing::TempDir() + "/sq8_pase";
+  auto smgr = std::make_unique<pgstub::StorageManager>(
+      pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
+  pgstub::BufferManager bufmgr(smgr.get(), 4096);
+  pase::PaseIvfSq8Options opt;
+  opt.num_clusters = 16;
+  opt.sample_ratio = 0.5;
+  opt.rel_prefix = "sq8_" + std::string(
+      ::testing::UnitTest::GetInstance()->current_test_info()->name());
+  pase::PaseIvfSq8Index index({smgr.get(), &bufmgr}, ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 16;
+  EXPECT_GE(MeasureRecall(index, ds, params), 0.85);
+  EXPECT_EQ(index.NumVectors(), ds.num_base);
+  EXPECT_GT(index.SizeBytes(), 0u);
+}
+
+TEST(IvfSq8Test, ErrorPaths) {
+  faisslike::IvfSq8Options opt;
+  opt.num_clusters = 64;
+  faisslike::IvfSq8Index index(8, opt);
+  std::vector<float> few(8 * 10, 0.f);
+  EXPECT_FALSE(index.Build(few.data(), 10).ok());  // c > n
+  SearchParams params;
+  EXPECT_FALSE(index.Search(few.data(), params).ok());  // not built
+}
+
+TEST(IvfSq8Test, AvailableThroughSql) {
+  const std::string dir = ::testing::TempDir() + "/sq8_sql";
+  auto db = std::move(sql::MiniDatabase::Open(dir)).ValueOrDie();
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (id int, vec float[4])").ok());
+  std::string insert = "INSERT INTO t VALUES ";
+  for (int i = 0; i < 64; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(" + std::to_string(i) + ", '" + std::to_string(i * 0.1) +
+              ",0,0,0')";
+  }
+  ASSERT_TRUE(db->Execute(insert).ok());
+  for (const std::string engine : {"pase", "faiss"}) {
+    ASSERT_TRUE(db->Execute("CREATE INDEX sq8_" + engine +
+                            " ON t USING ivfsq8 (vec) WITH (clusters=4, "
+                            "sample_ratio=1, engine='" +
+                            engine + "')")
+                    .ok());
+    ASSERT_TRUE(db->Execute("DROP INDEX sq8_" + engine).ok());
+  }
+}
+
+}  // namespace
+}  // namespace vecdb

@@ -1,0 +1,131 @@
+#include "pgstub/page.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace vecdb::pgstub {
+namespace {
+
+constexpr uint32_t kPageSize = 8192;
+
+class PageTest : public ::testing::Test {
+ protected:
+  PageTest() : buf_(kPageSize), page_(buf_.data(), kPageSize) {
+    page_.Init(0);
+  }
+  std::vector<char> buf_;
+  PageView page_;
+};
+
+TEST_F(PageTest, FreshPageIsEmptyAndValid) {
+  EXPECT_EQ(page_.ItemCount(), 0);
+  EXPECT_TRUE(page_.Check().ok());
+  EXPECT_GT(page_.FreeSpace(), kPageSize - 64);
+}
+
+TEST_F(PageTest, AddAndGetItems) {
+  const std::string a = "hello";
+  const std::string b = "world!";
+  const OffsetNumber sa = page_.AddItem(a.data(), a.size());
+  const OffsetNumber sb = page_.AddItem(b.data(), b.size());
+  EXPECT_EQ(sa, 1);
+  EXPECT_EQ(sb, 2);
+  EXPECT_EQ(page_.ItemCount(), 2);
+  EXPECT_EQ(std::string(page_.GetItem(sa), page_.GetItemLength(sa)), a);
+  EXPECT_EQ(std::string(page_.GetItem(sb), page_.GetItemLength(sb)), b);
+  EXPECT_TRUE(page_.Check().ok());
+}
+
+TEST_F(PageTest, InvalidSlotsReturnNull) {
+  page_.AddItem("x", 1);
+  EXPECT_EQ(page_.GetItem(0), nullptr);   // offsets are 1-based
+  EXPECT_EQ(page_.GetItem(2), nullptr);   // past the end
+  EXPECT_EQ(page_.GetItemLength(0), 0);
+  EXPECT_EQ(page_.GetItemLength(99), 0);
+}
+
+TEST_F(PageTest, FillsUntilExactlyFull) {
+  std::vector<char> item(100, 'x');
+  int added = 0;
+  while (page_.AddItem(item.data(), item.size()) != kInvalidOffset) {
+    ++added;
+  }
+  // 100-byte items + 4-byte line pointers into ~8184 usable bytes.
+  EXPECT_GE(added, 70);
+  EXPECT_LE(added, 82);
+  EXPECT_LT(page_.FreeSpace(), 104u);
+  EXPECT_TRUE(page_.Check().ok());
+  // Every stored item is still intact.
+  for (OffsetNumber s = 1; s <= page_.ItemCount(); ++s) {
+    EXPECT_EQ(page_.GetItemLength(s), 100);
+    EXPECT_EQ(page_.GetItem(s)[0], 'x');
+  }
+}
+
+TEST_F(PageTest, SpecialSpaceReservedAndWritable) {
+  std::vector<char> buf(kPageSize);
+  PageView page(buf.data(), kPageSize);
+  page.Init(16);
+  EXPECT_EQ(page.SpecialSize(), 16);
+  std::memset(page.Special(), 0xAB, 16);
+  // Fill the page; items must never clobber the special space.
+  std::vector<char> item(500, 'y');
+  while (page.AddItem(item.data(), item.size()) != kInvalidOffset) {
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(page.Special()[i]), 0xAB);
+  }
+  EXPECT_TRUE(page.Check().ok());
+}
+
+TEST_F(PageTest, CheckDetectsCorruptHeader) {
+  page_.AddItem("abc", 3);
+  // Stomp the header's lower bound.
+  auto* header = reinterpret_cast<PageView::Header*>(buf_.data());
+  header->lower = 2;
+  EXPECT_TRUE(page_.Check().IsCorruption());
+}
+
+TEST_F(PageTest, CheckDetectsBadLinePointer) {
+  page_.AddItem("abc", 3);
+  auto* iid = reinterpret_cast<ItemId*>(buf_.data() + sizeof(PageView::Header));
+  iid->off = kPageSize - 1;  // points past the item area
+  iid->len = 8;
+  EXPECT_TRUE(page_.Check().IsCorruption());
+}
+
+TEST_F(PageTest, SmallPageSizeWorks) {
+  std::vector<char> buf(1024);
+  PageView page(buf.data(), 1024);
+  page.Init(8);
+  const OffsetNumber s = page.AddItem("tiny", 4);
+  EXPECT_NE(s, kInvalidOffset);
+  EXPECT_EQ(std::string(page.GetItem(s), 4), "tiny");
+}
+
+TEST_F(PageTest, OversizedItemRejected) {
+  // Larger than page minus header and line pointer: cannot fit.
+  std::vector<char> item(kPageSize, 'z');
+  EXPECT_EQ(page_.AddItem(item.data(), static_cast<uint16_t>(kPageSize - 8)),
+            kInvalidOffset);
+  EXPECT_EQ(page_.ItemCount(), 0);
+  // Just-fitting item is accepted (header 8 + line pointer 4).
+  EXPECT_NE(page_.AddItem(item.data(), static_cast<uint16_t>(kPageSize - 12)),
+            kInvalidOffset);
+  EXPECT_TRUE(page_.Check().ok());
+}
+
+TEST(TupleIdTest, ValidityAndEquality) {
+  TupleId invalid;
+  EXPECT_FALSE(invalid.valid());
+  TupleId a{3, 7}, b{3, 7}, c{3, 8};
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace vecdb::pgstub

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/serialize.h"
+#include "datasets/ground_truth.h"
+#include "datasets/synthetic.h"
+#include "faisslike/hnsw.h"
+#include "faisslike/ivf_flat.h"
+#include "faisslike/ivf_pq.h"
+
+namespace vecdb::faisslike {
+namespace {
+
+Dataset TestData() {
+  SyntheticOptions opt;
+  opt.dim = 32;
+  opt.num_base = 1200;
+  opt.num_queries = 8;
+  return GenerateClustered(opt);
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+template <typename IndexT>
+void ExpectSameResults(const IndexT& a, const IndexT& b, const Dataset& ds,
+                       const SearchParams& params) {
+  for (size_t q = 0; q < ds.num_queries; ++q) {
+    auto ra = a.Search(ds.query_vector(q), params).ValueOrDie();
+    auto rb = b.Search(ds.query_vector(q), params).ValueOrDie();
+    EXPECT_EQ(ra, rb) << "query " << q;
+  }
+}
+
+TEST(SerializeTest, PrimitivesRoundTrip) {
+  const std::string path = TempPath("prims.bin");
+  {
+    auto writer = std::move(BinaryWriter::Open(path, 0xABCD, 1)).ValueOrDie();
+    ASSERT_TRUE(writer.Write<int32_t>(-7).ok());
+    ASSERT_TRUE(writer.Write<double>(3.25).ok());
+    ASSERT_TRUE(writer.WriteString("hello").ok());
+    std::vector<uint16_t> vec = {1, 2, 3};
+    ASSERT_TRUE(writer.WriteVector(vec).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto reader = std::move(BinaryReader::Open(path, 0xABCD, 1)).ValueOrDie();
+  int32_t i;
+  double d;
+  std::string s;
+  std::vector<uint16_t> v;
+  ASSERT_TRUE(reader.Read(&i).ok());
+  ASSERT_TRUE(reader.Read(&d).ok());
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  ASSERT_TRUE(reader.ReadVector(&v).ok());
+  EXPECT_EQ(i, -7);
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(v, (std::vector<uint16_t>{1, 2, 3}));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MagicAndVersionChecked) {
+  const std::string path = TempPath("magic.bin");
+  {
+    auto writer = std::move(BinaryWriter::Open(path, 0x1111, 2)).ValueOrDie();
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  EXPECT_TRUE(BinaryReader::Open(path, 0x2222, 2).status().IsCorruption());
+  EXPECT_TRUE(BinaryReader::Open(path, 0x1111, 3).status().IsNotSupported());
+  EXPECT_TRUE(BinaryReader::Open(path, 0x1111, 2).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncationIsCorruption) {
+  const std::string path = TempPath("trunc.bin");
+  {
+    auto writer = std::move(BinaryWriter::Open(path, 0x3333, 1)).ValueOrDie();
+    ASSERT_TRUE(writer.Write<uint64_t>(1000).ok());  // promises an array
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto reader = std::move(BinaryReader::Open(path, 0x3333, 1)).ValueOrDie();
+  std::vector<uint64_t> vec;
+  EXPECT_TRUE(reader.ReadVector(&vec).IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, IvfFlatRoundTrip) {
+  auto ds = TestData();
+  IvfFlatOptions opt;
+  opt.num_clusters = 16;
+  IvfFlatIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  const std::string path = TempPath("ivfflat.idx");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = std::move(IvfFlatIndex::Load(path)).ValueOrDie();
+  EXPECT_EQ(loaded.NumVectors(), index.NumVectors());
+  EXPECT_EQ(loaded.num_clusters(), index.num_clusters());
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 8;
+  ExpectSameResults(index, loaded, ds, params);
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, IvfPqRoundTrip) {
+  auto ds = TestData();
+  IvfPqOptions opt;
+  opt.num_clusters = 16;
+  opt.pq_m = 8;
+  opt.pq_codes = 32;
+  opt.sample_ratio = 0.5;
+  IvfPqIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  const std::string path = TempPath("ivfpq.idx");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = std::move(IvfPqIndex::Load(path)).ValueOrDie();
+  EXPECT_EQ(loaded.NumVectors(), index.NumVectors());
+  ASSERT_NE(loaded.pq(), nullptr);
+  EXPECT_EQ(loaded.pq()->num_subvectors(), 8u);
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 8;
+  ExpectSameResults(index, loaded, ds, params);
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, HnswRoundTrip) {
+  auto ds = TestData();
+  HnswOptions opt;
+  opt.bnn = 8;
+  opt.efb = 20;
+  HnswIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  const std::string path = TempPath("hnsw.idx");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = std::move(HnswIndex::Load(path)).ValueOrDie();
+  EXPECT_EQ(loaded.NumVectors(), index.NumVectors());
+  EXPECT_EQ(loaded.max_level(), index.max_level());
+  SearchParams params;
+  params.k = 10;
+  params.efs = 50;
+  ExpectSameResults(index, loaded, ds, params);
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, UnbuiltIndexRefusesToSave) {
+  IvfFlatOptions opt;
+  IvfFlatIndex index(8, opt);
+  EXPECT_FALSE(index.Save(TempPath("never.idx")).ok());
+}
+
+TEST(PersistenceTest, WrongIndexTypeRejected) {
+  auto ds = TestData();
+  IvfFlatOptions opt;
+  opt.num_clusters = 8;
+  IvfFlatIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  const std::string path = TempPath("crossload.idx");
+  ASSERT_TRUE(index.Save(path).ok());
+  // An IVF_FLAT file is not an HNSW file.
+  EXPECT_TRUE(HnswIndex::Load(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, MissingFileIsIOError) {
+  EXPECT_TRUE(IvfFlatIndex::Load("/nonexistent/x.idx").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace vecdb::faisslike

@@ -1,0 +1,128 @@
+#include "quantizer/pq.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datasets/synthetic.h"
+#include "distance/kernels.h"
+
+namespace vecdb {
+namespace {
+
+Dataset MakeData(uint32_t dim, size_t n, uint64_t seed = 42) {
+  SyntheticOptions opt;
+  opt.dim = dim;
+  opt.num_base = n;
+  opt.num_queries = 4;
+  opt.seed = seed;
+  return GenerateClustered(opt);
+}
+
+PqOptions SmallPq(uint32_t m, uint32_t codes = 16) {
+  PqOptions opt;
+  opt.num_subvectors = m;
+  opt.num_codes = codes;
+  opt.max_iterations = 5;
+  return opt;
+}
+
+TEST(PqTest, RejectsBadConfigurations) {
+  auto ds = MakeData(32, 100);
+  PqOptions opt = SmallPq(5);  // 5 does not divide 32
+  EXPECT_FALSE(ProductQuantizer::Train(ds.base.data(), 100, 32, opt).ok());
+  opt = SmallPq(4, 300);  // codes > 256
+  EXPECT_FALSE(ProductQuantizer::Train(ds.base.data(), 100, 32, opt).ok());
+  opt = SmallPq(4, 128);  // n < c_pq
+  EXPECT_FALSE(ProductQuantizer::Train(ds.base.data(), 100, 32, opt).ok());
+  EXPECT_FALSE(ProductQuantizer::Train(nullptr, 100, 32, SmallPq(4)).ok());
+}
+
+TEST(PqTest, GeometryAccessors) {
+  auto ds = MakeData(32, 200);
+  auto pq =
+      ProductQuantizer::Train(ds.base.data(), 200, 32, SmallPq(8)).ValueOrDie();
+  EXPECT_EQ(pq.dim(), 32u);
+  EXPECT_EQ(pq.num_subvectors(), 8u);
+  EXPECT_EQ(pq.sub_dim(), 4u);
+  EXPECT_EQ(pq.code_size(), 8u);
+  EXPECT_EQ(pq.table_size(), 8u * 16u);
+}
+
+TEST(PqTest, EncodeDecodeReducesToNearbyVector) {
+  auto ds = MakeData(32, 500);
+  auto pq = ProductQuantizer::Train(ds.base.data(), 500, 32, SmallPq(8, 32))
+                .ValueOrDie();
+  std::vector<uint8_t> code(pq.code_size());
+  std::vector<float> rec(32);
+  // Reconstruction error must be much smaller than data norm on clustered
+  // data.
+  double err = 0, norm = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    pq.Encode(ds.base.data() + i * 32, code.data());
+    pq.Decode(code.data(), rec.data());
+    err += L2Sqr(ds.base.data() + i * 32, rec.data(), 32);
+    norm += L2NormSqr(ds.base.data() + i * 32, 32);
+  }
+  EXPECT_LT(err, 0.5 * norm);
+}
+
+TEST(PqTest, ReconstructionErrorShrinksWithMoreCodes) {
+  auto ds = MakeData(16, 600, 3);
+  auto coarse = ProductQuantizer::Train(ds.base.data(), 600, 16, SmallPq(4, 4))
+                    .ValueOrDie();
+  auto fine = ProductQuantizer::Train(ds.base.data(), 600, 16, SmallPq(4, 64))
+                  .ValueOrDie();
+  EXPECT_LT(fine.ReconstructionError(ds.base.data(), 300),
+            coarse.ReconstructionError(ds.base.data(), 300));
+}
+
+TEST(PqTest, AdcDistanceMatchesDecodedDistance) {
+  auto ds = MakeData(32, 400, 5);
+  auto pq = ProductQuantizer::Train(ds.base.data(), 400, 32, SmallPq(8, 32))
+                .ValueOrDie();
+  std::vector<float> table(pq.table_size());
+  std::vector<uint8_t> code(pq.code_size());
+  std::vector<float> rec(32);
+  for (size_t q = 0; q < ds.num_queries; ++q) {
+    const float* query = ds.query_vector(q);
+    pq.ComputeDistanceTableNaive(query, table.data());
+    for (size_t i = 0; i < 50; ++i) {
+      pq.Encode(ds.base.data() + i * 32, code.data());
+      pq.Decode(code.data(), rec.data());
+      const float adc = pq.AdcDistance(table.data(), code.data());
+      const float direct = L2Sqr(query, rec.data(), 32);
+      EXPECT_NEAR(adc, direct, 1e-2f * (direct + 1.f));
+    }
+  }
+}
+
+TEST(PqTest, OptimizedTableMatchesNaiveTable) {
+  // RC#7: the optimized table is a pure implementation change — results
+  // must be numerically equivalent.
+  auto ds = MakeData(64, 500, 7);
+  auto pq = ProductQuantizer::Train(ds.base.data(), 500, 64, SmallPq(16, 32))
+                .ValueOrDie();
+  std::vector<float> naive(pq.table_size()), opt(pq.table_size());
+  for (size_t q = 0; q < ds.num_queries; ++q) {
+    pq.ComputeDistanceTableNaive(ds.query_vector(q), naive.data());
+    pq.ComputeDistanceTableOptimized(ds.query_vector(q), opt.data());
+    for (size_t i = 0; i < naive.size(); ++i) {
+      EXPECT_NEAR(opt[i], naive[i], 1e-2f * (naive[i] + 1.f)) << i;
+    }
+  }
+}
+
+TEST(PqTest, PaseStyleAndFaissStyleBothTrain) {
+  auto ds = MakeData(16, 300, 9);
+  PqOptions opt = SmallPq(4, 16);
+  opt.style = KMeansStyle::kPaseStyle;
+  opt.use_sgemm = false;
+  EXPECT_TRUE(ProductQuantizer::Train(ds.base.data(), 300, 16, opt).ok());
+  opt.style = KMeansStyle::kFaissStyle;
+  opt.use_sgemm = true;
+  EXPECT_TRUE(ProductQuantizer::Train(ds.base.data(), 300, 16, opt).ok());
+}
+
+}  // namespace
+}  // namespace vecdb

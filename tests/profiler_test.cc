@@ -1,0 +1,62 @@
+#include "common/profiler.h"
+
+#include <gtest/gtest.h>
+
+namespace vecdb {
+namespace {
+
+TEST(ProfilerTest, AccumulatesNanosAndHits) {
+  Profiler p;
+  p.Add("phase", 100);
+  p.Add("phase", 250);
+  EXPECT_EQ(p.Nanos("phase"), 350);
+  EXPECT_EQ(p.Hits("phase"), 2);
+  EXPECT_DOUBLE_EQ(p.Seconds("phase"), 350e-9);
+}
+
+TEST(ProfilerTest, UnknownLabelIsZero) {
+  Profiler p;
+  EXPECT_EQ(p.Nanos("nothing"), 0);
+  EXPECT_EQ(p.Hits("nothing"), 0);
+}
+
+TEST(ProfilerTest, MergeFoldsCounters) {
+  Profiler a, b;
+  a.Add("x", 10);
+  b.Add("x", 5);
+  b.Add("y", 7);
+  a.Merge(b);
+  EXPECT_EQ(a.Nanos("x"), 15);
+  EXPECT_EQ(a.Hits("x"), 2);
+  EXPECT_EQ(a.Nanos("y"), 7);
+}
+
+TEST(ProfilerTest, ResetClears) {
+  Profiler p;
+  p.Add("x", 1);
+  p.Reset();
+  EXPECT_EQ(p.Nanos("x"), 0);
+  EXPECT_TRUE(p.entries().empty());
+}
+
+volatile double benchmark_dont_optimize_ = 0;
+
+TEST(ProfScopeTest, ChargesElapsedTime) {
+  Profiler p;
+  {
+    ProfScope scope(&p, "work");
+    double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+    benchmark_dont_optimize_ = sink;
+  }
+  EXPECT_GT(p.Nanos("work"), 0);
+  EXPECT_EQ(p.Hits("work"), 1);
+}
+
+TEST(ProfScopeTest, NullProfilerIsSafe) {
+  ProfScope scope(nullptr, "ignored");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace vecdb

@@ -1,0 +1,233 @@
+// Property-based sweeps over randomized inputs and parameter grids.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "datasets/ground_truth.h"
+#include "datasets/synthetic.h"
+#include "distance/kernels.h"
+#include "faisslike/hnsw.h"
+#include "faisslike/ivf_flat.h"
+#include "pgstub/page.h"
+#include "topk/heaps.h"
+
+namespace vecdb {
+namespace {
+
+// --- Metric axioms over random vectors. ---------------------------------
+
+class MetricAxiomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricAxiomTest, L2IsAMetricSquared) {
+  Rng rng(GetParam());
+  const size_t d = 16;
+  std::vector<float> a(d), b(d), c(d);
+  for (size_t i = 0; i < d; ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian();
+    c[i] = rng.Gaussian();
+  }
+  // Non-negativity & identity.
+  EXPECT_GE(L2Sqr(a.data(), b.data(), d), 0.f);
+  EXPECT_NEAR(L2Sqr(a.data(), a.data(), d), 0.f, 1e-6f);
+  // Symmetry.
+  EXPECT_FLOAT_EQ(L2Sqr(a.data(), b.data(), d), L2Sqr(b.data(), a.data(), d));
+  // Triangle inequality on the (non-squared) distances.
+  const float ab = std::sqrt(L2Sqr(a.data(), b.data(), d));
+  const float bc = std::sqrt(L2Sqr(b.data(), c.data(), d));
+  const float ac = std::sqrt(L2Sqr(a.data(), c.data(), d));
+  EXPECT_LE(ac, ab + bc + 1e-4f);
+}
+
+TEST_P(MetricAxiomTest, CosineBounds) {
+  Rng rng(GetParam() + 1000);
+  const size_t d = 8;
+  std::vector<float> a(d), b(d);
+  for (size_t i = 0; i < d; ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian();
+  }
+  const float cd = CosineDistance(a.data(), b.data(), d);
+  EXPECT_GE(cd, -1e-5f);
+  EXPECT_LE(cd, 2.f + 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricAxiomTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// --- Top-k heaps vs std::partial_sort on random streams. -----------------
+
+struct HeapCase {
+  size_t n;
+  size_t k;
+  uint64_t seed;
+};
+
+class HeapPropertyTest : public ::testing::TestWithParam<HeapCase> {};
+
+TEST_P(HeapPropertyTest, BothHeapsMatchPartialSort) {
+  const auto [n, k, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<Neighbor> all;
+  KMaxHeap kheap(k);
+  NHeap nheap;
+  for (size_t i = 0; i < n; ++i) {
+    // Duplicates on purpose: quantized distances collide often.
+    const float d = static_cast<float>(rng.Uniform(50));
+    all.push_back({d, static_cast<int64_t>(i)});
+    kheap.Push(d, static_cast<int64_t>(i));
+    nheap.Push(d, static_cast<int64_t>(i));
+  }
+  std::sort(all.begin(), all.end());
+  if (all.size() > k) all.resize(k);
+  EXPECT_EQ(kheap.TakeSorted(), all);
+  EXPECT_EQ(nheap.PopK(k), all);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, HeapPropertyTest,
+    ::testing::Values(HeapCase{1, 1, 1}, HeapCase{10, 3, 2},
+                      HeapCase{100, 100, 3}, HeapCase{1000, 10, 4},
+                      HeapCase{1000, 999, 5}, HeapCase{5000, 100, 6},
+                      HeapCase{64, 1, 7}, HeapCase{2, 10, 8}));
+
+// --- IVF_FLAT with nprobe == c equals brute force, across configs. -------
+
+struct IvfCase {
+  uint32_t dim;
+  size_t n;
+  uint32_t clusters;
+};
+
+class IvfExactnessTest : public ::testing::TestWithParam<IvfCase> {};
+
+TEST_P(IvfExactnessTest, FullProbeEqualsBruteForce) {
+  const auto [dim, n, clusters] = GetParam();
+  SyntheticOptions opt;
+  opt.dim = dim;
+  opt.num_base = n;
+  opt.num_queries = 5;
+  opt.seed = dim * 7 + clusters;
+  auto ds = GenerateClustered(opt);
+  ComputeGroundTruth(&ds, 10, Metric::kL2);
+
+  faisslike::IvfFlatOptions iopt;
+  iopt.num_clusters = clusters;
+  iopt.sample_ratio = 1.0;
+  faisslike::IvfFlatIndex index(dim, iopt);
+  ASSERT_TRUE(index.Build(ds.base.data(), n).ok());
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = clusters;
+  for (size_t q = 0; q < ds.num_queries; ++q) {
+    auto results = index.Search(ds.query_vector(q), params).ValueOrDie();
+    ASSERT_EQ(results.size(), 10u);
+    for (size_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(results[i].id, ds.ground_truth[q][i])
+          << "dim=" << dim << " c=" << clusters << " q=" << q << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IvfExactnessTest,
+    ::testing::Values(IvfCase{4, 200, 2}, IvfCase{8, 500, 8},
+                      IvfCase{16, 1000, 16}, IvfCase{32, 800, 31},
+                      IvfCase{3, 300, 5}));
+
+// --- HNSW graph invariants across bnn values. ----------------------------
+
+class HnswInvariantTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(HnswInvariantTest, ConnectivityAndDegreeBounds) {
+  const uint32_t bnn = GetParam();
+  SyntheticOptions opt;
+  opt.dim = 16;
+  opt.num_base = 600;
+  opt.num_queries = 1;
+  opt.seed = bnn;
+  auto ds = GenerateClustered(opt);
+  faisslike::HnswOptions hopt;
+  hopt.bnn = bnn;
+  hopt.efb = 2 * bnn;
+  faisslike::HnswIndex index(ds.dim, hopt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+
+  // Degree bounds at every level.
+  for (uint32_t node = 0; node < ds.num_base; ++node) {
+    for (int lev = 0; lev <= index.NodeLevel(node); ++lev) {
+      EXPECT_LE(index.NeighborsOf(node, lev).size(),
+                lev == 0 ? 2 * bnn : bnn);
+    }
+  }
+
+  // Level-0 graph is (almost entirely) reachable from node 0 by BFS over
+  // undirected edges — HNSW must not fragment.
+  std::vector<char> seen(ds.num_base, 0);
+  std::vector<std::set<uint32_t>> undirected(ds.num_base);
+  for (uint32_t node = 0; node < ds.num_base; ++node) {
+    for (uint32_t nb : index.NeighborsOf(node, 0)) {
+      undirected[node].insert(nb);
+      undirected[nb].insert(node);
+    }
+  }
+  std::vector<uint32_t> stack = {0};
+  seen[0] = 1;
+  size_t reached = 1;
+  while (!stack.empty()) {
+    const uint32_t cur = stack.back();
+    stack.pop_back();
+    for (uint32_t nb : undirected[cur]) {
+      if (!seen[nb]) {
+        seen[nb] = 1;
+        ++reached;
+        stack.push_back(nb);
+      }
+    }
+  }
+  EXPECT_GE(reached, ds.num_base * 95 / 100) << "bnn=" << bnn;
+}
+
+INSTANTIATE_TEST_SUITE_P(BnnSweep, HnswInvariantTest,
+                         ::testing::Values(4, 8, 16, 32));
+
+// --- Slotted page round-trips under random item sizes. --------------------
+
+class PageFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PageFuzzTest, RandomItemsRoundTrip) {
+  Rng rng(GetParam());
+  const uint32_t page_size = rng.Uniform(2) == 0 ? 4096 : 8192;
+  std::vector<char> buf(page_size);
+  pgstub::PageView page(buf.data(), page_size);
+  page.Init(static_cast<uint16_t>(rng.Uniform(64)));
+
+  std::vector<std::vector<char>> items;
+  for (;;) {
+    const uint16_t len = static_cast<uint16_t>(1 + rng.Uniform(300));
+    std::vector<char> item(len);
+    for (auto& ch : item) ch = static_cast<char>(rng.Uniform(256));
+    if (page.AddItem(item.data(), len) == pgstub::kInvalidOffset) break;
+    items.push_back(std::move(item));
+  }
+  ASSERT_TRUE(page.Check().ok());
+  ASSERT_EQ(page.ItemCount(), items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    const auto slot = static_cast<pgstub::OffsetNumber>(i + 1);
+    ASSERT_EQ(page.GetItemLength(slot), items[i].size());
+    EXPECT_EQ(std::memcmp(page.GetItem(slot), items[i].data(),
+                          items[i].size()),
+              0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageFuzzTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace vecdb

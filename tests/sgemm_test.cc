@@ -1,0 +1,105 @@
+#include "distance/sgemm.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "distance/kernels.h"
+
+namespace vecdb {
+namespace {
+
+void NaiveGemmTransB(size_t m, size_t n, size_t k, const float* a,
+                     const float* b, float* c) {
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double s = 0;
+      for (size_t p = 0; p < k; ++p) s += a[i * k + p] * b[j * k + p];
+      c[i * n + j] = static_cast<float>(s);
+    }
+  }
+}
+
+class SgemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(SgemmShapeTest, MatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(m * 1000 + n * 10 + k);
+  std::vector<float> a(m * k), b(n * k), c(m * n), ref(m * n);
+  for (auto& v : a) v = rng.Gaussian();
+  for (auto& v : b) v = rng.Gaussian();
+  SgemmTransB(m, n, k, a.data(), b.data(), c.data());
+  NaiveGemmTransB(m, n, k, a.data(), b.data(), ref.data());
+  for (size_t i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-3f * (std::abs(ref[i]) + 1.f))
+        << "m=" << m << " n=" << n << " k=" << k << " at " << i;
+  }
+}
+
+// Shapes straddle the micro-kernel (4x4) and blocking (64/64/256) edges.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SgemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(4, 4, 4),
+                      std::make_tuple(3, 5, 7), std::make_tuple(8, 8, 128),
+                      std::make_tuple(65, 63, 100),
+                      std::make_tuple(64, 64, 256),
+                      std::make_tuple(70, 130, 300),
+                      std::make_tuple(1, 256, 128),
+                      std::make_tuple(128, 1, 96)));
+
+TEST(RowNormsTest, MatchesKernel) {
+  Rng rng(5);
+  const size_t n = 20, d = 33;
+  std::vector<float> x(n * d), norms(n);
+  for (auto& v : x) v = rng.Gaussian();
+  RowNormsSqr(x.data(), n, d, norms.data());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(norms[i], L2NormSqr(x.data() + i * d, d));
+  }
+}
+
+TEST(AllPairsTest, SgemmDecompositionMatchesPerPairKernel) {
+  Rng rng(6);
+  const size_t nx = 37, ny = 53, d = 64;
+  std::vector<float> x(nx * d), y(ny * d), fast(nx * ny), ref(nx * ny);
+  for (auto& v : x) v = rng.Gaussian();
+  for (auto& v : y) v = rng.Gaussian();
+  AllPairsL2Sqr(x.data(), nx, y.data(), ny, d, nullptr, nullptr, fast.data());
+  AllPairsL2SqrNaive(x.data(), nx, y.data(), ny, d, ref.data());
+  for (size_t i = 0; i < nx * ny; ++i) {
+    EXPECT_NEAR(fast[i], ref[i], 1e-2f * (ref[i] + 1.f));
+  }
+}
+
+TEST(AllPairsTest, AcceptsPrecomputedNorms) {
+  Rng rng(7);
+  const size_t nx = 5, ny = 9, d = 16;
+  std::vector<float> x(nx * d), y(ny * d), xn(nx), yn(ny), out1(nx * ny),
+      out2(nx * ny);
+  for (auto& v : x) v = rng.Gaussian();
+  for (auto& v : y) v = rng.Gaussian();
+  RowNormsSqr(x.data(), nx, d, xn.data());
+  RowNormsSqr(y.data(), ny, d, yn.data());
+  AllPairsL2Sqr(x.data(), nx, y.data(), ny, d, xn.data(), yn.data(),
+                out1.data());
+  AllPairsL2Sqr(x.data(), nx, y.data(), ny, d, nullptr, nullptr, out2.data());
+  for (size_t i = 0; i < nx * ny; ++i) EXPECT_FLOAT_EQ(out1[i], out2[i]);
+}
+
+TEST(AllPairsTest, NeverNegative) {
+  // The decomposition can dip below zero in float arithmetic; the API
+  // guarantees clamping.
+  Rng rng(8);
+  const size_t n = 40, d = 128;
+  std::vector<float> x(n * d), out(n * n);
+  for (auto& v : x) v = rng.Gaussian();
+  AllPairsL2Sqr(x.data(), n, x.data(), n, d, nullptr, nullptr, out.data());
+  for (float v : out) EXPECT_GE(v, 0.f);
+  // Diagonal (self distance) must be ~0.
+  for (size_t i = 0; i < n; ++i) EXPECT_LT(out[i * n + i], 1e-3f);
+}
+
+}  // namespace
+}  // namespace vecdb

@@ -1,0 +1,95 @@
+#include "pgstub/smgr.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace vecdb::pgstub {
+namespace {
+
+class SmgrTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/smgr_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    auto smgr = StorageManager::Open(dir_, 4096);
+    ASSERT_TRUE(smgr.ok()) << smgr.status().ToString();
+    smgr_ = std::make_unique<StorageManager>(std::move(*smgr));
+  }
+  std::string dir_;
+  std::unique_ptr<StorageManager> smgr_;
+};
+
+TEST_F(SmgrTest, RejectsBadPageSize) {
+  EXPECT_FALSE(StorageManager::Open("/tmp/x", 100).ok());   // < 512
+  EXPECT_FALSE(StorageManager::Open("/tmp/x", 5000).ok());  // not pow2
+}
+
+TEST_F(SmgrTest, CreateFindDrop) {
+  auto rel = smgr_->CreateRelation("t1");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(*smgr_->FindRelation("t1"), *rel);
+  EXPECT_TRUE(smgr_->FindRelation("nope").status().IsNotFound());
+  EXPECT_TRUE(smgr_->CreateRelation("t1").status().IsAlreadyExists());
+  EXPECT_TRUE(smgr_->DropRelation(*rel).ok());
+  EXPECT_TRUE(smgr_->FindRelation("t1").status().IsNotFound());
+  // The name becomes available again after a drop.
+  EXPECT_TRUE(smgr_->CreateRelation("t1").ok());
+}
+
+TEST_F(SmgrTest, RejectsBadRelationNames) {
+  EXPECT_FALSE(smgr_->CreateRelation("").ok());
+  EXPECT_FALSE(smgr_->CreateRelation("a/b").ok());
+}
+
+TEST_F(SmgrTest, ExtendReadWriteRoundTrip) {
+  auto rel = smgr_->CreateRelation("rw").ValueOrDie();
+  EXPECT_EQ(*smgr_->NumBlocks(rel), 0u);
+  auto b0 = smgr_->ExtendRelation(rel).ValueOrDie();
+  auto b1 = smgr_->ExtendRelation(rel).ValueOrDie();
+  EXPECT_EQ(b0, 0u);
+  EXPECT_EQ(b1, 1u);
+  EXPECT_EQ(*smgr_->NumBlocks(rel), 2u);
+
+  std::vector<char> out(4096, 0x5A);
+  ASSERT_TRUE(smgr_->WriteBlock(rel, 1, out.data()).ok());
+  std::vector<char> in(4096);
+  ASSERT_TRUE(smgr_->ReadBlock(rel, 1, in.data()).ok());
+  EXPECT_EQ(std::memcmp(out.data(), in.data(), 4096), 0);
+
+  // Fresh blocks read back zeroed.
+  ASSERT_TRUE(smgr_->ReadBlock(rel, 0, in.data()).ok());
+  for (char c : in) EXPECT_EQ(c, 0);
+}
+
+TEST_F(SmgrTest, OutOfRangeBlockRejected) {
+  auto rel = smgr_->CreateRelation("small").ValueOrDie();
+  smgr_->ExtendRelation(rel).ValueOrDie();
+  std::vector<char> buf(4096);
+  EXPECT_TRUE(smgr_->ReadBlock(rel, 5, buf.data()).IsOutOfRange());
+  EXPECT_TRUE(smgr_->WriteBlock(rel, 5, buf.data()).IsOutOfRange());
+}
+
+TEST_F(SmgrTest, InvalidRelIdRejected) {
+  std::vector<char> buf(4096);
+  EXPECT_TRUE(smgr_->ReadBlock(999, 0, buf.data()).IsNotFound());
+  EXPECT_TRUE(smgr_->NumBlocks(999).status().IsNotFound());
+  EXPECT_TRUE(smgr_->DropRelation(999).IsNotFound());
+}
+
+TEST_F(SmgrTest, MultipleRelationsAreIndependent) {
+  auto a = smgr_->CreateRelation("a").ValueOrDie();
+  auto b = smgr_->CreateRelation("b").ValueOrDie();
+  smgr_->ExtendRelation(a).ValueOrDie();
+  std::vector<char> out(4096, 0x11);
+  ASSERT_TRUE(smgr_->WriteBlock(a, 0, out.data()).ok());
+  EXPECT_EQ(*smgr_->NumBlocks(b), 0u);
+  smgr_->ExtendRelation(b).ValueOrDie();
+  std::vector<char> in(4096);
+  ASSERT_TRUE(smgr_->ReadBlock(b, 0, in.data()).ok());
+  for (char c : in) EXPECT_EQ(c, 0);
+}
+
+}  // namespace
+}  // namespace vecdb::pgstub

@@ -1,0 +1,84 @@
+#include "quantizer/sq8.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "distance/kernels.h"
+
+namespace vecdb {
+namespace {
+
+TEST(Sq8Test, RejectsEmptyInput) {
+  EXPECT_FALSE(ScalarQuantizer8::Train(nullptr, 10, 4).ok());
+  std::vector<float> data(8);
+  EXPECT_FALSE(ScalarQuantizer8::Train(data.data(), 0, 4).ok());
+  EXPECT_FALSE(ScalarQuantizer8::Train(data.data(), 2, 0).ok());
+}
+
+TEST(Sq8Test, RoundTripErrorBoundedByStep) {
+  Rng rng(3);
+  const size_t n = 200, d = 16;
+  std::vector<float> data(n * d);
+  for (auto& v : data) v = rng.Gaussian();
+  auto sq = ScalarQuantizer8::Train(data.data(), n, d).ValueOrDie();
+  std::vector<uint8_t> code(d);
+  std::vector<float> rec(d);
+  // Each dimension's error is at most half a quantization step.
+  float vmin = 1e30f, vmax = -1e30f;
+  for (float v : data) {
+    vmin = std::min(vmin, v);
+    vmax = std::max(vmax, v);
+  }
+  const float max_step = (vmax - vmin) / 255.f;
+  for (size_t i = 0; i < n; ++i) {
+    sq.Encode(data.data() + i * d, code.data());
+    sq.Decode(code.data(), rec.data());
+    for (size_t t = 0; t < d; ++t) {
+      EXPECT_LE(std::abs(rec[t] - data[i * d + t]), max_step);
+    }
+  }
+}
+
+TEST(Sq8Test, ConstantDimensionHandled) {
+  std::vector<float> data = {1.f, 5.f, 1.f, 7.f, 1.f, 9.f};  // dim0 constant
+  auto sq = ScalarQuantizer8::Train(data.data(), 3, 2).ValueOrDie();
+  std::vector<uint8_t> code(2);
+  std::vector<float> rec(2);
+  sq.Encode(data.data(), code.data());
+  sq.Decode(code.data(), rec.data());
+  EXPECT_EQ(code[0], 0);
+}
+
+TEST(Sq8Test, OutOfRangeValuesClamp) {
+  std::vector<float> data = {0.f, 1.f};
+  auto sq = ScalarQuantizer8::Train(data.data(), 2, 1).ValueOrDie();
+  std::vector<float> wild = {100.f};
+  uint8_t code;
+  sq.Encode(wild.data(), &code);
+  EXPECT_EQ(code, 255);
+  wild[0] = -100.f;
+  sq.Encode(wild.data(), &code);
+  EXPECT_EQ(code, 0);
+}
+
+TEST(Sq8Test, DistanceToCodeMatchesDecodedDistance) {
+  Rng rng(5);
+  const size_t n = 100, d = 8;
+  std::vector<float> data(n * d);
+  for (auto& v : data) v = rng.Gaussian();
+  auto sq = ScalarQuantizer8::Train(data.data(), n, d).ValueOrDie();
+  std::vector<uint8_t> code(d);
+  std::vector<float> rec(d), query(d);
+  for (auto& v : query) v = rng.Gaussian();
+  for (size_t i = 0; i < 20; ++i) {
+    sq.Encode(data.data() + i * d, code.data());
+    sq.Decode(code.data(), rec.data());
+    EXPECT_NEAR(sq.DistanceToCode(query.data(), code.data()),
+                L2Sqr(query.data(), rec.data(), d), 1e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace vecdb

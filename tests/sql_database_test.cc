@@ -1,0 +1,207 @@
+#include "sql/database.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vecdb::sql {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string dir =
+        ::testing::TempDir() + "/db_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    db_ = MiniDatabase::Open(dir).ValueOrDie();
+  }
+
+  QueryResult Must(const std::string& sql) {
+    auto result = db_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? *result : QueryResult{};
+  }
+
+  void LoadSmallTable() {
+    Must("CREATE TABLE items (id int, vec float[4])");
+    Must("INSERT INTO items VALUES "
+         "(10, '1,0,0,0'), (20, '0,1,0,0'), (30, '0,0,1,0'), "
+         "(40, '0,0,0,1'), (50, '0.9,0.1,0,0')");
+  }
+
+  std::unique_ptr<MiniDatabase> db_;
+};
+
+TEST_F(DatabaseTest, CreateInsertSelectViaSeqScan) {
+  LoadSmallTable();
+  auto result = Must("SELECT id FROM items ORDER BY vec <-> '1,0,0,0' "
+                     "LIMIT 2");
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0].id, 10);  // exact match first
+  EXPECT_EQ(result.rows[1].id, 50);  // then the nearby vector
+}
+
+TEST_F(DatabaseTest, SelectStarIncludesDistance) {
+  LoadSmallTable();
+  auto result =
+      Must("SELECT * FROM items ORDER BY vec <-> '1,0,0,0' LIMIT 1");
+  ASSERT_EQ(result.columns.size(), 2u);
+  EXPECT_EQ(result.columns[1], "distance");
+  EXPECT_NEAR(result.rows[0].distance, 0.0, 1e-6);
+}
+
+TEST_F(DatabaseTest, IndexScanMatchesSeqScan) {
+  Must("CREATE TABLE t (id int, vec float[8])");
+  // 300 rows in a ring of ids 1000+i.
+  std::string insert = "INSERT INTO t VALUES ";
+  for (int i = 0; i < 300; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(" + std::to_string(1000 + i) + ", '";
+    for (int d = 0; d < 8; ++d) {
+      if (d > 0) insert += ",";
+      insert += std::to_string((i * 37 % 100) / 100.0 + d * 0.01);
+    }
+    insert += "')";
+  }
+  Must(insert);
+  auto seq = Must("SELECT id FROM t ORDER BY vec <-> "
+                  "'0.37,0.38,0.39,0.4,0.41,0.42,0.43,0.44' LIMIT 5");
+  Must("CREATE INDEX t_idx ON t USING ivfflat (vec) WITH (clusters=8, "
+       "sample_ratio=1)");
+  auto indexed = Must("SELECT id FROM t ORDER BY vec <-> "
+                      "'0.37,0.38,0.39,0.4,0.41,0.42,0.43,0.44' "
+                      "OPTIONS (nprobe=8) LIMIT 5");
+  ASSERT_EQ(indexed.rows.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(indexed.rows[i].id, seq.rows[i].id);
+  }
+}
+
+TEST_F(DatabaseTest, AllThreeEnginesAnswerQueries) {
+  for (const std::string engine : {"pase", "faiss", "bridge"}) {
+    const std::string table = "t_" + engine;
+    Must("CREATE TABLE " + table + " (id int, vec float[4])");
+    std::string insert = "INSERT INTO " + table + " VALUES ";
+    for (int i = 0; i < 64; ++i) {
+      if (i > 0) insert += ", ";
+      insert += "(" + std::to_string(i) + ", '" + std::to_string(i * 0.1) +
+                ",0,0,0')";
+    }
+    Must(insert);
+    Must("CREATE INDEX idx_" + engine + " ON " + table +
+         " USING ivfflat (vec) WITH (clusters=4, sample_ratio=1, engine='" +
+         engine + "')");
+    auto result = Must("SELECT id FROM " + table +
+                       " ORDER BY vec <-> '0.05,0,0,0' OPTIONS (nprobe=4) "
+                       "LIMIT 3");
+    ASSERT_EQ(result.rows.size(), 3u) << engine;
+    EXPECT_TRUE(result.rows[0].id == 0 || result.rows[0].id == 1) << engine;
+  }
+}
+
+TEST_F(DatabaseTest, ExplainShowsPlan) {
+  LoadSmallTable();
+  auto seq = Must("EXPLAIN SELECT id FROM items ORDER BY vec <-> '1,0,0,0' "
+                  "LIMIT 2");
+  EXPECT_NE(seq.message.find("Seq Scan"), std::string::npos);
+  Must("CREATE INDEX items_idx ON items USING ivfflat (vec) "
+       "WITH (clusters=2, sample_ratio=1)");
+  auto idx = Must("EXPLAIN SELECT id FROM items ORDER BY vec <-> '1,0,0,0' "
+                  "LIMIT 2");
+  EXPECT_NE(idx.message.find("Index Scan"), std::string::npos);
+}
+
+TEST_F(DatabaseTest, NonL2MetricFallsBackToSeqScan) {
+  LoadSmallTable();
+  Must("CREATE INDEX items_idx ON items USING ivfflat (vec) "
+       "WITH (clusters=2, sample_ratio=1)");
+  auto plan = Must("EXPLAIN SELECT id FROM items ORDER BY vec <=> '1,0,0,0' "
+                   "LIMIT 2");
+  EXPECT_NE(plan.message.find("Seq Scan"), std::string::npos);
+  auto result =
+      Must("SELECT id FROM items ORDER BY vec <=> '1,0,0,0' LIMIT 1");
+  EXPECT_EQ(result.rows[0].id, 10);
+}
+
+TEST_F(DatabaseTest, ErrorsSurfaceCleanly) {
+  EXPECT_TRUE(db_->Execute("SELECT id FROM ghost ORDER BY v <-> '1' LIMIT 1")
+                  .status()
+                  .IsNotFound());
+  Must("CREATE TABLE t (id int, vec float[2])");
+  EXPECT_TRUE(db_->Execute("CREATE TABLE t (id int, vec float[2])")
+                  .status()
+                  .IsAlreadyExists());
+  // Dimension mismatches.
+  EXPECT_FALSE(db_->Execute("INSERT INTO t VALUES (1, '1,2,3')").ok());
+  EXPECT_FALSE(
+      db_->Execute("SELECT id FROM t ORDER BY vec <-> '1,2,3' LIMIT 1").ok());
+  // Unknown engine / method.
+  Must("INSERT INTO t VALUES (1, '1,2')");
+  EXPECT_FALSE(db_->Execute("CREATE INDEX i ON t USING ivfflat (vec) "
+                            "WITH (engine='oracle')")
+                   .ok());
+  EXPECT_FALSE(
+      db_->Execute("CREATE INDEX i ON t USING btree (vec)").ok());
+  // Selecting a non-id column.
+  EXPECT_FALSE(
+      db_->Execute("SELECT vec FROM t ORDER BY vec <-> '1,2' LIMIT 1").ok());
+}
+
+TEST_F(DatabaseTest, DropTableAndIndexLifecycle) {
+  LoadSmallTable();
+  Must("CREATE INDEX items_idx ON items USING ivfflat (vec) "
+       "WITH (clusters=2, sample_ratio=1)");
+  // Table with an index cannot be dropped first.
+  EXPECT_FALSE(db_->Execute("DROP TABLE items").ok());
+  Must("DROP INDEX items_idx");
+  Must("DROP TABLE items");
+  EXPECT_TRUE(db_->Execute("SELECT id FROM items ORDER BY vec <-> '1,0,0,0' "
+                           "LIMIT 1")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(DatabaseTest, DeleteRemovesRowFromBothScanPaths) {
+  LoadSmallTable();
+  Must("CREATE INDEX items_idx ON items USING ivfflat (vec) "
+       "WITH (clusters=2, sample_ratio=1)");
+  // id=10 is the exact match for this query in both plans.
+  auto before = Must("SELECT id FROM items ORDER BY vec <-> '1,0,0,0' "
+                     "OPTIONS (nprobe=2) LIMIT 1");
+  EXPECT_EQ(before.rows[0].id, 10);
+  Must("DELETE FROM items WHERE id = 10");
+  // Index scan no longer returns it.
+  auto indexed = Must("SELECT id FROM items ORDER BY vec <-> '1,0,0,0' "
+                      "OPTIONS (nprobe=2) LIMIT 1");
+  EXPECT_EQ(indexed.rows[0].id, 50);
+  // Seq scan (cosine forces the fallback) agrees.
+  auto seq = Must("SELECT id FROM items ORDER BY vec <=> '1,0,0,0' LIMIT 1");
+  EXPECT_NE(seq.rows[0].id, 10);
+  // Double delete and unknown rows fail.
+  EXPECT_TRUE(db_->Execute("DELETE FROM items WHERE id = 10")
+                  .status()
+                  .IsNotFound());
+  EXPECT_FALSE(db_->Execute("DELETE FROM items WHERE id = 777").ok());
+}
+
+TEST_F(DatabaseTest, DeleteValidatesColumnAndTable) {
+  LoadSmallTable();
+  EXPECT_FALSE(db_->Execute("DELETE FROM items WHERE vec = 1").ok());
+  EXPECT_TRUE(
+      db_->Execute("DELETE FROM ghost WHERE id = 1").status().IsNotFound());
+}
+
+TEST_F(DatabaseTest, UserRowIdsPreservedThroughIndexScan) {
+  Must("CREATE TABLE t (id int, vec float[2])");
+  Must("INSERT INTO t VALUES (777, '0,0'), (888, '1,1'), (999, '2,2')");
+  Must("CREATE INDEX i ON t USING ivfflat (vec) WITH (clusters=2, "
+       "sample_ratio=1)");
+  auto result =
+      Must("SELECT id FROM t ORDER BY vec <-> '0.1,0.1' OPTIONS (nprobe=2) "
+           "LIMIT 1");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].id, 777);
+}
+
+}  // namespace
+}  // namespace vecdb::sql

@@ -1,0 +1,79 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace vecdb::sql {
+namespace {
+
+TEST(LexerTest, KeywordsAreCaseInsensitiveAndUppercased) {
+  auto tokens = Tokenize("select FROM Order").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 4u);  // + EOF
+  EXPECT_EQ(tokens[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "FROM");
+  EXPECT_EQ(tokens[2].text, "ORDER");
+  EXPECT_EQ(tokens[3].type, TokenType::kEof);
+}
+
+TEST(LexerTest, IdentifiersFoldToLowercase) {
+  auto tokens = Tokenize("MyTable my_col").ValueOrDie();
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "mytable");
+  EXPECT_EQ(tokens[1].text, "my_col");
+}
+
+TEST(LexerTest, NumbersIncludingNegativeAndScientific) {
+  auto tokens = Tokenize("10 -3.5 0.01 2e3").ValueOrDie();
+  EXPECT_DOUBLE_EQ(tokens[0].number, 10);
+  EXPECT_DOUBLE_EQ(tokens[1].number, -3.5);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 0.01);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 2000);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapedQuote) {
+  auto tokens = Tokenize("'0.1,0.2' 'it''s'").ValueOrDie();
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "0.1,0.2");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, DistanceOperators) {
+  auto tokens = Tokenize("<-> <#> <=>").ValueOrDie();
+  EXPECT_EQ(tokens[0].type, TokenType::kDistanceOp);
+  EXPECT_EQ(tokens[0].text, "<->");
+  EXPECT_EQ(tokens[1].text, "<#>");
+  EXPECT_EQ(tokens[2].text, "<=>");
+}
+
+TEST(LexerTest, BareLessThanFails) {
+  EXPECT_FALSE(Tokenize("a < b").ok());
+}
+
+TEST(LexerTest, Punctuation) {
+  auto tokens = Tokenize("( ) [ ] , ; = *").ValueOrDie();
+  EXPECT_EQ(tokens[0].type, TokenType::kLParen);
+  EXPECT_EQ(tokens[1].type, TokenType::kRParen);
+  EXPECT_EQ(tokens[2].type, TokenType::kLBracket);
+  EXPECT_EQ(tokens[3].type, TokenType::kRBracket);
+  EXPECT_EQ(tokens[4].type, TokenType::kComma);
+  EXPECT_EQ(tokens[5].type, TokenType::kSemicolon);
+  EXPECT_EQ(tokens[6].type, TokenType::kEquals);
+  EXPECT_EQ(tokens[7].type, TokenType::kStar);
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  auto tokens = Tokenize("ab  cd").ValueOrDie();
+  EXPECT_EQ(tokens[0].pos, 0u);
+  EXPECT_EQ(tokens[1].pos, 4u);
+}
+
+}  // namespace
+}  // namespace vecdb::sql

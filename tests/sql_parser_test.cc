@@ -1,0 +1,142 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace vecdb::sql {
+namespace {
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = Parse("CREATE TABLE items (id int, vec float[128]);")
+                  .ValueOrDie();
+  ASSERT_EQ(stmt.kind, Statement::Kind::kCreateTable);
+  EXPECT_EQ(stmt.create_table->table, "items");
+  EXPECT_EQ(stmt.create_table->id_column, "id");
+  EXPECT_EQ(stmt.create_table->vec_column, "vec");
+  EXPECT_EQ(stmt.create_table->dim, 128u);
+}
+
+TEST(ParserTest, CreateTableRequiresDimension) {
+  EXPECT_FALSE(Parse("CREATE TABLE t (id int, vec float[])").ok());
+}
+
+TEST(ParserTest, CreateTableBadColumnType) {
+  EXPECT_FALSE(Parse("CREATE TABLE t (id float[3], vec float[3])").ok());
+}
+
+TEST(ParserTest, InsertSingleAndMultiRow) {
+  auto stmt =
+      Parse("INSERT INTO t VALUES (1, '0.1,0.2'), (2, '[0.3, 0.4]');")
+          .ValueOrDie();
+  ASSERT_EQ(stmt.kind, Statement::Kind::kInsert);
+  ASSERT_EQ(stmt.insert->rows.size(), 2u);
+  EXPECT_EQ(stmt.insert->rows[0].id, 1);
+  ASSERT_EQ(stmt.insert->rows[0].vec.size(), 2u);
+  EXPECT_FLOAT_EQ(stmt.insert->rows[0].vec[1], 0.2f);
+  EXPECT_FLOAT_EQ(stmt.insert->rows[1].vec[0], 0.3f);
+}
+
+TEST(ParserTest, CreateIndexWithOptions) {
+  auto stmt = Parse("CREATE INDEX idx ON t USING ivfflat (vec) "
+                    "WITH (clusters=256, sample_ratio=0.01, engine='faiss')")
+                  .ValueOrDie();
+  ASSERT_EQ(stmt.kind, Statement::Kind::kCreateIndex);
+  EXPECT_EQ(stmt.create_index->index, "idx");
+  EXPECT_EQ(stmt.create_index->method, "ivfflat");
+  EXPECT_EQ(stmt.create_index->column, "vec");
+  EXPECT_DOUBLE_EQ(stmt.create_index->options.at("clusters"), 256);
+  EXPECT_DOUBLE_EQ(stmt.create_index->options.at("sample_ratio"), 0.01);
+  EXPECT_EQ(stmt.create_index->engine, "faiss");
+}
+
+TEST(ParserTest, CreateIndexDefaultEngineIsPase) {
+  auto stmt =
+      Parse("CREATE INDEX idx ON t USING hnsw (vec) WITH (bnn=16)")
+          .ValueOrDie();
+  EXPECT_EQ(stmt.create_index->engine, "pase");
+  EXPECT_DOUBLE_EQ(stmt.create_index->options.at("bnn"), 16);
+}
+
+TEST(ParserTest, SelectTopK) {
+  auto stmt = Parse("SELECT id FROM t ORDER BY vec <-> '0.1,0.2,0.3' ASC "
+                    "LIMIT 10;")
+                  .ValueOrDie();
+  ASSERT_EQ(stmt.kind, Statement::Kind::kSelect);
+  EXPECT_EQ(stmt.select->table, "t");
+  EXPECT_EQ(stmt.select->select_column, "id");
+  EXPECT_EQ(stmt.select->order_column, "vec");
+  EXPECT_EQ(stmt.select->metric, Metric::kL2);
+  ASSERT_EQ(stmt.select->query.size(), 3u);
+  EXPECT_EQ(stmt.select->limit, 10u);
+}
+
+TEST(ParserTest, SelectWithOptionsAndStar) {
+  auto stmt = Parse("SELECT * FROM t ORDER BY vec <-> '[1,2]' "
+                    "OPTIONS (nprobe=50, efs=100) LIMIT 5")
+                  .ValueOrDie();
+  EXPECT_TRUE(stmt.select->select_distance);
+  EXPECT_DOUBLE_EQ(stmt.select->options.at("nprobe"), 50);
+  EXPECT_DOUBLE_EQ(stmt.select->options.at("efs"), 100);
+}
+
+TEST(ParserTest, SelectMetricOperators) {
+  EXPECT_EQ(Parse("SELECT id FROM t ORDER BY v <#> '1' LIMIT 1")
+                .ValueOrDie()
+                .select->metric,
+            Metric::kInnerProduct);
+  EXPECT_EQ(Parse("SELECT id FROM t ORDER BY v <=> '1' LIMIT 1")
+                .ValueOrDie()
+                .select->metric,
+            Metric::kCosine);
+}
+
+TEST(ParserTest, ExplainSelect) {
+  auto stmt = Parse("EXPLAIN SELECT id FROM t ORDER BY v <-> '1' LIMIT 1")
+                  .ValueOrDie();
+  EXPECT_TRUE(stmt.select->explain);
+}
+
+TEST(ParserTest, SelectRequiresLimit) {
+  EXPECT_FALSE(Parse("SELECT id FROM t ORDER BY v <-> '1'").ok());
+  EXPECT_FALSE(Parse("SELECT id FROM t ORDER BY v <-> '1' LIMIT 0").ok());
+}
+
+TEST(ParserTest, SelectRequiresDistanceOp) {
+  EXPECT_FALSE(Parse("SELECT id FROM t ORDER BY v LIMIT 1").ok());
+}
+
+TEST(ParserTest, DropStatements) {
+  auto t = Parse("DROP TABLE items").ValueOrDie();
+  EXPECT_EQ(t.kind, Statement::Kind::kDrop);
+  EXPECT_FALSE(t.drop->is_index);
+  EXPECT_EQ(t.drop->name, "items");
+  auto i = Parse("DROP INDEX idx").ValueOrDie();
+  EXPECT_TRUE(i.drop->is_index);
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(Parse("DROP TABLE items extra").ok());
+}
+
+TEST(ParserTest, EmptyAndUnknownStatements) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("FROBNICATE everything").ok());
+}
+
+TEST(VectorLiteralTest, PlainAndBracketed) {
+  auto a = ParseVectorLiteral("0.5, 1.5,2.5").ValueOrDie();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_FLOAT_EQ(a[2], 2.5f);
+  auto b = ParseVectorLiteral("[ -1, 2e-1 ]").ValueOrDie();
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_FLOAT_EQ(b[0], -1.f);
+  EXPECT_FLOAT_EQ(b[1], 0.2f);
+}
+
+TEST(VectorLiteralTest, Malformed) {
+  EXPECT_FALSE(ParseVectorLiteral("").ok());
+  EXPECT_FALSE(ParseVectorLiteral("a,b").ok());
+  EXPECT_FALSE(ParseVectorLiteral("1,2]").ok());
+}
+
+}  // namespace
+}  // namespace vecdb::sql

@@ -1,0 +1,97 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace vecdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, EveryConstructorMapsToItsPredicate) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(std::move(r).ValueOrDie(), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, WorksWithMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 5);
+  auto owned = std::move(r).ValueOrDie();
+  EXPECT_EQ(*owned, 5);
+}
+
+Status FailingHelper() { return Status::IOError("disk gone"); }
+
+Status PropagationSite() {
+  VECDB_RETURN_NOT_OK(FailingHelper());
+  return Status::Internal("should not reach");
+}
+
+TEST(MacrosTest, ReturnNotOkPropagates) {
+  Status s = PropagationSite();
+  EXPECT_TRUE(s.IsIOError());
+}
+
+Result<int> ProducerOk() { return 41; }
+Result<int> ProducerErr() { return Status::OutOfRange("nope"); }
+
+Result<int> AssignSiteOk() {
+  VECDB_ASSIGN_OR_RETURN(int v, ProducerOk());
+  return v + 1;
+}
+
+Result<int> AssignSiteErr() {
+  VECDB_ASSIGN_OR_RETURN(int v, ProducerErr());
+  return v + 1;
+}
+
+TEST(MacrosTest, AssignOrReturnBindsAndPropagates) {
+  auto ok = AssignSiteOk();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  auto err = AssignSiteErr();
+  EXPECT_TRUE(err.status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace vecdb

@@ -1,0 +1,100 @@
+// VACUUM tests: space reclamation after deletes on the PASE engine.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/synthetic.h"
+#include "pase/ivf_flat.h"
+
+namespace vecdb::pase {
+namespace {
+
+class VacuumTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string dir =
+        ::testing::TempDir() + "/vacuum_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    smgr_ = std::make_unique<pgstub::StorageManager>(
+        pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
+    bufmgr_ = std::make_unique<pgstub::BufferManager>(smgr_.get(), 4096);
+
+    SyntheticOptions opt;
+    opt.dim = 16;
+    opt.num_base = 600;
+    opt.num_queries = 4;
+    ds_ = GenerateClustered(opt);
+  }
+  PaseEnv Env() { return {smgr_.get(), bufmgr_.get()}; }
+
+  std::unique_ptr<pgstub::StorageManager> smgr_;
+  std::unique_ptr<pgstub::BufferManager> bufmgr_;
+  Dataset ds_;
+};
+
+TEST_F(VacuumTest, ReclaimsSpaceAndPreservesResults) {
+  PaseIvfFlatOptions opt;
+  opt.num_clusters = 8;
+  opt.sample_ratio = 1.0;
+  PaseIvfFlatIndex index(Env(), ds_.dim, opt);
+  ASSERT_TRUE(index.Build(ds_.base.data(), ds_.num_base).ok());
+  const size_t size_before = index.SizeBytes();
+
+  // Delete 2/3 of the rows.
+  for (int64_t id = 0; id < 400; ++id) {
+    ASSERT_TRUE(index.Delete(id).ok());
+  }
+  EXPECT_EQ(index.NumVectors(), 200u);
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 8;
+  auto before = index.Search(ds_.query_vector(0), params).ValueOrDie();
+
+  ASSERT_TRUE(index.Vacuum().ok());
+  EXPECT_EQ(index.NumVectors(), 200u);
+  // The rewritten chains are materially smaller.
+  EXPECT_LT(index.SizeBytes(), size_before);
+  // Results identical to the tombstone-filtered view.
+  auto after = index.Search(ds_.query_vector(0), params).ValueOrDie();
+  EXPECT_EQ(before, after);
+  // All surviving ids are >= 400.
+  for (const auto& nb : after) EXPECT_GE(nb.id, 400);
+}
+
+TEST_F(VacuumTest, NoTombstonesIsNoOp) {
+  PaseIvfFlatOptions opt;
+  opt.num_clusters = 8;
+  opt.sample_ratio = 1.0;
+  PaseIvfFlatIndex index(Env(), ds_.dim, opt);
+  ASSERT_TRUE(index.Build(ds_.base.data(), ds_.num_base).ok());
+  const size_t size_before = index.SizeBytes();
+  ASSERT_TRUE(index.Vacuum().ok());
+  EXPECT_EQ(index.SizeBytes(), size_before);
+}
+
+TEST_F(VacuumTest, InsertAfterVacuumUsesFreshIds) {
+  PaseIvfFlatOptions opt;
+  opt.num_clusters = 4;
+  opt.sample_ratio = 1.0;
+  PaseIvfFlatIndex index(Env(), ds_.dim, opt);
+  ASSERT_TRUE(index.Build(ds_.base.data(), 100).ok());
+  ASSERT_TRUE(index.Delete(5).ok());
+  ASSERT_TRUE(index.Vacuum().ok());
+  // The next insert must NOT collide with a surviving id.
+  ASSERT_TRUE(index.Insert(ds_.base_vector(100)).ok());
+  SearchParams params;
+  params.k = 1;
+  params.nprobe = 4;
+  auto results = index.Search(ds_.base_vector(100), params).ValueOrDie();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, 100);  // ids continue from the original count
+}
+
+TEST_F(VacuumTest, UnbuiltIndexRejected) {
+  PaseIvfFlatOptions opt;
+  PaseIvfFlatIndex index(Env(), ds_.dim, opt);
+  EXPECT_FALSE(index.Vacuum().ok());
+}
+
+}  // namespace
+}  // namespace vecdb::pase
