@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_quantization_comparison.dir/ext_quantization_comparison.cc.o"
+  "CMakeFiles/ext_quantization_comparison.dir/ext_quantization_comparison.cc.o.d"
+  "ext_quantization_comparison"
+  "ext_quantization_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_quantization_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_generalized_comparison.dir/fig02_generalized_comparison.cc.o"
+  "CMakeFiles/fig02_generalized_comparison.dir/fig02_generalized_comparison.cc.o.d"
+  "fig02_generalized_comparison"
+  "fig02_generalized_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_generalized_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

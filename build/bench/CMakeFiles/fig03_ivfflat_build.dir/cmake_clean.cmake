@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ivfflat_build.dir/fig03_ivfflat_build.cc.o"
+  "CMakeFiles/fig03_ivfflat_build.dir/fig03_ivfflat_build.cc.o.d"
+  "fig03_ivfflat_build"
+  "fig03_ivfflat_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ivfflat_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_ivfflat_build_nosgemm.dir/fig04_ivfflat_build_nosgemm.cc.o"
+  "CMakeFiles/fig04_ivfflat_build_nosgemm.dir/fig04_ivfflat_build_nosgemm.cc.o.d"
+  "fig04_ivfflat_build_nosgemm"
+  "fig04_ivfflat_build_nosgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_ivfflat_build_nosgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

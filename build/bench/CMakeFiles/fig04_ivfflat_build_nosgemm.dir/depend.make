@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_ivfflat_build_nosgemm.
+# This may be replaced when dependencies are built.

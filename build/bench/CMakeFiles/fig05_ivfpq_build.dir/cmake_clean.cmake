@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ivfpq_build.dir/fig05_ivfpq_build.cc.o"
+  "CMakeFiles/fig05_ivfpq_build.dir/fig05_ivfpq_build.cc.o.d"
+  "fig05_ivfpq_build"
+  "fig05_ivfpq_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ivfpq_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_ivfpq_build_nosgemm.cc" "bench/CMakeFiles/fig06_ivfpq_build_nosgemm.dir/fig06_ivfpq_build_nosgemm.cc.o" "gcc" "bench/CMakeFiles/fig06_ivfpq_build_nosgemm.dir/fig06_ivfpq_build_nosgemm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vecdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/vecdb_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/vecdb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vecdb_factory.dir/DependInfo.cmake"
+  "/root/repo/build/src/bridge/CMakeFiles/vecdb_bridge.dir/DependInfo.cmake"
+  "/root/repo/build/src/faisslike/CMakeFiles/vecdb_faisslike.dir/DependInfo.cmake"
+  "/root/repo/build/src/pase/CMakeFiles/vecdb_pase.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantizer/CMakeFiles/vecdb_quantizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/vecdb_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/vecdb_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgstub/CMakeFiles/vecdb_pgstub.dir/DependInfo.cmake"
+  "/root/repo/build/src/topk/CMakeFiles/vecdb_topk.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vecdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

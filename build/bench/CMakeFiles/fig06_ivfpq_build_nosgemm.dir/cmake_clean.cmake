@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ivfpq_build_nosgemm.dir/fig06_ivfpq_build_nosgemm.cc.o"
+  "CMakeFiles/fig06_ivfpq_build_nosgemm.dir/fig06_ivfpq_build_nosgemm.cc.o.d"
+  "fig06_ivfpq_build_nosgemm"
+  "fig06_ivfpq_build_nosgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ivfpq_build_nosgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

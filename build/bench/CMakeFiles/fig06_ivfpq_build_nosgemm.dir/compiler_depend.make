@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_ivfpq_build_nosgemm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_hnsw_build.dir/fig07_hnsw_build.cc.o"
+  "CMakeFiles/fig07_hnsw_build.dir/fig07_hnsw_build.cc.o.d"
+  "fig07_hnsw_build"
+  "fig07_hnsw_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_hnsw_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_parallel_build.dir/fig09_parallel_build.cc.o"
+  "CMakeFiles/fig09_parallel_build.dir/fig09_parallel_build.cc.o.d"
+  "fig09_parallel_build"
+  "fig09_parallel_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_parallel_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_param_build.dir/fig10_param_build.cc.o"
+  "CMakeFiles/fig10_param_build.dir/fig10_param_build.cc.o.d"
+  "fig10_param_build"
+  "fig10_param_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_param_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

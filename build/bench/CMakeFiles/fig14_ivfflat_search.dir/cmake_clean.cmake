@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_ivfflat_search.dir/fig14_ivfflat_search.cc.o"
+  "CMakeFiles/fig14_ivfflat_search.dir/fig14_ivfflat_search.cc.o.d"
+  "fig14_ivfflat_search"
+  "fig14_ivfflat_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ivfflat_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

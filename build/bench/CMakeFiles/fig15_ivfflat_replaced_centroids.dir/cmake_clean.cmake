@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_ivfflat_replaced_centroids.dir/fig15_ivfflat_replaced_centroids.cc.o"
+  "CMakeFiles/fig15_ivfflat_replaced_centroids.dir/fig15_ivfflat_replaced_centroids.cc.o.d"
+  "fig15_ivfflat_replaced_centroids"
+  "fig15_ivfflat_replaced_centroids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ivfflat_replaced_centroids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

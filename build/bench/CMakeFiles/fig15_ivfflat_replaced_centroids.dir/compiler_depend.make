@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_ivfflat_replaced_centroids.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_ivfflat_replaced_centroids.
+# This may be replaced when dependencies are built.

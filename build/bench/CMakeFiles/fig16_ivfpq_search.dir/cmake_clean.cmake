@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_ivfpq_search.dir/fig16_ivfpq_search.cc.o"
+  "CMakeFiles/fig16_ivfpq_search.dir/fig16_ivfpq_search.cc.o.d"
+  "fig16_ivfpq_search"
+  "fig16_ivfpq_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_ivfpq_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_hnsw_search.dir/fig17_hnsw_search.cc.o"
+  "CMakeFiles/fig17_hnsw_search.dir/fig17_hnsw_search.cc.o.d"
+  "fig17_hnsw_search"
+  "fig17_hnsw_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_hnsw_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

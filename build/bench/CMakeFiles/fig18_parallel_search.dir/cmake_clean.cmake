@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_parallel_search.dir/fig18_parallel_search.cc.o"
+  "CMakeFiles/fig18_parallel_search.dir/fig18_parallel_search.cc.o.d"
+  "fig18_parallel_search"
+  "fig18_parallel_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_parallel_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

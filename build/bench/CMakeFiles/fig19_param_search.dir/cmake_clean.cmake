@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_param_search.dir/fig19_param_search.cc.o"
+  "CMakeFiles/fig19_param_search.dir/fig19_param_search.cc.o.d"
+  "fig19_param_search"
+  "fig19_param_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_param_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

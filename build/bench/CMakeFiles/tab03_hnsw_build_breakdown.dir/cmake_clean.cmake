@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_hnsw_build_breakdown.dir/tab03_hnsw_build_breakdown.cc.o"
+  "CMakeFiles/tab03_hnsw_build_breakdown.dir/tab03_hnsw_build_breakdown.cc.o.d"
+  "tab03_hnsw_build_breakdown"
+  "tab03_hnsw_build_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_hnsw_build_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_hnsw_page_size.dir/tab04_hnsw_page_size.cc.o"
+  "CMakeFiles/tab04_hnsw_page_size.dir/tab04_hnsw_page_size.cc.o.d"
+  "tab04_hnsw_page_size"
+  "tab04_hnsw_page_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_hnsw_page_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_ivfflat_search_breakdown.dir/tab05_ivfflat_search_breakdown.cc.o"
+  "CMakeFiles/tab05_ivfflat_search_breakdown.dir/tab05_ivfflat_search_breakdown.cc.o.d"
+  "tab05_ivfflat_search_breakdown"
+  "tab05_ivfflat_search_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_ivfflat_search_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

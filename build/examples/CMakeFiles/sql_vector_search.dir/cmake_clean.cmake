@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_vector_search.dir/sql_vector_search.cpp.o"
+  "CMakeFiles/sql_vector_search.dir/sql_vector_search.cpp.o.d"
+  "sql_vector_search"
+  "sql_vector_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_vector_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

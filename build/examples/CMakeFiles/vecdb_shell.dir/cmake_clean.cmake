@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecdb_shell.dir/vecdb_shell.cpp.o"
+  "CMakeFiles/vecdb_shell.dir/vecdb_shell.cpp.o.d"
+  "vecdb_shell"
+  "vecdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

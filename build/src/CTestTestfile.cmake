@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("distance")
+subdirs("topk")
+subdirs("clustering")
+subdirs("quantizer")
+subdirs("datasets")
+subdirs("faisslike")
+subdirs("pgstub")
+subdirs("pase")
+subdirs("bridge")
+subdirs("sql")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecdb_bridge.dir/bridged_hnsw.cc.o"
+  "CMakeFiles/vecdb_bridge.dir/bridged_hnsw.cc.o.d"
+  "CMakeFiles/vecdb_bridge.dir/bridged_ivf_flat.cc.o"
+  "CMakeFiles/vecdb_bridge.dir/bridged_ivf_flat.cc.o.d"
+  "libvecdb_bridge.a"
+  "libvecdb_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecdb_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvecdb_bridge.a"
+)

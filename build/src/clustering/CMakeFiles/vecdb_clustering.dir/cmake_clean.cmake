@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecdb_clustering.dir/kmeans.cc.o"
+  "CMakeFiles/vecdb_clustering.dir/kmeans.cc.o.d"
+  "libvecdb_clustering.a"
+  "libvecdb_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecdb_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecdb_common.dir/random.cc.o"
+  "CMakeFiles/vecdb_common.dir/random.cc.o.d"
+  "CMakeFiles/vecdb_common.dir/serialize.cc.o"
+  "CMakeFiles/vecdb_common.dir/serialize.cc.o.d"
+  "CMakeFiles/vecdb_common.dir/status.cc.o"
+  "CMakeFiles/vecdb_common.dir/status.cc.o.d"
+  "CMakeFiles/vecdb_common.dir/thread_pool.cc.o"
+  "CMakeFiles/vecdb_common.dir/thread_pool.cc.o.d"
+  "libvecdb_common.a"
+  "libvecdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

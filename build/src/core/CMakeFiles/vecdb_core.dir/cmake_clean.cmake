@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecdb_core.dir/experiment.cc.o"
+  "CMakeFiles/vecdb_core.dir/experiment.cc.o.d"
+  "libvecdb_core.a"
+  "libvecdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecdb_factory.dir/factory.cc.o"
+  "CMakeFiles/vecdb_factory.dir/factory.cc.o.d"
+  "libvecdb_factory.a"
+  "libvecdb_factory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecdb_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/ground_truth.cc" "src/datasets/CMakeFiles/vecdb_datasets.dir/ground_truth.cc.o" "gcc" "src/datasets/CMakeFiles/vecdb_datasets.dir/ground_truth.cc.o.d"
+  "/root/repo/src/datasets/io.cc" "src/datasets/CMakeFiles/vecdb_datasets.dir/io.cc.o" "gcc" "src/datasets/CMakeFiles/vecdb_datasets.dir/io.cc.o.d"
+  "/root/repo/src/datasets/registry.cc" "src/datasets/CMakeFiles/vecdb_datasets.dir/registry.cc.o" "gcc" "src/datasets/CMakeFiles/vecdb_datasets.dir/registry.cc.o.d"
+  "/root/repo/src/datasets/synthetic.cc" "src/datasets/CMakeFiles/vecdb_datasets.dir/synthetic.cc.o" "gcc" "src/datasets/CMakeFiles/vecdb_datasets.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vecdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/vecdb_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/topk/CMakeFiles/vecdb_topk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

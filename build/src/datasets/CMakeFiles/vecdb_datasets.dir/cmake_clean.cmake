@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecdb_datasets.dir/ground_truth.cc.o"
+  "CMakeFiles/vecdb_datasets.dir/ground_truth.cc.o.d"
+  "CMakeFiles/vecdb_datasets.dir/io.cc.o"
+  "CMakeFiles/vecdb_datasets.dir/io.cc.o.d"
+  "CMakeFiles/vecdb_datasets.dir/registry.cc.o"
+  "CMakeFiles/vecdb_datasets.dir/registry.cc.o.d"
+  "CMakeFiles/vecdb_datasets.dir/synthetic.cc.o"
+  "CMakeFiles/vecdb_datasets.dir/synthetic.cc.o.d"
+  "libvecdb_datasets.a"
+  "libvecdb_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecdb_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecdb_distance.dir/kernels.cc.o"
+  "CMakeFiles/vecdb_distance.dir/kernels.cc.o.d"
+  "CMakeFiles/vecdb_distance.dir/sgemm.cc.o"
+  "CMakeFiles/vecdb_distance.dir/sgemm.cc.o.d"
+  "libvecdb_distance.a"
+  "libvecdb_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecdb_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecdb_faisslike.dir/flat_index.cc.o"
+  "CMakeFiles/vecdb_faisslike.dir/flat_index.cc.o.d"
+  "CMakeFiles/vecdb_faisslike.dir/hnsw.cc.o"
+  "CMakeFiles/vecdb_faisslike.dir/hnsw.cc.o.d"
+  "CMakeFiles/vecdb_faisslike.dir/ivf_flat.cc.o"
+  "CMakeFiles/vecdb_faisslike.dir/ivf_flat.cc.o.d"
+  "CMakeFiles/vecdb_faisslike.dir/ivf_pq.cc.o"
+  "CMakeFiles/vecdb_faisslike.dir/ivf_pq.cc.o.d"
+  "CMakeFiles/vecdb_faisslike.dir/ivf_sq8.cc.o"
+  "CMakeFiles/vecdb_faisslike.dir/ivf_sq8.cc.o.d"
+  "CMakeFiles/vecdb_faisslike.dir/persistence.cc.o"
+  "CMakeFiles/vecdb_faisslike.dir/persistence.cc.o.d"
+  "libvecdb_faisslike.a"
+  "libvecdb_faisslike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecdb_faisslike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

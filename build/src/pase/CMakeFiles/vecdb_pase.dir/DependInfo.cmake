@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pase/hnsw.cc" "src/pase/CMakeFiles/vecdb_pase.dir/hnsw.cc.o" "gcc" "src/pase/CMakeFiles/vecdb_pase.dir/hnsw.cc.o.d"
+  "/root/repo/src/pase/ivf_flat.cc" "src/pase/CMakeFiles/vecdb_pase.dir/ivf_flat.cc.o" "gcc" "src/pase/CMakeFiles/vecdb_pase.dir/ivf_flat.cc.o.d"
+  "/root/repo/src/pase/ivf_pq.cc" "src/pase/CMakeFiles/vecdb_pase.dir/ivf_pq.cc.o" "gcc" "src/pase/CMakeFiles/vecdb_pase.dir/ivf_pq.cc.o.d"
+  "/root/repo/src/pase/ivf_sq8.cc" "src/pase/CMakeFiles/vecdb_pase.dir/ivf_sq8.cc.o" "gcc" "src/pase/CMakeFiles/vecdb_pase.dir/ivf_sq8.cc.o.d"
+  "/root/repo/src/pase/pase_common.cc" "src/pase/CMakeFiles/vecdb_pase.dir/pase_common.cc.o" "gcc" "src/pase/CMakeFiles/vecdb_pase.dir/pase_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vecdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/vecdb_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/topk/CMakeFiles/vecdb_topk.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/vecdb_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantizer/CMakeFiles/vecdb_quantizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgstub/CMakeFiles/vecdb_pgstub.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

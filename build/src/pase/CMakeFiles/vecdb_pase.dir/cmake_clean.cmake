@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecdb_pase.dir/hnsw.cc.o"
+  "CMakeFiles/vecdb_pase.dir/hnsw.cc.o.d"
+  "CMakeFiles/vecdb_pase.dir/ivf_flat.cc.o"
+  "CMakeFiles/vecdb_pase.dir/ivf_flat.cc.o.d"
+  "CMakeFiles/vecdb_pase.dir/ivf_pq.cc.o"
+  "CMakeFiles/vecdb_pase.dir/ivf_pq.cc.o.d"
+  "CMakeFiles/vecdb_pase.dir/ivf_sq8.cc.o"
+  "CMakeFiles/vecdb_pase.dir/ivf_sq8.cc.o.d"
+  "CMakeFiles/vecdb_pase.dir/pase_common.cc.o"
+  "CMakeFiles/vecdb_pase.dir/pase_common.cc.o.d"
+  "libvecdb_pase.a"
+  "libvecdb_pase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecdb_pase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

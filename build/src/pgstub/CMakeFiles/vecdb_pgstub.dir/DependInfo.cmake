@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pgstub/bufmgr.cc" "src/pgstub/CMakeFiles/vecdb_pgstub.dir/bufmgr.cc.o" "gcc" "src/pgstub/CMakeFiles/vecdb_pgstub.dir/bufmgr.cc.o.d"
+  "/root/repo/src/pgstub/heap_table.cc" "src/pgstub/CMakeFiles/vecdb_pgstub.dir/heap_table.cc.o" "gcc" "src/pgstub/CMakeFiles/vecdb_pgstub.dir/heap_table.cc.o.d"
+  "/root/repo/src/pgstub/index_am.cc" "src/pgstub/CMakeFiles/vecdb_pgstub.dir/index_am.cc.o" "gcc" "src/pgstub/CMakeFiles/vecdb_pgstub.dir/index_am.cc.o.d"
+  "/root/repo/src/pgstub/page.cc" "src/pgstub/CMakeFiles/vecdb_pgstub.dir/page.cc.o" "gcc" "src/pgstub/CMakeFiles/vecdb_pgstub.dir/page.cc.o.d"
+  "/root/repo/src/pgstub/smgr.cc" "src/pgstub/CMakeFiles/vecdb_pgstub.dir/smgr.cc.o" "gcc" "src/pgstub/CMakeFiles/vecdb_pgstub.dir/smgr.cc.o.d"
+  "/root/repo/src/pgstub/wal.cc" "src/pgstub/CMakeFiles/vecdb_pgstub.dir/wal.cc.o" "gcc" "src/pgstub/CMakeFiles/vecdb_pgstub.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vecdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topk/CMakeFiles/vecdb_topk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

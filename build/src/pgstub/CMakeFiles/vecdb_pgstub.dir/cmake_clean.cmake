@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecdb_pgstub.dir/bufmgr.cc.o"
+  "CMakeFiles/vecdb_pgstub.dir/bufmgr.cc.o.d"
+  "CMakeFiles/vecdb_pgstub.dir/heap_table.cc.o"
+  "CMakeFiles/vecdb_pgstub.dir/heap_table.cc.o.d"
+  "CMakeFiles/vecdb_pgstub.dir/index_am.cc.o"
+  "CMakeFiles/vecdb_pgstub.dir/index_am.cc.o.d"
+  "CMakeFiles/vecdb_pgstub.dir/page.cc.o"
+  "CMakeFiles/vecdb_pgstub.dir/page.cc.o.d"
+  "CMakeFiles/vecdb_pgstub.dir/smgr.cc.o"
+  "CMakeFiles/vecdb_pgstub.dir/smgr.cc.o.d"
+  "CMakeFiles/vecdb_pgstub.dir/wal.cc.o"
+  "CMakeFiles/vecdb_pgstub.dir/wal.cc.o.d"
+  "libvecdb_pgstub.a"
+  "libvecdb_pgstub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecdb_pgstub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

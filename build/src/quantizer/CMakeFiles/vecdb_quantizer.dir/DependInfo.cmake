@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quantizer/pq.cc" "src/quantizer/CMakeFiles/vecdb_quantizer.dir/pq.cc.o" "gcc" "src/quantizer/CMakeFiles/vecdb_quantizer.dir/pq.cc.o.d"
+  "/root/repo/src/quantizer/sq8.cc" "src/quantizer/CMakeFiles/vecdb_quantizer.dir/sq8.cc.o" "gcc" "src/quantizer/CMakeFiles/vecdb_quantizer.dir/sq8.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vecdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/vecdb_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/vecdb_clustering.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecdb_quantizer.dir/pq.cc.o"
+  "CMakeFiles/vecdb_quantizer.dir/pq.cc.o.d"
+  "CMakeFiles/vecdb_quantizer.dir/sq8.cc.o"
+  "CMakeFiles/vecdb_quantizer.dir/sq8.cc.o.d"
+  "libvecdb_quantizer.a"
+  "libvecdb_quantizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecdb_quantizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecdb_sql.dir/database.cc.o"
+  "CMakeFiles/vecdb_sql.dir/database.cc.o.d"
+  "CMakeFiles/vecdb_sql.dir/lexer.cc.o"
+  "CMakeFiles/vecdb_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/vecdb_sql.dir/parser.cc.o"
+  "CMakeFiles/vecdb_sql.dir/parser.cc.o.d"
+  "libvecdb_sql.a"
+  "libvecdb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecdb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvecdb_sql.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecdb_topk.dir/heaps.cc.o"
+  "CMakeFiles/vecdb_topk.dir/heaps.cc.o.d"
+  "libvecdb_topk.a"
+  "libvecdb_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecdb_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

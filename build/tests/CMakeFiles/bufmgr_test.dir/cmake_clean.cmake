@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufmgr_test.dir/bufmgr_test.cc.o"
+  "CMakeFiles/bufmgr_test.dir/bufmgr_test.cc.o.d"
+  "bufmgr_test"
+  "bufmgr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufmgr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

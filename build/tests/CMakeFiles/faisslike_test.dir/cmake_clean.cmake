@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faisslike_test.dir/faisslike_test.cc.o"
+  "CMakeFiles/faisslike_test.dir/faisslike_test.cc.o.d"
+  "faisslike_test"
+  "faisslike_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faisslike_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

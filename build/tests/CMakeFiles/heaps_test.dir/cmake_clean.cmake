@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heaps_test.dir/heaps_test.cc.o"
+  "CMakeFiles/heaps_test.dir/heaps_test.cc.o.d"
+  "heaps_test"
+  "heaps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heaps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insert_test.dir/insert_test.cc.o"
+  "CMakeFiles/insert_test.dir/insert_test.cc.o.d"
+  "insert_test"
+  "insert_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivf_sq8_test.dir/ivf_sq8_test.cc.o"
+  "CMakeFiles/ivf_sq8_test.dir/ivf_sq8_test.cc.o.d"
+  "ivf_sq8_test"
+  "ivf_sq8_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivf_sq8_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_test.dir/pase_test.cc.o"
+  "CMakeFiles/pase_test.dir/pase_test.cc.o.d"
+  "pase_test"
+  "pase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

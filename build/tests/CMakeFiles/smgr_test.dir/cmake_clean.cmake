@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smgr_test.dir/smgr_test.cc.o"
+  "CMakeFiles/smgr_test.dir/smgr_test.cc.o.d"
+  "smgr_test"
+  "smgr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smgr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

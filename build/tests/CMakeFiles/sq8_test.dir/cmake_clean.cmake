@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq8_test.dir/sq8_test.cc.o"
+  "CMakeFiles/sq8_test.dir/sq8_test.cc.o.d"
+  "sq8_test"
+  "sq8_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq8_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

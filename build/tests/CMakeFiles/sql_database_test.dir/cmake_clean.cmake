@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_database_test.dir/sql_database_test.cc.o"
+  "CMakeFiles/sql_database_test.dir/sql_database_test.cc.o.d"
+  "sql_database_test"
+  "sql_database_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
