@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Full correctness matrix in one command (tier-1.5 verify):
+#
+#   Release + -Werror   functional tests, lint, DCHECKs compiled out
+#   ASan + UBSan        Debug, so VECDB_DCHECK and the debug-path
+#                       CheckInvariants() audits are active
+#   TSan                RelWithDebInfo; concurrency_test/thread_pool_test
+#                       run under the race detector
+#
+# Usage: ci/run_checks.sh [extra ctest args...]
+# Build trees land in build-release/, build-asan/, build-tsan/ (gitignored).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local dir="$1"
+  shift
+  echo "=== ${dir}: configure ($*) ==="
+  cmake -B "${dir}" -S . -DVECDB_WERROR=ON "$@"
+  echo "=== ${dir}: build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== ${dir}: ctest ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" "${EXTRA_CTEST_ARGS[@]}"
+}
+
+EXTRA_CTEST_ARGS=("$@")
+
+run_config build-release -DCMAKE_BUILD_TYPE=Release
+run_config build-asan -DCMAKE_BUILD_TYPE=Debug \
+  -DVECDB_SANITIZE="address;undefined"
+run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DVECDB_SANITIZE=thread
+
+echo "=== lint (standalone) ==="
+python3 tools/lint.py .
+
+echo "All checks passed."

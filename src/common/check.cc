@@ -1,0 +1,20 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vecdb::internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* expr) {
+  stream_ << "CHECK failed: " << expr << " at " << file << ":" << line << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  const std::string msg = stream_.str();
+  std::fputs(msg.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace vecdb::internal

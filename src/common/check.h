@@ -1,0 +1,70 @@
+// Fatal invariant-check macros for vecdb, following the glog/absl idiom:
+// VECDB_CHECK is always on and aborts with file:line plus a streamable
+// message; VECDB_DCHECK* compile out of NDEBUG (Release) builds while still
+// type-checking their condition so debug-only checks cannot bit-rot.
+//
+// Use Status for errors callers can handle; use these macros for programmer
+// errors where continuing would corrupt state (the "fail fast" tier that
+// sanitizer and invariant audits rely on).
+#pragma once
+
+#include <sstream>
+
+namespace vecdb::internal {
+
+/// Collects the streamed failure message and aborts when destroyed at the
+/// end of the failing check's full expression. Never constructed on the
+/// passing path.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr);
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  /// Prints "CHECK failed: <expr> (<msg>) at <file>:<line>" and aborts.
+  ~CheckFailure();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace vecdb::internal
+
+/// Aborts (in every build type) when `cond` is false. Additional context
+/// streams on: VECDB_CHECK(ptr != nullptr) << "while loading " << path;
+#define VECDB_CHECK(cond)                                               \
+  while (__builtin_expect(!(cond), 0))                                  \
+  ::vecdb::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+/// Binary-comparison forms that include both operand values in the failure
+/// message. Operands are re-evaluated only on the (aborting) failure path.
+#define VECDB_CHECK_OP_(op, a, b)                                       \
+  VECDB_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define VECDB_CHECK_EQ(a, b) VECDB_CHECK_OP_(==, a, b)
+#define VECDB_CHECK_NE(a, b) VECDB_CHECK_OP_(!=, a, b)
+#define VECDB_CHECK_LT(a, b) VECDB_CHECK_OP_(<, a, b)
+#define VECDB_CHECK_LE(a, b) VECDB_CHECK_OP_(<=, a, b)
+#define VECDB_CHECK_GT(a, b) VECDB_CHECK_OP_(>, a, b)
+#define VECDB_CHECK_GE(a, b) VECDB_CHECK_OP_(>=, a, b)
+
+// Debug-only variants. `true || (cond)` keeps the condition compiled (name
+// lookup and type checks still run) but never evaluated, so Release builds
+// pay nothing and debug-only expressions cannot rot.
+#ifdef NDEBUG
+#define VECDB_DCHECK(cond) VECDB_CHECK(true || (cond))
+#define VECDB_DCHECK_EQ(a, b) VECDB_DCHECK((a) == (b))
+#define VECDB_DCHECK_NE(a, b) VECDB_DCHECK((a) != (b))
+#define VECDB_DCHECK_LT(a, b) VECDB_DCHECK((a) < (b))
+#define VECDB_DCHECK_LE(a, b) VECDB_DCHECK((a) <= (b))
+#define VECDB_DCHECK_GT(a, b) VECDB_DCHECK((a) > (b))
+#define VECDB_DCHECK_GE(a, b) VECDB_DCHECK((a) >= (b))
+#else
+#define VECDB_DCHECK(cond) VECDB_CHECK(cond)
+#define VECDB_DCHECK_EQ(a, b) VECDB_CHECK_EQ(a, b)
+#define VECDB_DCHECK_NE(a, b) VECDB_CHECK_NE(a, b)
+#define VECDB_DCHECK_LT(a, b) VECDB_CHECK_LT(a, b)
+#define VECDB_DCHECK_LE(a, b) VECDB_CHECK_LE(a, b)
+#define VECDB_DCHECK_GT(a, b) VECDB_CHECK_GT(a, b)
+#define VECDB_DCHECK_GE(a, b) VECDB_CHECK_GE(a, b)
+#endif

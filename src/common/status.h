@@ -32,7 +32,10 @@ std::string_view StatusCodeName(StatusCode code);
 /// Cheap to copy when OK (no allocation); error states carry a message
 /// string. Use the static constructors (`Status::InvalidArgument(...)`) to
 /// build errors and `Status::OK()` for success.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures (a recurring
+/// VDBMS bug class); cast to void explicitly when ignoring is intended.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -104,7 +107,7 @@ class Status {
 /// aborts on error and is intended for tests and examples. `T` only needs
 /// to be movable (no default constructor required).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace vecdb {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -24,6 +26,8 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> fn) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    VECDB_CHECK(!shutdown_)
+        << "ThreadPool::Submit after shutdown: task would never run";
     tasks_.push(std::move(fn));
     ++in_flight_;
   }
@@ -33,6 +37,15 @@ void ThreadPool::Submit(std::function<void()> fn) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::CheckInvariants() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  VECDB_CHECK_GE(workers_.size(), 1u) << "pool has no workers";
+  // Tasks still queued are a subset of tasks not yet finished.
+  VECDB_CHECK_LE(tasks_.size(), in_flight_)
+      << "queued tasks exceed in-flight count";
+  VECDB_CHECK(!shutdown_) << "CheckInvariants on a shut-down pool";
 }
 
 void ThreadPool::ParallelFor(size_t n,

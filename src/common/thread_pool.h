@@ -28,11 +28,17 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues `fn` for execution on some worker.
+  /// Enqueues `fn` for execution on some worker. Aborts (VECDB_CHECK) if
+  /// the pool is shutting down: a task enqueued after ~ThreadPool begins
+  /// would silently never run.
   void Submit(std::function<void()> fn);
 
   /// Blocks until every submitted task has finished.
   void Wait();
+
+  /// Aborts if internal bookkeeping is inconsistent (queued tasks exceed
+  /// the in-flight count, or a live pool has no workers). Test/debug hook.
+  void CheckInvariants() const;
 
   /// Runs `fn(worker_index, begin, end)` over a static partition of [0, n).
   /// Blocks until all chunks complete. `worker_index` is in
@@ -45,7 +51,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_cv_;
   std::condition_variable done_cv_;
   size_t in_flight_ = 0;

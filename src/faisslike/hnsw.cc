@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "common/check.h"
 #include "common/timer.h"
 #include "distance/kernels.h"
 
@@ -226,6 +227,9 @@ Status HnswIndex::Build(const float* data, size_t n) {
   }
   // HNSW has no training phase; everything is the adding phase.
   build_stats_.add_seconds = timer.ElapsedSeconds();
+#ifndef NDEBUG
+  CheckInvariants();
+#endif
   return Status::OK();
 }
 
@@ -264,6 +268,45 @@ Result<std::vector<Neighbor>> HnswIndex::Search(
   }
   if (cands.size() > params.k) cands.resize(params.k);
   return cands;
+}
+
+void HnswIndex::CheckInvariants() const {
+  const size_t n = num_nodes_;
+  VECDB_CHECK_EQ(vectors_.size(), n * dim_) << "vector storage vs node count";
+  VECDB_CHECK_EQ(node_level_.size(), n);
+  VECDB_CHECK_EQ(link_offset_.size(), n);
+  VECDB_CHECK_EQ(count_offset_.size(), n);
+  VECDB_CHECK_EQ(visit_stamp_.size(), n);
+  if (n == 0) {
+    VECDB_CHECK_EQ(max_level_, -1) << "empty graph has a level";
+    return;
+  }
+  VECDB_CHECK_LT(static_cast<size_t>(entry_point_), n);
+  VECDB_CHECK_EQ(node_level_[entry_point_], max_level_)
+      << "entry point is not a top-level node";
+  for (uint32_t node = 0; node < n; ++node) {
+    const int level = node_level_[node];
+    VECDB_CHECK_GE(level, 0) << "node " << node;
+    VECDB_CHECK_LE(level, max_level_) << "node " << node;
+    for (int lev = 0; lev <= level; ++lev) {
+      const uint16_t count = link_counts_[count_offset_[node] + lev];
+      VECDB_CHECK_LE(count, LevelCapacity(lev))
+          << "node " << node << " level " << lev << " overfull";
+      const size_t off = LinkOffset(node, lev);
+      VECDB_CHECK_LE(off + count, links_.size())
+          << "node " << node << " links out of bounds";
+      for (uint16_t i = 0; i < count; ++i) {
+        const uint32_t peer = links_[off + i];
+        VECDB_CHECK_LT(peer, n)
+            << "node " << node << " links to nonexistent node";
+        VECDB_CHECK_NE(peer, node) << "self-link at node " << node;
+        // Edges at level `lev` may only target nodes that exist at `lev`
+        // (links are made from SearchLayer results within that layer).
+        VECDB_CHECK_GE(node_level_[peer], lev)
+            << "node " << node << " links below peer " << peer << "'s level";
+      }
+    }
+  }
 }
 
 size_t HnswIndex::SizeBytes() const {

@@ -58,6 +58,12 @@ class HnswIndex final : public VectorIndex {
   /// Loads a graph previously written by Save.
   static Result<HnswIndex> Load(const std::string& path);
 
+  /// Aborts if the graph structure is inconsistent: per-node array sizes
+  /// out of step, link counts above level capacity, an edge to a
+  /// nonexistent node / to self / to a node that does not reach that level,
+  /// or an entry point that is not a top-level node. Test/debug hook.
+  void CheckInvariants() const;
+
   int max_level() const { return max_level_; }
   /// Top level of `node` in the hierarchy.
   int NodeLevel(uint32_t node) const { return node_level_[node]; }

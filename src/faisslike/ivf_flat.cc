@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/check.h"
 #include "common/timer.h"
 #include "distance/kernels.h"
 #include "distance/sgemm.h"
@@ -107,6 +108,9 @@ Status IvfFlatIndex::Build(const float* data, size_t n) {
   timer.Reset();
   VECDB_RETURN_NOT_OK(AddBatch(data, n));
   build_stats_.add_seconds = timer.ElapsedSeconds();
+#ifndef NDEBUG
+  CheckInvariants();
+#endif
   return Status::OK();
 }
 
@@ -206,6 +210,25 @@ Result<std::vector<Neighbor>> IvfFlatIndex::Search(
   auto merged = MergeTopK(std::move(locals), params.k);
   if (acct != nullptr) acct->serial_nanos += merge_timer.ElapsedNanos();
   return merged;
+}
+
+void IvfFlatIndex::CheckInvariants() const {
+  if (num_clusters_ == 0) return;  // not trained yet; nothing to audit
+  VECDB_CHECK_EQ(bucket_vecs_.size(), num_clusters_);
+  VECDB_CHECK_EQ(bucket_ids_.size(), num_clusters_);
+  VECDB_CHECK_EQ(centroids_.size(),
+                 static_cast<size_t>(num_clusters_) * dim_)
+      << "codebook truncated";
+  VECDB_CHECK_LE(tombstones_.size(), num_vectors_)
+      << "more tombstones than stored rows";
+  size_t stored = 0;
+  for (uint32_t b = 0; b < num_clusters_; ++b) {
+    VECDB_CHECK_EQ(bucket_vecs_[b].size(), bucket_ids_[b].size() * dim_)
+        << "bucket " << b << " vectors vs ids";
+    stored += bucket_ids_[b].size();
+  }
+  // RC#6 framing in the paper: ntotal is exactly the bucket populations.
+  VECDB_CHECK_EQ(stored, num_vectors_) << "bucket sizes vs ntotal";
 }
 
 size_t IvfFlatIndex::SizeBytes() const {

@@ -70,6 +70,11 @@ class IvfFlatIndex final : public VectorIndex {
   /// Loads an index previously written by Save.
   static Result<IvfFlatIndex> Load(const std::string& path);
 
+  /// Aborts if bucket storage is inconsistent: bucket sizes not summing to
+  /// the total vector count, a bucket whose vector storage disagrees with
+  /// its id list, or a truncated codebook. Test/debug hook.
+  void CheckInvariants() const;
+
   uint32_t dim() const { return dim_; }
   uint32_t num_clusters() const { return num_clusters_; }
   /// Row-major codebook (num_clusters * dim), valid after Train.

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "clustering/kmeans.h"
+#include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "distance/kernels.h"
@@ -169,6 +170,9 @@ Status PaseIvfFlatIndex::Build(const float* data, size_t n) {
   num_vectors_ = n;
   next_row_id_ = static_cast<int64_t>(n);
   build_stats_.add_seconds = timer.ElapsedSeconds();
+#ifndef NDEBUG
+  CheckInvariants();
+#endif
   return Status::OK();
 }
 
@@ -219,6 +223,9 @@ Status PaseIvfFlatIndex::Vacuum() {
   }
   num_vectors_ = total;
   tombstones_.Clear();
+#ifndef NDEBUG
+  CheckInvariants();
+#endif
   return Status::OK();
 }
 
@@ -414,6 +421,44 @@ Result<std::vector<Neighbor>> PaseIvfFlatIndex::Search(
     }
   }
   return results;
+}
+
+void PaseIvfFlatIndex::CheckInvariants() const {
+  if (num_clusters_ == 0) return;  // not built yet; nothing to audit
+  VECDB_CHECK_EQ(chains_.size(), num_clusters_) << "chain count vs clusters";
+  VECDB_CHECK_EQ(centroids_.size(),
+                 static_cast<size_t>(num_clusters_) * dim_)
+      << "centroid matrix truncated";
+  VECDB_CHECK_LE(tombstones_.size(), num_vectors_)
+      << "more tombstones than stored rows";
+  // Walk every bucket's page chain; stored tuples (live + tombstoned, which
+  // stay in place until Vacuum) must sum to num_vectors_, and a tail block
+  // must terminate its chain.
+  size_t stored = 0;
+  for (uint32_t b = 0; b < num_clusters_; ++b) {
+    const BucketChain& chain = chains_[b];
+    VECDB_CHECK_EQ(chain.head == pgstub::kInvalidBlock,
+                   chain.tail == pgstub::kInvalidBlock)
+        << "bucket " << b << " has a head xor a tail";
+    pgstub::BlockId block = chain.head;
+    pgstub::BlockId last = pgstub::kInvalidBlock;
+    while (block != pgstub::kInvalidBlock) {
+      auto pinned = env_.bufmgr->Pin(data_rel_, block);
+      VECDB_CHECK(pinned.ok())
+          << "bucket " << b << " chain pin failed: "
+          << pinned.status().ToString();
+      pgstub::PageView page(pinned->data, env_.bufmgr->page_size());
+      stored += page.ItemCount();
+      last = block;
+      block = reinterpret_cast<const DataPageSpecial*>(page.Special())->next;
+      env_.bufmgr->Unpin(*pinned, false);
+    }
+    if (chain.head != pgstub::kInvalidBlock) {
+      VECDB_CHECK_EQ(last, chain.tail)
+          << "bucket " << b << " chain does not end at its tail";
+    }
+  }
+  VECDB_CHECK_EQ(stored, num_vectors_) << "chain population vs num_vectors";
 }
 
 size_t PaseIvfFlatIndex::SizeBytes() const {

@@ -62,6 +62,12 @@ class PaseIvfFlatIndex final : public VectorIndex {
   }
   std::string Describe() const override;
 
+  /// Aborts if index structure is inconsistent: chain count differing from
+  /// the cluster count, page-chain tuple population not summing to the
+  /// vector count, more tombstones than rows, or a truncated centroid
+  /// matrix. Test/debug hook.
+  void CheckInvariants() const;
+
   /// Trained centroids (row-major, c * dim) for the paper's Fig 15
   /// centroid-transplant experiment.
   const float* centroids() const { return centroids_.data(); }

@@ -1,5 +1,7 @@
 #include "pgstub/bufmgr.h"
 
+#include "common/check.h"
+
 namespace vecdb::pgstub {
 
 BufferManager::BufferManager(StorageManager* smgr, size_t pool_pages)
@@ -93,6 +95,10 @@ void BufferManager::Unpin(const BufferHandle& handle, bool dirty) {
   if (!handle.valid()) return;
   std::lock_guard<std::mutex> guard(mu_);
   Frame& f = frames_[handle.frame];
+  // An unpin without a matching pin is a caller bug that would let the
+  // frame be evicted while a stale handle still points at it.
+  VECDB_DCHECK_GT(f.pin_count, 0) << "Unpin of frame " << handle.frame
+                                  << " that is not pinned";
   if (f.pin_count > 0) --f.pin_count;
   if (dirty) {
     f.dirty = true;
@@ -105,6 +111,32 @@ void BufferManager::Unpin(const BufferHandle& handle, bool dirty) {
       if (!logged.ok() && wal_error_.ok()) wal_error_ = logged.status();
     }
   }
+}
+
+void BufferManager::CheckInvariants() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  size_t valid_frames = 0;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (!f.valid) {
+      VECDB_CHECK_EQ(f.pin_count, 0) << "invalid frame " << i << " is pinned";
+      continue;
+    }
+    ++valid_frames;
+    VECDB_CHECK_GE(f.pin_count, 0) << "frame " << i << " pin count underflow";
+    VECDB_CHECK_LE(static_cast<int>(f.usage), 5)
+        << "frame " << i << " usage above clock-sweep cap";
+    auto it = table_.find(TagKey(f.rel, f.block));
+    VECDB_CHECK(it != table_.end())
+        << "valid frame " << i << " missing from tag table";
+    VECDB_CHECK_EQ(it->second, static_cast<int32_t>(i))
+        << "tag table maps (" << f.rel << "," << f.block
+        << ") to a different frame";
+  }
+  // Every mapping must point back at a valid frame with the same tag, so
+  // the table size equals the valid-frame count exactly.
+  VECDB_CHECK_EQ(table_.size(), valid_frames)
+      << "tag table and frame validity disagree";
 }
 
 Status BufferManager::FlushAll() {

@@ -72,6 +72,12 @@ class BufferManager {
   /// its pages are still pinned.
   Status InvalidateRelation(RelId rel);
 
+  /// Aborts if pool bookkeeping is inconsistent: a tag-table entry pointing
+  /// at an invalid or mismatched frame, a negative pin count, a usage count
+  /// above the clock-sweep cap, or a valid frame missing from the table.
+  /// Test/debug hook.
+  void CheckInvariants() const;
+
   const BufferStats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
   size_t pool_pages() const { return frames_.size(); }
@@ -103,7 +109,7 @@ class BufferManager {
   BufferStats stats_;
   WalManager* wal_ = nullptr;
   Status wal_error_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
 };
 
 }  // namespace vecdb::pgstub

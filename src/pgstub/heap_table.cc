@@ -3,6 +3,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/check.h"
+
 namespace vecdb::pgstub {
 
 Result<HeapTable> HeapTable::Create(BufferManager* bufmgr,
@@ -12,8 +14,9 @@ Result<HeapTable> HeapTable::Create(BufferManager* bufmgr,
   VECDB_ASSIGN_OR_RETURN(RelId rel, smgr->CreateRelation(name));
   HeapTable table(bufmgr, smgr, rel, dim);
   const uint32_t tuple = table.tuple_size();
-  // A tuple must fit on one page (no TOAST in this substrate).
-  if (tuple + sizeof(PageView::Header) + sizeof(ItemId) >
+  // A tuple must fit on one page (no TOAST in this substrate); AddItem
+  // MAXALIGNs the item start, so budget up to 7 padding bytes.
+  if (((tuple + 7u) & ~7u) + sizeof(PageView::Header) + sizeof(ItemId) >
       smgr->page_size()) {
     return Status::InvalidArgument(
         "HeapTable: tuple of dim " + std::to_string(dim) +
@@ -105,6 +108,27 @@ Status HeapTable::SeqScan(
     bufmgr_->Unpin(handle, false);
   }
   return Status::OK();
+}
+
+void HeapTable::CheckInvariants() const {
+  size_t seen = 0;
+  auto scanned = SeqScan([&](TupleId tid, int64_t, const float*) {
+    VECDB_CHECK(tid.valid()) << "SeqScan yielded an invalid tid";
+    ++seen;
+    return true;
+  });
+  VECDB_CHECK(scanned.ok()) << "SeqScan failed: " << scanned.ToString();
+  VECDB_CHECK_EQ(seen, num_rows_) << "page population vs num_rows()";
+  // Re-read every tuple through the Read path, which verifies the stored
+  // per-tuple dim against dim() (Corruption on mismatch).
+  std::vector<float> vec(dim_);
+  scanned = SeqScan([&](TupleId tid, int64_t, const float*) {
+    int64_t row_id = 0;
+    Status read = Read(tid, &row_id, vec.data());
+    VECDB_CHECK(read.ok()) << "tuple re-read failed: " << read.ToString();
+    return true;
+  });
+  VECDB_CHECK(scanned.ok()) << "SeqScan failed: " << scanned.ToString();
 }
 
 }  // namespace vecdb::pgstub

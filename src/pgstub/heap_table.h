@@ -36,6 +36,11 @@ class HeapTable {
   Status SeqScan(
       const std::function<bool(TupleId, int64_t, const float*)>& fn) const;
 
+  /// Aborts if stored tuples disagree with the table metadata: a tuple
+  /// whose dim differs from dim(), or a page population that does not sum
+  /// to num_rows(). Test/debug hook.
+  void CheckInvariants() const;
+
   uint32_t dim() const { return dim_; }
   RelId rel() const { return rel_; }
   size_t num_rows() const { return num_rows_; }

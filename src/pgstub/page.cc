@@ -13,12 +13,16 @@ void PageView::Init(uint16_t special_size) {
 
 OffsetNumber PageView::AddItem(const void* data, uint16_t len) {
   Header* h = header();
-  const uint32_t need = sizeof(ItemId) + static_cast<uint32_t>(len);
-  if (h->upper < h->lower ||
-      static_cast<uint32_t>(h->upper - h->lower) < need) {
+  if (h->upper < h->lower || h->upper < len) return kInvalidOffset;
+  // MAXALIGN the item start, as PostgreSQL does: tuple headers carry
+  // 8-byte fields (int64 row ids) that are read in place, so an unaligned
+  // start is undefined behaviour (UBSan: misaligned member access).
+  const uint32_t start =
+      (static_cast<uint32_t>(h->upper) - len) & ~static_cast<uint32_t>(7);
+  if (start < static_cast<uint32_t>(h->lower) + sizeof(ItemId)) {
     return kInvalidOffset;
   }
-  h->upper = static_cast<uint16_t>(h->upper - len);
+  h->upper = static_cast<uint16_t>(start);
   ItemId* iid = item_ids() + h->item_count;
   iid->off = h->upper;
   iid->len = len;

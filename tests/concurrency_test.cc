@@ -55,6 +55,8 @@ void RunConcurrentQueries(const IndexT& index, const Dataset& ds) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(mismatches.load(), 0);
+  // Concurrent readers must leave the index structurally intact.
+  index.CheckInvariants();
 }
 
 TEST(ConcurrencyTest, FaissIvfFlatSharedAcrossThreads) {

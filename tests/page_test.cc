@@ -112,8 +112,11 @@ TEST_F(PageTest, OversizedItemRejected) {
   EXPECT_EQ(page_.AddItem(item.data(), static_cast<uint16_t>(kPageSize - 8)),
             kInvalidOffset);
   EXPECT_EQ(page_.ItemCount(), 0);
-  // Just-fitting item is accepted (header 8 + line pointer 4).
-  EXPECT_NE(page_.AddItem(item.data(), static_cast<uint16_t>(kPageSize - 12)),
+  // Item starts are MAXALIGNed, so the largest accepted item leaves the
+  // 8-byte header, one 4-byte line pointer, and the alignment padding.
+  EXPECT_EQ(page_.AddItem(item.data(), static_cast<uint16_t>(kPageSize - 12)),
+            kInvalidOffset);
+  EXPECT_NE(page_.AddItem(item.data(), static_cast<uint16_t>(kPageSize - 16)),
             kInvalidOffset);
   EXPECT_TRUE(page_.Check().ok());
 }

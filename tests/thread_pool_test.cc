@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace vecdb {
@@ -61,6 +63,40 @@ TEST(ThreadPoolTest, ParallelForSmallNUsesFewChunks) {
     chunks.fetch_add(1);
   });
   EXPECT_EQ(chunks.load(), 3);
+}
+
+TEST(ThreadPoolTest, CheckInvariantsOnLivePool) {
+  ThreadPool pool(4);
+  pool.CheckInvariants();
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 32; ++i) pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.CheckInvariants();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+// Regression: Submit used to silently enqueue into the dead queue when the
+// pool was already shutting down — the task would never run. It must abort.
+TEST(ThreadPoolDeathTest, SubmitDuringShutdownAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        auto* pool = new ThreadPool(1);
+        std::atomic<bool> dying{false};
+        pool->Submit([&] {
+          while (!dying.load()) std::this_thread::yield();
+          // Give ~ThreadPool ample time to flag shutdown (it only needs to
+          // take the pool mutex), then submit into the dying pool.
+          std::this_thread::sleep_for(std::chrono::milliseconds(300));
+          pool->Submit([] {});
+        });
+        std::thread destroyer([&] {
+          dying.store(true);
+          delete pool;  // blocks joining the worker, which hits the CHECK
+        });
+        destroyer.join();
+      },
+      "Submit after shutdown");
 }
 
 TEST(ThreadPoolTest, WaitIsReusable) {

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""vecdb pattern lint: bans idioms that the sanitizer matrix and Status
+discipline exist to prevent. Runs as a ctest test ("lint"); see
+docs/ANALYSIS.md for the rule list and suppression syntax.
+
+Usage: lint.py [repo_root]
+
+Rules (suppress one occurrence with a trailing `// lint-allow:<rule>`):
+  new-array         new T[n] / delete[] outside the AlignedBuffer wrapper --
+                    bulk storage must go through AlignedFloats or std
+                    containers so sizing and alignment stay audited.
+  raw-pthread       direct pthread_* calls -- use std::thread / ThreadPool
+                    so TSan and the invariant framework see every thread.
+  discarded-status  a statement that calls a known Status/Result-returning
+                    function and drops the value. The [[nodiscard]] compiler
+                    check is authoritative; this catches it in un-compiled
+                    configs (e.g. code behind #ifdef).
+  pragma-once       header missing #pragma once.
+  std-endl          std::endl in src/ -- it flushes; hot paths want '\\n'.
+"""
+
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+SOURCE_EXTS = (".h", ".cc")
+ALLOW_RE = re.compile(r"//\s*lint-allow:([\w-]+)")
+
+# Files allowed to use raw array new/delete: the owning wrapper itself.
+NEW_ARRAY_ALLOWED = {os.path.join("src", "common", "aligned_buffer.h")}
+
+NEW_ARRAY_RE = re.compile(r"\bnew\s+[\w:<>]+\s*\[|\bdelete\s*\[\]")
+PTHREAD_RE = re.compile(r"\bpthread_\w+\s*\(")
+ENDL_RE = re.compile(r"\bstd::endl\b")
+
+# `Status Foo(`, `Result<T> Foo(`, with optional static/virtual/[[nodiscard]]
+# qualifiers -- harvested from headers to drive the discarded-status rule.
+STATUS_FN_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s+)?(?:static\s+)?(?:virtual\s+)?"
+    r"(?:::)?(?:\w+::)*(?:Status|Result<.+>)\s+(\w+)\s*\("
+)
+# Any other function declaration/definition: used to drop harvested names
+# that also exist with a non-Status return type (cross-class collisions,
+# e.g. a void Add() next to a Status Add()), which a name-based scan cannot
+# tell apart at the call site.
+OTHER_FN_RE = re.compile(
+    r"^\s*(?:static\s+)?(?:virtual\s+)?(?:inline\s+)?(?:constexpr\s+)?"
+    r"(?:const\s+)?[\w:<>,\s*&]+?[\s*&](\w+)\s*\(")
+# A line whose statement visibly consumes the returned value.
+CONSUMED_RE = re.compile(r"\.(?:ValueOrDie|ok|status|IsNotFound)\s*\(")
+# A previous line ending like this means the current line continues it.
+CONTINUATION_TAIL_RE = re.compile(r"(?:[,(=+\-*/<>&|?:]|<<|&&|\|\|)\s*$")
+
+COMMENT_OR_STRING_RE = re.compile(r'//.*$|"(?:[^"\\]|\\.)*"')
+
+
+def strip_comments_and_strings(line):
+    """Blanks out comments and string literals so rules skip their text."""
+    return COMMENT_OR_STRING_RE.sub(lambda m: " " * len(m.group()), line)
+
+
+def harvest_status_functions(root, files):
+    status_names = set()
+    other_names = set()
+    for path in files:
+        if not path.endswith(".h"):
+            continue
+        with open(os.path.join(root, path), encoding="utf-8") as f:
+            for line in f:
+                m = STATUS_FN_RE.match(line)
+                if m:
+                    status_names.add(m.group(1))
+                    continue
+                m = OTHER_FN_RE.match(line)
+                if m:
+                    other_names.add(m.group(1))
+    # A name is only usable if every declaration of it returns Status/Result.
+    return status_names - other_names
+
+
+def discarded_status_re(names):
+    """A full-line statement `obj.Foo(...);` / `Foo(...);` for a harvested
+    name: no assignment, return, wrap, or (void) cast anywhere on the line."""
+    alt = "|".join(sorted(names))
+    return re.compile(
+        r"^\s*(?:\w+(?:\.|->))*(?:%s)\s*\(.*\)\s*;\s*$" % alt
+    )
+
+
+def collect_files(root):
+    out = []
+    for top in SCAN_DIRS:
+        for dirpath, dirnames, filenames in os.walk(os.path.join(root, top)):
+            dirnames[:] = [d for d in dirnames if not d.startswith("build")]
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    out.append(
+                        os.path.relpath(os.path.join(dirpath, name), root)
+                    )
+    return sorted(out)
+
+
+def lint_file(root, path, status_stmt_re, errors):
+    with open(os.path.join(root, path), encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    allowed_rules_by_line = {}
+    for i, line in enumerate(lines, 1):
+        for m in ALLOW_RE.finditer(line):
+            allowed_rules_by_line.setdefault(i, set()).add(m.group(1))
+
+    def report(lineno, rule, message):
+        if rule in allowed_rules_by_line.get(lineno, set()):
+            return
+        errors.append("%s:%d: [%s] %s" % (path, lineno, rule, message))
+
+    if path.endswith(".h") and not any(
+        l.startswith("#pragma once") for l in lines
+    ):
+        report(1, "pragma-once", "header is missing #pragma once")
+
+    in_src = path.startswith("src" + os.sep)
+    prev_code = ""
+    for i, raw in enumerate(lines, 1):
+        line = strip_comments_and_strings(raw)
+        if NEW_ARRAY_RE.search(line) and path not in NEW_ARRAY_ALLOWED:
+            report(i, "new-array",
+                   "raw array new/delete; use AlignedFloats or a container")
+        if PTHREAD_RE.search(line):
+            report(i, "raw-pthread",
+                   "raw pthread_ call; use std::thread or ThreadPool")
+        if in_src and ENDL_RE.search(line):
+            report(i, "std-endl", "std::endl flushes; use '\\n'")
+        if (status_stmt_re.match(line)
+                and not CONSUMED_RE.search(line)
+                and not CONTINUATION_TAIL_RE.search(prev_code)):
+            report(i, "discarded-status",
+                   "Status/Result-returning call discarded; handle it, "
+                   "propagate it, or cast to (void)")
+        if line.strip():
+            prev_code = line.rstrip()
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.getcwd()
+    files = collect_files(root)
+    if not files:
+        print("lint.py: no source files found under %s" % root)
+        return 1
+    status_stmt_re = discarded_status_re(
+        harvest_status_functions(root, files) or {"__none__"}
+    )
+    errors = []
+    for path in files:
+        lint_file(root, path, status_stmt_re, errors)
+    for err in errors:
+        print(err)
+    print("lint.py: %d file(s) scanned, %d error(s)" % (len(files), len(errors)))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
