@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "distance/kernels.h"
 #include "distance/sgemm.h"
+#include "faisslike/ivf_flat.h"
 #include "pgstub/bufmgr.h"
 #include "pgstub/heap_table.h"
 #include "pgstub/wal.h"
@@ -66,6 +67,54 @@ void BM_AssignSgemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * c);
 }
 BENCHMARK(BM_AssignSgemm);
+
+void BM_SearchPerQuery(benchmark::State& state) {
+  // Multi-query baseline: one Search call per query, so bucket selection
+  // re-runs the per-pair centroid loop for every query.
+  const size_t d = 64, n = 4096, nq = 64;
+  auto base = RandomVectors(n, d, 10);
+  auto queries = RandomVectors(nq, d, 11);
+  faisslike::IvfFlatOptions opt;
+  opt.num_clusters = 64;
+  faisslike::IvfFlatIndex index(d, opt);
+  if (!index.Build(base.data(), n).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 8;
+  for (auto _ : state) {
+    for (size_t q = 0; q < nq; ++q) {
+      benchmark::DoNotOptimize(index.Search(queries.data() + q * d, params));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * nq);
+}
+BENCHMARK(BM_SearchPerQuery);
+
+void BM_SearchBatched(benchmark::State& state) {
+  // RC#1 applied across queries: the whole block's bucket selection is one
+  // SGEMM-decomposed batch against the codebook.
+  const size_t d = 64, n = 4096, nq = 64;
+  auto base = RandomVectors(n, d, 10);
+  auto queries = RandomVectors(nq, d, 11);
+  faisslike::IvfFlatOptions opt;
+  opt.num_clusters = 64;
+  faisslike::IvfFlatIndex index(d, opt);
+  if (!index.Build(base.data(), n).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.SearchBatch(queries.data(), nq, params));
+  }
+  state.SetItemsProcessed(state.iterations() * nq);
+}
+BENCHMARK(BM_SearchBatched);
 
 void BM_TopKKHeap(benchmark::State& state) {
   // RC#6 fix: bounded heap of k over n candidates.

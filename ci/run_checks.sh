@@ -30,6 +30,14 @@ EXTRA_CTEST_ARGS=("$@")
 run_config build-release -DCMAKE_BUILD_TYPE=Release
 run_config build-asan -DCMAKE_BUILD_TYPE=Debug \
   -DVECDB_SANITIZE="address;undefined"
+
+# Batch-path smoke: exercise the SearchBatch kernels (SGEMM bucket
+# selection + per-worker heap reuse) under ASan/UBSan, where the
+# thread-pool and buffer-reuse bugs would actually trip.
+echo "=== build-asan: batched-search smoke (micro_kernels) ==="
+./build-asan/bench/micro_kernels \
+  --benchmark_filter='BM_Search(PerQuery|Batched)'
+
 run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVECDB_SANITIZE=thread
 

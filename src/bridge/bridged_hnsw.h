@@ -47,6 +47,7 @@ class BridgedHnswIndex final : public VectorIndex {
   /// apples-to-apples comparison against PASE's Fig 13 numbers.
   size_t SizeBytes() const override;
   size_t NumVectors() const override { return graph_.NumVectors(); }
+  uint32_t Dim() const override { return dim_; }
   std::string Describe() const override;
 
  private:

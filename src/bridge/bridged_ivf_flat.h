@@ -53,6 +53,7 @@ class BridgedIvfFlatIndex final : public VectorIndex {
 
   size_t SizeBytes() const override;
   size_t NumVectors() const override { return num_vectors_; }
+  uint32_t Dim() const override { return dim_; }
   std::string Describe() const override;
 
   const float* centroids() const { return centroids_.data(); }

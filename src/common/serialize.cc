@@ -51,6 +51,14 @@ Status BinaryWriter::Close() {
 Result<BinaryReader> BinaryReader::Open(const std::string& path,
                                         uint32_t magic,
                                         uint32_t expected_version) {
+  uint32_t found = 0;
+  return Open(path, magic, expected_version, expected_version, &found);
+}
+
+Result<BinaryReader> BinaryReader::Open(const std::string& path,
+                                        uint32_t magic, uint32_t min_version,
+                                        uint32_t max_version,
+                                        uint32_t* found_version) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   BinaryReader reader(f);
@@ -60,11 +68,13 @@ Result<BinaryReader> BinaryReader::Open(const std::string& path,
   if (got_magic != magic) {
     return Status::Corruption(path + ": bad magic");
   }
-  if (got_version != expected_version) {
-    return Status::NotSupported(path + ": version " +
-                                std::to_string(got_version) +
-                                " != " + std::to_string(expected_version));
+  if (got_version < min_version || got_version > max_version) {
+    return Status::NotSupported(
+        path + ": version " + std::to_string(got_version) + " outside [" +
+        std::to_string(min_version) + ", " + std::to_string(max_version) +
+        "]");
   }
+  *found_version = got_version;
   return reader;
 }
 

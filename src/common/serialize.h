@@ -63,6 +63,13 @@ class BinaryReader {
   static Result<BinaryReader> Open(const std::string& path, uint32_t magic,
                                    uint32_t expected_version);
 
+  /// Opens `path`, accepting any version in [min_version, max_version] and
+  /// reporting which one the file carries via `found_version`. Loaders use
+  /// this to keep reading files written by older format revisions.
+  static Result<BinaryReader> Open(const std::string& path, uint32_t magic,
+                                   uint32_t min_version, uint32_t max_version,
+                                   uint32_t* found_version);
+
   ~BinaryReader();
   BinaryReader(BinaryReader&& other) noexcept;
   BinaryReader& operator=(BinaryReader&&) = delete;

@@ -84,6 +84,33 @@ Result<SearchRun> RunSearchBatch(const VectorIndex& index, const Dataset& ds,
   return run;
 }
 
+Result<SearchRun> RunSearchBatched(const VectorIndex& index, const Dataset& ds,
+                                   const SearchParams& params,
+                                   size_t max_queries) {
+  const size_t nq = max_queries == 0
+                        ? ds.num_queries
+                        : std::min(max_queries, ds.num_queries);
+  if (nq == 0) return Status::InvalidArgument("no queries");
+
+  // Warm-up pass (paper §IV-A) so buffers and caches are hot. Queries are
+  // stored row-major and contiguous, so the prefix is the batch.
+  VECDB_RETURN_NOT_OK(
+      index.SearchBatch(ds.queries.data(), nq, params).status());
+
+  SearchRun run;
+  run.queries = nq;
+  Timer timer;
+  VECDB_ASSIGN_OR_RETURN(std::vector<std::vector<Neighbor>> results,
+                         index.SearchBatch(ds.queries.data(), nq, params));
+  run.avg_millis = timer.ElapsedMillis() / static_cast<double>(nq);
+  if (!ds.ground_truth.empty()) {
+    std::vector<std::vector<int64_t>> gt(ds.ground_truth.begin(),
+                                         ds.ground_truth.begin() + nq);
+    run.recall_at_k = MeanRecallAtK(results, gt, params.k);
+  }
+  return run;
+}
+
 void PrintBreakdown(const std::string& title, const Profiler& profiler,
                     const std::vector<std::string>& labels,
                     int64_t total_nanos) {
@@ -127,10 +154,12 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       }
     } else if (std::strncmp(arg, "--data-dir=", 11) == 0) {
       args.data_dir = arg + 11;
+    } else if (std::strcmp(arg, "--batch") == 0) {
+      args.batch = true;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: --scale= --max-queries= "
-                   "--max-base= --datasets= --data-dir=)\n",
+                   "--max-base= --datasets= --data-dir= --batch)\n",
                    arg);
     }
   }

@@ -47,6 +47,15 @@ Result<SearchRun> RunSearchBatch(const VectorIndex& index, const Dataset& ds,
                                  const SearchParams& params,
                                  size_t max_queries = 0);
 
+/// Like RunSearchBatch, but submits the whole query block through one
+/// VectorIndex::SearchBatch call — the specialized engines' multi-query
+/// execution path (one SGEMM bucket selection per batch, inter-query
+/// parallelism). Indexes without an override fall back to per-query Search
+/// with identical results, so the two runners are directly comparable.
+Result<SearchRun> RunSearchBatched(const VectorIndex& index, const Dataset& ds,
+                                   const SearchParams& params,
+                                   size_t max_queries = 0);
+
 /// Renders a profiler's counters as the paper's breakdown rows: for each
 /// label in `labels` (plus a synthesized "Others" = total - sum), prints
 /// percentage and absolute time against `total_nanos`.
@@ -64,6 +73,9 @@ struct BenchArgs {
   size_t max_base = 0;
   std::vector<std::string> datasets;  ///< empty = all six
   std::string data_dir = "/tmp/vecdb_bench";
+  /// Drive searches through SearchBatch (one call per query block) instead
+  /// of one Search call per query.
+  bool batch = false;
 
   static BenchArgs Parse(int argc, char** argv);
 };

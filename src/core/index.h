@@ -64,11 +64,44 @@ class VectorIndex {
   virtual Result<std::vector<Neighbor>> Search(
       const float* query, const SearchParams& params) const = 0;
 
+  /// Batched top-k search over `nq` queries stored row-major (nq x Dim()),
+  /// returning one ascending result list per query, in query order.
+  ///
+  /// The default runs the single-query Search once per query, so every
+  /// index supports the API with unchanged semantics (this is the
+  /// generalized-engine behavior: PostgreSQL executes multi-query workloads
+  /// one statement at a time). Specialized engines override it to batch
+  /// cross-query work — the faisslike IVF indexes select buckets for the
+  /// whole batch with one SGEMM call (RC#1) and scan buckets with
+  /// inter-query thread-pool parallelism over per-worker k-heaps (RC#3).
+  /// `params.num_threads` is the batch-level worker count for overrides;
+  /// the fallback forwards it to each single-query Search unchanged.
+  virtual Result<std::vector<std::vector<Neighbor>>> SearchBatch(
+      const float* queries, size_t nq, const SearchParams& params) const {
+    if (queries == nullptr && nq > 0) {
+      return Status::InvalidArgument(Describe() +
+                                     ": SearchBatch null queries");
+    }
+    std::vector<std::vector<Neighbor>> out;
+    out.reserve(nq);
+    for (size_t q = 0; q < nq; ++q) {
+      VECDB_ASSIGN_OR_RETURN(
+          std::vector<Neighbor> one,
+          Search(queries + q * static_cast<size_t>(Dim()), params));
+      out.push_back(std::move(one));
+    }
+    return out;
+  }
+
   /// Total bytes the index occupies (paper's "index size" metric).
   virtual size_t SizeBytes() const = 0;
 
   /// Number of indexed vectors.
   virtual size_t NumVectors() const = 0;
+
+  /// Dimensionality of the indexed vectors (the row stride of the query
+  /// block passed to SearchBatch).
+  virtual uint32_t Dim() const = 0;
 
   /// Human-readable one-line description ("faisslike::IVF_FLAT c=1000").
   virtual std::string Describe() const = 0;

@@ -28,6 +28,21 @@ Status FlatIndex::Add(const float* vec, int64_t id) {
   return Status::OK();
 }
 
+Status FlatIndex::Delete(int64_t id) {
+  bool stored = false;
+  for (int64_t existing : ids_) {
+    if (existing == id) {
+      stored = true;
+      break;
+    }
+  }
+  if (!stored) {
+    return Status::NotFound("FlatIndex::Delete: id " + std::to_string(id) +
+                            " not indexed");
+  }
+  return tombstones_.Mark(id);
+}
+
 Result<std::vector<Neighbor>> FlatIndex::Search(
     const float* query, const SearchParams& params) const {
   if (query == nullptr) {
@@ -38,6 +53,7 @@ Result<std::vector<Neighbor>> FlatIndex::Search(
   }
   KMaxHeap heap(params.k);
   for (size_t i = 0; i < ids_.size(); ++i) {
+    if (tombstones_.Contains(ids_[i])) continue;
     const float dist =
         Distance(metric_, query, vectors_.data() + i * dim_, dim_);
     heap.Push(dist, ids_[i]);

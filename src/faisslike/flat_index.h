@@ -6,6 +6,7 @@
 
 #include "common/aligned_buffer.h"
 #include "core/index.h"
+#include "core/tombstones.h"
 #include "distance/metric.h"
 
 namespace vecdb::faisslike {
@@ -22,13 +23,18 @@ class FlatIndex final : public VectorIndex {
   /// Appends one vector with an explicit id.
   Status Add(const float* vec, int64_t id);
 
+  /// Tombstones a row id (filtered from scan results); NotFound if the id
+  /// was never added or is already deleted.
+  Status Delete(int64_t id) override;
+
   Result<std::vector<Neighbor>> Search(const float* query,
                                        const SearchParams& params) const override;
 
   size_t SizeBytes() const override {
     return vectors_.size() * sizeof(float) + ids_.size() * sizeof(int64_t);
   }
-  size_t NumVectors() const override { return ids_.size(); }
+  size_t NumVectors() const override { return ids_.size() - tombstones_.size(); }
+  uint32_t Dim() const override { return dim_; }
   std::string Describe() const override;
 
   uint32_t dim() const { return dim_; }
@@ -39,6 +45,7 @@ class FlatIndex final : public VectorIndex {
   Metric metric_;
   AlignedFloats vectors_;
   std::vector<int64_t> ids_;
+  TombstoneSet tombstones_;
 };
 
 }  // namespace vecdb::faisslike

@@ -50,7 +50,11 @@ class HnswIndex final : public VectorIndex {
   size_t NumVectors() const override {
     return num_nodes_ - tombstones_.size();
   }
+  uint32_t Dim() const override { return dim_; }
   std::string Describe() const override;
+
+  /// Construction options (round-tripped by Save/Load since format v2).
+  const HnswOptions& options() const { return options_; }
 
   /// Persists the built graph (vectors + links) to a file.
   Status Save(const std::string& path) const;

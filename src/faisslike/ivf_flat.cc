@@ -34,7 +34,30 @@ Status IvfFlatIndex::SetCentroids(const float* centroids,
   bucket_ids_.assign(num_clusters, {});
   num_vectors_ = 0;
   tombstones_.Clear();
+  RefreshCentroidNorms();
   return Status::OK();
+}
+
+void IvfFlatIndex::RefreshCentroidNorms() {
+  centroid_norms_.Resize(num_clusters_);
+  RowNormsSqr(centroids_.data(), num_clusters_, dim_, centroid_norms_.data());
+}
+
+bool IvfFlatIndex::ContainsId(int64_t id) const {
+  for (const auto& ids : bucket_ids_) {
+    for (int64_t stored : ids) {
+      if (stored == id) return true;
+    }
+  }
+  return false;
+}
+
+Status IvfFlatIndex::Delete(int64_t id) {
+  if (!ContainsId(id)) {
+    return Status::NotFound("IvfFlat::Delete: id " + std::to_string(id) +
+                            " not indexed");
+  }
+  return tombstones_.Mark(id);
 }
 
 Status IvfFlatIndex::AddBatch(const float* data, size_t n,
@@ -210,6 +233,77 @@ Result<std::vector<Neighbor>> IvfFlatIndex::Search(
   auto merged = MergeTopK(std::move(locals), params.k);
   if (acct != nullptr) acct->serial_nanos += merge_timer.ElapsedNanos();
   return merged;
+}
+
+Result<std::vector<std::vector<Neighbor>>> IvfFlatIndex::SearchBatch(
+    const float* queries, size_t nq, const SearchParams& params) const {
+  if (queries == nullptr && nq > 0) {
+    return Status::InvalidArgument("IvfFlat::SearchBatch: null queries");
+  }
+  if (params.k == 0) {
+    return Status::InvalidArgument("IvfFlat::SearchBatch: k == 0");
+  }
+  if (num_clusters_ == 0) {
+    return Status::InvalidArgument("IvfFlat::SearchBatch: index not built");
+  }
+  std::vector<std::vector<Neighbor>> results(nq);
+  if (nq == 0) return results;
+  const uint32_t nprobe =
+      std::min(params.nprobe == 0 ? 1u : params.nprobe, num_clusters_);
+  const int num_workers = std::max(params.num_threads, 1);
+  ParallelAccounting* acct = params.accounting;
+  if (acct != nullptr &&
+      acct->worker_busy_nanos.size() != static_cast<size_t>(num_workers)) {
+    acct->Reset(num_workers);
+  }
+
+  // RC#1: one SGEMM-decomposed distance batch covers bucket selection for
+  // the whole query block, reusing the cached centroid norms. BLAS-internal
+  // work, so it is accounted as a serial section like the adding phase.
+  std::vector<float> centroid_dists(nq * static_cast<size_t>(num_clusters_));
+  {
+    CpuTimer timer;
+    ProfScope scope(params.profiler, "SelectBucketsSgemm");
+    AllPairsL2Sqr(queries, nq, centroids_.data(), num_clusters_, dim_,
+                  /*x_norms=*/nullptr, centroid_norms_.data(),
+                  centroid_dists.data());
+    if (acct != nullptr) acct->serial_nanos += timer.ElapsedNanos();
+  }
+
+  // Each query's probed buckets are scanned in selection order by a single
+  // worker, so per-query results are bit-identical to single-query Search;
+  // the batch dimension is what parallelizes (RC#3: per-worker k-heaps, no
+  // shared locked heap). One KMaxHeap per worker is recycled across all of
+  // its queries via TakeSorted's reset-to-empty contract.
+  auto run_query = [&](size_t q, KMaxHeap& heap, Profiler* profiler) {
+    const float* row = centroid_dists.data() + q * num_clusters_;
+    KMaxHeap probe_heap(nprobe);
+    for (uint32_t c = 0; c < num_clusters_; ++c) probe_heap.Push(row[c], c);
+    const float* query = queries + q * static_cast<size_t>(dim_);
+    for (const auto& nb : probe_heap.TakeSorted()) {
+      ScanBucket(static_cast<uint32_t>(nb.id), query, heap, profiler);
+    }
+    results[q] = heap.TakeSorted();
+  };
+
+  if (params.num_threads <= 1) {
+    CpuTimer timer;
+    KMaxHeap heap(params.k);
+    for (size_t q = 0; q < nq; ++q) run_query(q, heap, params.profiler);
+    if (acct != nullptr) acct->worker_busy_nanos[0] += timer.ElapsedNanos();
+    return results;
+  }
+
+  ThreadPool pool(params.num_threads);
+  pool.ParallelFor(nq, [&](int worker, size_t begin, size_t end) {
+    CpuTimer timer;
+    KMaxHeap heap(params.k);
+    for (size_t q = begin; q < end; ++q) run_query(q, heap, nullptr);
+    if (acct != nullptr) {
+      acct->worker_busy_nanos[worker] += timer.ElapsedNanos();
+    }
+  });
+  return results;
 }
 
 void IvfFlatIndex::CheckInvariants() const {

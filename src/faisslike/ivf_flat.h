@@ -52,16 +52,27 @@ class IvfFlatIndex final : public VectorIndex {
   /// Incremental insert (PASE's aminsert counterpart).
   Status Insert(const float* vec) override { return AddBatch(vec, 1); }
 
-  /// Tombstones a row id (filtered at search, reclaimed on rebuild).
-  Status Delete(int64_t id) override { return tombstones_.Mark(id); }
+  /// Tombstones a row id (filtered at search, reclaimed on rebuild);
+  /// NotFound if the id was never indexed or is already deleted.
+  Status Delete(int64_t id) override;
 
   Result<std::vector<Neighbor>> Search(const float* query,
                                        const SearchParams& params) const override;
+
+  /// Batched multi-query search: bucket selection for all `nq` queries via
+  /// ONE SGEMM-decomposed distance batch against the codebook (RC#1,
+  /// reusing the precomputed centroid norms), then inter-query thread-pool
+  /// parallelism with one reused KMaxHeap per worker (RC#3). Per-query
+  /// results are bit-identical to single-query Search.
+  Result<std::vector<std::vector<Neighbor>>> SearchBatch(
+      const float* queries, size_t nq,
+      const SearchParams& params) const override;
 
   size_t SizeBytes() const override;
   size_t NumVectors() const override {
     return num_vectors_ - tombstones_.size();
   }
+  uint32_t Dim() const override { return dim_; }
   std::string Describe() const override;
 
   /// Persists the built index (codebook + buckets) to a file.
@@ -77,6 +88,8 @@ class IvfFlatIndex final : public VectorIndex {
 
   uint32_t dim() const { return dim_; }
   uint32_t num_clusters() const { return num_clusters_; }
+  /// Construction options (round-tripped by Save/Load since format v2).
+  const IvfFlatOptions& options() const { return options_; }
   /// Row-major codebook (num_clusters * dim), valid after Train.
   const float* centroids() const { return centroids_.data(); }
   /// Ids in one bucket (testing/diagnostics).
@@ -94,10 +107,18 @@ class IvfFlatIndex final : public VectorIndex {
   std::vector<uint32_t> SelectBuckets(const float* query,
                                       uint32_t nprobe) const;
 
+  /// True if `id` is currently stored in some bucket (live or tombstoned).
+  bool ContainsId(int64_t id) const;
+
+  /// Recomputes the cached squared centroid norms (the "store those items
+  /// in a table" half of the SGEMM decomposition, amortized across batches).
+  void RefreshCentroidNorms();
+
   uint32_t dim_;
   IvfFlatOptions options_;
   uint32_t num_clusters_ = 0;
   AlignedFloats centroids_;
+  AlignedFloats centroid_norms_;  ///< per-centroid squared L2 norms
   std::vector<AlignedFloats> bucket_vecs_;
   std::vector<std::vector<int64_t>> bucket_ids_;
   size_t num_vectors_ = 0;

@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "common/thread_pool.h"
 #include "distance/kernels.h"
+#include "distance/sgemm.h"
 
 namespace vecdb::faisslike {
 
@@ -24,6 +25,7 @@ Status IvfPqIndex::Train(const float* data, size_t n) {
   centroids_.Resize(0);
   centroids_.Append(model.centroids.data(),
                     static_cast<size_t>(num_clusters_) * dim_);
+  RefreshCentroidNorms();
 
   // PQ trains on its own sample (same sr) of the base data.
   size_t sample_n = std::max<size_t>(
@@ -151,6 +153,28 @@ Status IvfPqIndex::Build(const float* data, size_t n) {
   return Status::OK();
 }
 
+void IvfPqIndex::RefreshCentroidNorms() {
+  centroid_norms_.Resize(num_clusters_);
+  RowNormsSqr(centroids_.data(), num_clusters_, dim_, centroid_norms_.data());
+}
+
+bool IvfPqIndex::ContainsId(int64_t id) const {
+  for (const auto& ids : bucket_ids_) {
+    for (int64_t stored : ids) {
+      if (stored == id) return true;
+    }
+  }
+  return false;
+}
+
+Status IvfPqIndex::Delete(int64_t id) {
+  if (!ContainsId(id)) {
+    return Status::NotFound("IvfPq::Delete: id " + std::to_string(id) +
+                            " not indexed");
+  }
+  return tombstones_.Mark(id);
+}
+
 std::vector<uint32_t> IvfPqIndex::SelectBuckets(const float* query,
                                                 uint32_t nprobe) const {
   KMaxHeap heap(nprobe);
@@ -269,6 +293,104 @@ Result<std::vector<Neighbor>> IvfPqIndex::Search(
   auto merged = MergeTopK(std::move(locals), fetch_k);
   if (acct != nullptr) acct->serial_nanos += merge_timer.ElapsedNanos();
   return refine(std::move(merged));
+}
+
+Result<std::vector<std::vector<Neighbor>>> IvfPqIndex::SearchBatch(
+    const float* queries, size_t nq, const SearchParams& params) const {
+  if (queries == nullptr && nq > 0) {
+    return Status::InvalidArgument("IvfPq::SearchBatch: null queries");
+  }
+  if (params.k == 0) {
+    return Status::InvalidArgument("IvfPq::SearchBatch: k == 0");
+  }
+  if (!pq_) {
+    return Status::InvalidArgument("IvfPq::SearchBatch: index not built");
+  }
+  std::vector<std::vector<Neighbor>> results(nq);
+  if (nq == 0) return results;
+  const uint32_t nprobe =
+      std::min(params.nprobe == 0 ? 1u : params.nprobe, num_clusters_);
+  const int num_workers = std::max(params.num_threads, 1);
+  ParallelAccounting* acct = params.accounting;
+  if (acct != nullptr &&
+      acct->worker_busy_nanos.size() != static_cast<size_t>(num_workers)) {
+    acct->Reset(num_workers);
+  }
+
+  // RC#1: coarse bucket selection for the whole batch in one
+  // SGEMM-decomposed call, reusing the cached centroid norms.
+  std::vector<float> centroid_dists(nq * static_cast<size_t>(num_clusters_));
+  {
+    CpuTimer timer;
+    ProfScope scope(params.profiler, "SelectBucketsSgemm");
+    AllPairsL2Sqr(queries, nq, centroids_.data(), num_clusters_, dim_,
+                  /*x_norms=*/nullptr, centroid_norms_.data(),
+                  centroid_dists.data());
+    if (acct != nullptr) acct->serial_nanos += timer.ElapsedNanos();
+  }
+
+  const size_t fetch_k = options_.refine_factor > 0
+                             ? params.k * options_.refine_factor
+                             : params.k;
+  // One ADC table buffer and one k-heap per worker, recycled across all of
+  // that worker's queries; scans run in per-query selection order, keeping
+  // results identical to single-query Search.
+  auto run_query = [&](size_t q, KMaxHeap& heap, std::vector<float>& table,
+                       Profiler* profiler) {
+    const float* query = queries + q * static_cast<size_t>(dim_);
+    const float* row = centroid_dists.data() + q * num_clusters_;
+    KMaxHeap probe_heap(nprobe);
+    for (uint32_t c = 0; c < num_clusters_; ++c) probe_heap.Push(row[c], c);
+    {
+      ProfScope scope(profiler, "PrecomputedTable");
+      if (options_.optimized_table) {
+        pq_->ComputeDistanceTableOptimized(query, table.data());
+      } else {
+        pq_->ComputeDistanceTableNaive(query, table.data());
+      }
+    }
+    for (const auto& nb : probe_heap.TakeSorted()) {
+      ScanBucket(static_cast<uint32_t>(nb.id), table.data(), heap, profiler);
+    }
+    std::vector<Neighbor> adc = heap.TakeSorted();
+    if (options_.refine_factor == 0) {
+      results[q] = std::move(adc);
+      return;
+    }
+    ProfScope scope(profiler, "refine");
+    KMaxHeap exact(params.k);
+    for (const auto& nb : adc) {
+      auto it = refine_pos_.find(nb.id);
+      if (it == refine_pos_.end()) continue;
+      exact.Push(
+          L2Sqr(query, refine_vectors_.data() + it->second * dim_, dim_),
+          nb.id);
+    }
+    results[q] = exact.TakeSorted();
+  };
+
+  if (params.num_threads <= 1) {
+    CpuTimer timer;
+    KMaxHeap heap(fetch_k);
+    std::vector<float> table(pq_->table_size());
+    for (size_t q = 0; q < nq; ++q) {
+      run_query(q, heap, table, params.profiler);
+    }
+    if (acct != nullptr) acct->worker_busy_nanos[0] += timer.ElapsedNanos();
+    return results;
+  }
+
+  ThreadPool pool(params.num_threads);
+  pool.ParallelFor(nq, [&](int worker, size_t begin, size_t end) {
+    CpuTimer timer;
+    KMaxHeap heap(fetch_k);
+    std::vector<float> table(pq_->table_size());
+    for (size_t q = begin; q < end; ++q) run_query(q, heap, table, nullptr);
+    if (acct != nullptr) {
+      acct->worker_busy_nanos[worker] += timer.ElapsedNanos();
+    }
+  });
+  return results;
 }
 
 size_t IvfPqIndex::SizeBytes() const {

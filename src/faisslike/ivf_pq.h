@@ -52,16 +52,26 @@ class IvfPqIndex final : public VectorIndex {
   /// Incremental insert (PASE's aminsert counterpart).
   Status Insert(const float* vec) override { return AddBatch(vec, 1); }
 
-  /// Tombstones a row id (filtered at search, reclaimed on rebuild).
-  Status Delete(int64_t id) override { return tombstones_.Mark(id); }
+  /// Tombstones a row id (filtered at search, reclaimed on rebuild);
+  /// NotFound if the id was never indexed or is already deleted.
+  Status Delete(int64_t id) override;
 
   Result<std::vector<Neighbor>> Search(const float* query,
                                        const SearchParams& params) const override;
+
+  /// Batched multi-query search: one SGEMM-decomposed distance batch against
+  /// the coarse codebook selects buckets for all `nq` queries (RC#1), then
+  /// per-query ADC tables and bucket scans run with inter-query thread-pool
+  /// parallelism over per-worker k-heaps (RC#3).
+  Result<std::vector<std::vector<Neighbor>>> SearchBatch(
+      const float* queries, size_t nq,
+      const SearchParams& params) const override;
 
   size_t SizeBytes() const override;
   size_t NumVectors() const override {
     return num_vectors_ - tombstones_.size();
   }
+  uint32_t Dim() const override { return dim_; }
   std::string Describe() const override;
 
   /// Persists the built index (codebooks + coded buckets) to a file.
@@ -72,6 +82,8 @@ class IvfPqIndex final : public VectorIndex {
 
   const ProductQuantizer* pq() const { return pq_ ? &*pq_ : nullptr; }
   uint32_t num_clusters() const { return num_clusters_; }
+  /// Construction options (round-tripped by Save/Load since format v2).
+  const IvfPqOptions& options() const { return options_; }
 
  private:
   void ScanBucket(uint32_t bucket, const float* table, KMaxHeap& heap,
@@ -79,10 +91,18 @@ class IvfPqIndex final : public VectorIndex {
   std::vector<uint32_t> SelectBuckets(const float* query,
                                       uint32_t nprobe) const;
 
+  /// True if `id` is currently stored in some bucket (live or tombstoned).
+  bool ContainsId(int64_t id) const;
+
+  /// Recomputes the cached squared coarse-centroid norms used by the
+  /// batched SGEMM bucket selection.
+  void RefreshCentroidNorms();
+
   uint32_t dim_;
   IvfPqOptions options_;
   uint32_t num_clusters_ = 0;
   AlignedFloats centroids_;
+  AlignedFloats centroid_norms_;  ///< per-centroid squared L2 norms
   std::optional<ProductQuantizer> pq_;
   std::vector<std::vector<uint8_t>> bucket_codes_;
   std::vector<std::vector<int64_t>> bucket_ids_;

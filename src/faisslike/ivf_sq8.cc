@@ -30,6 +30,23 @@ Status IvfSq8Index::Train(const float* data, size_t n) {
   return Status::OK();
 }
 
+bool IvfSq8Index::ContainsId(int64_t id) const {
+  for (const auto& ids : bucket_ids_) {
+    for (int64_t stored : ids) {
+      if (stored == id) return true;
+    }
+  }
+  return false;
+}
+
+Status IvfSq8Index::Delete(int64_t id) {
+  if (!ContainsId(id)) {
+    return Status::NotFound("IvfSq8::Delete: id " + std::to_string(id) +
+                            " not indexed");
+  }
+  return tombstones_.Mark(id);
+}
+
 Status IvfSq8Index::AddBatch(const float* data, size_t n,
                              const int64_t* ids) {
   if (!sq_) return Status::InvalidArgument("IvfSq8::AddBatch: not trained");

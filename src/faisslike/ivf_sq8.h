@@ -44,8 +44,9 @@ class IvfSq8Index final : public VectorIndex {
   /// Incremental insert (PASE's aminsert counterpart).
   Status Insert(const float* vec) override { return AddBatch(vec, 1); }
 
-  /// Tombstones a row id (filtered at search, reclaimed on rebuild).
-  Status Delete(int64_t id) override { return tombstones_.Mark(id); }
+  /// Tombstones a row id (filtered at search, reclaimed on rebuild);
+  /// NotFound if the id was never indexed or is already deleted.
+  Status Delete(int64_t id) override;
 
   Result<std::vector<Neighbor>> Search(const float* query,
                                        const SearchParams& params) const override;
@@ -54,6 +55,7 @@ class IvfSq8Index final : public VectorIndex {
   size_t NumVectors() const override {
     return num_vectors_ - tombstones_.size();
   }
+  uint32_t Dim() const override { return dim_; }
   std::string Describe() const override;
 
   uint32_t num_clusters() const { return num_clusters_; }
@@ -61,6 +63,9 @@ class IvfSq8Index final : public VectorIndex {
  private:
   std::vector<uint32_t> SelectBuckets(const float* query,
                                       uint32_t nprobe) const;
+
+  /// True if `id` is currently stored in some bucket (live or tombstoned).
+  bool ContainsId(int64_t id) const;
 
   uint32_t dim_;
   IvfSq8Options options_;

@@ -13,7 +13,12 @@ namespace {
 constexpr uint32_t kIvfFlatMagic = 0x56495646;  // "VIVF"
 constexpr uint32_t kIvfPqMagic = 0x56505158;    // "VPQX"
 constexpr uint32_t kHnswMagic = 0x56484e57;     // "VHNW"
-constexpr uint32_t kFormatVersion = 1;
+// v1 carried only the options needed to search (use_sgemm /
+// optimized_table); v2 serializes the full build-options block so a loaded
+// index re-trains and re-inserts exactly like the original, and adds the
+// IVF_PQ refinement vectors that v1 silently dropped. Loaders accept both.
+constexpr uint32_t kMinFormatVersion = 1;
+constexpr uint32_t kFormatVersion = 2;
 }  // namespace
 
 Status IvfFlatIndex::Save(const std::string& path) const {
@@ -31,6 +36,12 @@ Status IvfFlatIndex::Save(const std::string& path) const {
   VECDB_RETURN_NOT_OK(writer.Write(num_clusters_));
   VECDB_RETURN_NOT_OK(writer.Write<uint64_t>(num_vectors_));
   VECDB_RETURN_NOT_OK(writer.Write(options_.use_sgemm));
+  // v2: the rest of the build-options block.
+  VECDB_RETURN_NOT_OK(writer.Write(options_.num_clusters));
+  VECDB_RETURN_NOT_OK(writer.Write(options_.sample_ratio));
+  VECDB_RETURN_NOT_OK(writer.Write<int32_t>(options_.train_iterations));
+  VECDB_RETURN_NOT_OK(writer.Write(options_.seed));
+  VECDB_RETURN_NOT_OK(writer.Write<int32_t>(options_.num_threads));
   VECDB_RETURN_NOT_OK(writer.WriteFloats(centroids_));
   for (uint32_t b = 0; b < num_clusters_; ++b) {
     VECDB_RETURN_NOT_OK(writer.WriteFloats(bucket_vecs_[b]));
@@ -40,9 +51,11 @@ Status IvfFlatIndex::Save(const std::string& path) const {
 }
 
 Result<IvfFlatIndex> IvfFlatIndex::Load(const std::string& path) {
-  VECDB_ASSIGN_OR_RETURN(BinaryReader reader,
-                         BinaryReader::Open(path, kIvfFlatMagic,
-                                            kFormatVersion));
+  uint32_t version = 0;
+  VECDB_ASSIGN_OR_RETURN(
+      BinaryReader reader,
+      BinaryReader::Open(path, kIvfFlatMagic, kMinFormatVersion,
+                         kFormatVersion, &version));
   uint32_t dim = 0, clusters = 0;
   uint64_t num_vectors = 0;
   bool use_sgemm = true;
@@ -56,6 +69,16 @@ Result<IvfFlatIndex> IvfFlatIndex::Load(const std::string& path) {
   IvfFlatOptions options;
   options.num_clusters = clusters;
   options.use_sgemm = use_sgemm;
+  if (version >= 2) {
+    int32_t train_iterations = 0, num_threads = 0;
+    VECDB_RETURN_NOT_OK(reader.Read(&options.num_clusters));
+    VECDB_RETURN_NOT_OK(reader.Read(&options.sample_ratio));
+    VECDB_RETURN_NOT_OK(reader.Read(&train_iterations));
+    VECDB_RETURN_NOT_OK(reader.Read(&options.seed));
+    VECDB_RETURN_NOT_OK(reader.Read(&num_threads));
+    options.train_iterations = train_iterations;
+    options.num_threads = num_threads;
+  }
   IvfFlatIndex index(dim, options);
   index.num_clusters_ = clusters;
   index.num_vectors_ = num_vectors;
@@ -78,6 +101,7 @@ Result<IvfFlatIndex> IvfFlatIndex::Load(const std::string& path) {
   if (total != num_vectors) {
     return Status::Corruption("IvfFlat::Load: vector count mismatch");
   }
+  index.RefreshCentroidNorms();
   return index;
 }
 
@@ -94,19 +118,41 @@ Status IvfPqIndex::Save(const std::string& path) const {
   VECDB_RETURN_NOT_OK(writer.Write(num_clusters_));
   VECDB_RETURN_NOT_OK(writer.Write<uint64_t>(num_vectors_));
   VECDB_RETURN_NOT_OK(writer.Write(options_.optimized_table));
+  // v2: the rest of the build-options block.
+  VECDB_RETURN_NOT_OK(writer.Write(options_.num_clusters));
+  VECDB_RETURN_NOT_OK(writer.Write(options_.pq_m));
+  VECDB_RETURN_NOT_OK(writer.Write(options_.pq_codes));
+  VECDB_RETURN_NOT_OK(writer.Write(options_.sample_ratio));
+  VECDB_RETURN_NOT_OK(writer.Write<int32_t>(options_.train_iterations));
+  VECDB_RETURN_NOT_OK(writer.Write(options_.use_sgemm));
+  VECDB_RETURN_NOT_OK(writer.Write(options_.refine_factor));
+  VECDB_RETURN_NOT_OK(writer.Write(options_.seed));
+  VECDB_RETURN_NOT_OK(writer.Write<int32_t>(options_.num_threads));
   VECDB_RETURN_NOT_OK(writer.WriteFloats(centroids_));
   VECDB_RETURN_NOT_OK(pq_->Serialize(&writer));
   for (uint32_t b = 0; b < num_clusters_; ++b) {
     VECDB_RETURN_NOT_OK(writer.WriteVector(bucket_codes_[b]));
     VECDB_RETURN_NOT_OK(writer.WriteVector(bucket_ids_[b]));
   }
+  // v2: the refinement sidecar (raw vectors + row->id mapping), which v1
+  // dropped — a refining index reloaded from a v1 file silently lost its
+  // exact-rescore data.
+  if (options_.refine_factor > 0) {
+    const size_t rows = refine_vectors_.size() / dim_;
+    std::vector<int64_t> row_ids(rows);
+    for (const auto& [id, row] : refine_pos_) row_ids[row] = id;
+    VECDB_RETURN_NOT_OK(writer.WriteFloats(refine_vectors_));
+    VECDB_RETURN_NOT_OK(writer.WriteVector(row_ids));
+  }
   return writer.Close();
 }
 
 Result<IvfPqIndex> IvfPqIndex::Load(const std::string& path) {
+  uint32_t version = 0;
   VECDB_ASSIGN_OR_RETURN(
       BinaryReader reader,
-      BinaryReader::Open(path, kIvfPqMagic, kFormatVersion));
+      BinaryReader::Open(path, kIvfPqMagic, kMinFormatVersion,
+                         kFormatVersion, &version));
   uint32_t dim = 0, clusters = 0;
   uint64_t num_vectors = 0;
   bool optimized_table = true;
@@ -120,6 +166,20 @@ Result<IvfPqIndex> IvfPqIndex::Load(const std::string& path) {
   IvfPqOptions options;
   options.num_clusters = clusters;
   options.optimized_table = optimized_table;
+  if (version >= 2) {
+    int32_t train_iterations = 0, num_threads = 0;
+    VECDB_RETURN_NOT_OK(reader.Read(&options.num_clusters));
+    VECDB_RETURN_NOT_OK(reader.Read(&options.pq_m));
+    VECDB_RETURN_NOT_OK(reader.Read(&options.pq_codes));
+    VECDB_RETURN_NOT_OK(reader.Read(&options.sample_ratio));
+    VECDB_RETURN_NOT_OK(reader.Read(&train_iterations));
+    VECDB_RETURN_NOT_OK(reader.Read(&options.use_sgemm));
+    VECDB_RETURN_NOT_OK(reader.Read(&options.refine_factor));
+    VECDB_RETURN_NOT_OK(reader.Read(&options.seed));
+    VECDB_RETURN_NOT_OK(reader.Read(&num_threads));
+    options.train_iterations = train_iterations;
+    options.num_threads = num_threads;
+  }
   IvfPqIndex index(dim, options);
   index.num_clusters_ = clusters;
   index.num_vectors_ = num_vectors;
@@ -151,6 +211,19 @@ Result<IvfPqIndex> IvfPqIndex::Load(const std::string& path) {
   if (total != num_vectors) {
     return Status::Corruption("IvfPq::Load: vector count mismatch");
   }
+  if (version >= 2 && index.options_.refine_factor > 0) {
+    std::vector<int64_t> row_ids;
+    VECDB_RETURN_NOT_OK(reader.ReadFloats(&index.refine_vectors_));
+    VECDB_RETURN_NOT_OK(reader.ReadVector(&row_ids));
+    if (index.refine_vectors_.size() != row_ids.size() * dim) {
+      return Status::Corruption("IvfPq::Load: refine sidecar mismatch");
+    }
+    index.refine_pos_.reserve(row_ids.size());
+    for (size_t row = 0; row < row_ids.size(); ++row) {
+      index.refine_pos_[row_ids[row]] = row;
+    }
+  }
+  index.RefreshCentroidNorms();
   return index;
 }
 
@@ -168,6 +241,8 @@ Status HnswIndex::Save(const std::string& path) const {
   VECDB_RETURN_NOT_OK(writer.Write(dim_));
   VECDB_RETURN_NOT_OK(writer.Write(options_.bnn));
   VECDB_RETURN_NOT_OK(writer.Write(options_.efb));
+  // v2: the rest of the build-options block.
+  VECDB_RETURN_NOT_OK(writer.Write(options_.seed));
   VECDB_RETURN_NOT_OK(writer.Write(num_nodes_));
   VECDB_RETURN_NOT_OK(writer.Write(entry_point_));
   VECDB_RETURN_NOT_OK(writer.Write(max_level_));
@@ -181,14 +256,19 @@ Status HnswIndex::Save(const std::string& path) const {
 }
 
 Result<HnswIndex> HnswIndex::Load(const std::string& path) {
+  uint32_t version = 0;
   VECDB_ASSIGN_OR_RETURN(
       BinaryReader reader,
-      BinaryReader::Open(path, kHnswMagic, kFormatVersion));
+      BinaryReader::Open(path, kHnswMagic, kMinFormatVersion,
+                         kFormatVersion, &version));
   uint32_t dim = 0;
   HnswOptions options;
   VECDB_RETURN_NOT_OK(reader.Read(&dim));
   VECDB_RETURN_NOT_OK(reader.Read(&options.bnn));
   VECDB_RETURN_NOT_OK(reader.Read(&options.efb));
+  if (version >= 2) {
+    VECDB_RETURN_NOT_OK(reader.Read(&options.seed));
+  }
   if (dim == 0 || options.bnn == 0) {
     return Status::Corruption("Hnsw::Load: bad geometry");
   }

@@ -51,6 +51,7 @@ class PaseHnswIndex final : public VectorIndex {
   size_t NumVectors() const override {
     return num_vectors_ - tombstones_.size();
   }
+  uint32_t Dim() const override { return dim_; }
   std::string Describe() const override;
 
   int max_level() const { return max_level_; }

@@ -229,6 +229,41 @@ Status PaseIvfFlatIndex::Vacuum() {
   return Status::OK();
 }
 
+Result<bool> PaseIvfFlatIndex::ContainsRow(int64_t row_id) const {
+  for (uint32_t b = 0; b < num_clusters_; ++b) {
+    pgstub::BlockId block = chains_[b].head;
+    while (block != pgstub::kInvalidBlock) {
+      VECDB_ASSIGN_OR_RETURN(pgstub::BufferHandle handle,
+                             env_.bufmgr->Pin(data_rel_, block));
+      pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+      const uint16_t count = page.ItemCount();
+      for (pgstub::OffsetNumber slot = 1; slot <= count; ++slot) {
+        const auto* header =
+            reinterpret_cast<const PaseVectorTuple*>(page.GetItem(slot));
+        if (header->row_id == row_id) {
+          env_.bufmgr->Unpin(handle, false);
+          return true;
+        }
+      }
+      block = reinterpret_cast<const DataPageSpecial*>(page.Special())->next;
+      env_.bufmgr->Unpin(handle, false);
+    }
+  }
+  return false;
+}
+
+Status PaseIvfFlatIndex::Delete(int64_t id) {
+  if (num_clusters_ == 0) {
+    return Status::InvalidArgument("PaseIvfFlat: index not built");
+  }
+  VECDB_ASSIGN_OR_RETURN(bool stored, ContainsRow(id));
+  if (!stored) {
+    return Status::NotFound("PaseIvfFlat::Delete: row " + std::to_string(id) +
+                            " not indexed");
+  }
+  return tombstones_.Mark(id);
+}
+
 Status PaseIvfFlatIndex::Insert(const float* vec) {
   if (num_clusters_ == 0) {
     return Status::InvalidArgument("PaseIvfFlat: index not built");

@@ -45,7 +45,9 @@ class PaseIvfFlatIndex final : public VectorIndex {
   Status Insert(const float* vec) override;
 
   /// amdelete: tombstones a row (PASE marks dead tuples; VACUUM reclaims).
-  Status Delete(int64_t id) override { return tombstones_.Mark(id); }
+  /// NotFound if the row id is not stored in any page chain — which
+  /// includes ids reclaimed by a previous Vacuum.
+  Status Delete(int64_t id) override;
 
   /// VACUUM: rewrites the bucket chains without dead tuples, reclaiming
   /// pages and clearing the tombstone set.
@@ -60,6 +62,7 @@ class PaseIvfFlatIndex final : public VectorIndex {
   size_t NumVectors() const override {
     return num_vectors_ - tombstones_.size();
   }
+  uint32_t Dim() const override { return dim_; }
   std::string Describe() const override;
 
   /// Aborts if index structure is inconsistent: chain count differing from
@@ -96,6 +99,10 @@ class PaseIvfFlatIndex final : public VectorIndex {
   Status ScanBucket(uint32_t bucket, const float* query, NHeap* collector,
                     std::mutex* mu, int64_t* serial_nanos,
                     Profiler* profiler) const;
+
+  /// Walks every page chain looking for a stored tuple with `row_id`
+  /// (live or tombstoned). Vacuumed rows are gone from the chains.
+  Result<bool> ContainsRow(int64_t row_id) const;
 
   PaseEnv env_;
   uint32_t dim_;

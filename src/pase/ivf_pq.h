@@ -42,7 +42,15 @@ class PaseIvfPqIndex final : public VectorIndex {
   Status Insert(const float* vec) override;
 
   /// amdelete: tombstones a row (PASE marks dead tuples; VACUUM reclaims).
-  Status Delete(int64_t id) override { return tombstones_.Mark(id); }
+  /// Row ids are assigned contiguously from 0, so anything outside
+  /// [0, num_vectors_) was never indexed and reports NotFound.
+  Status Delete(int64_t id) override {
+    if (id < 0 || id >= static_cast<int64_t>(num_vectors_)) {
+      return Status::NotFound("PaseIvfPq::Delete: row " + std::to_string(id) +
+                              " not indexed");
+    }
+    return tombstones_.Mark(id);
+  }
 
   Result<std::vector<Neighbor>> Search(const float* query,
                                        const SearchParams& params) const override;
@@ -51,6 +59,7 @@ class PaseIvfPqIndex final : public VectorIndex {
   size_t NumVectors() const override {
     return num_vectors_ - tombstones_.size();
   }
+  uint32_t Dim() const override { return dim_; }
   std::string Describe() const override;
 
   uint32_t num_clusters() const { return num_clusters_; }

@@ -39,7 +39,15 @@ class PaseIvfSq8Index final : public VectorIndex {
   Status Insert(const float* vec) override;
 
   /// amdelete: tombstones a row (PASE marks dead tuples; VACUUM reclaims).
-  Status Delete(int64_t id) override { return tombstones_.Mark(id); }
+  /// Row ids are assigned contiguously from 0, so anything outside
+  /// [0, num_vectors_) was never indexed and reports NotFound.
+  Status Delete(int64_t id) override {
+    if (id < 0 || id >= static_cast<int64_t>(num_vectors_)) {
+      return Status::NotFound("PaseIvfSq8::Delete: row " + std::to_string(id) +
+                              " not indexed");
+    }
+    return tombstones_.Mark(id);
+  }
 
   Result<std::vector<Neighbor>> Search(const float* query,
                                        const SearchParams& params) const override;
@@ -48,6 +56,7 @@ class PaseIvfSq8Index final : public VectorIndex {
   size_t NumVectors() const override {
     return num_vectors_ - tombstones_.size();
   }
+  uint32_t Dim() const override { return dim_; }
   std::string Describe() const override;
 
  private:

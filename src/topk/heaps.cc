@@ -17,6 +17,7 @@ std::vector<Neighbor> NHeap::PopK(size_t k) {
     --end;
     out.push_back(*end);
   }
+  items_.clear();
   return out;
 }
 

@@ -47,10 +47,16 @@ class KMaxHeap {
   bool full() const { return heap_.size() == k_; }
 
   /// Extracts the retained candidates sorted ascending by distance,
-  /// leaving the heap empty.
+  /// leaving the heap empty and ready for reuse at the same capacity
+  /// (batched search reuses one per-worker heap across many queries).
   std::vector<Neighbor> TakeSorted() {
     std::sort(heap_.begin(), heap_.end());
-    return std::move(heap_);
+    std::vector<Neighbor> out = std::move(heap_);
+    // Moved-from vectors are valid-but-unspecified; put heap_ back into the
+    // documented "empty" state explicitly instead of relying on that.
+    heap_.clear();
+    heap_.reserve(k_);
+    return out;
   }
 
   /// Read-only view of the unordered heap contents.
@@ -74,7 +80,9 @@ class NHeap {
   size_t size() const { return items_.size(); }
 
   /// Builds a heap over all n items and pops the k smallest, as PASE's
-  /// executor does: k sift-downs over an n-sized heap.
+  /// executor does: k sift-downs over an n-sized heap. Consumes the
+  /// collected candidates: the collector is empty afterwards, so a reused
+  /// instance never double-counts a previous query's candidates.
   std::vector<Neighbor> PopK(size_t k);
 
  private:

@@ -5,12 +5,14 @@
 #include <memory>
 
 #include "datasets/synthetic.h"
+#include "faisslike/flat_index.h"
 #include "faisslike/hnsw.h"
 #include "faisslike/ivf_flat.h"
 #include "faisslike/ivf_pq.h"
 #include "faisslike/ivf_sq8.h"
 #include "pase/hnsw.h"
 #include "pase/ivf_flat.h"
+#include "pase/ivf_pq.h"
 #include "pase/ivf_sq8.h"
 
 namespace vecdb {
@@ -51,6 +53,15 @@ void CheckDelete(VectorIndex& index, const Dataset& ds,
 
   // Double delete fails.
   EXPECT_FALSE(index.Delete(static_cast<int64_t>(probe)).ok());
+
+  // Never-inserted ids are NotFound and must not perturb the vector count.
+  // (TombstoneSet::Mark accepts any id, so an unvalidated Delete used to
+  // silently shrink NumVectors() — and wrap size_t below zero once more
+  // bogus ids than live rows were "deleted".)
+  const size_t count_after = index.NumVectors();
+  EXPECT_TRUE(index.Delete(987654321).IsNotFound()) << index.Describe();
+  EXPECT_TRUE(index.Delete(-7).IsNotFound()) << index.Describe();
+  EXPECT_EQ(index.NumVectors(), count_after) << index.Describe();
 }
 
 TEST(DeleteTest, FaissIvfFlat) {
@@ -64,6 +75,52 @@ TEST(DeleteTest, FaissIvfFlat) {
   params.k = 10;
   params.nprobe = 8;
   CheckDelete(index, ds, params);
+}
+
+TEST(DeleteTest, FaissIvfPq) {
+  auto ds = TestData();
+  faisslike::IvfPqOptions opt;
+  opt.num_clusters = 8;
+  opt.pq_m = 4;
+  opt.pq_codes = 16;
+  opt.sample_ratio = 1.0;
+  faisslike::IvfPqIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  // ADC distances are approximate, so the exact-match probe of CheckDelete
+  // is not guaranteed to rank; exercise the accounting contract directly.
+  const size_t count_before = index.NumVectors();
+  EXPECT_TRUE(index.Delete(987654321).IsNotFound());
+  EXPECT_TRUE(index.Delete(-7).IsNotFound());
+  EXPECT_EQ(index.NumVectors(), count_before);
+  ASSERT_TRUE(index.Delete(123).ok());
+  EXPECT_EQ(index.NumVectors(), count_before - 1);
+  EXPECT_TRUE(index.Delete(123).IsNotFound());
+}
+
+TEST(DeleteTest, FaissFlat) {
+  auto ds = TestData();
+  faisslike::FlatIndex index(ds.dim);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = 10;
+  CheckDelete(index, ds, params);
+}
+
+TEST(DeleteTest, NeverInsertedIdDoesNotUnderflowCount) {
+  auto ds = TestData();
+  faisslike::IvfFlatOptions opt;
+  opt.num_clusters = 8;
+  opt.sample_ratio = 1.0;
+  faisslike::IvfFlatIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  // The regression scenario: more bogus deletes than live rows. Before id
+  // validation, each Mark shrank NumVectors(); the count wrapped below
+  // zero once the tombstone set outgrew the row count.
+  for (int64_t bogus = 1000000; bogus < 1000000 + 600; ++bogus) {
+    EXPECT_TRUE(index.Delete(bogus).IsNotFound());
+  }
+  EXPECT_EQ(index.NumVectors(), ds.num_base);
+  index.CheckInvariants();
 }
 
 TEST(DeleteTest, FaissIvfSq8) {
@@ -141,6 +198,54 @@ TEST_F(PaseDeleteTest, PaseIvfFlat) {
   params.k = 10;
   params.nprobe = 8;
   CheckDelete(index, ds, params);
+}
+
+TEST_F(PaseDeleteTest, PaseIvfPq) {
+  auto ds = TestData();
+  pase::PaseIvfPqOptions opt;
+  opt.num_clusters = 8;
+  opt.pq_m = 4;
+  opt.pq_codes = 16;
+  opt.sample_ratio = 1.0;
+  pase::PaseIvfPqIndex index(Env(), ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  const size_t count_before = index.NumVectors();
+  EXPECT_TRUE(index.Delete(987654321).IsNotFound());
+  EXPECT_TRUE(index.Delete(-7).IsNotFound());
+  EXPECT_EQ(index.NumVectors(), count_before);
+  ASSERT_TRUE(index.Delete(123).ok());
+  EXPECT_EQ(index.NumVectors(), count_before - 1);
+  EXPECT_TRUE(index.Delete(123).IsNotFound());
+}
+
+TEST_F(PaseDeleteTest, PaseIvfSq8) {
+  auto ds = TestData();
+  pase::PaseIvfSq8Options opt;
+  opt.num_clusters = 8;
+  opt.sample_ratio = 1.0;
+  pase::PaseIvfSq8Index index(Env(), ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 8;
+  CheckDelete(index, ds, params);
+}
+
+TEST_F(PaseDeleteTest, VacuumedIdStaysDeleted) {
+  auto ds = TestData();
+  pase::PaseIvfFlatOptions opt;
+  opt.num_clusters = 8;
+  opt.sample_ratio = 1.0;
+  pase::PaseIvfFlatIndex index(Env(), ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  ASSERT_TRUE(index.Delete(5).ok());
+  ASSERT_TRUE(index.Vacuum().ok());
+  // Vacuum rewrote the chains without row 5 and cleared the tombstones; a
+  // second Delete must see the row as gone, not re-mark it (which would
+  // shrink NumVectors() for a row that no longer exists).
+  const size_t count = index.NumVectors();
+  EXPECT_TRUE(index.Delete(5).IsNotFound());
+  EXPECT_EQ(index.NumVectors(), count);
 }
 
 TEST_F(PaseDeleteTest, PaseHnsw) {

@@ -60,6 +60,48 @@ TEST(KMaxHeapTest, FewerThanKCandidates) {
   EXPECT_EQ(sorted[0].id, 1);
 }
 
+TEST(KMaxHeapTest, ReusableAfterTakeSorted) {
+  // The batched search path keeps one heap per worker and reuses it across
+  // queries. TakeSorted used to leave the heap holding moved-from entries,
+  // so the next query's Push saw a full heap of garbage; it must instead
+  // reset to empty at the same capacity.
+  KMaxHeap heap(3);
+  for (int i = 1; i <= 5; ++i) heap.Push(static_cast<float>(i), i);
+  auto first = heap.TakeSorted();
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0].id, 1);
+
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_EQ(heap.capacity(), 3u);
+  EXPECT_TRUE(std::isinf(heap.worst()));
+
+  // Second fill must behave exactly like a fresh heap, including keeping
+  // candidates worse than the first round's results.
+  for (int i = 10; i <= 14; ++i) heap.Push(static_cast<float>(i), i);
+  auto second = heap.TakeSorted();
+  ASSERT_EQ(second.size(), 3u);
+  EXPECT_EQ(second[0].id, 10);
+  EXPECT_EQ(second[1].id, 11);
+  EXPECT_EQ(second[2].id, 12);
+}
+
+TEST(NHeapTest, ReusableAfterPopK) {
+  // PopK heapifies items_ in place; it must clear the collector so a reused
+  // NHeap does not leak the previous query's candidates into the next.
+  NHeap heap;
+  heap.Push(2.f, 2);
+  heap.Push(1.f, 1);
+  auto first = heap.PopK(1);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].id, 1);
+  EXPECT_EQ(heap.size(), 0u);
+
+  heap.Push(5.f, 5);
+  auto second = heap.PopK(10);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].id, 5);
+}
+
 class HeapEquivalenceTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(HeapEquivalenceTest, KHeapAndNHeapAgreeWithPartialSort) {

@@ -87,6 +87,28 @@ TEST(SerializeTest, TruncationIsCorruption) {
   std::remove(path.c_str());
 }
 
+TEST(SerializeTest, VersionRangeOpen) {
+  const std::string path = TempPath("range.bin");
+  {
+    auto writer = std::move(BinaryWriter::Open(path, 0x4444, 1)).ValueOrDie();
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  // A v1 file opens under a [1, 2] reader, which reports what it found.
+  uint32_t found = 0;
+  ASSERT_TRUE(BinaryReader::Open(path, 0x4444, 1, 2, &found).ok());
+  EXPECT_EQ(found, 1u);
+  // Outside the range in either direction is NotSupported.
+  EXPECT_TRUE(
+      BinaryReader::Open(path, 0x4444, 2, 3, &found).status().IsNotSupported());
+  {
+    auto writer = std::move(BinaryWriter::Open(path, 0x4444, 9)).ValueOrDie();
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  EXPECT_TRUE(
+      BinaryReader::Open(path, 0x4444, 1, 2, &found).status().IsNotSupported());
+  std::remove(path.c_str());
+}
+
 TEST(PersistenceTest, IvfFlatRoundTrip) {
   auto ds = TestData();
   IvfFlatOptions opt;
@@ -127,11 +149,101 @@ TEST(PersistenceTest, IvfPqRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(PersistenceTest, IvfFlatOptionsSurviveReload) {
+  auto ds = TestData();
+  IvfFlatOptions opt;
+  opt.num_clusters = 16;
+  opt.sample_ratio = 0.5;
+  opt.train_iterations = 7;
+  opt.use_sgemm = false;
+  opt.seed = 99;
+  opt.num_threads = 2;
+  IvfFlatIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  const std::string path = TempPath("ivfflat_opts.idx");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = std::move(IvfFlatIndex::Load(path)).ValueOrDie();
+  // v2 carries the full build-options block, so a reloaded index rebuilds
+  // and re-inserts exactly like the original (v1 kept only use_sgemm).
+  EXPECT_EQ(loaded.options().num_clusters, 16u);
+  EXPECT_DOUBLE_EQ(loaded.options().sample_ratio, 0.5);
+  EXPECT_EQ(loaded.options().train_iterations, 7);
+  EXPECT_FALSE(loaded.options().use_sgemm);
+  EXPECT_EQ(loaded.options().seed, 99u);
+  EXPECT_EQ(loaded.options().num_threads, 2);
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, IvfFlatV1FileStillLoads) {
+  // Hand-written v1 payload: geometry + use_sgemm, no options block. The
+  // loader must accept it and fall back to default options.
+  const std::string path = TempPath("ivfflat_v1.idx");
+  {
+    constexpr uint32_t kIvfFlatMagic = 0x56495646;
+    auto writer =
+        std::move(BinaryWriter::Open(path, kIvfFlatMagic, 1)).ValueOrDie();
+    const uint32_t dim = 4, clusters = 1;
+    ASSERT_TRUE(writer.Write(dim).ok());
+    ASSERT_TRUE(writer.Write(clusters).ok());
+    ASSERT_TRUE(writer.Write<uint64_t>(2).ok());  // num_vectors
+    ASSERT_TRUE(writer.Write(true).ok());         // use_sgemm
+    AlignedFloats centroids;
+    centroids.Resize(dim);
+    for (size_t i = 0; i < dim; ++i) centroids.data()[i] = 0.5f;
+    ASSERT_TRUE(writer.WriteFloats(centroids).ok());
+    AlignedFloats bucket;
+    bucket.Resize(2 * dim);
+    for (size_t i = 0; i < 2 * dim; ++i) {
+      bucket.data()[i] = static_cast<float>(i);
+    }
+    ASSERT_TRUE(writer.WriteFloats(bucket).ok());
+    std::vector<int64_t> ids = {0, 1};
+    ASSERT_TRUE(writer.WriteVector(ids).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto loaded = std::move(IvfFlatIndex::Load(path)).ValueOrDie();
+  EXPECT_EQ(loaded.NumVectors(), 2u);
+  EXPECT_EQ(loaded.Dim(), 4u);
+  SearchParams params;
+  params.k = 2;
+  params.nprobe = 1;
+  const float query[4] = {0.f, 1.f, 2.f, 3.f};
+  auto results = loaded.Search(query, params).ValueOrDie();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].id, 0);
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, IvfPqRefineSidecarRoundTrip) {
+  auto ds = TestData();
+  IvfPqOptions opt;
+  opt.num_clusters = 16;
+  opt.pq_m = 8;
+  opt.pq_codes = 32;
+  opt.sample_ratio = 0.5;
+  opt.refine_factor = 3;
+  IvfPqIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  const std::string path = TempPath("ivfpq_refine.idx");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = std::move(IvfPqIndex::Load(path)).ValueOrDie();
+  EXPECT_EQ(loaded.options().refine_factor, 3u);
+  // Identical results prove the raw-vector sidecar (which v1 dropped) was
+  // restored: the refine path rescores with exact distances, so any loss
+  // of refine_vectors_ would change the ranking.
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 8;
+  ExpectSameResults(index, loaded, ds, params);
+  std::remove(path.c_str());
+}
+
 TEST(PersistenceTest, HnswRoundTrip) {
   auto ds = TestData();
   HnswOptions opt;
   opt.bnn = 8;
   opt.efb = 20;
+  opt.seed = 77;
   HnswIndex index(ds.dim, opt);
   ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
   const std::string path = TempPath("hnsw.idx");
@@ -139,6 +251,7 @@ TEST(PersistenceTest, HnswRoundTrip) {
   auto loaded = std::move(HnswIndex::Load(path)).ValueOrDie();
   EXPECT_EQ(loaded.NumVectors(), index.NumVectors());
   EXPECT_EQ(loaded.max_level(), index.max_level());
+  EXPECT_EQ(loaded.options().seed, 77u);  // v2 build-options block
   SearchParams params;
   params.k = 10;
   params.efs = 50;

@@ -140,6 +140,48 @@ INSTANTIATE_TEST_SUITE_P(
                       IvfCase{16, 1000, 16}, IvfCase{32, 800, 31},
                       IvfCase{3, 300, 5}));
 
+// --- SearchBatch equals per-query Search across the same grid. -----------
+
+class BatchParityTest : public ::testing::TestWithParam<IvfCase> {};
+
+TEST_P(BatchParityTest, BatchedEqualsPerQueryAtAnyThreadCount) {
+  const auto [dim, n, clusters] = GetParam();
+  SyntheticOptions opt;
+  opt.dim = dim;
+  opt.num_base = n;
+  opt.num_queries = 9;
+  opt.seed = dim * 13 + clusters;
+  auto ds = GenerateClustered(opt);
+
+  faisslike::IvfFlatOptions iopt;
+  iopt.num_clusters = clusters;
+  iopt.sample_ratio = 1.0;
+  faisslike::IvfFlatIndex index(dim, iopt);
+  ASSERT_TRUE(index.Build(ds.base.data(), n).ok());
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = std::max(1u, clusters / 2);
+  for (int threads : {1, 3}) {
+    params.num_threads = threads;
+    auto batched =
+        index.SearchBatch(ds.queries.data(), ds.num_queries, params)
+            .ValueOrDie();
+    ASSERT_EQ(batched.size(), ds.num_queries);
+    for (size_t q = 0; q < ds.num_queries; ++q) {
+      auto single = index.Search(ds.query_vector(q), params).ValueOrDie();
+      EXPECT_EQ(batched[q], single)
+          << "dim=" << dim << " c=" << clusters << " threads=" << threads
+          << " q=" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BatchParityTest,
+    ::testing::Values(IvfCase{4, 200, 2}, IvfCase{8, 500, 8},
+                      IvfCase{16, 1000, 16}, IvfCase{32, 800, 31},
+                      IvfCase{3, 300, 5}));
+
 // --- HNSW graph invariants across bnn values. ----------------------------
 
 class HnswInvariantTest : public ::testing::TestWithParam<uint32_t> {};
