@@ -30,7 +30,7 @@ void Sweep(const char* title, const VectorIndex& index, const Dataset& ds,
     params.num_threads = threads;
     ParallelAccounting acct;
     acct.Reset(threads);
-    params.accounting = &acct;
+    params.ctx.accounting = &acct;
     if (batch) {
       if (!index.SearchBatch(ds.queries.data(), nq, params).ok()) return;
     } else {

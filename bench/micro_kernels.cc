@@ -11,6 +11,7 @@
 #include "distance/kernels.h"
 #include "distance/sgemm.h"
 #include "faisslike/ivf_flat.h"
+#include "obs/metrics.h"
 #include "pgstub/bufmgr.h"
 #include "pgstub/heap_table.h"
 #include "pgstub/wal.h"
@@ -115,6 +116,66 @@ void BM_SearchBatched(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * nq);
 }
 BENCHMARK(BM_SearchBatched);
+
+void BM_SearchPerQueryMetricsOn(benchmark::State& state) {
+  // Counterpart to BM_SearchPerQuery with a live registry: every query pays
+  // the latency scope plus one counter flush. Compare against the metrics-
+  // disabled run to bound the instrumentation overhead (target: <2%).
+  const size_t d = 64, n = 4096, nq = 64;
+  auto base = RandomVectors(n, d, 10);
+  auto queries = RandomVectors(nq, d, 11);
+  faisslike::IvfFlatOptions opt;
+  opt.num_clusters = 64;
+  faisslike::IvfFlatIndex index(d, opt);
+  if (!index.Build(base.data(), n).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  obs::MetricsRegistry registry;
+  registry.SetEnabled(true);
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 8;
+  params.ctx.metrics = &registry;
+  for (auto _ : state) {
+    for (size_t q = 0; q < nq; ++q) {
+      benchmark::DoNotOptimize(index.Search(queries.data() + q * d, params));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * nq);
+  state.counters["queries"] = static_cast<double>(
+      registry.Value(obs::Counter::kFaissQueries));
+}
+BENCHMARK(BM_SearchPerQueryMetricsOn);
+
+void BM_SearchBatchedMetricsOn(benchmark::State& state) {
+  // Batched search with worker threads flushing into one shared registry;
+  // doubles as the TSan smoke target for the sharded counters.
+  const size_t d = 64, n = 4096, nq = 64;
+  auto base = RandomVectors(n, d, 10);
+  auto queries = RandomVectors(nq, d, 11);
+  faisslike::IvfFlatOptions opt;
+  opt.num_clusters = 64;
+  faisslike::IvfFlatIndex index(d, opt);
+  if (!index.Build(base.data(), n).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  obs::MetricsRegistry registry;
+  registry.SetEnabled(true);
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 8;
+  params.num_threads = 4;
+  params.ctx.metrics = &registry;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.SearchBatch(queries.data(), nq, params));
+  }
+  state.SetItemsProcessed(state.iterations() * nq);
+  state.counters["queries"] = static_cast<double>(
+      registry.Value(obs::Counter::kFaissQueries));
+}
+BENCHMARK(BM_SearchBatchedMetricsOn);
 
 void BM_TopKKHeap(benchmark::State& state) {
   // RC#6 fix: bounded heap of k over n candidates.

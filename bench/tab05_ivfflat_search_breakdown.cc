@@ -38,14 +38,14 @@ int main(int argc, char** argv) {
     Profiler faiss_prof, pase_prof;
     Timer faiss_timer;
     for (size_t q = 0; q < nq; ++q) {
-      params.profiler = &faiss_prof;
+      params.ctx.profiler = &faiss_prof;
       if (!faiss_index.Search(bd.data.query_vector(q), params).ok())
         return 1;
     }
     const int64_t faiss_total = faiss_timer.ElapsedNanos();
     Timer pase_timer;
     for (size_t q = 0; q < nq; ++q) {
-      params.profiler = &pase_prof;
+      params.ctx.profiler = &pase_prof;
       if (!pase_index.Search(bd.data.query_vector(q), params).ok()) return 1;
     }
     const int64_t pase_total = pase_timer.ElapsedNanos();

@@ -41,6 +41,13 @@ echo "=== build-asan: batched-search smoke (micro_kernels) ==="
 run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVECDB_SANITIZE=thread
 
+# Metrics-registry smoke: batched searches flush worker-local counters into
+# one shared MetricsRegistry; run it under TSan so a racy shard or histogram
+# bucket shows up as a hard failure, not a lost update.
+echo "=== build-tsan: concurrent metrics-registry smoke (micro_kernels) ==="
+./build-tsan/bench/micro_kernels \
+  --benchmark_filter='BM_SearchBatchedMetricsOn'
+
 echo "=== lint (standalone) ==="
 python3 tools/lint.py .
 

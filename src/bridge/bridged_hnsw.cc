@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace vecdb::bridge {
 
@@ -123,6 +124,17 @@ Status BridgedHnswIndex::Build(const float* data, size_t n) {
 
 Result<std::vector<Neighbor>> BridgedHnswIndex::Search(
     const float* query, const SearchParams& params) const {
+  if (query == nullptr) {
+    return Status::InvalidArgument("BridgedHnsw: null query");
+  }
+  VECDB_RETURN_NOT_OK(
+      ValidateSearchParams(params, IndexKind::kGraph, "BridgedHnsw::Search"));
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kBridgeSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kBridgeQueries);
+  // Traversal counters land under faiss.* — the bridge delegates its whole
+  // search to the in-memory graph.
   return graph_.Search(query, params);
 }
 

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "distance/kernels.h"
+#include "obs/metrics.h"
 
 namespace vecdb::bridge {
 
@@ -140,8 +141,9 @@ std::vector<uint32_t> BridgedIvfFlatIndex::SelectBuckets(
 
 Status BridgedIvfFlatIndex::ScanBucketPages(
     uint32_t bucket, const float* query,
-    const std::function<void(float, int64_t)>& emit,
-    Profiler* profiler) const {
+    const std::function<void(float, int64_t)>& emit, Profiler* profiler,
+    obs::SearchCounters* counters) const {
+  if (counters != nullptr) ++counters->buckets_probed;
   pgstub::BlockId block = chains_[bucket].head;
   while (block != pgstub::kInvalidBlock) {
     pgstub::BufferHandle handle;
@@ -151,6 +153,7 @@ Status BridgedIvfFlatIndex::ScanBucketPages(
     }
     pgstub::PageView page(handle.data, env_.bufmgr->page_size());
     const uint16_t count = page.ItemCount();
+    if (counters != nullptr) counters->tuples_visited += count;
     for (pgstub::OffsetNumber slot = 1; slot <= count; ++slot) {
       const char* item = page.GetItem(slot);
       const auto* header =
@@ -170,12 +173,16 @@ Result<std::vector<Neighbor>> BridgedIvfFlatIndex::Search(
   if (query == nullptr) {
     return Status::InvalidArgument("BridgedIvfFlat: null query");
   }
-  if (params.k == 0) return Status::InvalidArgument("BridgedIvfFlat: k == 0");
+  VECDB_RETURN_NOT_OK(
+      ValidateSearchParams(params, IndexKind::kIvf, "BridgedIvfFlat::Search"));
   if (num_clusters_ == 0) {
     return Status::InvalidArgument("BridgedIvfFlat: index not built");
   }
-  const uint32_t nprobe =
-      std::min(params.nprobe == 0 ? 1u : params.nprobe, num_clusters_);
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kBridgeSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kBridgeQueries);
+  const uint32_t nprobe = std::min(params.nprobe, num_clusters_);
   auto probes = SelectBuckets(query, nprobe);
 
   // Single emit sink whose shape depends on the Step#3 toggle.
@@ -190,25 +197,39 @@ Result<std::vector<Neighbor>> BridgedIvfFlatIndex::Search(
   };
 
   auto scan_bucket = [&](uint32_t b,
-                         const std::function<void(float, int64_t)>& sink)
-      -> Status {
+                         const std::function<void(float, int64_t)>& sink,
+                         obs::SearchCounters* counters) -> Status {
     if (options_.memory_table) {
       // Step#1: pointer-direct scan over the mirror.
       const auto& ids = mirror_ids_[b];
       const float* vecs = mirror_vecs_[b].data();
-      ProfScope scope(params.profiler, "fvec_L2sqr");
+      if (counters != nullptr) {
+        ++counters->buckets_probed;
+        counters->tuples_visited += ids.size();
+      }
+      ProfScope scope(ctx.profiler, "fvec_L2sqr");
       for (size_t i = 0; i < ids.size(); ++i) {
         sink(L2Sqr(query, vecs + i * dim_, dim_), ids[i]);
       }
       return Status::OK();
     }
-    return ScanBucketPages(b, query, sink, params.profiler);
+    return ScanBucketPages(b, query, sink, ctx.profiler, counters);
+  };
+  auto flush_counters = [metrics](const obs::SearchCounters& sc) {
+    metrics->AddUnchecked(obs::Counter::kBridgeBucketsProbed,
+                          sc.buckets_probed);
+    metrics->AddUnchecked(obs::Counter::kBridgeTuplesVisited,
+                          sc.tuples_visited);
   };
 
   if (params.num_threads <= 1) {
+    obs::SearchCounters counters;
+    obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
     if (options_.memory_table && options_.k_heap) {
       // Fully-fixed fast path: no per-candidate function indirection —
       // this is what "specialized-engine code quality" means in practice.
+      // Counters here are derived after the scan, so the loop itself stays
+      // untouched whether metrics are on or off.
       for (uint32_t b : probes) {
         const auto& ids = mirror_ids_[b];
         const float* vecs = mirror_vecs_[b].data();
@@ -216,17 +237,25 @@ Result<std::vector<Neighbor>> BridgedIvfFlatIndex::Search(
           kheap.Push(L2Sqr(query, vecs + i * dim_, dim_), ids[i]);
         }
       }
+      if (metrics != nullptr) {
+        counters.buckets_probed = probes.size();
+        for (uint32_t b : probes) {
+          counters.tuples_visited += mirror_ids_[b].size();
+        }
+        flush_counters(counters);
+      }
       return kheap.TakeSorted();
     }
     for (uint32_t b : probes) {
-      VECDB_RETURN_NOT_OK(scan_bucket(b, emit));
+      VECDB_RETURN_NOT_OK(scan_bucket(b, emit, sc));
     }
-    ProfScope scope(params.profiler, "MinHeap");
+    if (metrics != nullptr) flush_counters(counters);
+    ProfScope scope(ctx.profiler, "MinHeap");
     return options_.k_heap ? kheap.TakeSorted() : nheap.PopK(params.k);
   }
 
   ThreadPool pool(params.num_threads);
-  ParallelAccounting* acct = params.accounting;
+  ParallelAccounting* acct = ctx.accounting;
   if (acct != nullptr &&
       acct->worker_busy_nanos.size() != static_cast<size_t>(params.num_threads)) {
     acct->Reset(params.num_threads);
@@ -234,15 +263,20 @@ Result<std::vector<Neighbor>> BridgedIvfFlatIndex::Search(
   Status worker_status = Status::OK();
   std::mutex status_mu;
 
+  std::vector<obs::SearchCounters> worker_counters(
+      metrics != nullptr ? params.num_threads : 0);
+
   if (options_.local_heaps) {
     // Step#4: lock-free local heaps + merge.
     std::vector<std::vector<Neighbor>> locals(params.num_threads);
     pool.ParallelFor(probes.size(), [&](int worker, size_t begin, size_t end) {
       CpuTimer timer;
+      obs::SearchCounters* sc =
+          metrics != nullptr ? &worker_counters[worker] : nullptr;
       KMaxHeap local(params.k);
       auto sink = [&](float dist, int64_t id) { local.Push(dist, id); };
       for (size_t i = begin; i < end; ++i) {
-        Status s = scan_bucket(probes[i], sink);
+        Status s = scan_bucket(probes[i], sink, sc);
         if (!s.ok()) {
           std::lock_guard<std::mutex> guard(status_mu);
           if (worker_status.ok()) worker_status = s;
@@ -251,6 +285,11 @@ Result<std::vector<Neighbor>> BridgedIvfFlatIndex::Search(
       locals[worker] = local.TakeSorted();
       if (acct != nullptr) acct->worker_busy_nanos[worker] += timer.ElapsedNanos();
     });
+    if (metrics != nullptr) {
+      obs::SearchCounters merged;
+      for (const auto& wc : worker_counters) merged.MergeFrom(wc);
+      flush_counters(merged);
+    }
     VECDB_RETURN_NOT_OK(worker_status);
     CpuTimer merge_timer;
     auto merged = MergeTopK(std::move(locals), params.k);
@@ -263,6 +302,8 @@ Result<std::vector<Neighbor>> BridgedIvfFlatIndex::Search(
   int64_t serial_nanos = 0;
   pool.ParallelFor(probes.size(), [&](int worker, size_t begin, size_t end) {
     CpuTimer timer;
+    obs::SearchCounters* sc =
+        metrics != nullptr ? &worker_counters[worker] : nullptr;
     auto sink = [&](float dist, int64_t id) {
       CpuTimer lock_timer;
       std::lock_guard<std::mutex> guard(mu);
@@ -274,7 +315,7 @@ Result<std::vector<Neighbor>> BridgedIvfFlatIndex::Search(
       serial_nanos += lock_timer.ElapsedNanos();
     };
     for (size_t i = begin; i < end; ++i) {
-      Status s = scan_bucket(probes[i], sink);
+      Status s = scan_bucket(probes[i], sink, sc);
       if (!s.ok()) {
         std::lock_guard<std::mutex> guard(status_mu);
         if (worker_status.ok()) worker_status = s;
@@ -284,6 +325,11 @@ Result<std::vector<Neighbor>> BridgedIvfFlatIndex::Search(
   });
   VECDB_RETURN_NOT_OK(worker_status);
   if (acct != nullptr) acct->serial_nanos += serial_nanos;
+  if (metrics != nullptr) {
+    obs::SearchCounters merged;
+    for (const auto& wc : worker_counters) merged.MergeFrom(wc);
+    flush_counters(merged);
+  }
   return options_.k_heap ? kheap.TakeSorted() : nheap.PopK(params.k);
 }
 

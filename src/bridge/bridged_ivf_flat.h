@@ -18,6 +18,7 @@
 
 #include "common/aligned_buffer.h"
 #include "core/index.h"
+#include "obs/metrics.h"
 #include "pase/pase_common.h"
 #include "topk/heaps.h"
 
@@ -69,9 +70,12 @@ class BridgedIvfFlatIndex final : public VectorIndex {
   std::vector<uint32_t> SelectBuckets(const float* query,
                                       uint32_t nprobe) const;
   /// Page-path scan used when memory_table is off (PASE behaviour).
+  /// `counters` (nullable, owned by the calling worker) picks up the
+  /// probe and tuples-visited counts.
   Status ScanBucketPages(uint32_t bucket, const float* query,
                          const std::function<void(float, int64_t)>& emit,
-                         Profiler* profiler) const;
+                         Profiler* profiler,
+                         obs::SearchCounters* counters) const;
 
   pase::PaseEnv env_;
   uint32_t dim_;

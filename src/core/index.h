@@ -5,11 +5,13 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/profiler.h"
 #include "common/status.h"
 #include "core/parallel.h"
+#include "core/query_context.h"
 #include "topk/neighbor.h"
 
 namespace vecdb {
@@ -20,10 +22,54 @@ struct SearchParams {
   uint32_t nprobe = 20;  ///< IVF buckets probed (IVF_* indexes only)
   uint32_t efs = 200;    ///< HNSW search queue length (HNSW only)
   int num_threads = 1;   ///< intra-query parallelism (RC#3)
-  Profiler* profiler = nullptr;  ///< optional phase breakdown capture
-  /// Optional per-worker busy/serial accounting (Fig 18 scaling model).
+  /// Observability handle: profiler + parallel accounting + metrics sink.
+  QueryContext ctx;
+
+  /// Deprecated (kept one PR): pre-QueryContext observability pointers.
+  /// New code sets `ctx.profiler` / `ctx.accounting`; engines read both
+  /// through Context(), where `ctx` wins if set.
+  Profiler* profiler = nullptr;
   ParallelAccounting* accounting = nullptr;
+
+  /// The effective context: `ctx` with the deprecated aliases folded in.
+  /// Engines resolve this once at the top of Search/SearchBatch.
+  QueryContext Context() const {
+    QueryContext out = ctx;
+    if (out.profiler == nullptr) out.profiler = profiler;
+    if (out.accounting == nullptr) out.accounting = accounting;
+    return out;
+  }
 };
+
+/// What a Search() implementation consumes of SearchParams, for uniform
+/// boundary validation across all three engines.
+enum class IndexKind {
+  kFlat,   ///< exhaustive scan: only k applies
+  kIvf,    ///< inverted lists: k and nprobe
+  kGraph,  ///< HNSW: k and efs
+};
+
+/// Validates query knobs at the API boundary. Out-of-range knobs return
+/// InvalidArgument instead of silently clamping (a k=0 query returned
+/// nothing, nprobe=0 probed one bucket anyway, efs<k truncated results);
+/// every engine calls this first so the three engines reject uniformly.
+inline Status ValidateSearchParams(const SearchParams& params, IndexKind kind,
+                                   std::string_view who) {
+  if (params.k == 0) {
+    return Status::InvalidArgument(std::string(who) + ": k == 0");
+  }
+  if (kind == IndexKind::kIvf && params.nprobe == 0) {
+    return Status::InvalidArgument(std::string(who) +
+                                   ": nprobe == 0 (must probe >= 1 bucket)");
+  }
+  if (kind == IndexKind::kGraph && params.efs < params.k) {
+    return Status::InvalidArgument(
+        std::string(who) + ": efs (" + std::to_string(params.efs) +
+        ") < k (" + std::to_string(params.k) +
+        "); the search queue must cover the result size");
+  }
+  return Status::OK();
+}
 
 /// Wall-clock split of index construction, matching the paper's
 /// training/adding decomposition (Fig 3).

@@ -1,0 +1,39 @@
+// QueryContext: the single observability handle a query carries through an
+// engine. It bundles the three channels the layers used to smuggle as
+// separate nullable pointers — the phase-breakdown Profiler (Table III/V,
+// Fig 8), the parallel-scaling accounting (Fig 9/18), and the always-on
+// metrics sink — so SearchParams stays a plain knob struct and future
+// channels (tracing, quotas) have one place to live.
+#pragma once
+
+#include "common/profiler.h"
+#include "core/parallel.h"
+#include "obs/metrics.h"
+
+namespace vecdb {
+
+struct QueryContext {
+  /// Optional per-phase time breakdown (merged by the caller; not
+  /// thread-safe, same contract as before).
+  Profiler* profiler = nullptr;
+
+  /// Optional per-worker busy/serial accounting for the scaling model.
+  ParallelAccounting* accounting = nullptr;
+
+  /// Metrics sink; null means the process-wide registry
+  /// (obs::MetricsRegistry::Global()). Tests point this at a local
+  /// registry to read per-query counters in isolation.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// The registry this query reports into, or null when metrics are
+  /// disabled. Engines resolve this once per query and branch on the
+  /// pointer, so the disabled path costs one branch per scope — the same
+  /// contract as the nullable Profiler.
+  obs::MetricsRegistry* live_metrics() const {
+    obs::MetricsRegistry* m =
+        metrics != nullptr ? metrics : &obs::MetricsRegistry::Global();
+    return m->enabled() ? m : nullptr;
+  }
+};
+
+}  // namespace vecdb

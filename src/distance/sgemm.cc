@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "distance/kernels.h"
+#include "obs/metrics.h"
 
 namespace vecdb {
 
@@ -42,6 +43,7 @@ inline void RankUpdateRow(size_t kc, size_t nc, const float* a_row,
 
 void SgemmTransB(size_t m, size_t n, size_t k, const float* a, const float* b,
                  float* c) {
+  obs::MetricsRegistry::Global().Add(obs::Counter::kSgemmCalls);
   std::memset(c, 0, m * n * sizeof(float));
   std::vector<float> bpack(kBlockK * kBlockN);
   for (size_t j0 = 0; j0 < n; j0 += kBlockN) {

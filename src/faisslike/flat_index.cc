@@ -2,6 +2,7 @@
 
 #include "common/timer.h"
 #include "distance/kernels.h"
+#include "obs/metrics.h"
 #include "topk/heaps.h"
 
 namespace vecdb::faisslike {
@@ -48,15 +49,28 @@ Result<std::vector<Neighbor>> FlatIndex::Search(
   if (query == nullptr) {
     return Status::InvalidArgument("FlatIndex::Search: null query");
   }
-  if (params.k == 0) {
-    return Status::InvalidArgument("FlatIndex::Search: k == 0");
-  }
+  VECDB_RETURN_NOT_OK(
+      ValidateSearchParams(params, IndexKind::kFlat, "FlatIndex::Search"));
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kFaissSearchNanos);
   KMaxHeap heap(params.k);
+  size_t skipped = 0;
   for (size_t i = 0; i < ids_.size(); ++i) {
-    if (tombstones_.Contains(ids_[i])) continue;
+    if (tombstones_.Contains(ids_[i])) {
+      ++skipped;
+      continue;
+    }
     const float dist =
         Distance(metric_, query, vectors_.data() + i * dim_, dim_);
     heap.Push(dist, ids_[i]);
+  }
+  if (metrics != nullptr) {
+    metrics->AddUnchecked(obs::Counter::kFaissQueries);
+    metrics->AddUnchecked(obs::Counter::kFaissTuplesVisited, ids_.size());
+    metrics->AddUnchecked(obs::Counter::kFaissHeapPushes,
+                          ids_.size() - skipped);
+    metrics->AddUnchecked(obs::Counter::kFaissTombstonesSkipped, skipped);
   }
   return heap.TakeSorted();
 }

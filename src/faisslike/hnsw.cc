@@ -53,10 +53,9 @@ uint32_t HnswIndex::GreedyClosest(const float* query, uint32_t entry,
   return cur;
 }
 
-std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
-                                             uint32_t entry, uint32_t ef,
-                                             int level,
-                                             Profiler* profiler) const {
+std::vector<Neighbor> HnswIndex::SearchLayer(
+    const float* query, uint32_t entry, uint32_t ef, int level,
+    Profiler* profiler, obs::SearchCounters* counters) const {
   // O(1) visited reset via epoch stamping — the cheap path PASE's HVTGet
   // hash probing is contrasted against (Fig 8).
   if (++visit_epoch_ == 0) {
@@ -101,12 +100,18 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
     }
     // Distance batch over the unvisited frontier.
     ProfScope scope(profiler, "fvec_L2sqr");
+    size_t pushes = 0;
     for (uint32_t u : fresh) {
       const float d = L2Sqr(query, NodeVector(u), dim_);
       if (!results.full() || d < results.worst()) {
         results.Push(d, u);
         candidates.push({d, static_cast<int64_t>(u)});
+        ++pushes;
       }
+    }
+    if (counters != nullptr) {
+      counters->tuples_visited += fresh.size();
+      counters->heap_pushes += pushes;
     }
   }
   return results.TakeSorted();
@@ -230,6 +235,10 @@ Status HnswIndex::Build(const float* data, size_t n) {
 #ifndef NDEBUG
   CheckInvariants();
 #endif
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Add(obs::Counter::kFaissBuilds);
+  registry.Record(obs::Hist::kFaissBuildNanos,
+                  static_cast<uint64_t>(build_stats_.total_seconds() * 1e9));
   return Status::OK();
 }
 
@@ -245,28 +254,45 @@ Result<std::vector<Neighbor>> HnswIndex::Search(
   if (query == nullptr) {
     return Status::InvalidArgument("Hnsw::Search: null query");
   }
-  if (params.k == 0) return Status::InvalidArgument("Hnsw::Search: k == 0");
+  VECDB_RETURN_NOT_OK(
+      ValidateSearchParams(params, IndexKind::kGraph, "Hnsw::Search"));
   if (num_nodes_ == 0) {
     return Status::InvalidArgument("Hnsw::Search: index is empty");
   }
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kFaissSearchNanos);
+  obs::SearchCounters counters;
+  obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
   uint32_t cur = entry_point_;
   for (int lev = max_level_; lev > 0; --lev) {
-    cur = GreedyClosest(query, cur, lev, params.profiler);
+    cur = GreedyClosest(query, cur, lev, ctx.profiler);
   }
   // Over-fetch by the tombstone count so deletions do not starve top-k.
   const uint32_t ef = std::max<uint32_t>(
       params.efs,
       static_cast<uint32_t>(params.k + tombstones_.size()));
-  auto cands = SearchLayer(query, cur, ef, 0, params.profiler);
+  auto cands = SearchLayer(query, cur, ef, 0, ctx.profiler, sc);
   if (!tombstones_.empty()) {
     std::vector<Neighbor> kept;
     kept.reserve(cands.size());
     for (const auto& nb : cands) {
-      if (!tombstones_.Contains(nb.id)) kept.push_back(nb);
+      if (!tombstones_.Contains(nb.id)) {
+        kept.push_back(nb);
+      } else {
+        ++counters.tombstones_skipped;
+      }
     }
     cands = std::move(kept);
   }
   if (cands.size() > params.k) cands.resize(params.k);
+  if (metrics != nullptr) {
+    metrics->AddUnchecked(obs::Counter::kFaissQueries);
+    counters.FlushTo(metrics, obs::Counter::kFaissBucketsProbed,
+                     obs::Counter::kFaissTuplesVisited,
+                     obs::Counter::kFaissHeapPushes,
+                     obs::Counter::kFaissTombstonesSkipped);
+  }
   return cands;
 }
 

@@ -13,6 +13,7 @@
 #include "common/random.h"
 #include "core/index.h"
 #include "core/tombstones.h"
+#include "obs/metrics.h"
 #include "topk/heaps.h"
 
 namespace vecdb::faisslike {
@@ -93,10 +94,13 @@ class HnswIndex final : public VectorIndex {
                          Profiler* profiler) const;
 
   /// Beam search at one level; returns up to `ef` candidates ascending.
-  /// Instrumented with the Fig 8 sub-phase labels.
+  /// Instrumented with the Fig 8 sub-phase labels. `counters` (nullable,
+  /// query path only) picks up nodes visited and heap pushes.
   std::vector<Neighbor> SearchLayer(const float* query, uint32_t entry,
                                     uint32_t ef, int level,
-                                    Profiler* profiler) const;
+                                    Profiler* profiler,
+                                    obs::SearchCounters* counters = nullptr)
+      const;
 
   /// HNSW neighbor-selection heuristic (ShrinkNbList phase): keeps a
   /// candidate only if it is closer to the base point than to every

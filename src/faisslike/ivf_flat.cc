@@ -6,8 +6,20 @@
 #include "common/timer.h"
 #include "distance/kernels.h"
 #include "distance/sgemm.h"
+#include "obs/metrics.h"
 
 namespace vecdb::faisslike {
+namespace {
+
+void FlushSearchCounters(obs::MetricsRegistry* m,
+                         const obs::SearchCounters& sc) {
+  sc.FlushTo(m, obs::Counter::kFaissBucketsProbed,
+             obs::Counter::kFaissTuplesVisited,
+             obs::Counter::kFaissHeapPushes,
+             obs::Counter::kFaissTombstonesSkipped);
+}
+
+}  // namespace
 
 Status IvfFlatIndex::Train(const float* data, size_t n) {
   KMeansOptions km;
@@ -134,6 +146,10 @@ Status IvfFlatIndex::Build(const float* data, size_t n) {
 #ifndef NDEBUG
   CheckInvariants();
 #endif
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Add(obs::Counter::kFaissBuilds);
+  registry.Record(obs::Hist::kFaissBuildNanos,
+                  static_cast<uint64_t>(build_stats_.total_seconds() * 1e9));
   return Status::OK();
 }
 
@@ -153,7 +169,9 @@ std::vector<uint32_t> IvfFlatIndex::SelectBuckets(const float* query,
 }
 
 void IvfFlatIndex::ScanBucket(uint32_t bucket, const float* query,
-                              KMaxHeap& heap, Profiler* profiler) const {
+                              KMaxHeap& heap, Profiler* profiler,
+                              obs::SearchCounters* counters) const {
+  if (counters != nullptr) ++counters->buckets_probed;
   const auto& ids = bucket_ids_[bucket];
   if (ids.empty()) return;
   const float* vecs = bucket_vecs_[bucket].data();
@@ -167,12 +185,21 @@ void IvfFlatIndex::ScanBucket(uint32_t bucket, const float* query,
       dists[i] = L2Sqr(query, vecs + i * dim_, dim_);
     }
   }
+  size_t skipped = 0;
   {
     ProfScope scope(profiler, "MinHeap");
     for (size_t i = 0; i < ids.size(); ++i) {
-      if (tombstones_.Contains(ids[i])) continue;
+      if (tombstones_.Contains(ids[i])) {
+        ++skipped;
+        continue;
+      }
       heap.Push(dists[i], ids[i]);
     }
+  }
+  if (counters != nullptr) {
+    counters->tuples_visited += ids.size();
+    counters->heap_pushes += ids.size() - skipped;
+    counters->tombstones_skipped += skipped;
   }
 }
 
@@ -181,31 +208,39 @@ Result<std::vector<Neighbor>> IvfFlatIndex::Search(
   if (query == nullptr) {
     return Status::InvalidArgument("IvfFlat::Search: null query");
   }
-  if (params.k == 0) return Status::InvalidArgument("IvfFlat::Search: k == 0");
+  VECDB_RETURN_NOT_OK(
+      ValidateSearchParams(params, IndexKind::kIvf, "IvfFlat::Search"));
   if (num_clusters_ == 0) {
     return Status::InvalidArgument("IvfFlat::Search: index not built");
   }
-  const uint32_t nprobe =
-      std::min(params.nprobe == 0 ? 1u : params.nprobe, num_clusters_);
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kFaissSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kFaissQueries);
+  const uint32_t nprobe = std::min(params.nprobe, num_clusters_);
 
   std::vector<uint32_t> probes;
   {
-    ProfScope scope(params.profiler, "SelectBuckets");
+    ProfScope scope(ctx.profiler, "SelectBuckets");
     probes = SelectBuckets(query, nprobe);
   }
+
+  obs::SearchCounters counters;
+  obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
 
   if (params.num_threads <= 1) {
     CpuTimer timer;
     KMaxHeap heap(params.k);
-    for (uint32_t b : probes) ScanBucket(b, query, heap, params.profiler);
-    if (params.accounting != nullptr) {
+    for (uint32_t b : probes) ScanBucket(b, query, heap, ctx.profiler, sc);
+    if (ctx.accounting != nullptr) {
       // Single-thread run: all scan work is one worker's busy time.
-      if (params.accounting->worker_busy_nanos.empty()) {
-        params.accounting->Reset(1);
+      if (ctx.accounting->worker_busy_nanos.empty()) {
+        ctx.accounting->Reset(1);
       }
-      params.accounting->worker_busy_nanos[0] += timer.ElapsedNanos();
+      ctx.accounting->worker_busy_nanos[0] += timer.ElapsedNanos();
     }
-    ProfScope scope(params.profiler, "MinHeap");
+    if (metrics != nullptr) FlushSearchCounters(metrics, counters);
+    ProfScope scope(ctx.profiler, "MinHeap");
     return heap.TakeSorted();
   }
 
@@ -213,7 +248,8 @@ Result<std::vector<Neighbor>> IvfFlatIndex::Search(
   // over a static partition of the probed buckets, then a lock-free merge.
   ThreadPool pool(params.num_threads);
   std::vector<std::vector<Neighbor>> locals(params.num_threads);
-  ParallelAccounting* acct = params.accounting;
+  std::vector<obs::SearchCounters> worker_counters(params.num_threads);
+  ParallelAccounting* acct = ctx.accounting;
   if (acct != nullptr &&
       acct->worker_busy_nanos.size() != static_cast<size_t>(params.num_threads)) {
     acct->Reset(params.num_threads);
@@ -222,7 +258,8 @@ Result<std::vector<Neighbor>> IvfFlatIndex::Search(
     CpuTimer timer;
     KMaxHeap local(params.k);
     for (size_t i = begin; i < end; ++i) {
-      ScanBucket(probes[i], query, local, nullptr);
+      ScanBucket(probes[i], query, local, nullptr,
+                 sc != nullptr ? &worker_counters[worker] : nullptr);
     }
     locals[worker] = local.TakeSorted();
     if (acct != nullptr) {
@@ -232,6 +269,10 @@ Result<std::vector<Neighbor>> IvfFlatIndex::Search(
   CpuTimer merge_timer;
   auto merged = MergeTopK(std::move(locals), params.k);
   if (acct != nullptr) acct->serial_nanos += merge_timer.ElapsedNanos();
+  if (metrics != nullptr) {
+    for (const auto& w : worker_counters) counters.MergeFrom(w);
+    FlushSearchCounters(metrics, counters);
+  }
   return merged;
 }
 
@@ -240,18 +281,22 @@ Result<std::vector<std::vector<Neighbor>>> IvfFlatIndex::SearchBatch(
   if (queries == nullptr && nq > 0) {
     return Status::InvalidArgument("IvfFlat::SearchBatch: null queries");
   }
-  if (params.k == 0) {
-    return Status::InvalidArgument("IvfFlat::SearchBatch: k == 0");
-  }
+  VECDB_RETURN_NOT_OK(
+      ValidateSearchParams(params, IndexKind::kIvf, "IvfFlat::SearchBatch"));
   if (num_clusters_ == 0) {
     return Status::InvalidArgument("IvfFlat::SearchBatch: index not built");
   }
   std::vector<std::vector<Neighbor>> results(nq);
   if (nq == 0) return results;
-  const uint32_t nprobe =
-      std::min(params.nprobe == 0 ? 1u : params.nprobe, num_clusters_);
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  if (metrics != nullptr) {
+    metrics->AddUnchecked(obs::Counter::kFaissQueries, nq);
+    metrics->AddUnchecked(obs::Counter::kFaissBatchQueries, nq);
+  }
+  const uint32_t nprobe = std::min(params.nprobe, num_clusters_);
   const int num_workers = std::max(params.num_threads, 1);
-  ParallelAccounting* acct = params.accounting;
+  ParallelAccounting* acct = ctx.accounting;
   if (acct != nullptr &&
       acct->worker_busy_nanos.size() != static_cast<size_t>(num_workers)) {
     acct->Reset(num_workers);
@@ -263,7 +308,7 @@ Result<std::vector<std::vector<Neighbor>>> IvfFlatIndex::SearchBatch(
   std::vector<float> centroid_dists(nq * static_cast<size_t>(num_clusters_));
   {
     CpuTimer timer;
-    ProfScope scope(params.profiler, "SelectBucketsSgemm");
+    ProfScope scope(ctx.profiler, "SelectBucketsSgemm");
     AllPairsL2Sqr(queries, nq, centroids_.data(), num_clusters_, dim_,
                   /*x_norms=*/nullptr, centroid_norms_.data(),
                   centroid_dists.data());
@@ -275,13 +320,15 @@ Result<std::vector<std::vector<Neighbor>>> IvfFlatIndex::SearchBatch(
   // the batch dimension is what parallelizes (RC#3: per-worker k-heaps, no
   // shared locked heap). One KMaxHeap per worker is recycled across all of
   // its queries via TakeSorted's reset-to-empty contract.
-  auto run_query = [&](size_t q, KMaxHeap& heap, Profiler* profiler) {
+  auto run_query = [&](size_t q, KMaxHeap& heap, Profiler* profiler,
+                       obs::SearchCounters* counters) {
     const float* row = centroid_dists.data() + q * num_clusters_;
     KMaxHeap probe_heap(nprobe);
     for (uint32_t c = 0; c < num_clusters_; ++c) probe_heap.Push(row[c], c);
     const float* query = queries + q * static_cast<size_t>(dim_);
     for (const auto& nb : probe_heap.TakeSorted()) {
-      ScanBucket(static_cast<uint32_t>(nb.id), query, heap, profiler);
+      ScanBucket(static_cast<uint32_t>(nb.id), query, heap, profiler,
+                 counters);
     }
     results[q] = heap.TakeSorted();
   };
@@ -289,8 +336,11 @@ Result<std::vector<std::vector<Neighbor>>> IvfFlatIndex::SearchBatch(
   if (params.num_threads <= 1) {
     CpuTimer timer;
     KMaxHeap heap(params.k);
-    for (size_t q = 0; q < nq; ++q) run_query(q, heap, params.profiler);
+    obs::SearchCounters counters;
+    obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
+    for (size_t q = 0; q < nq; ++q) run_query(q, heap, ctx.profiler, sc);
     if (acct != nullptr) acct->worker_busy_nanos[0] += timer.ElapsedNanos();
+    if (metrics != nullptr) FlushSearchCounters(metrics, counters);
     return results;
   }
 
@@ -298,7 +348,12 @@ Result<std::vector<std::vector<Neighbor>>> IvfFlatIndex::SearchBatch(
   pool.ParallelFor(nq, [&](int worker, size_t begin, size_t end) {
     CpuTimer timer;
     KMaxHeap heap(params.k);
-    for (size_t q = begin; q < end; ++q) run_query(q, heap, nullptr);
+    // Per-worker scratch counters, flushed once at worker exit so the
+    // sharded atomics stay off the per-tuple path.
+    obs::SearchCounters counters;
+    obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
+    for (size_t q = begin; q < end; ++q) run_query(q, heap, nullptr, sc);
+    if (metrics != nullptr) FlushSearchCounters(metrics, counters);
     if (acct != nullptr) {
       acct->worker_busy_nanos[worker] += timer.ElapsedNanos();
     }

@@ -13,6 +13,7 @@
 #include "clustering/kmeans.h"
 #include "core/index.h"
 #include "core/tombstones.h"
+#include "obs/metrics.h"
 #include "topk/heaps.h"
 
 namespace vecdb::faisslike {
@@ -99,9 +100,11 @@ class IvfFlatIndex final : public VectorIndex {
 
  private:
   /// Scans one bucket, pushing candidates into `heap`; profiler labels
-  /// match the paper's Table V categories.
+  /// match the paper's Table V categories. `counters` (nullable) picks up
+  /// tuples visited / heap pushes / tombstones skipped for the metrics
+  /// registry.
   void ScanBucket(uint32_t bucket, const float* query, KMaxHeap& heap,
-                  Profiler* profiler) const;
+                  Profiler* profiler, obs::SearchCounters* counters) const;
 
   /// Selects the nprobe closest buckets to the query.
   std::vector<uint32_t> SelectBuckets(const float* query,

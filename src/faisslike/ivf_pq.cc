@@ -8,8 +8,20 @@
 #include "common/thread_pool.h"
 #include "distance/kernels.h"
 #include "distance/sgemm.h"
+#include "obs/metrics.h"
 
 namespace vecdb::faisslike {
+namespace {
+
+void FlushSearchCounters(obs::MetricsRegistry* m,
+                         const obs::SearchCounters& sc) {
+  sc.FlushTo(m, obs::Counter::kFaissBucketsProbed,
+             obs::Counter::kFaissTuplesVisited,
+             obs::Counter::kFaissHeapPushes,
+             obs::Counter::kFaissTombstonesSkipped);
+}
+
+}  // namespace
 
 Status IvfPqIndex::Train(const float* data, size_t n) {
   KMeansOptions km;
@@ -150,6 +162,10 @@ Status IvfPqIndex::Build(const float* data, size_t n) {
   timer.Reset();
   VECDB_RETURN_NOT_OK(AddBatch(data, n));
   build_stats_.add_seconds = timer.ElapsedSeconds();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Add(obs::Counter::kFaissBuilds);
+  registry.Record(obs::Hist::kFaissBuildNanos,
+                  static_cast<uint64_t>(build_stats_.total_seconds() * 1e9));
   return Status::OK();
 }
 
@@ -191,7 +207,9 @@ std::vector<uint32_t> IvfPqIndex::SelectBuckets(const float* query,
 }
 
 void IvfPqIndex::ScanBucket(uint32_t bucket, const float* table,
-                            KMaxHeap& heap, Profiler* profiler) const {
+                            KMaxHeap& heap, Profiler* profiler,
+                            obs::SearchCounters* counters) const {
+  if (counters != nullptr) ++counters->buckets_probed;
   const auto& ids = bucket_ids_[bucket];
   if (ids.empty()) return;
   const uint8_t* codes = bucket_codes_[bucket].data();
@@ -204,12 +222,21 @@ void IvfPqIndex::ScanBucket(uint32_t bucket, const float* table,
       dists[i] = pq_->AdcDistance(table, codes + i * code_size);
     }
   }
+  size_t skipped = 0;
   {
     ProfScope scope(profiler, "MinHeap");
     for (size_t i = 0; i < ids.size(); ++i) {
-      if (tombstones_.Contains(ids[i])) continue;
+      if (tombstones_.Contains(ids[i])) {
+        ++skipped;
+        continue;
+      }
       heap.Push(dists[i], ids[i]);
     }
+  }
+  if (counters != nullptr) {
+    counters->tuples_visited += ids.size();
+    counters->heap_pushes += ids.size() - skipped;
+    counters->tombstones_skipped += skipped;
   }
 }
 
@@ -218,20 +245,24 @@ Result<std::vector<Neighbor>> IvfPqIndex::Search(
   if (query == nullptr) {
     return Status::InvalidArgument("IvfPq::Search: null query");
   }
-  if (params.k == 0) return Status::InvalidArgument("IvfPq::Search: k == 0");
+  VECDB_RETURN_NOT_OK(
+      ValidateSearchParams(params, IndexKind::kIvf, "IvfPq::Search"));
   if (!pq_) return Status::InvalidArgument("IvfPq::Search: index not built");
-  const uint32_t nprobe =
-      std::min(params.nprobe == 0 ? 1u : params.nprobe, num_clusters_);
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kFaissSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kFaissQueries);
+  const uint32_t nprobe = std::min(params.nprobe, num_clusters_);
 
   std::vector<uint32_t> probes;
   {
-    ProfScope scope(params.profiler, "SelectBuckets");
+    ProfScope scope(ctx.profiler, "SelectBuckets");
     probes = SelectBuckets(query, nprobe);
   }
 
   std::vector<float> table(pq_->table_size());
   {
-    ProfScope scope(params.profiler, "PrecomputedTable");
+    ProfScope scope(ctx.profiler, "PrecomputedTable");
     if (options_.optimized_table) {
       pq_->ComputeDistanceTableOptimized(query, table.data());
     } else {
@@ -246,7 +277,7 @@ Result<std::vector<Neighbor>> IvfPqIndex::Search(
                              : params.k;
   auto refine = [&](std::vector<Neighbor> adc) -> std::vector<Neighbor> {
     if (options_.refine_factor == 0) return adc;
-    ProfScope scope(params.profiler, "refine");
+    ProfScope scope(ctx.profiler, "refine");
     KMaxHeap exact(params.k);
     for (const auto& nb : adc) {
       auto it = refine_pos_.find(nb.id);
@@ -258,24 +289,29 @@ Result<std::vector<Neighbor>> IvfPqIndex::Search(
     return exact.TakeSorted();
   };
 
+  obs::SearchCounters counters;
+  obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
+
   if (params.num_threads <= 1) {
     CpuTimer timer;
     KMaxHeap heap(fetch_k);
     for (uint32_t b : probes) {
-      ScanBucket(b, table.data(), heap, params.profiler);
+      ScanBucket(b, table.data(), heap, ctx.profiler, sc);
     }
-    if (params.accounting != nullptr) {
-      if (params.accounting->worker_busy_nanos.empty()) {
-        params.accounting->Reset(1);
+    if (ctx.accounting != nullptr) {
+      if (ctx.accounting->worker_busy_nanos.empty()) {
+        ctx.accounting->Reset(1);
       }
-      params.accounting->worker_busy_nanos[0] += timer.ElapsedNanos();
+      ctx.accounting->worker_busy_nanos[0] += timer.ElapsedNanos();
     }
+    if (metrics != nullptr) FlushSearchCounters(metrics, counters);
     return refine(heap.TakeSorted());
   }
 
   ThreadPool pool(params.num_threads);
   std::vector<std::vector<Neighbor>> locals(params.num_threads);
-  ParallelAccounting* acct = params.accounting;
+  std::vector<obs::SearchCounters> worker_counters(params.num_threads);
+  ParallelAccounting* acct = ctx.accounting;
   if (acct != nullptr &&
       acct->worker_busy_nanos.size() != static_cast<size_t>(params.num_threads)) {
     acct->Reset(params.num_threads);
@@ -284,7 +320,8 @@ Result<std::vector<Neighbor>> IvfPqIndex::Search(
     CpuTimer timer;
     KMaxHeap local(fetch_k);
     for (size_t i = begin; i < end; ++i) {
-      ScanBucket(probes[i], table.data(), local, nullptr);
+      ScanBucket(probes[i], table.data(), local, nullptr,
+                 sc != nullptr ? &worker_counters[worker] : nullptr);
     }
     locals[worker] = local.TakeSorted();
     if (acct != nullptr) acct->worker_busy_nanos[worker] += timer.ElapsedNanos();
@@ -292,6 +329,10 @@ Result<std::vector<Neighbor>> IvfPqIndex::Search(
   CpuTimer merge_timer;
   auto merged = MergeTopK(std::move(locals), fetch_k);
   if (acct != nullptr) acct->serial_nanos += merge_timer.ElapsedNanos();
+  if (metrics != nullptr) {
+    for (const auto& w : worker_counters) counters.MergeFrom(w);
+    FlushSearchCounters(metrics, counters);
+  }
   return refine(std::move(merged));
 }
 
@@ -300,18 +341,22 @@ Result<std::vector<std::vector<Neighbor>>> IvfPqIndex::SearchBatch(
   if (queries == nullptr && nq > 0) {
     return Status::InvalidArgument("IvfPq::SearchBatch: null queries");
   }
-  if (params.k == 0) {
-    return Status::InvalidArgument("IvfPq::SearchBatch: k == 0");
-  }
+  VECDB_RETURN_NOT_OK(
+      ValidateSearchParams(params, IndexKind::kIvf, "IvfPq::SearchBatch"));
   if (!pq_) {
     return Status::InvalidArgument("IvfPq::SearchBatch: index not built");
   }
   std::vector<std::vector<Neighbor>> results(nq);
   if (nq == 0) return results;
-  const uint32_t nprobe =
-      std::min(params.nprobe == 0 ? 1u : params.nprobe, num_clusters_);
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  if (metrics != nullptr) {
+    metrics->AddUnchecked(obs::Counter::kFaissQueries, nq);
+    metrics->AddUnchecked(obs::Counter::kFaissBatchQueries, nq);
+  }
+  const uint32_t nprobe = std::min(params.nprobe, num_clusters_);
   const int num_workers = std::max(params.num_threads, 1);
-  ParallelAccounting* acct = params.accounting;
+  ParallelAccounting* acct = ctx.accounting;
   if (acct != nullptr &&
       acct->worker_busy_nanos.size() != static_cast<size_t>(num_workers)) {
     acct->Reset(num_workers);
@@ -322,7 +367,7 @@ Result<std::vector<std::vector<Neighbor>>> IvfPqIndex::SearchBatch(
   std::vector<float> centroid_dists(nq * static_cast<size_t>(num_clusters_));
   {
     CpuTimer timer;
-    ProfScope scope(params.profiler, "SelectBucketsSgemm");
+    ProfScope scope(ctx.profiler, "SelectBucketsSgemm");
     AllPairsL2Sqr(queries, nq, centroids_.data(), num_clusters_, dim_,
                   /*x_norms=*/nullptr, centroid_norms_.data(),
                   centroid_dists.data());
@@ -336,7 +381,7 @@ Result<std::vector<std::vector<Neighbor>>> IvfPqIndex::SearchBatch(
   // that worker's queries; scans run in per-query selection order, keeping
   // results identical to single-query Search.
   auto run_query = [&](size_t q, KMaxHeap& heap, std::vector<float>& table,
-                       Profiler* profiler) {
+                       Profiler* profiler, obs::SearchCounters* counters) {
     const float* query = queries + q * static_cast<size_t>(dim_);
     const float* row = centroid_dists.data() + q * num_clusters_;
     KMaxHeap probe_heap(nprobe);
@@ -350,7 +395,8 @@ Result<std::vector<std::vector<Neighbor>>> IvfPqIndex::SearchBatch(
       }
     }
     for (const auto& nb : probe_heap.TakeSorted()) {
-      ScanBucket(static_cast<uint32_t>(nb.id), table.data(), heap, profiler);
+      ScanBucket(static_cast<uint32_t>(nb.id), table.data(), heap, profiler,
+                 counters);
     }
     std::vector<Neighbor> adc = heap.TakeSorted();
     if (options_.refine_factor == 0) {
@@ -373,10 +419,13 @@ Result<std::vector<std::vector<Neighbor>>> IvfPqIndex::SearchBatch(
     CpuTimer timer;
     KMaxHeap heap(fetch_k);
     std::vector<float> table(pq_->table_size());
+    obs::SearchCounters counters;
+    obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
     for (size_t q = 0; q < nq; ++q) {
-      run_query(q, heap, table, params.profiler);
+      run_query(q, heap, table, ctx.profiler, sc);
     }
     if (acct != nullptr) acct->worker_busy_nanos[0] += timer.ElapsedNanos();
+    if (metrics != nullptr) FlushSearchCounters(metrics, counters);
     return results;
   }
 
@@ -385,7 +434,13 @@ Result<std::vector<std::vector<Neighbor>>> IvfPqIndex::SearchBatch(
     CpuTimer timer;
     KMaxHeap heap(fetch_k);
     std::vector<float> table(pq_->table_size());
-    for (size_t q = begin; q < end; ++q) run_query(q, heap, table, nullptr);
+    // Per-worker scratch counters, flushed once at worker exit.
+    obs::SearchCounters counters;
+    obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
+    for (size_t q = begin; q < end; ++q) {
+      run_query(q, heap, table, nullptr, sc);
+    }
+    if (metrics != nullptr) FlushSearchCounters(metrics, counters);
     if (acct != nullptr) {
       acct->worker_busy_nanos[worker] += timer.ElapsedNanos();
     }

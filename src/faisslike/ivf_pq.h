@@ -12,6 +12,7 @@
 #include "common/aligned_buffer.h"
 #include "core/index.h"
 #include "core/tombstones.h"
+#include "obs/metrics.h"
 #include "quantizer/pq.h"
 #include "topk/heaps.h"
 
@@ -87,7 +88,7 @@ class IvfPqIndex final : public VectorIndex {
 
  private:
   void ScanBucket(uint32_t bucket, const float* table, KMaxHeap& heap,
-                  Profiler* profiler) const;
+                  Profiler* profiler, obs::SearchCounters* counters) const;
   std::vector<uint32_t> SelectBuckets(const float* query,
                                       uint32_t nprobe) const;
 

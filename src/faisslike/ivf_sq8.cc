@@ -3,6 +3,7 @@
 #include "clustering/kmeans.h"
 #include "common/timer.h"
 #include "distance/kernels.h"
+#include "obs/metrics.h"
 
 namespace vecdb::faisslike {
 
@@ -84,6 +85,10 @@ Status IvfSq8Index::Build(const float* data, size_t n) {
   timer.Reset();
   VECDB_RETURN_NOT_OK(AddBatch(data, n));
   build_stats_.add_seconds = timer.ElapsedSeconds();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Add(obs::Counter::kFaissBuilds);
+  registry.Record(obs::Hist::kFaissBuildNanos,
+                  static_cast<uint64_t>(build_stats_.total_seconds() * 1e9));
   return Status::OK();
 }
 
@@ -107,21 +112,40 @@ Result<std::vector<Neighbor>> IvfSq8Index::Search(
   if (query == nullptr) {
     return Status::InvalidArgument("IvfSq8::Search: null query");
   }
-  if (params.k == 0) return Status::InvalidArgument("IvfSq8::Search: k == 0");
+  VECDB_RETURN_NOT_OK(
+      ValidateSearchParams(params, IndexKind::kIvf, "IvfSq8::Search"));
   if (!sq_) return Status::InvalidArgument("IvfSq8::Search: index not built");
-  const uint32_t nprobe =
-      std::min(params.nprobe == 0 ? 1u : params.nprobe, num_clusters_);
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kFaissSearchNanos);
+  const uint32_t nprobe = std::min(params.nprobe, num_clusters_);
   auto probes = SelectBuckets(query, nprobe);
 
+  obs::SearchCounters counters;
   KMaxHeap heap(params.k);
   for (uint32_t b : probes) {
     const auto& ids = bucket_ids_[b];
     const uint8_t* codes = bucket_codes_[b].data();
-    ProfScope scope(params.profiler, "sq8_scan");
+    ProfScope scope(ctx.profiler, "sq8_scan");
+    size_t skipped = 0;
     for (size_t i = 0; i < ids.size(); ++i) {
-      if (tombstones_.Contains(ids[i])) continue;
+      if (tombstones_.Contains(ids[i])) {
+        ++skipped;
+        continue;
+      }
       heap.Push(sq_->DistanceToCode(query, codes + i * dim_), ids[i]);
     }
+    counters.buckets_probed += 1;
+    counters.tuples_visited += ids.size();
+    counters.heap_pushes += ids.size() - skipped;
+    counters.tombstones_skipped += skipped;
+  }
+  if (metrics != nullptr) {
+    metrics->AddUnchecked(obs::Counter::kFaissQueries);
+    counters.FlushTo(metrics, obs::Counter::kFaissBucketsProbed,
+                     obs::Counter::kFaissTuplesVisited,
+                     obs::Counter::kFaissHeapPushes,
+                     obs::Counter::kFaissTombstonesSkipped);
   }
   return heap.TakeSorted();
 }

@@ -1,0 +1,271 @@
+// Process-wide observability substrate: cheap always-on counters and
+// log-bucketed latency histograms, in the spirit of RocksDB's
+// Statistics/PerfContext split. The paper's entire method is measurement —
+// its root-cause tables (Table III/V, Fig 8) are per-phase breakdowns — and
+// a serving engine needs the same numbers live: buffer hit rates (RC#2/
+// RC#4), SGEMM batching (RC#1), heap discipline (RC#6), and percentile
+// query latencies.
+//
+// Cost contract, mirroring the nullable Profiler*: when a registry is
+// disabled (or the caller holds a null pointer from
+// QueryContext::live_metrics()), each instrumentation scope costs exactly
+// one predictable branch. When enabled, counters are relaxed atomic adds on
+// thread-sharded cachelines and histogram records are one relaxed atomic
+// add plus min/max maintenance.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/timer.h"
+
+namespace vecdb::obs {
+
+/// Process counters ("tickers"). Names are dotted `layer.metric` strings;
+/// see CounterName() and docs/OBSERVABILITY.md for the catalog and the
+/// mapping back to the paper's tables and root causes.
+enum class Counter : uint32_t {
+  // pgstub buffer manager (RC#2: page-mediated tuple access; RC#4 sizing).
+  kBufmgrHit = 0,
+  kBufmgrMiss,
+  kBufmgrEviction,
+  kBufmgrPin,
+  // write-ahead log (the generalized engine's write tax).
+  kWalRecords,
+  kWalBytes,
+  // distance kernels (RC#1: batched SGEMM-decomposed distances).
+  kSgemmCalls,
+  // faisslike engine search/build.
+  kFaissQueries,
+  kFaissBatchQueries,
+  kFaissBucketsProbed,
+  kFaissTuplesVisited,
+  kFaissHeapPushes,
+  kFaissTombstonesSkipped,
+  kFaissBuilds,
+  // pase engine search/build.
+  kPaseQueries,
+  kPaseBucketsProbed,
+  kPaseTuplesVisited,
+  kPaseHeapPushes,
+  kPaseTombstonesSkipped,
+  kPaseBuilds,
+  // bridge engine search.
+  kBridgeQueries,
+  kBridgeBucketsProbed,
+  kBridgeTuplesVisited,
+  // SQL front end, per statement kind.
+  kSqlStatements,
+  kSqlCreateTable,
+  kSqlCreateIndex,
+  kSqlInsertRows,
+  kSqlSelect,
+  kSqlDelete,
+  kSqlDrop,
+  kSqlShow,
+  kSqlErrors,
+  kNumCounters,  // sentinel
+};
+
+/// Latency histograms, all in nanoseconds.
+enum class Hist : uint32_t {
+  kFaissSearchNanos = 0,
+  kPaseSearchNanos,
+  kBridgeSearchNanos,
+  kFaissBuildNanos,
+  kPaseBuildNanos,
+  kSqlSelectNanos,
+  kSqlInsertNanos,
+  kSqlDdlNanos,
+  kNumHists,  // sentinel
+};
+
+/// Dotted metric name, e.g. "bufmgr.hit". Stable across releases; bench
+/// tooling keys on these strings.
+const char* CounterName(Counter c);
+const char* HistName(Hist h);
+
+/// Lock-free log-bucketed histogram. Buckets are exact for values below
+/// 2^(kSubBits+1) and then split each power-of-two octave into
+/// 2^kSubBits sub-buckets, so the relative bucket width is bounded by
+/// 2^-kSubBits (12.5% at kSubBits=3). Percentiles interpolate linearly
+/// inside a bucket and clamp to the recorded [min, max].
+class Histogram {
+ public:
+  static constexpr uint32_t kSubBits = 3;
+  static constexpr uint32_t kSub = 1u << kSubBits;
+  /// Octaves for msb 0..63 plus the sub-bucket tail of the last octave.
+  static constexpr size_t kNumBuckets = (64 - kSubBits) * kSub + kSub;
+
+  /// Index of the bucket holding `v`. Pure bit math; pinned by tests.
+  static size_t BucketIndex(uint64_t v);
+
+  /// Smallest value mapping to bucket `index` (inclusive lower edge).
+  static uint64_t BucketLowerBound(size_t index);
+
+  Histogram() { Reset(); }
+
+  /// Records one observation. Thread-safe; never loses updates.
+  void Record(uint64_t value);
+
+  /// Number of recorded observations.
+  uint64_t TotalCount() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Min() const;  ///< smallest recorded value (0 when empty)
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+
+  /// Value at quantile `q` in [0, 1]: nearest-rank walk over the buckets
+  /// with linear interpolation inside the landing bucket, clamped to the
+  /// recorded [Min(), Max()]. Exact when every observation shares one
+  /// bucket; otherwise within one bucket width (<= 12.5% relative).
+  double Percentile(double q) const;
+
+  /// Drops all observations. Not atomic with respect to concurrent
+  /// Record() calls; quiesce writers first.
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets];
+  std::atomic<uint64_t> count_;
+  std::atomic<uint64_t> sum_;
+  std::atomic<uint64_t> min_;  ///< UINT64_MAX when empty
+  std::atomic<uint64_t> max_;
+};
+
+/// A set of named counters and histograms. One process-wide instance
+/// (Global()) backs always-on serving metrics; tests may build local
+/// instances and point a QueryContext at them.
+///
+/// Counters are sharded: each thread is assigned one of kNumShards
+/// cacheline-aligned slot arrays, so concurrent increments from a thread
+/// pool do not contend on one line. Reads sum every shard.
+class MetricsRegistry {
+ public:
+  static constexpr uint32_t kNumShards = 16;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry. Disabled by default so un-instrumented
+  /// binaries (micro benches) pay only the enabled() branch; the SQL layer
+  /// and serving harnesses switch it on.
+  static MetricsRegistry& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Adds `n` to counter `c` if the registry is enabled (one branch).
+  void Add(Counter c, uint64_t n = 1) {
+    if (!enabled()) return;
+    AddUnchecked(c, n);
+  }
+
+  /// Adds without the enabled check — for callers already holding a
+  /// live (enabled) registry pointer from QueryContext::live_metrics().
+  void AddUnchecked(Counter c, uint64_t n = 1) {
+    shards_[ShardIndex()]
+        .slots[static_cast<uint32_t>(c)]
+        .fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Current value of counter `c` (sums all shards).
+  uint64_t Value(Counter c) const;
+
+  /// Records `nanos` into histogram `h` if enabled (one branch).
+  void Record(Hist h, uint64_t value) {
+    if (!enabled()) return;
+    RecordUnchecked(h, value);
+  }
+  void RecordUnchecked(Hist h, uint64_t value) {
+    hists_[static_cast<uint32_t>(h)].Record(value);
+  }
+
+  const Histogram& histogram(Hist h) const {
+    return hists_[static_cast<uint32_t>(h)];
+  }
+
+  /// Zeroes every counter and histogram. Quiesce writers first.
+  void ResetAll();
+
+  /// Human-readable two-section table (counters, then histograms with
+  /// count/p50/p95/p99/max). The `SHOW METRICS` statement returns this.
+  std::string ExportTable() const;
+
+  /// Machine-readable JSON object {"counters": {...}, "histograms": {...}}
+  /// for bench tooling.
+  std::string ExportJson() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> slots[static_cast<size_t>(Counter::kNumCounters)];
+    Shard() {
+      for (auto& s : slots) s.store(0, std::memory_order_relaxed);
+    }
+  };
+
+  /// Stable per-thread shard assignment (round-robin at first use).
+  static uint32_t ShardIndex();
+
+  std::atomic<bool> enabled_{false};
+  Shard shards_[kNumShards];
+  Histogram hists_[static_cast<size_t>(Hist::kNumHists)];
+};
+
+/// RAII latency scope over a (nullable) live registry pointer: null costs
+/// one branch, mirroring ProfScope's contract with a null Profiler.
+class LatencyScope {
+ public:
+  LatencyScope(MetricsRegistry* metrics, Hist hist)
+      : metrics_(metrics), hist_(hist) {
+    if (metrics_ != nullptr) start_ = NowNanos();
+  }
+  ~LatencyScope() {
+    if (metrics_ != nullptr) {
+      metrics_->RecordUnchecked(
+          hist_, static_cast<uint64_t>(NowNanos() - start_));
+    }
+  }
+  LatencyScope(const LatencyScope&) = delete;
+  LatencyScope& operator=(const LatencyScope&) = delete;
+
+ private:
+  MetricsRegistry* metrics_;
+  Hist hist_;
+  int64_t start_ = 0;
+};
+
+/// Per-query scratch counters engines accumulate with plain arithmetic in
+/// their scan loops, then flush into the registry once per query (or once
+/// per worker), keeping atomics off the innermost hot path.
+struct SearchCounters {
+  uint64_t buckets_probed = 0;
+  uint64_t tuples_visited = 0;
+  uint64_t heap_pushes = 0;
+  uint64_t tombstones_skipped = 0;
+
+  void MergeFrom(const SearchCounters& other) {
+    buckets_probed += other.buckets_probed;
+    tuples_visited += other.tuples_visited;
+    heap_pushes += other.heap_pushes;
+    tombstones_skipped += other.tombstones_skipped;
+  }
+
+  /// Flushes into `m` under the caller's engine-specific counter names
+  /// (faiss.*, pase.*, ...). `m` must be a live (enabled) registry.
+  void FlushTo(MetricsRegistry* m, Counter buckets, Counter tuples,
+               Counter pushes, Counter tombstones) const {
+    m->AddUnchecked(buckets, buckets_probed);
+    m->AddUnchecked(tuples, tuples_visited);
+    m->AddUnchecked(pushes, heap_pushes);
+    m->AddUnchecked(tombstones, tombstones_skipped);
+  }
+};
+
+}  // namespace vecdb::obs

@@ -7,6 +7,7 @@
 
 #include "common/timer.h"
 #include "distance/kernels.h"
+#include "obs/metrics.h"
 
 namespace vecdb::pase {
 
@@ -194,7 +195,7 @@ Result<PaseHnswIndex::Scored> PaseHnswIndex::GreedyClosest(
 
 Result<std::vector<PaseHnswIndex::Scored>> PaseHnswIndex::SearchLayer(
     const float* query, const Scored& entry, uint32_t ef, int level,
-    Profiler* profiler) const {
+    Profiler* profiler, obs::SearchCounters* counters) const {
   visited_.Reset();
   visited_.GetAndSet(entry.ref.nblk);
 
@@ -247,6 +248,7 @@ Result<std::vector<PaseHnswIndex::Scored>> PaseHnswIndex::SearchLayer(
     }
 
     // Tuple access + distance per unvisited neighbor.
+    size_t pushes = 0;
     for (const auto& nb : fresh) {
       VertexRef ref{nb.gid.nblkid, nb.gid.dblkid,
                     static_cast<pgstub::OffsetNumber>(nb.gid.doffset)};
@@ -261,7 +263,12 @@ Result<std::vector<PaseHnswIndex::Scored>> PaseHnswIndex::SearchLayer(
         Scored s{d, ref, row};
         candidates.push(s);
         results_push(s);
+        ++pushes;
       }
+    }
+    if (counters != nullptr) {
+      counters->tuples_visited += fresh.size();
+      counters->heap_pushes += pushes;
     }
   }
   std::sort(results.begin(), results.end(),
@@ -431,6 +438,10 @@ Status PaseHnswIndex::Build(const float* data, size_t n) {
     VECDB_RETURN_NOT_OK(AddOne(data + i * dim_));
   }
   build_stats_.add_seconds = timer.ElapsedSeconds();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Add(obs::Counter::kPaseBuilds);
+  registry.Record(obs::Hist::kPaseBuildNanos,
+                  static_cast<uint64_t>(build_stats_.total_seconds() * 1e9));
   return Status::OK();
 }
 
@@ -444,28 +455,44 @@ Status PaseHnswIndex::Delete(int64_t id) {
 Result<std::vector<Neighbor>> PaseHnswIndex::Search(
     const float* query, const SearchParams& params) const {
   if (query == nullptr) return Status::InvalidArgument("PaseHnsw: null query");
-  if (params.k == 0) return Status::InvalidArgument("PaseHnsw: k == 0");
+  VECDB_RETURN_NOT_OK(
+      ValidateSearchParams(params, IndexKind::kGraph, "PaseHnsw::Search"));
   if (num_vectors_ == 0) {
     return Status::InvalidArgument("PaseHnsw: index is empty");
   }
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kPaseSearchNanos);
+  obs::SearchCounters counters;
+  obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
+
   std::vector<float> entry_vec(dim_);
   VECDB_RETURN_NOT_OK(
-      ReadVector(entry_point_, entry_vec.data(), nullptr, params.profiler));
+      ReadVector(entry_point_, entry_vec.data(), nullptr, ctx.profiler));
   Scored cur{L2Sqr(query, entry_vec.data(), dim_), entry_point_, entry_row_};
   for (int lev = max_level_; lev > 0; --lev) {
-    VECDB_ASSIGN_OR_RETURN(cur,
-                           GreedyClosest(query, cur, lev, params.profiler));
+    VECDB_ASSIGN_OR_RETURN(cur, GreedyClosest(query, cur, lev, ctx.profiler));
   }
   const uint32_t ef = std::max<uint32_t>(
       params.efs, static_cast<uint32_t>(params.k + tombstones_.size()));
   VECDB_ASSIGN_OR_RETURN(std::vector<Scored> found,
-                         SearchLayer(query, cur, ef, 0, params.profiler));
+                         SearchLayer(query, cur, ef, 0, ctx.profiler, sc));
   std::vector<Neighbor> out;
   out.reserve(std::min(found.size(), params.k));
   for (const auto& s : found) {
     if (out.size() >= params.k) break;
-    if (tombstones_.Contains(s.row_id)) continue;
+    if (tombstones_.Contains(s.row_id)) {
+      ++counters.tombstones_skipped;
+      continue;
+    }
     out.push_back({s.dist, s.row_id});
+  }
+  if (metrics != nullptr) {
+    metrics->AddUnchecked(obs::Counter::kPaseQueries);
+    counters.FlushTo(metrics, obs::Counter::kPaseBucketsProbed,
+                     obs::Counter::kPaseTuplesVisited,
+                     obs::Counter::kPaseHeapPushes,
+                     obs::Counter::kPaseTombstonesSkipped);
   }
   return out;
 }

@@ -15,6 +15,7 @@
 #include "common/random.h"
 #include "core/index.h"
 #include "core/tombstones.h"
+#include "obs/metrics.h"
 #include "pase/pase_common.h"
 
 namespace vecdb::pase {
@@ -109,10 +110,11 @@ class PaseHnswIndex final : public VectorIndex {
                                int level, Profiler* profiler) const;
 
   /// Beam search at one level (SearchNbToAdd when called from Add).
-  Result<std::vector<Scored>> SearchLayer(const float* query,
-                                          const Scored& entry, uint32_t ef,
-                                          int level,
-                                          Profiler* profiler) const;
+  /// `counters` (nullable, query path only) picks up tuples visited and
+  /// heap pushes.
+  Result<std::vector<Scored>> SearchLayer(
+      const float* query, const Scored& entry, uint32_t ef, int level,
+      Profiler* profiler, obs::SearchCounters* counters = nullptr) const;
 
   /// Neighbor-selection heuristic over page-resident candidate vectors.
   Result<std::vector<Scored>> SelectNeighbors(

@@ -8,10 +8,20 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "distance/kernels.h"
+#include "obs/metrics.h"
 
 namespace vecdb::pase {
 
 namespace {
+
+void FlushSearchCounters(obs::MetricsRegistry* m,
+                         const obs::SearchCounters& sc) {
+  sc.FlushTo(m, obs::Counter::kPaseBucketsProbed,
+             obs::Counter::kPaseTuplesVisited,
+             obs::Counter::kPaseHeapPushes,
+             obs::Counter::kPaseTombstonesSkipped);
+}
+
 /// Special space of data pages: forward link of the bucket's chain.
 struct DataPageSpecial {
   pgstub::BlockId next;
@@ -173,6 +183,10 @@ Status PaseIvfFlatIndex::Build(const float* data, size_t n) {
 #ifndef NDEBUG
   CheckInvariants();
 #endif
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Add(obs::Counter::kPaseBuilds);
+  registry.Record(obs::Hist::kPaseBuildNanos,
+                  static_cast<uint64_t>(build_stats_.total_seconds() * 1e9));
   return Status::OK();
 }
 
@@ -307,8 +321,9 @@ Result<std::vector<uint32_t>> PaseIvfFlatIndex::SelectBuckets(
 
 Status PaseIvfFlatIndex::ScanBucket(uint32_t bucket, const float* query,
                                     NHeap* collector, std::mutex* mu,
-                                    int64_t* serial_nanos,
-                                    Profiler* profiler) const {
+                                    int64_t* serial_nanos, Profiler* profiler,
+                                    obs::SearchCounters* counters) const {
+  if (counters != nullptr) ++counters->buckets_probed;
   pgstub::BlockId block = chains_[bucket].head;
   std::vector<const char*> items;
   std::vector<float> dists;
@@ -343,13 +358,17 @@ Status PaseIvfFlatIndex::ScanBucket(uint32_t bucket, const float* query,
         }
       }
     }
+    size_t skipped = 0;
     {
       ProfScope scope(profiler, "MinHeap");
       if (mu == nullptr) {
         for (size_t i = 0; i < items.size(); ++i) {
           const auto* header =
               reinterpret_cast<const PaseVectorTuple*>(items[i]);
-          if (tombstones_.Contains(header->row_id)) continue;
+          if (tombstones_.Contains(header->row_id)) {
+            ++skipped;
+            continue;
+          }
           collector->Push(dists[i], header->row_id);
         }
       } else {
@@ -359,7 +378,10 @@ Status PaseIvfFlatIndex::ScanBucket(uint32_t bucket, const float* query,
         for (size_t i = 0; i < items.size(); ++i) {
           const auto* header =
               reinterpret_cast<const PaseVectorTuple*>(items[i]);
-          if (tombstones_.Contains(header->row_id)) continue;
+          if (tombstones_.Contains(header->row_id)) {
+            ++skipped;
+            continue;
+          }
           std::lock_guard<std::mutex> guard(*mu);
           collector->Push(dists[i], header->row_id);
         }
@@ -368,6 +390,11 @@ Status PaseIvfFlatIndex::ScanBucket(uint32_t bucket, const float* query,
           *serial_nanos += timer.ElapsedNanos();
         }
       }
+    }
+    if (counters != nullptr) {
+      counters->tuples_visited += items.size();
+      counters->heap_pushes += items.size() - skipped;
+      counters->tombstones_skipped += skipped;
     }
     pgstub::PageView page(handle.data, env_.bufmgr->page_size());
     block = reinterpret_cast<const DataPageSpecial*>(page.Special())->next;
@@ -381,14 +408,18 @@ Result<std::vector<Neighbor>> PaseIvfFlatIndex::Search(
   if (query == nullptr) {
     return Status::InvalidArgument("PaseIvfFlat: null query");
   }
-  if (params.k == 0) return Status::InvalidArgument("PaseIvfFlat: k == 0");
+  VECDB_RETURN_NOT_OK(
+      ValidateSearchParams(params, IndexKind::kIvf, "PaseIvfFlat::Search"));
   if (num_clusters_ == 0) {
     return Status::InvalidArgument("PaseIvfFlat: index not built");
   }
-  const uint32_t nprobe =
-      std::min(params.nprobe == 0 ? 1u : params.nprobe, num_clusters_);
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kPaseSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kPaseQueries);
+  const uint32_t nprobe = std::min(params.nprobe, num_clusters_);
   VECDB_ASSIGN_OR_RETURN(std::vector<uint32_t> probes,
-                         SelectBuckets(query, nprobe, params.profiler));
+                         SelectBuckets(query, nprobe, ctx.profiler));
 
   // RC#6: all candidates go into one n-sized heap, popped k times at the
   // end — never a bounded k-heap.
@@ -396,17 +427,20 @@ Result<std::vector<Neighbor>> PaseIvfFlatIndex::Search(
 
   if (params.num_threads <= 1) {
     CpuTimer timer;
+    obs::SearchCounters counters;
+    obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
     for (uint32_t b : probes) {
-      VECDB_RETURN_NOT_OK(
-          ScanBucket(b, query, &collector, nullptr, nullptr, params.profiler));
+      VECDB_RETURN_NOT_OK(ScanBucket(b, query, &collector, nullptr, nullptr,
+                                     ctx.profiler, sc));
     }
-    if (params.accounting != nullptr) {
-      if (params.accounting->worker_busy_nanos.empty()) {
-        params.accounting->Reset(1);
+    if (ctx.accounting != nullptr) {
+      if (ctx.accounting->worker_busy_nanos.empty()) {
+        ctx.accounting->Reset(1);
       }
-      params.accounting->worker_busy_nanos[0] += timer.ElapsedNanos();
+      ctx.accounting->worker_busy_nanos[0] += timer.ElapsedNanos();
     }
-    ProfScope scope(params.profiler, "MinHeap");
+    if (metrics != nullptr) FlushSearchCounters(metrics, counters);
+    ProfScope scope(ctx.profiler, "MinHeap");
     if (options_.pgvector_mode) {
       // pgvector sorts the full candidate set (ORDER BY semantics) rather
       // than heap-selecting k of n.
@@ -421,7 +455,7 @@ Result<std::vector<Neighbor>> PaseIvfFlatIndex::Search(
   ThreadPool pool(params.num_threads);
   std::mutex mu;
   int64_t serial_nanos = 0;
-  ParallelAccounting* acct = params.accounting;
+  ParallelAccounting* acct = ctx.accounting;
   if (acct != nullptr &&
       acct->worker_busy_nanos.size() != static_cast<size_t>(params.num_threads)) {
     acct->Reset(params.num_threads);
@@ -430,14 +464,18 @@ Result<std::vector<Neighbor>> PaseIvfFlatIndex::Search(
   std::mutex status_mu;
   pool.ParallelFor(probes.size(), [&](int worker, size_t begin, size_t end) {
     CpuTimer timer;
+    // Per-worker scratch counters, flushed once at worker exit.
+    obs::SearchCounters counters;
+    obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
     for (size_t i = begin; i < end; ++i) {
       Status s = ScanBucket(probes[i], query, &collector, &mu, &serial_nanos,
-                            nullptr);
+                            nullptr, sc);
       if (!s.ok()) {
         std::lock_guard<std::mutex> guard(status_mu);
         if (worker_status.ok()) worker_status = s;
       }
     }
+    if (metrics != nullptr) FlushSearchCounters(metrics, counters);
     if (acct != nullptr) {
       acct->worker_busy_nanos[worker] += timer.ElapsedNanos();
     }

@@ -14,6 +14,7 @@
 #include "common/aligned_buffer.h"
 #include "core/index.h"
 #include "core/tombstones.h"
+#include "obs/metrics.h"
 #include "pase/pase_common.h"
 #include "topk/heaps.h"
 
@@ -96,9 +97,11 @@ class PaseIvfFlatIndex final : public VectorIndex {
   /// Walks one bucket's page chain, appending candidates to `collector`.
   /// Thread-safe when `mu` is non-null (PASE's locked global heap, RC#3);
   /// lock+push time is then charged to `serial_nanos`.
+  /// `counters` (nullable, owned by the calling worker) picks up tuples
+  /// visited / heap pushes / tombstones skipped.
   Status ScanBucket(uint32_t bucket, const float* query, NHeap* collector,
-                    std::mutex* mu, int64_t* serial_nanos,
-                    Profiler* profiler) const;
+                    std::mutex* mu, int64_t* serial_nanos, Profiler* profiler,
+                    obs::SearchCounters* counters) const;
 
   /// Walks every page chain looking for a stored tuple with `row_id`
   /// (live or tombstoned). Vacuumed rows are gone from the chains.

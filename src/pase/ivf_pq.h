@@ -12,6 +12,7 @@
 #include "common/aligned_buffer.h"
 #include "core/index.h"
 #include "core/tombstones.h"
+#include "obs/metrics.h"
 #include "pase/pase_common.h"
 #include "quantizer/pq.h"
 #include "topk/heaps.h"
@@ -75,9 +76,11 @@ class PaseIvfPqIndex final : public VectorIndex {
   Result<std::vector<uint32_t>> SelectBuckets(const float* query,
                                               uint32_t nprobe,
                                               Profiler* profiler) const;
+  /// `counters` (nullable, owned by the calling worker) picks up tuples
+  /// visited / heap pushes / tombstones skipped.
   Status ScanBucket(uint32_t bucket, const float* table, NHeap* collector,
-                    std::mutex* mu, int64_t* serial_nanos,
-                    Profiler* profiler) const;
+                    std::mutex* mu, int64_t* serial_nanos, Profiler* profiler,
+                    obs::SearchCounters* counters) const;
 
   PaseEnv env_;
   uint32_t dim_;

@@ -5,6 +5,7 @@
 #include "clustering/kmeans.h"
 #include "common/timer.h"
 #include "distance/kernels.h"
+#include "obs/metrics.h"
 
 namespace vecdb::pase {
 
@@ -107,6 +108,10 @@ Status PaseIvfSq8Index::Build(const float* data, size_t n) {
   }
   num_vectors_ = n;
   build_stats_.add_seconds = timer.ElapsedSeconds();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Add(obs::Counter::kPaseBuilds);
+  registry.Record(obs::Hist::kPaseBuildNanos,
+                  static_cast<uint64_t>(build_stats_.total_seconds() * 1e9));
   return Status::OK();
 }
 
@@ -129,14 +134,17 @@ Result<std::vector<Neighbor>> PaseIvfSq8Index::Search(
   if (query == nullptr) {
     return Status::InvalidArgument("PaseIvfSq8: null query");
   }
-  if (params.k == 0) return Status::InvalidArgument("PaseIvfSq8: k == 0");
+  VECDB_RETURN_NOT_OK(
+      ValidateSearchParams(params, IndexKind::kIvf, "PaseIvfSq8::Search"));
   if (!sq_) return Status::InvalidArgument("PaseIvfSq8: index not built");
-  const uint32_t nprobe =
-      std::min(params.nprobe == 0 ? 1u : params.nprobe, num_clusters_);
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kPaseSearchNanos);
+  const uint32_t nprobe = std::min(params.nprobe, num_clusters_);
 
   KMaxHeap centroid_heap(nprobe);
   {
-    ProfScope scope(params.profiler, "SelectBuckets");
+    ProfScope scope(ctx.profiler, "SelectBuckets");
     for (uint32_t c = 0; c < num_clusters_; ++c) {
       centroid_heap.Push(
           L2Sqr(query, centroids_.data() + static_cast<size_t>(c) * dim_,
@@ -145,34 +153,50 @@ Result<std::vector<Neighbor>> PaseIvfSq8Index::Search(
     }
   }
 
+  obs::SearchCounters counters;
   NHeap collector;  // RC#6 applies to every PASE IVF index
   for (const auto& probe : centroid_heap.TakeSorted()) {
+    ++counters.buckets_probed;
     pgstub::BlockId block = chains_[static_cast<uint32_t>(probe.id)].head;
     while (block != pgstub::kInvalidBlock) {
       pgstub::BufferHandle handle;
       {
-        ProfScope scope(params.profiler, "TupleAccess");
+        ProfScope scope(ctx.profiler, "TupleAccess");
         VECDB_ASSIGN_OR_RETURN(handle, env_.bufmgr->Pin(data_rel_, block));
       }
       pgstub::PageView page(handle.data, env_.bufmgr->page_size());
       const uint16_t count = page.ItemCount();
       {
-        ProfScope scope(params.profiler, "sq8_scan");
+        ProfScope scope(ctx.profiler, "sq8_scan");
+        size_t skipped = 0;
         for (pgstub::OffsetNumber slot = 1; slot <= count; ++slot) {
           const char* item = page.GetItem(slot);
           const auto* header =
               reinterpret_cast<const CodeTupleHeader*>(item);
-          if (tombstones_.Contains(header->row_id)) continue;
+          if (tombstones_.Contains(header->row_id)) {
+            ++skipped;
+            continue;
+          }
           const uint8_t* code = reinterpret_cast<const uint8_t*>(
               item + sizeof(CodeTupleHeader));
           collector.Push(sq_->DistanceToCode(query, code), header->row_id);
         }
+        counters.tuples_visited += count;
+        counters.heap_pushes += count - skipped;
+        counters.tombstones_skipped += skipped;
       }
       block = reinterpret_cast<const DataPageSpecial*>(page.Special())->next;
       env_.bufmgr->Unpin(handle, false);
     }
   }
-  ProfScope scope(params.profiler, "MinHeap");
+  if (metrics != nullptr) {
+    metrics->AddUnchecked(obs::Counter::kPaseQueries);
+    counters.FlushTo(metrics, obs::Counter::kPaseBucketsProbed,
+                     obs::Counter::kPaseTuplesVisited,
+                     obs::Counter::kPaseHeapPushes,
+                     obs::Counter::kPaseTombstonesSkipped);
+  }
+  ProfScope scope(ctx.profiler, "MinHeap");
   return collector.PopK(params.k);
 }
 

@@ -1,6 +1,7 @@
 #include "pgstub/bufmgr.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace vecdb::pgstub {
 
@@ -40,6 +41,7 @@ Result<int32_t> BufferManager::AllocFrame() {
     table_.erase(TagKey(f.rel, f.block));
     f.valid = false;
     ++stats_.evictions;
+    obs::MetricsRegistry::Global().Add(obs::Counter::kBufmgrEviction);
     return static_cast<int32_t>(frame_idx);
   }
   return Status::ResourceExhausted("buffer pool: all frames pinned");
@@ -48,17 +50,21 @@ Result<int32_t> BufferManager::AllocFrame() {
 Result<BufferHandle> BufferManager::Pin(RelId rel, BlockId block) {
   std::lock_guard<std::mutex> guard(mu_);
   ++stats_.pins;
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.Add(obs::Counter::kBufmgrPin);
   auto it = table_.find(TagKey(rel, block));
   if (it != table_.end()) {
     Frame& f = frames_[it->second];
     ++f.pin_count;
     if (f.usage < 5) ++f.usage;
     ++stats_.hits;
+    metrics.Add(obs::Counter::kBufmgrHit);
     return BufferHandle{it->second,
                         pool_.data() + static_cast<size_t>(it->second) *
                                            smgr_->page_size()};
   }
   ++stats_.misses;
+  metrics.Add(obs::Counter::kBufmgrMiss);
   VECDB_ASSIGN_OR_RETURN(int32_t frame, AllocFrame());
   char* data = pool_.data() + static_cast<size_t>(frame) * smgr_->page_size();
   VECDB_RETURN_NOT_OK(smgr_->ReadBlock(rel, block, data));
@@ -88,6 +94,7 @@ Result<std::pair<BlockId, BufferHandle>> BufferManager::NewPage(RelId rel) {
   f.valid = true;
   table_[TagKey(rel, block)] = frame;
   ++stats_.pins;
+  obs::MetricsRegistry::Global().Add(obs::Counter::kBufmgrPin);
   return std::make_pair(block, BufferHandle{frame, data});
 }
 

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace vecdb::pgstub {
 
 namespace {
@@ -73,6 +75,10 @@ Status WalManager::AppendRecord(WalRecordType type, RelId rel, BlockId block,
     return Status::IOError("WAL append failed");
   }
   ++next_lsn_;
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.Add(obs::Counter::kWalRecords);
+  metrics.Add(obs::Counter::kWalBytes,
+              sizeof(header) + payload_len + sizeof(crc));
   return Status::OK();
 }
 

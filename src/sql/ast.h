@@ -67,6 +67,11 @@ struct DeleteStmt {
   int64_t id = 0;
 };
 
+/// SHOW METRICS; / SHOW METRICS RESET;
+struct ShowStmt {
+  bool reset = false;  ///< zero all counters/histograms after exporting
+};
+
 /// A parsed statement (exactly one member is set).
 struct Statement {
   enum class Kind {
@@ -76,6 +81,7 @@ struct Statement {
     kSelect,
     kDrop,
     kDelete,
+    kShow,
   } kind;
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<InsertStmt> insert;
@@ -83,6 +89,7 @@ struct Statement {
   std::unique_ptr<SelectStmt> select;
   std::unique_ptr<DropStmt> drop;
   std::unique_ptr<DeleteStmt> delete_row;
+  std::unique_ptr<ShowStmt> show;
 };
 
 }  // namespace vecdb::sql

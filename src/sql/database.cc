@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/timer.h"
 #include "core/factory.h"
 #include "distance/kernels.h"
+#include "obs/metrics.h"
 #include "sql/parser.h"
 #include "topk/heaps.h"
 
@@ -15,6 +17,15 @@ double OptionOr(const std::map<std::string, double>& options,
   auto it = options.find(key);
   return it == options.end() ? fallback : it->second;
 }
+
+/// Sum of every engine's tuples-visited counter; the before/after delta of
+/// this across one statement is the executor's rows_scanned.
+uint64_t TuplesVisitedSnapshot() {
+  auto& m = obs::MetricsRegistry::Global();
+  return m.Value(obs::Counter::kFaissTuplesVisited) +
+         m.Value(obs::Counter::kPaseTuplesVisited) +
+         m.Value(obs::Counter::kBridgeTuplesVisited);
+}
 }  // namespace
 
 Result<std::unique_ptr<MiniDatabase>> MiniDatabase::Open(
@@ -25,12 +36,63 @@ Result<std::unique_ptr<MiniDatabase>> MiniDatabase::Open(
   VECDB_ASSIGN_OR_RETURN(
       pgstub::StorageManager smgr,
       pgstub::StorageManager::Open(data_dir, options.page_size));
+  // A SQL session is a serving context: turn the process-wide registry on
+  // so SHOW METRICS and ExecStats have live numbers.
+  obs::MetricsRegistry::Global().SetEnabled(true);
   return std::unique_ptr<MiniDatabase>(
       new MiniDatabase(std::move(smgr), options.pool_pages));
 }
 
 Result<QueryResult> MiniDatabase::Execute(const std::string& statement) {
-  VECDB_ASSIGN_OR_RETURN(Statement stmt, Parse(statement));
+  Timer timer;
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.Add(obs::Counter::kSqlStatements);
+  auto parsed = Parse(statement);
+  if (!parsed.ok()) {
+    metrics.Add(obs::Counter::kSqlErrors);
+    return parsed.status();
+  }
+  const Statement& stmt = *parsed;
+  Result<QueryResult> result = Dispatch(stmt);
+  const auto nanos = static_cast<uint64_t>(timer.ElapsedNanos());
+  switch (stmt.kind) {
+    case Statement::Kind::kCreateTable:
+      metrics.Add(obs::Counter::kSqlCreateTable);
+      metrics.Record(obs::Hist::kSqlDdlNanos, nanos);
+      break;
+    case Statement::Kind::kInsert:
+      metrics.Add(obs::Counter::kSqlInsertRows, stmt.insert->rows.size());
+      metrics.Record(obs::Hist::kSqlInsertNanos, nanos);
+      break;
+    case Statement::Kind::kCreateIndex:
+      metrics.Add(obs::Counter::kSqlCreateIndex);
+      metrics.Record(obs::Hist::kSqlDdlNanos, nanos);
+      break;
+    case Statement::Kind::kSelect:
+      metrics.Add(obs::Counter::kSqlSelect);
+      metrics.Record(obs::Hist::kSqlSelectNanos, nanos);
+      break;
+    case Statement::Kind::kDrop:
+      metrics.Add(obs::Counter::kSqlDrop);
+      metrics.Record(obs::Hist::kSqlDdlNanos, nanos);
+      break;
+    case Statement::Kind::kDelete:
+      metrics.Add(obs::Counter::kSqlDelete);
+      break;
+    case Statement::Kind::kShow:
+      metrics.Add(obs::Counter::kSqlShow);
+      break;
+  }
+  if (!result.ok()) {
+    metrics.Add(obs::Counter::kSqlErrors);
+    return result;
+  }
+  result->stats.wall_seconds = static_cast<double>(nanos) * 1e-9;
+  result->stats.rows_returned = result->rows.size();
+  return result;
+}
+
+Result<QueryResult> MiniDatabase::Dispatch(const Statement& stmt) {
   switch (stmt.kind) {
     case Statement::Kind::kCreateTable:
       return ExecCreateTable(*stmt.create_table);
@@ -44,6 +106,8 @@ Result<QueryResult> MiniDatabase::Execute(const std::string& statement) {
       return ExecDrop(*stmt.drop);
     case Statement::Kind::kDelete:
       return ExecDelete(*stmt.delete_row);
+    case Statement::Kind::kShow:
+      return ExecShow(*stmt.show);
   }
   return Status::Internal("unhandled statement kind");
 }
@@ -138,8 +202,10 @@ Result<QueryResult> MiniDatabase::ExecCreateIndex(
 Result<QueryResult> MiniDatabase::SeqScanSelect(const SelectStmt& stmt,
                                                 const TableEntry& table) {
   KMaxHeap heap(stmt.limit);
+  uint64_t scanned = 0;
   VECDB_RETURN_NOT_OK(table.heap->SeqScan(
       [&](pgstub::TupleId, int64_t row_id, const float* vec) {
+        ++scanned;
         if (!table.deleted.empty() && table.deleted.count(row_id) != 0) {
           return true;  // dead tuple
         }
@@ -149,6 +215,7 @@ Result<QueryResult> MiniDatabase::SeqScanSelect(const SelectStmt& stmt,
         return true;
       }));
   QueryResult out;
+  out.stats.rows_scanned = scanned;
   out.columns = stmt.select_distance
                     ? std::vector<std::string>{"id", "distance"}
                     : std::vector<std::string>{"id"};
@@ -211,7 +278,12 @@ Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt) {
   pgstub::AmScanOptions scan;
   scan.k = stmt.limit;
   scan.nprobe = static_cast<uint32_t>(OptionOr(stmt.options, "nprobe", 20));
-  scan.efs = static_cast<uint32_t>(OptionOr(stmt.options, "efs", 200));
+  // Engines reject efs < k at the API boundary, so the default must track
+  // the requested LIMIT.
+  scan.efs = static_cast<uint32_t>(OptionOr(
+      stmt.options, "efs",
+      std::max<double>(200, static_cast<double>(stmt.limit))));
+  const uint64_t visited_before = TuplesVisitedSnapshot();
   VECDB_ASSIGN_OR_RETURN(std::unique_ptr<pgstub::IndexScanCursor> cursor,
                          chosen->am->AmBeginScan(stmt.query.data(), scan));
   QueryResult out;
@@ -224,6 +296,20 @@ Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt) {
     if (!more) break;
     out.rows.push_back({nb.id, nb.dist});
   }
+  // The engine flushed its scan counters when the scan materialized in
+  // AmBeginScan, so the delta is this statement's tuple traffic. Fall back
+  // to the result size if the registry was toggled off mid-statement.
+  const uint64_t delta = TuplesVisitedSnapshot() - visited_before;
+  out.stats.rows_scanned =
+      std::max<uint64_t>(delta, out.rows.size());
+  return out;
+}
+
+Result<QueryResult> MiniDatabase::ExecShow(const ShowStmt& stmt) {
+  auto& metrics = obs::MetricsRegistry::Global();
+  QueryResult out;
+  out.message = metrics.ExportTable();
+  if (stmt.reset) metrics.ResetAll();
   return out;
 }
 

@@ -26,9 +26,16 @@ struct QueryResult {
     int64_t id = 0;
     double distance = 0.0;
   };
+  /// Per-statement execution statistics, filled by Execute().
+  struct ExecStats {
+    double wall_seconds = 0.0;   ///< end-to-end statement latency
+    uint64_t rows_scanned = 0;   ///< tuples the executor visited
+    uint64_t rows_returned = 0;  ///< rows in the result set
+  };
   std::vector<std::string> columns;  ///< "id" or {"id", "distance"}
   std::vector<Row> rows;
   std::string message;  ///< DDL acknowledgements and EXPLAIN plans
+  ExecStats stats;
 };
 
 /// Configuration for MiniDatabase::Open.
@@ -67,12 +74,16 @@ class MiniDatabase {
   MiniDatabase(pgstub::StorageManager smgr, size_t pool_pages)
       : smgr_(std::move(smgr)), bufmgr_(&smgr_, pool_pages) {}
 
+  /// Parse + dispatch, without the metrics/stats bookkeeping Execute adds.
+  Result<QueryResult> Dispatch(const Statement& stmt);
+
   Result<QueryResult> ExecCreateTable(const CreateTableStmt& stmt);
   Result<QueryResult> ExecInsert(const InsertStmt& stmt);
   Result<QueryResult> ExecCreateIndex(const CreateIndexStmt& stmt);
   Result<QueryResult> ExecSelect(const SelectStmt& stmt);
   Result<QueryResult> ExecDrop(const DropStmt& stmt);
   Result<QueryResult> ExecDelete(const DeleteStmt& stmt);
+  Result<QueryResult> ExecShow(const ShowStmt& stmt);
 
   /// Instantiates an engine index per (method, engine) for `dim`.
   Result<std::unique_ptr<VectorIndex>> MakeIndex(const CreateIndexStmt& stmt,

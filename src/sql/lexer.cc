@@ -12,7 +12,7 @@ bool IsKeyword(const std::string& word) {
       "SELECT", "FROM",   "ORDER",  "BY",     "LIMIT",  "CREATE", "TABLE",
       "INDEX",  "ON",     "USING",  "WITH",   "INSERT", "INTO",   "VALUES",
       "INT",    "BIGINT", "FLOAT",  "ASC",    "DESC",   "DROP",   "OPTIONS",
-      "AS",     "WHERE",  "EXPLAIN", "DELETE"};
+      "AS",     "WHERE",  "EXPLAIN", "DELETE", "SHOW",  "METRICS", "RESET"};
   return kKeywords.count(word) != 0;
 }
 

@@ -232,6 +232,16 @@ Result<Statement> ParseDelete(Cursor& cur) {
   return out;
 }
 
+Result<Statement> ParseShow(Cursor& cur) {
+  VECDB_RETURN_NOT_OK(cur.ExpectKeyword("METRICS"));
+  auto stmt = std::make_unique<ShowStmt>();
+  stmt->reset = cur.MatchKeyword("RESET");
+  Statement out;
+  out.kind = Statement::Kind::kShow;
+  out.show = std::move(stmt);
+  return out;
+}
+
 Result<Statement> ParseDrop(Cursor& cur) {
   auto stmt = std::make_unique<DropStmt>();
   if (cur.MatchKeyword("INDEX")) {
@@ -310,6 +320,8 @@ Result<Statement> Parse(const std::string& input) {
     result = ParseDrop(cur);
   } else if (cur.MatchKeyword("DELETE")) {
     result = ParseDelete(cur);
+  } else if (cur.MatchKeyword("SHOW")) {
+    result = ParseShow(cur);
   } else {
     return Status::InvalidArgument("unrecognized statement start: '" +
                                    cur.Peek().text + "'");

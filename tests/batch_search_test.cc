@@ -129,7 +129,7 @@ TEST(BatchSearchTest, FaissIvfFlatOneSgemmPerBatch) {
   params.k = 10;
   params.nprobe = 4;
   Profiler profiler;
-  params.profiler = &profiler;
+  params.ctx.profiler = &profiler;
   ASSERT_TRUE(
       index.SearchBatch(ds.queries.data(), ds.num_queries, params).ok());
   // RC#1: bucket selection for the whole batch is ONE SGEMM-decomposed
@@ -149,7 +149,7 @@ TEST(BatchSearchTest, FaissIvfFlatRecordsAccounting) {
   params.nprobe = 4;
   params.num_threads = 3;
   ParallelAccounting acct;
-  params.accounting = &acct;
+  params.ctx.accounting = &acct;
   ASSERT_TRUE(
       index.SearchBatch(ds.queries.data(), ds.num_queries, params).ok());
   ASSERT_EQ(acct.worker_busy_nanos.size(), 3u);
@@ -176,7 +176,7 @@ TEST(BatchSearchTest, FaissIvfPqMatchesPerQuery) {
   CheckBatchEdges(index, ds, params);
 
   Profiler profiler;
-  params.profiler = &profiler;
+  params.ctx.profiler = &profiler;
   ASSERT_TRUE(
       index.SearchBatch(ds.queries.data(), ds.num_queries, params).ok());
   EXPECT_EQ(profiler.Hits("SelectBucketsSgemm"), 1);

@@ -104,9 +104,9 @@ TEST_F(BridgeTest, ParallelLocalAndGlobalHeapsAgree) {
   params.num_threads = 4;
   ParallelAccounting acct_local, acct_global;
   for (size_t q = 0; q < 5; ++q) {
-    params.accounting = &acct_local;
+    params.ctx.accounting = &acct_local;
     auto ra = a.Search(ds_.query_vector(q), params).ValueOrDie();
-    params.accounting = &acct_global;
+    params.ctx.accounting = &acct_global;
     auto rb = b.Search(ds_.query_vector(q), params).ValueOrDie();
     EXPECT_EQ(ra, rb);
   }

@@ -140,7 +140,7 @@ TEST(IvfFlatTest, ParallelSearchMatchesSerial) {
   serial.nprobe = parallel.nprobe = 16;
   parallel.num_threads = 4;
   ParallelAccounting acct;
-  parallel.accounting = &acct;
+  parallel.ctx.accounting = &acct;
   for (size_t q = 0; q < 5; ++q) {
     auto rs = index.Search(ds.query_vector(q), serial).ValueOrDie();
     auto rp = index.Search(ds.query_vector(q), parallel).ValueOrDie();

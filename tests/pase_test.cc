@@ -78,7 +78,7 @@ TEST_F(PaseTest, IvfFlatParallelMatchesSerial) {
   serial.nprobe = parallel.nprobe = 16;
   parallel.num_threads = 4;
   ParallelAccounting acct;
-  parallel.accounting = &acct;
+  parallel.ctx.accounting = &acct;
   for (size_t q = 0; q < 5; ++q) {
     auto rs = index.Search(ds_.query_vector(q), serial).ValueOrDie();
     auto rp = index.Search(ds_.query_vector(q), parallel).ValueOrDie();
@@ -97,7 +97,7 @@ TEST_F(PaseTest, IvfFlatProfilerSeesPaperPhases) {
   SearchParams params;
   params.k = 10;
   params.nprobe = 8;
-  params.profiler = &profiler;
+  params.ctx.profiler = &profiler;
   ASSERT_TRUE(index.Search(ds_.query_vector(0), params).ok());
   // Table V categories must all be present for PASE.
   EXPECT_GT(profiler.Nanos("fvec_L2sqr"), 0);

@@ -203,5 +203,74 @@ TEST_F(DatabaseTest, UserRowIdsPreservedThroughIndexScan) {
   EXPECT_EQ(result.rows[0].id, 777);
 }
 
+// Extracts a counter's value from the SHOW METRICS table ("name   value").
+uint64_t TableValue(const std::string& table, const std::string& name) {
+  const size_t pos = table.find(name + " ");
+  if (pos == std::string::npos) return ~uint64_t{0};
+  const size_t eol = table.find('\n', pos);
+  return std::stoull(table.substr(pos + name.size(), eol - pos - name.size()));
+}
+
+TEST_F(DatabaseTest, ShowMetricsRoundTripsAndCounts) {
+  Must("SHOW METRICS RESET");  // start from a clean registry
+  LoadSmallTable();
+  Must("SELECT id FROM items ORDER BY vec <-> '1,0,0,0' LIMIT 2");
+  EXPECT_FALSE(db_->Execute("SELECT nope FROM items ORDER BY vec <-> '1' "
+                            "LIMIT 1")
+                   .ok());
+  auto shown = Must("SHOW METRICS");
+  // The export is the full counter/histogram table with live values.
+  EXPECT_EQ(TableValue(shown.message, "sql.select"), 2u);
+  EXPECT_EQ(TableValue(shown.message, "sql.insert_rows"), 5u);
+  EXPECT_EQ(TableValue(shown.message, "sql.create_table"), 1u);
+  EXPECT_EQ(TableValue(shown.message, "sql.errors"), 1u);
+  EXPECT_NE(shown.message.find("sql.select_nanos"), std::string::npos);
+  // The heap scan goes through the buffer manager, so page counters moved.
+  EXPECT_GT(TableValue(shown.message, "bufmgr.pin"), 0u);
+
+  // RESET zeroes everything; the subsequent export reflects it.
+  Must("SHOW METRICS RESET");
+  auto cleared = Must("SHOW METRICS");
+  EXPECT_EQ(TableValue(cleared.message, "sql.select"), 0u);
+  EXPECT_EQ(TableValue(cleared.message, "sql.errors"), 0u);
+}
+
+TEST_F(DatabaseTest, ExecStatsReportRowsAndLatency) {
+  LoadSmallTable();
+  auto seq = Must("SELECT id FROM items ORDER BY vec <-> '1,0,0,0' LIMIT 2");
+  EXPECT_EQ(seq.stats.rows_returned, 2u);
+  EXPECT_EQ(seq.stats.rows_scanned, 5u);  // full heap scan
+  EXPECT_GT(seq.stats.wall_seconds, 0.0);
+
+  Must("CREATE INDEX items_idx ON items USING ivfflat (vec) WITH "
+       "(clusters=2, sample_ratio=1)");
+  auto indexed = Must("SELECT id FROM items ORDER BY vec <-> '1,0,0,0' "
+                      "OPTIONS (nprobe=1) LIMIT 2");
+  EXPECT_EQ(indexed.stats.rows_returned, 2u);
+  // nprobe=1 visits one bucket: at least the results, fewer than the table.
+  EXPECT_GE(indexed.stats.rows_scanned, 2u);
+  EXPECT_LE(indexed.stats.rows_scanned, 5u);
+
+  auto ddl = Must("DROP INDEX items_idx");
+  EXPECT_EQ(ddl.stats.rows_returned, 0u);
+  EXPECT_GT(ddl.stats.wall_seconds, 0.0);
+}
+
+TEST_F(DatabaseTest, LargeLimitGetsWorkingEfsDefault) {
+  // LIMIT above the old fixed efs=200 must not trip the efs >= k guard.
+  Must("CREATE TABLE big (id int, vec float[4])");
+  std::string insert = "INSERT INTO big VALUES ";
+  for (int i = 0; i < 300; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(" + std::to_string(i) + ", '" + std::to_string(i * 0.01) +
+              "," + std::to_string((i * 37 % 100) * 0.01) + ",0,0')";
+  }
+  Must(insert);
+  Must("CREATE INDEX big_idx ON big USING hnsw (vec) WITH (bnn=8, efb=16)");
+  auto result =
+      Must("SELECT id FROM big ORDER BY vec <-> '1,0,0,0' LIMIT 250");
+  EXPECT_GT(result.rows.size(), 200u);
+}
+
 }  // namespace
 }  // namespace vecdb::sql

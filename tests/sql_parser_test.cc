@@ -122,6 +122,20 @@ TEST(ParserTest, EmptyAndUnknownStatements) {
   EXPECT_FALSE(Parse("FROBNICATE everything").ok());
 }
 
+TEST(ParserTest, ShowMetrics) {
+  auto stmt = Parse("SHOW METRICS;").ValueOrDie();
+  ASSERT_EQ(stmt.kind, Statement::Kind::kShow);
+  EXPECT_FALSE(stmt.show->reset);
+
+  auto reset = Parse("show metrics reset").ValueOrDie();
+  ASSERT_EQ(reset.kind, Statement::Kind::kShow);
+  EXPECT_TRUE(reset.show->reset);
+
+  EXPECT_FALSE(Parse("SHOW").ok());
+  EXPECT_FALSE(Parse("SHOW TABLES").ok());
+  EXPECT_FALSE(Parse("SHOW METRICS please").ok());
+}
+
 TEST(VectorLiteralTest, PlainAndBracketed) {
   auto a = ParseVectorLiteral("0.5, 1.5,2.5").ValueOrDie();
   ASSERT_EQ(a.size(), 3u);

@@ -17,6 +17,10 @@ Rules (suppress one occurrence with a trailing `// lint-allow:<rule>`):
                     configs (e.g. code behind #ifdef).
   pragma-once       header missing #pragma once.
   std-endl          std::endl in src/ -- it flushes; hot paths want '\\n'.
+  deprecated-alias  writing SearchParams::profiler / ::accounting -- those
+                    fields are deprecated shims kept for one release; route
+                    Profiler / ParallelAccounting / MetricsRegistry through
+                    SearchParams::ctx (the QueryContext) instead.
 """
 
 import os
@@ -31,6 +35,13 @@ ALLOW_RE = re.compile(r"//\s*lint-allow:([\w-]+)")
 NEW_ARRAY_ALLOWED = {os.path.join("src", "common", "aligned_buffer.h")}
 
 NEW_ARRAY_RE = re.compile(r"\bnew\s+[\w:<>]+\s*\[|\bdelete\s*\[\]")
+# `SearchParams p;` / `SearchParams p = other;` -- harvested per file so the
+# deprecated-alias rule only fires on SearchParams objects, not on the many
+# options structs that legitimately carry a profiler field.
+SEARCHPARAMS_DECL_RE = re.compile(r"\bSearchParams\s+(\w+)\s*[;={]")
+SEARCHPARAMS_BRACE_INIT_RE = re.compile(
+    r"\bSearchParams\s*\{[^}]*\.\s*(?:profiler|accounting)\s*="
+)
 PTHREAD_RE = re.compile(r"\bpthread_\w+\s*\(")
 ENDL_RE = re.compile(r"\bstd::endl\b")
 
@@ -120,10 +131,30 @@ def lint_file(root, path, status_stmt_re, errors):
     ):
         report(1, "pragma-once", "header is missing #pragma once")
 
+    # First pass: names of SearchParams-typed locals, so the deprecated-alias
+    # rule can tell `params.profiler` (banned) from `kmeans_opt.profiler`
+    # (a different struct, fine).
+    searchparams_vars = set()
+    for raw in lines:
+        line = strip_comments_and_strings(raw)
+        for m in SEARCHPARAMS_DECL_RE.finditer(line):
+            searchparams_vars.add(m.group(1))
+    alias_write_re = None
+    if searchparams_vars:
+        alias_write_re = re.compile(
+            r"\b(?:%s)\s*\.\s*(?:profiler|accounting)\s*=(?!=)"
+            % "|".join(sorted(searchparams_vars))
+        )
+
     in_src = path.startswith("src" + os.sep)
     prev_code = ""
     for i, raw in enumerate(lines, 1):
         line = strip_comments_and_strings(raw)
+        if (alias_write_re and alias_write_re.search(line)) or \
+                SEARCHPARAMS_BRACE_INIT_RE.search(line):
+            report(i, "deprecated-alias",
+                   "SearchParams::profiler/accounting are deprecated; "
+                   "set SearchParams::ctx fields instead")
         if NEW_ARRAY_RE.search(line) and path not in NEW_ARRAY_ALLOWED:
             report(i, "new-array",
                    "raw array new/delete; use AlignedFloats or a container")
