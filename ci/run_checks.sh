@@ -38,6 +38,13 @@ echo "=== build-asan: batched-search smoke (micro_kernels) ==="
 ./build-asan/bench/micro_kernels \
   --benchmark_filter='BM_Search(PerQuery|Batched)'
 
+# Filtered-search smoke: drive all three strategies (pre/in/post) across
+# the selectivity sweep under ASan/UBSan — the pre-filter survivor scans
+# and k-amplification retry loops are where an off-by-one would read past
+# a bucket or result buffer.
+echo "=== build-asan: filtered-search smoke (ext_filtered_search) ==="
+./build-asan/bench/ext_filtered_search --scale=0.002 --max-queries=5
+
 run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVECDB_SANITIZE=thread
 
@@ -47,6 +54,13 @@ run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 echo "=== build-tsan: concurrent metrics-registry smoke (micro_kernels) ==="
 ./build-tsan/bench/micro_kernels \
   --benchmark_filter='BM_SearchBatchedMetricsOn'
+
+# In-filter bitmap smoke: concurrent FilteredSearch calls share one
+# read-only SelectionVector and flush filter.* counters into the shared
+# registry; TSan turns a racy bitmap word or counter shard into a failure.
+echo "=== build-tsan: concurrent in-filter bitmap smoke (filter_test) ==="
+./build-tsan/tests/filter_test \
+  --gtest_filter='FilteredSearchTest.ConcurrentInFilterSharedBitmap'
 
 echo "=== lint (standalone) ==="
 python3 tools/lint.py .

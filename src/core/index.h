@@ -3,6 +3,8 @@
 // the SQL executor can drive any of them interchangeably.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -12,6 +14,8 @@
 #include "common/status.h"
 #include "core/parallel.h"
 #include "core/query_context.h"
+#include "filter/selection.h"
+#include "filter/strategy.h"
 #include "topk/neighbor.h"
 
 namespace vecdb {
@@ -25,20 +29,27 @@ struct SearchParams {
   /// Observability handle: profiler + parallel accounting + metrics sink.
   QueryContext ctx;
 
-  /// Deprecated (kept one PR): pre-QueryContext observability pointers.
-  /// New code sets `ctx.profiler` / `ctx.accounting`; engines read both
-  /// through Context(), where `ctx` wins if set.
-  Profiler* profiler = nullptr;
-  ParallelAccounting* accounting = nullptr;
+  /// The effective context. (The pre-QueryContext `profiler`/`accounting`
+  /// alias fields are gone; set the `ctx` fields directly.)
+  QueryContext Context() const { return ctx; }
+};
 
-  /// The effective context: `ctx` with the deprecated aliases folded in.
-  /// Engines resolve this once at the top of Search/SearchBatch.
-  QueryContext Context() const {
-    QueryContext out = ctx;
-    if (out.profiler == nullptr) out.profiler = profiler;
-    if (out.accounting == nullptr) out.accounting = accounting;
-    return out;
-  }
+/// A filtered query's predicate side: the selection bitmap (indexed by
+/// index position), the strategy to run (kAuto lets the planner pick), an
+/// optional sampled selectivity estimate, and the planner's thresholds.
+struct FilterRequest {
+  /// Required. Position `i` selected means vector `i` may appear in
+  /// results. Built by the SQL layer from the WHERE predicate.
+  const filter::SelectionVector* selection = nullptr;
+
+  filter::FilterStrategy strategy = filter::FilterStrategy::kAuto;
+
+  /// Sampled selectivity estimate in [0, 1]; negative means "unknown",
+  /// in which case the exact bitmap fraction is used. The estimate (not
+  /// the exact count) feeds the planner, mirroring a real optimizer.
+  double est_selectivity = -1.0;
+
+  filter::PlannerConfig planner;
 };
 
 /// What a Search() implementation consumes of SearchParams, for uniform
@@ -139,6 +150,18 @@ class VectorIndex {
     return out;
   }
 
+  /// Attribute-filtered top-k search — the paper-motivated workload
+  /// `WHERE <pred> ORDER BY vec <-> q LIMIT k`. Runs the requested
+  /// strategy (kAuto lets ChooseStrategy pick from the selectivity
+  /// estimate), falls back to post-filter when a planner-chosen strategy
+  /// is unimplemented for this index, and records the filter.* metrics.
+  /// Results are ascending by distance and contain only selected,
+  /// non-tombstoned ids; at most k, fewer when the bitmap has fewer
+  /// matches in reach.
+  Result<std::vector<Neighbor>> FilteredSearch(const float* query,
+                                               const FilterRequest& filter,
+                                               const SearchParams& params) const;
+
   /// Total bytes the index occupies (paper's "index size" metric).
   virtual size_t SizeBytes() const = 0;
 
@@ -156,7 +179,145 @@ class VectorIndex {
   const BuildStats& build_stats() const { return build_stats_; }
 
  protected:
+  /// Strategy hooks behind FilteredSearch. Engines override PreFilter /
+  /// InFilter with index-native implementations; the base class answers
+  /// NotSupported so kAuto can fall back to the universal post-filter.
+  virtual Result<std::vector<Neighbor>> PreFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const {
+    (void)query;
+    (void)selection;
+    (void)params;
+    return Status::NotSupported(Describe() + ": pre-filter not implemented");
+  }
+  virtual Result<std::vector<Neighbor>> InFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const {
+    (void)query;
+    (void)selection;
+    (void)params;
+    return Status::NotSupported(Describe() + ": in-filter not implemented");
+  }
+  /// Universal post-filter: search with k' = k / est_selectivity, drop
+  /// unselected results, retry with doubled k' until k survivors or the
+  /// index is exhausted. Works unchanged for every index because it only
+  /// consumes the public Search(); engines may still override it.
+  virtual Result<std::vector<Neighbor>> PostFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      double est_selectivity, const SearchParams& params) const;
+
   BuildStats build_stats_;
 };
+
+inline Result<std::vector<Neighbor>> VectorIndex::PostFilterSearch(
+    const float* query, const filter::SelectionVector& selection,
+    double est_selectivity, const SearchParams& params) const {
+  const size_t n = NumVectors();
+  if (n == 0) return std::vector<Neighbor>{};
+  // First amplification from the estimate; the 1e-3 floor keeps a
+  // near-zero estimate from demanding the whole index up front (the
+  // retry loop gets there anyway if the estimate was wrong).
+  const double sel = std::max(est_selectivity, 1e-3);
+  size_t kamp = static_cast<size_t>(
+      std::ceil(static_cast<double>(params.k) / sel));
+  kamp = std::clamp(kamp, params.k, n);
+  obs::MetricsRegistry* metrics = params.Context().live_metrics();
+  std::vector<Neighbor> kept;
+  for (;;) {
+    SearchParams amplified = params;
+    amplified.k = kamp;
+    // Graph indexes reject efs < k at the boundary; the amplified query
+    // must widen its beam along with its result size.
+    if (kamp > amplified.efs) amplified.efs = static_cast<uint32_t>(kamp);
+    VECDB_ASSIGN_OR_RETURN(std::vector<Neighbor> raw,
+                           Search(query, amplified));
+    kept.clear();
+    for (const Neighbor& nb : raw) {
+      if (nb.id >= 0 && selection.Test(static_cast<size_t>(nb.id))) {
+        kept.push_back(nb);
+        if (kept.size() == params.k) break;
+      }
+    }
+    // raw.size() < kamp means the search already returned everything it
+    // can reach (all probed buckets / the whole connected graph): more
+    // amplification cannot surface new survivors.
+    const bool exhausted = raw.size() < kamp || kamp >= n;
+    if (kept.size() >= params.k || exhausted) break;
+    kamp = std::min(kamp * 2, n);
+    if (metrics != nullptr) {
+      metrics->AddUnchecked(obs::Counter::kFilterKampRetries);
+    }
+  }
+  return kept;
+}
+
+inline Result<std::vector<Neighbor>> VectorIndex::FilteredSearch(
+    const float* query, const FilterRequest& filter,
+    const SearchParams& params) const {
+  if (filter.selection == nullptr) {
+    return Status::InvalidArgument(
+        Describe() + ": FilteredSearch requires a selection vector");
+  }
+  if (query == nullptr) {
+    return Status::InvalidArgument(Describe() +
+                                   ": FilteredSearch null query");
+  }
+  const size_t n = NumVectors();
+  double est = filter.est_selectivity;
+  if (est < 0.0) {
+    est = n == 0 ? 0.0
+                 : static_cast<double>(filter.selection->CountSet()) /
+                       static_cast<double>(n);
+  }
+  est = std::min(est, 1.0);
+  filter::FilterStrategy strategy = filter.strategy;
+  const bool planned = strategy == filter::FilterStrategy::kAuto;
+  if (planned) {
+    strategy = filter::ChooseStrategy(est, params.k, n, filter.planner);
+  }
+  obs::MetricsRegistry* metrics = params.Context().live_metrics();
+  if (metrics != nullptr) {
+    metrics->RecordUnchecked(obs::Hist::kFilterSelectivityBp,
+                             static_cast<uint64_t>(est * 10000.0));
+  }
+  Result<std::vector<Neighbor>> out =
+      Status::Internal("FilteredSearch: no strategy ran");
+  switch (strategy) {
+    case filter::FilterStrategy::kPreFilter:
+      out = PreFilterSearch(query, *filter.selection, params);
+      break;
+    case filter::FilterStrategy::kInFilter:
+      out = InFilterSearch(query, *filter.selection, params);
+      break;
+    case filter::FilterStrategy::kPostFilter:
+      out = PostFilterSearch(query, *filter.selection, est, params);
+      break;
+    case filter::FilterStrategy::kAuto:
+      break;  // unreachable: resolved above
+  }
+  // A planner choice the index cannot run degrades to post-filter (always
+  // available); an explicit user choice surfaces the NotSupported error.
+  if (!out.ok() && out.status().IsNotSupported() && planned &&
+      strategy != filter::FilterStrategy::kPostFilter) {
+    strategy = filter::FilterStrategy::kPostFilter;
+    out = PostFilterSearch(query, *filter.selection, est, params);
+  }
+  if (out.ok() && metrics != nullptr) {
+    switch (strategy) {
+      case filter::FilterStrategy::kPreFilter:
+        metrics->AddUnchecked(obs::Counter::kFilterPrefilterQueries);
+        break;
+      case filter::FilterStrategy::kInFilter:
+        metrics->AddUnchecked(obs::Counter::kFilterInfilterQueries);
+        break;
+      case filter::FilterStrategy::kPostFilter:
+        metrics->AddUnchecked(obs::Counter::kFilterPostfilterQueries);
+        break;
+      case filter::FilterStrategy::kAuto:
+        break;
+    }
+  }
+  return out;
+}
 
 }  // namespace vecdb

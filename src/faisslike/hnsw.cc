@@ -249,6 +249,151 @@ Status HnswIndex::Delete(int64_t id) {
   return tombstones_.Mark(id);
 }
 
+std::vector<Neighbor> HnswIndex::SearchLayerFiltered(
+    const float* query, uint32_t entry, uint32_t ef,
+    const filter::SelectionVector& selection, obs::SearchCounters* counters,
+    uint64_t* bitmap_probes) const {
+  if (++visit_epoch_ == 0) {
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0u);
+    visit_epoch_ = 1;
+  }
+  const uint32_t epoch = visit_epoch_;
+
+  auto greater = [](const Neighbor& a, const Neighbor& b) { return b < a; };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(greater)>
+      candidates(greater);
+  KMaxHeap results(ef);
+
+  auto allowed = [&](uint32_t u) {
+    ++*bitmap_probes;
+    return selection.Test(u) && !tombstones_.Contains(u);
+  };
+
+  const float d0 = L2Sqr(query, NodeVector(entry), dim_);
+  visit_stamp_[entry] = epoch;
+  candidates.push({d0, static_cast<int64_t>(entry)});
+  if (allowed(entry)) results.Push(d0, entry);
+
+  std::vector<uint32_t> fresh;
+  fresh.reserve(LevelCapacity(0));
+  while (!candidates.empty()) {
+    const Neighbor c = candidates.top();
+    if (results.full() && c.dist > results.worst()) break;
+    candidates.pop();
+
+    const uint32_t node = static_cast<uint32_t>(c.id);
+    const uint16_t count = link_counts_[count_offset_[node] + 0];
+    const uint32_t* nbrs = links_.data() + LinkOffset(node, 0);
+
+    fresh.clear();
+    for (uint16_t i = 0; i < count; ++i) {
+      const uint32_t u = nbrs[i];
+      if (visit_stamp_[u] != epoch) {
+        visit_stamp_[u] = epoch;
+        fresh.push_back(u);
+      }
+    }
+    size_t pushes = 0;
+    for (uint32_t u : fresh) {
+      const float d = L2Sqr(query, NodeVector(u), dim_);
+      // Disallowed nodes keep routing the frontier (dropping them would
+      // disconnect the traversal at low selectivity); only allowed nodes
+      // may occupy result slots.
+      if (!results.full() || d < results.worst()) {
+        candidates.push({d, static_cast<int64_t>(u)});
+        if (allowed(u)) {
+          results.Push(d, u);
+          ++pushes;
+        }
+      }
+    }
+    if (counters != nullptr) {
+      counters->tuples_visited += fresh.size();
+      counters->heap_pushes += pushes;
+    }
+  }
+  return results.TakeSorted();
+}
+
+Result<std::vector<Neighbor>> HnswIndex::PreFilterSearch(
+    const float* query, const filter::SelectionVector& selection,
+    const SearchParams& params) const {
+  VECDB_RETURN_NOT_OK(ValidateSearchParams(params, IndexKind::kFlat,
+                                           "Hnsw::PreFilterSearch"));
+  if (num_nodes_ == 0) {
+    return Status::InvalidArgument("Hnsw::PreFilterSearch: index is empty");
+  }
+  obs::MetricsRegistry* metrics = params.Context().live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kFaissSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kFaissQueries);
+  // The graph's vectors are one contiguous block, so pre-filter is a
+  // gather of the survivor rows plus one batched distance call.
+  AlignedFloats gathered;
+  std::vector<int64_t> gathered_ids;
+  obs::SearchCounters counters;
+  selection.ForEachSet([&](size_t pos) {
+    if (pos >= num_nodes_) return;
+    if (tombstones_.Contains(static_cast<int64_t>(pos))) {
+      ++counters.tombstones_skipped;
+      return;
+    }
+    gathered.Append(NodeVector(static_cast<uint32_t>(pos)), dim_);
+    gathered_ids.push_back(static_cast<int64_t>(pos));
+  });
+  KMaxHeap heap(params.k);
+  if (!gathered_ids.empty()) {
+    std::vector<float> dists(gathered_ids.size());
+    DistanceBatch(Metric::kL2, query, gathered.data(), gathered_ids.size(),
+                  dim_, dists.data());
+    for (size_t i = 0; i < gathered_ids.size(); ++i) {
+      heap.Push(dists[i], gathered_ids[i]);
+    }
+    counters.tuples_visited += gathered_ids.size();
+    counters.heap_pushes += gathered_ids.size();
+  }
+  if (metrics != nullptr) {
+    counters.FlushTo(metrics, obs::Counter::kFaissBucketsProbed,
+                     obs::Counter::kFaissTuplesVisited,
+                     obs::Counter::kFaissHeapPushes,
+                     obs::Counter::kFaissTombstonesSkipped);
+  }
+  return heap.TakeSorted();
+}
+
+Result<std::vector<Neighbor>> HnswIndex::InFilterSearch(
+    const float* query, const filter::SelectionVector& selection,
+    const SearchParams& params) const {
+  VECDB_RETURN_NOT_OK(ValidateSearchParams(params, IndexKind::kGraph,
+                                           "Hnsw::InFilterSearch"));
+  if (num_nodes_ == 0) {
+    return Status::InvalidArgument("Hnsw::InFilterSearch: index is empty");
+  }
+  obs::MetricsRegistry* metrics = params.Context().live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kFaissSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kFaissQueries);
+  obs::SearchCounters counters;
+  obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
+  uint32_t cur = entry_point_;
+  for (int lev = max_level_; lev > 0; --lev) {
+    cur = GreedyClosest(query, cur, lev, nullptr);
+  }
+  // Tombstones are filtered inside the layer search, so no over-fetch.
+  const uint32_t ef = std::max<uint32_t>(params.efs,
+                                         static_cast<uint32_t>(params.k));
+  uint64_t bitmap_probes = 0;
+  auto cands =
+      SearchLayerFiltered(query, cur, ef, selection, sc, &bitmap_probes);
+  if (cands.size() > params.k) cands.resize(params.k);
+  if (metrics != nullptr) {
+    counters.FlushTo(metrics, obs::Counter::kFaissBucketsProbed,
+                     obs::Counter::kFaissTuplesVisited,
+                     obs::Counter::kFaissHeapPushes,
+                     obs::Counter::kFaissTombstonesSkipped);
+    metrics->AddUnchecked(obs::Counter::kFilterBitmapProbes, bitmap_probes);
+  }
+  return cands;
+}
+
 Result<std::vector<Neighbor>> HnswIndex::Search(
     const float* query, const SearchParams& params) const {
   if (query == nullptr) {

@@ -76,7 +76,31 @@ class HnswIndex final : public VectorIndex {
   /// be <= NodeLevel(node)).
   std::vector<uint32_t> NeighborsOf(uint32_t node, int level) const;
 
+ protected:
+  /// Pre-filter: gathers the bitmap's survivors from the contiguous vector
+  /// block and brute-forces them with the batched distance kernel; the
+  /// graph is not traversed at all.
+  Result<std::vector<Neighbor>> PreFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
+  /// In-filter: greedy upper-level descent unchanged, then a filtered beam
+  /// search at level 0 where disallowed nodes still route the traversal
+  /// but never enter the result heap (the hnswlib filtered-search rule).
+  Result<std::vector<Neighbor>> InFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
  private:
+  /// SearchLayer with the candidate/result heaps decoupled by the bitmap:
+  /// every improving node feeds the candidate frontier, only selected
+  /// non-tombstoned nodes enter results. Level 0 only (upper levels route
+  /// unfiltered). `bitmap_probes` counts selection tests.
+  std::vector<Neighbor> SearchLayerFiltered(
+      const float* query, uint32_t entry, uint32_t ef,
+      const filter::SelectionVector& selection,
+      obs::SearchCounters* counters, uint64_t* bitmap_probes) const;
+
   /// Capacity of a node's neighbor list at a level: 2*bnn at level 0
   /// (paper §II-B), bnn above.
   uint32_t LevelCapacity(int level) const {

@@ -203,6 +203,107 @@ void IvfFlatIndex::ScanBucket(uint32_t bucket, const float* query,
   }
 }
 
+void IvfFlatIndex::ScanBucketFiltered(uint32_t bucket, const float* query,
+                                      const filter::SelectionVector& selection,
+                                      KMaxHeap& heap,
+                                      obs::SearchCounters* counters,
+                                      uint64_t* bitmap_probes) const {
+  if (counters != nullptr) ++counters->buckets_probed;
+  const auto& ids = bucket_ids_[bucket];
+  const float* vecs = bucket_vecs_[bucket].data();
+  size_t visited = 0;
+  size_t skipped = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int64_t id = ids[i];
+    ++*bitmap_probes;
+    if (id < 0 || !selection.Test(static_cast<size_t>(id))) continue;
+    if (tombstones_.Contains(id)) {
+      ++skipped;
+      continue;
+    }
+    ++visited;
+    heap.Push(L2Sqr(query, vecs + i * dim_, dim_), id);
+  }
+  if (counters != nullptr) {
+    counters->tuples_visited += visited;
+    counters->heap_pushes += visited;
+    counters->tombstones_skipped += skipped;
+  }
+}
+
+Result<std::vector<Neighbor>> IvfFlatIndex::PreFilterSearch(
+    const float* query, const filter::SelectionVector& selection,
+    const SearchParams& params) const {
+  VECDB_RETURN_NOT_OK(ValidateSearchParams(params, IndexKind::kFlat,
+                                           "IvfFlat::PreFilterSearch"));
+  if (num_clusters_ == 0) {
+    return Status::InvalidArgument("IvfFlat::PreFilterSearch: not built");
+  }
+  obs::MetricsRegistry* metrics = params.Context().live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kFaissSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kFaissQueries);
+  // Gather the survivors into one contiguous block, then brute-force them
+  // with the batched kernel — the specialized engine scans the predicate's
+  // output, not the index.
+  AlignedFloats gathered;
+  std::vector<int64_t> gathered_ids;
+  obs::SearchCounters counters;
+  for (uint32_t b = 0; b < num_clusters_; ++b) {
+    const auto& ids = bucket_ids_[b];
+    const float* vecs = bucket_vecs_[b].data();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const int64_t id = ids[i];
+      if (id < 0 || !selection.Test(static_cast<size_t>(id))) continue;
+      if (tombstones_.Contains(id)) {
+        ++counters.tombstones_skipped;
+        continue;
+      }
+      gathered.Append(vecs + i * dim_, dim_);
+      gathered_ids.push_back(id);
+    }
+  }
+  KMaxHeap heap(params.k);
+  if (!gathered_ids.empty()) {
+    std::vector<float> dists(gathered_ids.size());
+    DistanceBatch(Metric::kL2, query, gathered.data(), gathered_ids.size(),
+                  dim_, dists.data());
+    for (size_t i = 0; i < gathered_ids.size(); ++i) {
+      heap.Push(dists[i], gathered_ids[i]);
+    }
+    counters.tuples_visited += gathered_ids.size();
+    counters.heap_pushes += gathered_ids.size();
+  }
+  if (metrics != nullptr) FlushSearchCounters(metrics, counters);
+  return heap.TakeSorted();
+}
+
+Result<std::vector<Neighbor>> IvfFlatIndex::InFilterSearch(
+    const float* query, const filter::SelectionVector& selection,
+    const SearchParams& params) const {
+  VECDB_RETURN_NOT_OK(ValidateSearchParams(params, IndexKind::kIvf,
+                                           "IvfFlat::InFilterSearch"));
+  if (num_clusters_ == 0) {
+    return Status::InvalidArgument("IvfFlat::InFilterSearch: not built");
+  }
+  obs::MetricsRegistry* metrics = params.Context().live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kFaissSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kFaissQueries);
+  const uint32_t nprobe = std::min(params.nprobe, num_clusters_);
+  const std::vector<uint32_t> probes = SelectBuckets(query, nprobe);
+  obs::SearchCounters counters;
+  obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
+  uint64_t bitmap_probes = 0;
+  KMaxHeap heap(params.k);
+  for (uint32_t b : probes) {
+    ScanBucketFiltered(b, query, selection, heap, sc, &bitmap_probes);
+  }
+  if (metrics != nullptr) {
+    FlushSearchCounters(metrics, counters);
+    metrics->AddUnchecked(obs::Counter::kFilterBitmapProbes, bitmap_probes);
+  }
+  return heap.TakeSorted();
+}
+
 Result<std::vector<Neighbor>> IvfFlatIndex::Search(
     const float* query, const SearchParams& params) const {
   if (query == nullptr) {

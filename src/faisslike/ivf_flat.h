@@ -98,6 +98,21 @@ class IvfFlatIndex final : public VectorIndex {
     return bucket_ids_[b];
   }
 
+ protected:
+  /// Pre-filter: gathers the bitmap's survivors from every bucket into one
+  /// contiguous block and brute-forces them with the batched distance
+  /// kernel (RC#1 idiom applied to the survivor set).
+  Result<std::vector<Neighbor>> PreFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
+  /// In-filter: normal nprobe bucket selection, but the bitmap gates each
+  /// tuple before its distance is computed, so non-matching tuples never
+  /// enter the heap.
+  Result<std::vector<Neighbor>> InFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
  private:
   /// Scans one bucket, pushing candidates into `heap`; profiler labels
   /// match the paper's Table V categories. `counters` (nullable) picks up
@@ -105,6 +120,13 @@ class IvfFlatIndex final : public VectorIndex {
   /// registry.
   void ScanBucket(uint32_t bucket, const float* query, KMaxHeap& heap,
                   Profiler* profiler, obs::SearchCounters* counters) const;
+
+  /// ScanBucket with the in-filter bitmap gate; `bitmap_probes` counts
+  /// selection tests for the filter.bitmap_probes counter.
+  void ScanBucketFiltered(uint32_t bucket, const float* query,
+                          const filter::SelectionVector& selection,
+                          KMaxHeap& heap, obs::SearchCounters* counters,
+                          uint64_t* bitmap_probes) const;
 
   /// Selects the nprobe closest buckets to the query.
   std::vector<uint32_t> SelectBuckets(const float* query,

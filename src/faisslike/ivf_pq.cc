@@ -240,6 +240,120 @@ void IvfPqIndex::ScanBucket(uint32_t bucket, const float* table,
   }
 }
 
+void IvfPqIndex::ScanBucketFiltered(uint32_t bucket, const float* table,
+                                    const filter::SelectionVector& selection,
+                                    KMaxHeap& heap,
+                                    obs::SearchCounters* counters,
+                                    uint64_t* bitmap_probes) const {
+  if (counters != nullptr) ++counters->buckets_probed;
+  const auto& ids = bucket_ids_[bucket];
+  if (ids.empty()) return;
+  const uint8_t* codes = bucket_codes_[bucket].data();
+  const size_t code_size = pq_->code_size();
+  size_t visited = 0;
+  size_t skipped = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int64_t id = ids[i];
+    ++*bitmap_probes;
+    if (id < 0 || !selection.Test(static_cast<size_t>(id))) continue;
+    if (tombstones_.Contains(id)) {
+      ++skipped;
+      continue;
+    }
+    ++visited;
+    heap.Push(pq_->AdcDistance(table, codes + i * code_size), id);
+  }
+  if (counters != nullptr) {
+    counters->tuples_visited += visited;
+    counters->heap_pushes += visited;
+    counters->tombstones_skipped += skipped;
+  }
+}
+
+std::vector<Neighbor> IvfPqIndex::RefineExact(const float* query,
+                                              std::vector<Neighbor> adc,
+                                              size_t k) const {
+  if (options_.refine_factor == 0) return adc;
+  KMaxHeap exact(k);
+  for (const auto& nb : adc) {
+    auto it = refine_pos_.find(nb.id);
+    if (it == refine_pos_.end()) continue;
+    exact.Push(L2Sqr(query, refine_vectors_.data() + it->second * dim_, dim_),
+               nb.id);
+  }
+  return exact.TakeSorted();
+}
+
+Result<std::vector<Neighbor>> IvfPqIndex::PreFilterSearch(
+    const float* query, const filter::SelectionVector& selection,
+    const SearchParams& params) const {
+  VECDB_RETURN_NOT_OK(ValidateSearchParams(params, IndexKind::kFlat,
+                                           "IvfPq::PreFilterSearch"));
+  if (!pq_) {
+    return Status::InvalidArgument("IvfPq::PreFilterSearch: not built");
+  }
+  obs::MetricsRegistry* metrics = params.Context().live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kFaissSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kFaissQueries);
+  std::vector<float> table(pq_->table_size());
+  if (options_.optimized_table) {
+    pq_->ComputeDistanceTableOptimized(query, table.data());
+  } else {
+    pq_->ComputeDistanceTableNaive(query, table.data());
+  }
+  const size_t fetch_k = options_.refine_factor > 0
+                             ? params.k * options_.refine_factor
+                             : params.k;
+  // Brute-force the survivor set through the ADC table: every bucket, but
+  // only codes whose ids pass the bitmap.
+  obs::SearchCounters counters;
+  obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
+  uint64_t bitmap_probes = 0;
+  KMaxHeap heap(fetch_k);
+  for (uint32_t b = 0; b < num_clusters_; ++b) {
+    ScanBucketFiltered(b, table.data(), selection, heap, sc, &bitmap_probes);
+  }
+  if (sc != nullptr) sc->buckets_probed = 0;  // exhaustive pass, not probes
+  if (metrics != nullptr) FlushSearchCounters(metrics, counters);
+  return RefineExact(query, heap.TakeSorted(), params.k);
+}
+
+Result<std::vector<Neighbor>> IvfPqIndex::InFilterSearch(
+    const float* query, const filter::SelectionVector& selection,
+    const SearchParams& params) const {
+  VECDB_RETURN_NOT_OK(ValidateSearchParams(params, IndexKind::kIvf,
+                                           "IvfPq::InFilterSearch"));
+  if (!pq_) {
+    return Status::InvalidArgument("IvfPq::InFilterSearch: not built");
+  }
+  obs::MetricsRegistry* metrics = params.Context().live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kFaissSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kFaissQueries);
+  const uint32_t nprobe = std::min(params.nprobe, num_clusters_);
+  const std::vector<uint32_t> probes = SelectBuckets(query, nprobe);
+  std::vector<float> table(pq_->table_size());
+  if (options_.optimized_table) {
+    pq_->ComputeDistanceTableOptimized(query, table.data());
+  } else {
+    pq_->ComputeDistanceTableNaive(query, table.data());
+  }
+  const size_t fetch_k = options_.refine_factor > 0
+                             ? params.k * options_.refine_factor
+                             : params.k;
+  obs::SearchCounters counters;
+  obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
+  uint64_t bitmap_probes = 0;
+  KMaxHeap heap(fetch_k);
+  for (uint32_t b : probes) {
+    ScanBucketFiltered(b, table.data(), selection, heap, sc, &bitmap_probes);
+  }
+  if (metrics != nullptr) {
+    FlushSearchCounters(metrics, counters);
+    metrics->AddUnchecked(obs::Counter::kFilterBitmapProbes, bitmap_probes);
+  }
+  return RefineExact(query, heap.TakeSorted(), params.k);
+}
+
 Result<std::vector<Neighbor>> IvfPqIndex::Search(
     const float* query, const SearchParams& params) const {
   if (query == nullptr) {

@@ -86,9 +86,35 @@ class IvfPqIndex final : public VectorIndex {
   /// Construction options (round-tripped by Save/Load since format v2).
   const IvfPqOptions& options() const { return options_; }
 
+ protected:
+  /// Pre-filter: ADC-scans only the bitmap's survivors across all buckets
+  /// (one precomputed table), then refines exactly like Search.
+  Result<std::vector<Neighbor>> PreFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
+  /// In-filter: nprobe bucket selection with the bitmap gating each code
+  /// before its ADC distance is computed; refinement unchanged.
+  Result<std::vector<Neighbor>> InFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
  private:
   void ScanBucket(uint32_t bucket, const float* table, KMaxHeap& heap,
                   Profiler* profiler, obs::SearchCounters* counters) const;
+
+  /// ScanBucket with the in-filter bitmap gate; `bitmap_probes` counts
+  /// selection tests for the filter.bitmap_probes counter.
+  void ScanBucketFiltered(uint32_t bucket, const float* table,
+                          const filter::SelectionVector& selection,
+                          KMaxHeap& heap, obs::SearchCounters* counters,
+                          uint64_t* bitmap_probes) const;
+
+  /// Rescores ADC candidates against stored raw vectors (refine_factor);
+  /// identity when refinement is off.
+  std::vector<Neighbor> RefineExact(const float* query,
+                                    std::vector<Neighbor> adc,
+                                    size_t k) const;
   std::vector<uint32_t> SelectBuckets(const float* query,
                                       uint32_t nprobe) const;
 

@@ -1,0 +1,29 @@
+#include "filter/attribute_store.h"
+
+namespace vecdb::filter {
+
+SelectionVector AttributeStore::BuildSelection(
+    const BoundPredicate& pred) const {
+  const size_t n = num_rows();
+  SelectionVector out(n);
+  for (size_t row = 0; row < n; ++row) {
+    if (pred.Eval(Row(row))) out.Set(row);
+  }
+  return out;
+}
+
+double AttributeStore::EstimateSelectivity(const BoundPredicate& pred,
+                                           size_t sample_rows) const {
+  const size_t n = num_rows();
+  if (n == 0 || sample_rows == 0) return 0.0;
+  const size_t stride = n <= sample_rows ? 1 : (n + sample_rows - 1) / sample_rows;
+  size_t sampled = 0;
+  size_t matched = 0;
+  for (size_t row = 0; row < n; row += stride) {
+    ++sampled;
+    if (pred.Eval(Row(row))) ++matched;
+  }
+  return static_cast<double>(matched) / static_cast<double>(sampled);
+}
+
+}  // namespace vecdb::filter

@@ -1,0 +1,61 @@
+// In-memory attribute store: the specialized-engine counterpart of keeping
+// scalar columns in heap pages. Rows are flat int64 images appended in
+// position order, so position i here lines up with vector i in an index
+// built over the same load order. The SQL layer uses the heap as the
+// source of truth and this store as the fast path for predicate
+// evaluation and selectivity sampling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "filter/predicate.h"
+#include "filter/selection.h"
+
+namespace vecdb::filter {
+
+/// Append-only row-major table of int64 attribute values.
+class AttributeStore {
+ public:
+  /// `columns` is the row-image layout (for SQL tables: id first, then
+  /// attribute columns in declaration order).
+  explicit AttributeStore(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : values_.size() / columns_.size();
+  }
+
+  /// Appends one row; `values` must hold columns().size() entries.
+  void AppendRow(const int64_t* values) {
+    values_.insert(values_.end(), values, values + columns_.size());
+  }
+
+  /// The row image at `row` (valid until the next AppendRow).
+  const int64_t* Row(size_t row) const {
+    return values_.data() + row * columns_.size();
+  }
+
+  /// Binds `pred` against this store's column layout.
+  Result<BoundPredicate> BindPredicate(const Predicate& pred) const {
+    return Bind(pred, columns_);
+  }
+
+  /// Evaluates `pred` over every row into a position bitmap (exact).
+  SelectionVector BuildSelection(const BoundPredicate& pred) const;
+
+  /// Estimated selectivity from a strided sample of up to `sample_rows`
+  /// rows — the planner's probe. Deterministic (no RNG): row 0, then every
+  /// ceil(n / sample_rows)-th row.
+  double EstimateSelectivity(const BoundPredicate& pred,
+                             size_t sample_rows) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<int64_t> values_;  ///< row-major, stride columns_.size()
+};
+
+}  // namespace vecdb::filter

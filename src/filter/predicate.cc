@@ -1,0 +1,175 @@
+#include "filter/predicate.h"
+
+#include <algorithm>
+
+namespace vecdb::filter {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::unique_ptr<Predicate> Predicate::Compare(std::string column, CmpOp op,
+                                              int64_t value) {
+  auto out = std::make_unique<Predicate>();
+  out->kind = Kind::kCompare;
+  out->column = std::move(column);
+  out->op = op;
+  out->value = value;
+  return out;
+}
+
+std::unique_ptr<Predicate> Predicate::In(std::string column,
+                                         std::vector<int64_t> values) {
+  auto out = std::make_unique<Predicate>();
+  out->kind = Kind::kIn;
+  out->column = std::move(column);
+  out->in_values = std::move(values);
+  return out;
+}
+
+std::unique_ptr<Predicate> Predicate::And(std::unique_ptr<Predicate> lhs,
+                                          std::unique_ptr<Predicate> rhs) {
+  auto out = std::make_unique<Predicate>();
+  out->kind = Kind::kAnd;
+  out->lhs = std::move(lhs);
+  out->rhs = std::move(rhs);
+  return out;
+}
+
+std::unique_ptr<Predicate> Predicate::Or(std::unique_ptr<Predicate> lhs,
+                                         std::unique_ptr<Predicate> rhs) {
+  auto out = std::make_unique<Predicate>();
+  out->kind = Kind::kOr;
+  out->lhs = std::move(lhs);
+  out->rhs = std::move(rhs);
+  return out;
+}
+
+std::unique_ptr<Predicate> Predicate::Clone() const {
+  auto out = std::make_unique<Predicate>();
+  out->kind = kind;
+  out->column = column;
+  out->op = op;
+  out->value = value;
+  out->in_values = in_values;
+  if (lhs != nullptr) out->lhs = lhs->Clone();
+  if (rhs != nullptr) out->rhs = rhs->Clone();
+  return out;
+}
+
+std::string ToString(const Predicate& pred) {
+  switch (pred.kind) {
+    case Predicate::Kind::kCompare:
+      return pred.column + " " + CmpOpName(pred.op) + " " +
+             std::to_string(pred.value);
+    case Predicate::Kind::kIn: {
+      std::string out = pred.column + " IN (";
+      for (size_t i = 0; i < pred.in_values.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += std::to_string(pred.in_values[i]);
+      }
+      return out + ")";
+    }
+    case Predicate::Kind::kAnd:
+      return "(" + ToString(*pred.lhs) + " AND " + ToString(*pred.rhs) + ")";
+    case Predicate::Kind::kOr:
+      return "(" + ToString(*pred.lhs) + " OR " + ToString(*pred.rhs) + ")";
+  }
+  return "?";
+}
+
+bool BoundPredicate::EvalNode(int node, const int64_t* row) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  switch (n.kind) {
+    case Predicate::Kind::kCompare: {
+      const int64_t v = row[n.column];
+      switch (n.op) {
+        case CmpOp::kEq: return v == n.value;
+        case CmpOp::kNe: return v != n.value;
+        case CmpOp::kLt: return v < n.value;
+        case CmpOp::kLe: return v <= n.value;
+        case CmpOp::kGt: return v > n.value;
+        case CmpOp::kGe: return v >= n.value;
+      }
+      return false;
+    }
+    case Predicate::Kind::kIn:
+      return std::binary_search(n.in_values.begin(), n.in_values.end(),
+                                row[n.column]);
+    case Predicate::Kind::kAnd:
+      return EvalNode(n.lhs, row) && EvalNode(n.rhs, row);
+    case Predicate::Kind::kOr:
+      return EvalNode(n.lhs, row) || EvalNode(n.rhs, row);
+  }
+  return false;
+}
+
+namespace {
+
+Result<int> BindNode(const Predicate& pred,
+                     const std::vector<std::string>& columns,
+                     std::vector<BoundPredicate::Node>* nodes);
+
+Result<int> ResolveColumn(const std::string& name,
+                          const std::vector<std::string>& columns) {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return static_cast<int>(i);
+  }
+  return Status::InvalidArgument("predicate references unknown column '" +
+                                 name + "'");
+}
+
+Result<int> BindNode(const Predicate& pred,
+                     const std::vector<std::string>& columns,
+                     std::vector<BoundPredicate::Node>* nodes) {
+  BoundPredicate::Node node;
+  node.kind = pred.kind;
+  switch (pred.kind) {
+    case Predicate::Kind::kCompare: {
+      VECDB_ASSIGN_OR_RETURN(node.column, ResolveColumn(pred.column, columns));
+      node.op = pred.op;
+      node.value = pred.value;
+      break;
+    }
+    case Predicate::Kind::kIn: {
+      if (pred.in_values.empty()) {
+        return Status::InvalidArgument("IN list for column '" + pred.column +
+                                       "' is empty");
+      }
+      VECDB_ASSIGN_OR_RETURN(node.column, ResolveColumn(pred.column, columns));
+      node.in_values = pred.in_values;
+      std::sort(node.in_values.begin(), node.in_values.end());
+      break;
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      if (pred.lhs == nullptr || pred.rhs == nullptr) {
+        return Status::InvalidArgument("AND/OR predicate missing a child");
+      }
+      VECDB_ASSIGN_OR_RETURN(node.lhs, BindNode(*pred.lhs, columns, nodes));
+      VECDB_ASSIGN_OR_RETURN(node.rhs, BindNode(*pred.rhs, columns, nodes));
+      break;
+    }
+  }
+  nodes->push_back(std::move(node));
+  return static_cast<int>(nodes->size() - 1);
+}
+
+}  // namespace
+
+Result<BoundPredicate> Bind(const Predicate& pred,
+                            const std::vector<std::string>& columns) {
+  BoundPredicate out;
+  VECDB_ASSIGN_OR_RETURN(out.root_, BindNode(pred, columns, &out.nodes_));
+  return out;
+}
+
+}  // namespace vecdb::filter

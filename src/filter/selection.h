@@ -1,0 +1,76 @@
+// SelectionVector: a dense bitmap over row positions, the currency of the
+// filtered-search subsystem. The SQL executor evaluates a Predicate over
+// the heap (or an AttributeStore) into one of these, and the three filter
+// strategies consume it: pre-filter iterates its set bits, in-filter tests
+// it inside bucket scans / graph expansion, post-filter tests it against
+// amplified result lists. Word-packed so a test is one shift+mask and a
+// popcount is word-at-a-time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vecdb::filter {
+
+/// Fixed-size bitmap indexed by row position [0, size).
+class SelectionVector {
+ public:
+  SelectionVector() = default;
+  explicit SelectionVector(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  /// Marks position `pos` as selected. Out-of-range positions are ignored
+  /// (the bitmap's universe is fixed at construction).
+  void Set(size_t pos) {
+    if (pos >= size_) return;
+    words_[pos >> 6] |= uint64_t{1} << (pos & 63);
+  }
+
+  void Clear(size_t pos) {
+    if (pos >= size_) return;
+    words_[pos >> 6] &= ~(uint64_t{1} << (pos & 63));
+  }
+
+  /// True if `pos` is selected. Positions outside the universe read as not
+  /// selected — a row the predicate never saw cannot match it.
+  bool Test(size_t pos) const {
+    if (pos >= size_) return false;
+    return (words_[pos >> 6] >> (pos & 63)) & 1u;
+  }
+
+  /// Number of selected positions.
+  size_t CountSet() const {
+    size_t count = 0;
+    for (uint64_t w : words_) count += static_cast<size_t>(__builtin_popcountll(w));
+    return count;
+  }
+
+  /// Fraction of the universe selected, in [0, 1]; 0 for an empty universe.
+  double Selectivity() const {
+    return size_ == 0 ? 0.0
+                      : static_cast<double>(CountSet()) /
+                            static_cast<double>(size_);
+  }
+
+  /// Invokes `fn(pos)` for every selected position in ascending order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace vecdb::filter

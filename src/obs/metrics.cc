@@ -41,6 +41,12 @@ const char* CounterName(Counter c) {
     case Counter::kSqlDrop: return "sql.drop";
     case Counter::kSqlShow: return "sql.show";
     case Counter::kSqlErrors: return "sql.errors";
+    case Counter::kFilterPrefilterQueries: return "filter.prefilter_queries";
+    case Counter::kFilterPostfilterQueries:
+      return "filter.postfilter_queries";
+    case Counter::kFilterInfilterQueries: return "filter.infilter_queries";
+    case Counter::kFilterKampRetries: return "filter.kamp_retries";
+    case Counter::kFilterBitmapProbes: return "filter.bitmap_probes";
     case Counter::kNumCounters: break;
   }
   return "unknown";
@@ -56,6 +62,7 @@ const char* HistName(Hist h) {
     case Hist::kSqlSelectNanos: return "sql.select_nanos";
     case Hist::kSqlInsertNanos: return "sql.insert_nanos";
     case Hist::kSqlDdlNanos: return "sql.ddl_nanos";
+    case Hist::kFilterSelectivityBp: return "filter.selectivity_bp";
     case Hist::kNumHists: break;
   }
   return "unknown";

@@ -65,6 +65,13 @@ enum class Counter : uint32_t {
   kSqlDrop,
   kSqlShow,
   kSqlErrors,
+  // filtered search (src/filter): one counter per executed strategy plus
+  // the strategies' characteristic work units.
+  kFilterPrefilterQueries,
+  kFilterPostfilterQueries,
+  kFilterInfilterQueries,
+  kFilterKampRetries,    ///< post-filter k' doublings after a shortfall
+  kFilterBitmapProbes,   ///< in-filter bitmap tests inside index traversal
   kNumCounters,  // sentinel
 };
 
@@ -78,6 +85,10 @@ enum class Hist : uint32_t {
   kSqlSelectNanos,
   kSqlInsertNanos,
   kSqlDdlNanos,
+  /// Estimated selectivity of each filtered search, in basis points
+  /// (0..10000) — the one non-latency histogram; its distribution shows
+  /// which strategy regimes a workload actually exercises.
+  kFilterSelectivityBp,
   kNumHists,  // sentinel
 };
 

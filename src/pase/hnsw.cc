@@ -8,6 +8,7 @@
 #include "common/timer.h"
 #include "distance/kernels.h"
 #include "obs/metrics.h"
+#include "topk/heaps.h"
 
 namespace vecdb::pase {
 
@@ -450,6 +451,186 @@ Status PaseHnswIndex::Delete(int64_t id) {
     return Status::NotFound("no row with id " + std::to_string(id));
   }
   return tombstones_.Mark(id);
+}
+
+Result<std::vector<PaseHnswIndex::Scored>> PaseHnswIndex::SearchLayerFiltered(
+    const float* query, const Scored& entry, uint32_t ef,
+    const filter::SelectionVector& selection, obs::SearchCounters* counters,
+    uint64_t* bitmap_probes) const {
+  visited_.Reset();
+  visited_.GetAndSet(entry.ref.nblk);
+
+  auto allowed = [&](int64_t row_id) {
+    ++*bitmap_probes;
+    return row_id >= 0 && selection.Test(static_cast<size_t>(row_id)) &&
+           !tombstones_.Contains(row_id);
+  };
+
+  auto cand_greater = [](const Scored& a, const Scored& b) {
+    return a.dist > b.dist;
+  };
+  std::priority_queue<Scored, std::vector<Scored>, decltype(cand_greater)>
+      candidates(cand_greater);
+  auto res_less = [](const Scored& a, const Scored& b) {
+    return a.dist < b.dist;
+  };
+  std::vector<Scored> results;
+  results.reserve(ef + 1);
+
+  auto results_push = [&](const Scored& s) {
+    results.push_back(s);
+    std::push_heap(results.begin(), results.end(), res_less);
+    if (results.size() > ef) {
+      std::pop_heap(results.begin(), results.end(), res_less);
+      results.pop_back();
+    }
+  };
+  auto results_worst = [&]() {
+    return results.size() < ef ? std::numeric_limits<float>::infinity()
+                               : results.front().dist;
+  };
+
+  candidates.push(entry);
+  if (allowed(entry.row_id)) results_push(entry);
+
+  std::vector<HnswNeighborTuple> nbrs;
+  std::vector<HnswNeighborTuple> fresh;
+  std::vector<float> vec(dim_);
+  while (!candidates.empty()) {
+    const Scored c = candidates.top();
+    if (results.size() >= ef && c.dist > results_worst()) break;
+    candidates.pop();
+
+    VECDB_RETURN_NOT_OK(FetchNeighbors(c.ref, 0, &nbrs, nullptr));
+    fresh.clear();
+    for (const auto& nb : nbrs) {
+      if (!visited_.GetAndSet(nb.gid.nblkid)) fresh.push_back(nb);
+    }
+
+    size_t pushes = 0;
+    for (const auto& nb : fresh) {
+      VertexRef ref{nb.gid.nblkid, nb.gid.dblkid,
+                    static_cast<pgstub::OffsetNumber>(nb.gid.doffset)};
+      int64_t row = -1;
+      VECDB_RETURN_NOT_OK(ReadVector(ref, vec.data(), &row, nullptr));
+      const float d = L2Sqr(query, vec.data(), dim_);
+      if (results.size() < ef || d < results_worst()) {
+        Scored s{d, ref, row};
+        // Disallowed vertices still route the frontier; only selected
+        // live rows can enter the result heap.
+        candidates.push(s);
+        if (allowed(row)) {
+          results_push(s);
+          ++pushes;
+        }
+      }
+    }
+    if (counters != nullptr) {
+      counters->tuples_visited += fresh.size();
+      counters->heap_pushes += pushes;
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const Scored& a, const Scored& b) { return a.dist < b.dist; });
+  return results;
+}
+
+Result<std::vector<Neighbor>> PaseHnswIndex::PreFilterSearch(
+    const float* query, const filter::SelectionVector& selection,
+    const SearchParams& params) const {
+  VECDB_RETURN_NOT_OK(ValidateSearchParams(params, IndexKind::kFlat,
+                                           "PaseHnsw::PreFilterSearch"));
+  if (num_vectors_ == 0) {
+    return Status::InvalidArgument("PaseHnsw: index is empty");
+  }
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kPaseSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kPaseQueries);
+
+  obs::SearchCounters counters;
+  NHeap collector;
+  VECDB_ASSIGN_OR_RETURN(pgstub::BlockId blocks,
+                         env_.smgr->NumBlocks(data_rel_));
+  for (pgstub::BlockId b = 0; b < blocks; ++b) {
+    pgstub::BufferHandle handle;
+    {
+      ProfScope scope(ctx.profiler, "TupleAccess");
+      VECDB_ASSIGN_OR_RETURN(handle, env_.bufmgr->Pin(data_rel_, b));
+    }
+    pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+    const uint16_t count = page.ItemCount();
+    for (pgstub::OffsetNumber slot = 1; slot <= count; ++slot) {
+      const char* item = page.GetItem(slot);
+      const auto* header = reinterpret_cast<const PaseVectorTuple*>(item);
+      if (header->row_id < 0 ||
+          !selection.Test(static_cast<size_t>(header->row_id))) {
+        continue;
+      }
+      if (tombstones_.Contains(header->row_id)) {
+        ++counters.tombstones_skipped;
+        continue;
+      }
+      const float* vec =
+          reinterpret_cast<const float*>(item + sizeof(PaseVectorTuple));
+      collector.Push(L2Sqr(query, vec, dim_), header->row_id);
+      ++counters.tuples_visited;
+      ++counters.heap_pushes;
+    }
+    env_.bufmgr->Unpin(handle, false);
+  }
+  if (metrics != nullptr) {
+    counters.FlushTo(metrics, obs::Counter::kPaseBucketsProbed,
+                     obs::Counter::kPaseTuplesVisited,
+                     obs::Counter::kPaseHeapPushes,
+                     obs::Counter::kPaseTombstonesSkipped);
+  }
+  return collector.PopK(params.k);
+}
+
+Result<std::vector<Neighbor>> PaseHnswIndex::InFilterSearch(
+    const float* query, const filter::SelectionVector& selection,
+    const SearchParams& params) const {
+  VECDB_RETURN_NOT_OK(ValidateSearchParams(params, IndexKind::kGraph,
+                                           "PaseHnsw::InFilterSearch"));
+  if (num_vectors_ == 0) {
+    return Status::InvalidArgument("PaseHnsw: index is empty");
+  }
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kPaseSearchNanos);
+  obs::SearchCounters counters;
+  obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
+
+  std::vector<float> entry_vec(dim_);
+  VECDB_RETURN_NOT_OK(
+      ReadVector(entry_point_, entry_vec.data(), nullptr, ctx.profiler));
+  Scored cur{L2Sqr(query, entry_vec.data(), dim_), entry_point_, entry_row_};
+  for (int lev = max_level_; lev > 0; --lev) {
+    VECDB_ASSIGN_OR_RETURN(cur, GreedyClosest(query, cur, lev, ctx.profiler));
+  }
+  // No tombstone over-fetch: tombstones are filtered inside the beam.
+  const uint32_t ef =
+      std::max<uint32_t>(params.efs, static_cast<uint32_t>(params.k));
+  uint64_t bitmap_probes = 0;
+  VECDB_ASSIGN_OR_RETURN(
+      std::vector<Scored> found,
+      SearchLayerFiltered(query, cur, ef, selection, sc, &bitmap_probes));
+  std::vector<Neighbor> out;
+  out.reserve(std::min(found.size(), params.k));
+  for (const auto& s : found) {
+    if (out.size() >= params.k) break;
+    out.push_back({s.dist, s.row_id});
+  }
+  if (metrics != nullptr) {
+    metrics->AddUnchecked(obs::Counter::kPaseQueries);
+    counters.FlushTo(metrics, obs::Counter::kPaseBucketsProbed,
+                     obs::Counter::kPaseTuplesVisited,
+                     obs::Counter::kPaseHeapPushes,
+                     obs::Counter::kPaseTombstonesSkipped);
+    metrics->AddUnchecked(obs::Counter::kFilterBitmapProbes, bitmap_probes);
+  }
+  return out;
 }
 
 Result<std::vector<Neighbor>> PaseHnswIndex::Search(

@@ -57,6 +57,21 @@ class PaseHnswIndex final : public VectorIndex {
 
   int max_level() const { return max_level_; }
 
+ protected:
+  /// Pre-filter: walks every data-relation page, gating each vector tuple
+  /// on the bitmap before its distance — the graph is never traversed, but
+  /// every tuple access still goes through the buffer manager (RC#2).
+  Result<std::vector<Neighbor>> PreFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
+  /// In-filter: greedy upper-level descent unchanged, then a filtered beam
+  /// search at level 0 where disallowed vertices still route the traversal
+  /// but never enter the result heap.
+  Result<std::vector<Neighbor>> InFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
  private:
   /// In-memory vertex locator mirroring HnswGlobalId.
   struct VertexRef {
@@ -115,6 +130,15 @@ class PaseHnswIndex final : public VectorIndex {
   Result<std::vector<Scored>> SearchLayer(
       const float* query, const Scored& entry, uint32_t ef, int level,
       Profiler* profiler, obs::SearchCounters* counters = nullptr) const;
+
+  /// SearchLayer with the candidate/result heaps decoupled by the bitmap:
+  /// every improving vertex feeds the frontier, only selected
+  /// non-tombstoned rows enter results. Level 0 only. `bitmap_probes`
+  /// counts selection tests.
+  Result<std::vector<Scored>> SearchLayerFiltered(
+      const float* query, const Scored& entry, uint32_t ef,
+      const filter::SelectionVector& selection,
+      obs::SearchCounters* counters, uint64_t* bitmap_probes) const;
 
   /// Neighbor-selection heuristic over page-resident candidate vectors.
   Result<std::vector<Scored>> SelectNeighbors(

@@ -77,7 +77,31 @@ class PaseIvfFlatIndex final : public VectorIndex {
   const float* centroids() const { return centroids_.data(); }
   uint32_t num_clusters() const { return num_clusters_; }
 
+ protected:
+  /// Pre-filter: walks every bucket's page chain with the bitmap gating
+  /// each tuple before its distance — an exhaustive filtered scan through
+  /// the buffer manager (PASE has no batched kernel path, RC#1).
+  Result<std::vector<Neighbor>> PreFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
+  /// In-filter: nprobe bucket selection unchanged, the bitmap pushed into
+  /// the page-chain scans so rejected tuples never reach the n-heap.
+  Result<std::vector<Neighbor>> InFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
  private:
+  /// ScanBucket with the in-filter bitmap gate: rejected tuples skip the
+  /// distance computation and the heap. `bitmap_probes` counts selection
+  /// tests for the filter.bitmap_probes counter. Single-threaded (the
+  /// filtered path never shares the collector).
+  Status ScanBucketFiltered(uint32_t bucket, const float* query,
+                            const filter::SelectionVector& selection,
+                            NHeap* collector, Profiler* profiler,
+                            obs::SearchCounters* counters,
+                            uint64_t* bitmap_probes) const;
+
   struct BucketChain {
     pgstub::BlockId head = pgstub::kInvalidBlock;
     pgstub::BlockId tail = pgstub::kInvalidBlock;

@@ -312,6 +312,117 @@ Status PaseIvfPqIndex::ScanBucket(uint32_t bucket, const float* table,
   return Status::OK();
 }
 
+Status PaseIvfPqIndex::ScanBucketFiltered(
+    uint32_t bucket, const float* table,
+    const filter::SelectionVector& selection, NHeap* collector,
+    Profiler* profiler, obs::SearchCounters* counters,
+    uint64_t* bitmap_probes) const {
+  if (counters != nullptr) ++counters->buckets_probed;
+  pgstub::BlockId block = chains_[bucket].head;
+  while (block != pgstub::kInvalidBlock) {
+    pgstub::BufferHandle handle;
+    {
+      ProfScope scope(profiler, "TupleAccess");
+      VECDB_ASSIGN_OR_RETURN(handle, env_.bufmgr->Pin(data_rel_, block));
+    }
+    pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+    const uint16_t count = page.ItemCount();
+    for (pgstub::OffsetNumber slot = 1; slot <= count; ++slot) {
+      const char* item = page.GetItem(slot);
+      const auto* header = reinterpret_cast<const CodeTupleHeader*>(item);
+      ++*bitmap_probes;
+      if (header->row_id < 0 ||
+          !selection.Test(static_cast<size_t>(header->row_id))) {
+        continue;
+      }
+      if (tombstones_.Contains(header->row_id)) {
+        if (counters != nullptr) ++counters->tombstones_skipped;
+        continue;
+      }
+      const uint8_t* code =
+          reinterpret_cast<const uint8_t*>(item + sizeof(CodeTupleHeader));
+      collector->Push(pq_->AdcDistance(table, code), header->row_id);
+      if (counters != nullptr) {
+        ++counters->tuples_visited;
+        ++counters->heap_pushes;
+      }
+    }
+    block = reinterpret_cast<const DataPageSpecial*>(page.Special())->next;
+    env_.bufmgr->Unpin(handle, false);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> PaseIvfPqIndex::PreFilterSearch(
+    const float* query, const filter::SelectionVector& selection,
+    const SearchParams& params) const {
+  VECDB_RETURN_NOT_OK(ValidateSearchParams(params, IndexKind::kFlat,
+                                           "PaseIvfPq::PreFilterSearch"));
+  if (!pq_) return Status::InvalidArgument("PaseIvfPq: index not built");
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kPaseSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kPaseQueries);
+
+  std::vector<float> table(pq_->table_size());
+  {
+    ProfScope scope(ctx.profiler, "PrecomputedTable");
+    pq_->ComputeDistanceTableNaive(query, table.data());
+  }
+
+  NHeap collector;
+  obs::SearchCounters counters;
+  obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
+  uint64_t bitmap_probes = 0;
+  for (uint32_t b = 0; b < num_clusters_; ++b) {
+    VECDB_RETURN_NOT_OK(ScanBucketFiltered(b, table.data(), selection,
+                                           &collector, ctx.profiler, sc,
+                                           &bitmap_probes));
+  }
+  if (metrics != nullptr) {
+    // Exhaustive pass: every chain is touched, so nothing was "probed".
+    counters.buckets_probed = 0;
+    FlushSearchCounters(metrics, counters);
+  }
+  return collector.PopK(params.k);
+}
+
+Result<std::vector<Neighbor>> PaseIvfPqIndex::InFilterSearch(
+    const float* query, const filter::SelectionVector& selection,
+    const SearchParams& params) const {
+  VECDB_RETURN_NOT_OK(ValidateSearchParams(params, IndexKind::kIvf,
+                                           "PaseIvfPq::InFilterSearch"));
+  if (!pq_) return Status::InvalidArgument("PaseIvfPq: index not built");
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kPaseSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kPaseQueries);
+  const uint32_t nprobe = std::min(params.nprobe, num_clusters_);
+  VECDB_ASSIGN_OR_RETURN(std::vector<uint32_t> probes,
+                         SelectBuckets(query, nprobe, ctx.profiler));
+
+  std::vector<float> table(pq_->table_size());
+  {
+    ProfScope scope(ctx.profiler, "PrecomputedTable");
+    pq_->ComputeDistanceTableNaive(query, table.data());
+  }
+
+  NHeap collector;
+  obs::SearchCounters counters;
+  obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
+  uint64_t bitmap_probes = 0;
+  for (uint32_t b : probes) {
+    VECDB_RETURN_NOT_OK(ScanBucketFiltered(b, table.data(), selection,
+                                           &collector, ctx.profiler, sc,
+                                           &bitmap_probes));
+  }
+  if (metrics != nullptr) {
+    FlushSearchCounters(metrics, counters);
+    metrics->AddUnchecked(obs::Counter::kFilterBitmapProbes, bitmap_probes);
+  }
+  return collector.PopK(params.k);
+}
+
 Result<std::vector<Neighbor>> PaseIvfPqIndex::Search(
     const float* query, const SearchParams& params) const {
   if (query == nullptr) return Status::InvalidArgument("PaseIvfPq: null query");

@@ -66,6 +66,20 @@ class PaseIvfPqIndex final : public VectorIndex {
   uint32_t num_clusters() const { return num_clusters_; }
   const float* centroids() const { return centroids_.data(); }
 
+ protected:
+  /// Pre-filter: one naive precomputed table (RC#7), then every bucket's
+  /// page chain walked with the bitmap gating each code before its ADC
+  /// distance.
+  Result<std::vector<Neighbor>> PreFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
+  /// In-filter: nprobe bucket selection unchanged, the bitmap pushed into
+  /// the page-chain ADC scans.
+  Result<std::vector<Neighbor>> InFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
  private:
   struct BucketChain {
     pgstub::BlockId head = pgstub::kInvalidBlock;
@@ -81,6 +95,14 @@ class PaseIvfPqIndex final : public VectorIndex {
   Status ScanBucket(uint32_t bucket, const float* table, NHeap* collector,
                     std::mutex* mu, int64_t* serial_nanos, Profiler* profiler,
                     obs::SearchCounters* counters) const;
+
+  /// ScanBucket with the in-filter bitmap gate: rejected codes skip the
+  /// ADC distance and the heap. `bitmap_probes` counts selection tests.
+  Status ScanBucketFiltered(uint32_t bucket, const float* table,
+                            const filter::SelectionVector& selection,
+                            NHeap* collector, Profiler* profiler,
+                            obs::SearchCounters* counters,
+                            uint64_t* bitmap_probes) const;
 
   PaseEnv env_;
   uint32_t dim_;

@@ -9,31 +9,41 @@ namespace vecdb::pgstub {
 
 Result<HeapTable> HeapTable::Create(BufferManager* bufmgr,
                                     StorageManager* smgr,
-                                    const std::string& name, uint32_t dim) {
+                                    const std::string& name, uint32_t dim,
+                                    uint32_t num_attrs) {
   if (dim == 0) return Status::InvalidArgument("HeapTable: dim == 0");
   VECDB_ASSIGN_OR_RETURN(RelId rel, smgr->CreateRelation(name));
-  HeapTable table(bufmgr, smgr, rel, dim);
+  HeapTable table(bufmgr, smgr, rel, dim, num_attrs);
   const uint32_t tuple = table.tuple_size();
   // A tuple must fit on one page (no TOAST in this substrate); AddItem
   // MAXALIGNs the item start, so budget up to 7 padding bytes.
   if (((tuple + 7u) & ~7u) + sizeof(PageView::Header) + sizeof(ItemId) >
       smgr->page_size()) {
     return Status::InvalidArgument(
-        "HeapTable: tuple of dim " + std::to_string(dim) +
-        " does not fit in a " + std::to_string(smgr->page_size()) +
-        "-byte page");
+        "HeapTable: tuple of dim " + std::to_string(dim) + " with " +
+        std::to_string(num_attrs) + " attrs does not fit in a " +
+        std::to_string(smgr->page_size()) + "-byte page");
   }
   return table;
 }
 
-Result<TupleId> HeapTable::Insert(int64_t row_id, const float* vec) {
+Result<TupleId> HeapTable::Insert(int64_t row_id, const float* vec,
+                                  const int64_t* attrs) {
   if (vec == nullptr) return Status::InvalidArgument("HeapTable: null vec");
-  std::vector<char> tuple(tuple_size());
+  if (num_attrs_ > 0 && attrs == nullptr) {
+    return Status::InvalidArgument("HeapTable: missing attribute values");
+  }
+  std::vector<char> tuple(tuple_size(), 0);
   auto* header = reinterpret_cast<HeapTupleHeader*>(tuple.data());
   header->row_id = row_id;
   header->dim = dim_;
+  header->num_attrs = num_attrs_;
   std::memcpy(tuple.data() + sizeof(HeapTupleHeader), vec,
               dim_ * sizeof(float));
+  if (num_attrs_ > 0) {
+    std::memcpy(tuple.data() + attr_offset(), attrs,
+                num_attrs_ * sizeof(int64_t));
+  }
 
   // Try the current tail page first; extend on overflow.
   if (last_block_ != kInvalidBlock) {
@@ -64,7 +74,8 @@ Result<TupleId> HeapTable::Insert(int64_t row_id, const float* vec) {
   return TupleId{fresh.first, slot};
 }
 
-Status HeapTable::Read(TupleId tid, int64_t* row_id, float* vec) const {
+Status HeapTable::Read(TupleId tid, int64_t* row_id, float* vec,
+                       int64_t* attrs) const {
   if (!tid.valid()) return Status::InvalidArgument("HeapTable: invalid tid");
   VECDB_ASSIGN_OR_RETURN(BufferHandle handle, bufmgr_->Pin(rel_, tid.block));
   PageView page(handle.data, bufmgr_->page_size());
@@ -75,13 +86,16 @@ Status HeapTable::Read(TupleId tid, int64_t* row_id, float* vec) const {
                             std::to_string(tid.offset));
   }
   const auto* header = reinterpret_cast<const HeapTupleHeader*>(item);
-  if (header->dim != dim_) {
+  if (header->dim != dim_ || header->num_attrs != num_attrs_) {
     bufmgr_->Unpin(handle, false);
-    return Status::Corruption("HeapTable: tuple dim mismatch");
+    return Status::Corruption("HeapTable: tuple shape mismatch");
   }
   if (row_id != nullptr) *row_id = header->row_id;
   if (vec != nullptr) {
     std::memcpy(vec, item + sizeof(HeapTupleHeader), dim_ * sizeof(float));
+  }
+  if (attrs != nullptr && num_attrs_ > 0) {
+    std::memcpy(attrs, item + attr_offset(), num_attrs_ * sizeof(int64_t));
   }
   bufmgr_->Unpin(handle, false);
   return Status::OK();
@@ -89,6 +103,15 @@ Status HeapTable::Read(TupleId tid, int64_t* row_id, float* vec) const {
 
 Status HeapTable::SeqScan(
     const std::function<bool(TupleId, int64_t, const float*)>& fn) const {
+  return SeqScanFull(
+      [&](TupleId tid, int64_t row_id, const float* vec, const int64_t*) {
+        return fn(tid, row_id, vec);
+      });
+}
+
+Status HeapTable::SeqScanFull(
+    const std::function<bool(TupleId, int64_t, const float*, const int64_t*)>&
+        fn) const {
   VECDB_ASSIGN_OR_RETURN(BlockId num_blocks, smgr_->NumBlocks(rel_));
   for (BlockId block = 0; block < num_blocks; ++block) {
     VECDB_ASSIGN_OR_RETURN(BufferHandle handle, bufmgr_->Pin(rel_, block));
@@ -100,7 +123,11 @@ Status HeapTable::SeqScan(
       const auto* header = reinterpret_cast<const HeapTupleHeader*>(item);
       const float* vec =
           reinterpret_cast<const float*>(item + sizeof(HeapTupleHeader));
-      if (!fn(TupleId{block, slot}, header->row_id, vec)) {
+      const int64_t* attrs =
+          num_attrs_ > 0
+              ? reinterpret_cast<const int64_t*>(item + attr_offset())
+              : nullptr;
+      if (!fn(TupleId{block, slot}, header->row_id, vec, attrs)) {
         bufmgr_->Unpin(handle, false);
         return Status::OK();
       }
@@ -120,11 +147,13 @@ void HeapTable::CheckInvariants() const {
   VECDB_CHECK(scanned.ok()) << "SeqScan failed: " << scanned.ToString();
   VECDB_CHECK_EQ(seen, num_rows_) << "page population vs num_rows()";
   // Re-read every tuple through the Read path, which verifies the stored
-  // per-tuple dim against dim() (Corruption on mismatch).
+  // per-tuple shape against the table metadata (Corruption on mismatch).
   std::vector<float> vec(dim_);
+  std::vector<int64_t> attrs(num_attrs_);
   scanned = SeqScan([&](TupleId tid, int64_t, const float*) {
     int64_t row_id = 0;
-    Status read = Read(tid, &row_id, vec.data());
+    Status read = Read(tid, &row_id, vec.data(),
+                       num_attrs_ > 0 ? attrs.data() : nullptr);
     VECDB_CHECK(read.ok()) << "tuple re-read failed: " << read.ToString();
     return true;
   });

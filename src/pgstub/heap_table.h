@@ -1,5 +1,6 @@
-// Heap table storing (row id, float[]) tuples in slotted pages via the
-// buffer manager — the PASE/PostgreSQL way of storing a vector column.
+// Heap table storing (row id, float[], int64 attrs[]) tuples in slotted
+// pages via the buffer manager — the PASE/PostgreSQL way of storing a
+// vector column alongside scalar attribute columns.
 #pragma once
 
 #include <cstdint>
@@ -11,30 +12,45 @@
 
 namespace vecdb::pgstub {
 
-/// On-page tuple header; `dim` floats follow immediately.
+/// On-page tuple header; `dim` floats follow immediately, then `num_attrs`
+/// int64 attribute values at the next 8-byte-aligned offset.
 struct HeapTupleHeader {
   int64_t row_id;
   uint32_t dim;
+  uint32_t num_attrs;
 };
 
-/// Append-only table of fixed-dimension vector rows.
+/// Append-only table of fixed-dimension vector rows with optional scalar
+/// attribute columns.
 class HeapTable {
  public:
-  /// Creates a new relation named `name` for dim-dimensional rows.
+  /// Creates a new relation named `name` for dim-dimensional rows carrying
+  /// `num_attrs` int64 attributes each.
   static Result<HeapTable> Create(BufferManager* bufmgr, StorageManager* smgr,
-                                  const std::string& name, uint32_t dim);
+                                  const std::string& name, uint32_t dim,
+                                  uint32_t num_attrs = 0);
 
-  /// Inserts a row; returns its physical TupleId.
-  Result<TupleId> Insert(int64_t row_id, const float* vec);
+  /// Inserts a row; returns its physical TupleId. `attrs` must point at
+  /// num_attrs() values (may be null when num_attrs() == 0).
+  Result<TupleId> Insert(int64_t row_id, const float* vec,
+                         const int64_t* attrs = nullptr);
 
-  /// Reads the row at `tid` through the buffer manager into `row_id`/`vec`
-  /// (vec must hold dim() floats). This is the paper's "Tuple Access" path.
-  Status Read(TupleId tid, int64_t* row_id, float* vec) const;
+  /// Reads the row at `tid` through the buffer manager into `row_id`/`vec`/
+  /// `attrs` (vec must hold dim() floats, attrs num_attrs() values; either
+  /// may be null). This is the paper's "Tuple Access" path.
+  Status Read(TupleId tid, int64_t* row_id, float* vec,
+              int64_t* attrs = nullptr) const;
 
   /// Sequential scan invoking `fn(tid, row_id, vec)` for every tuple;
   /// stops early if `fn` returns false.
   Status SeqScan(
       const std::function<bool(TupleId, int64_t, const float*)>& fn) const;
+
+  /// Sequential scan that also exposes the attribute columns:
+  /// `fn(tid, row_id, vec, attrs)`; `attrs` points at num_attrs() values
+  /// inside the pinned page (valid only for the duration of the call).
+  Status SeqScanFull(const std::function<bool(TupleId, int64_t, const float*,
+                                              const int64_t*)>& fn) const;
 
   /// Aborts if stored tuples disagree with the table metadata: a tuple
   /// whose dim differs from dim(), or a page population that does not sum
@@ -42,22 +58,35 @@ class HeapTable {
   void CheckInvariants() const;
 
   uint32_t dim() const { return dim_; }
+  uint32_t num_attrs() const { return num_attrs_; }
   RelId rel() const { return rel_; }
   size_t num_rows() const { return num_rows_; }
+  /// Offset of the attribute array inside a tuple: the floats rounded up
+  /// to 8-byte alignment (item starts are MAXALIGNed, so the attrs stay
+  /// aligned for direct int64 access).
+  uint32_t attr_offset() const {
+    return (static_cast<uint32_t>(sizeof(HeapTupleHeader)) +
+            dim_ * static_cast<uint32_t>(sizeof(float)) + 7u) &
+           ~7u;
+  }
   uint32_t tuple_size() const {
-    return static_cast<uint32_t>(sizeof(HeapTupleHeader)) +
-           dim_ * static_cast<uint32_t>(sizeof(float));
+    return attr_offset() + num_attrs_ * static_cast<uint32_t>(sizeof(int64_t));
   }
 
  private:
   HeapTable(BufferManager* bufmgr, StorageManager* smgr, RelId rel,
-            uint32_t dim)
-      : bufmgr_(bufmgr), smgr_(smgr), rel_(rel), dim_(dim) {}
+            uint32_t dim, uint32_t num_attrs)
+      : bufmgr_(bufmgr),
+        smgr_(smgr),
+        rel_(rel),
+        dim_(dim),
+        num_attrs_(num_attrs) {}
 
   BufferManager* bufmgr_;
   StorageManager* smgr_;
   RelId rel_;
   uint32_t dim_;
+  uint32_t num_attrs_;
   BlockId last_block_ = kInvalidBlock;
   size_t num_rows_ = 0;
 };

@@ -70,8 +70,13 @@ Result<std::unique_ptr<IndexScanCursor>> VectorIndexAm::AmBeginScan(
   params.k = options.k;
   params.nprobe = options.nprobe;
   params.efs = options.efs;
-  VECDB_ASSIGN_OR_RETURN(std::vector<Neighbor> results,
-                         index_->Search(query, params));
+  std::vector<Neighbor> results;
+  if (options.filter.selection != nullptr) {
+    VECDB_ASSIGN_OR_RETURN(
+        results, index_->FilteredSearch(query, options.filter, params));
+  } else {
+    VECDB_ASSIGN_OR_RETURN(results, index_->Search(query, params));
+  }
   for (auto& nb : results) {
     if (nb.id >= 0 && static_cast<size_t>(nb.id) < row_ids_.size()) {
       nb.id = row_ids_[static_cast<size_t>(nb.id)];

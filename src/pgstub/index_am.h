@@ -14,11 +14,14 @@
 namespace vecdb::pgstub {
 
 /// Scan-time options handed to ambeginscan (PASE encodes these in the query
-/// operator's option string).
+/// operator's option string). When `filter.selection` is set the scan runs
+/// the filtered-search path; the selection vector is indexed by index
+/// position (heap insertion order), matching AmBuild's scan order.
 struct AmScanOptions {
   size_t k = 100;
   uint32_t nprobe = 20;
   uint32_t efs = 200;
+  FilterRequest filter;
 };
 
 /// An open ordered index scan; amgettuple yields one result at a time.

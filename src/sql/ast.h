@@ -8,23 +8,27 @@
 #include <vector>
 
 #include "distance/metric.h"
+#include "filter/predicate.h"
 
 namespace vecdb::sql {
 
-/// CREATE TABLE t (id int, vec float[dim]);
+/// CREATE TABLE t (id int, vec float[dim] [, attr int ...]);
 struct CreateTableStmt {
   std::string table;
   std::string id_column;
   std::string vec_column;
   uint32_t dim = 0;  ///< required: float[dim]
+  /// Scalar attribute columns (INT/BIGINT), stored as int64 in the heap.
+  std::vector<std::string> attr_columns;
 };
 
-/// INSERT INTO t VALUES (1, '0.1,0.2'), (2, '[0.3, 0.4]');
+/// INSERT INTO t VALUES (1, '0.1,0.2' [, attr ...]), ...;
 struct InsertStmt {
   std::string table;
   struct Row {
     int64_t id;
     std::vector<float> vec;
+    std::vector<int64_t> attrs;  ///< one value per attr column
   };
   std::vector<Row> rows;
 };
@@ -41,7 +45,8 @@ struct CreateIndexStmt {
   std::string engine = "pase";
 };
 
-/// SELECT id FROM t ORDER BY vec <-> 'q' [OPTIONS (...)] LIMIT k;
+/// SELECT id FROM t [WHERE pred] ORDER BY vec <-> 'q' [OPTIONS (...)]
+/// LIMIT k;
 struct SelectStmt {
   std::string table;
   std::string select_column;      ///< must be the id column or '*'
@@ -49,7 +54,12 @@ struct SelectStmt {
   std::string order_column;
   Metric metric = Metric::kL2;    ///< from <->, <#>, <=>
   std::vector<float> query;
+  /// WHERE clause over the id/attribute columns (null: unfiltered).
+  std::unique_ptr<filter::Predicate> predicate;
   std::map<std::string, double> options;  ///< nprobe, efs, threads
+  /// String-valued options; filter_strategy=prefilter|postfilter|infilter
+  /// overrides the planner.
+  std::map<std::string, std::string> string_options;
   size_t limit = 0;
   bool explain = false;
 };
@@ -60,11 +70,11 @@ struct DropStmt {
   std::string name;
 };
 
-/// DELETE FROM t WHERE id = n;
+/// DELETE FROM t WHERE <pred>; — any predicate over the id/attribute
+/// columns (the executor keeps a fast path for `id = n`).
 struct DeleteStmt {
   std::string table;
-  std::string where_column;  ///< must be the id column
-  int64_t id = 0;
+  std::unique_ptr<filter::Predicate> predicate;
 };
 
 /// SHOW METRICS; / SHOW METRICS RESET;

@@ -26,6 +26,16 @@ uint64_t TuplesVisitedSnapshot() {
          m.Value(obs::Counter::kPaseTuplesVisited) +
          m.Value(obs::Counter::kBridgeTuplesVisited);
 }
+
+/// Row-image column layout predicates bind against: the id column first,
+/// then the attribute columns in declaration order.
+std::vector<std::string> PredicateColumns(const CreateTableStmt& schema) {
+  std::vector<std::string> cols;
+  cols.reserve(1 + schema.attr_columns.size());
+  cols.push_back(schema.id_column);
+  for (const auto& attr : schema.attr_columns) cols.push_back(attr);
+  return cols;
+}
 }  // namespace
 
 Result<std::unique_ptr<MiniDatabase>> MiniDatabase::Open(
@@ -119,7 +129,9 @@ Result<QueryResult> MiniDatabase::ExecCreateTable(
   }
   VECDB_ASSIGN_OR_RETURN(
       pgstub::HeapTable heap,
-      pgstub::HeapTable::Create(&bufmgr_, &smgr_, stmt.table, stmt.dim));
+      pgstub::HeapTable::Create(
+          &bufmgr_, &smgr_, stmt.table, stmt.dim,
+          static_cast<uint32_t>(stmt.attr_columns.size())));
   TableEntry entry;
   entry.schema = stmt;
   entry.heap = std::make_unique<pgstub::HeapTable>(std::move(heap));
@@ -141,9 +153,19 @@ Result<QueryResult> MiniDatabase::ExecInsert(const InsertStmt& stmt) {
           "vector has " + std::to_string(row.vec.size()) +
           " dimensions, table expects " + std::to_string(table.schema.dim));
     }
+    if (row.attrs.size() != table.schema.attr_columns.size()) {
+      return Status::InvalidArgument(
+          "row has " + std::to_string(row.attrs.size()) +
+          " attribute values, table expects " +
+          std::to_string(table.schema.attr_columns.size()));
+    }
   }
   for (const auto& row : stmt.rows) {
-    VECDB_RETURN_NOT_OK(table.heap->Insert(row.id, row.vec.data()).status());
+    VECDB_RETURN_NOT_OK(
+        table.heap
+            ->Insert(row.id, row.vec.data(),
+                     row.attrs.empty() ? nullptr : row.attrs.data())
+            .status());
     for (const auto& index_name : table.indexes) {
       auto idx = indexes_.find(index_name);
       if (idx != indexes_.end()) {
@@ -199,15 +221,25 @@ Result<QueryResult> MiniDatabase::ExecCreateIndex(
   return out;
 }
 
-Result<QueryResult> MiniDatabase::SeqScanSelect(const SelectStmt& stmt,
-                                                const TableEntry& table) {
+Result<QueryResult> MiniDatabase::SeqScanSelect(
+    const SelectStmt& stmt, const TableEntry& table,
+    const filter::BoundPredicate* bound) {
   KMaxHeap heap(stmt.limit);
   uint64_t scanned = 0;
-  VECDB_RETURN_NOT_OK(table.heap->SeqScan(
-      [&](pgstub::TupleId, int64_t row_id, const float* vec) {
+  std::vector<int64_t> row_image(1 + table.schema.attr_columns.size());
+  VECDB_RETURN_NOT_OK(table.heap->SeqScanFull(
+      [&](pgstub::TupleId, int64_t row_id, const float* vec,
+          const int64_t* attrs) {
         ++scanned;
         if (!table.deleted.empty() && table.deleted.count(row_id) != 0) {
           return true;  // dead tuple
+        }
+        if (bound != nullptr) {
+          row_image[0] = row_id;
+          for (size_t a = 0; a < table.schema.attr_columns.size(); ++a) {
+            row_image[1 + a] = attrs[a];
+          }
+          if (!bound->Eval(row_image.data())) return true;
         }
         heap.Push(Distance(stmt.metric, stmt.query.data(), vec,
                            table.schema.dim),
@@ -223,6 +255,45 @@ Result<QueryResult> MiniDatabase::SeqScanSelect(const SelectStmt& stmt,
     out.rows.push_back({nb.id, nb.dist});
   }
   return out;
+}
+
+Result<MiniDatabase::FilterPlan> MiniDatabase::BuildFilterPlan(
+    const TableEntry& table, const filter::BoundPredicate& bound,
+    size_t sample_rows) const {
+  FilterPlan plan;
+  const size_t n = table.heap->num_rows();
+  plan.selection = filter::SelectionVector(n);
+  // One pass: the exact bitmap for the strategies, and a strided sample
+  // for the planner's selectivity estimate (what an attribute-store
+  // EstimateSelectivity would see).
+  const size_t stride = n <= sample_rows ? 1 : (n + sample_rows - 1) / sample_rows;
+  size_t pos = 0;
+  size_t sampled = 0;
+  size_t sampled_matches = 0;
+  std::vector<int64_t> row_image(1 + table.schema.attr_columns.size());
+  VECDB_RETURN_NOT_OK(table.heap->SeqScanFull(
+      [&](pgstub::TupleId, int64_t row_id, const float*,
+          const int64_t* attrs) {
+        row_image[0] = row_id;
+        for (size_t a = 0; a < table.schema.attr_columns.size(); ++a) {
+          row_image[1 + a] = attrs[a];
+        }
+        const bool dead =
+            !table.deleted.empty() && table.deleted.count(row_id) != 0;
+        const bool match = !dead && bound.Eval(row_image.data());
+        if (match) plan.selection.Set(pos);
+        if (pos % stride == 0) {
+          ++sampled;
+          if (match) ++sampled_matches;
+        }
+        ++pos;
+        return true;
+      }));
+  plan.est_selectivity =
+      sampled == 0 ? 1.0
+                   : static_cast<double>(sampled_matches) /
+                         static_cast<double>(sampled);
+  return plan;
 }
 
 Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt) {
@@ -246,6 +317,19 @@ Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt) {
         " dimensions, table expects " + std::to_string(table.schema.dim));
   }
 
+  // Bind the WHERE predicate (if any) against id + attribute columns.
+  filter::BoundPredicate bound;
+  const bool has_predicate = stmt.predicate != nullptr;
+  if (has_predicate) {
+    VECDB_ASSIGN_OR_RETURN(
+        bound, filter::Bind(*stmt.predicate, PredicateColumns(table.schema)));
+  }
+  filter::FilterStrategy strategy = filter::FilterStrategy::kAuto;
+  auto strat_it = stmt.string_options.find("filter_strategy");
+  if (strat_it != stmt.string_options.end()) {
+    VECDB_ASSIGN_OR_RETURN(strategy, filter::ParseStrategy(strat_it->second));
+  }
+
   // Plan: an index scan needs an index on this column and an L2 operator
   // (the engines implement Euclidean distance, PASE similarity type 0).
   const IndexEntry* chosen = nullptr;
@@ -259,21 +343,47 @@ Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt) {
     }
   }
 
+  // The exact bitmap + sampled selectivity for the filtered index scan
+  // (EXPLAIN reports the same numbers the executor would use).
+  const filter::PlannerConfig planner;
+  FilterPlan plan;
+  if (has_predicate && chosen != nullptr) {
+    VECDB_ASSIGN_OR_RETURN(plan,
+                           BuildFilterPlan(table, bound, planner.sample_rows));
+  }
+
   if (stmt.explain) {
     QueryResult out;
     if (chosen != nullptr) {
       out.message = "Index Scan using " + chosen->def.index + " (" +
                     chosen->index->Describe() + ") k=" +
                     std::to_string(stmt.limit);
+      if (has_predicate) {
+        const filter::FilterStrategy effective =
+            strategy == filter::FilterStrategy::kAuto
+                ? filter::ChooseStrategy(plan.est_selectivity, stmt.limit,
+                                         chosen->index->NumVectors(), planner)
+                : strategy;
+        out.message += " filter=" + filter::ToString(*stmt.predicate) +
+                       " strategy=" +
+                       std::string(filter::StrategyName(effective)) +
+                       " est_selectivity=" +
+                       std::to_string(plan.est_selectivity);
+      }
     } else {
       out.message = "Seq Scan on " + stmt.table + " (brute force, metric=" +
                     std::string(MetricName(stmt.metric)) + ") k=" +
                     std::to_string(stmt.limit);
+      if (has_predicate) {
+        out.message += " filter=" + filter::ToString(*stmt.predicate);
+      }
     }
     return out;
   }
 
-  if (chosen == nullptr) return SeqScanSelect(stmt, table);
+  if (chosen == nullptr) {
+    return SeqScanSelect(stmt, table, has_predicate ? &bound : nullptr);
+  }
 
   pgstub::AmScanOptions scan;
   scan.k = stmt.limit;
@@ -283,6 +393,12 @@ Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt) {
   scan.efs = static_cast<uint32_t>(OptionOr(
       stmt.options, "efs",
       std::max<double>(200, static_cast<double>(stmt.limit))));
+  if (has_predicate) {
+    scan.filter.selection = &plan.selection;
+    scan.filter.strategy = strategy;
+    scan.filter.est_selectivity = plan.est_selectivity;
+    scan.filter.planner = planner;
+  }
   const uint64_t visited_before = TuplesVisitedSnapshot();
   VECDB_ASSIGN_OR_RETURN(std::unique_ptr<pgstub::IndexScanCursor> cursor,
                          chosen->am->AmBeginScan(stmt.query.data(), scan));
@@ -319,39 +435,84 @@ Result<QueryResult> MiniDatabase::ExecDelete(const DeleteStmt& stmt) {
     return Status::NotFound("no table named " + stmt.table);
   }
   TableEntry& table = it->second;
-  if (stmt.where_column != table.schema.id_column) {
-    return Status::InvalidArgument("DELETE supports WHERE " +
-                                   table.schema.id_column + " = <n> only");
+  if (stmt.predicate == nullptr) {
+    return Status::InvalidArgument("DELETE requires a WHERE clause");
   }
-  if (table.deleted.count(stmt.id) != 0) {
-    return Status::NotFound("row " + std::to_string(stmt.id) +
-                            " already deleted");
+
+  // Fast path for the classic `WHERE id = n`: no predicate binding, and
+  // the historical NotFound errors for missing / already-deleted rows.
+  const filter::Predicate& pred = *stmt.predicate;
+  if (pred.kind == filter::Predicate::Kind::kCompare &&
+      pred.op == filter::CmpOp::kEq &&
+      pred.column == table.schema.id_column) {
+    const int64_t id = pred.value;
+    if (table.deleted.count(id) != 0) {
+      return Status::NotFound("row " + std::to_string(id) +
+                              " already deleted");
+    }
+    // The row must exist in the heap before it can be tombstoned.
+    bool exists = false;
+    VECDB_RETURN_NOT_OK(table.heap->SeqScan(
+        [&](pgstub::TupleId, int64_t row_id, const float*) {
+          if (row_id == id) {
+            exists = true;
+            return false;
+          }
+          return true;
+        }));
+    if (!exists) {
+      return Status::NotFound("no row with id " + std::to_string(id));
+    }
+    table.deleted.insert(id);
+    // Tombstone the row in every index on the table; ids unknown to an
+    // index (never inserted) surface as NotFound from the check above.
+    for (const auto& index_name : table.indexes) {
+      auto idx = indexes_.find(index_name);
+      if (idx != indexes_.end()) {
+        Status s = idx->second.am->AmDelete(id);
+        if (!s.ok() && !s.IsNotSupported()) return s;
+      }
+    }
+    QueryResult out;
+    out.message = "DELETE 1";
+    return out;
   }
-  // The row must exist in the heap before it can be tombstoned.
-  bool exists = false;
-  VECDB_RETURN_NOT_OK(table.heap->SeqScan(
-      [&](pgstub::TupleId, int64_t row_id, const float*) {
-        if (row_id == stmt.id) {
-          exists = true;
-          return false;
+
+  // General path: bind the predicate, collect every matching live row,
+  // and tombstone them all. Deleting zero rows is not an error (SQL
+  // semantics: "DELETE 0").
+  filter::BoundPredicate bound;
+  VECDB_ASSIGN_OR_RETURN(
+      bound, filter::Bind(pred, PredicateColumns(table.schema)));
+  std::vector<int64_t> matches;
+  std::vector<int64_t> row_image(1 + table.schema.attr_columns.size());
+  VECDB_RETURN_NOT_OK(table.heap->SeqScanFull(
+      [&](pgstub::TupleId, int64_t row_id, const float*,
+          const int64_t* attrs) {
+        if (!table.deleted.empty() && table.deleted.count(row_id) != 0) {
+          return true;
         }
+        row_image[0] = row_id;
+        for (size_t a = 0; a < table.schema.attr_columns.size(); ++a) {
+          row_image[1 + a] = attrs[a];
+        }
+        if (bound.Eval(row_image.data())) matches.push_back(row_id);
         return true;
       }));
-  if (!exists) {
-    return Status::NotFound("no row with id " + std::to_string(stmt.id));
-  }
-  table.deleted.insert(stmt.id);
-  // Tombstone the row in every index on the table; ids unknown to an index
-  // (never inserted) surface as NotFound from the heap-side check above.
-  for (const auto& index_name : table.indexes) {
-    auto idx = indexes_.find(index_name);
-    if (idx != indexes_.end()) {
-      Status s = idx->second.am->AmDelete(stmt.id);
-      if (!s.ok() && !s.IsNotSupported()) return s;
+  for (int64_t id : matches) {
+    table.deleted.insert(id);
+    for (const auto& index_name : table.indexes) {
+      auto idx = indexes_.find(index_name);
+      if (idx != indexes_.end()) {
+        // NotSupported: rebuild-only index; NotFound: the row was never
+        // propagated into this index (inserted after a bulk build).
+        Status s = idx->second.am->AmDelete(id);
+        if (!s.ok() && !s.IsNotSupported() && !s.IsNotFound()) return s;
+      }
     }
   }
   QueryResult out;
-  out.message = "DELETE 1";
+  out.message = "DELETE " + std::to_string(matches.size());
   return out;
 }
 

@@ -12,6 +12,8 @@
 
 #include "common/status.h"
 #include "core/index.h"
+#include "filter/predicate.h"
+#include "filter/selection.h"
 #include "pgstub/bufmgr.h"
 #include "pgstub/heap_table.h"
 #include "pgstub/index_am.h"
@@ -89,9 +91,21 @@ class MiniDatabase {
   Result<std::unique_ptr<VectorIndex>> MakeIndex(const CreateIndexStmt& stmt,
                                                  uint32_t dim);
 
-  /// Brute-force fallback when no usable index exists.
+  /// Brute-force fallback when no usable index exists. `bound` (nullable)
+  /// is the bound WHERE predicate.
   Result<QueryResult> SeqScanSelect(const SelectStmt& stmt,
-                                    const TableEntry& table);
+                                    const TableEntry& table,
+                                    const filter::BoundPredicate* bound);
+
+  /// One heap pass producing the exact position-indexed selection bitmap
+  /// (deleted rows excluded) plus a strided sampled selectivity estimate.
+  struct FilterPlan {
+    filter::SelectionVector selection;
+    double est_selectivity = 1.0;
+  };
+  Result<FilterPlan> BuildFilterPlan(const TableEntry& table,
+                                     const filter::BoundPredicate& bound,
+                                     size_t sample_rows) const;
 
   pgstub::StorageManager smgr_;
   pgstub::BufferManager bufmgr_;

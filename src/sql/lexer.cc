@@ -12,7 +12,8 @@ bool IsKeyword(const std::string& word) {
       "SELECT", "FROM",   "ORDER",  "BY",     "LIMIT",  "CREATE", "TABLE",
       "INDEX",  "ON",     "USING",  "WITH",   "INSERT", "INTO",   "VALUES",
       "INT",    "BIGINT", "FLOAT",  "ASC",    "DESC",   "DROP",   "OPTIONS",
-      "AS",     "WHERE",  "EXPLAIN", "DELETE", "SHOW",  "METRICS", "RESET"};
+      "AS",     "WHERE",  "EXPLAIN", "DELETE", "SHOW",  "METRICS", "RESET",
+      "AND",    "OR",     "IN"};
   return kKeywords.count(word) != 0;
 }
 
@@ -107,7 +108,8 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       continue;
     }
     if (c == '<') {
-      // <->, <#>, <=> distance operators.
+      // <->, <#>, <=> distance operators take precedence over the two-char
+      // comparison operators <= and <>.
       if (i + 2 < n && input[i + 2] == '>' &&
           (input[i + 1] == '-' || input[i + 1] == '#' ||
            input[i + 1] == '=')) {
@@ -115,7 +117,37 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
         i += 3;
         continue;
       }
-      return Status::InvalidArgument("unexpected '<' at byte " +
+      if (i + 1 < n && input[i + 1] == '=') {
+        make(TokenType::kLe, "<=", start);
+        i += 2;
+        continue;
+      }
+      if (i + 1 < n && input[i + 1] == '>') {
+        make(TokenType::kNe, "<>", start);
+        i += 2;
+        continue;
+      }
+      make(TokenType::kLt, "<", start);
+      ++i;
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < n && input[i + 1] == '=') {
+        make(TokenType::kGe, ">=", start);
+        i += 2;
+        continue;
+      }
+      make(TokenType::kGt, ">", start);
+      ++i;
+      continue;
+    }
+    if (c == '!') {
+      if (i + 1 < n && input[i + 1] == '=') {
+        make(TokenType::kNe, "!=", start);
+        i += 2;
+        continue;
+      }
+      return Status::InvalidArgument("unexpected '!' at byte " +
                                      std::to_string(start));
     }
     switch (c) {

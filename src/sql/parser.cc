@@ -1,5 +1,6 @@
 #include "sql/parser.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "sql/lexer.h"
@@ -71,10 +72,11 @@ class Cursor {
   size_t pos_ = 0;
 };
 
-/// WITH/OPTIONS (key = value [, ...]) — values numeric or identifier/string
-/// (the string form is only used by engine=...).
+/// WITH/OPTIONS (key = value [, ...]) — numeric values go to `numeric`,
+/// identifier/string values to `strings` (null: string values rejected).
+/// Which string keys are legal is the caller's business.
 Status ParseOptionList(Cursor& cur, std::map<std::string, double>* numeric,
-                       std::string* engine) {
+                       std::map<std::string, std::string>* strings) {
   VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kLParen, "'('"));
   for (;;) {
     VECDB_ASSIGN_OR_RETURN(std::string key, cur.ExpectIdentifier("option"));
@@ -83,11 +85,11 @@ Status ParseOptionList(Cursor& cur, std::map<std::string, double>* numeric,
       (*numeric)[key] = cur.Advance().number;
     } else if (cur.Peek().type == TokenType::kString ||
                cur.Peek().type == TokenType::kIdentifier) {
-      if (engine == nullptr || key != "engine") {
+      if (strings == nullptr) {
         return Status::InvalidArgument("option " + key +
                                        " requires a numeric value");
       }
-      *engine = cur.Advance().text;
+      (*strings)[key] = cur.Advance().text;
     } else {
       return Status::InvalidArgument("bad value for option " + key);
     }
@@ -95,6 +97,92 @@ Status ParseOptionList(Cursor& cur, std::map<std::string, double>* numeric,
     break;
   }
   return cur.Expect(TokenType::kRParen, "')'");
+}
+
+/// WHERE grammar (precedence: OR < AND < atom):
+///   pred    := andExpr (OR andExpr)*
+///   andExpr := atom (AND atom)*
+///   atom    := '(' pred ')'
+///            | column (= | != | <> | < | <= | > | >=) integer
+///            | column IN '(' integer (',' integer)* ')'
+Result<std::unique_ptr<filter::Predicate>> ParsePredicate(Cursor& cur);
+
+Result<int64_t> ExpectIntValue(Cursor& cur) {
+  VECDB_ASSIGN_OR_RETURN(double value, cur.ExpectNumber("integer value"));
+  return static_cast<int64_t>(value);
+}
+
+Result<std::unique_ptr<filter::Predicate>> ParsePredicateAtom(Cursor& cur) {
+  if (cur.Match(TokenType::kLParen)) {
+    VECDB_ASSIGN_OR_RETURN(std::unique_ptr<filter::Predicate> inner,
+                           ParsePredicate(cur));
+    VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kRParen, "')'"));
+    return inner;
+  }
+  VECDB_ASSIGN_OR_RETURN(std::string column,
+                         cur.ExpectIdentifier("filter column"));
+  if (cur.MatchKeyword("IN")) {
+    VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kLParen, "'('"));
+    std::vector<int64_t> values;
+    for (;;) {
+      VECDB_ASSIGN_OR_RETURN(int64_t v, ExpectIntValue(cur));
+      values.push_back(v);
+      if (cur.Match(TokenType::kComma)) continue;
+      break;
+    }
+    VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kRParen, "')'"));
+    return filter::Predicate::In(std::move(column), std::move(values));
+  }
+  filter::CmpOp op;
+  switch (cur.Peek().type) {
+    case TokenType::kEquals:
+      op = filter::CmpOp::kEq;
+      break;
+    case TokenType::kNe:
+      op = filter::CmpOp::kNe;
+      break;
+    case TokenType::kLt:
+      op = filter::CmpOp::kLt;
+      break;
+    case TokenType::kLe:
+      op = filter::CmpOp::kLe;
+      break;
+    case TokenType::kGt:
+      op = filter::CmpOp::kGt;
+      break;
+    case TokenType::kGe:
+      op = filter::CmpOp::kGe;
+      break;
+    default:
+      return Status::InvalidArgument(
+          "expected a comparison operator or IN after column '" + column +
+          "' near '" + cur.Peek().text + "'");
+  }
+  cur.Advance();
+  VECDB_ASSIGN_OR_RETURN(int64_t value, ExpectIntValue(cur));
+  return filter::Predicate::Compare(std::move(column), op, value);
+}
+
+Result<std::unique_ptr<filter::Predicate>> ParsePredicateAnd(Cursor& cur) {
+  VECDB_ASSIGN_OR_RETURN(std::unique_ptr<filter::Predicate> lhs,
+                         ParsePredicateAtom(cur));
+  while (cur.MatchKeyword("AND")) {
+    VECDB_ASSIGN_OR_RETURN(std::unique_ptr<filter::Predicate> rhs,
+                           ParsePredicateAtom(cur));
+    lhs = filter::Predicate::And(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<std::unique_ptr<filter::Predicate>> ParsePredicate(Cursor& cur) {
+  VECDB_ASSIGN_OR_RETURN(std::unique_ptr<filter::Predicate> lhs,
+                         ParsePredicateAnd(cur));
+  while (cur.MatchKeyword("OR")) {
+    VECDB_ASSIGN_OR_RETURN(std::unique_ptr<filter::Predicate> rhs,
+                           ParsePredicateAnd(cur));
+    lhs = filter::Predicate::Or(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
 }
 
 Result<Statement> ParseCreate(Cursor& cur) {
@@ -116,6 +204,21 @@ Result<Statement> ParseCreate(Cursor& cur) {
       stmt->dim = static_cast<uint32_t>(cur.Advance().number);
     }
     VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kRBracket, "']'"));
+    // Optional scalar attribute columns: `, name INT|BIGINT` ...
+    while (cur.Match(TokenType::kComma)) {
+      VECDB_ASSIGN_OR_RETURN(std::string attr,
+                             cur.ExpectIdentifier("attribute column"));
+      if (!cur.MatchKeyword("INT") && !cur.MatchKeyword("BIGINT")) {
+        return Status::InvalidArgument("attribute column " + attr +
+                                       " must be INT or BIGINT");
+      }
+      if (attr == stmt->id_column || attr == stmt->vec_column ||
+          std::find(stmt->attr_columns.begin(), stmt->attr_columns.end(),
+                    attr) != stmt->attr_columns.end()) {
+        return Status::InvalidArgument("duplicate column name: " + attr);
+      }
+      stmt->attr_columns.push_back(std::move(attr));
+    }
     VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kRParen, "')'"));
     if (stmt->dim == 0) {
       return Status::InvalidArgument(
@@ -137,8 +240,15 @@ Result<Statement> ParseCreate(Cursor& cur) {
     VECDB_ASSIGN_OR_RETURN(stmt->column, cur.ExpectIdentifier("column"));
     VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kRParen, "')'"));
     if (cur.MatchKeyword("WITH")) {
-      VECDB_RETURN_NOT_OK(
-          ParseOptionList(cur, &stmt->options, &stmt->engine));
+      std::map<std::string, std::string> strings;
+      VECDB_RETURN_NOT_OK(ParseOptionList(cur, &stmt->options, &strings));
+      for (auto& [key, value] : strings) {
+        if (key != "engine") {
+          return Status::InvalidArgument("option " + key +
+                                         " requires a numeric value");
+        }
+        stmt->engine = value;
+      }
     }
     Statement out;
     out.kind = Statement::Kind::kCreateIndex;
@@ -163,6 +273,12 @@ Result<Statement> ParseInsert(Cursor& cur) {
       return Status::InvalidArgument("expected vector literal string");
     }
     VECDB_ASSIGN_OR_RETURN(row.vec, ParseVectorLiteral(cur.Advance().text));
+    // Optional attribute values after the vector literal.
+    while (cur.Match(TokenType::kComma)) {
+      VECDB_ASSIGN_OR_RETURN(double attr,
+                             cur.ExpectNumber("attribute value"));
+      row.attrs.push_back(static_cast<int64_t>(attr));
+    }
     VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kRParen, "')'"));
     stmt->rows.push_back(std::move(row));
     if (cur.Match(TokenType::kComma)) continue;
@@ -186,6 +302,9 @@ Result<Statement> ParseSelect(Cursor& cur, bool explain) {
   }
   VECDB_RETURN_NOT_OK(cur.ExpectKeyword("FROM"));
   VECDB_ASSIGN_OR_RETURN(stmt->table, cur.ExpectIdentifier("table name"));
+  if (cur.MatchKeyword("WHERE")) {
+    VECDB_ASSIGN_OR_RETURN(stmt->predicate, ParsePredicate(cur));
+  }
   VECDB_RETURN_NOT_OK(cur.ExpectKeyword("ORDER"));
   VECDB_RETURN_NOT_OK(cur.ExpectKeyword("BY"));
   VECDB_ASSIGN_OR_RETURN(stmt->order_column,
@@ -204,7 +323,14 @@ Result<Statement> ParseSelect(Cursor& cur, bool explain) {
   VECDB_ASSIGN_OR_RETURN(stmt->query, ParseVectorLiteral(cur.Advance().text));
   cur.MatchKeyword("ASC");  // optional, and the only supported direction
   if (cur.MatchKeyword("OPTIONS")) {
-    VECDB_RETURN_NOT_OK(ParseOptionList(cur, &stmt->options, nullptr));
+    VECDB_RETURN_NOT_OK(
+        ParseOptionList(cur, &stmt->options, &stmt->string_options));
+    for (const auto& [key, value] : stmt->string_options) {
+      if (key != "filter_strategy") {
+        return Status::InvalidArgument("option " + key +
+                                       " requires a numeric value");
+      }
+    }
   }
   VECDB_RETURN_NOT_OK(cur.ExpectKeyword("LIMIT"));
   VECDB_ASSIGN_OR_RETURN(double limit, cur.ExpectNumber("limit"));
@@ -221,11 +347,7 @@ Result<Statement> ParseDelete(Cursor& cur) {
   VECDB_RETURN_NOT_OK(cur.ExpectKeyword("FROM"));
   VECDB_ASSIGN_OR_RETURN(stmt->table, cur.ExpectIdentifier("table name"));
   VECDB_RETURN_NOT_OK(cur.ExpectKeyword("WHERE"));
-  VECDB_ASSIGN_OR_RETURN(stmt->where_column,
-                         cur.ExpectIdentifier("id column"));
-  VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kEquals, "'='"));
-  VECDB_ASSIGN_OR_RETURN(double id, cur.ExpectNumber("row id"));
-  stmt->id = static_cast<int64_t>(id);
+  VECDB_ASSIGN_OR_RETURN(stmt->predicate, ParsePredicate(cur));
   Statement out;
   out.kind = Statement::Kind::kDelete;
   out.delete_row = std::move(stmt);

@@ -23,6 +23,11 @@ enum class TokenType : uint8_t {
   kEquals,
   kStar,
   kDistanceOp,   // <->  (L2), <#> (inner product), <=> (cosine)
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kNe,           // != or <>
 };
 
 struct Token {

@@ -1,0 +1,693 @@
+// Filtered-search subsystem tests. The load-bearing check: every strategy
+// (pre-filter, in-filter, post-filter, and the planner's auto choice) must
+// return results identical to a brute-force filtered oracle, at every
+// selectivity in {0.001, 0.01, 0.1, 0.5, 1.0}, on both engines and all
+// three index families. The indexes run exhaustively (nprobe = clusters,
+// efs = n) so approximation cannot hide a strategy bug; for IVF_PQ the
+// oracle ranks by the engine's own ADC distances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datasets/synthetic.h"
+#include "faisslike/hnsw.h"
+#include "faisslike/ivf_flat.h"
+#include "faisslike/ivf_pq.h"
+#include "filter/predicate.h"
+#include "filter/selection.h"
+#include "filter/strategy.h"
+#include "pase/hnsw.h"
+#include "pase/ivf_flat.h"
+#include "pase/ivf_pq.h"
+#include "sql/database.h"
+
+namespace vecdb {
+namespace {
+
+using filter::CmpOp;
+using filter::FilterStrategy;
+using filter::Predicate;
+using filter::SelectionVector;
+
+// ---------------------------------------------------------------------------
+// SelectionVector
+
+TEST(SelectionVectorTest, SetTestClearCount) {
+  SelectionVector sel(130);  // spans three words
+  EXPECT_EQ(sel.size(), 130u);
+  EXPECT_EQ(sel.CountSet(), 0u);
+  sel.Set(0);
+  sel.Set(63);
+  sel.Set(64);
+  sel.Set(129);
+  EXPECT_TRUE(sel.Test(0));
+  EXPECT_TRUE(sel.Test(63));
+  EXPECT_TRUE(sel.Test(64));
+  EXPECT_TRUE(sel.Test(129));
+  EXPECT_FALSE(sel.Test(1));
+  EXPECT_EQ(sel.CountSet(), 4u);
+  sel.Clear(63);
+  EXPECT_FALSE(sel.Test(63));
+  EXPECT_EQ(sel.CountSet(), 3u);
+}
+
+TEST(SelectionVectorTest, OutOfRangeIsNotSelected) {
+  SelectionVector sel(10);
+  sel.Set(10);   // ignored: outside the universe
+  sel.Set(100);  // ignored
+  EXPECT_FALSE(sel.Test(10));
+  EXPECT_FALSE(sel.Test(100));
+  EXPECT_EQ(sel.CountSet(), 0u);
+  SelectionVector empty;
+  EXPECT_FALSE(empty.Test(0));
+  EXPECT_DOUBLE_EQ(empty.Selectivity(), 0.0);
+}
+
+TEST(SelectionVectorTest, SelectivityAndForEachSet) {
+  SelectionVector sel(100);
+  std::vector<size_t> want;
+  for (size_t i = 0; i < 100; i += 7) {
+    sel.Set(i);
+    want.push_back(i);
+  }
+  EXPECT_DOUBLE_EQ(sel.Selectivity(),
+                   static_cast<double>(want.size()) / 100.0);
+  std::vector<size_t> got;
+  sel.ForEachSet([&](size_t pos) { got.push_back(pos); });
+  EXPECT_EQ(got, want);
+}
+
+// ---------------------------------------------------------------------------
+// Predicate / Bind / Eval
+
+TEST(PredicateTest, CompareOps) {
+  const std::vector<std::string> cols = {"id", "price"};
+  struct Case {
+    CmpOp op;
+    int64_t value;
+    int64_t row_price;
+    bool want;
+  };
+  const Case cases[] = {
+      {CmpOp::kEq, 5, 5, true},  {CmpOp::kEq, 5, 6, false},
+      {CmpOp::kNe, 5, 6, true},  {CmpOp::kNe, 5, 5, false},
+      {CmpOp::kLt, 5, 4, true},  {CmpOp::kLt, 5, 5, false},
+      {CmpOp::kLe, 5, 5, true},  {CmpOp::kLe, 5, 6, false},
+      {CmpOp::kGt, 5, 6, true},  {CmpOp::kGt, 5, 5, false},
+      {CmpOp::kGe, 5, 5, true},  {CmpOp::kGe, 5, 4, false},
+  };
+  for (const auto& c : cases) {
+    auto pred = Predicate::Compare("price", c.op, c.value);
+    auto bound = filter::Bind(*pred, cols).ValueOrDie();
+    const int64_t row[2] = {1, c.row_price};
+    EXPECT_EQ(bound.Eval(row), c.want)
+        << filter::CmpOpName(c.op) << " " << c.value << " vs "
+        << c.row_price;
+  }
+}
+
+TEST(PredicateTest, InAndOrTree) {
+  const std::vector<std::string> cols = {"id", "price", "tag"};
+  // (price < 50 AND tag IN (1, 3)) OR id = 7
+  auto pred = Predicate::Or(
+      Predicate::And(Predicate::Compare("price", CmpOp::kLt, 50),
+                     Predicate::In("tag", {1, 3})),
+      Predicate::Compare("id", CmpOp::kEq, 7));
+  auto bound = filter::Bind(*pred, cols).ValueOrDie();
+  const int64_t match_and[3] = {1, 40, 3};
+  const int64_t match_or[3] = {7, 99, 0};
+  const int64_t miss_tag[3] = {1, 40, 2};
+  const int64_t miss_price[3] = {1, 60, 1};
+  EXPECT_TRUE(bound.Eval(match_and));
+  EXPECT_TRUE(bound.Eval(match_or));
+  EXPECT_FALSE(bound.Eval(miss_tag));
+  EXPECT_FALSE(bound.Eval(miss_price));
+}
+
+TEST(PredicateTest, BindRejectsUnknownColumn) {
+  auto pred = Predicate::Compare("nope", CmpOp::kEq, 1);
+  EXPECT_FALSE(filter::Bind(*pred, {"id", "price"}).ok());
+}
+
+TEST(PredicateTest, ToStringRendersTree) {
+  auto pred = Predicate::And(Predicate::Compare("price", CmpOp::kLt, 50),
+                             Predicate::In("tag", {1, 3}));
+  EXPECT_EQ(filter::ToString(*pred), "(price < 50 AND tag IN (1, 3))");
+}
+
+TEST(PredicateTest, CloneIsDeep) {
+  auto pred = Predicate::Or(Predicate::Compare("a", CmpOp::kGe, 2),
+                            Predicate::Compare("b", CmpOp::kLt, 9));
+  auto copy = pred->Clone();
+  pred.reset();
+  EXPECT_EQ(filter::ToString(*copy), "(a >= 2 OR b < 9)");
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+
+TEST(PlannerTest, ChoosesByCrossoverThresholds) {
+  const filter::PlannerConfig cfg;  // pre <= 0.05, in <= 0.50
+  const size_t n = 100000;
+  EXPECT_EQ(filter::ChooseStrategy(0.01, 10, n, cfg),
+            FilterStrategy::kPreFilter);
+  EXPECT_EQ(filter::ChooseStrategy(0.05, 10, n, cfg),
+            FilterStrategy::kPreFilter);
+  EXPECT_EQ(filter::ChooseStrategy(0.2, 10, n, cfg),
+            FilterStrategy::kInFilter);
+  EXPECT_EQ(filter::ChooseStrategy(0.50, 10, n, cfg),
+            FilterStrategy::kInFilter);
+  EXPECT_EQ(filter::ChooseStrategy(0.9, 10, n, cfg),
+            FilterStrategy::kPostFilter);
+  EXPECT_EQ(filter::ChooseStrategy(1.0, 10, n, cfg),
+            FilterStrategy::kPostFilter);
+}
+
+TEST(PlannerTest, TinyMatchCountRoutesToPreFilter) {
+  // est_matches <= k: brute-forcing the survivors is never worse than the
+  // result set itself, regardless of selectivity thresholds.
+  EXPECT_EQ(filter::ChooseStrategy(0.9, 10, 10, {}),
+            FilterStrategy::kPreFilter);
+}
+
+TEST(PlannerTest, ParseStrategyRoundTrips) {
+  for (FilterStrategy s :
+       {FilterStrategy::kAuto, FilterStrategy::kPreFilter,
+        FilterStrategy::kPostFilter, FilterStrategy::kInFilter}) {
+    EXPECT_EQ(filter::ParseStrategy(filter::StrategyName(s)).ValueOrDie(),
+              s);
+  }
+  EXPECT_FALSE(filter::ParseStrategy("bogus").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Strategy-vs-oracle identity on every engine/index/selectivity
+
+constexpr size_t kN = 2000;
+constexpr size_t kK = 10;
+constexpr double kSelectivities[] = {0.001, 0.01, 0.1, 0.5, 1.0};
+
+Dataset FilterData() {
+  SyntheticOptions opt;
+  opt.dim = 16;
+  opt.num_base = kN;
+  opt.num_queries = 2;
+  return GenerateClustered(opt);
+}
+
+/// Selects positions [0, round(sel * n)): attribute value = position, the
+/// predicate is `value < round(sel * n)`.
+SelectionVector MakePrefixSelection(size_t n, double sel) {
+  SelectionVector out(n);
+  const size_t matches = static_cast<size_t>(std::lround(sel * n));
+  for (size_t i = 0; i < matches; ++i) out.Set(i);
+  return out;
+}
+
+/// The oracle: the engine's own exhaustive ranking (k = n), filtered down
+/// to the selection in test code, truncated to k. Using the engine's
+/// Search keeps the oracle in the same distance domain (exact L2 for
+/// flat/HNSW, ADC for PQ), so identity checks are bit-exact.
+std::vector<Neighbor> Oracle(const VectorIndex& index, const float* query,
+                             const SelectionVector& selection,
+                             const SearchParams& params) {
+  SearchParams all = params;
+  all.k = index.NumVectors();
+  auto ranked = index.Search(query, all).ValueOrDie();
+  std::vector<Neighbor> kept;
+  for (const auto& nb : ranked) {
+    if (selection.Test(static_cast<size_t>(nb.id))) kept.push_back(nb);
+    if (kept.size() == params.k) break;
+  }
+  return kept;
+}
+
+/// Ties in distance (possible under PQ's quantized ADC) may legally order
+/// differently across strategies; canonicalize by (distance, id) before
+/// the exact comparison.
+void SortCanonical(std::vector<Neighbor>* v) {
+  std::sort(v->begin(), v->end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  });
+}
+
+void ExpectIdentical(std::vector<Neighbor> got, std::vector<Neighbor> want,
+                     const std::string& label) {
+  SortCanonical(&got);
+  SortCanonical(&want);
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << label << " at rank " << i;
+    EXPECT_EQ(got[i].dist, want[i].dist)
+        << label << " at rank " << i;
+  }
+}
+
+/// Runs all three forced strategies plus the planner's auto choice against
+/// the oracle at every selectivity.
+void CheckAllStrategies(const VectorIndex& index, const Dataset& ds,
+                        const SearchParams& params) {
+  for (double sel : kSelectivities) {
+    const SelectionVector selection = MakePrefixSelection(kN, sel);
+    const size_t matches = selection.CountSet();
+    for (size_t q = 0; q < ds.num_queries; ++q) {
+      const float* query = ds.query_vector(q);
+      const auto want = Oracle(index, query, selection, params);
+      ASSERT_EQ(want.size(), std::min(kK, matches));
+      for (FilterStrategy strategy :
+           {FilterStrategy::kPreFilter, FilterStrategy::kInFilter,
+            FilterStrategy::kPostFilter, FilterStrategy::kAuto}) {
+        FilterRequest req;
+        req.selection = &selection;
+        req.strategy = strategy;
+        auto got = index.FilteredSearch(query, req, params).ValueOrDie();
+        const std::string label = index.Describe() + " sel=" +
+                                  std::to_string(sel) + " strategy=" +
+                                  filter::StrategyName(strategy);
+        // The post-filter contract: exactly min(k, matching) results (the
+        // doubling retry must run the shortfall down to the true count).
+        ASSERT_EQ(got.size(), std::min(kK, matches)) << label;
+        ExpectIdentical(std::move(got), want, label);
+      }
+    }
+  }
+}
+
+TEST(FilterOracleTest, FaissIvfFlat) {
+  auto ds = FilterData();
+  faisslike::IvfFlatOptions opt;
+  opt.num_clusters = 16;
+  opt.sample_ratio = 1.0;
+  faisslike::IvfFlatIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = kK;
+  params.nprobe = 16;
+  CheckAllStrategies(index, ds, params);
+}
+
+TEST(FilterOracleTest, FaissIvfPq) {
+  auto ds = FilterData();
+  faisslike::IvfPqOptions opt;
+  opt.num_clusters = 16;
+  opt.pq_m = 4;
+  opt.pq_codes = 16;
+  opt.sample_ratio = 1.0;
+  faisslike::IvfPqIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = kK;
+  params.nprobe = 16;
+  CheckAllStrategies(index, ds, params);
+}
+
+TEST(FilterOracleTest, FaissHnsw) {
+  auto ds = FilterData();
+  faisslike::HnswOptions opt;
+  opt.bnn = 16;
+  opt.efb = 40;
+  faisslike::HnswIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = kK;
+  params.efs = static_cast<uint32_t>(kN);  // exhaustive beam
+  CheckAllStrategies(index, ds, params);
+}
+
+class PaseFilterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string dir =
+        ::testing::TempDir() + "/filter_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    smgr_ = std::make_unique<pgstub::StorageManager>(
+        pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
+    bufmgr_ = std::make_unique<pgstub::BufferManager>(smgr_.get(), 4096);
+  }
+  pase::PaseEnv Env() { return {smgr_.get(), bufmgr_.get()}; }
+
+  std::unique_ptr<pgstub::StorageManager> smgr_;
+  std::unique_ptr<pgstub::BufferManager> bufmgr_;
+};
+
+TEST_F(PaseFilterTest, PaseIvfFlat) {
+  auto ds = FilterData();
+  pase::PaseIvfFlatOptions opt;
+  opt.num_clusters = 16;
+  opt.sample_ratio = 1.0;
+  pase::PaseIvfFlatIndex index(Env(), ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = kK;
+  params.nprobe = 16;
+  CheckAllStrategies(index, ds, params);
+}
+
+TEST_F(PaseFilterTest, PaseIvfPq) {
+  auto ds = FilterData();
+  pase::PaseIvfPqOptions opt;
+  opt.num_clusters = 16;
+  opt.pq_m = 4;
+  opt.pq_codes = 16;
+  opt.sample_ratio = 1.0;
+  pase::PaseIvfPqIndex index(Env(), ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = kK;
+  params.nprobe = 16;
+  CheckAllStrategies(index, ds, params);
+}
+
+TEST_F(PaseFilterTest, PaseHnsw) {
+  auto ds = FilterData();
+  pase::PaseHnswOptions opt;
+  opt.bnn = 16;
+  opt.efb = 40;
+  pase::PaseHnswIndex index(Env(), ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = kK;
+  params.efs = static_cast<uint32_t>(kN);
+  CheckAllStrategies(index, ds, params);
+}
+
+// ---------------------------------------------------------------------------
+// FilteredSearch contract details
+
+TEST(FilteredSearchTest, RejectsMissingSelectionAndNullQuery) {
+  auto ds = FilterData();
+  faisslike::IvfFlatOptions opt;
+  opt.num_clusters = 4;
+  opt.sample_ratio = 1.0;
+  faisslike::IvfFlatIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = 5;
+  params.nprobe = 4;
+  FilterRequest req;  // no selection
+  EXPECT_FALSE(index.FilteredSearch(ds.query_vector(0), req, params).ok());
+  SelectionVector sel(kN);
+  sel.Set(1);
+  req.selection = &sel;
+  EXPECT_FALSE(index.FilteredSearch(nullptr, req, params).ok());
+}
+
+TEST(FilteredSearchTest, EmptySelectionReturnsNoRows) {
+  auto ds = FilterData();
+  faisslike::IvfFlatOptions opt;
+  opt.num_clusters = 4;
+  opt.sample_ratio = 1.0;
+  faisslike::IvfFlatIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SearchParams params;
+  params.k = 5;
+  params.nprobe = 4;
+  const SelectionVector sel(kN);  // nothing selected
+  for (FilterStrategy strategy :
+       {FilterStrategy::kPreFilter, FilterStrategy::kInFilter,
+        FilterStrategy::kPostFilter, FilterStrategy::kAuto}) {
+    FilterRequest req;
+    req.selection = &sel;
+    req.strategy = strategy;
+    auto got =
+        index.FilteredSearch(ds.query_vector(0), req, params).ValueOrDie();
+    EXPECT_TRUE(got.empty()) << filter::StrategyName(strategy);
+  }
+}
+
+TEST(FilteredSearchTest, TombstonedRowsNeverSurface) {
+  auto ds = FilterData();
+  faisslike::IvfFlatOptions opt;
+  opt.num_clusters = 4;
+  opt.sample_ratio = 1.0;
+  faisslike::IvfFlatIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  SelectionVector sel = MakePrefixSelection(kN, 0.1);  // rows 0..199
+  for (int64_t id = 0; id < 50; ++id) {
+    ASSERT_TRUE(index.Delete(id).ok());
+  }
+  SearchParams params;
+  params.k = 200;
+  params.nprobe = 4;
+  for (FilterStrategy strategy :
+       {FilterStrategy::kPreFilter, FilterStrategy::kInFilter,
+        FilterStrategy::kPostFilter}) {
+    FilterRequest req;
+    req.selection = &sel;
+    req.strategy = strategy;
+    auto got =
+        index.FilteredSearch(ds.query_vector(0), req, params).ValueOrDie();
+    EXPECT_EQ(got.size(), 150u) << filter::StrategyName(strategy);
+    for (const auto& nb : got) {
+      EXPECT_GE(nb.id, 50) << filter::StrategyName(strategy);
+      EXPECT_LT(nb.id, 200) << filter::StrategyName(strategy);
+    }
+  }
+}
+
+TEST(FilteredSearchTest, ConcurrentInFilterSharedBitmap) {
+  // Many threads running in-filter searches against one shared selection
+  // bitmap and one shared metrics registry; run under TSan by
+  // ci/run_checks.sh. Every thread must see the single-threaded answer.
+  auto ds = FilterData();
+  faisslike::IvfFlatOptions opt;
+  opt.num_clusters = 8;
+  opt.sample_ratio = 1.0;
+  faisslike::IvfFlatIndex index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+  const SelectionVector sel = MakePrefixSelection(kN, 0.25);
+  SearchParams params;
+  params.k = kK;
+  params.nprobe = 8;
+  FilterRequest req;
+  req.selection = &sel;
+  req.strategy = FilterStrategy::kInFilter;
+  std::vector<std::vector<Neighbor>> want;
+  for (size_t q = 0; q < ds.num_queries; ++q) {
+    want.push_back(
+        index.FilteredSearch(ds.query_vector(q), req, params).ValueOrDie());
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        for (size_t q = 0; q < ds.num_queries; ++q) {
+          auto got = index.FilteredSearch(ds.query_vector(q), req, params);
+          if (!got.ok() || got->size() != want[q].size()) {
+            ++mismatches;
+            continue;
+          }
+          for (size_t i = 0; i < got->size(); ++i) {
+            if ((*got)[i].id != want[q][i].id) ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// SQL end-to-end
+
+class SqlFilterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string dir =
+        ::testing::TempDir() + "/sqlfilter_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    db_ = sql::MiniDatabase::Open(dir).ValueOrDie();
+  }
+
+  sql::QueryResult Must(const std::string& stmt) {
+    auto result = db_->Execute(stmt);
+    EXPECT_TRUE(result.ok()) << stmt << " -> "
+                             << result.status().ToString();
+    return result.ok() ? *result : sql::QueryResult{};
+  }
+
+  /// 200 rows: id = 1000+i, price = i, tag = i % 5; vectors on a ring.
+  void LoadTable() {
+    Must("CREATE TABLE items (id int, vec float[8], price int, tag int)");
+    std::string insert = "INSERT INTO items VALUES ";
+    for (int i = 0; i < 200; ++i) {
+      if (i > 0) insert += ", ";
+      insert += "(" + std::to_string(1000 + i) + ", '";
+      for (int d = 0; d < 8; ++d) {
+        if (d > 0) insert += ",";
+        insert += std::to_string((i * 37 % 100) / 100.0 + d * 0.01);
+      }
+      insert += "', " + std::to_string(i) + ", " + std::to_string(i % 5) +
+                ")";
+    }
+    Must(insert);
+  }
+
+  static std::vector<int64_t> Ids(const sql::QueryResult& r) {
+    std::vector<int64_t> out;
+    for (const auto& row : r.rows) out.push_back(row.id);
+    return out;
+  }
+
+  static uint64_t TableValue(const std::string& table,
+                             const std::string& name) {
+    const size_t pos = table.find(name + " ");
+    if (pos == std::string::npos) return ~uint64_t{0};
+    const size_t eol = table.find('\n', pos);
+    return std::stoull(
+        table.substr(pos + name.size(), eol - pos - name.size()));
+  }
+
+  static constexpr const char* kQuery =
+      "'0.37,0.38,0.39,0.4,0.41,0.42,0.43,0.44'";
+
+  std::unique_ptr<sql::MiniDatabase> db_;
+};
+
+TEST_F(SqlFilterTest, SeqScanHonorsWhere) {
+  LoadTable();
+  auto result = Must(std::string("SELECT id FROM items WHERE price < 10 "
+                                 "ORDER BY vec <-> ") +
+                     kQuery + " LIMIT 20");
+  // Only the 10 matching rows exist; all must have price < 10.
+  ASSERT_EQ(result.rows.size(), 10u);
+  for (int64_t id : Ids(result)) {
+    EXPECT_GE(id, 1000);
+    EXPECT_LT(id, 1010);
+  }
+}
+
+TEST_F(SqlFilterTest, IndexScanMatchesSeqScanUnderEveryStrategy) {
+  LoadTable();
+  const std::string where =
+      " WHERE price >= 20 AND tag IN (0, 2) ORDER BY vec <-> ";
+  auto seq = Must("SELECT id FROM items" + where + kQuery + " LIMIT 5");
+  ASSERT_EQ(seq.rows.size(), 5u);
+  Must("CREATE INDEX items_idx ON items USING ivfflat (vec) WITH "
+       "(clusters=8, sample_ratio=1)");
+  for (const char* strategy : {"auto", "prefilter", "postfilter",
+                               "infilter"}) {
+    auto indexed = Must("SELECT id FROM items" + where + kQuery +
+                        " OPTIONS (nprobe=8, filter_strategy=" + strategy +
+                        ") LIMIT 5");
+    EXPECT_EQ(Ids(indexed), Ids(seq)) << strategy;
+  }
+}
+
+TEST_F(SqlFilterTest, ExplainReportsPredicateAndStrategy) {
+  LoadTable();
+  Must("CREATE INDEX items_idx ON items USING ivfflat (vec) WITH "
+       "(clusters=8, sample_ratio=1)");
+  auto plan = Must(std::string("EXPLAIN SELECT id FROM items WHERE "
+                               "price < 100 ORDER BY vec <-> ") +
+                   kQuery + " OPTIONS (nprobe=8) LIMIT 5");
+  EXPECT_NE(plan.message.find("filter=price < 100"), std::string::npos)
+      << plan.message;
+  EXPECT_NE(plan.message.find("strategy="), std::string::npos)
+      << plan.message;
+  EXPECT_NE(plan.message.find("est_selectivity="), std::string::npos)
+      << plan.message;
+  // A forced strategy shows up verbatim.
+  auto forced = Must(std::string("EXPLAIN SELECT id FROM items WHERE "
+                                 "price < 100 ORDER BY vec <-> ") +
+                     kQuery +
+                     " OPTIONS (nprobe=8, filter_strategy=prefilter) "
+                     "LIMIT 5");
+  EXPECT_NE(forced.message.find("strategy=prefilter"), std::string::npos)
+      << forced.message;
+}
+
+TEST_F(SqlFilterTest, ShowMetricsReportsFilterCounters) {
+  LoadTable();
+  Must("CREATE INDEX items_idx ON items USING ivfflat (vec) WITH "
+       "(clusters=8, sample_ratio=1)");
+  Must("SHOW METRICS RESET");
+  const std::string base =
+      std::string("SELECT id FROM items WHERE price < 100 ORDER BY vec "
+                  "<-> ") +
+      kQuery + " OPTIONS (nprobe=8, filter_strategy=";
+  Must(base + "prefilter) LIMIT 5");
+  Must(base + "postfilter) LIMIT 5");
+  Must(base + "infilter) LIMIT 5");
+  auto shown = Must("SHOW METRICS");
+  EXPECT_EQ(TableValue(shown.message, "filter.prefilter_queries"), 1u);
+  EXPECT_EQ(TableValue(shown.message, "filter.postfilter_queries"), 1u);
+  EXPECT_EQ(TableValue(shown.message, "filter.infilter_queries"), 1u);
+  EXPECT_GT(TableValue(shown.message, "filter.bitmap_probes"), 0u);
+  EXPECT_NE(shown.message.find("filter.selectivity_bp"),
+            std::string::npos);
+}
+
+TEST_F(SqlFilterTest, UnknownFilterStrategyIsAnError) {
+  LoadTable();
+  EXPECT_FALSE(db_->Execute(std::string("SELECT id FROM items WHERE "
+                                        "price < 10 ORDER BY vec <-> ") +
+                            kQuery +
+                            " OPTIONS (filter_strategy=sideways) LIMIT 5")
+                   .ok());
+}
+
+TEST_F(SqlFilterTest, WhereOnUnknownColumnIsAnError) {
+  LoadTable();
+  EXPECT_FALSE(db_->Execute(std::string("SELECT id FROM items WHERE "
+                                        "nope = 1 ORDER BY vec <-> ") +
+                            kQuery + " LIMIT 5")
+                   .ok());
+}
+
+TEST_F(SqlFilterTest, InsertArityMustMatchAttrColumns) {
+  Must("CREATE TABLE t (id int, vec float[2], price int)");
+  EXPECT_FALSE(db_->Execute("INSERT INTO t VALUES (1, '0,0')").ok());
+  EXPECT_FALSE(db_->Execute("INSERT INTO t VALUES (1, '0,0', 2, 3)").ok());
+  Must("INSERT INTO t VALUES (1, '0,0', 2)");
+}
+
+TEST_F(SqlFilterTest, DeleteByPredicateTombstonesAllMatches) {
+  LoadTable();
+  auto del = Must("DELETE FROM items WHERE price >= 100");
+  EXPECT_EQ(del.message, "DELETE 100");
+  auto rest = Must(std::string("SELECT id FROM items ORDER BY vec <-> ") +
+                   kQuery + " LIMIT 200");
+  EXPECT_EQ(rest.rows.size(), 100u);
+  for (int64_t id : Ids(rest)) EXPECT_LT(id, 1100);
+  // Deleting the same range again matches nothing: DELETE 0, not an error.
+  EXPECT_EQ(Must("DELETE FROM items WHERE price >= 100").message,
+            "DELETE 0");
+}
+
+TEST_F(SqlFilterTest, DeleteByIdFastPathKeepsHistoricalErrors) {
+  LoadTable();
+  EXPECT_EQ(Must("DELETE FROM items WHERE id = 1005").message, "DELETE 1");
+  EXPECT_TRUE(db_->Execute("DELETE FROM items WHERE id = 1005")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(db_->Execute("DELETE FROM items WHERE id = 99999")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(SqlFilterTest, FilteredSelectSkipsDeletedRows) {
+  LoadTable();
+  Must("CREATE INDEX items_idx ON items USING ivfflat (vec) WITH "
+       "(clusters=8, sample_ratio=1)");
+  Must("DELETE FROM items WHERE tag = 0");  // 40 of the 200 rows
+  auto result = Must(std::string("SELECT id FROM items WHERE price < 50 "
+                                 "ORDER BY vec <-> ") +
+                     kQuery + " OPTIONS (nprobe=8) LIMIT 50");
+  EXPECT_EQ(result.rows.size(), 40u);  // 50 matches minus 10 with tag 0
+  for (int64_t id : Ids(result)) {
+    EXPECT_NE((id - 1000) % 5, 0) << id;
+  }
+}
+
+}  // namespace
+}  // namespace vecdb

@@ -1,5 +1,5 @@
-// QueryContext plumbing: deprecated-alias folding, uniform knob validation
-// across all eleven index classes, and per-query metrics routing.
+// QueryContext plumbing: uniform knob validation across all eleven index
+// classes and per-query metrics routing.
 #include "core/query_context.h"
 
 #include <gtest/gtest.h>
@@ -17,24 +17,15 @@
 namespace vecdb {
 namespace {
 
-TEST(QueryContextTest, DeprecatedAliasesFoldIntoContext) {
+TEST(QueryContextTest, ContextCarriesObservabilityPointers) {
   Profiler prof;
   ParallelAccounting acct;
   SearchParams params;
-  params.profiler = &prof;  // lint-allow:deprecated-alias
-  params.accounting = &acct;  // lint-allow:deprecated-alias
+  params.ctx.profiler = &prof;
+  params.ctx.accounting = &acct;
   const QueryContext ctx = params.Context();
   EXPECT_EQ(ctx.profiler, &prof);
   EXPECT_EQ(ctx.accounting, &acct);
-}
-
-TEST(QueryContextTest, ContextFieldWinsOverAlias) {
-  Profiler via_ctx;
-  Profiler via_alias;
-  SearchParams params;
-  params.ctx.profiler = &via_ctx;
-  params.profiler = &via_alias;  // lint-allow:deprecated-alias
-  EXPECT_EQ(params.Context().profiler, &via_ctx);
 }
 
 TEST(QueryContextTest, LiveMetricsNullWhenDisabled) {

@@ -49,8 +49,21 @@ TEST(LexerTest, DistanceOperators) {
   EXPECT_EQ(tokens[2].text, "<=>");
 }
 
-TEST(LexerTest, BareLessThanFails) {
-  EXPECT_FALSE(Tokenize("a < b").ok());
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Tokenize("< <= > >= <> !=").ValueOrDie();
+  EXPECT_EQ(tokens[0].type, TokenType::kLt);
+  EXPECT_EQ(tokens[1].type, TokenType::kLe);
+  EXPECT_EQ(tokens[2].type, TokenType::kGt);
+  EXPECT_EQ(tokens[3].type, TokenType::kGe);
+  EXPECT_EQ(tokens[4].type, TokenType::kNe);
+  EXPECT_EQ(tokens[5].type, TokenType::kNe);
+}
+
+TEST(LexerTest, DistanceOpsWinOverComparisons) {
+  // "a <-> b" must lex as a distance operator, not kLt followed by junk.
+  auto tokens = Tokenize("a <-> b <= c").ValueOrDie();
+  EXPECT_EQ(tokens[1].type, TokenType::kDistanceOp);
+  EXPECT_EQ(tokens[3].type, TokenType::kLe);
 }
 
 TEST(LexerTest, Punctuation) {

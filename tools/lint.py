@@ -17,10 +17,13 @@ Rules (suppress one occurrence with a trailing `// lint-allow:<rule>`):
                     configs (e.g. code behind #ifdef).
   pragma-once       header missing #pragma once.
   std-endl          std::endl in src/ -- it flushes; hot paths want '\\n'.
-  deprecated-alias  writing SearchParams::profiler / ::accounting -- those
-                    fields are deprecated shims kept for one release; route
+  removed-field     any SearchParams::profiler / ::accounting access -- the
+                    pre-QueryContext alias fields were removed; route
                     Profiler / ParallelAccounting / MetricsRegistry through
-                    SearchParams::ctx (the QueryContext) instead.
+                    SearchParams::ctx. The compiler catches this in built
+                    configs; the lint catches code behind #ifdefs and docs
+                    snippets. (Options structs' own profiler fields are
+                    unaffected: the rule is scoped to SearchParams objects.)
 """
 
 import os
@@ -36,11 +39,12 @@ NEW_ARRAY_ALLOWED = {os.path.join("src", "common", "aligned_buffer.h")}
 
 NEW_ARRAY_RE = re.compile(r"\bnew\s+[\w:<>]+\s*\[|\bdelete\s*\[\]")
 # `SearchParams p;` / `SearchParams p = other;` -- harvested per file so the
-# deprecated-alias rule only fires on SearchParams objects, not on the many
+# removed-field rule only fires on SearchParams objects, not on the many
 # options structs that legitimately carry a profiler field.
 SEARCHPARAMS_DECL_RE = re.compile(r"\bSearchParams\s+(\w+)\s*[;={]")
-SEARCHPARAMS_BRACE_INIT_RE = re.compile(
-    r"\bSearchParams\s*\{[^}]*\.\s*(?:profiler|accounting)\s*="
+# Designated init naming a removed field: `SearchParams{.profiler = ...}`.
+SEARCHPARAMS_REMOVED_INIT_RE = re.compile(
+    r"\bSearchParams\s*\{[^}]*\.\s*(?:profiler|accounting)\b"
 )
 PTHREAD_RE = re.compile(r"\bpthread_\w+\s*\(")
 ENDL_RE = re.compile(r"\bstd::endl\b")
@@ -131,18 +135,19 @@ def lint_file(root, path, status_stmt_re, errors):
     ):
         report(1, "pragma-once", "header is missing #pragma once")
 
-    # First pass: names of SearchParams-typed locals, so the deprecated-alias
+    # First pass: names of SearchParams-typed locals, so the removed-field
     # rule can tell `params.profiler` (banned) from `kmeans_opt.profiler`
-    # (a different struct, fine).
+    # (a different struct, fine). Any access -- read or write -- is banned:
+    # the fields no longer exist.
     searchparams_vars = set()
     for raw in lines:
         line = strip_comments_and_strings(raw)
         for m in SEARCHPARAMS_DECL_RE.finditer(line):
             searchparams_vars.add(m.group(1))
-    alias_write_re = None
+    removed_field_re = None
     if searchparams_vars:
-        alias_write_re = re.compile(
-            r"\b(?:%s)\s*\.\s*(?:profiler|accounting)\s*=(?!=)"
+        removed_field_re = re.compile(
+            r"\b(?:%s)\s*\.\s*(?:profiler|accounting)\b"
             % "|".join(sorted(searchparams_vars))
         )
 
@@ -150,11 +155,11 @@ def lint_file(root, path, status_stmt_re, errors):
     prev_code = ""
     for i, raw in enumerate(lines, 1):
         line = strip_comments_and_strings(raw)
-        if (alias_write_re and alias_write_re.search(line)) or \
-                SEARCHPARAMS_BRACE_INIT_RE.search(line):
-            report(i, "deprecated-alias",
-                   "SearchParams::profiler/accounting are deprecated; "
-                   "set SearchParams::ctx fields instead")
+        if (removed_field_re and removed_field_re.search(line)) or \
+                SEARCHPARAMS_REMOVED_INIT_RE.search(line):
+            report(i, "removed-field",
+                   "SearchParams::profiler/accounting were removed; "
+                   "use the SearchParams::ctx QueryContext fields")
         if NEW_ARRAY_RE.search(line) and path not in NEW_ARRAY_ALLOWED:
             report(i, "new-array",
                    "raw array new/delete; use AlignedFloats or a container")
