@@ -6,9 +6,17 @@
 #                       CheckInvariants() audits are active
 #   TSan                RelWithDebInfo; concurrency_test/thread_pool_test
 #                       run under the race detector
+#   TSA                 clang, -DVECDB_TSA=ON: Clang Thread Safety Analysis
+#                       as -Werror=thread-safety, with negative-compilation
+#                       probes proving the gate is live (skipped with a
+#                       notice when clang is unavailable)
+#   tidy                clang-tidy (bugprone/concurrency/performance,
+#                       .clang-tidy) off compile_commands.json (skipped
+#                       with a notice when clang-tidy is unavailable)
 #
 # Usage: ci/run_checks.sh [extra ctest args...]
-# Build trees land in build-release/, build-asan/, build-tsan/ (gitignored).
+# Build trees land in build-release/, build-asan/, build-tsan/,
+# build-tsa/ (gitignored).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -61,6 +69,32 @@ echo "=== build-tsan: concurrent metrics-registry smoke (micro_kernels) ==="
 echo "=== build-tsan: concurrent in-filter bitmap smoke (filter_test) ==="
 ./build-tsan/tests/filter_test \
   --gtest_filter='FilteredSearchTest.ConcurrentInFilterSharedBitmap'
+
+# Static lock discipline: compile everything under clang with Thread
+# Safety Analysis promoted to errors. The tsa_probe ctest entries (and the
+# configure-time try_compile probes) prove the gate actually rejects
+# unguarded accesses, so a flag regression cannot silently disable it.
+if command -v clang++ >/dev/null 2>&1; then
+  echo "=== build-tsa: configure (clang, VECDB_TSA=ON) ==="
+  cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_BUILD_TYPE=Release -DVECDB_TSA=ON
+  echo "=== build-tsa: build (-Werror=thread-safety) ==="
+  cmake --build build-tsa -j "${JOBS}"
+  echo "=== build-tsa: TSA gate-liveness probes ==="
+  ctest --test-dir build-tsa --output-on-failure -R '^tsa_probe_'
+else
+  echo "NOTICE: clang++ not found; SKIPPING the VECDB_TSA static"
+  echo "NOTICE: lock-discipline stage (install clang to enforce it)."
+fi
+
+# clang-tidy gate off the compile_commands.json build-release exported.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== tidy: clang-tidy over src/ (build-release database) ==="
+  bash tools/run_clang_tidy.sh build-release src
+else
+  echo "NOTICE: clang-tidy not found; SKIPPING the tidy stage"
+  echo "NOTICE: (install clang-tidy to enforce it)."
+fi
 
 echo "=== lint (standalone) ==="
 python3 tools/lint.py .

@@ -1,7 +1,6 @@
 #include "bridge/bridged_ivf_flat.h"
 
 #include <cstring>
-#include <mutex>
 
 #include "clustering/kmeans.h"
 #include "common/thread_pool.h"
@@ -261,7 +260,7 @@ Result<std::vector<Neighbor>> BridgedIvfFlatIndex::Search(
     acct->Reset(params.num_threads);
   }
   Status worker_status = Status::OK();
-  std::mutex status_mu;
+  Mutex status_mu;
 
   std::vector<obs::SearchCounters> worker_counters(
       metrics != nullptr ? params.num_threads : 0);
@@ -278,7 +277,7 @@ Result<std::vector<Neighbor>> BridgedIvfFlatIndex::Search(
       for (size_t i = begin; i < end; ++i) {
         Status s = scan_bucket(probes[i], sink, sc);
         if (!s.ok()) {
-          std::lock_guard<std::mutex> guard(status_mu);
+          MutexLock guard(status_mu);
           if (worker_status.ok()) worker_status = s;
         }
       }
@@ -298,7 +297,7 @@ Result<std::vector<Neighbor>> BridgedIvfFlatIndex::Search(
   }
 
   // PASE-style global locked heap (ablation baseline for RC#3).
-  std::mutex mu;
+  Mutex mu;
   int64_t serial_nanos = 0;
   pool.ParallelFor(probes.size(), [&](int worker, size_t begin, size_t end) {
     CpuTimer timer;
@@ -306,7 +305,7 @@ Result<std::vector<Neighbor>> BridgedIvfFlatIndex::Search(
         metrics != nullptr ? &worker_counters[worker] : nullptr;
     auto sink = [&](float dist, int64_t id) {
       CpuTimer lock_timer;
-      std::lock_guard<std::mutex> guard(mu);
+      MutexLock guard(mu);
       if (options_.k_heap) {
         kheap.Push(dist, id);
       } else {
@@ -317,7 +316,7 @@ Result<std::vector<Neighbor>> BridgedIvfFlatIndex::Search(
     for (size_t i = begin; i < end; ++i) {
       Status s = scan_bucket(probes[i], sink, sc);
       if (!s.ok()) {
-        std::lock_guard<std::mutex> guard(status_mu);
+        MutexLock guard(status_mu);
         if (worker_status.ok()) worker_status = s;
       }
     }

@@ -1,0 +1,181 @@
+// Clang Thread Safety Analysis support: annotation macros plus annotated
+// wrappers over the std synchronization primitives. Every mutex in the
+// engine is declared through these wrappers so that, under
+// -DVECDB_TSA=ON (clang, -Werror=thread-safety), the compiler proves at
+// build time that each VECDB_GUARDED_BY field is only touched with its
+// lock held and each VECDB_REQUIRES method is only called from a locked
+// context. Under gcc (or clang without the flag) every macro expands to
+// nothing and the wrappers compile down to the raw std types — zero
+// runtime or layout cost. See docs/ANALYSIS.md §5 for conventions and
+// the VECDB_NO_TSA escape-hatch policy.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>         // wrapped below; raw-mutex lint allowlists this file
+#include <shared_mutex>
+
+// GNU-style thread-safety attributes. SWIG and non-clang compilers see
+// empty expansions; clang always accepts the attributes (they are inert
+// without -Wthread-safety, enforced with it).
+#if defined(__clang__) && !defined(SWIG)
+#define VECDB_TSA_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define VECDB_TSA_ATTRIBUTE_(x)
+#endif
+
+/// Declares a class to be a lockable capability ("mutex", "shared_mutex").
+#define VECDB_CAPABILITY(x) VECDB_TSA_ATTRIBUTE_(capability(x))
+
+/// Declares an RAII class whose lifetime equals a critical section.
+#define VECDB_SCOPED_CAPABILITY VECDB_TSA_ATTRIBUTE_(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define VECDB_GUARDED_BY(x) VECDB_TSA_ATTRIBUTE_(guarded_by(x))
+
+/// Pointee of this pointer field may only be accessed while holding `x`.
+#define VECDB_PT_GUARDED_BY(x) VECDB_TSA_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Documented lock-ordering edges (deadlock detection).
+#define VECDB_ACQUIRED_BEFORE(...) \
+  VECDB_TSA_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define VECDB_ACQUIRED_AFTER(...) \
+  VECDB_TSA_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusively / shared) on entry.
+#define VECDB_REQUIRES(...) \
+  VECDB_TSA_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define VECDB_REQUIRES_SHARED(...) \
+  VECDB_TSA_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability and holds it across return.
+#define VECDB_ACQUIRE(...) \
+  VECDB_TSA_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define VECDB_ACQUIRE_SHARED(...) \
+  VECDB_TSA_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+#define VECDB_RELEASE(...) \
+  VECDB_TSA_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define VECDB_RELEASE_SHARED(...) \
+  VECDB_TSA_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define VECDB_TRY_ACQUIRE(b, ...) \
+  VECDB_TSA_ATTRIBUTE_(try_acquire_capability(b, __VA_ARGS__))
+#define VECDB_TRY_ACQUIRE_SHARED(b, ...) \
+  VECDB_TSA_ATTRIBUTE_(try_acquire_shared_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrant critical sections).
+#define VECDB_EXCLUDES(...) VECDB_TSA_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define VECDB_ASSERT_CAPABILITY(x) \
+  VECDB_TSA_ATTRIBUTE_(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define VECDB_RETURN_CAPABILITY(x) VECDB_TSA_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use MUST
+/// carry a comment justifying why the access pattern is safe but not
+/// expressible (docs/ANALYSIS.md §5); unexplained uses fail review.
+#define VECDB_NO_TSA VECDB_TSA_ATTRIBUTE_(no_thread_safety_analysis)
+
+namespace vecdb {
+
+/// std::mutex wrapper carrying the "mutex" capability. Identical layout
+/// and cost; exists so VECDB_GUARDED_BY has a capability to name and so
+/// tools/lint.py can ban raw std::mutex members (rule: raw-mutex).
+class VECDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() VECDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() VECDB_RELEASE() { mu_.unlock(); }
+  bool TryLock() VECDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The underlying std::mutex, for std::unique_lock / condition-variable
+  /// idioms (MutexLock::Wait uses it). The analysis treats the result as
+  /// this capability.
+  std::mutex& native() VECDB_RETURN_CAPABILITY(this) { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex wrapper: exclusive writers, shared readers.
+class VECDB_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() VECDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() VECDB_RELEASE() { mu_.unlock(); }
+  bool TryLock() VECDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void ReaderLock() VECDB_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() VECDB_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool ReaderTryLock() VECDB_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+  std::shared_mutex& native() VECDB_RETURN_CAPABILITY(this) { return mu_; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII critical section over a Mutex (std::lock_guard analog) with a
+/// condition-variable bridge. Declared as a scoped capability so guarded
+/// accesses inside the scope check statically.
+class VECDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) VECDB_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() VECDB_RELEASE() {}  // unique_lock's destructor unlocks
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Blocks on `cv`, atomically releasing and reacquiring the mutex.
+  /// Callers loop over their own predicate:
+  ///   while (!done_) lock.Wait(cv_);
+  /// The analysis (soundly for our usage, though not in general) treats
+  /// the lock as held across the wait, which matches the view of the
+  /// predicate expression: it is only ever evaluated while locked.
+  void Wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// RAII exclusive section over a SharedMutex.
+class VECDB_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) VECDB_ACQUIRE(mu) : mu_(mu) {
+    mu_.native().lock();
+  }
+  ~WriterMutexLock() VECDB_RELEASE() { mu_.native().unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) section over a SharedMutex.
+class VECDB_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) VECDB_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.native().lock_shared();
+  }
+  ~ReaderMutexLock() VECDB_RELEASE() { mu_.native().unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace vecdb

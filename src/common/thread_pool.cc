@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   task_cv_.notify_all();
@@ -25,7 +25,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     VECDB_CHECK(!shutdown_)
         << "ThreadPool::Submit after shutdown: task would never run";
     tasks_.push(std::move(fn));
@@ -35,12 +35,12 @@ void ThreadPool::Submit(std::function<void()> fn) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) lock.Wait(done_cv_);
 }
 
 void ThreadPool::CheckInvariants() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   VECDB_CHECK_GE(workers_.size(), 1u) << "pool has no workers";
   // Tasks still queued are a subset of tasks not yet finished.
   VECDB_CHECK_LE(tasks_.size(), in_flight_)
@@ -65,18 +65,17 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
+      MutexLock lock(mu_);
+      while (!WorkerShouldWake()) lock.Wait(task_cv_);
+      // Wake condition holds: either work is queued or shutdown was
+      // requested. Drain the queue fully before exiting on shutdown.
+      if (tasks_.empty()) return;  // implies shutdown_
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--in_flight_ == 0) done_cv_.notify_all();
     }
   }

@@ -5,10 +5,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace vecdb {
 
@@ -17,10 +18,18 @@ namespace vecdb {
 /// `ParallelFor` splits an index range into one contiguous chunk per worker
 /// (static scheduling), which matches how both engines partition buckets and
 /// vectors, and makes per-thread work accounting deterministic.
+///
+/// Lock discipline (statically checked under VECDB_TSA): one mutex guards
+/// the queue, the in-flight count, and the shutdown flag; `workers_` is
+/// written only during construction and joined only in the destructor, so
+/// it needs no lock.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (minimum 1).
   explicit ThreadPool(int num_threads);
+
+  /// Drains every already-submitted task, then joins the workers. Tasks
+  /// queued before destruction begins are guaranteed to run.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -31,14 +40,14 @@ class ThreadPool {
   /// Enqueues `fn` for execution on some worker. Aborts (VECDB_CHECK) if
   /// the pool is shutting down: a task enqueued after ~ThreadPool begins
   /// would silently never run.
-  void Submit(std::function<void()> fn);
+  void Submit(std::function<void()> fn) VECDB_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() VECDB_EXCLUDES(mu_);
 
   /// Aborts if internal bookkeeping is inconsistent (queued tasks exceed
   /// the in-flight count, or a live pool has no workers). Test/debug hook.
-  void CheckInvariants() const;
+  void CheckInvariants() const VECDB_EXCLUDES(mu_);
 
   /// Runs `fn(worker_index, begin, end)` over a static partition of [0, n).
   /// Blocks until all chunks complete. `worker_index` is in
@@ -49,13 +58,21 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// Wake condition for workers: work available or shutdown requested.
+  bool WorkerShouldWake() const VECDB_REQUIRES(mu_) {
+    return shutdown_ || !tasks_.empty();
+  }
+
+  /// Written in the constructor, joined in the destructor; otherwise
+  /// read-only, so deliberately not guarded.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  mutable std::mutex mu_;
+
+  mutable Mutex mu_;
   std::condition_variable task_cv_;
   std::condition_variable done_cv_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  std::queue<std::function<void()>> tasks_ VECDB_GUARDED_BY(mu_);
+  size_t in_flight_ VECDB_GUARDED_BY(mu_) = 0;
+  bool shutdown_ VECDB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace vecdb

@@ -168,6 +168,7 @@ uint64_t MetricsRegistry::Value(Counter c) const {
 }
 
 void MetricsRegistry::ResetAll() {
+  MutexLock lock(snapshot_mu_);
   for (Shard& shard : shards_) {
     for (auto& slot : shard.slots) slot.store(0, std::memory_order_relaxed);
   }
@@ -175,6 +176,7 @@ void MetricsRegistry::ResetAll() {
 }
 
 std::string MetricsRegistry::ExportTable() const {
+  MutexLock lock(snapshot_mu_);
   std::string out;
   char line[160];
   out += "counter                        value\n";
@@ -203,6 +205,7 @@ std::string MetricsRegistry::ExportTable() const {
 }
 
 std::string MetricsRegistry::ExportJson() const {
+  MutexLock lock(snapshot_mu_);
   std::string out = "{\"counters\":{";
   char buf[160];
   for (uint32_t c = 0; c < static_cast<uint32_t>(Counter::kNumCounters);

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 
 namespace vecdb::obs {
@@ -202,16 +203,19 @@ class MetricsRegistry {
     return hists_[static_cast<uint32_t>(h)];
   }
 
-  /// Zeroes every counter and histogram. Quiesce writers first.
-  void ResetAll();
+  /// Zeroes every counter and histogram. Quiesce writers first (Record/
+  /// Add are relaxed atomics the reset cannot exclude), but concurrent
+  /// exports are safe: resets and exports serialize on snapshot_mu_, so
+  /// an export never observes a half-zeroed registry.
+  void ResetAll() VECDB_EXCLUDES(snapshot_mu_);
 
   /// Human-readable two-section table (counters, then histograms with
   /// count/p50/p95/p99/max). The `SHOW METRICS` statement returns this.
-  std::string ExportTable() const;
+  std::string ExportTable() const VECDB_EXCLUDES(snapshot_mu_);
 
   /// Machine-readable JSON object {"counters": {...}, "histograms": {...}}
   /// for bench tooling.
-  std::string ExportJson() const;
+  std::string ExportJson() const VECDB_EXCLUDES(snapshot_mu_);
 
  private:
   struct alignas(64) Shard {
@@ -227,6 +231,10 @@ class MetricsRegistry {
   std::atomic<bool> enabled_{false};
   Shard shards_[kNumShards];
   Histogram hists_[static_cast<size_t>(Hist::kNumHists)];
+  /// Serializes whole-registry snapshots (ResetAll vs Export*). The hot
+  /// write path (Add/Record) stays lock-free; this mutex only orders the
+  /// rare control-plane operations against each other.
+  mutable Mutex snapshot_mu_;
 };
 
 /// RAII latency scope over a (nullable) live registry pointer: null costs

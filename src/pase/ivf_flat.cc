@@ -1,7 +1,6 @@
 #include "pase/ivf_flat.h"
 
 #include <cstring>
-#include <mutex>
 
 #include "clustering/kmeans.h"
 #include "common/check.h"
@@ -320,7 +319,7 @@ Result<std::vector<uint32_t>> PaseIvfFlatIndex::SelectBuckets(
 }
 
 Status PaseIvfFlatIndex::ScanBucket(uint32_t bucket, const float* query,
-                                    NHeap* collector, std::mutex* mu,
+                                    NHeap* collector, Mutex* mu,
                                     int64_t* serial_nanos, Profiler* profiler,
                                     obs::SearchCounters* counters) const {
   if (counters != nullptr) ++counters->buckets_probed;
@@ -382,11 +381,11 @@ Status PaseIvfFlatIndex::ScanBucket(uint32_t bucket, const float* query,
             ++skipped;
             continue;
           }
-          std::lock_guard<std::mutex> guard(*mu);
+          MutexLock guard(*mu);
           collector->Push(dists[i], header->row_id);
         }
         if (serial_nanos != nullptr) {
-          std::lock_guard<std::mutex> guard(*mu);
+          MutexLock guard(*mu);
           *serial_nanos += timer.ElapsedNanos();
         }
       }
@@ -558,7 +557,7 @@ Result<std::vector<Neighbor>> PaseIvfFlatIndex::Search(
 
   // Parallel PASE search: workers share ONE global collector behind a lock.
   ThreadPool pool(params.num_threads);
-  std::mutex mu;
+  Mutex mu;
   int64_t serial_nanos = 0;
   ParallelAccounting* acct = ctx.accounting;
   if (acct != nullptr &&
@@ -566,7 +565,7 @@ Result<std::vector<Neighbor>> PaseIvfFlatIndex::Search(
     acct->Reset(params.num_threads);
   }
   Status worker_status = Status::OK();
-  std::mutex status_mu;
+  Mutex status_mu;
   pool.ParallelFor(probes.size(), [&](int worker, size_t begin, size_t end) {
     CpuTimer timer;
     // Per-worker scratch counters, flushed once at worker exit.
@@ -576,7 +575,7 @@ Result<std::vector<Neighbor>> PaseIvfFlatIndex::Search(
       Status s = ScanBucket(probes[i], query, &collector, &mu, &serial_nanos,
                             nullptr, sc);
       if (!s.ok()) {
-        std::lock_guard<std::mutex> guard(status_mu);
+        MutexLock guard(status_mu);
         if (worker_status.ok()) worker_status = s;
       }
     }

@@ -124,7 +124,7 @@ class PaseIvfFlatIndex final : public VectorIndex {
   /// `counters` (nullable, owned by the calling worker) picks up tuples
   /// visited / heap pushes / tombstones skipped.
   Status ScanBucket(uint32_t bucket, const float* query, NHeap* collector,
-                    std::mutex* mu, int64_t* serial_nanos, Profiler* profiler,
+                    Mutex* mu, int64_t* serial_nanos, Profiler* profiler,
                     obs::SearchCounters* counters) const;
 
   /// Walks every page chain looking for a stored tuple with `row_id`

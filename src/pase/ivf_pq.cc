@@ -1,7 +1,6 @@
 #include "pase/ivf_pq.h"
 
 #include <cstring>
-#include <mutex>
 
 #include "common/random.h"
 #include "common/thread_pool.h"
@@ -241,7 +240,7 @@ Result<std::vector<uint32_t>> PaseIvfPqIndex::SelectBuckets(
 }
 
 Status PaseIvfPqIndex::ScanBucket(uint32_t bucket, const float* table,
-                                  NHeap* collector, std::mutex* mu,
+                                  NHeap* collector, Mutex* mu,
                                   int64_t* serial_nanos, Profiler* profiler,
                                   obs::SearchCounters* counters) const {
   if (counters != nullptr) ++counters->buckets_probed;
@@ -291,11 +290,11 @@ Status PaseIvfPqIndex::ScanBucket(uint32_t bucket, const float* table,
             ++skipped;
             continue;
           }
-          std::lock_guard<std::mutex> guard(*mu);
+          MutexLock guard(*mu);
           collector->Push(dists[i], header->row_id);
         }
         if (serial_nanos != nullptr) {
-          std::lock_guard<std::mutex> guard(*mu);
+          MutexLock guard(*mu);
           *serial_nanos += timer.ElapsedNanos();
         }
       }
@@ -466,7 +465,7 @@ Result<std::vector<Neighbor>> PaseIvfPqIndex::Search(
   }
 
   ThreadPool pool(params.num_threads);
-  std::mutex mu;
+  Mutex mu;
   int64_t serial_nanos = 0;
   ParallelAccounting* acct = ctx.accounting;
   if (acct != nullptr &&
@@ -474,7 +473,7 @@ Result<std::vector<Neighbor>> PaseIvfPqIndex::Search(
     acct->Reset(params.num_threads);
   }
   Status worker_status = Status::OK();
-  std::mutex status_mu;
+  Mutex status_mu;
   pool.ParallelFor(probes.size(), [&](int worker, size_t begin, size_t end) {
     CpuTimer timer;
     // Per-worker scratch counters, flushed once at worker exit.
@@ -484,7 +483,7 @@ Result<std::vector<Neighbor>> PaseIvfPqIndex::Search(
       Status s = ScanBucket(probes[i], table.data(), &collector, &mu,
                             &serial_nanos, nullptr, sc);
       if (!s.ok()) {
-        std::lock_guard<std::mutex> guard(status_mu);
+        MutexLock guard(status_mu);
         if (worker_status.ok()) worker_status = s;
       }
     }

@@ -93,7 +93,7 @@ class PaseIvfPqIndex final : public VectorIndex {
   /// `counters` (nullable, owned by the calling worker) picks up tuples
   /// visited / heap pushes / tombstones skipped.
   Status ScanBucket(uint32_t bucket, const float* table, NHeap* collector,
-                    std::mutex* mu, int64_t* serial_nanos, Profiler* profiler,
+                    Mutex* mu, int64_t* serial_nanos, Profiler* profiler,
                     obs::SearchCounters* counters) const;
 
   /// ScanBucket with the in-filter bitmap gate: rejected codes skip the

@@ -7,6 +7,7 @@ namespace vecdb::pgstub {
 
 BufferManager::BufferManager(StorageManager* smgr, size_t pool_pages)
     : smgr_(smgr),
+      num_frames_(pool_pages),
       frames_(pool_pages),
       pool_(pool_pages * smgr->page_size()) {
   table_.reserve(pool_pages * 2);
@@ -48,7 +49,7 @@ Result<int32_t> BufferManager::AllocFrame() {
 }
 
 Result<BufferHandle> BufferManager::Pin(RelId rel, BlockId block) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   ++stats_.pins;
   auto& metrics = obs::MetricsRegistry::Global();
   metrics.Add(obs::Counter::kBufmgrPin);
@@ -80,7 +81,7 @@ Result<BufferHandle> BufferManager::Pin(RelId rel, BlockId block) {
 }
 
 Result<std::pair<BlockId, BufferHandle>> BufferManager::NewPage(RelId rel) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   VECDB_ASSIGN_OR_RETURN(BlockId block, smgr_->ExtendRelation(rel));
   VECDB_ASSIGN_OR_RETURN(int32_t frame, AllocFrame());
   char* data = pool_.data() + static_cast<size_t>(frame) * smgr_->page_size();
@@ -100,7 +101,7 @@ Result<std::pair<BlockId, BufferHandle>> BufferManager::NewPage(RelId rel) {
 
 void BufferManager::Unpin(const BufferHandle& handle, bool dirty) {
   if (!handle.valid()) return;
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   Frame& f = frames_[handle.frame];
   // An unpin without a matching pin is a caller bug that would let the
   // frame be evicted while a stale handle still points at it.
@@ -121,7 +122,7 @@ void BufferManager::Unpin(const BufferHandle& handle, bool dirty) {
 }
 
 void BufferManager::CheckInvariants() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   size_t valid_frames = 0;
   for (size_t i = 0; i < frames_.size(); ++i) {
     const Frame& f = frames_[i];
@@ -147,7 +148,7 @@ void BufferManager::CheckInvariants() const {
 }
 
 Status BufferManager::FlushAll() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (f.valid && f.dirty) {
@@ -160,7 +161,7 @@ Status BufferManager::FlushAll() {
 }
 
 Status BufferManager::InvalidateRelation(RelId rel) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   for (auto& f : frames_) {
     if (f.valid && f.rel == rel && f.pin_count > 0) {
       return Status::InvalidArgument("relation has pinned pages");

@@ -5,12 +5,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "pgstub/page.h"
 #include "pgstub/smgr.h"
 #include "pgstub/wal.h"
@@ -36,10 +36,12 @@ struct BufferStats {
 /// Clock-sweep buffer pool over a StorageManager.
 ///
 /// Thread-safe: a single mutex guards the mapping and frame metadata
-/// (page contents are read outside the lock while pinned). In the paper's
-/// experiments the pool is sized to hold the whole dataset, so after
-/// warm-up every access is a hit — yet still pays hash lookup, pinning, and
-/// line-pointer indirection.
+/// (page contents are read outside the lock while pinned — the pin count
+/// is what makes that safe, so `pool_` is deliberately unguarded). In the
+/// paper's experiments the pool is sized to hold the whole dataset, so
+/// after warm-up every access is a hit — yet still pays hash lookup,
+/// pinning, and line-pointer indirection. The lock discipline is
+/// statically checked under VECDB_TSA.
 class BufferManager {
  public:
   /// `pool_pages` frames over `smgr` (not owned; must outlive this).
@@ -47,40 +49,57 @@ class BufferManager {
 
   /// Pins (reading from disk on miss) block `block` of `rel`.
   /// Fails with ResourceExhausted when every frame is pinned.
-  Result<BufferHandle> Pin(RelId rel, BlockId block);
+  Result<BufferHandle> Pin(RelId rel, BlockId block) VECDB_EXCLUDES(mu_);
 
   /// Extends the relation by one zero-initialized page and pins it.
   /// The caller must PageView::Init the page.
-  Result<std::pair<BlockId, BufferHandle>> NewPage(RelId rel);
+  Result<std::pair<BlockId, BufferHandle>> NewPage(RelId rel)
+      VECDB_EXCLUDES(mu_);
 
   /// Releases a pin; `dirty` marks the page for write-back. When a WAL is
   /// attached, dirty unpins log a full-page image before the page becomes
   /// eligible for eviction (WAL-before-data); logging failures surface via
   /// wal_error().
-  void Unpin(const BufferHandle& handle, bool dirty);
+  void Unpin(const BufferHandle& handle, bool dirty) VECDB_EXCLUDES(mu_);
 
   /// Attaches a write-ahead log (not owned; may be null to detach).
-  void SetWal(WalManager* wal) { wal_ = wal; }
+  void SetWal(WalManager* wal) VECDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    wal_ = wal;
+  }
 
-  /// First WAL logging failure observed by Unpin, if any.
-  const Status& wal_error() const { return wal_error_; }
+  /// First WAL logging failure observed by Unpin, if any. Returns a
+  /// snapshot by value: the underlying Status is mutated under the pool
+  /// lock by concurrent dirty unpins.
+  Status wal_error() const VECDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return wal_error_;
+  }
 
   /// Writes all dirty unpinned pages back to storage.
-  Status FlushAll();
+  Status FlushAll() VECDB_EXCLUDES(mu_);
 
   /// Drops every mapping for `rel` (before DropRelation). Fails if any of
   /// its pages are still pinned.
-  Status InvalidateRelation(RelId rel);
+  Status InvalidateRelation(RelId rel) VECDB_EXCLUDES(mu_);
 
   /// Aborts if pool bookkeeping is inconsistent: a tag-table entry pointing
   /// at an invalid or mismatched frame, a negative pin count, a usage count
   /// above the clock-sweep cap, or a valid frame missing from the table.
   /// Test/debug hook.
-  void CheckInvariants() const;
+  void CheckInvariants() const VECDB_EXCLUDES(mu_);
 
-  const BufferStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = {}; }
-  size_t pool_pages() const { return frames_.size(); }
+  /// Counter snapshot by value: the fields are mutated under the pool lock
+  /// by every Pin/NewPage, so an unlocked reference would race.
+  BufferStats stats() const VECDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_;
+  }
+  void ResetStats() VECDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    stats_ = {};
+  }
+  size_t pool_pages() const { return num_frames_; }
   uint32_t page_size() const { return smgr_->page_size(); }
 
  private:
@@ -99,17 +118,21 @@ class BufferManager {
 
   /// Finds a victim frame via clock sweep; evicts (writing back if dirty).
   /// Returns -1 with ResourceExhausted if all frames are pinned.
-  Result<int32_t> AllocFrame();
+  Result<int32_t> AllocFrame() VECDB_REQUIRES(mu_);
 
-  StorageManager* smgr_;
-  std::vector<Frame> frames_;
+  StorageManager* smgr_;       // const after construction
+  const size_t num_frames_;    // frames_.size(), readable without the lock
+  std::vector<Frame> frames_ VECDB_GUARDED_BY(mu_);
+  /// Page bytes. Unguarded by design: the data of a *pinned* frame is
+  /// read and written by callers outside the lock; the pin count (guarded)
+  /// is what keeps the frame from being reused underneath them.
   std::vector<char> pool_;
-  std::unordered_map<uint64_t, int32_t> table_;
-  size_t clock_hand_ = 0;
-  BufferStats stats_;
-  WalManager* wal_ = nullptr;
-  Status wal_error_;
-  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, int32_t> table_ VECDB_GUARDED_BY(mu_);
+  size_t clock_hand_ VECDB_GUARDED_BY(mu_) = 0;
+  BufferStats stats_ VECDB_GUARDED_BY(mu_);
+  WalManager* wal_ VECDB_GUARDED_BY(mu_) = nullptr;
+  Status wal_error_ VECDB_GUARDED_BY(mu_);
+  mutable Mutex mu_;
 };
 
 }  // namespace vecdb::pgstub

@@ -48,11 +48,19 @@ Result<WalManager> WalManager::Open(const std::string& path) {
 }
 
 WalManager::~WalManager() {
+  // Destructors are exempt from thread-safety analysis (an object being
+  // destroyed must not be shared), so file_ is accessed directly.
   if (file_ != nullptr) std::fclose(file_);
 }
 
-WalManager::WalManager(WalManager&& other) noexcept
-    : file_(std::exchange(other.file_, nullptr)), next_lsn_(other.next_lsn_) {}
+WalManager::WalManager(WalManager&& other) noexcept {
+  // Lock the source: a move may race with a straggling logger holding a
+  // pointer to `other`. This object is still construction-private, so its
+  // own members need no lock (constructors are exempt from the analysis).
+  MutexLock lock(other.mu_);
+  file_ = std::exchange(other.file_, nullptr);
+  next_lsn_ = other.next_lsn_;
+}
 
 Status WalManager::AppendRecord(WalRecordType type, RelId rel, BlockId block,
                                 const char* payload, uint32_t payload_len) {
@@ -84,6 +92,7 @@ Status WalManager::AppendRecord(WalRecordType type, RelId rel, BlockId block,
 
 Result<Lsn> WalManager::LogFullPage(RelId rel, BlockId block,
                                     const char* page, uint32_t page_size) {
+  MutexLock lock(mu_);
   const Lsn lsn = next_lsn_;
   VECDB_RETURN_NOT_OK(
       AppendRecord(WalRecordType::kFullPage, rel, block, page, page_size));
@@ -91,14 +100,20 @@ Result<Lsn> WalManager::LogFullPage(RelId rel, BlockId block,
 }
 
 Result<Lsn> WalManager::LogCheckpoint() {
+  MutexLock lock(mu_);
   const Lsn lsn = next_lsn_;
   VECDB_RETURN_NOT_OK(AppendRecord(WalRecordType::kCheckpoint, kInvalidRel,
                                    kInvalidBlock, nullptr, 0));
-  VECDB_RETURN_NOT_OK(Flush());
+  VECDB_RETURN_NOT_OK(FlushLocked());
   return lsn;
 }
 
 Status WalManager::Flush() {
+  MutexLock lock(mu_);
+  return FlushLocked();
+}
+
+Status WalManager::FlushLocked() {
   if (file_ == nullptr) return Status::OK();
   if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
   return Status::OK();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "pgstub/page.h"
 #include "pgstub/smgr.h"
 
@@ -37,9 +38,13 @@ struct WalRecord {
 
 /// Appender/replayer over a single log file.
 ///
-/// Not thread-safe; the buffer manager serializes writers. Records are
-/// framed as [lsn, type, rel, block, payload_len, payload, crc32] and a
-/// torn tail (from a crash mid-write) is detected and truncated at replay.
+/// Thread-safe: an internal mutex serializes appends and flushes, so LSNs
+/// stay dense and record frames never interleave even when several
+/// components (dirty unpins via the buffer manager, checkpointers, tests)
+/// log concurrently. The discipline is statically checked under VECDB_TSA.
+/// Records are framed as [lsn, type, rel, block, payload_len, payload,
+/// crc32] and a torn tail (from a crash mid-write) is detected and
+/// truncated at replay.
 class WalManager {
  public:
   /// Opens (creating if absent) the log at `path` for appending.
@@ -52,17 +57,20 @@ class WalManager {
 
   /// Appends a full-page image; returns its LSN.
   Result<Lsn> LogFullPage(RelId rel, BlockId block, const char* page,
-                          uint32_t page_size);
+                          uint32_t page_size) VECDB_EXCLUDES(mu_);
 
   /// Appends a checkpoint record and flushes the log.
-  Result<Lsn> LogCheckpoint();
+  Result<Lsn> LogCheckpoint() VECDB_EXCLUDES(mu_);
 
   /// Forces buffered records to the OS (fflush; no fsync in this
   /// reproduction — the container has no power-failure model).
-  Status Flush();
+  Status Flush() VECDB_EXCLUDES(mu_);
 
-  /// Next LSN to be assigned.
-  Lsn next_lsn() const { return next_lsn_; }
+  /// Next LSN to be assigned (a snapshot; concurrent appenders advance it).
+  Lsn next_lsn() const VECDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return next_lsn_;
+  }
 
   /// Reads every intact record of the log at `path` in order, stopping
   /// cleanly at a torn tail. Records before the LAST checkpoint are
@@ -80,10 +88,15 @@ class WalManager {
       : file_(file), next_lsn_(next_lsn) {}
 
   Status AppendRecord(WalRecordType type, RelId rel, BlockId block,
-                      const char* payload, uint32_t payload_len);
+                      const char* payload, uint32_t payload_len)
+      VECDB_REQUIRES(mu_);
+  Status FlushLocked() VECDB_REQUIRES(mu_);
 
-  std::FILE* file_;
-  Lsn next_lsn_;
+  /// Fresh per instance: a moved-from WalManager keeps its own (idle)
+  /// mutex, and the move constructor locks only the source.
+  mutable Mutex mu_;
+  std::FILE* file_ VECDB_GUARDED_BY(mu_) = nullptr;
+  Lsn next_lsn_ VECDB_GUARDED_BY(mu_) = 1;
 };
 
 /// CRC-32 (Castagnoli polynomial, bitwise) over a byte range.

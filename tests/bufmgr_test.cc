@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <memory>
+#include <thread>
 
 namespace vecdb::pgstub {
 namespace {
@@ -131,6 +133,62 @@ TEST_F(BufMgrTest, HotFramesAreStillEvictableUnderPressure) {
   auto fresh = bufmgr.NewPage(rel_);
   ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
   bufmgr.Unpin(fresh->second, true);
+}
+
+TEST_F(BufMgrTest, ConcurrentStatsReadersDoNotRaceMutators) {
+  // Regression (found by the Thread Safety Analysis annotation pass):
+  // stats(), ResetStats(), and wal_error() used to read mutex-guarded
+  // state without taking the lock — stats() even returned a reference
+  // into it — racing with every locked Pin/Unpin mutation. They now
+  // lock and return by value. Run readers against a Pin/Unpin hammer;
+  // under the TSan leg of ci/run_checks.sh the old code fails here.
+  BufferManager bufmgr(smgr_.get(), 4);
+  for (int i = 0; i < 4; ++i) {
+    auto fresh = bufmgr.NewPage(rel_).ValueOrDie();
+    bufmgr.Unpin(fresh.second, true);
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) {
+      for (BlockId b = 0; b < 4; ++b) {
+        auto handle = bufmgr.Pin(rel_, b).ValueOrDie();
+        bufmgr.Unpin(handle, false);
+      }
+    }
+  });
+  uint64_t last_pins = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const BufferStats snap = bufmgr.stats();
+    // Snapshots are internally consistent and pins never move backwards
+    // between two snapshots (ResetStats is not called concurrently here).
+    EXPECT_GE(snap.pins, last_pins);
+    last_pins = snap.pins;
+    EXPECT_TRUE(bufmgr.wal_error().ok());
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST_F(BufMgrTest, ConcurrentResetStatsIsSafe) {
+  // Companion to the reader test above: ResetStats() also used to write
+  // the guarded counters without the lock. Hammer it against Pin/Unpin.
+  BufferManager bufmgr(smgr_.get(), 4);
+  auto fresh = bufmgr.NewPage(rel_).ValueOrDie();
+  bufmgr.Unpin(fresh.second, true);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) {
+      auto handle = bufmgr.Pin(rel_, 0).ValueOrDie();
+      bufmgr.Unpin(handle, false);
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    bufmgr.ResetStats();
+    const BufferStats snap = bufmgr.stats();
+    EXPECT_EQ(snap.evictions, 0u);  // 1 page in 4 frames: never evicts
+  }
+  stop.store(true);
+  writer.join();
 }
 
 TEST_F(BufMgrTest, PinCountsTracked) {

@@ -99,6 +99,49 @@ TEST(ThreadPoolDeathTest, SubmitDuringShutdownAborts) {
       "Submit after shutdown");
 }
 
+// Pinned by the Thread Safety Analysis audit of the Submit-vs-Shutdown
+// window: the destructor sets shutdown_ and wakes the workers, but a
+// worker must keep draining the queue and only exit once it is empty —
+// tasks submitted before destruction began can never be dropped.
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  std::atomic<bool> release{false};
+  {
+    ThreadPool pool(1);
+    // Occupy the single worker so the next submissions queue up...
+    pool.Submit([&] {
+      while (!release.load()) std::this_thread::yield();
+      ran.fetch_add(1);
+    });
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+    release.store(true);
+    // ...and destroy the pool with (up to) 50 tasks still queued.
+  }
+  EXPECT_EQ(ran.load(), 51);
+}
+
+// Pinned by the same audit: Submit and Wait from different threads share
+// mu_/done_cv_; Wait must not return while submissions it can observe are
+// still in flight, and the handoff must be race-free under TSan.
+TEST(ThreadPoolTest, ConcurrentSubmitAndWait) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 250; ++i) {
+        pool.Submit([&] { ran.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1000);
+  pool.CheckInvariants();
+}
+
 TEST(ThreadPoolTest, WaitIsReusable) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};

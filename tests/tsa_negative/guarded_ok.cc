@@ -1,0 +1,78 @@
+// TSA gate control case: MUST COMPILE cleanly under
+// -Wthread-safety -Werror=thread-safety (clang). Exercises the full
+// annotation vocabulary the engine uses — guarded fields behind
+// MutexLock scopes, REQUIRES helpers called under the lock, EXCLUDES
+// entry points, reader/writer SharedMutex sections, and the
+// condition-variable Wait bridge. If this file FAILS, the wrappers or
+// macros are broken (a false positive), which would poison every
+// annotated file; the configure step aborts with the compiler output.
+#include <condition_variable>
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Put(int v) VECDB_EXCLUDES(mu_) {
+    {
+      vecdb::MutexLock lock(mu_);
+      value_ = v;
+      ready_ = true;
+      BumpLocked();
+    }
+    cv_.notify_one();
+  }
+
+  int Take() VECDB_EXCLUDES(mu_) {
+    vecdb::MutexLock lock(mu_);
+    while (!ready_) lock.Wait(cv_);
+    ready_ = false;
+    return value_;
+  }
+
+  bool TryPeek(int* out) VECDB_EXCLUDES(mu_) {
+    if (!mu_.TryLock()) return false;
+    *out = value_;
+    mu_.Unlock();
+    return true;
+  }
+
+ private:
+  void BumpLocked() VECDB_REQUIRES(mu_) { ++puts_; }
+
+  vecdb::Mutex mu_;
+  std::condition_variable cv_;
+  int value_ VECDB_GUARDED_BY(mu_) = 0;
+  int puts_ VECDB_GUARDED_BY(mu_) = 0;
+  bool ready_ VECDB_GUARDED_BY(mu_) = false;
+};
+
+class Snapshot {
+ public:
+  void Set(int v) VECDB_EXCLUDES(smu_) {
+    vecdb::WriterMutexLock lock(smu_);
+    value_ = v;
+  }
+
+  int Get() const VECDB_EXCLUDES(smu_) {
+    vecdb::ReaderMutexLock lock(smu_);
+    return value_;
+  }
+
+ private:
+  mutable vecdb::SharedMutex smu_;
+  int value_ VECDB_GUARDED_BY(smu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.Put(7);
+  int peeked = 0;
+  (void)q.TryPeek(&peeked);
+  Snapshot s;
+  s.Set(q.Take());
+  return s.Get();
+}

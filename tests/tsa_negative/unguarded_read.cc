@@ -1,0 +1,32 @@
+// TSA gate liveness probe: MUST FAIL to compile under
+// -Wthread-safety -Werror=thread-safety (clang). A `guarded_by` field is
+// read without its mutex held; if this file ever compiles in the TSA
+// configuration, the static lock-discipline gate is dead (wrong flags,
+// broken macro expansion, or a toolchain regression) and the build aborts
+// — see tests/CMakeLists.txt and docs/ANALYSIS.md §5.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() VECDB_EXCLUDES(mu_) {
+    vecdb::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG (deliberate): reads value_ without holding mu_.
+  int Get() const { return value_; }
+
+ private:
+  mutable vecdb::Mutex mu_;
+  int value_ VECDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return c.Get();
+}

@@ -1,0 +1,28 @@
+// TSA gate liveness probe: MUST FAIL to compile under
+// -Wthread-safety -Werror=thread-safety (clang). A `requires_capability`
+// method is called without the mutex held; if this compiles in the TSA
+// configuration the gate is dead and the build aborts — see
+// tests/CMakeLists.txt and docs/ANALYSIS.md §5.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void BumpLocked() VECDB_REQUIRES(mu_) { ++value_; }
+
+  // BUG (deliberate): calls a REQUIRES(mu_) method without locking mu_.
+  void Bump() { BumpLocked(); }
+
+ private:
+  vecdb::Mutex mu_;
+  int value_ VECDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

@@ -24,6 +24,17 @@ Rules (suppress one occurrence with a trailing `// lint-allow:<rule>`):
                     configs; the lint catches code behind #ifdefs and docs
                     snippets. (Options structs' own profiler fields are
                     unaffected: the rule is scoped to SearchParams objects.)
+  raw-mutex         a raw std:: mutex type (std::mutex, std::shared_mutex,
+                    recursive/timed variants) anywhere outside
+                    common/thread_annotations.h -- declare vecdb::Mutex /
+                    vecdb::SharedMutex instead so the field can carry
+                    VECDB_GUARDED_BY and the Clang Thread Safety Analysis
+                    gate (VECDB_TSA) can prove the lock discipline.
+
+Additionally, every `// lint-allow:<rule>` suppression is itself audited:
+naming a rule that does not exist, or sitting on a line where its rule no
+longer fires, is reported as stale-suppression -- suppressions cannot
+outlive the violation they excuse.
 """
 
 import os
@@ -37,7 +48,20 @@ ALLOW_RE = re.compile(r"//\s*lint-allow:([\w-]+)")
 # Files allowed to use raw array new/delete: the owning wrapper itself.
 NEW_ARRAY_ALLOWED = {os.path.join("src", "common", "aligned_buffer.h")}
 
+# Files allowed to name raw std mutex types: the annotated wrapper itself.
+RAW_MUTEX_ALLOWED = {os.path.join("src", "common", "thread_annotations.h")}
+
+# Every rule a lint-allow comment may name (stale-suppression audits this).
+KNOWN_RULES = {
+    "new-array", "raw-pthread", "discarded-status", "pragma-once",
+    "std-endl", "removed-field", "raw-mutex",
+}
+
 NEW_ARRAY_RE = re.compile(r"\bnew\s+[\w:<>]+\s*\[|\bdelete\s*\[\]")
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex)\b"
+)
 # `SearchParams p;` / `SearchParams p = other;` -- harvested per file so the
 # removed-field rule only fires on SearchParams objects, not on the many
 # options structs that legitimately carry a profiler field.
@@ -125,8 +149,11 @@ def lint_file(root, path, status_stmt_re, errors):
         for m in ALLOW_RE.finditer(line):
             allowed_rules_by_line.setdefault(i, set()).add(m.group(1))
 
+    used_suppressions = set()  # (lineno, rule) pairs that earned their keep
+
     def report(lineno, rule, message):
         if rule in allowed_rules_by_line.get(lineno, set()):
+            used_suppressions.add((lineno, rule))
             return
         errors.append("%s:%d: [%s] %s" % (path, lineno, rule, message))
 
@@ -163,6 +190,11 @@ def lint_file(root, path, status_stmt_re, errors):
         if NEW_ARRAY_RE.search(line) and path not in NEW_ARRAY_ALLOWED:
             report(i, "new-array",
                    "raw array new/delete; use AlignedFloats or a container")
+        if RAW_MUTEX_RE.search(line) and path not in RAW_MUTEX_ALLOWED:
+            report(i, "raw-mutex",
+                   "raw std:: mutex type; use vecdb::Mutex/SharedMutex from "
+                   "common/thread_annotations.h so VECDB_GUARDED_BY and the "
+                   "VECDB_TSA gate apply")
         if PTHREAD_RE.search(line):
             report(i, "raw-pthread",
                    "raw pthread_ call; use std::thread or ThreadPool")
@@ -176,6 +208,19 @@ def lint_file(root, path, status_stmt_re, errors):
                    "propagate it, or cast to (void)")
         if line.strip():
             prev_code = line.rstrip()
+
+    # Suppression audit: every lint-allow must name a real rule AND sit on
+    # a line where that rule still fires; anything else has gone stale.
+    for lineno, rules in sorted(allowed_rules_by_line.items()):
+        for rule in sorted(rules):
+            if rule not in KNOWN_RULES:
+                errors.append(
+                    "%s:%d: [stale-suppression] lint-allow names unknown "
+                    "rule '%s'" % (path, lineno, rule))
+            elif (lineno, rule) not in used_suppressions:
+                errors.append(
+                    "%s:%d: [stale-suppression] lint-allow:%s no longer "
+                    "fires here; drop the suppression" % (path, lineno, rule))
 
 
 def main():
