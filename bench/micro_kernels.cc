@@ -13,6 +13,7 @@
 #include "faisslike/ivf_flat.h"
 #include "obs/metrics.h"
 #include "pgstub/bufmgr.h"
+#include "pgstub/crc32c.h"
 #include "pgstub/heap_table.h"
 #include "pgstub/wal.h"
 #include "quantizer/pq.h"
@@ -345,6 +346,40 @@ void BM_HeapInsertWal(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HeapInsertWal);
+
+void BM_Crc32cBitwise(benchmark::State& state) {
+  // Reference implementation; the floor the fast paths are measured against.
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> buf(n, 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pgstub::Crc32cBitwise(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Crc32cBitwise)->Arg(64)->Arg(8192);
+
+void BM_Crc32cTable(benchmark::State& state) {
+  // Portable slicing-by-8: what the WAL pays per record without SSE4.2.
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> buf(n, 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pgstub::Crc32cTable(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Crc32cTable)->Arg(64)->Arg(8192);
+
+void BM_Crc32cDispatched(benchmark::State& state) {
+  // Runtime-dispatched fast path (SSE4.2 _mm_crc32_* where available):
+  // what WalManager actually calls when framing records.
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> buf(n, 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pgstub::Crc32c(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Crc32cDispatched)->Arg(64)->Arg(8192);
 
 }  // namespace
 }  // namespace vecdb

@@ -6,6 +6,8 @@
 #                       CheckInvariants() audits are active
 #   TSan                RelWithDebInfo; concurrency_test/thread_pool_test
 #                       run under the race detector
+#   recovery            crash-recovery fault injection under ASan and the
+#                       concurrent logging+checkpoint smoke under TSan
 #   TSA                 clang, -DVECDB_TSA=ON: Clang Thread Safety Analysis
 #                       as -Werror=thread-safety, with negative-compilation
 #                       probes proving the gate is live (skipped with a
@@ -53,6 +55,14 @@ echo "=== build-asan: batched-search smoke (micro_kernels) ==="
 echo "=== build-asan: filtered-search smoke (ext_filtered_search) ==="
 ./build-asan/bench/ext_filtered_search --scale=0.002 --max-queries=5
 
+# Recovery stage, part 1: the full fault-injection harness under
+# ASan/UBSan. Every sampled crash offset exercises torn-write handling,
+# WAL replay, and catalog/orphan GC — recovery code paths touch freed
+# and partially-initialized state more than any other subsystem, which
+# is exactly where the sanitizers earn their keep.
+echo "=== build-asan: crash-recovery fault-injection (recovery_test) ==="
+./build-asan/tests/recovery_test
+
 run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVECDB_SANITIZE=thread
 
@@ -69,6 +79,15 @@ echo "=== build-tsan: concurrent metrics-registry smoke (micro_kernels) ==="
 echo "=== build-tsan: concurrent in-filter bitmap smoke (filter_test) ==="
 ./build-tsan/tests/filter_test \
   --gtest_filter='FilteredSearchTest.ConcurrentInFilterSharedBitmap'
+
+# Recovery stage, part 2: writers appending WAL records through the
+# buffer manager while a checkpointer loops flush/sync/checkpoint/rotate.
+# The WAL's internal mutex, the sticky wal_error latch, and rotation's
+# swap of the underlying file are all shared state; TSan makes any
+# unlocked access a hard failure instead of a one-in-a-thousand torn log.
+echo "=== build-tsan: concurrent logging+checkpoint smoke (recovery_test) ==="
+./build-tsan/tests/recovery_test \
+  --gtest_filter='FaultInjectionTest.ConcurrentLoggingAndCheckpoint'
 
 # Static lock discipline: compile everything under clang with Thread
 # Safety Analysis promoted to errors. The tsa_probe ctest entries (and the

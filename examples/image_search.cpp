@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "core/vecdb.h"
+#include <filesystem>
 
 using namespace vecdb;
 
@@ -43,6 +44,7 @@ int main() {
 
   // The same workload on the generalized engine: identical algorithm, but
   // every graph hop goes through pages and the buffer manager (RC#2).
+  std::filesystem::remove_all("/tmp/vecdb_image_search");
   auto smgr = std::move(pgstub::StorageManager::Open(
                             "/tmp/vecdb_image_search", 8192))
                   .ValueOrDie();

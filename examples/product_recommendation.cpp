@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "core/vecdb.h"
+#include <filesystem>
 
 using namespace vecdb;
 
@@ -62,6 +63,7 @@ int main() {
 
   // The paper's punchline: the bridged generalized engine (durable pages +
   // §IX-C fixes) keeps up with the specialized engine.
+  std::filesystem::remove_all("/tmp/vecdb_product_rec");
   auto smgr = std::move(pgstub::StorageManager::Open(
                             "/tmp/vecdb_product_rec", 8192))
                   .ValueOrDie();

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "core/vecdb.h"
+#include <filesystem>
 
 using namespace vecdb;
 
@@ -54,6 +55,7 @@ int main() {
 
   // 5. The same workload on the generalized (PASE-like) engine: real pages,
   // real buffer manager, real files on disk.
+  std::filesystem::remove_all("/tmp/vecdb_quickstart");
   auto smgr = pgstub::StorageManager::Open("/tmp/vecdb_quickstart", 8192);
   if (!smgr.ok()) {
     std::fprintf(stderr, "%s\n", smgr.status().ToString().c_str());

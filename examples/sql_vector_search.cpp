@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/vecdb.h"
+#include <filesystem>
 
 using namespace vecdb;
 
@@ -31,6 +32,7 @@ void Run(sql::MiniDatabase* db, const std::string& statement) {
 }  // namespace
 
 int main() {
+  std::filesystem::remove_all("/tmp/vecdb_sql_example");
   auto db = std::move(sql::MiniDatabase::Open("/tmp/vecdb_sql_example"))
                 .ValueOrDie();
 

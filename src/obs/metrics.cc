@@ -15,6 +15,8 @@ const char* CounterName(Counter c) {
     case Counter::kBufmgrPin: return "bufmgr.pin";
     case Counter::kWalRecords: return "wal.records";
     case Counter::kWalBytes: return "wal.bytes";
+    case Counter::kWalCheckpoints: return "wal.checkpoints";
+    case Counter::kWalRecoveredPages: return "wal.recovered_pages";
     case Counter::kSgemmCalls: return "sgemm.calls";
     case Counter::kFaissQueries: return "faiss.queries";
     case Counter::kFaissBatchQueries: return "faiss.batch_queries";
@@ -40,6 +42,7 @@ const char* CounterName(Counter c) {
     case Counter::kSqlDelete: return "sql.delete";
     case Counter::kSqlDrop: return "sql.drop";
     case Counter::kSqlShow: return "sql.show";
+    case Counter::kSqlCheckpoint: return "sql.checkpoint";
     case Counter::kSqlErrors: return "sql.errors";
     case Counter::kFilterPrefilterQueries: return "filter.prefilter_queries";
     case Counter::kFilterPostfilterQueries:

@@ -35,6 +35,8 @@ enum class Counter : uint32_t {
   // write-ahead log (the generalized engine's write tax).
   kWalRecords,
   kWalBytes,
+  kWalCheckpoints,
+  kWalRecoveredPages,
   // distance kernels (RC#1: batched SGEMM-decomposed distances).
   kSgemmCalls,
   // faisslike engine search/build.
@@ -65,6 +67,7 @@ enum class Counter : uint32_t {
   kSqlDelete,
   kSqlDrop,
   kSqlShow,
+  kSqlCheckpoint,
   kSqlErrors,
   // filtered search (src/filter): one counter per executed strategy plus
   // the strategies' characteristic work units.

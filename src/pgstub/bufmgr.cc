@@ -33,8 +33,11 @@ Result<int32_t> BufferManager::AllocFrame() {
       --f.usage;
       continue;
     }
-    // Victim: write back if dirty, drop the mapping.
+    // Victim: write back if dirty, drop the mapping. WAL-before-data:
+    // the page's full-page image (logged at Unpin) must be durable before
+    // the page itself overwrites its on-disk predecessor.
     if (f.dirty) {
+      if (wal_ != nullptr) VECDB_RETURN_NOT_OK(wal_->Flush());
       VECDB_RETURN_NOT_OK(smgr_->WriteBlock(
           f.rel, f.block, pool_.data() + frame_idx * smgr_->page_size()));
       f.dirty = false;
@@ -149,6 +152,22 @@ void BufferManager::CheckInvariants() const {
 
 Status BufferManager::FlushAll() {
   MutexLock guard(mu_);
+  // Page contents are only stable while a frame is unpinned (pin holders
+  // mutate bytes outside the lock), so flushing a pinned-dirty frame
+  // would write a torn image — and a checkpoint right after would rotate
+  // away the WAL record that could repair it. Refuse up front; the caller
+  // retries once the pin drains.
+  for (const Frame& f : frames_) {
+    if (f.valid && f.dirty && f.pin_count > 0) {
+      return Status::InvalidArgument(
+          "dirty page pinned during flush: rel " + std::to_string(f.rel) +
+          " block " + std::to_string(f.block));
+    }
+  }
+  // WAL-before-data, wholesale: every dirty page about to be written has a
+  // full-page image in the log (from its dirty Unpin); force those out
+  // before any page write can clobber its on-disk predecessor.
+  if (wal_ != nullptr) VECDB_RETURN_NOT_OK(wal_->Flush());
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (f.valid && f.dirty) {

@@ -76,7 +76,11 @@ class BufferManager {
     return wal_error_;
   }
 
-  /// Writes all dirty unpinned pages back to storage.
+  /// Writes all dirty pages back to storage. Fails with InvalidArgument
+  /// (flushing nothing) if any dirty page is pinned: pin holders mutate
+  /// contents outside the lock, so flushing one would write a torn image.
+  /// Retry after the pin drains — checkpointers must not proceed without
+  /// a clean flush.
   Status FlushAll() VECDB_EXCLUDES(mu_);
 
   /// Drops every mapping for `rel` (before DropRelation). Fails if any of

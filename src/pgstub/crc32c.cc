@@ -1,0 +1,131 @@
+#include "pgstub/crc32c.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define VECDB_CRC32C_X86_DISPATCH 1
+#include <nmmintrin.h>
+#endif
+
+namespace vecdb::pgstub {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+/// Slicing-by-8 lookup tables, built once at first use. table[0] is the
+/// classic byte-at-a-time table; table[k][b] extends a byte through k+1
+/// zero bytes, letting the hot loop fold 8 input bytes per iteration.
+struct SlicingTables {
+  uint32_t t[8][256];
+  SlicingTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ (kPoly & (0u - (crc & 1u)));
+      }
+      t[0][i] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xffu];
+      }
+    }
+  }
+};
+
+const SlicingTables& Tables() {
+  static const SlicingTables tables;
+  return tables;
+}
+
+uint32_t TableUpdate(uint32_t state, const void* data, size_t len) {
+  const auto& tab = Tables();
+  const auto* p = static_cast<const uint8_t*>(data);
+  // Byte-at-a-time until 8-byte alignment.
+  while (len > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    state = (state >> 8) ^ tab.t[0][(state ^ *p++) & 0xffu];
+    --len;
+  }
+  while (len >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    chunk ^= state;  // little-endian: low 4 bytes absorb the running CRC
+    state = tab.t[7][chunk & 0xffu] ^ tab.t[6][(chunk >> 8) & 0xffu] ^
+            tab.t[5][(chunk >> 16) & 0xffu] ^ tab.t[4][(chunk >> 24) & 0xffu] ^
+            tab.t[3][(chunk >> 32) & 0xffu] ^ tab.t[2][(chunk >> 40) & 0xffu] ^
+            tab.t[1][(chunk >> 48) & 0xffu] ^ tab.t[0][(chunk >> 56) & 0xffu];
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    state = (state >> 8) ^ tab.t[0][(state ^ *p++) & 0xffu];
+    --len;
+  }
+  return state;
+}
+
+#ifdef VECDB_CRC32C_X86_DISPATCH
+__attribute__((target("sse4.2"))) uint32_t HwUpdate(uint32_t state,
+                                                    const void* data,
+                                                    size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  while (len > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    state = _mm_crc32_u8(state, *p++);
+    --len;
+  }
+  uint64_t state64 = state;
+  while (len >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    state64 = _mm_crc32_u64(state64, chunk);
+    p += 8;
+    len -= 8;
+  }
+  state = static_cast<uint32_t>(state64);
+  while (len > 0) {
+    state = _mm_crc32_u8(state, *p++);
+    --len;
+  }
+  return state;
+}
+
+using UpdateFn = uint32_t (*)(uint32_t, const void*, size_t);
+
+UpdateFn PickUpdate() {
+  return __builtin_cpu_supports("sse4.2") ? &HwUpdate : &TableUpdate;
+}
+#endif  // VECDB_CRC32C_X86_DISPATCH
+
+}  // namespace
+
+uint32_t Crc32cUpdate(uint32_t state, const void* data, size_t len) {
+#ifdef VECDB_CRC32C_X86_DISPATCH
+  static const UpdateFn fn = PickUpdate();
+  return fn(state, data, len);
+#else
+  return TableUpdate(state, data, len);
+#endif
+}
+
+uint32_t Crc32c(const void* data, size_t len) {
+  return Crc32cFinalize(Crc32cUpdate(Crc32cInit(), data, len));
+}
+
+uint32_t Crc32cTable(const void* data, size_t len) {
+  return Crc32cFinalize(TableUpdate(Crc32cInit(), data, len));
+}
+
+uint32_t Crc32cBitwise(const void* data, size_t len) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    crc ^= bytes[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (kPoly & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace vecdb::pgstub

@@ -1,0 +1,39 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41 reflected to 0x82f63b78):
+// the checksum guarding WAL record frames. Three implementations:
+//
+//   Crc32c         fast path — SSE4.2 _mm_crc32_* when the CPU has it
+//                  (runtime-dispatched; the build uses no -march flags),
+//                  slicing-by-8 tables otherwise
+//   Crc32cTable    the portable slicing-by-8 path, callable directly so
+//                  benches can compare it against the hardware path
+//   Crc32cBitwise  the original 8-iterations-per-byte loop, kept as the
+//                  test oracle the fast paths are verified against
+//
+// The streaming Init/Update/Finalize form lets the WAL compute ONE CRC
+// across header+payload. The previous scheme XORed two independent CRCs,
+// and CRC linearity makes that cancelable: flipping the same bits at the
+// same distance from the end of both blocks leaves the XOR unchanged
+// (see Crc32cTest.XoredCrcsCancelButStreamingDoesNot).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vecdb::pgstub {
+
+/// One-shot CRC-32C over a byte range (fast path).
+uint32_t Crc32c(const void* data, size_t len);
+
+/// Streaming form: `Crc32cFinalize(Crc32cUpdate(Crc32cInit(), p, n))`
+/// equals `Crc32c(p, n)`, and Update may be chained across blocks.
+inline uint32_t Crc32cInit() { return 0xffffffffu; }
+uint32_t Crc32cUpdate(uint32_t state, const void* data, size_t len);
+inline uint32_t Crc32cFinalize(uint32_t state) { return state ^ 0xffffffffu; }
+
+/// Portable slicing-by-8 implementation (the non-SSE fast path).
+uint32_t Crc32cTable(const void* data, size_t len);
+
+/// Reference bitwise implementation — slow, obviously correct; test oracle.
+uint32_t Crc32cBitwise(const void* data, size_t len);
+
+}  // namespace vecdb::pgstub

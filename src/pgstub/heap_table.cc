@@ -27,6 +27,24 @@ Result<HeapTable> HeapTable::Create(BufferManager* bufmgr,
   return table;
 }
 
+Result<HeapTable> HeapTable::Attach(BufferManager* bufmgr,
+                                    StorageManager* smgr,
+                                    const std::string& name, uint32_t dim,
+                                    uint32_t num_attrs) {
+  if (dim == 0) return Status::InvalidArgument("HeapTable: dim == 0");
+  VECDB_ASSIGN_OR_RETURN(RelId rel, smgr->FindRelation(name));
+  HeapTable table(bufmgr, smgr, rel, dim, num_attrs);
+  VECDB_ASSIGN_OR_RETURN(BlockId num_blocks, smgr->NumBlocks(rel));
+  if (num_blocks > 0) table.last_block_ = num_blocks - 1;
+  size_t rows = 0;
+  VECDB_RETURN_NOT_OK(table.SeqScan([&rows](TupleId, int64_t, const float*) {
+    ++rows;
+    return true;
+  }));
+  table.num_rows_ = rows;
+  return table;
+}
+
 Result<TupleId> HeapTable::Insert(int64_t row_id, const float* vec,
                                   const int64_t* attrs) {
   if (vec == nullptr) return Status::InvalidArgument("HeapTable: null vec");

@@ -30,6 +30,14 @@ class HeapTable {
                                   const std::string& name, uint32_t dim,
                                   uint32_t num_attrs = 0);
 
+  /// Re-attaches to an existing relation after a restart: rediscovers the
+  /// tail block and row count by scanning the recovered pages. The caller
+  /// supplies the schema (dim, num_attrs) from the durable catalog; stored
+  /// tuples that disagree with it surface as Corruption via Read.
+  static Result<HeapTable> Attach(BufferManager* bufmgr, StorageManager* smgr,
+                                  const std::string& name, uint32_t dim,
+                                  uint32_t num_attrs = 0);
+
   /// Inserts a row; returns its physical TupleId. `attrs` must point at
   /// num_attrs() values (may be null when num_attrs() == 0).
   Result<TupleId> Insert(int64_t row_id, const float* vec,

@@ -45,6 +45,24 @@ Status VectorIndexAm::AmBuild(const HeapTable& table) {
   return index_->Build(vecs.data(), row_ids_.size());
 }
 
+Status VectorIndexAm::AmAttach(const HeapTable& table, size_t num_rows) {
+  std::vector<int64_t> ids;
+  ids.reserve(num_rows);
+  VECDB_RETURN_NOT_OK(
+      table.SeqScan([&](TupleId, int64_t row_id, const float*) {
+        if (ids.size() >= num_rows) return false;
+        ids.push_back(row_id);
+        return true;
+      }));
+  if (ids.size() < num_rows) {
+    return Status::InvalidArgument(
+        "AmAttach: heap has " + std::to_string(ids.size()) +
+        " rows, snapshot expects " + std::to_string(num_rows));
+  }
+  row_ids_ = std::move(ids);
+  return Status::OK();
+}
+
 Status VectorIndexAm::AmInsert(const float* vec, int64_t row_id) {
   // Delegates to the index's incremental path (NotSupported for indexes
   // that require a rebuild); on success, extend the position -> row-id map.

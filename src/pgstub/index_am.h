@@ -62,6 +62,14 @@ class VectorIndexAm final : public IndexAccessMethod {
   explicit VectorIndexAm(VectorIndex* index) : index_(index) {}
 
   Status AmBuild(const HeapTable& table) override;
+
+  /// Re-adopts an index whose vectors were loaded from a snapshot instead
+  /// of built: reconstructs the position -> row-id map from the first
+  /// `num_rows` heap rows (the rows present when the snapshot was taken;
+  /// heap scan order is AmBuild's numbering). Fails with InvalidArgument
+  /// if the heap holds fewer rows or the index population disagrees.
+  Status AmAttach(const HeapTable& table, size_t num_rows);
+
   Status AmInsert(const float* vec, int64_t row_id) override;
   Status AmDelete(int64_t row_id) override;
   Result<std::unique_ptr<IndexScanCursor>> AmBeginScan(

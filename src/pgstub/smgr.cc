@@ -1,52 +1,105 @@
 #include "pgstub/smgr.h"
 
-#include <sys/stat.h>
-
-#include <cerrno>
-#include <cstring>
+#include <sstream>
 #include <utility>
 
 namespace vecdb::pgstub {
 
-Result<StorageManager> StorageManager::Open(const std::string& dir,
+namespace {
+constexpr char kManifestName[] = "/RELMAP";
+constexpr char kManifestMagic[] = "vecdb-relmap";
+constexpr int kManifestVersion = 1;
+}  // namespace
+
+Result<StorageManager> StorageManager::Open(Vfs* vfs, const std::string& dir,
                                             uint32_t page_size) {
   if (page_size < 512 || (page_size & (page_size - 1)) != 0) {
     return Status::InvalidArgument(
         "StorageManager: page_size must be a power of two >= 512");
   }
-  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
-    return Status::IOError("cannot create data directory " + dir + ": " +
-                           std::strerror(errno));
+  VECDB_RETURN_NOT_OK(vfs->CreateDir(dir));
+  StorageManager smgr(vfs, dir, page_size);
+  VECDB_ASSIGN_OR_RETURN(bool has_manifest,
+                         vfs->Exists(dir + kManifestName));
+  if (has_manifest) {
+    VECDB_RETURN_NOT_OK(smgr.LoadManifest());
   }
-  return StorageManager(dir, page_size);
+  return smgr;
 }
 
-StorageManager::~StorageManager() {
-  for (auto& rel : rels_) {
-    if (rel.file != nullptr) std::fclose(rel.file);
-  }
-}
-
-StorageManager::StorageManager(StorageManager&& other) noexcept
-    : dir_(std::move(other.dir_)),
-      page_size_(other.page_size_),
-      rels_(std::move(other.rels_)),
-      by_name_(std::move(other.by_name_)) {
-  other.rels_.clear();
-}
-
-StorageManager& StorageManager::operator=(StorageManager&& other) noexcept {
-  if (this != &other) {
-    for (auto& rel : rels_) {
-      if (rel.file != nullptr) std::fclose(rel.file);
+Status StorageManager::SaveManifest() const {
+  std::ostringstream out;
+  out << kManifestMagic << ' ' << kManifestVersion << '\n';
+  out << "pagesize " << page_size_ << '\n';
+  out << "next " << rels_.size() << '\n';
+  for (RelId id = 0; id < rels_.size(); ++id) {
+    if (rels_[id].file != nullptr) {
+      out << "rel " << id << ' ' << rels_[id].name << '\n';
     }
-    dir_ = std::move(other.dir_);
-    page_size_ = other.page_size_;
-    rels_ = std::move(other.rels_);
-    by_name_ = std::move(other.by_name_);
-    other.rels_.clear();
   }
-  return *this;
+  const std::string text = out.str();
+  const std::string path = dir_ + kManifestName;
+  const std::string tmp = path + ".tmp";
+  VECDB_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> f,
+                         vfs_->Open(tmp, /*create=*/true));
+  VECDB_RETURN_NOT_OK(f->Truncate(0));
+  VECDB_RETURN_NOT_OK(f->WriteAt(0, text.data(), text.size()));
+  VECDB_RETURN_NOT_OK(f->Sync());
+  f.reset();
+  return vfs_->Rename(tmp, path);
+}
+
+Status StorageManager::LoadManifest() {
+  const std::string path = dir_ + kManifestName;
+  VECDB_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> f,
+                         vfs_->Open(path, /*create=*/false));
+  VECDB_ASSIGN_OR_RETURN(uint64_t size, f->Size());
+  std::string text(size, '\0');
+  VECDB_ASSIGN_OR_RETURN(size_t got, f->ReadAt(0, text.data(), text.size()));
+  if (got != size) return Status::IOError("smgr: short manifest read");
+  f.reset();
+
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kManifestMagic ||
+      version != kManifestVersion) {
+    return Status::Corruption("smgr: bad manifest header in " + path);
+  }
+  std::string key;
+  uint32_t manifest_page_size = 0;
+  uint64_t next = 0;
+  if (!(in >> key >> manifest_page_size) || key != "pagesize" ||
+      !(in >> key >> next) || key != "next") {
+    return Status::Corruption("smgr: bad manifest body in " + path);
+  }
+  if (manifest_page_size != page_size_) {
+    return Status::InvalidArgument(
+        "smgr: directory was created with page_size " +
+        std::to_string(manifest_page_size) + ", opened with " +
+        std::to_string(page_size_));
+  }
+  rels_.clear();
+  by_name_.clear();
+  rels_.resize(next);
+  while (in >> key) {
+    if (key != "rel") return Status::Corruption("smgr: bad manifest entry");
+    RelId id = kInvalidRel;
+    std::string name;
+    if (!(in >> id >> name) || id >= rels_.size()) {
+      return Status::Corruption("smgr: bad manifest entry");
+    }
+    // The create protocol writes the relation file before the manifest
+    // commits it, so a listed file must exist.
+    VECDB_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> rf,
+                           vfs_->Open(RelPath(name), /*create=*/false));
+    VECDB_ASSIGN_OR_RETURN(uint64_t rel_size, rf->Size());
+    rels_[id].name = name;
+    rels_[id].file = std::move(rf);
+    rels_[id].num_blocks = static_cast<BlockId>(rel_size / page_size_);
+    by_name_[name] = id;
+  }
+  return Status::OK();
 }
 
 Result<RelId> StorageManager::CreateRelation(const std::string& name) {
@@ -56,19 +109,24 @@ Result<RelId> StorageManager::CreateRelation(const std::string& name) {
   if (by_name_.count(name) != 0) {
     return Status::AlreadyExists("relation exists: " + name);
   }
-  const std::string path = dir_ + "/" + name + ".rel";
-  std::FILE* f = std::fopen(path.c_str(), "wb+");
-  if (f == nullptr) {
-    return Status::IOError("cannot create " + path + ": " +
-                           std::strerror(errno));
-  }
-  RelFile rel;
-  rel.name = name;
-  rel.file = f;
-  rel.num_blocks = 0;
+  VECDB_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> f,
+                         vfs_->Open(RelPath(name), /*create=*/true));
+  // Truncate: the path may be an orphan (with stale pages) left by a drop
+  // that crashed after its manifest commit but before the unlink.
+  VECDB_RETURN_NOT_OK(f->Truncate(0));
   const RelId id = static_cast<RelId>(rels_.size());
-  rels_.push_back(rel);
+  rels_.emplace_back();
+  rels_[id].name = name;
+  rels_[id].file = std::move(f);
+  rels_[id].num_blocks = 0;
   by_name_[name] = id;
+  Status saved = SaveManifest();
+  if (!saved.ok()) {
+    // Roll back so in-memory state matches the (unchanged) manifest.
+    by_name_.erase(name);
+    rels_.pop_back();
+    return saved;
+  }
   return id;
 }
 
@@ -83,14 +141,22 @@ Result<RelId> StorageManager::FindRelation(const std::string& name) const {
 Status StorageManager::DropRelation(RelId rel) {
   VECDB_RETURN_NOT_OK(CheckRel(rel));
   RelFile& rf = rels_[rel];
-  std::fclose(rf.file);
-  const std::string path = dir_ + "/" + rf.name + ".rel";
-  std::remove(path.c_str());
+  const std::string name = rf.name;
+  std::unique_ptr<VfsFile> file = std::move(rf.file);
   by_name_.erase(rf.name);
-  rf.file = nullptr;
-  rf.num_blocks = 0;
   rf.name.clear();
-  return Status::OK();
+  rf.num_blocks = 0;
+  // Manifest commits the removal before the unlink: a crash in between
+  // leaves only an orphan file, never a manifest entry with no file.
+  Status saved = SaveManifest();
+  if (!saved.ok()) {
+    rf.name = name;
+    rf.file = std::move(file);
+    by_name_[name] = rel;
+    return saved;
+  }
+  file.reset();
+  return vfs_->Remove(RelPath(name));
 }
 
 Status StorageManager::CheckRel(RelId rel) const {
@@ -109,11 +175,9 @@ Result<BlockId> StorageManager::ExtendRelation(RelId rel) {
   VECDB_RETURN_NOT_OK(CheckRel(rel));
   RelFile& rf = rels_[rel];
   std::vector<char> zeros(page_size_, 0);
-  if (std::fseek(rf.file, static_cast<long>(rf.num_blocks) * page_size_,
-                 SEEK_SET) != 0 ||
-      std::fwrite(zeros.data(), 1, page_size_, rf.file) != page_size_) {
-    return Status::IOError("extend failed on relation " + rf.name);
-  }
+  VECDB_RETURN_NOT_OK(rf.file->WriteAt(
+      static_cast<uint64_t>(rf.num_blocks) * page_size_, zeros.data(),
+      page_size_));
   return rf.num_blocks++;
 }
 
@@ -124,9 +188,11 @@ Status StorageManager::ReadBlock(RelId rel, BlockId block, char* buf) const {
     return Status::OutOfRange("block " + std::to_string(block) +
                               " beyond relation " + rf.name);
   }
-  if (std::fseek(rf.file, static_cast<long>(block) * page_size_, SEEK_SET) !=
-          0 ||
-      std::fread(buf, 1, page_size_, rf.file) != page_size_) {
+  VECDB_ASSIGN_OR_RETURN(
+      size_t got,
+      rf.file->ReadAt(static_cast<uint64_t>(block) * page_size_, buf,
+                      page_size_));
+  if (got != page_size_) {
     return Status::IOError("read failed on relation " + rf.name);
   }
   return Status::OK();
@@ -139,12 +205,24 @@ Status StorageManager::WriteBlock(RelId rel, BlockId block, const char* buf) {
     return Status::OutOfRange("block " + std::to_string(block) +
                               " beyond relation " + rf.name);
   }
-  if (std::fseek(rf.file, static_cast<long>(block) * page_size_, SEEK_SET) !=
-          0 ||
-      std::fwrite(buf, 1, page_size_, rf.file) != page_size_) {
-    return Status::IOError("write failed on relation " + rf.name);
+  return rf.file->WriteAt(static_cast<uint64_t>(block) * page_size_, buf,
+                          page_size_);
+}
+
+Status StorageManager::SyncAll() {
+  for (auto& rel : rels_) {
+    if (rel.file != nullptr) VECDB_RETURN_NOT_OK(rel.file->Sync());
   }
   return Status::OK();
+}
+
+std::vector<std::pair<RelId, std::string>> StorageManager::ListRelations()
+    const {
+  std::vector<std::pair<RelId, std::string>> out;
+  for (RelId id = 0; id < rels_.size(); ++id) {
+    if (rels_[id].file != nullptr) out.emplace_back(id, rels_[id].name);
+  }
+  return out;
 }
 
 }  // namespace vecdb::pgstub

@@ -1,16 +1,25 @@
 // Storage manager: one file per relation under a data directory, read and
 // written in page-sized blocks (PostgreSQL's md.c analog). The buffer
 // manager is the only intended caller.
+//
+// Relation ids and names persist across process restarts via a manifest
+// file (`RELMAP`, rewritten atomically on every create/drop), so a reopened
+// directory serves the same relations under the same ids — the property WAL
+// replay depends on, since log records address pages by RelId. Ids are
+// monotonic and never reused: recycling an id would let stale full-page
+// images from before a drop replay into an unrelated relation.
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "pgstub/page.h"
+#include "pgstub/vfs.h"
 
 namespace vecdb::pgstub {
 
@@ -26,22 +35,34 @@ constexpr RelId kInvalidRel = 0xffffffffu;
 class StorageManager {
  public:
   /// Creates/opens a data directory; `page_size` applies to all relations.
-  static Result<StorageManager> Open(const std::string& dir,
+  /// Reopening a directory that already has a manifest re-attaches every
+  /// relation (same ids, same names) and fails with InvalidArgument if
+  /// `page_size` disagrees with the manifest.
+  static Result<StorageManager> Open(Vfs* vfs, const std::string& dir,
                                      uint32_t page_size);
+  static Result<StorageManager> Open(const std::string& dir,
+                                     uint32_t page_size) {
+    return Open(Vfs::Default(), dir, page_size);
+  }
 
-  ~StorageManager();
-  StorageManager(StorageManager&&) noexcept;
-  StorageManager& operator=(StorageManager&&) noexcept;
+  ~StorageManager() = default;
+  StorageManager(StorageManager&&) noexcept = default;
+  StorageManager& operator=(StorageManager&&) noexcept = default;
   StorageManager(const StorageManager&) = delete;
   StorageManager& operator=(const StorageManager&) = delete;
 
   /// Creates a relation file; fails with AlreadyExists on a name clash.
+  /// The file is created (and truncated, reclaiming any orphan left by a
+  /// crashed drop) BEFORE the manifest commits the relation, so a
+  /// manifest entry always refers to an existing file.
   Result<RelId> CreateRelation(const std::string& name);
 
   /// Looks up a relation by name.
   Result<RelId> FindRelation(const std::string& name) const;
 
-  /// Removes a relation and its file.
+  /// Removes a relation and its file. The manifest commits the removal
+  /// first; a crash before the file unlink leaves an orphan file that the
+  /// next CreateRelation of that name truncates.
   Status DropRelation(RelId rel);
 
   /// Number of blocks currently allocated to the relation.
@@ -56,24 +77,38 @@ class StorageManager {
   /// Writes `buf` to block `block` of `rel`.
   Status WriteBlock(RelId rel, BlockId block, const char* buf);
 
+  /// Flushes every open relation file (checkpoint prerequisite).
+  Status SyncAll();
+
+  /// All live relations as (id, name), id-ascending — recovery uses this
+  /// to garbage-collect relations no catalogued object owns.
+  std::vector<std::pair<RelId, std::string>> ListRelations() const;
+
   uint32_t page_size() const { return page_size_; }
   const std::string& dir() const { return dir_; }
 
  private:
   struct RelFile {
     std::string name;
-    std::FILE* file = nullptr;
+    std::unique_ptr<VfsFile> file;
     BlockId num_blocks = 0;
   };
 
-  StorageManager(std::string dir, uint32_t page_size)
-      : dir_(std::move(dir)), page_size_(page_size) {}
+  StorageManager(Vfs* vfs, std::string dir, uint32_t page_size)
+      : vfs_(vfs), dir_(std::move(dir)), page_size_(page_size) {}
 
   Status CheckRel(RelId rel) const;
+  std::string RelPath(const std::string& name) const {
+    return dir_ + "/" + name + ".rel";
+  }
+  /// Atomically rewrites the manifest from current in-memory state.
+  Status SaveManifest() const;
+  Status LoadManifest();
 
+  Vfs* vfs_;
   std::string dir_;
   uint32_t page_size_;
-  std::vector<RelFile> rels_;
+  std::vector<RelFile> rels_;  ///< indexed by RelId; dropped slots are null
   std::unordered_map<std::string, RelId> by_name_;
 };
 

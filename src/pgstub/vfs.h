@@ -1,0 +1,133 @@
+// Virtual filesystem seam for the pgstub substrate. Every durable byte the
+// engine writes — relation pages, the WAL, the catalog, the relation
+// manifest — flows through a Vfs, so a test can interpose a fault-injecting
+// implementation and simulate a crash at any byte offset of the write
+// stream. PostgreSQL has the same seam (fd.c/smgr) for much the same
+// reason: recovery code that cannot be made to run under faults is dead
+// code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace vecdb::pgstub {
+
+/// One open file. Positioned reads/writes (pread/pwrite style) so callers
+/// carry their own offsets; implementations may buffer until Sync().
+///
+/// Handles are not thread-safe; each subsystem serializes access to its own
+/// files (WalManager via its mutex, StorageManager via the buffer manager).
+class VfsFile {
+ public:
+  virtual ~VfsFile() = default;
+
+  /// Reads up to `len` bytes at `offset`. Returns the count actually read
+  /// (short only at end of file; 0 = EOF).
+  virtual Result<size_t> ReadAt(uint64_t offset, void* buf, size_t len) = 0;
+
+  /// Writes exactly `len` bytes at `offset` (extending the file if needed).
+  virtual Status WriteAt(uint64_t offset, const void* buf, size_t len) = 0;
+
+  /// Current file size in bytes.
+  virtual Result<uint64_t> Size() = 0;
+
+  /// Forces buffered writes to the OS (fflush; no fsync in this
+  /// reproduction — the container has no power-failure model).
+  virtual Status Sync() = 0;
+
+  /// Truncates (or extends with zeros) to `size` bytes.
+  virtual Status Truncate(uint64_t size) = 0;
+};
+
+/// Filesystem operations. `Default()` returns the process-wide stdio
+/// implementation; tests hand a FaultInjectionVfs to the database instead.
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Opens `path` read-write. With `create`, an absent file is created
+  /// empty; without, absence is NotFound. Never truncates existing data.
+  virtual Result<std::unique_ptr<VfsFile>> Open(const std::string& path,
+                                                bool create) = 0;
+
+  virtual Result<bool> Exists(const std::string& path) = 0;
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics). The
+  /// durability protocols (manifest, catalog, WAL rotation) all hinge on
+  /// this being all-or-nothing.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Creates a directory; succeeds if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// The process-wide stdio-backed instance.
+  static Vfs* Default();
+};
+
+/// Fault-injecting wrapper: counts every byte written through it, across
+/// all files in call order, and simulates a crash once the armed budget is
+/// exhausted. The write that crosses the budget is applied only up to the
+/// budget (a torn write); every later mutation — writes, renames, removes,
+/// truncates, creates — fails with IOError("injected crash"). Reads keep
+/// working so a harness can inspect state, but the intended protocol is to
+/// discard the crashed instance and re-open the directory with a clean
+/// Vfs, exactly as a restarted process would.
+///
+/// Thread-safe: the byte ledger is a single mutex-guarded stream, which is
+/// what makes "crash at byte offset N" well-defined even under concurrent
+/// writers.
+class FaultInjectionVfs final : public Vfs {
+ public:
+  /// Wraps `base` (not owned; must outlive this).
+  explicit FaultInjectionVfs(Vfs* base) : base_(base) {}
+
+  /// Arms the crash `budget` bytes of writes from now; also clears a prior
+  /// crashed state and restarts the ledger.
+  void ArmAfterBytes(uint64_t budget) VECDB_EXCLUDES(mu_);
+
+  /// Disarms (unlimited budget) without clearing the ledger.
+  void Disarm() VECDB_EXCLUDES(mu_);
+
+  bool crashed() const VECDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return crashed_;
+  }
+
+  /// Total bytes accepted since the last ArmAfterBytes().
+  uint64_t bytes_written() const VECDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return written_;
+  }
+
+  Result<std::unique_ptr<VfsFile>> Open(const std::string& path,
+                                        bool create) override;
+  Result<bool> Exists(const std::string& path) override;
+  Status Remove(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status CreateDir(const std::string& path) override;
+
+ private:
+  friend class FaultInjectionFile;
+
+  /// Charges `want` bytes against the budget. Returns how many of them may
+  /// be written (less than `want` exactly once: the torn write at the
+  /// crash point), or IOError once crashed.
+  Result<size_t> Charge(size_t want) VECDB_EXCLUDES(mu_);
+
+  /// Fails with IOError after the crash point; metadata operations are
+  /// atomic, so before it they pass through unchanged at zero cost.
+  Status CheckAlive() const VECDB_EXCLUDES(mu_);
+
+  Vfs* base_;
+  mutable Mutex mu_;
+  uint64_t budget_ VECDB_GUARDED_BY(mu_) = UINT64_MAX;
+  uint64_t written_ VECDB_GUARDED_BY(mu_) = 0;
+  bool crashed_ VECDB_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace vecdb::pgstub

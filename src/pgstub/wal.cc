@@ -8,6 +8,24 @@
 namespace vecdb::pgstub {
 
 namespace {
+
+constexpr char kMagic[4] = {'V', 'W', 'A', 'L'};
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMaxPayload = 64u << 20;
+
+/// 32-byte log file header. start_lsn preserves LSN monotonicity across
+/// rotation: the fresh segment is empty but must not restart at 1. The
+/// CRC covers the first 24 bytes so a torn header write is detectable.
+struct FileHeader {
+  char magic[4];
+  uint32_t version;
+  uint64_t start_lsn;
+  uint64_t reserved;
+  uint32_t crc;
+  uint32_t pad;
+};
+static_assert(sizeof(FileHeader) == 32);
+
 struct RecordHeader {
   Lsn lsn;
   uint32_t payload_len;
@@ -16,41 +34,110 @@ struct RecordHeader {
   uint8_t type;
   uint8_t pad[3];
 };
+static_assert(sizeof(RecordHeader) == 24);
+
+FileHeader MakeFileHeader(Lsn start_lsn) {
+  FileHeader h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kVersion;
+  h.start_lsn = start_lsn;
+  h.reserved = 0;
+  h.crc = Crc32c(&h, offsetof(FileHeader, crc));
+  h.pad = 0;
+  return h;
+}
+
+/// Everything one sequential scan of a log file yields. A torn tail or
+/// torn/absent file header is normal operation after a crash, never an
+/// error; `header_valid == false` means the file carries no usable state.
+struct DecodedLog {
+  bool header_valid = false;
+  Lsn start_lsn = 1;
+  std::vector<WalRecord> records;
+  size_t last_checkpoint = 0;  ///< index+1 of last checkpoint record
+  Lsn max_lsn = 0;             ///< max over ALL intact records
+  uint64_t end_offset = 0;     ///< end of last intact frame
+};
+
+Result<DecodedLog> DecodeAll(VfsFile* file) {
+  DecodedLog out;
+  FileHeader fh;
+  VECDB_ASSIGN_OR_RETURN(size_t got, file->ReadAt(0, &fh, sizeof(fh)));
+  if (got != sizeof(fh) || std::memcmp(fh.magic, kMagic, sizeof(kMagic)) != 0 ||
+      fh.version != kVersion || fh.crc != Crc32c(&fh, offsetof(FileHeader, crc))) {
+    return out;  // torn or foreign header: an empty log
+  }
+  out.header_valid = true;
+  out.start_lsn = fh.start_lsn;
+  out.end_offset = sizeof(fh);
+
+  uint64_t off = sizeof(fh);
+  for (;;) {
+    RecordHeader header;
+    VECDB_ASSIGN_OR_RETURN(got, file->ReadAt(off, &header, sizeof(header)));
+    if (got != sizeof(header)) break;  // clean EOF or torn tail
+    if (header.payload_len > kMaxPayload) break;  // corrupt length
+    WalRecord record;
+    record.lsn = header.lsn;
+    record.type = static_cast<WalRecordType>(header.type);
+    record.rel = header.rel;
+    record.block = header.block;
+    record.payload.resize(header.payload_len);
+    if (header.payload_len > 0) {
+      VECDB_ASSIGN_OR_RETURN(
+          got, file->ReadAt(off + sizeof(header), record.payload.data(),
+                            header.payload_len));
+      if (got != header.payload_len) break;  // torn tail
+    }
+    uint32_t stored_crc = 0;
+    VECDB_ASSIGN_OR_RETURN(
+        got, file->ReadAt(off + sizeof(header) + header.payload_len,
+                          &stored_crc, sizeof(stored_crc)));
+    if (got != sizeof(stored_crc)) break;
+    uint32_t state = Crc32cUpdate(Crc32cInit(), &header, sizeof(header));
+    state = Crc32cUpdate(state, record.payload.data(), header.payload_len);
+    if (Crc32cFinalize(state) != stored_crc) break;  // torn or corrupt
+    if (record.type == WalRecordType::kCheckpoint) {
+      out.last_checkpoint = out.records.size() + 1;
+    }
+    if (record.lsn > out.max_lsn) out.max_lsn = record.lsn;
+    off += sizeof(header) + header.payload_len + sizeof(stored_crc);
+    out.end_offset = off;
+    out.records.push_back(std::move(record));
+  }
+  return out;
+}
+
 }  // namespace
 
-uint32_t Crc32c(const void* data, size_t len) {
-  const auto* bytes = static_cast<const uint8_t*>(data);
-  uint32_t crc = 0xffffffffu;
-  for (size_t i = 0; i < len; ++i) {
-    crc ^= bytes[i];
-    for (int bit = 0; bit < 8; ++bit) {
-      crc = (crc >> 1) ^ (0x82f63b78u & (0u - (crc & 1u)));
-    }
-  }
-  return crc ^ 0xffffffffu;
-}
+Result<WalManager> WalManager::Open(Vfs* vfs, const std::string& path) {
+  // Clear a segment left behind by a rotation that crashed pre-rename.
+  const std::string tmp = path + ".new";
+  VECDB_ASSIGN_OR_RETURN(bool stale, vfs->Exists(tmp));
+  if (stale) VECDB_RETURN_NOT_OK(vfs->Remove(tmp));
 
-Result<WalManager> WalManager::Open(const std::string& path) {
-  // Scan any existing log to find the next LSN, then reopen for append.
-  Lsn next = 1;
-  std::FILE* probe = std::fopen(path.c_str(), "rb");
-  if (probe != nullptr) {
-    std::fclose(probe);
-    Status scan = Replay(path, [&next](const WalRecord& record) {
-      next = record.lsn + 1;
-      return Status::OK();
-    });
-    if (!scan.ok()) return scan;
+  VECDB_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file,
+                         vfs->Open(path, /*create=*/true));
+  VECDB_ASSIGN_OR_RETURN(DecodedLog log, DecodeAll(file.get()));
+  if (!log.header_valid) {
+    // Fresh file, or a header torn at initial creation (before any record
+    // could exist): start a clean v2 log.
+    VECDB_RETURN_NOT_OK(file->Truncate(0));
+    FileHeader fh = MakeFileHeader(1);
+    VECDB_RETURN_NOT_OK(file->WriteAt(0, &fh, sizeof(fh)));
+    VECDB_RETURN_NOT_OK(file->Sync());
+    return WalManager(vfs, std::move(file), path, sizeof(fh), 1);
   }
-  std::FILE* f = std::fopen(path.c_str(), "ab");
-  if (f == nullptr) return Status::IOError("cannot open WAL " + path);
-  return WalManager(f, next);
-}
-
-WalManager::~WalManager() {
-  // Destructors are exempt from thread-safety analysis (an object being
-  // destroyed must not be shared), so file_ is accessed directly.
-  if (file_ != nullptr) std::fclose(file_);
+  // The LSN-reuse fix: next comes from the max over ALL decoded records
+  // (plus the rotation floor), not from the post-checkpoint replay set.
+  Lsn next = log.max_lsn + 1;
+  if (log.start_lsn > next) next = log.start_lsn;
+  // Drop any torn tail so the next append starts a clean frame.
+  VECDB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (size > log.end_offset) {
+    VECDB_RETURN_NOT_OK(file->Truncate(log.end_offset));
+  }
+  return WalManager(vfs, std::move(file), path, log.end_offset, next);
 }
 
 WalManager::WalManager(WalManager&& other) noexcept {
@@ -58,7 +145,10 @@ WalManager::WalManager(WalManager&& other) noexcept {
   // pointer to `other`. This object is still construction-private, so its
   // own members need no lock (constructors are exempt from the analysis).
   MutexLock lock(other.mu_);
-  file_ = std::exchange(other.file_, nullptr);
+  vfs_ = other.vfs_;
+  file_ = std::move(other.file_);
+  path_ = std::move(other.path_);
+  size_ = other.size_;
   next_lsn_ = other.next_lsn_;
 }
 
@@ -71,22 +161,26 @@ Status WalManager::AppendRecord(WalRecordType type, RelId rel, BlockId block,
   header.rel = rel;
   header.block = block;
   header.type = static_cast<uint8_t>(type);
-  uint32_t crc = Crc32c(&header, sizeof(header));
+  // One streaming CRC across header and payload: correlated flips in the
+  // two regions cannot cancel the way the old header^payload XOR could.
+  uint32_t state = Crc32cUpdate(Crc32cInit(), &header, sizeof(header));
+  state = Crc32cUpdate(state, payload, payload_len);
+  const uint32_t crc = Crc32cFinalize(state);
+
+  // One contiguous frame, one WriteAt: the fault harness then sees each
+  // record as a single write, and a crash tears at most this frame.
+  std::vector<char> frame(sizeof(header) + payload_len + sizeof(crc));
+  std::memcpy(frame.data(), &header, sizeof(header));
   if (payload_len > 0) {
-    // Chain the CRC over header and payload.
-    crc ^= Crc32c(payload, payload_len);
+    std::memcpy(frame.data() + sizeof(header), payload, payload_len);
   }
-  if (std::fwrite(&header, sizeof(header), 1, file_) != 1 ||
-      (payload_len > 0 &&
-       std::fwrite(payload, 1, payload_len, file_) != payload_len) ||
-      std::fwrite(&crc, sizeof(crc), 1, file_) != 1) {
-    return Status::IOError("WAL append failed");
-  }
+  std::memcpy(frame.data() + sizeof(header) + payload_len, &crc, sizeof(crc));
+  VECDB_RETURN_NOT_OK(file_->WriteAt(size_, frame.data(), frame.size()));
+  size_ += frame.size();
   ++next_lsn_;
   auto& metrics = obs::MetricsRegistry::Global();
   metrics.Add(obs::Counter::kWalRecords);
-  metrics.Add(obs::Counter::kWalBytes,
-              sizeof(header) + payload_len + sizeof(crc));
+  metrics.Add(obs::Counter::kWalBytes, frame.size());
   return Status::OK();
 }
 
@@ -99,13 +193,44 @@ Result<Lsn> WalManager::LogFullPage(RelId rel, BlockId block,
   return lsn;
 }
 
+Result<Lsn> WalManager::LogTombstone(RelId rel, int64_t row_id) {
+  MutexLock lock(mu_);
+  const Lsn lsn = next_lsn_;
+  char payload[sizeof(int64_t)];
+  std::memcpy(payload, &row_id, sizeof(row_id));
+  VECDB_RETURN_NOT_OK(AppendRecord(WalRecordType::kTombstone, rel,
+                                   kInvalidBlock, payload, sizeof(payload)));
+  return lsn;
+}
+
 Result<Lsn> WalManager::LogCheckpoint() {
   MutexLock lock(mu_);
   const Lsn lsn = next_lsn_;
   VECDB_RETURN_NOT_OK(AppendRecord(WalRecordType::kCheckpoint, kInvalidRel,
                                    kInvalidBlock, nullptr, 0));
   VECDB_RETURN_NOT_OK(FlushLocked());
+  obs::MetricsRegistry::Global().Add(obs::Counter::kWalCheckpoints);
   return lsn;
+}
+
+Status WalManager::Rotate() {
+  MutexLock lock(mu_);
+  if (file_ == nullptr) return Status::InvalidArgument("WAL closed");
+  const std::string tmp = path_ + ".new";
+  VECDB_ASSIGN_OR_RETURN(bool stale, vfs_->Exists(tmp));
+  if (stale) VECDB_RETURN_NOT_OK(vfs_->Remove(tmp));
+  VECDB_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> fresh,
+                         vfs_->Open(tmp, /*create=*/true));
+  FileHeader fh = MakeFileHeader(next_lsn_);
+  VECDB_RETURN_NOT_OK(fresh->WriteAt(0, &fh, sizeof(fh)));
+  VECDB_RETURN_NOT_OK(fresh->Sync());
+  // The commit point. Until this rename, the old segment (ending in the
+  // caller's checkpoint record) stays live, so a crash anywhere above
+  // recovers identically to no rotation at all.
+  VECDB_RETURN_NOT_OK(vfs_->Rename(tmp, path_));
+  file_ = std::move(fresh);
+  size_ = sizeof(fh);
+  return Status::OK();
 }
 
 Status WalManager::Flush() {
@@ -115,67 +240,67 @@ Status WalManager::Flush() {
 
 Status WalManager::FlushLocked() {
   if (file_ == nullptr) return Status::OK();
-  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
-  return Status::OK();
+  return file_->Sync();
 }
 
 Status WalManager::Replay(
-    const std::string& path,
+    Vfs* vfs, const std::string& path,
     const std::function<Status(const WalRecord&)>& apply) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open WAL " + path);
-
-  // First pass: decode all intact records, remember the last checkpoint.
-  std::vector<WalRecord> records;
-  size_t last_checkpoint = 0;  // index+1 of last checkpoint record
-  for (;;) {
-    RecordHeader header;
-    if (std::fread(&header, sizeof(header), 1, f) != 1) break;  // clean EOF
-    if (header.payload_len > (64u << 20)) break;  // torn/corrupt tail
-    WalRecord record;
-    record.lsn = header.lsn;
-    record.type = static_cast<WalRecordType>(header.type);
-    record.rel = header.rel;
-    record.block = header.block;
-    record.payload.resize(header.payload_len);
-    if (header.payload_len > 0 &&
-        std::fread(record.payload.data(), 1, header.payload_len, f) !=
-            header.payload_len) {
-      break;  // torn tail
-    }
-    uint32_t stored_crc = 0;
-    if (std::fread(&stored_crc, sizeof(stored_crc), 1, f) != 1) break;
-    uint32_t crc = Crc32c(&header, sizeof(header));
-    if (header.payload_len > 0) {
-      crc ^= Crc32c(record.payload.data(), header.payload_len);
-    }
-    if (crc != stored_crc) break;  // torn or corrupt: stop replay here
-    if (record.type == WalRecordType::kCheckpoint) {
-      last_checkpoint = records.size() + 1;
-    }
-    records.push_back(std::move(record));
-  }
-  std::fclose(f);
-
-  for (size_t i = last_checkpoint; i < records.size(); ++i) {
-    VECDB_RETURN_NOT_OK(apply(records[i]));
+  VECDB_ASSIGN_OR_RETURN(bool exists, vfs->Exists(path));
+  if (!exists) return Status::OK();  // no log: nothing to replay
+  VECDB_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file,
+                         vfs->Open(path, /*create=*/false));
+  VECDB_ASSIGN_OR_RETURN(DecodedLog log, DecodeAll(file.get()));
+  for (size_t i = log.last_checkpoint; i < log.records.size(); ++i) {
+    VECDB_RETURN_NOT_OK(apply(log.records[i]));
   }
   return Status::OK();
 }
 
-Status WalManager::Recover(const std::string& path, StorageManager* smgr) {
-  return Replay(path, [smgr](const WalRecord& record) -> Status {
-    if (record.type != WalRecordType::kFullPage) return Status::OK();
-    if (record.payload.size() != smgr->page_size()) {
-      return Status::Corruption("WAL page image size mismatch");
+Status WalManager::Recover(Vfs* vfs, const std::string& path,
+                           StorageManager* smgr,
+                           std::vector<WalTombstone>* tombstones) {
+  auto& metrics = obs::MetricsRegistry::Global();
+  return Replay(vfs, path, [&](const WalRecord& record) -> Status {
+    switch (record.type) {
+      case WalRecordType::kFullPage: {
+        if (record.payload.size() != smgr->page_size()) {
+          return Status::Corruption("WAL page image size mismatch");
+        }
+        // The relation may have been dropped after this record was logged
+        // (its removal survived via the durable relation manifest); its
+        // stale images must not resurrect anything.
+        auto blocks_r = smgr->NumBlocks(record.rel);
+        if (blocks_r.status().IsNotFound()) return Status::OK();
+        VECDB_RETURN_NOT_OK(blocks_r.status());
+        BlockId blocks = *blocks_r;
+        while (blocks <= record.block) {
+          VECDB_ASSIGN_OR_RETURN(BlockId fresh,
+                                 smgr->ExtendRelation(record.rel));
+          blocks = fresh + 1;
+        }
+        VECDB_RETURN_NOT_OK(
+            smgr->WriteBlock(record.rel, record.block, record.payload.data()));
+        metrics.Add(obs::Counter::kWalRecoveredPages);
+        return Status::OK();
+      }
+      case WalRecordType::kTombstone: {
+        if (record.payload.size() != sizeof(int64_t)) {
+          return Status::Corruption("WAL tombstone payload size mismatch");
+        }
+        if (tombstones != nullptr &&
+            smgr->NumBlocks(record.rel).ok()) {  // skip dropped relations
+          WalTombstone t;
+          t.rel = record.rel;
+          std::memcpy(&t.row_id, record.payload.data(), sizeof(t.row_id));
+          tombstones->push_back(t);
+        }
+        return Status::OK();
+      }
+      case WalRecordType::kCheckpoint:
+        return Status::OK();
     }
-    // Extend the relation up to the logged block, then write the image.
-    VECDB_ASSIGN_OR_RETURN(BlockId blocks, smgr->NumBlocks(record.rel));
-    while (blocks <= record.block) {
-      VECDB_ASSIGN_OR_RETURN(BlockId fresh, smgr->ExtendRelation(record.rel));
-      blocks = fresh + 1;
-    }
-    return smgr->WriteBlock(record.rel, record.block, record.payload.data());
+    return Status::Corruption("unknown WAL record type");
   });
 }
 

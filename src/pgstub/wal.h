@@ -1,19 +1,28 @@
 // Write-ahead log for the pgstub substrate: full-page-image records with
-// CRC-checked framing, checkpoints, and replay-based recovery. PostgreSQL
-// durability in miniature — and one more cost a generalized vector
-// database pays on writes that a specialized in-memory system does not.
+// CRC-checked framing, logical tombstones, checkpoints, rotation, and
+// replay-based recovery. PostgreSQL durability in miniature — and one more
+// cost a generalized vector database pays on writes that a specialized
+// in-memory system does not.
+//
+// File format v2 (see docs/DURABILITY.md):
+//   [FileHeader: magic "VWAL", version, start_lsn, crc]
+//   [RecordHeader | payload | crc32c(header+payload)] ...
+// The per-record CRC is ONE streaming CRC-32C over header and payload; v1
+// XORed two independent CRCs, which correlated corruption could cancel.
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "pgstub/crc32c.h"
 #include "pgstub/page.h"
 #include "pgstub/smgr.h"
+#include "pgstub/vfs.h"
 
 namespace vecdb::pgstub {
 
@@ -21,10 +30,13 @@ namespace vecdb::pgstub {
 using Lsn = uint64_t;
 
 /// Record kinds. Full-page images make replay idempotent and simple
-/// (PostgreSQL's full_page_writes, without the page-delta optimization).
+/// (PostgreSQL's full_page_writes, without the page-delta optimization);
+/// tombstones are the one logical record type, because deletes mutate no
+/// heap page in this engine.
 enum class WalRecordType : uint8_t {
   kFullPage = 1,   ///< payload: page image for (rel, block)
   kCheckpoint = 2, ///< everything before this LSN is on disk
+  kTombstone = 3,  ///< payload: int64 row id deleted from heap relation rel
 };
 
 /// One decoded WAL record.
@@ -36,21 +48,33 @@ struct WalRecord {
   std::vector<char> payload;
 };
 
+/// A deleted row id recovered from the log, keyed by heap relation.
+struct WalTombstone {
+  RelId rel = kInvalidRel;
+  int64_t row_id = 0;
+};
+
 /// Appender/replayer over a single log file.
 ///
-/// Thread-safe: an internal mutex serializes appends and flushes, so LSNs
-/// stay dense and record frames never interleave even when several
-/// components (dirty unpins via the buffer manager, checkpointers, tests)
-/// log concurrently. The discipline is statically checked under VECDB_TSA.
-/// Records are framed as [lsn, type, rel, block, payload_len, payload,
-/// crc32] and a torn tail (from a crash mid-write) is detected and
-/// truncated at replay.
+/// Thread-safe: an internal mutex serializes appends, flushes, and
+/// rotation, so LSNs stay dense and record frames never interleave even
+/// when several components (dirty unpins via the buffer manager,
+/// checkpointers, tests) log concurrently. The discipline is statically
+/// checked under VECDB_TSA. A torn tail (from a crash mid-write) is
+/// detected on open and at replay and truncated, never fatal.
 class WalManager {
  public:
-  /// Opens (creating if absent) the log at `path` for appending.
-  static Result<WalManager> Open(const std::string& path);
+  /// Opens (creating if absent) the log at `path` for appending. Scans
+  /// existing records to derive the next LSN from the max over ALL intact
+  /// records and the file header's start_lsn — not just replayed ones, so
+  /// a log ending in a checkpoint cannot reset the sequence — and
+  /// truncates any torn tail so appends start on a clean frame boundary.
+  static Result<WalManager> Open(Vfs* vfs, const std::string& path);
+  static Result<WalManager> Open(const std::string& path) {
+    return Open(Vfs::Default(), path);
+  }
 
-  ~WalManager();
+  ~WalManager() = default;
   WalManager(WalManager&&) noexcept;
   WalManager& operator=(WalManager&&) = delete;
   WalManager(const WalManager&) = delete;
@@ -59,8 +83,21 @@ class WalManager {
   Result<Lsn> LogFullPage(RelId rel, BlockId block, const char* page,
                           uint32_t page_size) VECDB_EXCLUDES(mu_);
 
-  /// Appends a checkpoint record and flushes the log.
+  /// Appends a logical delete of `row_id` from heap relation `rel`.
+  Result<Lsn> LogTombstone(RelId rel, int64_t row_id) VECDB_EXCLUDES(mu_);
+
+  /// Appends a checkpoint record and flushes the log. The CALLER must have
+  /// already forced all dirty pages to storage (BufferManager::FlushAll +
+  /// StorageManager::SyncAll) — this record is a claim, not an action; see
+  /// MiniDatabase::Checkpoint for the enforced ordering.
   Result<Lsn> LogCheckpoint() VECDB_EXCLUDES(mu_);
+
+  /// Starts a fresh log segment: writes `path + ".new"` containing only a
+  /// file header carrying the current next LSN, then atomically renames it
+  /// over the live log. Called after a checkpoint, this is what bounds WAL
+  /// size. Crash-safe at every step: until the rename lands, the old log
+  /// (ending in the checkpoint record) remains the live one.
+  Status Rotate() VECDB_EXCLUDES(mu_);
 
   /// Forces buffered records to the OS (fflush; no fsync in this
   /// reproduction — the container has no power-failure model).
@@ -72,34 +109,57 @@ class WalManager {
     return next_lsn_;
   }
 
+  /// Current log size in bytes (snapshot), for checkpoint triggering.
+  uint64_t size_bytes() const VECDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return size_;
+  }
+
   /// Reads every intact record of the log at `path` in order, stopping
   /// cleanly at a torn tail. Records before the LAST checkpoint are
-  /// skipped (they are guaranteed on disk).
-  static Status Replay(const std::string& path,
+  /// skipped (they are guaranteed on disk). A missing file or torn/absent
+  /// file header is an empty log, not an error.
+  static Status Replay(Vfs* vfs, const std::string& path,
                        const std::function<Status(const WalRecord&)>& apply);
+  static Status Replay(const std::string& path,
+                       const std::function<Status(const WalRecord&)>& apply) {
+    return Replay(Vfs::Default(), path, apply);
+  }
 
-  /// Replays the log into a storage manager: full-page images are written
-  /// back, extending relations as needed. `rel_map` translates logged rel
-  /// ids if the relation set changed (identity when null).
-  static Status Recover(const std::string& path, StorageManager* smgr);
+  /// ARIES-lite REDO: replays the log into a storage manager. Full-page
+  /// images are written back, extending relations as needed; records for
+  /// relations the smgr no longer knows (dropped after logging) are
+  /// skipped. Tombstone records are collected into `tombstones` (may be
+  /// null) for the SQL layer to re-apply to its delete sets.
+  static Status Recover(Vfs* vfs, const std::string& path,
+                        StorageManager* smgr,
+                        std::vector<WalTombstone>* tombstones = nullptr);
+  static Status Recover(const std::string& path, StorageManager* smgr) {
+    return Recover(Vfs::Default(), path, smgr, nullptr);
+  }
 
  private:
-  WalManager(std::FILE* file, Lsn next_lsn)
-      : file_(file), next_lsn_(next_lsn) {}
+  WalManager(Vfs* vfs, std::unique_ptr<VfsFile> file, std::string path,
+             uint64_t size, Lsn next_lsn)
+      : vfs_(vfs),
+        file_(std::move(file)),
+        path_(std::move(path)),
+        size_(size),
+        next_lsn_(next_lsn) {}
 
   Status AppendRecord(WalRecordType type, RelId rel, BlockId block,
                       const char* payload, uint32_t payload_len)
       VECDB_REQUIRES(mu_);
   Status FlushLocked() VECDB_REQUIRES(mu_);
 
+  Vfs* vfs_;
   /// Fresh per instance: a moved-from WalManager keeps its own (idle)
   /// mutex, and the move constructor locks only the source.
   mutable Mutex mu_;
-  std::FILE* file_ VECDB_GUARDED_BY(mu_) = nullptr;
+  std::unique_ptr<VfsFile> file_ VECDB_GUARDED_BY(mu_);
+  std::string path_;
+  uint64_t size_ VECDB_GUARDED_BY(mu_) = 0;  ///< append offset
   Lsn next_lsn_ VECDB_GUARDED_BY(mu_) = 1;
 };
-
-/// CRC-32 (Castagnoli polynomial, bitwise) over a byte range.
-uint32_t Crc32c(const void* data, size_t len);
 
 }  // namespace vecdb::pgstub

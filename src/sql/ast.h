@@ -82,6 +82,10 @@ struct ShowStmt {
   bool reset = false;  ///< zero all counters/histograms after exporting
 };
 
+/// CHECKPOINT; — force dirty pages to storage, persist the catalog, log a
+/// checkpoint record, and rotate the WAL (PostgreSQL's CHECKPOINT command).
+struct CheckpointStmt {};
+
 /// A parsed statement (exactly one member is set).
 struct Statement {
   enum class Kind {
@@ -92,6 +96,7 @@ struct Statement {
     kDrop,
     kDelete,
     kShow,
+    kCheckpoint,
   } kind;
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<InsertStmt> insert;
@@ -100,6 +105,7 @@ struct Statement {
   std::unique_ptr<DropStmt> drop;
   std::unique_ptr<DeleteStmt> delete_row;
   std::unique_ptr<ShowStmt> show;
+  std::unique_ptr<CheckpointStmt> checkpoint;
 };
 
 }  // namespace vecdb::sql

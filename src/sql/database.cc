@@ -5,6 +5,9 @@
 #include "common/timer.h"
 #include "core/factory.h"
 #include "distance/kernels.h"
+#include "faisslike/hnsw.h"
+#include "faisslike/ivf_flat.h"
+#include "faisslike/ivf_pq.h"
 #include "obs/metrics.h"
 #include "sql/parser.h"
 #include "topk/heaps.h"
@@ -36,6 +39,8 @@ std::vector<std::string> PredicateColumns(const CreateTableStmt& schema) {
   for (const auto& attr : schema.attr_columns) cols.push_back(attr);
   return cols;
 }
+
+const char* kWalFileName = "/wal.log";
 }  // namespace
 
 Result<std::unique_ptr<MiniDatabase>> MiniDatabase::Open(
@@ -43,14 +48,267 @@ Result<std::unique_ptr<MiniDatabase>> MiniDatabase::Open(
   if (options.pool_pages < 16) {
     return Status::InvalidArgument("pool_pages must be >= 16");
   }
+  pgstub::Vfs* vfs =
+      options.vfs != nullptr ? options.vfs : pgstub::Vfs::Default();
+  // A SQL session is a serving context: turn the process-wide registry on
+  // so SHOW METRICS and ExecStats (and recovery counters) have live
+  // numbers.
+  obs::MetricsRegistry::Global().SetEnabled(true);
+
   VECDB_ASSIGN_OR_RETURN(
       pgstub::StorageManager smgr,
-      pgstub::StorageManager::Open(data_dir, options.page_size));
-  // A SQL session is a serving context: turn the process-wide registry on
-  // so SHOW METRICS and ExecStats have live numbers.
-  obs::MetricsRegistry::Global().SetEnabled(true);
-  return std::unique_ptr<MiniDatabase>(
-      new MiniDatabase(std::move(smgr), options.pool_pages));
+      pgstub::StorageManager::Open(vfs, data_dir, options.page_size));
+
+  // Durable schema state; a fresh directory simply has none.
+  Catalog catalog;
+  auto loaded = LoadCatalog(vfs, data_dir);
+  if (loaded.ok()) {
+    catalog = std::move(*loaded);
+  } else if (!loaded.status().IsNotFound()) {
+    return loaded.status();
+  }
+
+  // Garbage-collect relations no cataloged table owns: page-resident index
+  // relations (rebuilt from the heap below), plus leftovers from drops that
+  // crashed between the manifest commit and the file unlink. Doing this
+  // BEFORE REDO also makes replay skip their stale full-page images.
+  for (const auto& [rel, name] : smgr.ListRelations()) {
+    if (catalog.tables.count(name) == 0) {
+      VECDB_RETURN_NOT_OK(smgr.DropRelation(rel));
+    }
+  }
+
+  // ARIES-lite REDO: write intact post-checkpoint page images back into
+  // the storage manager, and collect logical deletes for the tables below.
+  std::unique_ptr<pgstub::WalManager> wal;
+  std::vector<pgstub::WalTombstone> wal_tombstones;
+  if (options.wal_enabled) {
+    const std::string wal_path = data_dir + kWalFileName;
+    VECDB_ASSIGN_OR_RETURN(pgstub::WalManager opened,
+                           pgstub::WalManager::Open(vfs, wal_path));
+    wal = std::make_unique<pgstub::WalManager>(std::move(opened));
+    VECDB_RETURN_NOT_OK(
+        pgstub::WalManager::Recover(vfs, wal_path, &smgr, &wal_tombstones));
+  }
+
+  std::unique_ptr<MiniDatabase> db(
+      new MiniDatabase(std::move(smgr), vfs, options));
+  db->wal_ = std::move(wal);
+  VECDB_RETURN_NOT_OK(db->RecoverFrom(catalog, wal_tombstones));
+  // Attach the WAL only now: index rebuilds above regenerate state that is
+  // already recoverable from the heap, so logging their pages would only
+  // bloat the fresh log.
+  db->bufmgr_.SetWal(db->wal_.get());
+  // End-of-recovery checkpoint (PostgreSQL does the same): makes the
+  // recovered pages durable and resets the WAL so the next crash replays
+  // only new work.
+  if (db->wal_ != nullptr) {
+    VECDB_RETURN_NOT_OK(db->Checkpoint());
+  }
+  return db;
+}
+
+Status MiniDatabase::RecoverFrom(
+    const Catalog& catalog,
+    const std::vector<pgstub::WalTombstone>& wal_tombstones) {
+  for (const auto& [name, cat_table] : catalog.tables) {
+    TableEntry entry;
+    entry.schema = cat_table.schema;
+    VECDB_ASSIGN_OR_RETURN(
+        pgstub::HeapTable heap,
+        pgstub::HeapTable::Attach(
+            &bufmgr_, &smgr_, name, cat_table.schema.dim,
+            static_cast<uint32_t>(cat_table.schema.attr_columns.size())));
+    entry.heap = std::make_unique<pgstub::HeapTable>(std::move(heap));
+    entry.deleted.insert(cat_table.tombstones.begin(),
+                         cat_table.tombstones.end());
+    tables_.emplace(name, std::move(entry));
+  }
+  // Deletes issued after the last catalog write survive only as WAL
+  // tombstone records; fold them into the per-table sets (idempotent).
+  for (const auto& tomb : wal_tombstones) {
+    for (auto& [_, table] : tables_) {
+      if (table.heap->rel() == tomb.rel) {
+        table.deleted.insert(tomb.row_id);
+        break;
+      }
+    }
+  }
+  for (const auto& [name, cat_index] : catalog.indexes) {
+    auto tbl = tables_.find(cat_index.def.table);
+    if (tbl == tables_.end()) {
+      return Status::Corruption("catalog index " + name +
+                                " references missing table " +
+                                cat_index.def.table);
+    }
+    IndexEntry entry;
+    entry.def = cat_index.def;
+    if (options_.index_recovery != IndexRecovery::kReload ||
+        !TryReloadIndex(cat_index, tbl->second, &entry)) {
+      VECDB_RETURN_NOT_OK(RebuildIndex(tbl->second, &entry));
+    }
+    tbl->second.indexes.push_back(name);
+    indexes_.emplace(name, std::move(entry));
+  }
+  return Status::OK();
+}
+
+Status MiniDatabase::RebuildIndex(const TableEntry& table, IndexEntry* entry) {
+  VECDB_ASSIGN_OR_RETURN(entry->index,
+                         MakeIndex(entry->def, table.schema.dim));
+  entry->am = std::make_unique<pgstub::VectorIndexAm>(entry->index.get());
+  entry->has_snapshot = false;
+  entry->rows_at_snapshot = 0;
+  // An index can be cataloged only after a successful build over >= 1 row,
+  // but guard anyway: an empty heap leaves the index untrained, exactly as
+  // a freshly created one would be.
+  if (table.heap->num_rows() == 0) return Status::OK();
+  VECDB_RETURN_NOT_OK(entry->am->AmBuild(*table.heap));
+  for (int64_t id : table.deleted) {
+    Status s = entry->am->AmDelete(id);
+    if (!s.ok() && !s.IsNotFound() && !s.IsNotSupported()) return s;
+  }
+  return Status::OK();
+}
+
+std::string MiniDatabase::SnapshotPath(const std::string& name,
+                                       uint64_t rows) const {
+  return smgr_.dir() + "/" + name + "." + std::to_string(rows) + ".snap";
+}
+
+bool MiniDatabase::TryReloadIndex(const CatalogIndex& cat,
+                                  const TableEntry& table,
+                                  IndexEntry* entry) {
+  // Only the "faiss" engine has Save/Load; page-resident engines rebuild.
+  if (cat.def.engine != "faiss" || !cat.has_snapshot) return false;
+  if (table.heap->num_rows() < cat.rows_at_snapshot) return false;
+  const std::string path = SnapshotPath(cat.def.index, cat.rows_at_snapshot);
+  auto exists = vfs_->Exists(path);
+  if (!exists.ok() || !*exists) return false;
+
+  std::unique_ptr<VectorIndex> loaded;
+  if (cat.def.method == "ivfflat") {
+    auto r = faisslike::IvfFlatIndex::Load(path);
+    if (!r.ok()) return false;
+    loaded = std::make_unique<faisslike::IvfFlatIndex>(std::move(*r));
+  } else if (cat.def.method == "ivfpq") {
+    auto r = faisslike::IvfPqIndex::Load(path);
+    if (!r.ok()) return false;
+    loaded = std::make_unique<faisslike::IvfPqIndex>(std::move(*r));
+  } else if (cat.def.method == "hnsw") {
+    auto r = faisslike::HnswIndex::Load(path);
+    if (!r.ok()) return false;
+    loaded = std::make_unique<faisslike::HnswIndex>(std::move(*r));
+  } else {
+    return false;
+  }
+  if (loaded->NumVectors() != cat.rows_at_snapshot) return false;
+
+  auto am = std::make_unique<pgstub::VectorIndexAm>(loaded.get());
+  if (!am->AmAttach(*table.heap, cat.rows_at_snapshot).ok()) return false;
+  // Top up with the rows inserted after the snapshot (recovered into the
+  // heap by REDO), in heap scan order — the same order AmInsert would have
+  // seen them live.
+  size_t pos = 0;
+  Status insert_status;
+  Status scan = table.heap->SeqScan(
+      [&](pgstub::TupleId, int64_t row_id, const float* vec) {
+        if (pos++ < cat.rows_at_snapshot) return true;
+        insert_status = am->AmInsert(vec, row_id);
+        return insert_status.ok();
+      });
+  if (!scan.ok() || !insert_status.ok()) return false;
+  // Snapshots are taken only when the table has no tombstones, so every
+  // recovered delete must be re-applied here.
+  for (int64_t id : table.deleted) {
+    Status s = am->AmDelete(id);
+    if (!s.ok() && !s.IsNotFound() && !s.IsNotSupported()) return false;
+  }
+  entry->index = std::move(loaded);
+  entry->am = std::move(am);
+  entry->has_snapshot = true;
+  entry->rows_at_snapshot = cat.rows_at_snapshot;
+  return true;
+}
+
+Status MiniDatabase::SaveCatalogNow() const {
+  Catalog catalog;
+  for (const auto& [name, table] : tables_) {
+    CatalogTable cat;
+    cat.schema = table.schema;
+    cat.tombstones.assign(table.deleted.begin(), table.deleted.end());
+    std::sort(cat.tombstones.begin(), cat.tombstones.end());
+    cat.rows_at_checkpoint = table.heap->num_rows();
+    catalog.tables.emplace(name, std::move(cat));
+  }
+  for (const auto& [name, index] : indexes_) {
+    CatalogIndex cat;
+    cat.def = index.def;
+    cat.has_snapshot = index.has_snapshot;
+    cat.rows_at_snapshot = index.rows_at_snapshot;
+    catalog.indexes.emplace(name, std::move(cat));
+  }
+  return SaveCatalog(vfs_, smgr_.dir(), catalog);
+}
+
+Status MiniDatabase::Checkpoint() {
+  // 1. Index snapshots (reload policy only). Best-effort: a table with
+  //    tombstones cannot be snapshot (persistence refuses deleted-from
+  //    indexes), and a failed save just leaves the rebuild path.
+  std::vector<std::string> stale_snapshots;
+  if (options_.index_recovery == IndexRecovery::kReload) {
+    for (auto& [name, entry] : indexes_) {
+      if (entry.def.engine != "faiss") continue;
+      auto tbl = tables_.find(entry.def.table);
+      if (tbl == tables_.end() || !tbl->second.deleted.empty()) continue;
+      const uint64_t rows = tbl->second.heap->num_rows();
+      if (rows == 0 || (entry.has_snapshot && entry.rows_at_snapshot == rows))
+        continue;
+      if (entry.index->NumVectors() != rows) continue;
+      const std::string path = SnapshotPath(name, rows);
+      const std::string tmp = path + ".tmp";
+      Status saved;
+      if (auto* ivf =
+              dynamic_cast<const faisslike::IvfFlatIndex*>(entry.index.get())) {
+        saved = ivf->Save(tmp);
+      } else if (auto* pq = dynamic_cast<const faisslike::IvfPqIndex*>(
+                     entry.index.get())) {
+        saved = pq->Save(tmp);
+      } else if (auto* hnsw = dynamic_cast<const faisslike::HnswIndex*>(
+                     entry.index.get())) {
+        saved = hnsw->Save(tmp);
+      } else {
+        continue;  // flat/ivfsq8: no persistence support
+      }
+      if (!saved.ok() || !vfs_->Rename(tmp, path).ok()) continue;
+      if (entry.has_snapshot) {
+        stale_snapshots.push_back(
+            SnapshotPath(name, entry.rows_at_snapshot));
+      }
+      entry.has_snapshot = true;
+      entry.rows_at_snapshot = rows;
+    }
+  }
+  // 2. Force every dirty page (WAL first — FlushAll enforces that) and the
+  //    relation files themselves to storage.
+  VECDB_RETURN_NOT_OK(bufmgr_.FlushAll());
+  VECDB_RETURN_NOT_OK(smgr_.SyncAll());
+  // 3. Persist the catalog: schemas, index defs, and the tombstone sets as
+  //    of this instant (deletes after this point live in the new WAL).
+  VECDB_RETURN_NOT_OK(SaveCatalogNow());
+  // 4. Only NOW is the checkpoint record's claim true. Rotate afterwards:
+  //    everything the old log protected is durable, so the log can shrink
+  //    to a bare header. A crash between the two steps replays from the
+  //    old log's checkpoint record — same result.
+  if (wal_ != nullptr) {
+    VECDB_RETURN_NOT_OK(wal_->LogCheckpoint().status());
+    VECDB_RETURN_NOT_OK(wal_->Rotate());
+  }
+  // 5. Old snapshot files are unreferenced once the catalog commit landed.
+  for (const auto& path : stale_snapshots) {
+    (void)vfs_->Remove(path);
+  }
+  return Status::OK();
 }
 
 Result<QueryResult> MiniDatabase::Execute(const std::string& statement) {
@@ -65,18 +323,22 @@ Result<QueryResult> MiniDatabase::Execute(const std::string& statement) {
   const Statement& stmt = *parsed;
   Result<QueryResult> result = Dispatch(stmt);
   const auto nanos = static_cast<uint64_t>(timer.ElapsedNanos());
+  bool mutating = false;
   switch (stmt.kind) {
     case Statement::Kind::kCreateTable:
       metrics.Add(obs::Counter::kSqlCreateTable);
       metrics.Record(obs::Hist::kSqlDdlNanos, nanos);
+      mutating = true;
       break;
     case Statement::Kind::kInsert:
       metrics.Add(obs::Counter::kSqlInsertRows, stmt.insert->rows.size());
       metrics.Record(obs::Hist::kSqlInsertNanos, nanos);
+      mutating = true;
       break;
     case Statement::Kind::kCreateIndex:
       metrics.Add(obs::Counter::kSqlCreateIndex);
       metrics.Record(obs::Hist::kSqlDdlNanos, nanos);
+      mutating = true;
       break;
     case Statement::Kind::kSelect:
       metrics.Add(obs::Counter::kSqlSelect);
@@ -85,17 +347,33 @@ Result<QueryResult> MiniDatabase::Execute(const std::string& statement) {
     case Statement::Kind::kDrop:
       metrics.Add(obs::Counter::kSqlDrop);
       metrics.Record(obs::Hist::kSqlDdlNanos, nanos);
+      mutating = true;
       break;
     case Statement::Kind::kDelete:
       metrics.Add(obs::Counter::kSqlDelete);
+      mutating = true;
       break;
     case Statement::Kind::kShow:
       metrics.Add(obs::Counter::kSqlShow);
+      break;
+    case Statement::Kind::kCheckpoint:
+      metrics.Add(obs::Counter::kSqlCheckpoint);
+      metrics.Record(obs::Hist::kSqlDdlNanos, nanos);
       break;
   }
   if (!result.ok()) {
     metrics.Add(obs::Counter::kSqlErrors);
     return result;
+  }
+  if (mutating && wal_ != nullptr) {
+    // The statement's records must be out of the appender's buffer before
+    // the statement is acknowledged (group "commit" per statement).
+    VECDB_RETURN_NOT_OK(wal_->Flush());
+    // Size-triggered checkpoint: bounds WAL growth across any workload.
+    if (options_.checkpoint_wal_bytes > 0 &&
+        wal_->size_bytes() >= options_.checkpoint_wal_bytes) {
+      VECDB_RETURN_NOT_OK(Checkpoint());
+    }
   }
   result->stats.wall_seconds = static_cast<double>(nanos) * 1e-9;
   result->stats.rows_returned = result->rows.size();
@@ -118,6 +396,8 @@ Result<QueryResult> MiniDatabase::Dispatch(const Statement& stmt) {
       return ExecDelete(*stmt.delete_row);
     case Statement::Kind::kShow:
       return ExecShow(*stmt.show);
+    case Statement::Kind::kCheckpoint:
+      return ExecCheckpoint();
   }
   return Status::Internal("unhandled statement kind");
 }
@@ -132,10 +412,18 @@ Result<QueryResult> MiniDatabase::ExecCreateTable(
       pgstub::HeapTable::Create(
           &bufmgr_, &smgr_, stmt.table, stmt.dim,
           static_cast<uint32_t>(stmt.attr_columns.size())));
+  const pgstub::RelId rel = heap.rel();
   TableEntry entry;
   entry.schema = stmt;
   entry.heap = std::make_unique<pgstub::HeapTable>(std::move(heap));
   tables_.emplace(stmt.table, std::move(entry));
+  // Relation first, catalog second: a cataloged table always has its file.
+  Status saved = SaveCatalogNow();
+  if (!saved.ok()) {
+    tables_.erase(stmt.table);
+    (void)smgr_.DropRelation(rel);
+    return saved;
+  }
   QueryResult out;
   out.message = "CREATE TABLE";
   return out;
@@ -166,6 +454,7 @@ Result<QueryResult> MiniDatabase::ExecInsert(const InsertStmt& stmt) {
             ->Insert(row.id, row.vec.data(),
                      row.attrs.empty() ? nullptr : row.attrs.data())
             .status());
+    VECDB_RETURN_NOT_OK(bufmgr_.wal_error());
     for (const auto& index_name : table.indexes) {
       auto idx = indexes_.find(index_name);
       if (idx != indexes_.end()) {
@@ -216,6 +505,12 @@ Result<QueryResult> MiniDatabase::ExecCreateIndex(
   VECDB_RETURN_NOT_OK(entry.am->AmBuild(*table.heap));
   table.indexes.push_back(stmt.index);
   indexes_.emplace(stmt.index, std::move(entry));
+  Status saved = SaveCatalogNow();
+  if (!saved.ok()) {
+    indexes_.erase(stmt.index);
+    table.indexes.pop_back();
+    return saved;
+  }
   QueryResult out;
   out.message = "CREATE INDEX";
   return out;
@@ -425,7 +720,24 @@ Result<QueryResult> MiniDatabase::ExecShow(const ShowStmt& stmt) {
   auto& metrics = obs::MetricsRegistry::Global();
   QueryResult out;
   out.message = metrics.ExportTable();
+  // WAL health lines: the sticky wal_error() surfaces logging failures
+  // that would otherwise hide inside void Unpin calls.
+  if (wal_ != nullptr) {
+    out.message += "wal.next_lsn: " + std::to_string(wal_->next_lsn()) + "\n";
+    out.message +=
+        "wal.size_bytes: " + std::to_string(wal_->size_bytes()) + "\n";
+  }
+  const Status wal_error = bufmgr_.wal_error();
+  out.message +=
+      "wal.error: " + (wal_error.ok() ? "none" : wal_error.ToString()) + "\n";
   if (stmt.reset) metrics.ResetAll();
+  return out;
+}
+
+Result<QueryResult> MiniDatabase::ExecCheckpoint() {
+  VECDB_RETURN_NOT_OK(Checkpoint());
+  QueryResult out;
+  out.message = "CHECKPOINT";
   return out;
 }
 
@@ -438,6 +750,13 @@ Result<QueryResult> MiniDatabase::ExecDelete(const DeleteStmt& stmt) {
   if (stmt.predicate == nullptr) {
     return Status::InvalidArgument("DELETE requires a WHERE clause");
   }
+
+  // A delete mutates no heap page, so durability rides on a logical WAL
+  // record per tombstone (replayed into the deleted sets at recovery).
+  auto log_tombstone = [&](int64_t id) -> Status {
+    if (wal_ == nullptr) return Status::OK();
+    return wal_->LogTombstone(table.heap->rel(), id).status();
+  };
 
   // Fast path for the classic `WHERE id = n`: no predicate binding, and
   // the historical NotFound errors for missing / already-deleted rows.
@@ -463,6 +782,7 @@ Result<QueryResult> MiniDatabase::ExecDelete(const DeleteStmt& stmt) {
     if (!exists) {
       return Status::NotFound("no row with id " + std::to_string(id));
     }
+    VECDB_RETURN_NOT_OK(log_tombstone(id));
     table.deleted.insert(id);
     // Tombstone the row in every index on the table; ids unknown to an
     // index (never inserted) surface as NotFound from the check above.
@@ -500,6 +820,7 @@ Result<QueryResult> MiniDatabase::ExecDelete(const DeleteStmt& stmt) {
         return true;
       }));
   for (int64_t id : matches) {
+    VECDB_RETURN_NOT_OK(log_tombstone(id));
     table.deleted.insert(id);
     for (const auto& index_name : table.indexes) {
       auto idx = indexes_.find(index_name);
@@ -523,12 +844,27 @@ Result<QueryResult> MiniDatabase::ExecDrop(const DropStmt& stmt) {
     if (it == indexes_.end()) {
       return Status::NotFound("no index named " + stmt.name);
     }
+    if (it->second.has_snapshot) {
+      (void)vfs_->Remove(
+          SnapshotPath(stmt.name, it->second.rows_at_snapshot));
+    }
     for (auto& [_, table] : tables_) {
       auto& list = table.indexes;
       list.erase(std::remove(list.begin(), list.end(), stmt.name),
                  list.end());
     }
     indexes_.erase(it);
+    VECDB_RETURN_NOT_OK(SaveCatalogNow());
+    // Page-resident engines (pase/bridge) park their data in relations
+    // named off the index; reclaim them (best-effort — any leftover is
+    // garbage-collected at the next Open).
+    for (const char* suffix : {"_data", "_centroid", "_nbr"}) {
+      auto rel = smgr_.FindRelation(stmt.name + suffix);
+      if (rel.ok()) {
+        (void)bufmgr_.InvalidateRelation(*rel);
+        (void)smgr_.DropRelation(*rel);
+      }
+    }
     out.message = "DROP INDEX";
     return out;
   }
@@ -540,7 +876,15 @@ Result<QueryResult> MiniDatabase::ExecDrop(const DropStmt& stmt) {
     return Status::InvalidArgument("drop indexes on " + stmt.name +
                                    " first");
   }
+  const pgstub::RelId rel = it->second.heap->rel();
   tables_.erase(it);
+  // Catalog first, then the file: a crash in between leaves an orphan
+  // relation that the next Open garbage-collects. The relation id is
+  // never reused (smgr ids are monotonic), so WAL images logged for the
+  // dropped table can never replay into a future one.
+  VECDB_RETURN_NOT_OK(SaveCatalogNow());
+  VECDB_RETURN_NOT_OK(bufmgr_.InvalidateRelation(rel));
+  VECDB_RETURN_NOT_OK(smgr_.DropRelation(rel));
   out.message = "DROP TABLE";
   return out;
 }

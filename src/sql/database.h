@@ -2,6 +2,15 @@
 // planner, and executor for the paper's §II-E interface. Statements flow
 // lexer -> parser -> plan (index scan vs. sequential scan) -> execution
 // against pgstub heap tables and any of the three engines' indexes.
+//
+// Durability (docs/DURABILITY.md): Open() recovers a restarted database —
+// the storage manager re-attaches relations from its manifest, ARIES-lite
+// REDO replays WAL full-page images and tombstones, the durable catalog
+// restores schemas, and indexes are rebuilt from the recovered heap (or
+// reloaded from checkpoint snapshots under IndexRecovery::kReload).
+// Checkpoint() enforces the WAL protocol ordering: dirty pages and the
+// catalog reach storage BEFORE the checkpoint record claims they did, and
+// the log is rotated so its size stays bounded.
 #pragma once
 
 #include <map>
@@ -18,7 +27,10 @@
 #include "pgstub/heap_table.h"
 #include "pgstub/index_am.h"
 #include "pgstub/smgr.h"
+#include "pgstub/vfs.h"
+#include "pgstub/wal.h"
 #include "sql/ast.h"
+#include "sql/catalog.h"
 
 namespace vecdb::sql {
 
@@ -40,24 +52,53 @@ struct QueryResult {
   ExecStats stats;
 };
 
+/// How Open() brings indexes back after a restart.
+enum class IndexRecovery {
+  /// Rebuild every index from the recovered heap (always correct; build
+  /// cost proportional to data size — PostgreSQL REINDEX).
+  kRebuild,
+  /// Reload "faiss"-engine indexes from the snapshot taken at the last
+  /// checkpoint, then top up with post-snapshot rows and deletes from the
+  /// WAL; falls back to kRebuild per index when no usable snapshot exists.
+  kReload,
+};
+
 /// Configuration for MiniDatabase::Open.
 struct DatabaseOptions {
   uint32_t page_size = 8192;   ///< PostgreSQL default block size
   size_t pool_pages = 65536;   ///< buffer pool frames (512MB at 8KB)
+  /// Filesystem the database runs on; null = the real one. Tests inject a
+  /// pgstub::FaultInjectionVfs here to crash at chosen byte offsets.
+  pgstub::Vfs* vfs = nullptr;
+  /// Write-ahead logging. Off, a crash loses everything since the last
+  /// FlushAll; the paper's "specialized system" operating point.
+  bool wal_enabled = true;
+  /// Auto-checkpoint once the WAL exceeds this many bytes (checked after
+  /// each statement); 0 disables auto-checkpointing (CHECKPOINT only).
+  uint64_t checkpoint_wal_bytes = 16ull << 20;
+  IndexRecovery index_recovery = IndexRecovery::kRebuild;
 };
 
 /// A single-session vector database over the pgstub substrate.
 class MiniDatabase {
  public:
-  /// Opens (creating if needed) a database rooted at `data_dir`.
+  /// Opens (creating if needed) a database rooted at `data_dir`, running
+  /// crash recovery if the directory has prior state.
   static Result<std::unique_ptr<MiniDatabase>> Open(
       const std::string& data_dir, const DatabaseOptions& options = {});
 
   /// Parses and executes one SQL statement.
   Result<QueryResult> Execute(const std::string& statement);
 
+  /// Forces a checkpoint: index snapshots (kReload), dirty pages, smgr
+  /// sync, catalog, THEN the checkpoint record, then WAL rotation. The
+  /// ordering is the point — logging the record first would let replay
+  /// skip images of pages that never reached storage.
+  Status Checkpoint();
+
   pgstub::BufferManager* bufmgr() { return &bufmgr_; }
   pgstub::StorageManager* smgr() { return &smgr_; }
+  pgstub::WalManager* wal() { return wal_.get(); }
 
  private:
   struct TableEntry {
@@ -71,10 +112,17 @@ class MiniDatabase {
     CreateIndexStmt def;
     std::unique_ptr<VectorIndex> index;
     std::unique_ptr<pgstub::VectorIndexAm> am;
+    /// Snapshot bookkeeping (kReload policy), persisted in the catalog.
+    bool has_snapshot = false;
+    uint64_t rows_at_snapshot = 0;
   };
 
-  MiniDatabase(pgstub::StorageManager smgr, size_t pool_pages)
-      : smgr_(std::move(smgr)), bufmgr_(&smgr_, pool_pages) {}
+  MiniDatabase(pgstub::StorageManager smgr, pgstub::Vfs* vfs,
+               const DatabaseOptions& options)
+      : options_(options),
+        vfs_(vfs),
+        smgr_(std::move(smgr)),
+        bufmgr_(&smgr_, options.pool_pages) {}
 
   /// Parse + dispatch, without the metrics/stats bookkeeping Execute adds.
   Result<QueryResult> Dispatch(const Statement& stmt);
@@ -86,6 +134,29 @@ class MiniDatabase {
   Result<QueryResult> ExecDrop(const DropStmt& stmt);
   Result<QueryResult> ExecDelete(const DeleteStmt& stmt);
   Result<QueryResult> ExecShow(const ShowStmt& stmt);
+  Result<QueryResult> ExecCheckpoint();
+
+  /// Rebuilds the in-memory state (tables_, indexes_) from the durable
+  /// catalog after REDO; `wal_tombstones` are deletes newer than the
+  /// catalog's sets, keyed by heap relation id.
+  Status RecoverFrom(const Catalog& catalog,
+                     const std::vector<pgstub::WalTombstone>& wal_tombstones);
+
+  /// kReload fast path for one index; returns false (after cleaning up)
+  /// when the snapshot is unusable and the caller should rebuild.
+  bool TryReloadIndex(const CatalogIndex& cat, const TableEntry& table,
+                      IndexEntry* entry);
+
+  /// Rebuild path: fresh index, AmBuild over the heap, re-applied deletes.
+  Status RebuildIndex(const TableEntry& table, IndexEntry* entry);
+
+  /// Serializes tables_/indexes_ into the durable catalog (temp + rename).
+  Status SaveCatalogNow() const;
+
+  /// Path of index `name`'s snapshot covering `rows` heap rows. The row
+  /// count is part of the name so a snapshot written for a newer state
+  /// can never be paired with an older catalog entry.
+  std::string SnapshotPath(const std::string& name, uint64_t rows) const;
 
   /// Instantiates an engine index per (method, engine) for `dim`.
   Result<std::unique_ptr<VectorIndex>> MakeIndex(const CreateIndexStmt& stmt,
@@ -107,8 +178,11 @@ class MiniDatabase {
                                      const filter::BoundPredicate& bound,
                                      size_t sample_rows) const;
 
+  DatabaseOptions options_;
+  pgstub::Vfs* vfs_;
   pgstub::StorageManager smgr_;
   pgstub::BufferManager bufmgr_;
+  std::unique_ptr<pgstub::WalManager> wal_;
   std::map<std::string, TableEntry> tables_;
   std::map<std::string, IndexEntry> indexes_;
 };

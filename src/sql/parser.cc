@@ -364,6 +364,13 @@ Result<Statement> ParseShow(Cursor& cur) {
   return out;
 }
 
+Result<Statement> ParseCheckpoint() {
+  Statement out;
+  out.kind = Statement::Kind::kCheckpoint;
+  out.checkpoint = std::make_unique<CheckpointStmt>();
+  return out;
+}
+
 Result<Statement> ParseDrop(Cursor& cur) {
   auto stmt = std::make_unique<DropStmt>();
   if (cur.MatchKeyword("INDEX")) {
@@ -444,6 +451,8 @@ Result<Statement> Parse(const std::string& input) {
     result = ParseDelete(cur);
   } else if (cur.MatchKeyword("SHOW")) {
     result = ParseShow(cur);
+  } else if (cur.MatchKeyword("CHECKPOINT")) {
+    result = ParseCheckpoint();
   } else {
     return Status::InvalidArgument("unrecognized statement start: '" +
                                    cur.Peek().text + "'");

@@ -6,6 +6,8 @@
 // buckets for every query with a single SGEMM call.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <memory>
 #include <vector>
 
@@ -220,6 +222,7 @@ TEST(BatchSearchTest, FaissIvfPqWithTombstones) {
 TEST(BatchSearchTest, PaseFallbackMatchesPerQuery) {
   auto ds = TestData();
   const std::string dir = ::testing::TempDir() + "/batch_pase";
+  std::filesystem::remove_all(dir);
   auto smgr = std::make_unique<pgstub::StorageManager>(
       pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
   pgstub::BufferManager bufmgr(smgr.get(), 4096);

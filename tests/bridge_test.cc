@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <memory>
 
 #include "bridge/bridged_hnsw.h"
@@ -16,6 +18,7 @@ class BridgeTest : public ::testing::Test {
   void SetUp() override {
     dir_ = ::testing::TempDir() + "/bridge_" +
            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
     smgr_ = std::make_unique<pgstub::StorageManager>(
         pgstub::StorageManager::Open(dir_, 8192).ValueOrDie());
     bufmgr_ = std::make_unique<pgstub::BufferManager>(smgr_.get(), 8192);

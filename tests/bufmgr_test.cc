@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <atomic>
 #include <cstring>
 #include <memory>
@@ -15,6 +17,7 @@ class BufMgrTest : public ::testing::Test {
   void SetUp() override {
     dir_ = ::testing::TempDir() + "/bufmgr_" +
            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
     smgr_ = std::make_unique<StorageManager>(
         StorageManager::Open(dir_, 4096).ValueOrDie());
     rel_ = smgr_->CreateRelation("t").ValueOrDie();
@@ -111,6 +114,24 @@ TEST_F(BufMgrTest, InvalidateRefusesPinnedPages) {
   EXPECT_FALSE(bufmgr.InvalidateRelation(rel_).ok());
   bufmgr.Unpin(fresh.second, false);
   EXPECT_TRUE(bufmgr.InvalidateRelation(rel_).ok());
+}
+
+TEST_F(BufMgrTest, FlushAllRefusesWhileDirtyPagePinned) {
+  // Pin holders mutate page bytes outside the lock, so flushing a
+  // pinned-dirty frame would write a torn image; FlushAll must refuse
+  // until the pin drains, then flush normally.
+  BufferManager bufmgr(smgr_.get(), 8);
+  auto [block, handle] = bufmgr.NewPage(rel_).ValueOrDie();
+  std::memset(handle.data, 0x17, 4096);
+  bufmgr.Unpin(handle, /*dirty=*/true);
+  auto repin = bufmgr.Pin(rel_, block).ValueOrDie();
+  EXPECT_FALSE(bufmgr.FlushAll().ok());  // dirty + pinned
+  bufmgr.Unpin(repin, /*dirty=*/false);
+  ASSERT_TRUE(bufmgr.FlushAll().ok());
+
+  std::vector<char> raw(4096);
+  ASSERT_TRUE(smgr_->ReadBlock(rel_, block, raw.data()).ok());
+  EXPECT_EQ(static_cast<unsigned char>(raw[100]), 0x17);
 }
 
 TEST_F(BufMgrTest, HotFramesAreStillEvictableUnderPressure) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <memory>
 #include <string>
 
@@ -78,6 +80,7 @@ TEST(CheckInvariantsSmoke, ThreadPool) {
 
 TEST(CheckInvariantsSmoke, BufferManagerAndHeapTable) {
   const std::string dir = ::testing::TempDir() + "/check_smoke_pg";
+  std::filesystem::remove_all(dir);
   auto smgr = std::make_unique<pgstub::StorageManager>(
       pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
   pgstub::BufferManager bufmgr(smgr.get(), 64);
@@ -96,6 +99,7 @@ TEST(CheckInvariantsSmoke, BufferManagerAndHeapTable) {
 
 TEST(CheckInvariantsSmoke, PaseIvfFlat) {
   const std::string dir = ::testing::TempDir() + "/check_smoke_pase";
+  std::filesystem::remove_all(dir);
   auto smgr = std::make_unique<pgstub::StorageManager>(
       pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
   pgstub::BufferManager bufmgr(smgr.get(), 1024);

@@ -5,6 +5,8 @@
 // paper's setup where neither system parallelizes HNSW queries.)
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -72,6 +74,7 @@ TEST(ConcurrencyTest, PaseIvfFlatSharedAcrossThreads) {
   // Every concurrent query goes through the same buffer manager — its
   // mutex-guarded pin path must stay correct under contention.
   const std::string dir = ::testing::TempDir() + "/conc_pase";
+  std::filesystem::remove_all(dir);
   auto smgr = std::make_unique<pgstub::StorageManager>(
       pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
   pgstub::BufferManager bufmgr(smgr.get(), 4096);
@@ -86,6 +89,7 @@ TEST(ConcurrencyTest, PaseIvfFlatSharedAcrossThreads) {
 TEST(ConcurrencyTest, PaseSurvivesEvictionUnderConcurrency) {
   // A pool smaller than the working set forces concurrent eviction.
   const std::string dir = ::testing::TempDir() + "/conc_evict";
+  std::filesystem::remove_all(dir);
   auto smgr = std::make_unique<pgstub::StorageManager>(
       pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
   pgstub::BufferManager bufmgr(smgr.get(), 24);

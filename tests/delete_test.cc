@@ -2,6 +2,8 @@
 // all indexes and both engines; double deletes and bad ids fail cleanly.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <memory>
 
 #include "datasets/synthetic.h"
@@ -177,6 +179,7 @@ class PaseDeleteTest : public ::testing::Test {
     const std::string dir =
         ::testing::TempDir() + "/delete_" +
         ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir);
     smgr_ = std::make_unique<pgstub::StorageManager>(
         pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
     bufmgr_ = std::make_unique<pgstub::BufferManager>(smgr_.get(), 4096);

@@ -7,6 +7,8 @@
 // oracle ranks by the engine's own ADC distances.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -327,6 +329,7 @@ class PaseFilterTest : public ::testing::Test {
     const std::string dir =
         ::testing::TempDir() + "/filter_" +
         ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir);
     smgr_ = std::make_unique<pgstub::StorageManager>(
         pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
     bufmgr_ = std::make_unique<pgstub::BufferManager>(smgr_.get(), 4096);
@@ -505,6 +508,7 @@ class SqlFilterTest : public ::testing::Test {
     const std::string dir =
         ::testing::TempDir() + "/sqlfilter_" +
         ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir);
     db_ = sql::MiniDatabase::Open(dir).ValueOrDie();
   }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <memory>
 #include <vector>
 
@@ -15,6 +17,7 @@ class HeapTableTest : public ::testing::Test {
   void SetUp() override {
     dir_ = ::testing::TempDir() + "/heap_" +
            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
     smgr_ = std::make_unique<StorageManager>(
         StorageManager::Open(dir_, 8192).ValueOrDie());
     bufmgr_ = std::make_unique<BufferManager>(smgr_.get(), 64);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <memory>
 
 #include "faisslike/flat_index.h"
@@ -15,6 +17,7 @@ class IndexAmTest : public ::testing::Test {
     const std::string dir =
         ::testing::TempDir() + "/am_" +
         ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir);
     smgr_ = std::make_unique<StorageManager>(
         StorageManager::Open(dir, 8192).ValueOrDie());
     bufmgr_ = std::make_unique<BufferManager>(smgr_.get(), 256);

@@ -2,6 +2,8 @@
 // Build, new rows are findable, and the SQL layer keeps indexes in sync.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <memory>
 
 #include "datasets/synthetic.h"
@@ -118,6 +120,7 @@ class PaseInsertTest : public ::testing::Test {
     const std::string dir =
         ::testing::TempDir() + "/insert_" +
         ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir);
     smgr_ = std::make_unique<pgstub::StorageManager>(
         pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
     bufmgr_ = std::make_unique<pgstub::BufferManager>(smgr_.get(), 4096);
@@ -161,6 +164,7 @@ TEST_F(PaseInsertTest, InsertBeforeBuildFails) {
 
 TEST(SqlInsertTest, InsertAfterIndexIsSearchable) {
   const std::string dir = ::testing::TempDir() + "/sql_insert_after";
+  std::filesystem::remove_all(dir);
   auto db = std::move(sql::MiniDatabase::Open(dir)).ValueOrDie();
   ASSERT_TRUE(db->Execute("CREATE TABLE t (id int, vec float[2])").ok());
   std::string insert = "INSERT INTO t VALUES ";

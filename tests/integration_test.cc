@@ -4,6 +4,8 @@
 // substrate under memory pressure.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <memory>
 
 #include "bridge/bridged_ivf_flat.h"
@@ -22,6 +24,7 @@ class IntegrationTest : public ::testing::Test {
   void SetUp() override {
     dir_ = ::testing::TempDir() + "/integ_" +
            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
     smgr_ = std::make_unique<pgstub::StorageManager>(
         pgstub::StorageManager::Open(dir_, 8192).ValueOrDie());
     bufmgr_ = std::make_unique<pgstub::BufferManager>(smgr_.get(), 16384);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <memory>
 
 #include "datasets/ground_truth.h"
@@ -58,6 +60,7 @@ TEST(IvfSq8Test, NearFlatRecallAtQuarterSize) {
 TEST(IvfSq8Test, PaseVariantMatchesRecallBand) {
   auto ds = TestData();
   const std::string dir = ::testing::TempDir() + "/sq8_pase";
+  std::filesystem::remove_all(dir);
   auto smgr = std::make_unique<pgstub::StorageManager>(
       pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
   pgstub::BufferManager bufmgr(smgr.get(), 4096);
@@ -88,6 +91,7 @@ TEST(IvfSq8Test, ErrorPaths) {
 
 TEST(IvfSq8Test, AvailableThroughSql) {
   const std::string dir = ::testing::TempDir() + "/sq8_sql";
+  std::filesystem::remove_all(dir);
   auto db = std::move(sql::MiniDatabase::Open(dir)).ValueOrDie();
   ASSERT_TRUE(db->Execute("CREATE TABLE t (id int, vec float[4])").ok());
   std::string insert = "INSERT INTO t VALUES ";

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <memory>
 
 #include "datasets/ground_truth.h"
@@ -16,6 +18,7 @@ class PaseTest : public ::testing::Test {
   void SetUp() override {
     dir_ = ::testing::TempDir() + "/pase_" +
            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
     smgr_ = std::make_unique<pgstub::StorageManager>(
         pgstub::StorageManager::Open(dir_, 8192).ValueOrDie());
     bufmgr_ = std::make_unique<pgstub::BufferManager>(smgr_.get(), 8192);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,6 +58,7 @@ class AllIndexesTest : public ::testing::Test {
     const std::string dir =
         ::testing::TempDir() + "/qctx_" +
         ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir);
     smgr_ = std::make_unique<pgstub::StorageManager>(
         pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
     bufmgr_ = std::make_unique<pgstub::BufferManager>(smgr_.get(), 2048);
@@ -235,6 +238,7 @@ TEST_F(AllIndexesTest, PageEnginesDriveBufmgrCounters) {
   // re-read misses during the search.
   {
     const std::string dir = ::testing::TempDir() + "/qctx_small_pool";
+    std::filesystem::remove_all(dir);
     auto small_smgr = pgstub::StorageManager::Open(dir, 1024).ValueOrDie();
     pgstub::BufferManager small_bufmgr(&small_smgr, 6);
     IndexSpec spec;

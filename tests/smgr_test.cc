@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <cstring>
 #include <vector>
 
@@ -13,6 +15,7 @@ class SmgrTest : public ::testing::Test {
   void SetUp() override {
     dir_ = ::testing::TempDir() + "/smgr_" +
            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
     auto smgr = StorageManager::Open(dir_, 4096);
     ASSERT_TRUE(smgr.ok()) << smgr.status().ToString();
     smgr_ = std::make_unique<StorageManager>(std::move(*smgr));

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <string>
 
 namespace vecdb::sql {
@@ -13,6 +15,7 @@ class DatabaseTest : public ::testing::Test {
     const std::string dir =
         ::testing::TempDir() + "/db_" +
         ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir);
     db_ = MiniDatabase::Open(dir).ValueOrDie();
   }
 

@@ -2,6 +2,8 @@
 // clean Status errors — never crash, never corrupt the catalog.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <string>
 #include <vector>
 
@@ -115,6 +117,7 @@ TEST(SqlFuzzTest, WhereTokenSoupNeverCrashes) {
       "42",    "'1,2'",
   };
   const std::string dir = ::testing::TempDir() + "/fuzz_where_db";
+  std::filesystem::remove_all(dir);
   auto db = std::move(MiniDatabase::Open(dir)).ValueOrDie();
   ASSERT_TRUE(
       db->Execute("CREATE TABLE t (id int, vec float[2], price int, "
@@ -155,6 +158,7 @@ TEST(SqlFuzzTest, RandomTokenSoupNeverCrashes) {
       "DELETE", "WHERE",   ";",      "*",       "OPTIONS",  "'0.5'",
   };
   const std::string dir = ::testing::TempDir() + "/fuzz_db";
+  std::filesystem::remove_all(dir);
   auto db = std::move(MiniDatabase::Open(dir)).ValueOrDie();
   ASSERT_TRUE(db->Execute("CREATE TABLE t (id int, vec float[2])").ok());
   ASSERT_TRUE(db->Execute("INSERT INTO t VALUES (1, '1,2')").ok());

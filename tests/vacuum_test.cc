@@ -1,6 +1,8 @@
 // VACUUM tests: space reclamation after deletes on the PASE engine.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <memory>
 
 #include "datasets/synthetic.h"
@@ -15,6 +17,7 @@ class VacuumTest : public ::testing::Test {
     const std::string dir =
         ::testing::TempDir() + "/vacuum_" +
         ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir);
     smgr_ = std::make_unique<pgstub::StorageManager>(
         pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
     bufmgr_ = std::make_unique<pgstub::BufferManager>(smgr_.get(), 4096);

@@ -4,18 +4,40 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 
 #include "pgstub/bufmgr.h"
+#include "pgstub/crc32c.h"
 #include "pgstub/heap_table.h"
 
 namespace vecdb::pgstub {
 namespace {
 
 std::string TestDir(const char* suffix) {
-  return ::testing::TempDir() + "/wal_" +
-         ::testing::UnitTest::GetInstance()->current_test_info()->name() +
-         "_" + suffix;
+  std::string dir = ::testing::TempDir() + "/wal_" +
+                    ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+                    "_" + suffix;
+  // Durable state now survives reruns; start every test from scratch.
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string TestLog(const char* suffix) {
+  std::string path = TestDir(suffix) + ".wal";
+  std::remove(path.c_str());
+  std::remove((path + ".new").c_str());
+  return path;
+}
+
+/// Deterministic byte stream (xorshift) for CRC parity tests.
+uint8_t NextByte(uint64_t* state) {
+  *state ^= *state << 13;
+  *state ^= *state >> 7;
+  *state ^= *state << 17;
+  return static_cast<uint8_t>(*state);
 }
 
 TEST(Crc32cTest, KnownValuesAndSensitivity) {
@@ -27,8 +49,77 @@ TEST(Crc32cTest, KnownValuesAndSensitivity) {
   EXPECT_NE(Crc32c(a, 5), Crc32c(b, 5));
 }
 
+TEST(Crc32cTest, TableAndDispatchedMatchBitwiseOracle) {
+  // The fast paths (slicing-by-8 tables, SSE4.2 when present) must agree
+  // with the bit-at-a-time reference on every length and alignment.
+  uint64_t rng = 0x243F6A8885A308D3ull;
+  std::vector<uint8_t> buf(8192);
+  for (auto& byte : buf) byte = NextByte(&rng);
+  for (size_t len : {0u, 1u, 2u, 3u, 7u, 8u, 9u, 15u, 16u, 63u, 64u, 255u,
+                     1024u, 8192u}) {
+    for (size_t shift : {0u, 1u, 3u, 7u}) {
+      if (shift + len > buf.size()) continue;
+      const void* p = buf.data() + shift;
+      const uint32_t oracle = Crc32cBitwise(p, len);
+      EXPECT_EQ(Crc32cTable(p, len), oracle) << len << "+" << shift;
+      EXPECT_EQ(Crc32c(p, len), oracle) << len << "+" << shift;
+    }
+  }
+}
+
+TEST(Crc32cTest, StreamingEqualsOneShotAtAnySplit) {
+  uint64_t rng = 0x13198A2E03707344ull;
+  std::vector<uint8_t> buf(513);
+  for (auto& byte : buf) byte = NextByte(&rng);
+  const uint32_t whole = Crc32c(buf.data(), buf.size());
+  for (size_t split = 0; split <= buf.size(); split += 37) {
+    uint32_t s = Crc32cInit();
+    s = Crc32cUpdate(s, buf.data(), split);
+    s = Crc32cUpdate(s, buf.data() + split, buf.size() - split);
+    EXPECT_EQ(Crc32cFinalize(s), whole) << "split " << split;
+  }
+}
+
+TEST(Crc32cTest, XoredCrcsCancelButStreamingDoesNot) {
+  // The v1 WAL record checksum was crc32c(header) ^ crc32c(payload). CRC
+  // is linear over GF(2): flipping the same bit pattern at the same
+  // distance from the END of each part shifts both CRCs by the same
+  // delta, which the XOR cancels — correlated corruption that passed the
+  // old check. One streaming CRC over header||payload sees the two flips
+  // at different distances from the end and catches it.
+  uint64_t rng = 0xA4093822299F31D0ull;
+  std::vector<uint8_t> header(24), payload(512);
+  for (auto& byte : header) byte = NextByte(&rng);
+  for (auto& byte : payload) byte = NextByte(&rng);
+
+  auto old_xor_check = [](const std::vector<uint8_t>& h,
+                          const std::vector<uint8_t>& p) {
+    return Crc32c(h.data(), h.size()) ^ Crc32c(p.data(), p.size());
+  };
+  auto streaming_check = [](const std::vector<uint8_t>& h,
+                            const std::vector<uint8_t>& p) {
+    uint32_t s = Crc32cInit();
+    s = Crc32cUpdate(s, h.data(), h.size());
+    s = Crc32cUpdate(s, p.data(), p.size());
+    return Crc32cFinalize(s);
+  };
+  const uint32_t old_clean = old_xor_check(header, payload);
+  const uint32_t new_clean = streaming_check(header, payload);
+
+  // Same flip, 5 bytes from the end of each part.
+  auto corrupt_header = header;
+  auto corrupt_payload = payload;
+  corrupt_header[header.size() - 5] ^= 0x40;
+  corrupt_payload[payload.size() - 5] ^= 0x40;
+
+  EXPECT_EQ(old_xor_check(corrupt_header, corrupt_payload), old_clean)
+      << "expected the v1 XOR checksum to miss this corruption";
+  EXPECT_NE(streaming_check(corrupt_header, corrupt_payload), new_clean)
+      << "the streaming checksum must catch it";
+}
+
 TEST(WalTest, AppendAndReplayInOrder) {
-  const std::string path = TestDir("log") + ".wal";
+  const std::string path = TestLog("log");
   std::vector<char> page(512, 0x11);
   {
     auto wal = std::move(WalManager::Open(path)).ValueOrDie();
@@ -53,7 +144,7 @@ TEST(WalTest, AppendAndReplayInOrder) {
 }
 
 TEST(WalTest, ReopenContinuesLsnSequence) {
-  const std::string path = TestDir("reopen") + ".wal";
+  const std::string path = TestLog("reopen");
   std::vector<char> page(512, 0x33);
   {
     auto wal = std::move(WalManager::Open(path)).ValueOrDie();
@@ -65,8 +156,39 @@ TEST(WalTest, ReopenContinuesLsnSequence) {
   std::remove(path.c_str());
 }
 
+TEST(WalTest, ReopenAfterCheckpointDoesNotReuseLsns) {
+  // Regression: Open() used to derive next_lsn by replaying, and Replay
+  // skips everything at or before the last checkpoint — so a log ENDING
+  // in a checkpoint record reopened with next_lsn == 1 and re-issued
+  // already-used LSNs.
+  const std::string path = TestLog("lsnreuse");
+  std::vector<char> page(512, 0x66);
+  {
+    auto wal = std::move(WalManager::Open(path)).ValueOrDie();
+    ASSERT_TRUE(wal.LogFullPage(1, 0, page.data(), 512).ok());  // lsn 1
+    ASSERT_TRUE(wal.LogFullPage(1, 1, page.data(), 512).ok());  // lsn 2
+    ASSERT_TRUE(wal.LogCheckpoint().ok());                      // lsn 3
+  }
+  {
+    auto wal = std::move(WalManager::Open(path)).ValueOrDie();
+    EXPECT_EQ(wal.next_lsn(), 4u);
+    EXPECT_EQ(*wal.LogFullPage(1, 2, page.data(), 512), 4u);
+    ASSERT_TRUE(wal.Flush().ok());
+  }
+  // The post-checkpoint record is the only one that replays, under its
+  // fresh (never reused) LSN.
+  std::vector<Lsn> replayed;
+  ASSERT_TRUE(WalManager::Replay(path, [&](const WalRecord& record) {
+                replayed.push_back(record.lsn);
+                return Status::OK();
+              }).ok());
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0], 4u);
+  std::remove(path.c_str());
+}
+
 TEST(WalTest, CheckpointSkipsEarlierRecords) {
-  const std::string path = TestDir("ckpt") + ".wal";
+  const std::string path = TestLog("ckpt");
   std::vector<char> page(512, 0x44);
   {
     auto wal = std::move(WalManager::Open(path)).ValueOrDie();
@@ -86,8 +208,41 @@ TEST(WalTest, CheckpointSkipsEarlierRecords) {
   std::remove(path.c_str());
 }
 
+TEST(WalTest, RotateShrinksLogAndPreservesLsnSequence) {
+  const std::string path = TestLog("rotate");
+  std::vector<char> page(512, 0x77);
+  Lsn next_before = 0;
+  {
+    auto wal = std::move(WalManager::Open(path)).ValueOrDie();
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(wal.LogFullPage(1, i, page.data(), 512).ok());
+    }
+    const uint64_t fat = wal.size_bytes();
+    ASSERT_TRUE(wal.LogCheckpoint().ok());
+    ASSERT_TRUE(wal.Rotate().ok());
+    EXPECT_LT(wal.size_bytes(), fat / 10) << "rotation must shrink the log";
+    next_before = wal.next_lsn();
+    EXPECT_EQ(next_before, 22u);  // 20 pages + 1 checkpoint, next is 22
+    // The rotated log is immediately appendable.
+    EXPECT_EQ(*wal.LogFullPage(1, 99, page.data(), 512), 22u);
+    ASSERT_TRUE(wal.Flush().ok());
+  }
+  // The fresh segment's header carries start_lsn, so a reopen (even of a
+  // rotated log with no records) cannot restart the sequence.
+  auto wal = std::move(WalManager::Open(path)).ValueOrDie();
+  EXPECT_EQ(wal.next_lsn(), next_before + 1);
+  std::vector<Lsn> replayed;
+  ASSERT_TRUE(WalManager::Replay(path, [&](const WalRecord& record) {
+                replayed.push_back(record.lsn);
+                return Status::OK();
+              }).ok());
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0], 22u);
+  std::remove(path.c_str());
+}
+
 TEST(WalTest, TornTailIsTruncatedNotFatal) {
-  const std::string path = TestDir("torn") + ".wal";
+  const std::string path = TestLog("torn");
   std::vector<char> page(512, 0x55);
   {
     auto wal = std::move(WalManager::Open(path)).ValueOrDie();
@@ -109,6 +264,18 @@ TEST(WalTest, TornTailIsTruncatedNotFatal) {
                 return Status::OK();
               }).ok());
   EXPECT_EQ(intact, 1);
+
+  // Reopening truncates the tail and appends cleanly after the survivor.
+  auto wal = std::move(WalManager::Open(path)).ValueOrDie();
+  EXPECT_EQ(wal.next_lsn(), 2u);
+  EXPECT_EQ(*wal.LogFullPage(1, 1, page.data(), 512), 2u);
+  ASSERT_TRUE(wal.Flush().ok());
+  intact = 0;
+  ASSERT_TRUE(WalManager::Replay(path, [&](const WalRecord&) {
+                ++intact;
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(intact, 2);
   std::remove(path.c_str());
 }
 
@@ -116,7 +283,7 @@ TEST(WalTest, CrashRecoveryRestoresUnflushedPages) {
   // Write rows through a WAL-attached buffer manager, "crash" before
   // FlushAll, and recover the storage from the log alone.
   const std::string data_dir = TestDir("data");
-  const std::string wal_path = TestDir("x") + ".wal";
+  const std::string wal_path = data_dir + "/wal.log";
 
   RelId rel;
   {
@@ -140,15 +307,15 @@ TEST(WalTest, CrashRecoveryRestoresUnflushedPages) {
     // relation file contains zero pages beyond what NewPage pre-extended.
   }
 
-  // Recovery: fresh storage manager over the same directory.
+  // Recovery: a fresh storage manager re-attaches the relation from its
+  // manifest (no re-creation — ids are durable now), then REDO fills in
+  // the page images the crash swallowed.
   auto smgr = std::make_unique<StorageManager>(
       StorageManager::Open(data_dir, 8192).ValueOrDie());
-  auto recreated = smgr->CreateRelation("t");  // same rel id 0
-  ASSERT_TRUE(recreated.ok());
-  ASSERT_EQ(*recreated, rel);
+  ASSERT_EQ(*smgr->FindRelation("t"), rel);
   ASSERT_TRUE(WalManager::Recover(wal_path, smgr.get()).ok());
 
-  // The recovered pages contain all 50 tuples.
+  // The recovered pages contain all 50 tuples, and the heap re-attaches.
   BufferManager bufmgr(smgr.get(), 64);
   size_t rows = 0;
   auto blocks = std::move(smgr->NumBlocks(rel)).ValueOrDie();
@@ -160,7 +327,43 @@ TEST(WalTest, CrashRecoveryRestoresUnflushedPages) {
     bufmgr.Unpin(handle, false);
   }
   EXPECT_EQ(rows, 50u);
-  std::remove(wal_path.c_str());
+  auto table =
+      std::move(HeapTable::Attach(&bufmgr, smgr.get(), "t", 4)).ValueOrDie();
+  EXPECT_EQ(table.num_rows(), 50u);
+}
+
+TEST(WalTest, RecoverCollectsTombstonesAndSkipsDroppedRelations) {
+  const std::string data_dir = TestDir("tomb");
+  const std::string wal_path = data_dir + "/wal.log";
+  {
+    auto smgr = std::make_unique<StorageManager>(
+        StorageManager::Open(data_dir, 8192).ValueOrDie());
+    auto keep = std::move(smgr->CreateRelation("keep")).ValueOrDie();
+    auto gone = std::move(smgr->CreateRelation("gone")).ValueOrDie();
+    auto wal = std::move(WalManager::Open(wal_path)).ValueOrDie();
+    std::vector<char> page(8192, 0x5A);
+    ASSERT_TRUE(wal.LogFullPage(keep, 0, page.data(), 8192).ok());
+    ASSERT_TRUE(wal.LogFullPage(gone, 0, page.data(), 8192).ok());
+    ASSERT_TRUE(wal.LogTombstone(keep, 7).ok());
+    ASSERT_TRUE(wal.LogTombstone(keep, 9).ok());
+    ASSERT_TRUE(wal.Flush().ok());
+    ASSERT_TRUE(smgr->DropRelation(gone).ok());
+    // crash
+  }
+  auto smgr = std::make_unique<StorageManager>(
+      StorageManager::Open(data_dir, 8192).ValueOrDie());
+  std::vector<WalTombstone> tombstones;
+  ASSERT_TRUE(WalManager::Recover(Vfs::Default(), wal_path, smgr.get(),
+                                  &tombstones)
+                  .ok());
+  // The dropped relation's image was skipped, not resurrected.
+  EXPECT_TRUE(smgr->FindRelation("gone").status().IsNotFound());
+  auto keep = std::move(smgr->FindRelation("keep")).ValueOrDie();
+  EXPECT_EQ(*smgr->NumBlocks(keep), 1u);
+  ASSERT_EQ(tombstones.size(), 2u);
+  EXPECT_EQ(tombstones[0].rel, keep);
+  EXPECT_EQ(tombstones[0].row_id, 7);
+  EXPECT_EQ(tombstones[1].row_id, 9);
 }
 
 }  // namespace
