@@ -8,6 +8,9 @@
 #                       run under the race detector
 #   recovery            crash-recovery fault injection under ASan and the
 #                       concurrent logging+checkpoint smoke under TSan
+#   sessions            the multi-session front end: full session_test
+#                       under ASan (epoch reclamation) and its stress
+#                       suite under TSan (snapshot readers vs writers)
 #   TSA                 clang, -DVECDB_TSA=ON: Clang Thread Safety Analysis
 #                       as -Werror=thread-safety, with negative-compilation
 #                       probes proving the gate is live (skipped with a
@@ -63,6 +66,13 @@ echo "=== build-asan: filtered-search smoke (ext_filtered_search) ==="
 echo "=== build-asan: crash-recovery fault-injection (recovery_test) ==="
 ./build-asan/tests/recovery_test
 
+# Session front-end smoke: admission queueing, snapshot-bounded readers,
+# and the mixed eight-session workload under ASan/UBSan — the epoch
+# retire/reclaim path frees snapshots whose readers just left, exactly the
+# use-after-free shape ASan exists to catch.
+echo "=== build-asan: session front-end (session_test) ==="
+./build-asan/tests/session_test
+
 run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVECDB_SANITIZE=thread
 
@@ -88,6 +98,13 @@ echo "=== build-tsan: concurrent in-filter bitmap smoke (filter_test) ==="
 echo "=== build-tsan: concurrent logging+checkpoint smoke (recovery_test) ==="
 ./build-tsan/tests/recovery_test \
   --gtest_filter='FaultInjectionTest.ConcurrentLoggingAndCheckpoint'
+
+# Session stress under the race detector: lock-free snapshot readers
+# overlap RCU-style snapshot publication and epoch reclamation, plus the
+# admission controller's cv/queue handoff — every shared word here must be
+# an atomic or under a mutex, and TSan proves it on the real workload.
+echo "=== build-tsan: multi-session stress (session_test) ==="
+./build-tsan/tests/session_test --gtest_filter='SessionStressTest.*'
 
 # Static lock discipline: compile everything under clang with Thread
 # Safety Analysis promoted to errors. The tsa_probe ctest entries (and the

@@ -2,6 +2,7 @@
 // load vectors, build a PASE index with SQL options, and run top-k queries
 // with the `<->` operator, including an EXPLAIN of the chosen plan.
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "core/vecdb.h"
@@ -10,8 +11,8 @@
 using namespace vecdb;
 
 namespace {
-void Run(sql::MiniDatabase* db, const std::string& statement) {
-  auto result = db->Execute(statement);
+void Run(sql::Session* session, const std::string& statement) {
+  auto result = session->Execute(statement);
   if (!result.ok()) {
     std::printf("ERROR: %s\n  (%s)\n", result.status().ToString().c_str(),
                 statement.c_str());
@@ -33,16 +34,18 @@ void Run(sql::MiniDatabase* db, const std::string& statement) {
 
 int main() {
   std::filesystem::remove_all("/tmp/vecdb_sql_example");
-  auto db = std::move(sql::MiniDatabase::Open("/tmp/vecdb_sql_example"))
-                .ValueOrDie();
+  std::unique_ptr<sql::MiniDatabase> db =
+      std::move(sql::MiniDatabase::Open("/tmp/vecdb_sql_example"))
+          .ValueOrDie();
+  std::shared_ptr<sql::Session> session = db->CreateSession();
 
   std::printf("-- schema --\n");
-  Run(db.get(), "CREATE TABLE movies (id int, embedding float[8])");
+  Run(session.get(), "CREATE TABLE movies (id int, embedding float[8])");
 
   std::printf("-- load --\n");
   // Tiny hand-made embedding space: action around [1,...], drama around
   // [0,...,1], and one outlier.
-  Run(db.get(),
+  Run(session.get(),
       "INSERT INTO movies VALUES "
       "(1, '1.0, 0.9, 0.1, 0.0, 0.0, 0.1, 0.0, 0.0'), "
       "(2, '0.9, 1.0, 0.0, 0.1, 0.0, 0.0, 0.1, 0.0'), "
@@ -53,33 +56,33 @@ int main() {
       "(7, '0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5')");
 
   std::printf("-- before an index exists: sequential scan --\n");
-  Run(db.get(),
+  Run(session.get(),
       "EXPLAIN SELECT id FROM movies ORDER BY embedding <-> "
       "'1,0.9,0,0,0,0,0,0' LIMIT 3");
-  Run(db.get(),
+  Run(session.get(),
       "SELECT * FROM movies ORDER BY embedding <-> "
       "'1,0.9,0,0,0,0,0,0' LIMIT 3");
 
   std::printf("-- create a PASE-style IVF_FLAT index --\n");
-  Run(db.get(),
+  Run(session.get(),
       "CREATE INDEX movies_ivf ON movies USING ivfflat (embedding) "
       "WITH (clusters=2, sample_ratio=1, engine='pase')");
 
   std::printf("-- with the index: index scan --\n");
-  Run(db.get(),
+  Run(session.get(),
       "EXPLAIN SELECT id FROM movies ORDER BY embedding <-> "
       "'1,0.9,0,0,0,0,0,0' LIMIT 3");
-  Run(db.get(),
+  Run(session.get(),
       "SELECT * FROM movies ORDER BY embedding <-> '1,0.9,0,0,0,0,0,0' "
       "OPTIONS (nprobe=2) LIMIT 3");
 
   std::printf("-- cosine queries fall back to a sequential scan --\n");
-  Run(db.get(),
+  Run(session.get(),
       "SELECT id FROM movies ORDER BY embedding <=> '0,0,1,1,1,0,0,0' "
       "LIMIT 3");
 
   std::printf("-- cleanup --\n");
-  Run(db.get(), "DROP INDEX movies_ivf");
-  Run(db.get(), "DROP TABLE movies");
+  Run(session.get(), "DROP INDEX movies_ivf");
+  Run(session.get(), "DROP TABLE movies");
   return 0;
 }

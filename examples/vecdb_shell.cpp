@@ -8,6 +8,7 @@
 // Also works non-interactively:  echo "CREATE TABLE ..." | vecdb_shell
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/vecdb.h"
@@ -38,7 +39,8 @@ int main(int argc, char** argv) {
                  opened.status().ToString().c_str());
     return 1;
   }
-  auto db = std::move(opened).ValueOrDie();
+  std::unique_ptr<sql::MiniDatabase> db = std::move(opened).ValueOrDie();
+  std::shared_ptr<sql::Session> session = db->CreateSession();
   std::printf("vecdb shell — data dir %s. Type \\help for syntax, \\q to "
               "quit.\n",
               data_dir.c_str());
@@ -67,7 +69,7 @@ int main(int argc, char** argv) {
     }
 
     Timer timer;
-    auto result = db->Execute(line);
+    auto result = session->Execute(line);
     const double millis = timer.ElapsedMillis();
     if (!result.ok()) {
       std::printf("ERROR: %s\n", result.status().ToString().c_str());

@@ -121,6 +121,13 @@ class VectorIndex {
   virtual Result<std::vector<Neighbor>> Search(
       const float* query, const SearchParams& params) const = 0;
 
+  /// Whether concurrent Search() calls on one instance are safe with no
+  /// external serialization. The HNSW implementations keep per-instance
+  /// mutable scratch (visited tables / visit stamps) and must answer
+  /// false; callers (the SQL session layer) then serialize scans on the
+  /// table lock instead of sharing it.
+  virtual bool SupportsConcurrentSearch() const { return true; }
+
   /// Batched top-k search over `nq` queries stored row-major (nq x Dim()),
   /// returning one ascending result list per query, in query order.
   ///

@@ -60,3 +60,4 @@
 
 #include "sql/database.h"
 #include "sql/parser.h"
+#include "sql/session.h"

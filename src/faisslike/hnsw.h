@@ -47,6 +47,10 @@ class HnswIndex final : public VectorIndex {
   Result<std::vector<Neighbor>> Search(const float* query,
                                        const SearchParams& params) const override;
 
+  /// Search mutates the shared visit-stamp scratch (visit_stamp_ /
+  /// visit_epoch_), so concurrent scans on one instance race.
+  bool SupportsConcurrentSearch() const override { return false; }
+
   size_t SizeBytes() const override;
   size_t NumVectors() const override {
     return num_nodes_ - tombstones_.size();

@@ -50,6 +50,10 @@ const char* CounterName(Counter c) {
     case Counter::kFilterInfilterQueries: return "filter.infilter_queries";
     case Counter::kFilterKampRetries: return "filter.kamp_retries";
     case Counter::kFilterBitmapProbes: return "filter.bitmap_probes";
+    case Counter::kSessionCreated: return "session.created";
+    case Counter::kSessionClosed: return "session.closed";
+    case Counter::kSessionQueued: return "session.queued";
+    case Counter::kSessionAdmitted: return "session.admitted";
     case Counter::kNumCounters: break;
   }
   return "unknown";
@@ -66,6 +70,7 @@ const char* HistName(Hist h) {
     case Hist::kSqlInsertNanos: return "sql.insert_nanos";
     case Hist::kSqlDdlNanos: return "sql.ddl_nanos";
     case Hist::kFilterSelectivityBp: return "filter.selectivity_bp";
+    case Hist::kSessionQueueWaitNanos: return "session.queue_wait_nanos";
     case Hist::kNumHists: break;
   }
   return "unknown";

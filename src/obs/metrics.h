@@ -76,6 +76,11 @@ enum class Counter : uint32_t {
   kFilterInfilterQueries,
   kFilterKampRetries,    ///< post-filter k' doublings after a shortfall
   kFilterBitmapProbes,   ///< in-filter bitmap tests inside index traversal
+  // multi-session front end (src/sql/session): lifecycle + admission.
+  kSessionCreated,
+  kSessionClosed,
+  kSessionQueued,    ///< statements that waited for an admission slot
+  kSessionAdmitted,  ///< statements granted an execution slot
   kNumCounters,  // sentinel
 };
 
@@ -93,6 +98,9 @@ enum class Hist : uint32_t {
   /// (0..10000) — the one non-latency histogram; its distribution shows
   /// which strategy regimes a workload actually exercises.
   kFilterSelectivityBp,
+  /// Time each statement spent waiting for admission before executing
+  /// (~0 on the uncontended fast path; the tail shows queueing).
+  kSessionQueueWaitNanos,
   kNumHists,  // sentinel
 };
 

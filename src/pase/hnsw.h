@@ -46,6 +46,10 @@ class PaseHnswIndex final : public VectorIndex {
   Result<std::vector<Neighbor>> Search(const float* query,
                                        const SearchParams& params) const override;
 
+  /// Search mutates the shared visited hash table scratch, so concurrent
+  /// scans on one instance race.
+  bool SupportsConcurrentSearch() const override { return false; }
+
   /// Relation-file footprint (pages * page size) across the data and
   /// neighbor relations — the Fig 13 / Table IV metric.
   size_t SizeBytes() const override;

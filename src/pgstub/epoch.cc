@@ -1,0 +1,80 @@
+#include "pgstub/epoch.h"
+
+#include "common/check.h"
+
+namespace vecdb::pgstub {
+
+uint64_t EpochManager::Enter() {
+  MutexLock lock(mu_);
+  const uint64_t epoch = epoch_;
+  ++pinned_[epoch];
+  return epoch;
+}
+
+void EpochManager::Exit(uint64_t epoch) {
+  MutexLock lock(mu_);
+  auto it = pinned_.find(epoch);
+  VECDB_CHECK(it != pinned_.end()) << "Exit without a matching Enter";
+  if (--it->second == 0) pinned_.erase(it);
+}
+
+void EpochManager::Retire(std::function<void()> reclaim) {
+  MutexLock lock(mu_);
+  retired_.emplace_back(epoch_, std::move(reclaim));
+  // Advance so readers arriving after this retirement pin a newer epoch
+  // and never extend the retired object's lifetime.
+  ++epoch_;
+}
+
+size_t EpochManager::ReclaimReady() {
+  std::vector<std::function<void()>> ready;
+  {
+    MutexLock lock(mu_);
+    const uint64_t horizon =
+        pinned_.empty() ? epoch_ + 1 : pinned_.begin()->first;
+    // An object retired at epoch e may still be referenced by any reader
+    // pinned at an epoch <= e; it is reclaimable once horizon > e.
+    size_t keep = 0;
+    for (auto& [tag, fn] : retired_) {
+      if (tag < horizon) {
+        ready.push_back(std::move(fn));
+      } else {
+        retired_[keep++] = {tag, std::move(fn)};
+      }
+    }
+    retired_.resize(keep);
+  }
+  // Deleters run unlocked: they may be arbitrarily heavy (snapshot sets)
+  // and must not nest under the epoch mutex.
+  for (auto& fn : ready) fn();
+  return ready.size();
+}
+
+size_t EpochManager::ReclaimAll() {
+  std::vector<std::pair<uint64_t, std::function<void()>>> all;
+  {
+    MutexLock lock(mu_);
+    all.swap(retired_);
+  }
+  for (auto& [_, fn] : all) fn();
+  return all.size();
+}
+
+uint64_t EpochManager::current_epoch() const {
+  MutexLock lock(mu_);
+  return epoch_;
+}
+
+size_t EpochManager::active_readers() const {
+  MutexLock lock(mu_);
+  size_t n = 0;
+  for (const auto& [_, count] : pinned_) n += count;
+  return n;
+}
+
+size_t EpochManager::retired_pending() const {
+  MutexLock lock(mu_);
+  return retired_.size();
+}
+
+}  // namespace vecdb::pgstub

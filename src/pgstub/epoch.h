@@ -1,0 +1,95 @@
+// Epoch-based reclamation for snapshot-visible structures (RCU-style, the
+// mechanism behind PostgreSQL's "old snapshots keep dead tuples alive").
+// Readers pin the current epoch for the duration of a lock-free scan;
+// writers publish a replacement object, Retire() the old one, and the
+// manager defers the deleter until no reader still holds an epoch from
+// before the retirement. This is what lets a SELECT walk a table snapshot
+// without a table lock while concurrent INSERT/DELETE statements publish
+// new snapshots underneath it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace vecdb::pgstub {
+
+/// Mutex-based epoch manager. Enter/Exit bracket a reader's critical
+/// region; Retire hands over a deleter tagged with the current epoch and
+/// advances it, so the deleter runs only once every reader that could have
+/// observed the retired object has exited.
+///
+/// Memory-ordering contract for publish/retire (the SQL layer's snapshot
+/// protocol): the writer must release-store the replacement pointer BEFORE
+/// calling Retire(); a reader must Enter() BEFORE acquire-loading the
+/// pointer. Enter and Retire serialize on the manager's mutex, so a reader
+/// entering after a retirement is guaranteed to load the replacement, and
+/// a reader that loaded the retired object is pinned at an epoch <= the
+/// retirement tag, which blocks reclamation until it exits.
+class EpochManager {
+ public:
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Runs every still-pending deleter; no readers may be active.
+  ~EpochManager() { ReclaimAll(); }
+
+  /// Pins the current epoch for a reader; returns it (pass to Exit).
+  uint64_t Enter() VECDB_EXCLUDES(mu_);
+
+  /// Unpins a reader's epoch (the value Enter returned).
+  void Exit(uint64_t epoch) VECDB_EXCLUDES(mu_);
+
+  /// Registers `reclaim` to run once no reader holds an epoch <= the
+  /// current one, then advances the epoch. Does not reclaim eagerly; call
+  /// ReclaimReady() (writers do, after publishing) to drain.
+  void Retire(std::function<void()> reclaim) VECDB_EXCLUDES(mu_);
+
+  /// Runs every deleter whose retirement epoch precedes all pinned
+  /// readers (all of them when no reader is active). Deleters run outside
+  /// the manager's mutex. Returns how many ran.
+  size_t ReclaimReady() VECDB_EXCLUDES(mu_);
+
+  /// Runs every pending deleter unconditionally. Only safe when no reader
+  /// can still dereference a retired object (teardown, or a context that
+  /// excludes all readers, like an exclusive catalog lock).
+  size_t ReclaimAll() VECDB_EXCLUDES(mu_);
+
+  uint64_t current_epoch() const VECDB_EXCLUDES(mu_);
+  size_t active_readers() const VECDB_EXCLUDES(mu_);
+  size_t retired_pending() const VECDB_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  uint64_t epoch_ VECDB_GUARDED_BY(mu_) = 1;
+  /// epoch -> number of readers pinned at it (ordered: begin() is the
+  /// oldest pinned epoch, the reclamation horizon).
+  std::map<uint64_t, uint32_t> pinned_ VECDB_GUARDED_BY(mu_);
+  /// (retirement epoch, deleter), in retirement order.
+  std::vector<std::pair<uint64_t, std::function<void()>>> retired_
+      VECDB_GUARDED_BY(mu_);
+};
+
+/// RAII reader pin over an EpochManager.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochManager* manager)
+      : manager_(manager), epoch_(manager->Enter()) {}
+  ~EpochGuard() { manager_->Exit(epoch_); }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  EpochManager* manager_;
+  uint64_t epoch_;
+};
+
+}  // namespace vecdb::pgstub

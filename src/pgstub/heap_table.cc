@@ -1,5 +1,6 @@
 #include "pgstub/heap_table.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -36,6 +37,19 @@ Result<HeapTable> HeapTable::Attach(BufferManager* bufmgr,
   HeapTable table(bufmgr, smgr, rel, dim, num_attrs);
   VECDB_ASSIGN_OR_RETURN(BlockId num_blocks, smgr->NumBlocks(rel));
   if (num_blocks > 0) table.last_block_ = num_blocks - 1;
+  // Crash repair: a kill during file extension can leave a zeroed (never
+  // initialized) tail page. Left alone it would make Insert skip to a
+  // fresh block, breaking the dense row layout that snapshot-bounded
+  // prefix scans rely on (row r at block r / rows_per_page()). Such a
+  // page holds no acknowledged data — acked pages are covered by replayed
+  // WAL images — so re-initialize it in place.
+  for (BlockId block = 0; block < num_blocks; ++block) {
+    VECDB_ASSIGN_OR_RETURN(BufferHandle handle, bufmgr->Pin(rel, block));
+    PageView page(handle.data, bufmgr->page_size());
+    const bool torn = !page.Check().ok();
+    if (torn) page.Init(/*special_size=*/0);
+    bufmgr->Unpin(handle, /*dirty=*/torn);
+  }
   size_t rows = 0;
   VECDB_RETURN_NOT_OK(table.SeqScan([&rows](TupleId, int64_t, const float*) {
     ++rows;
@@ -137,6 +151,57 @@ Status HeapTable::SeqScanFull(
     const uint16_t count = page.ItemCount();
     for (OffsetNumber slot = 1; slot <= count; ++slot) {
       const char* item = page.GetItem(slot);
+      if (item == nullptr) continue;
+      const auto* header = reinterpret_cast<const HeapTupleHeader*>(item);
+      const float* vec =
+          reinterpret_cast<const float*>(item + sizeof(HeapTupleHeader));
+      const int64_t* attrs =
+          num_attrs_ > 0
+              ? reinterpret_cast<const int64_t*>(item + attr_offset())
+              : nullptr;
+      if (!fn(TupleId{block, slot}, header->row_id, vec, attrs)) {
+        bufmgr_->Unpin(handle, false);
+        return Status::OK();
+      }
+    }
+    bufmgr_->Unpin(handle, false);
+  }
+  return Status::OK();
+}
+
+uint32_t HeapTable::rows_per_page() const {
+  const uint32_t page = bufmgr_->page_size();
+  const uint32_t len = tuple_size();
+  uint32_t lower = sizeof(PageView::Header);
+  uint32_t upper = page;  // heap pages reserve no special space
+  uint32_t count = 0;
+  // Replay AddItem's acceptance test until a hypothetical insert fails.
+  for (;;) {
+    if (upper < lower || upper < len) break;
+    const uint32_t start = (upper - len) & ~7u;
+    if (start < lower + sizeof(ItemId)) break;
+    upper = start;
+    lower += sizeof(ItemId);
+    ++count;
+  }
+  return count;
+}
+
+Status HeapTable::ScanPrefixFull(
+    uint64_t limit_rows,
+    const std::function<bool(TupleId, int64_t, const float*, const int64_t*)>&
+        fn) const {
+  const uint32_t per_page = rows_per_page();
+  uint64_t row = 0;
+  for (BlockId block = 0; row < limit_rows; ++block) {
+    const uint64_t in_block =
+        std::min<uint64_t>(per_page, limit_rows - row);
+    VECDB_ASSIGN_OR_RETURN(BufferHandle handle, bufmgr_->Pin(rel_, block));
+    PageView page(handle.data, bufmgr_->page_size());
+    for (OffsetNumber slot = 1; slot <= in_block; ++slot, ++row) {
+      // ItemAtUnchecked: never touch the page header, which a concurrent
+      // appender mutates; the snapshot bound guarantees the slot exists.
+      const char* item = page.ItemAtUnchecked(slot);
       if (item == nullptr) continue;
       const auto* header = reinterpret_cast<const HeapTupleHeader*>(item);
       const float* vec =

@@ -60,6 +60,29 @@ class HeapTable {
   Status SeqScanFull(const std::function<bool(TupleId, int64_t, const float*,
                                               const int64_t*)>& fn) const;
 
+  /// Snapshot-bounded sequential scan over exactly the first `limit_rows`
+  /// rows in insertion order, safe to run WITHOUT any table lock while a
+  /// concurrent (serialized) writer appends rows past the bound.
+  ///
+  /// Safe-by-construction: tuples are fixed-size, so pages fill densely in
+  /// order and row r lives at block r / rows_per_page(), slot
+  /// r % rows_per_page() + 1 — no storage-manager block count (the smgr is
+  /// not thread-safe) and no mutable page-header field is consulted, and
+  /// no mutable HeapTable member (num_rows_, last_block_) is read. The
+  /// caller must obtain `limit_rows` from a published snapshot whose
+  /// publication happens-after the rows' page writes (the SQL layer's
+  /// TableSnapshot release/acquire pair); given that edge, every byte this
+  /// scan reads is immutable.
+  Status ScanPrefixFull(
+      uint64_t limit_rows,
+      const std::function<bool(TupleId, int64_t, const float*,
+                               const int64_t*)>& fn) const;
+
+  /// Rows a fully packed page holds: mirrors PageView::AddItem's layout
+  /// arithmetic (MAXALIGNed item starts growing down, line pointers
+  /// growing up) for this table's fixed tuple_size(). Constant per table.
+  uint32_t rows_per_page() const;
+
   /// Aborts if stored tuples disagree with the table metadata: a tuple
   /// whose dim differs from dim(), or a page population that does not sum
   /// to num_rows(). Test/debug hook.

@@ -88,6 +88,7 @@ Result<std::unique_ptr<IndexScanCursor>> VectorIndexAm::AmBeginScan(
   params.k = options.k;
   params.nprobe = options.nprobe;
   params.efs = options.efs;
+  params.ctx = options.ctx;
   std::vector<Neighbor> results;
   if (options.filter.selection != nullptr) {
     VECDB_ASSIGN_OR_RETURN(

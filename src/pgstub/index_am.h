@@ -22,6 +22,10 @@ struct AmScanOptions {
   uint32_t nprobe = 20;
   uint32_t efs = 200;
   FilterRequest filter;
+  /// Observability handle forwarded into the engine's SearchParams; a
+  /// session's scans carry its per-session QueryContext here so metrics
+  /// can be attributed to a caller-chosen registry.
+  QueryContext ctx;
 };
 
 /// An open ordered index scan; amgettuple yields one result at a time.

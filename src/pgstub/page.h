@@ -65,6 +65,19 @@ class PageView {
   /// Pointer to item `slot` (1-based); nullptr if out of range or dead.
   char* GetItem(OffsetNumber slot) const;
 
+  /// Line-pointer lookup that reads ONLY the slot's ItemId, never the page
+  /// header. For snapshot-bounded readers racing a concurrent appender:
+  /// AddItem mutates the header (lower/upper/item_count) for every insert,
+  /// but the ItemId entry and tuple bytes of an already-published slot are
+  /// immutable, so a reader that learned `slot` exists from a published
+  /// snapshot (with the publish/observe pair providing the happens-before
+  /// edge) can read them race-free. The caller is responsible for `slot`
+  /// being in range; nullptr only for a dead (len == 0) item.
+  char* ItemAtUnchecked(OffsetNumber slot) const {
+    const ItemId& iid = item_ids()[slot - 1];
+    return iid.len == 0 ? nullptr : buf_ + iid.off;
+  }
+
   /// Length of item `slot`; 0 if invalid.
   uint16_t GetItemLength(OffsetNumber slot) const;
 

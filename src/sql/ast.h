@@ -77,9 +77,14 @@ struct DeleteStmt {
   std::unique_ptr<filter::Predicate> predicate;
 };
 
-/// SHOW METRICS; / SHOW METRICS RESET;
+/// SHOW METRICS; / SHOW METRICS RESET; / SHOW SESSIONS;
 struct ShowStmt {
-  bool reset = false;  ///< zero all counters/histograms after exporting
+  enum class What {
+    kMetrics,   ///< registry export plus WAL health lines
+    kSessions,  ///< per-session table: id, state, statements, in-flight
+  };
+  What what = What::kMetrics;
+  bool reset = false;  ///< METRICS only: zero counters/histograms after
 };
 
 /// CHECKPOINT; — force dirty pages to storage, persist the catalog, log a

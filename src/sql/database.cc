@@ -1,6 +1,7 @@
 #include "sql/database.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/timer.h"
 #include "core/factory.h"
@@ -10,21 +11,17 @@
 #include "faisslike/ivf_pq.h"
 #include "obs/metrics.h"
 #include "sql/parser.h"
+#include "sql/session.h"
 #include "topk/heaps.h"
 
 namespace vecdb::sql {
 
 namespace {
-double OptionOr(const std::map<std::string, double>& options,
-                const std::string& key, double fallback) {
-  auto it = options.find(key);
-  return it == options.end() ? fallback : it->second;
-}
-
-/// Sum of every engine's tuples-visited counter; the before/after delta of
-/// this across one statement is the executor's rows_scanned.
-uint64_t TuplesVisitedSnapshot() {
-  auto& m = obs::MetricsRegistry::Global();
+/// Sum of every engine's tuples-visited counter in `m`; the before/after
+/// delta of this across one statement is the executor's rows_scanned.
+/// Under concurrency the delta can include other statements' traffic
+/// (counters are process-wide unless the session sets a private sink).
+uint64_t TuplesVisitedSnapshot(const obs::MetricsRegistry& m) {
   return m.Value(obs::Counter::kFaissTuplesVisited) +
          m.Value(obs::Counter::kPaseTuplesVisited) +
          m.Value(obs::Counter::kBridgeTuplesVisited);
@@ -40,13 +37,59 @@ std::vector<std::string> PredicateColumns(const CreateTableStmt& schema) {
   return cols;
 }
 
+/// Scoped table lock whose mode is chosen at runtime: shared for scans
+/// that may run concurrently, exclusive when the chosen index's Search is
+/// not concurrency-safe (HNSW scratch state). Declared to the analysis as
+/// a shared acquisition — an exclusive hold satisfies every shared read
+/// the scan performs, so the claim is sound; the ctor/dtor bodies are
+/// VECDB_NO_TSA because the mode is a runtime value.
+class VECDB_SCOPED_CAPABILITY TableScanLock {
+ public:
+  TableScanLock(SharedMutex& mu, bool exclusive)
+      VECDB_ACQUIRE_SHARED(mu) VECDB_NO_TSA
+      : mu_(mu), exclusive_(exclusive) {
+    if (exclusive_) {
+      mu_.Lock();
+    } else {
+      mu_.ReaderLock();
+    }
+  }
+  ~TableScanLock() VECDB_RELEASE() VECDB_NO_TSA {
+    if (exclusive_) {
+      mu_.Unlock();
+    } else {
+      mu_.ReaderUnlock();
+    }
+  }
+
+  TableScanLock(const TableScanLock&) = delete;
+  TableScanLock& operator=(const TableScanLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+  const bool exclusive_;
+};
+
 const char* kWalFileName = "/wal.log";
 }  // namespace
+
+MiniDatabase::MiniDatabase(pgstub::StorageManager smgr, pgstub::Vfs* vfs,
+                           const DatabaseOptions& options)
+    : options_(options),
+      vfs_(vfs),
+      smgr_(std::move(smgr)),
+      bufmgr_(&smgr_, options.pool_pages) {}
 
 Result<std::unique_ptr<MiniDatabase>> MiniDatabase::Open(
     const std::string& data_dir, const DatabaseOptions& options) {
   if (options.pool_pages < 16) {
     return Status::InvalidArgument("pool_pages must be >= 16");
+  }
+  if (options.max_concurrent_queries == 0) {
+    return Status::InvalidArgument("max_concurrent_queries must be >= 1");
+  }
+  if (options.max_inflight_per_session == 0) {
+    return Status::InvalidArgument("max_inflight_per_session must be >= 1");
   }
   pgstub::Vfs* vfs =
       options.vfs != nullptr ? options.vfs : pgstub::Vfs::Default();
@@ -93,8 +136,14 @@ Result<std::unique_ptr<MiniDatabase>> MiniDatabase::Open(
 
   std::unique_ptr<MiniDatabase> db(
       new MiniDatabase(std::move(smgr), vfs, options));
+  db->admission_ = std::make_unique<AdmissionController>(
+      options.max_concurrent_queries, options.max_inflight_per_session);
+  db->sessions_ = std::make_unique<SessionManager>(db.get());
   db->wal_ = std::move(wal);
-  VECDB_RETURN_NOT_OK(db->RecoverFrom(catalog, wal_tombstones));
+  {
+    WriterMutexLock lock(db->catalog_mu_);
+    VECDB_RETURN_NOT_OK(db->RecoverFrom(catalog, wal_tombstones));
+  }
   // Attach the WAL only now: index rebuilds above regenerate state that is
   // already recoverable from the heap, so logging their pages would only
   // bloat the fresh log.
@@ -108,9 +157,58 @@ Result<std::unique_ptr<MiniDatabase>> MiniDatabase::Open(
   return db;
 }
 
+MiniDatabase::~MiniDatabase() {
+  // Mark every session closed so a handle that outlives the database
+  // fails fast instead of dereferencing it. (Sessions must not have
+  // statements in flight when the database is destroyed.)
+  if (sessions_ != nullptr) sessions_->CloseAll();
+}
+
+std::shared_ptr<Session> MiniDatabase::CreateSession() {
+  return sessions_->Create();
+}
+
+Result<QueryResult> MiniDatabase::Execute(const std::string& statement) {
+  std::shared_ptr<Session> session;
+  {
+    MutexLock lock(default_session_mu_);
+    if (default_session_ == nullptr) {
+      default_session_ = sessions_->Create();
+    }
+    session = default_session_;
+  }
+  return session->Execute(statement);
+}
+
+const std::unordered_set<int64_t>& MiniDatabase::DeletedRows(
+    const TableEntry& table) {
+  static const std::unordered_set<int64_t> kEmpty;
+  const TableSnapshot* snap =
+      table.state->snapshot.load(std::memory_order_acquire);
+  return snap != nullptr && snap->deleted != nullptr ? *snap->deleted
+                                                     : kEmpty;
+}
+
+void MiniDatabase::PublishSnapshot(
+    TableEntry& table, uint64_t visible_rows,
+    std::shared_ptr<const std::unordered_set<int64_t>> deleted) {
+  auto* next = new TableSnapshot{visible_rows, std::move(deleted)};
+  // Release: a reader that acquire-loads `next` must observe every heap
+  // and tombstone write the statement performed before publishing.
+  const TableSnapshot* old =
+      table.state->snapshot.exchange(next, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    // Readers pinned before this retirement may still hold `old`; the
+    // epoch manager frees it once they all exit.
+    epochs_.Retire([old] { delete old; });
+    epochs_.ReclaimReady();
+  }
+}
+
 Status MiniDatabase::RecoverFrom(
     const Catalog& catalog,
     const std::vector<pgstub::WalTombstone>& wal_tombstones) {
+  std::map<std::string, std::unordered_set<int64_t>> dead;
   for (const auto& [name, cat_table] : catalog.tables) {
     TableEntry entry;
     entry.schema = cat_table.schema;
@@ -120,19 +218,34 @@ Status MiniDatabase::RecoverFrom(
             &bufmgr_, &smgr_, name, cat_table.schema.dim,
             static_cast<uint32_t>(cat_table.schema.attr_columns.size())));
     entry.heap = std::make_unique<pgstub::HeapTable>(std::move(heap));
-    entry.deleted.insert(cat_table.tombstones.begin(),
-                         cat_table.tombstones.end());
+    entry.state = std::make_unique<TableState>();
+    dead[name].insert(cat_table.tombstones.begin(),
+                      cat_table.tombstones.end());
     tables_.emplace(name, std::move(entry));
   }
   // Deletes issued after the last catalog write survive only as WAL
   // tombstone records; fold them into the per-table sets (idempotent).
   for (const auto& tomb : wal_tombstones) {
-    for (auto& [_, table] : tables_) {
+    for (auto& [name, table] : tables_) {
       if (table.heap->rel() == tomb.rel) {
-        table.deleted.insert(tomb.row_id);
+        dead[name].insert(tomb.row_id);
         break;
       }
     }
+  }
+  // Publish each table's initial snapshot: every recovered row visible,
+  // tombstones as recovered. No readers exist yet (recovery runs under
+  // the exclusive catalog lock before any session is created).
+  for (auto& [name, table] : tables_) {
+    std::unordered_set<int64_t>& set = dead[name];
+    std::shared_ptr<const std::unordered_set<int64_t>> ptr;
+    if (!set.empty()) {
+      ptr = std::make_shared<const std::unordered_set<int64_t>>(
+          std::move(set));
+    }
+    table.state->snapshot.store(
+        new TableSnapshot{table.heap->num_rows(), std::move(ptr)},
+        std::memory_order_release);
   }
   for (const auto& [name, cat_index] : catalog.indexes) {
     auto tbl = tables_.find(cat_index.def.table);
@@ -164,7 +277,7 @@ Status MiniDatabase::RebuildIndex(const TableEntry& table, IndexEntry* entry) {
   // a freshly created one would be.
   if (table.heap->num_rows() == 0) return Status::OK();
   VECDB_RETURN_NOT_OK(entry->am->AmBuild(*table.heap));
-  for (int64_t id : table.deleted) {
+  for (int64_t id : DeletedRows(table)) {
     Status s = entry->am->AmDelete(id);
     if (!s.ok() && !s.IsNotFound() && !s.IsNotSupported()) return s;
   }
@@ -220,7 +333,7 @@ bool MiniDatabase::TryReloadIndex(const CatalogIndex& cat,
   if (!scan.ok() || !insert_status.ok()) return false;
   // Snapshots are taken only when the table has no tombstones, so every
   // recovered delete must be re-applied here.
-  for (int64_t id : table.deleted) {
+  for (int64_t id : DeletedRows(table)) {
     Status s = am->AmDelete(id);
     if (!s.ok() && !s.IsNotFound() && !s.IsNotSupported()) return false;
   }
@@ -236,7 +349,8 @@ Status MiniDatabase::SaveCatalogNow() const {
   for (const auto& [name, table] : tables_) {
     CatalogTable cat;
     cat.schema = table.schema;
-    cat.tombstones.assign(table.deleted.begin(), table.deleted.end());
+    const std::unordered_set<int64_t>& dead = DeletedRows(table);
+    cat.tombstones.assign(dead.begin(), dead.end());
     std::sort(cat.tombstones.begin(), cat.tombstones.end());
     cat.rows_at_checkpoint = table.heap->num_rows();
     catalog.tables.emplace(name, std::move(cat));
@@ -252,6 +366,13 @@ Status MiniDatabase::SaveCatalogNow() const {
 }
 
 Status MiniDatabase::Checkpoint() {
+  WriterMutexLock lock(catalog_mu_);
+  return CheckpointLocked();
+}
+
+Status MiniDatabase::CheckpointLocked() {
+  // The exclusive catalog lock quiesces every statement: no buffer pins
+  // are held (FlushAll requires that) and no writer is mid-publish.
   // 1. Index snapshots (reload policy only). Best-effort: a table with
   //    tombstones cannot be snapshot (persistence refuses deleted-from
   //    indexes), and a failed save just leaves the rebuild path.
@@ -260,7 +381,7 @@ Status MiniDatabase::Checkpoint() {
     for (auto& [name, entry] : indexes_) {
       if (entry.def.engine != "faiss") continue;
       auto tbl = tables_.find(entry.def.table);
-      if (tbl == tables_.end() || !tbl->second.deleted.empty()) continue;
+      if (tbl == tables_.end() || !DeletedRows(tbl->second).empty()) continue;
       const uint64_t rows = tbl->second.heap->num_rows();
       if (rows == 0 || (entry.has_snapshot && entry.rows_at_snapshot == rows))
         continue;
@@ -308,10 +429,14 @@ Status MiniDatabase::Checkpoint() {
   for (const auto& path : stale_snapshots) {
     (void)vfs_->Remove(path);
   }
+  // Retired table snapshots can be freed: the exclusive lock excludes
+  // every epoch-pinned reader.
+  epochs_.ReclaimAll();
   return Status::OK();
 }
 
-Result<QueryResult> MiniDatabase::Execute(const std::string& statement) {
+Result<QueryResult> MiniDatabase::ExecuteForSession(
+    const std::string& statement, Session* session) {
   Timer timer;
   auto& metrics = obs::MetricsRegistry::Global();
   metrics.Add(obs::Counter::kSqlStatements);
@@ -321,7 +446,21 @@ Result<QueryResult> MiniDatabase::Execute(const std::string& statement) {
     return parsed.status();
   }
   const Statement& stmt = *parsed;
-  Result<QueryResult> result = Dispatch(stmt);
+  const bool ddl = stmt.kind == Statement::Kind::kCreateTable ||
+                   stmt.kind == Statement::Kind::kCreateIndex ||
+                   stmt.kind == Statement::Kind::kDrop ||
+                   stmt.kind == Statement::Kind::kCheckpoint;
+  Result<QueryResult> result = Status::Internal("statement not dispatched");
+  if (ddl) {
+    // DDL (and CHECKPOINT) quiesce the database: exclusive catalog lock.
+    WriterMutexLock lock(catalog_mu_);
+    result = DispatchDdl(stmt);
+  } else {
+    // DML and queries run concurrently under the shared catalog lock;
+    // per-table locks / snapshots order them against each other.
+    ReaderMutexLock lock(catalog_mu_);
+    result = DispatchShared(stmt, session);
+  }
   const auto nanos = static_cast<uint64_t>(timer.ElapsedNanos());
   bool mutating = false;
   switch (stmt.kind) {
@@ -370,6 +509,8 @@ Result<QueryResult> MiniDatabase::Execute(const std::string& statement) {
     // the statement is acknowledged (group "commit" per statement).
     VECDB_RETURN_NOT_OK(wal_->Flush());
     // Size-triggered checkpoint: bounds WAL growth across any workload.
+    // Runs after the statement's lock is released (Checkpoint retakes the
+    // catalog lock exclusively); concurrent triggers serialize there.
     if (options_.checkpoint_wal_bytes > 0 &&
         wal_->size_bytes() >= options_.checkpoint_wal_bytes) {
       VECDB_RETURN_NOT_OK(Checkpoint());
@@ -380,26 +521,35 @@ Result<QueryResult> MiniDatabase::Execute(const std::string& statement) {
   return result;
 }
 
-Result<QueryResult> MiniDatabase::Dispatch(const Statement& stmt) {
+Result<QueryResult> MiniDatabase::DispatchDdl(const Statement& stmt) {
   switch (stmt.kind) {
     case Statement::Kind::kCreateTable:
       return ExecCreateTable(*stmt.create_table);
-    case Statement::Kind::kInsert:
-      return ExecInsert(*stmt.insert);
     case Statement::Kind::kCreateIndex:
       return ExecCreateIndex(*stmt.create_index);
-    case Statement::Kind::kSelect:
-      return ExecSelect(*stmt.select);
     case Statement::Kind::kDrop:
       return ExecDrop(*stmt.drop);
+    case Statement::Kind::kCheckpoint:
+      return ExecCheckpoint();
+    default:
+      return Status::Internal("statement is not DDL");
+  }
+}
+
+Result<QueryResult> MiniDatabase::DispatchShared(const Statement& stmt,
+                                                 Session* session) {
+  switch (stmt.kind) {
+    case Statement::Kind::kInsert:
+      return ExecInsert(*stmt.insert);
+    case Statement::Kind::kSelect:
+      return ExecSelect(*stmt.select, session);
     case Statement::Kind::kDelete:
       return ExecDelete(*stmt.delete_row);
     case Statement::Kind::kShow:
       return ExecShow(*stmt.show);
-    case Statement::Kind::kCheckpoint:
-      return ExecCheckpoint();
+    default:
+      return Status::Internal("statement is not DML");
   }
-  return Status::Internal("unhandled statement kind");
 }
 
 Result<QueryResult> MiniDatabase::ExecCreateTable(
@@ -416,6 +566,9 @@ Result<QueryResult> MiniDatabase::ExecCreateTable(
   TableEntry entry;
   entry.schema = stmt;
   entry.heap = std::make_unique<pgstub::HeapTable>(std::move(heap));
+  entry.state = std::make_unique<TableState>();
+  entry.state->snapshot.store(new TableSnapshot{0, nullptr},
+                              std::memory_order_release);
   tables_.emplace(stmt.table, std::move(entry));
   // Relation first, catalog second: a cataloged table always has its file.
   Status saved = SaveCatalogNow();
@@ -427,6 +580,28 @@ Result<QueryResult> MiniDatabase::ExecCreateTable(
   QueryResult out;
   out.message = "CREATE TABLE";
   return out;
+}
+
+Status MiniDatabase::InsertRowsLocked(TableEntry& table,
+                                      const InsertStmt& stmt) {
+  for (const auto& row : stmt.rows) {
+    VECDB_RETURN_NOT_OK(
+        table.heap
+            ->Insert(row.id, row.vec.data(),
+                     row.attrs.empty() ? nullptr : row.attrs.data())
+            .status());
+    VECDB_RETURN_NOT_OK(bufmgr_.wal_error());
+    for (const auto& index_name : table.indexes) {
+      auto idx = indexes_.find(index_name);
+      if (idx != indexes_.end()) {
+        Status s = idx->second.am->AmInsert(row.vec.data(), row.id);
+        if (!s.ok() && !s.IsNotSupported()) return s;
+        // NotSupported: PASE-era indexes require a rebuild after bulk
+        // loads; the paper's workloads build after loading, as we do.
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Result<QueryResult> MiniDatabase::ExecInsert(const InsertStmt& stmt) {
@@ -448,23 +623,20 @@ Result<QueryResult> MiniDatabase::ExecInsert(const InsertStmt& stmt) {
           std::to_string(table.schema.attr_columns.size()));
     }
   }
-  for (const auto& row : stmt.rows) {
-    VECDB_RETURN_NOT_OK(
-        table.heap
-            ->Insert(row.id, row.vec.data(),
-                     row.attrs.empty() ? nullptr : row.attrs.data())
-            .status());
-    VECDB_RETURN_NOT_OK(bufmgr_.wal_error());
-    for (const auto& index_name : table.indexes) {
-      auto idx = indexes_.find(index_name);
-      if (idx != indexes_.end()) {
-        Status s = idx->second.am->AmInsert(row.vec.data(), row.id);
-        if (!s.ok() && !s.IsNotSupported()) return s;
-        // NotSupported: PASE-era indexes require a rebuild after bulk
-        // loads; the paper's workloads build after loading, as we do.
-      }
-    }
+  Status inserted;
+  {
+    WriterMutexLock lock(table.state->mu);
+    const TableSnapshot* snap =
+        table.state->snapshot.load(std::memory_order_acquire);
+    std::shared_ptr<const std::unordered_set<int64_t>> deleted =
+        snap != nullptr ? snap->deleted : nullptr;
+    inserted = InsertRowsLocked(table, stmt);
+    // Publish exactly once per statement (statement-atomic visibility for
+    // lock-free readers); on a mid-statement failure the rows already in
+    // the heap become visible — they were durably inserted.
+    PublishSnapshot(table, table.heap->num_rows(), std::move(deleted));
   }
+  VECDB_RETURN_NOT_OK(inserted);
   QueryResult out;
   out.message = "INSERT " + std::to_string(stmt.rows.size());
   return out;
@@ -519,14 +691,26 @@ Result<QueryResult> MiniDatabase::ExecCreateIndex(
 Result<QueryResult> MiniDatabase::SeqScanSelect(
     const SelectStmt& stmt, const TableEntry& table,
     const filter::BoundPredicate* bound) {
+  // Lock-free snapshot scan: pin an epoch, acquire-load the published
+  // snapshot, and read only its heap prefix. Concurrent INSERT statements
+  // extend the heap past visible_rows, but those rows (and any snapshot
+  // the writers retire meanwhile) stay invisible and alive until we exit.
+  pgstub::EpochGuard guard(epochs());
+  const TableSnapshot* snap =
+      table.state->snapshot.load(std::memory_order_acquire);
+  const uint64_t visible = snap != nullptr ? snap->visible_rows : 0;
+  const std::unordered_set<int64_t>* deleted =
+      snap != nullptr && snap->deleted != nullptr ? snap->deleted.get()
+                                                  : nullptr;
   KMaxHeap heap(stmt.limit);
   uint64_t scanned = 0;
   std::vector<int64_t> row_image(1 + table.schema.attr_columns.size());
-  VECDB_RETURN_NOT_OK(table.heap->SeqScanFull(
+  VECDB_RETURN_NOT_OK(table.heap->ScanPrefixFull(
+      visible,
       [&](pgstub::TupleId, int64_t row_id, const float* vec,
           const int64_t* attrs) {
         ++scanned;
-        if (!table.deleted.empty() && table.deleted.count(row_id) != 0) {
+        if (deleted != nullptr && deleted->count(row_id) != 0) {
           return true;  // dead tuple
         }
         if (bound != nullptr) {
@@ -557,6 +741,7 @@ Result<MiniDatabase::FilterPlan> MiniDatabase::BuildFilterPlan(
     size_t sample_rows) const {
   FilterPlan plan;
   const size_t n = table.heap->num_rows();
+  const std::unordered_set<int64_t>& dead_rows = DeletedRows(table);
   plan.selection = filter::SelectionVector(n);
   // One pass: the exact bitmap for the strategies, and a strided sample
   // for the planner's selectivity estimate (what an attribute-store
@@ -573,8 +758,7 @@ Result<MiniDatabase::FilterPlan> MiniDatabase::BuildFilterPlan(
         for (size_t a = 0; a < table.schema.attr_columns.size(); ++a) {
           row_image[1 + a] = attrs[a];
         }
-        const bool dead =
-            !table.deleted.empty() && table.deleted.count(row_id) != 0;
+        const bool dead = dead_rows.count(row_id) != 0;
         const bool match = !dead && bound.Eval(row_image.data());
         if (match) plan.selection.Set(pos);
         if (pos % stride == 0) {
@@ -591,7 +775,8 @@ Result<MiniDatabase::FilterPlan> MiniDatabase::BuildFilterPlan(
   return plan;
 }
 
-Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt) {
+Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt,
+                                             Session* session) {
   auto it = tables_.find(stmt.table);
   if (it == tables_.end()) {
     return Status::NotFound("no table named " + stmt.table);
@@ -611,6 +796,22 @@ Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt) {
         "query vector has " + std::to_string(stmt.query.size()) +
         " dimensions, table expects " + std::to_string(table.schema.dim));
   }
+
+  // Session defaults fill knobs the statement's OPTIONS (...) leaves
+  // unset; explicit options always win.
+  std::map<std::string, double> session_defaults;
+  obs::MetricsRegistry* sink = nullptr;
+  if (session != nullptr) {
+    session_defaults = session->default_options();
+    sink = session->metrics_sink();
+  }
+  auto option_or = [&](const std::string& key, double fallback) {
+    auto opt = stmt.options.find(key);
+    if (opt != stmt.options.end()) return opt->second;
+    auto def = session_defaults.find(key);
+    if (def != session_defaults.end()) return def->second;
+    return fallback;
+  };
 
   // Bind the WHERE predicate (if any) against id + attribute columns.
   filter::BoundPredicate bound;
@@ -638,63 +839,75 @@ Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt) {
     }
   }
 
-  // The exact bitmap + sampled selectivity for the filtered index scan
-  // (EXPLAIN reports the same numbers the executor would use).
-  const filter::PlannerConfig planner;
-  FilterPlan plan;
-  if (has_predicate && chosen != nullptr) {
-    VECDB_ASSIGN_OR_RETURN(plan,
-                           BuildFilterPlan(table, bound, planner.sample_rows));
-  }
-
-  if (stmt.explain) {
-    QueryResult out;
-    if (chosen != nullptr) {
-      out.message = "Index Scan using " + chosen->def.index + " (" +
-                    chosen->index->Describe() + ") k=" +
-                    std::to_string(stmt.limit);
-      if (has_predicate) {
-        const filter::FilterStrategy effective =
-            strategy == filter::FilterStrategy::kAuto
-                ? filter::ChooseStrategy(plan.est_selectivity, stmt.limit,
-                                         chosen->index->NumVectors(), planner)
-                : strategy;
-        out.message += " filter=" + filter::ToString(*stmt.predicate) +
-                       " strategy=" +
-                       std::string(filter::StrategyName(effective)) +
-                       " est_selectivity=" +
-                       std::to_string(plan.est_selectivity);
-      }
-    } else {
+  if (chosen == nullptr) {
+    if (stmt.explain) {
+      QueryResult out;
       out.message = "Seq Scan on " + stmt.table + " (brute force, metric=" +
                     std::string(MetricName(stmt.metric)) + ") k=" +
                     std::to_string(stmt.limit);
       if (has_predicate) {
         out.message += " filter=" + filter::ToString(*stmt.predicate);
       }
+      return out;
+    }
+    return SeqScanSelect(stmt, table, has_predicate ? &bound : nullptr);
+  }
+
+  // Index scan (or its EXPLAIN): lock the table — shared, so scans run
+  // concurrently with each other, or exclusive when this index's Search
+  // mutates shared scratch. Either mode excludes writers, which is what
+  // BuildFilterPlan's full heap scan and the index itself require.
+  TableScanLock lock(table.state->mu,
+                     !chosen->index->SupportsConcurrentSearch());
+
+  // The exact bitmap + sampled selectivity for the filtered index scan
+  // (EXPLAIN reports the same numbers the executor would use).
+  const filter::PlannerConfig planner;
+  FilterPlan plan;
+  if (has_predicate) {
+    VECDB_ASSIGN_OR_RETURN(plan,
+                           BuildFilterPlan(table, bound, planner.sample_rows));
+  }
+
+  if (stmt.explain) {
+    QueryResult out;
+    out.message = "Index Scan using " + chosen->def.index + " (" +
+                  chosen->index->Describe() + ") k=" +
+                  std::to_string(stmt.limit);
+    if (has_predicate) {
+      const filter::FilterStrategy effective =
+          strategy == filter::FilterStrategy::kAuto
+              ? filter::ChooseStrategy(plan.est_selectivity, stmt.limit,
+                                       chosen->index->NumVectors(), planner)
+              : strategy;
+      out.message += " filter=" + filter::ToString(*stmt.predicate) +
+                     " strategy=" +
+                     std::string(filter::StrategyName(effective)) +
+                     " est_selectivity=" +
+                     std::to_string(plan.est_selectivity);
     }
     return out;
   }
 
-  if (chosen == nullptr) {
-    return SeqScanSelect(stmt, table, has_predicate ? &bound : nullptr);
-  }
-
   pgstub::AmScanOptions scan;
   scan.k = stmt.limit;
-  scan.nprobe = static_cast<uint32_t>(OptionOr(stmt.options, "nprobe", 20));
+  scan.nprobe = static_cast<uint32_t>(option_or("nprobe", 20));
   // Engines reject efs < k at the API boundary, so the default must track
   // the requested LIMIT.
-  scan.efs = static_cast<uint32_t>(OptionOr(
-      stmt.options, "efs",
-      std::max<double>(200, static_cast<double>(stmt.limit))));
+  scan.efs = static_cast<uint32_t>(option_or(
+      "efs", std::max<double>(200, static_cast<double>(stmt.limit))));
+  // Route the engine's scan metrics into the session's sink (process-wide
+  // registry when unset).
+  scan.ctx.metrics = sink;
   if (has_predicate) {
     scan.filter.selection = &plan.selection;
     scan.filter.strategy = strategy;
     scan.filter.est_selectivity = plan.est_selectivity;
     scan.filter.planner = planner;
   }
-  const uint64_t visited_before = TuplesVisitedSnapshot();
+  const obs::MetricsRegistry& scan_registry =
+      sink != nullptr ? *sink : obs::MetricsRegistry::Global();
+  const uint64_t visited_before = TuplesVisitedSnapshot(scan_registry);
   VECDB_ASSIGN_OR_RETURN(std::unique_ptr<pgstub::IndexScanCursor> cursor,
                          chosen->am->AmBeginScan(stmt.query.data(), scan));
   QueryResult out;
@@ -710,15 +923,38 @@ Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt) {
   // The engine flushed its scan counters when the scan materialized in
   // AmBeginScan, so the delta is this statement's tuple traffic. Fall back
   // to the result size if the registry was toggled off mid-statement.
-  const uint64_t delta = TuplesVisitedSnapshot() - visited_before;
+  const uint64_t delta = TuplesVisitedSnapshot(scan_registry) - visited_before;
   out.stats.rows_scanned =
       std::max<uint64_t>(delta, out.rows.size());
   return out;
 }
 
 Result<QueryResult> MiniDatabase::ExecShow(const ShowStmt& stmt) {
-  auto& metrics = obs::MetricsRegistry::Global();
   QueryResult out;
+  if (stmt.what == ShowStmt::What::kSessions) {
+    char line[128];
+    out.message = "session  state   in_flight  statements  queued\n";
+    for (const auto& session : sessions_->Snapshot()) {
+      std::snprintf(line, sizeof(line), "%-8llu %-7s %9u %11llu %7llu\n",
+                    static_cast<unsigned long long>(session->id()),
+                    session->closed() ? "closed" : "open",
+                    session->inflight(),
+                    static_cast<unsigned long long>(
+                        session->statements_executed()),
+                    static_cast<unsigned long long>(
+                        session->statements_queued()));
+      out.message += line;
+    }
+    std::snprintf(
+        line, sizeof(line),
+        "admission: running=%u queued=%zu max_concurrent=%u "
+        "max_per_session=%u\n",
+        admission_->running(), admission_->queued(),
+        admission_->max_concurrent(), admission_->max_per_session());
+    out.message += line;
+    return out;
+  }
+  auto& metrics = obs::MetricsRegistry::Global();
   out.message = metrics.ExportTable();
   // WAL health lines: the sticky wal_error() surfaces logging failures
   // that would otherwise hide inside void Unpin calls.
@@ -735,7 +971,7 @@ Result<QueryResult> MiniDatabase::ExecShow(const ShowStmt& stmt) {
 }
 
 Result<QueryResult> MiniDatabase::ExecCheckpoint() {
-  VECDB_RETURN_NOT_OK(Checkpoint());
+  VECDB_RETURN_NOT_OK(CheckpointLocked());
   QueryResult out;
   out.message = "CHECKPOINT";
   return out;
@@ -758,6 +994,21 @@ Result<QueryResult> MiniDatabase::ExecDelete(const DeleteStmt& stmt) {
     return wal_->LogTombstone(table.heap->rel(), id).status();
   };
 
+  // Writers serialize on the table lock; lock-free readers keep seeing
+  // the pre-statement snapshot until the single publish below.
+  WriterMutexLock lock(table.state->mu);
+  const TableSnapshot* snap =
+      table.state->snapshot.load(std::memory_order_acquire);
+  const uint64_t visible = snap != nullptr ? snap->visible_rows : 0;
+  // Copy-on-write: mutate a private copy of the tombstone set, publish it
+  // once the statement's deletes (and WAL records) are in.
+  std::unordered_set<int64_t> dead = DeletedRows(table);
+  auto publish = [&]() {
+    PublishSnapshot(table, visible,
+                    std::make_shared<const std::unordered_set<int64_t>>(
+                        std::move(dead)));
+  };
+
   // Fast path for the classic `WHERE id = n`: no predicate binding, and
   // the historical NotFound errors for missing / already-deleted rows.
   const filter::Predicate& pred = *stmt.predicate;
@@ -765,7 +1016,7 @@ Result<QueryResult> MiniDatabase::ExecDelete(const DeleteStmt& stmt) {
       pred.op == filter::CmpOp::kEq &&
       pred.column == table.schema.id_column) {
     const int64_t id = pred.value;
-    if (table.deleted.count(id) != 0) {
+    if (dead.count(id) != 0) {
       return Status::NotFound("row " + std::to_string(id) +
                               " already deleted");
     }
@@ -783,16 +1034,24 @@ Result<QueryResult> MiniDatabase::ExecDelete(const DeleteStmt& stmt) {
       return Status::NotFound("no row with id " + std::to_string(id));
     }
     VECDB_RETURN_NOT_OK(log_tombstone(id));
-    table.deleted.insert(id);
+    dead.insert(id);
     // Tombstone the row in every index on the table; ids unknown to an
     // index (never inserted) surface as NotFound from the check above.
+    Status index_status;
     for (const auto& index_name : table.indexes) {
       auto idx = indexes_.find(index_name);
       if (idx != indexes_.end()) {
         Status s = idx->second.am->AmDelete(id);
-        if (!s.ok() && !s.IsNotSupported()) return s;
+        if (!s.ok() && !s.IsNotSupported()) {
+          index_status = s;
+          break;
+        }
       }
     }
+    // The tombstone is WAL-logged: publish it even when an index delete
+    // failed, exactly what recovery would reconstruct.
+    publish();
+    VECDB_RETURN_NOT_OK(index_status);
     QueryResult out;
     out.message = "DELETE 1";
     return out;
@@ -809,9 +1068,7 @@ Result<QueryResult> MiniDatabase::ExecDelete(const DeleteStmt& stmt) {
   VECDB_RETURN_NOT_OK(table.heap->SeqScanFull(
       [&](pgstub::TupleId, int64_t row_id, const float*,
           const int64_t* attrs) {
-        if (!table.deleted.empty() && table.deleted.count(row_id) != 0) {
-          return true;
-        }
+        if (dead.count(row_id) != 0) return true;
         row_image[0] = row_id;
         for (size_t a = 0; a < table.schema.attr_columns.size(); ++a) {
           row_image[1 + a] = attrs[a];
@@ -819,21 +1076,33 @@ Result<QueryResult> MiniDatabase::ExecDelete(const DeleteStmt& stmt) {
         if (bound.Eval(row_image.data())) matches.push_back(row_id);
         return true;
       }));
+  Status loop_status;
+  size_t deleted_count = 0;
   for (int64_t id : matches) {
-    VECDB_RETURN_NOT_OK(log_tombstone(id));
-    table.deleted.insert(id);
+    loop_status = log_tombstone(id);
+    if (!loop_status.ok()) break;
+    dead.insert(id);
+    ++deleted_count;
     for (const auto& index_name : table.indexes) {
       auto idx = indexes_.find(index_name);
       if (idx != indexes_.end()) {
         // NotSupported: rebuild-only index; NotFound: the row was never
         // propagated into this index (inserted after a bulk build).
         Status s = idx->second.am->AmDelete(id);
-        if (!s.ok() && !s.IsNotSupported() && !s.IsNotFound()) return s;
+        if (!s.ok() && !s.IsNotSupported() && !s.IsNotFound()) {
+          loop_status = s;
+          break;
+        }
       }
     }
+    if (!loop_status.ok()) break;
   }
+  // Tombstones inserted before a mid-loop failure are WAL-logged and
+  // stay: publish what was applied, then surface the error.
+  publish();
+  VECDB_RETURN_NOT_OK(loop_status);
   QueryResult out;
-  out.message = "DELETE " + std::to_string(matches.size());
+  out.message = "DELETE " + std::to_string(deleted_count);
   return out;
 }
 
@@ -877,6 +1146,10 @@ Result<QueryResult> MiniDatabase::ExecDrop(const DropStmt& stmt) {
                                    " first");
   }
   const pgstub::RelId rel = it->second.heap->rel();
+  // The exclusive catalog lock excludes every reader (epoch-pinned scans
+  // hold the shared lock for their whole statement), so the entry — and
+  // its current snapshot, freed by ~TableState — can go away immediately;
+  // previously retired snapshots drain through the epoch manager.
   tables_.erase(it);
   // Catalog first, then the file: a crash in between leaves an orphan
   // relation that the next Open garbage-collects. The relation id is

@@ -3,6 +3,19 @@
 // lexer -> parser -> plan (index scan vs. sequential scan) -> execution
 // against pgstub heap tables and any of the three engines' indexes.
 //
+// Concurrency (docs/SESSIONS.md): statements arrive through Session
+// handles (sql/session.h) and run concurrently under a two-level locking
+// scheme. catalog_mu_ is taken exclusively by DDL (CREATE/DROP/
+// CHECKPOINT) and shared by DML/queries, so the table and index maps are
+// stable while statements run. Each table adds a SharedMutex serializing
+// its writers (INSERT/DELETE take it exclusively; index scans take it
+// shared, or exclusively for indexes whose Search is not concurrency-
+// safe). Sequential-scan SELECTs take NO table lock at all: they pin an
+// epoch (pgstub/epoch.h) and read the table's published TableSnapshot —
+// a bounded row count plus tombstone set that writers replace atomically
+// and retire through the epoch manager — so readers always observe a
+// statement-atomic prefix of the heap.
+//
 // Durability (docs/DURABILITY.md): Open() recovers a restarted database —
 // the storage manager re-attaches relations from its manifest, ARIES-lite
 // REDO replays WAL full-page images and tombstones, the durable catalog
@@ -13,6 +26,9 @@
 // the log is rotated so its size stays bounded.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <unordered_set>
@@ -20,10 +36,12 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/index.h"
 #include "filter/predicate.h"
 #include "filter/selection.h"
 #include "pgstub/bufmgr.h"
+#include "pgstub/epoch.h"
 #include "pgstub/heap_table.h"
 #include "pgstub/index_am.h"
 #include "pgstub/smgr.h"
@@ -34,13 +52,20 @@
 
 namespace vecdb::sql {
 
+class Session;
+class SessionManager;
+class AdmissionController;
+
 /// Result of one statement: DDL/DML return a message, SELECT returns rows.
+/// The struct is a plain value (no references into database state), so a
+/// result remains valid after the statement completes, after later
+/// statements run, and across threads.
 struct QueryResult {
   struct Row {
     int64_t id = 0;
     double distance = 0.0;
   };
-  /// Per-statement execution statistics, filled by Execute().
+  /// Per-statement execution statistics, filled by Session::Execute().
   struct ExecStats {
     double wall_seconds = 0.0;   ///< end-to-end statement latency
     uint64_t rows_scanned = 0;   ///< tuples the executor visited
@@ -77,9 +102,21 @@ struct DatabaseOptions {
   /// each statement); 0 disables auto-checkpointing (CHECKPOINT only).
   uint64_t checkpoint_wal_bytes = 16ull << 20;
   IndexRecovery index_recovery = IndexRecovery::kRebuild;
+  /// Statements executing at once across all sessions; excess statements
+  /// queue FIFO in the admission controller (must be >= 1).
+  uint32_t max_concurrent_queries = 8;
+  /// Statements one session may have in flight at once (must be >= 1);
+  /// keeps a single session from monopolizing the admission slots.
+  uint32_t max_inflight_per_session = 4;
+  /// Test seam: invoked with the session id after a statement is admitted
+  /// and before it executes. Lets tests park admitted statements to pin
+  /// the admission state. Never set in production code.
+  std::function<void(uint64_t)> statement_hook_for_test;
 };
 
-/// A single-session vector database over the pgstub substrate.
+/// A multi-session vector database over the pgstub substrate. Statements
+/// run through Session handles; Execute() below is a legacy single-caller
+/// convenience that routes through an implicit default session.
 class MiniDatabase {
  public:
   /// Opens (creating if needed) a database rooted at `data_dir`, running
@@ -87,26 +124,66 @@ class MiniDatabase {
   static Result<std::unique_ptr<MiniDatabase>> Open(
       const std::string& data_dir, const DatabaseOptions& options = {});
 
-  /// Parses and executes one SQL statement.
+  ~MiniDatabase();
+
+  /// Creates a new session (the canonical way to execute statements).
+  std::shared_ptr<Session> CreateSession();
+
+  /// DEPRECATED single-session convenience: executes on a lazily created
+  /// default session. New code must hold a Session from CreateSession()
+  /// and call Session::Execute (tools/lint.py rule: database-execute).
   Result<QueryResult> Execute(const std::string& statement);
+
+  /// Parses and executes one statement on behalf of `session` (nullable:
+  /// no session defaults apply). Called by Session::Execute AFTER
+  /// admission; callers other than Session bypass admission control.
+  Result<QueryResult> ExecuteForSession(const std::string& statement,
+                                        Session* session)
+      VECDB_EXCLUDES(catalog_mu_);
 
   /// Forces a checkpoint: index snapshots (kReload), dirty pages, smgr
   /// sync, catalog, THEN the checkpoint record, then WAL rotation. The
   /// ordering is the point — logging the record first would let replay
-  /// skip images of pages that never reached storage.
-  Status Checkpoint();
+  /// skip images of pages that never reached storage. Takes the catalog
+  /// lock exclusively (quiesces every in-flight statement).
+  Status Checkpoint() VECDB_EXCLUDES(catalog_mu_);
 
   pgstub::BufferManager* bufmgr() { return &bufmgr_; }
   pgstub::StorageManager* smgr() { return &smgr_; }
   pgstub::WalManager* wal() { return wal_.get(); }
+  pgstub::EpochManager* epochs() { return &epochs_; }
+  AdmissionController* admission() { return admission_.get(); }
+  SessionManager* session_manager() { return sessions_.get(); }
+  const DatabaseOptions& options() const { return options_; }
 
  private:
+  /// What a lock-free reader sees of a table: the number of heap rows
+  /// published (a statement-atomic prefix — INSERT publishes once per
+  /// statement) and the tombstone set as of publication. Writers replace
+  /// the whole object under the table writer lock and Retire() the old
+  /// one; readers pin an epoch, acquire-load the pointer, and may then
+  /// dereference it for the duration of the pin.
+  struct TableSnapshot {
+    uint64_t visible_rows = 0;
+    /// Shared so INSERT (which does not change it) can reuse the set and
+    /// DELETE can copy-on-write; null means "no tombstones".
+    std::shared_ptr<const std::unordered_set<int64_t>> deleted;
+  };
+  /// Per-table concurrency state, held by unique_ptr so TableEntry stays
+  /// movable while the mutex and atomic stay pinned in memory.
+  struct TableState {
+    /// Serializes table writers; shared by index scans (exclusive for
+    /// indexes whose Search is not concurrency-safe). Seq scans do not
+    /// take it at all.
+    SharedMutex mu;
+    std::atomic<const TableSnapshot*> snapshot{nullptr};
+    ~TableState() { delete snapshot.load(std::memory_order_acquire); }
+  };
   struct TableEntry {
     CreateTableStmt schema;
     std::unique_ptr<pgstub::HeapTable> heap;
     std::vector<std::string> indexes;  ///< names of indexes on this table
-    /// Tombstoned row ids (dead tuples until a rebuild "vacuums" them).
-    std::unordered_set<int64_t> deleted;
+    std::unique_ptr<TableState> state;
   };
   struct IndexEntry {
     CreateIndexStmt def;
@@ -117,30 +194,63 @@ class MiniDatabase {
     uint64_t rows_at_snapshot = 0;
   };
 
+  /// Defined in database.cc: member destructors (instantiated for
+  /// exception cleanup) need the complete Session/Admission types.
   MiniDatabase(pgstub::StorageManager smgr, pgstub::Vfs* vfs,
-               const DatabaseOptions& options)
-      : options_(options),
-        vfs_(vfs),
-        smgr_(std::move(smgr)),
-        bufmgr_(&smgr_, options.pool_pages) {}
+               const DatabaseOptions& options);
 
-  /// Parse + dispatch, without the metrics/stats bookkeeping Execute adds.
-  Result<QueryResult> Dispatch(const Statement& stmt);
+  /// DDL dispatch: CREATE TABLE / CREATE INDEX / DROP / CHECKPOINT.
+  Result<QueryResult> DispatchDdl(const Statement& stmt)
+      VECDB_REQUIRES(catalog_mu_);
+  /// DML/query dispatch: INSERT / SELECT / DELETE / SHOW.
+  Result<QueryResult> DispatchShared(const Statement& stmt, Session* session)
+      VECDB_REQUIRES_SHARED(catalog_mu_);
 
-  Result<QueryResult> ExecCreateTable(const CreateTableStmt& stmt);
-  Result<QueryResult> ExecInsert(const InsertStmt& stmt);
-  Result<QueryResult> ExecCreateIndex(const CreateIndexStmt& stmt);
-  Result<QueryResult> ExecSelect(const SelectStmt& stmt);
-  Result<QueryResult> ExecDrop(const DropStmt& stmt);
-  Result<QueryResult> ExecDelete(const DeleteStmt& stmt);
-  Result<QueryResult> ExecShow(const ShowStmt& stmt);
-  Result<QueryResult> ExecCheckpoint();
+  Result<QueryResult> ExecCreateTable(const CreateTableStmt& stmt)
+      VECDB_REQUIRES(catalog_mu_);
+  Result<QueryResult> ExecInsert(const InsertStmt& stmt)
+      VECDB_REQUIRES_SHARED(catalog_mu_);
+  Result<QueryResult> ExecCreateIndex(const CreateIndexStmt& stmt)
+      VECDB_REQUIRES(catalog_mu_);
+  Result<QueryResult> ExecSelect(const SelectStmt& stmt, Session* session)
+      VECDB_REQUIRES_SHARED(catalog_mu_);
+  Result<QueryResult> ExecDrop(const DropStmt& stmt)
+      VECDB_REQUIRES(catalog_mu_);
+  Result<QueryResult> ExecDelete(const DeleteStmt& stmt)
+      VECDB_REQUIRES_SHARED(catalog_mu_);
+  Result<QueryResult> ExecShow(const ShowStmt& stmt)
+      VECDB_REQUIRES_SHARED(catalog_mu_);
+  Result<QueryResult> ExecCheckpoint() VECDB_REQUIRES(catalog_mu_);
+
+  /// Checkpoint body, for callers already holding the catalog lock.
+  Status CheckpointLocked() VECDB_REQUIRES(catalog_mu_);
+
+  /// The published tombstone set of `table` (a shared empty set when none
+  /// exists). Callable wherever the snapshot pointer may be dereferenced:
+  /// under the table lock, under an epoch pin, or under the exclusive
+  /// catalog lock (which excludes all writers).
+  static const std::unordered_set<int64_t>& DeletedRows(
+      const TableEntry& table);
+
+  /// Swaps in a new TableSnapshot (release-store) and retires the old one
+  /// through the epoch manager. Call once per mutating statement, under
+  /// the table writer lock, AFTER the heap/index mutations it publishes.
+  void PublishSnapshot(
+      TableEntry& table, uint64_t visible_rows,
+      std::shared_ptr<const std::unordered_set<int64_t>> deleted);
+
+  /// Inserts the statement's rows into the heap and every index; split
+  /// out of ExecInsert so the snapshot publish runs exactly once on every
+  /// exit path (rows inserted before a failure are still published).
+  Status InsertRowsLocked(TableEntry& table, const InsertStmt& stmt)
+      VECDB_REQUIRES_SHARED(catalog_mu_);
 
   /// Rebuilds the in-memory state (tables_, indexes_) from the durable
   /// catalog after REDO; `wal_tombstones` are deletes newer than the
   /// catalog's sets, keyed by heap relation id.
   Status RecoverFrom(const Catalog& catalog,
-                     const std::vector<pgstub::WalTombstone>& wal_tombstones);
+                     const std::vector<pgstub::WalTombstone>& wal_tombstones)
+      VECDB_REQUIRES(catalog_mu_);
 
   /// kReload fast path for one index; returns false (after cleaning up)
   /// when the snapshot is unusable and the caller should rebuild.
@@ -151,7 +261,7 @@ class MiniDatabase {
   Status RebuildIndex(const TableEntry& table, IndexEntry* entry);
 
   /// Serializes tables_/indexes_ into the durable catalog (temp + rename).
-  Status SaveCatalogNow() const;
+  Status SaveCatalogNow() const VECDB_REQUIRES_SHARED(catalog_mu_);
 
   /// Path of index `name`'s snapshot covering `rows` heap rows. The row
   /// count is part of the name so a snapshot written for a newer state
@@ -163,13 +273,15 @@ class MiniDatabase {
                                                  uint32_t dim);
 
   /// Brute-force fallback when no usable index exists. `bound` (nullable)
-  /// is the bound WHERE predicate.
+  /// is the bound WHERE predicate. Lock-free: scans the published
+  /// snapshot's heap prefix under an epoch pin, concurrent with writers.
   Result<QueryResult> SeqScanSelect(const SelectStmt& stmt,
                                     const TableEntry& table,
                                     const filter::BoundPredicate* bound);
 
   /// One heap pass producing the exact position-indexed selection bitmap
   /// (deleted rows excluded) plus a strided sampled selectivity estimate.
+  /// Caller must hold the table lock (any mode): uses the full heap scan.
   struct FilterPlan {
     filter::SelectionVector selection;
     double est_selectivity = 1.0;
@@ -183,8 +295,20 @@ class MiniDatabase {
   pgstub::StorageManager smgr_;
   pgstub::BufferManager bufmgr_;
   std::unique_ptr<pgstub::WalManager> wal_;
-  std::map<std::string, TableEntry> tables_;
-  std::map<std::string, IndexEntry> indexes_;
+  /// Defers TableSnapshot frees past the last lock-free reader. Declared
+  /// before tables_ so pending deleters run after entries are gone.
+  pgstub::EpochManager epochs_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<SessionManager> sessions_;
+  /// Lock order: catalog_mu_ before any TableState::mu; session/admission
+  /// mutexes are leaves.
+  mutable SharedMutex catalog_mu_;
+  std::map<std::string, TableEntry> tables_ VECDB_GUARDED_BY(catalog_mu_);
+  std::map<std::string, IndexEntry> indexes_ VECDB_GUARDED_BY(catalog_mu_);
+  Mutex default_session_mu_;
+  /// Backs the deprecated Execute(); created on first use.
+  std::shared_ptr<Session> default_session_
+      VECDB_GUARDED_BY(default_session_mu_);
 };
 
 }  // namespace vecdb::sql

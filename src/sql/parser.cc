@@ -355,9 +355,15 @@ Result<Statement> ParseDelete(Cursor& cur) {
 }
 
 Result<Statement> ParseShow(Cursor& cur) {
-  VECDB_RETURN_NOT_OK(cur.ExpectKeyword("METRICS"));
   auto stmt = std::make_unique<ShowStmt>();
-  stmt->reset = cur.MatchKeyword("RESET");
+  if (cur.MatchKeyword("METRICS")) {
+    stmt->what = ShowStmt::What::kMetrics;
+    stmt->reset = cur.MatchKeyword("RESET");
+  } else if (cur.MatchKeyword("SESSIONS")) {
+    stmt->what = ShowStmt::What::kSessions;
+  } else {
+    return Status::InvalidArgument("expected METRICS or SESSIONS after SHOW");
+  }
   Statement out;
   out.kind = Statement::Kind::kShow;
   out.show = std::move(stmt);

@@ -1,0 +1,212 @@
+#include "sql/session.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace vecdb::sql {
+
+bool AdmissionController::UnderSessionCapLocked(uint64_t session_id) const {
+  auto it = per_session_.find(session_id);
+  return it == per_session_.end() || it->second < max_per_session_;
+}
+
+bool AdmissionController::HasEligibleWaiterLocked() const {
+  for (const Waiter& w : queue_) {
+    if (UnderSessionCapLocked(w.session_id)) return true;
+  }
+  return false;
+}
+
+bool AdmissionController::FirstEligibleLocked(uint64_t ticket) const {
+  // Scan from the front: the first waiter whose session is under its cap
+  // owns the next free slot. Waiters at their cap are skipped, not
+  // cancelled — they regain their FIFO position the moment one of their
+  // session's statements releases.
+  for (const Waiter& w : queue_) {
+    if (!UnderSessionCapLocked(w.session_id)) continue;
+    return w.ticket == ticket;
+  }
+  return false;
+}
+
+void AdmissionController::GrantLocked(uint64_t session_id) {
+  ++running_;
+  ++per_session_[session_id];
+}
+
+AdmissionController::Ticket AdmissionController::Admit(uint64_t session_id) {
+  auto& metrics = obs::MetricsRegistry::Global();
+  MutexLock lock(mu_);
+  // Fast path: a free slot, this session under its cap, and no queued
+  // waiter that could use the slot (waiters blocked on their own session's
+  // cap do not hold newcomers back — they keep their FIFO position).
+  if (running_ < max_concurrent_ && UnderSessionCapLocked(session_id) &&
+      !HasEligibleWaiterLocked()) {
+    GrantLocked(session_id);
+    metrics.Add(obs::Counter::kSessionAdmitted);
+    metrics.Record(obs::Hist::kSessionQueueWaitNanos, 0);
+    return Ticket{};
+  }
+  metrics.Add(obs::Counter::kSessionQueued);
+  const uint64_t ticket = next_ticket_++;
+  queue_.push_back(Waiter{session_id, ticket});
+  Timer timer;
+  while (!(running_ < max_concurrent_ && FirstEligibleLocked(ticket))) {
+    lock.Wait(cv_);
+  }
+  queue_.erase(std::find_if(queue_.begin(), queue_.end(),
+                            [&](const Waiter& w) { return w.ticket == ticket; }));
+  GrantLocked(session_id);
+  // Removing this waiter can expose the next one behind it while slots
+  // remain (e.g. two frees arrived before the front waiter woke).
+  cv_.notify_all();
+  Ticket out;
+  out.waited = true;
+  out.wait_nanos = static_cast<uint64_t>(timer.ElapsedNanos());
+  metrics.Add(obs::Counter::kSessionAdmitted);
+  metrics.Record(obs::Hist::kSessionQueueWaitNanos, out.wait_nanos);
+  return out;
+}
+
+void AdmissionController::Release(uint64_t session_id) {
+  MutexLock lock(mu_);
+  VECDB_CHECK(running_ > 0) << "Release without a matching Admit";
+  --running_;
+  auto it = per_session_.find(session_id);
+  VECDB_CHECK(it != per_session_.end() && it->second > 0)
+      << "Release: session " << session_id << " has no admitted statement";
+  if (--it->second == 0) per_session_.erase(it);
+  cv_.notify_all();
+}
+
+uint32_t AdmissionController::running() const {
+  MutexLock lock(mu_);
+  return running_;
+}
+
+size_t AdmissionController::queued() const {
+  MutexLock lock(mu_);
+  return queue_.size();
+}
+
+Session::~Session() { Close(); }
+
+void Session::Close() {
+  MutexLock lock(mu_);
+  if (closed_) return;
+  closed_ = true;
+  obs::MetricsRegistry::Global().Add(obs::Counter::kSessionClosed);
+}
+
+bool Session::closed() const {
+  MutexLock lock(mu_);
+  return closed_;
+}
+
+void Session::SetDefaultOption(const std::string& name, double value) {
+  MutexLock lock(mu_);
+  defaults_[name] = value;
+}
+
+void Session::ClearDefaultOption(const std::string& name) {
+  MutexLock lock(mu_);
+  defaults_.erase(name);
+}
+
+std::map<std::string, double> Session::default_options() const {
+  MutexLock lock(mu_);
+  return defaults_;
+}
+
+void Session::SetMetricsSink(obs::MetricsRegistry* sink) {
+  MutexLock lock(mu_);
+  metrics_sink_ = sink;
+}
+
+obs::MetricsRegistry* Session::metrics_sink() const {
+  MutexLock lock(mu_);
+  return metrics_sink_;
+}
+
+uint64_t Session::statements_executed() const {
+  MutexLock lock(mu_);
+  return statements_;
+}
+
+uint64_t Session::statements_queued() const {
+  MutexLock lock(mu_);
+  return queued_;
+}
+
+QueryResult::ExecStats Session::last_stats() const {
+  MutexLock lock(mu_);
+  return last_stats_;
+}
+
+Result<QueryResult> Session::Execute(const std::string& statement) {
+  {
+    MutexLock lock(mu_);
+    if (closed_) {
+      return Status::InvalidArgument(
+          "session " + std::to_string(id_) + " is closed");
+    }
+  }
+  const AdmissionController::Ticket ticket = db_->admission()->Admit(id_);
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  // Test seam: lets a fixture park an *admitted* statement (holding its
+  // slot) so admission-cap tests can pin running() at the cap.
+  if (db_->options().statement_hook_for_test) {
+    db_->options().statement_hook_for_test(id_);
+  }
+  Result<QueryResult> result = db_->ExecuteForSession(statement, this);
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  db_->admission()->Release(id_);
+  {
+    MutexLock lock(mu_);
+    ++statements_;
+    if (ticket.waited) ++queued_;
+    if (result.ok()) last_stats_ = result->stats;
+  }
+  return result;
+}
+
+std::shared_ptr<Session> SessionManager::Create() {
+  MutexLock lock(mu_);
+  // Prune entries whose sessions were dropped, so the map stays bounded
+  // by the number of live sessions.
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    it = it->second.expired() ? sessions_.erase(it) : std::next(it);
+  }
+  const uint64_t id = next_id_++;
+  std::shared_ptr<Session> session(new Session(db_, id));
+  sessions_.emplace(id, session);
+  obs::MetricsRegistry::Global().Add(obs::Counter::kSessionCreated);
+  return session;
+}
+
+std::vector<std::shared_ptr<Session>> SessionManager::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<std::shared_ptr<Session>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [_, weak] : sessions_) {
+    if (auto strong = weak.lock()) out.push_back(std::move(strong));
+  }
+  return out;  // map iteration order: ascending by id
+}
+
+size_t SessionManager::alive() const {
+  MutexLock lock(mu_);
+  size_t n = 0;
+  for (const auto& [_, weak] : sessions_) {
+    if (!weak.expired()) ++n;
+  }
+  return n;
+}
+
+void SessionManager::CloseAll() {
+  for (const auto& session : Snapshot()) session->Close();
+}
+
+}  // namespace vecdb::sql

@@ -1,0 +1,176 @@
+// The multi-session front end over MiniDatabase: Session handles with
+// per-session defaults and statistics, an admission controller bounding
+// concurrent statement execution, and the SessionManager that creates and
+// enumerates them (SHOW SESSIONS). One MiniDatabase serves many Sessions;
+// each Session may be driven from its own thread. See docs/SESSIONS.md.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "sql/database.h"
+
+namespace vecdb::sql {
+
+/// Bounds the number of statements executing at once, PostgreSQL's
+/// max_connections-style backpressure: excess statements queue FIFO and
+/// block in Admit() until capacity frees up. A per-session in-flight cap
+/// keeps one chatty session from occupying every slot; waiters whose
+/// session is at its cap are skipped (not cancelled), so the queue cannot
+/// head-of-line-block behind them.
+class AdmissionController {
+ public:
+  /// Both caps must be >= 1 (validated by MiniDatabase::Open).
+  AdmissionController(uint32_t max_concurrent, uint32_t max_per_session)
+      : max_concurrent_(max_concurrent), max_per_session_(max_per_session) {}
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  struct Ticket {
+    bool waited = false;       ///< true if the statement queued
+    uint64_t wait_nanos = 0;   ///< time spent queued (0 on the fast path)
+  };
+
+  /// Blocks until the statement may run; every Admit must be paired with
+  /// exactly one Release. Records session.queued / session.admitted and
+  /// the session.queue_wait_nanos histogram.
+  Ticket Admit(uint64_t session_id) VECDB_EXCLUDES(mu_);
+
+  /// Returns the slot Admit granted and wakes eligible waiters.
+  void Release(uint64_t session_id) VECDB_EXCLUDES(mu_);
+
+  uint32_t running() const VECDB_EXCLUDES(mu_);
+  size_t queued() const VECDB_EXCLUDES(mu_);
+  uint32_t max_concurrent() const { return max_concurrent_; }
+  uint32_t max_per_session() const { return max_per_session_; }
+
+ private:
+  struct Waiter {
+    uint64_t session_id = 0;
+    uint64_t ticket = 0;  ///< FIFO order stamp
+  };
+
+  /// Whether `session_id` is under its per-session cap.
+  bool UnderSessionCapLocked(uint64_t session_id) const VECDB_REQUIRES(mu_);
+  /// Whether any queued waiter could run right now (is under its session
+  /// cap). A newcomer may take the fast path past waiters that cannot run
+  /// anyway; if an eligible waiter exists, FIFO order applies and the
+  /// newcomer must queue behind it.
+  bool HasEligibleWaiterLocked() const VECDB_REQUIRES(mu_);
+  /// Whether `ticket` is the frontmost waiter not blocked on its own
+  /// session's cap — the only waiter allowed to take the next free slot.
+  bool FirstEligibleLocked(uint64_t ticket) const VECDB_REQUIRES(mu_);
+  void GrantLocked(uint64_t session_id) VECDB_REQUIRES(mu_);
+
+  const uint32_t max_concurrent_;
+  const uint32_t max_per_session_;
+  mutable Mutex mu_;
+  std::condition_variable cv_;
+  uint32_t running_ VECDB_GUARDED_BY(mu_) = 0;
+  uint64_t next_ticket_ VECDB_GUARDED_BY(mu_) = 0;
+  /// session id -> statements currently running (absent means 0).
+  std::map<uint64_t, uint32_t> per_session_ VECDB_GUARDED_BY(mu_);
+  std::deque<Waiter> queue_ VECDB_GUARDED_BY(mu_);
+};
+
+/// One client's handle on the database: identity, default query knobs,
+/// an optional private metrics sink, and last-statement statistics. All
+/// methods are thread-safe; a single Session may even run statements from
+/// several threads (its in-flight count is what the per-session admission
+/// cap bounds). Obtain instances from MiniDatabase::CreateSession().
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parses and executes one SQL statement: waits for admission, runs the
+  /// statement, and updates the session statistics. Fails with
+  /// InvalidArgument after Close(). The returned QueryResult is an
+  /// independent value — safe to read (or keep) after any later statement
+  /// on this or any other session.
+  Result<QueryResult> Execute(const std::string& statement)
+      VECDB_EXCLUDES(mu_);
+
+  /// Marks the session closed: later Execute calls fail. Statements
+  /// already in flight finish normally. Idempotent.
+  void Close() VECDB_EXCLUDES(mu_);
+
+  /// Sets a session-default numeric option (e.g. "nprobe", "efs") merged
+  /// into every SELECT that does not set it explicitly in OPTIONS (...).
+  void SetDefaultOption(const std::string& name, double value)
+      VECDB_EXCLUDES(mu_);
+  void ClearDefaultOption(const std::string& name) VECDB_EXCLUDES(mu_);
+  std::map<std::string, double> default_options() const VECDB_EXCLUDES(mu_);
+
+  /// Directs this session's index-scan metrics into `sink` instead of the
+  /// process-wide registry (null restores the default). The sink must
+  /// outlive the session's statements.
+  void SetMetricsSink(obs::MetricsRegistry* sink) VECDB_EXCLUDES(mu_);
+  obs::MetricsRegistry* metrics_sink() const VECDB_EXCLUDES(mu_);
+
+  uint64_t id() const { return id_; }
+  bool closed() const VECDB_EXCLUDES(mu_);
+  /// Statements currently executing (admitted, not yet finished).
+  uint32_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  uint64_t statements_executed() const VECDB_EXCLUDES(mu_);
+  /// How many of those statements had to queue for admission.
+  uint64_t statements_queued() const VECDB_EXCLUDES(mu_);
+  /// Stats of the most recent successful statement, by value.
+  QueryResult::ExecStats last_stats() const VECDB_EXCLUDES(mu_);
+
+ private:
+  friend class SessionManager;
+  Session(MiniDatabase* db, uint64_t id) : db_(db), id_(id) {}
+
+  MiniDatabase* const db_;  ///< not owned; must outlive the session
+  const uint64_t id_;
+  std::atomic<uint32_t> inflight_{0};
+  mutable Mutex mu_;
+  bool closed_ VECDB_GUARDED_BY(mu_) = false;
+  uint64_t statements_ VECDB_GUARDED_BY(mu_) = 0;
+  uint64_t queued_ VECDB_GUARDED_BY(mu_) = 0;
+  QueryResult::ExecStats last_stats_ VECDB_GUARDED_BY(mu_);
+  std::map<std::string, double> defaults_ VECDB_GUARDED_BY(mu_);
+  obs::MetricsRegistry* metrics_sink_ VECDB_GUARDED_BY(mu_) = nullptr;
+};
+
+/// Creates sessions and enumerates the live ones. Sessions are handed out
+/// as shared_ptr (callers own them); the manager keeps weak references so
+/// SHOW SESSIONS never extends a dropped session's lifetime.
+class SessionManager {
+ public:
+  explicit SessionManager(MiniDatabase* db) : db_(db) {}
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Creates a new open session with the next id (ids are never reused).
+  std::shared_ptr<Session> Create() VECDB_EXCLUDES(mu_);
+
+  /// The live sessions, ascending by id.
+  std::vector<std::shared_ptr<Session>> Snapshot() const VECDB_EXCLUDES(mu_);
+
+  size_t alive() const VECDB_EXCLUDES(mu_);
+
+  /// Closes every live session (database shutdown).
+  void CloseAll() VECDB_EXCLUDES(mu_);
+
+ private:
+  MiniDatabase* const db_;
+  mutable Mutex mu_;
+  uint64_t next_id_ VECDB_GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, std::weak_ptr<Session>> sessions_ VECDB_GUARDED_BY(mu_);
+};
+
+}  // namespace vecdb::sql

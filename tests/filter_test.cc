@@ -28,6 +28,7 @@
 #include "pase/ivf_flat.h"
 #include "pase/ivf_pq.h"
 #include "sql/database.h"
+#include "sql/session.h"
 
 namespace vecdb {
 namespace {
@@ -510,10 +511,11 @@ class SqlFilterTest : public ::testing::Test {
         ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir);
     db_ = sql::MiniDatabase::Open(dir).ValueOrDie();
+    session_ = db_->CreateSession();
   }
 
   sql::QueryResult Must(const std::string& stmt) {
-    auto result = db_->Execute(stmt);
+    auto result = session_->Execute(stmt);
     EXPECT_TRUE(result.ok()) << stmt << " -> "
                              << result.status().ToString();
     return result.ok() ? *result : sql::QueryResult{};
@@ -555,6 +557,7 @@ class SqlFilterTest : public ::testing::Test {
       "'0.37,0.38,0.39,0.4,0.41,0.42,0.43,0.44'";
 
   std::unique_ptr<sql::MiniDatabase> db_;
+  std::shared_ptr<sql::Session> session_;
 };
 
 TEST_F(SqlFilterTest, SeqScanHonorsWhere) {
@@ -633,7 +636,7 @@ TEST_F(SqlFilterTest, ShowMetricsReportsFilterCounters) {
 
 TEST_F(SqlFilterTest, UnknownFilterStrategyIsAnError) {
   LoadTable();
-  EXPECT_FALSE(db_->Execute(std::string("SELECT id FROM items WHERE "
+  EXPECT_FALSE(session_->Execute(std::string("SELECT id FROM items WHERE "
                                         "price < 10 ORDER BY vec <-> ") +
                             kQuery +
                             " OPTIONS (filter_strategy=sideways) LIMIT 5")
@@ -642,7 +645,7 @@ TEST_F(SqlFilterTest, UnknownFilterStrategyIsAnError) {
 
 TEST_F(SqlFilterTest, WhereOnUnknownColumnIsAnError) {
   LoadTable();
-  EXPECT_FALSE(db_->Execute(std::string("SELECT id FROM items WHERE "
+  EXPECT_FALSE(session_->Execute(std::string("SELECT id FROM items WHERE "
                                         "nope = 1 ORDER BY vec <-> ") +
                             kQuery + " LIMIT 5")
                    .ok());
@@ -650,8 +653,8 @@ TEST_F(SqlFilterTest, WhereOnUnknownColumnIsAnError) {
 
 TEST_F(SqlFilterTest, InsertArityMustMatchAttrColumns) {
   Must("CREATE TABLE t (id int, vec float[2], price int)");
-  EXPECT_FALSE(db_->Execute("INSERT INTO t VALUES (1, '0,0')").ok());
-  EXPECT_FALSE(db_->Execute("INSERT INTO t VALUES (1, '0,0', 2, 3)").ok());
+  EXPECT_FALSE(session_->Execute("INSERT INTO t VALUES (1, '0,0')").ok());
+  EXPECT_FALSE(session_->Execute("INSERT INTO t VALUES (1, '0,0', 2, 3)").ok());
   Must("INSERT INTO t VALUES (1, '0,0', 2)");
 }
 
@@ -671,10 +674,10 @@ TEST_F(SqlFilterTest, DeleteByPredicateTombstonesAllMatches) {
 TEST_F(SqlFilterTest, DeleteByIdFastPathKeepsHistoricalErrors) {
   LoadTable();
   EXPECT_EQ(Must("DELETE FROM items WHERE id = 1005").message, "DELETE 1");
-  EXPECT_TRUE(db_->Execute("DELETE FROM items WHERE id = 1005")
+  EXPECT_TRUE(session_->Execute("DELETE FROM items WHERE id = 1005")
                   .status()
                   .IsNotFound());
-  EXPECT_TRUE(db_->Execute("DELETE FROM items WHERE id = 99999")
+  EXPECT_TRUE(session_->Execute("DELETE FROM items WHERE id = 99999")
                   .status()
                   .IsNotFound());
 }

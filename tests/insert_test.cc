@@ -14,6 +14,7 @@
 #include "pase/hnsw.h"
 #include "pase/ivf_flat.h"
 #include "sql/database.h"
+#include "sql/session.h"
 
 namespace vecdb {
 namespace {
@@ -166,20 +167,21 @@ TEST(SqlInsertTest, InsertAfterIndexIsSearchable) {
   const std::string dir = ::testing::TempDir() + "/sql_insert_after";
   std::filesystem::remove_all(dir);
   auto db = std::move(sql::MiniDatabase::Open(dir)).ValueOrDie();
-  ASSERT_TRUE(db->Execute("CREATE TABLE t (id int, vec float[2])").ok());
+  auto session = db->CreateSession();
+  ASSERT_TRUE(session->Execute("CREATE TABLE t (id int, vec float[2])").ok());
   std::string insert = "INSERT INTO t VALUES ";
   for (int i = 0; i < 32; ++i) {
     if (i > 0) insert += ", ";
     insert += "(" + std::to_string(i) + ", '" + std::to_string(i) + ",0')";
   }
-  ASSERT_TRUE(db->Execute(insert).ok());
-  ASSERT_TRUE(db->Execute("CREATE INDEX i ON t USING ivfflat (vec) WITH "
+  ASSERT_TRUE(session->Execute(insert).ok());
+  ASSERT_TRUE(session->Execute("CREATE INDEX i ON t USING ivfflat (vec) WITH "
                           "(clusters=4, sample_ratio=1)")
                   .ok());
   // Insert a new row AFTER the index exists; it must be index-visible.
-  ASSERT_TRUE(db->Execute("INSERT INTO t VALUES (999, '100,0')").ok());
+  ASSERT_TRUE(session->Execute("INSERT INTO t VALUES (999, '100,0')").ok());
   auto result =
-      db->Execute("SELECT id FROM t ORDER BY vec <-> '100,0' "
+      session->Execute("SELECT id FROM t ORDER BY vec <-> '100,0' "
                   "OPTIONS (nprobe=4) LIMIT 1");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_EQ(result->rows.size(), 1u);

@@ -10,6 +10,7 @@
 #include "faisslike/ivf_sq8.h"
 #include "pase/ivf_sq8.h"
 #include "sql/database.h"
+#include "sql/session.h"
 
 namespace vecdb {
 namespace {
@@ -93,21 +94,22 @@ TEST(IvfSq8Test, AvailableThroughSql) {
   const std::string dir = ::testing::TempDir() + "/sq8_sql";
   std::filesystem::remove_all(dir);
   auto db = std::move(sql::MiniDatabase::Open(dir)).ValueOrDie();
-  ASSERT_TRUE(db->Execute("CREATE TABLE t (id int, vec float[4])").ok());
+  auto session = db->CreateSession();
+  ASSERT_TRUE(session->Execute("CREATE TABLE t (id int, vec float[4])").ok());
   std::string insert = "INSERT INTO t VALUES ";
   for (int i = 0; i < 64; ++i) {
     if (i > 0) insert += ", ";
     insert += "(" + std::to_string(i) + ", '" + std::to_string(i * 0.1) +
               ",0,0,0')";
   }
-  ASSERT_TRUE(db->Execute(insert).ok());
+  ASSERT_TRUE(session->Execute(insert).ok());
   for (const std::string engine : {"pase", "faiss"}) {
-    ASSERT_TRUE(db->Execute("CREATE INDEX sq8_" + engine +
+    ASSERT_TRUE(session->Execute("CREATE INDEX sq8_" + engine +
                             " ON t USING ivfsq8 (vec) WITH (clusters=4, "
                             "sample_ratio=1, engine='" +
                             engine + "')")
                     .ok());
-    ASSERT_TRUE(db->Execute("DROP INDEX sq8_" + engine).ok());
+    ASSERT_TRUE(session->Execute("DROP INDEX sq8_" + engine).ok());
   }
 }
 

@@ -168,6 +168,29 @@ TEST(MetricsRegistry, ExportsCarryDottedNames) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
 }
 
+TEST(MetricsRegistry, SessionMetricsExportUnderDottedNames) {
+  // The session front end's counters and queue-wait histogram must surface
+  // in both export formats so SHOW METRICS exposes admission behavior.
+  MetricsRegistry reg;
+  reg.SetEnabled(true);
+  reg.Add(Counter::kSessionCreated, 2);
+  reg.Add(Counter::kSessionClosed);
+  reg.Add(Counter::kSessionQueued, 3);
+  reg.Add(Counter::kSessionAdmitted, 4);
+  reg.Record(Hist::kSessionQueueWaitNanos, 1234);
+  const std::string table = reg.ExportTable();
+  EXPECT_NE(table.find("session.created"), std::string::npos);
+  EXPECT_NE(table.find("session.closed"), std::string::npos);
+  EXPECT_NE(table.find("session.queued"), std::string::npos);
+  EXPECT_NE(table.find("session.admitted"), std::string::npos);
+  EXPECT_NE(table.find("session.queue_wait_nanos"), std::string::npos);
+  const std::string json = reg.ExportJson();
+  EXPECT_NE(json.find("\"session.created\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"session.queued\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"session.admitted\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"session.queue_wait_nanos\""), std::string::npos);
+}
+
 TEST(MetricsRegistry, CounterNamesAreUniqueAndKnown) {
   std::vector<std::string> names;
   for (uint32_t c = 0; c < static_cast<uint32_t>(Counter::kNumCounters);

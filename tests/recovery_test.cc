@@ -18,6 +18,7 @@
 #include "pgstub/vfs.h"
 #include "pgstub/wal.h"
 #include "sql/database.h"
+#include "sql/session.h"
 
 namespace vecdb::sql {
 namespace {
@@ -50,11 +51,18 @@ std::string InsertRow(int64_t id) {
          Vec4(static_cast<int>(id)) + "')";
 }
 
+/// Executes one statement on a fresh session. These tests open and reopen
+/// databases constantly, so a one-shot session per statement keeps the
+/// crash/restart scopes simple.
+Result<QueryResult> Exec(MiniDatabase* db, const std::string& sql) {
+  return db->CreateSession()->Execute(sql);
+}
+
 /// All live row ids via a sequential scan (the <#> operator never uses an
 /// index, so this is exact regardless of index state or recall).
 Result<std::set<int64_t>> LiveIds(MiniDatabase* db) {
   auto result =
-      db->Execute("SELECT id FROM t ORDER BY vec <#> '1,1,1,1' LIMIT 100000");
+      Exec(db, "SELECT id FROM t ORDER BY vec <#> '1,1,1,1' LIMIT 100000");
   if (!result.ok()) return result.status();
   std::set<int64_t> ids;
   for (const auto& row : result->rows) ids.insert(row.id);
@@ -66,15 +74,15 @@ TEST(RecoveryTest, DurableOpenRoundTrip) {
   std::set<int64_t> before;
   {
     auto db = MiniDatabase::Open(dir, SmallPool()).ValueOrDie();
-    ASSERT_TRUE(db->Execute("CREATE TABLE t (id int, vec float[4])").ok());
+    ASSERT_TRUE(Exec(db.get(), "CREATE TABLE t (id int, vec float[4])").ok());
     for (int i = 0; i < 60; ++i) {
-      ASSERT_TRUE(db->Execute(InsertRow(i)).ok());
+      ASSERT_TRUE(Exec(db.get(), InsertRow(i)).ok());
     }
-    ASSERT_TRUE(db->Execute("CREATE INDEX t_idx ON t USING ivfflat (vec) "
+    ASSERT_TRUE(Exec(db.get(), "CREATE INDEX t_idx ON t USING ivfflat (vec) "
                             "WITH (clusters=4, sample_ratio=1)")
                     .ok());
-    ASSERT_TRUE(db->Execute("DELETE FROM t WHERE id = 7").ok());
-    ASSERT_TRUE(db->Execute("DELETE FROM t WHERE id = 41").ok());
+    ASSERT_TRUE(Exec(db.get(), "DELETE FROM t WHERE id = 7").ok());
+    ASSERT_TRUE(Exec(db.get(), "DELETE FROM t WHERE id = 41").ok());
     before = std::move(LiveIds(db.get())).ValueOrDie();
     ASSERT_EQ(before.size(), 58u);
     // No CHECKPOINT, no clean shutdown: everything must come back from
@@ -83,13 +91,13 @@ TEST(RecoveryTest, DurableOpenRoundTrip) {
   auto db = MiniDatabase::Open(dir, SmallPool()).ValueOrDie();
   EXPECT_EQ(std::move(LiveIds(db.get())).ValueOrDie(), before);
   // The index came back (rebuilt) and serves: nearest to row 3's vector.
-  auto hit = db->Execute("SELECT id FROM t ORDER BY vec <-> '" + Vec4(3) +
+  auto hit = Exec(db.get(), "SELECT id FROM t ORDER BY vec <-> '" + Vec4(3) +
                          "' OPTIONS (nprobe=4) LIMIT 1");
   ASSERT_TRUE(hit.ok());
   ASSERT_EQ(hit->rows.size(), 1u);
   EXPECT_EQ(hit->rows[0].id, 3);
   // And the database still accepts writes.
-  ASSERT_TRUE(db->Execute(InsertRow(1000)).ok());
+  ASSERT_TRUE(Exec(db.get(), InsertRow(1000)).ok());
   EXPECT_EQ(std::move(LiveIds(db.get())).ValueOrDie().size(), 59u);
 }
 
@@ -100,27 +108,27 @@ TEST(RecoveryTest, SnapshotReloadMatchesRebuild) {
   std::set<int64_t> before;
   {
     auto db = MiniDatabase::Open(dir, options).ValueOrDie();
-    ASSERT_TRUE(db->Execute("CREATE TABLE t (id int, vec float[4])").ok());
+    ASSERT_TRUE(Exec(db.get(), "CREATE TABLE t (id int, vec float[4])").ok());
     for (int i = 0; i < 50; ++i) {
-      ASSERT_TRUE(db->Execute(InsertRow(i)).ok());
+      ASSERT_TRUE(Exec(db.get(), InsertRow(i)).ok());
     }
-    ASSERT_TRUE(db->Execute("CREATE INDEX t_idx ON t USING ivfflat (vec) "
+    ASSERT_TRUE(Exec(db.get(), "CREATE INDEX t_idx ON t USING ivfflat (vec) "
                             "WITH (clusters=4, sample_ratio=1)")
                     .ok());
     // Snapshot the index at 50 rows, then keep writing: recovery must
     // reload the snapshot and top it up with the 10 post-snapshot rows
     // and the post-snapshot delete.
-    ASSERT_TRUE(db->Execute("CHECKPOINT").ok());
+    ASSERT_TRUE(Exec(db.get(), "CHECKPOINT").ok());
     for (int i = 50; i < 60; ++i) {
-      ASSERT_TRUE(db->Execute(InsertRow(i)).ok());
+      ASSERT_TRUE(Exec(db.get(), InsertRow(i)).ok());
     }
-    ASSERT_TRUE(db->Execute("DELETE FROM t WHERE id = 55").ok());
+    ASSERT_TRUE(Exec(db.get(), "DELETE FROM t WHERE id = 55").ok());
     before = std::move(LiveIds(db.get())).ValueOrDie();
   }
   auto db = MiniDatabase::Open(dir, options).ValueOrDie();
   EXPECT_EQ(std::move(LiveIds(db.get())).ValueOrDie(), before);
   // Exact scan over all clusters: every live row reachable, 55 is not.
-  auto hit = db->Execute("SELECT id FROM t ORDER BY vec <-> '" + Vec4(55) +
+  auto hit = Exec(db.get(), "SELECT id FROM t ORDER BY vec <-> '" + Vec4(55) +
                          "' OPTIONS (nprobe=4) LIMIT 60");
   ASSERT_TRUE(hit.ok());
   std::set<int64_t> via_index;
@@ -170,15 +178,15 @@ TEST(CheckpointOrderingTest, DatabaseCheckpointSurvivesCrash) {
   std::set<int64_t> before;
   {
     auto db = MiniDatabase::Open(dir, SmallPool()).ValueOrDie();
-    ASSERT_TRUE(db->Execute("CREATE TABLE t (id int, vec float[4])").ok());
+    ASSERT_TRUE(Exec(db.get(), "CREATE TABLE t (id int, vec float[4])").ok());
     for (int i = 0; i < 50; ++i) {
-      ASSERT_TRUE(db->Execute(InsertRow(i)).ok());
+      ASSERT_TRUE(Exec(db.get(), InsertRow(i)).ok());
     }
     // The real protocol: FlushAll + SyncAll + catalog BEFORE the record.
-    ASSERT_TRUE(db->Execute("CHECKPOINT").ok());
+    ASSERT_TRUE(Exec(db.get(), "CHECKPOINT").ok());
     // Post-checkpoint writes ride on the (rotated) WAL.
     for (int i = 50; i < 55; ++i) {
-      ASSERT_TRUE(db->Execute(InsertRow(i)).ok());
+      ASSERT_TRUE(Exec(db.get(), InsertRow(i)).ok());
     }
     before = std::move(LiveIds(db.get())).ValueOrDie();
     // Crash.
@@ -192,12 +200,12 @@ TEST(RecoveryTest, AutoCheckpointBoundsWalSize) {
   DatabaseOptions options = SmallPool();
   options.checkpoint_wal_bytes = 64 << 10;
   auto db = MiniDatabase::Open(dir, options).ValueOrDie();
-  ASSERT_TRUE(db->Execute("CREATE TABLE t (id int, vec float[4])").ok());
+  ASSERT_TRUE(Exec(db.get(), "CREATE TABLE t (id int, vec float[4])").ok());
   // Each single-row insert logs a full 8KB page image; without rotation
   // 200 of them would pile up ~1.6MB of log.
   const uint64_t slack = 2 * 8192 + 4096;  // one statement's worth + frames
   for (int i = 0; i < 200; ++i) {
-    ASSERT_TRUE(db->Execute(InsertRow(i)).ok());
+    ASSERT_TRUE(Exec(db.get(), InsertRow(i)).ok());
     ASSERT_LE(db->wal()->size_bytes(), options.checkpoint_wal_bytes + slack)
         << "after insert " << i;
   }
@@ -268,7 +276,7 @@ WorkloadResult RunWorkload(MiniDatabase* db,
                            const pgstub::FaultInjectionVfs* vfs) {
   WorkloadResult out;
   for (const auto& op : KillWorkload()) {
-    auto result = db->Execute(op);
+    auto result = Exec(db, op);
     if (result.ok()) {
       ++out.acked;
       continue;
@@ -359,7 +367,7 @@ TEST(FaultInjectionTest, KillAtSampledWriteOffsetsRecoversConsistently) {
 
     // And the survivor serves reads and writes.
     if (recovered.has_value()) {
-      ASSERT_TRUE((*db)->Execute(InsertRow(9000)).ok())
+      ASSERT_TRUE(Exec(db->get(), InsertRow(9000)).ok())
           << "budget " << budget;
       auto after = std::move(LiveIds(db->get())).ValueOrDie();
       EXPECT_EQ(after.size(), recovered->size() + 1) << "budget " << budget;

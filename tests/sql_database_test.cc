@@ -6,6 +6,8 @@
 
 #include <string>
 
+#include "sql/session.h"
+
 namespace vecdb::sql {
 namespace {
 
@@ -17,10 +19,11 @@ class DatabaseTest : public ::testing::Test {
         ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir);
     db_ = MiniDatabase::Open(dir).ValueOrDie();
+    session_ = db_->CreateSession();
   }
 
   QueryResult Must(const std::string& sql) {
-    auto result = db_->Execute(sql);
+    auto result = session_->Execute(sql);
     EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
     return result.ok() ? *result : QueryResult{};
   }
@@ -33,6 +36,7 @@ class DatabaseTest : public ::testing::Test {
   }
 
   std::unique_ptr<MiniDatabase> db_;
+  std::shared_ptr<Session> session_;
 };
 
 TEST_F(DatabaseTest, CreateInsertSelectViaSeqScan) {
@@ -127,27 +131,27 @@ TEST_F(DatabaseTest, NonL2MetricFallsBackToSeqScan) {
 }
 
 TEST_F(DatabaseTest, ErrorsSurfaceCleanly) {
-  EXPECT_TRUE(db_->Execute("SELECT id FROM ghost ORDER BY v <-> '1' LIMIT 1")
+  EXPECT_TRUE(session_->Execute("SELECT id FROM ghost ORDER BY v <-> '1' LIMIT 1")
                   .status()
                   .IsNotFound());
   Must("CREATE TABLE t (id int, vec float[2])");
-  EXPECT_TRUE(db_->Execute("CREATE TABLE t (id int, vec float[2])")
+  EXPECT_TRUE(session_->Execute("CREATE TABLE t (id int, vec float[2])")
                   .status()
                   .IsAlreadyExists());
   // Dimension mismatches.
-  EXPECT_FALSE(db_->Execute("INSERT INTO t VALUES (1, '1,2,3')").ok());
+  EXPECT_FALSE(session_->Execute("INSERT INTO t VALUES (1, '1,2,3')").ok());
   EXPECT_FALSE(
-      db_->Execute("SELECT id FROM t ORDER BY vec <-> '1,2,3' LIMIT 1").ok());
+      session_->Execute("SELECT id FROM t ORDER BY vec <-> '1,2,3' LIMIT 1").ok());
   // Unknown engine / method.
   Must("INSERT INTO t VALUES (1, '1,2')");
-  EXPECT_FALSE(db_->Execute("CREATE INDEX i ON t USING ivfflat (vec) "
+  EXPECT_FALSE(session_->Execute("CREATE INDEX i ON t USING ivfflat (vec) "
                             "WITH (engine='oracle')")
                    .ok());
   EXPECT_FALSE(
-      db_->Execute("CREATE INDEX i ON t USING btree (vec)").ok());
+      session_->Execute("CREATE INDEX i ON t USING btree (vec)").ok());
   // Selecting a non-id column.
   EXPECT_FALSE(
-      db_->Execute("SELECT vec FROM t ORDER BY vec <-> '1,2' LIMIT 1").ok());
+      session_->Execute("SELECT vec FROM t ORDER BY vec <-> '1,2' LIMIT 1").ok());
 }
 
 TEST_F(DatabaseTest, DropTableAndIndexLifecycle) {
@@ -155,10 +159,10 @@ TEST_F(DatabaseTest, DropTableAndIndexLifecycle) {
   Must("CREATE INDEX items_idx ON items USING ivfflat (vec) "
        "WITH (clusters=2, sample_ratio=1)");
   // Table with an index cannot be dropped first.
-  EXPECT_FALSE(db_->Execute("DROP TABLE items").ok());
+  EXPECT_FALSE(session_->Execute("DROP TABLE items").ok());
   Must("DROP INDEX items_idx");
   Must("DROP TABLE items");
-  EXPECT_TRUE(db_->Execute("SELECT id FROM items ORDER BY vec <-> '1,0,0,0' "
+  EXPECT_TRUE(session_->Execute("SELECT id FROM items ORDER BY vec <-> '1,0,0,0' "
                            "LIMIT 1")
                   .status()
                   .IsNotFound());
@@ -181,17 +185,17 @@ TEST_F(DatabaseTest, DeleteRemovesRowFromBothScanPaths) {
   auto seq = Must("SELECT id FROM items ORDER BY vec <=> '1,0,0,0' LIMIT 1");
   EXPECT_NE(seq.rows[0].id, 10);
   // Double delete and unknown rows fail.
-  EXPECT_TRUE(db_->Execute("DELETE FROM items WHERE id = 10")
+  EXPECT_TRUE(session_->Execute("DELETE FROM items WHERE id = 10")
                   .status()
                   .IsNotFound());
-  EXPECT_FALSE(db_->Execute("DELETE FROM items WHERE id = 777").ok());
+  EXPECT_FALSE(session_->Execute("DELETE FROM items WHERE id = 777").ok());
 }
 
 TEST_F(DatabaseTest, DeleteValidatesColumnAndTable) {
   LoadSmallTable();
-  EXPECT_FALSE(db_->Execute("DELETE FROM items WHERE vec = 1").ok());
+  EXPECT_FALSE(session_->Execute("DELETE FROM items WHERE vec = 1").ok());
   EXPECT_TRUE(
-      db_->Execute("DELETE FROM ghost WHERE id = 1").status().IsNotFound());
+      session_->Execute("DELETE FROM ghost WHERE id = 1").status().IsNotFound());
 }
 
 TEST_F(DatabaseTest, UserRowIdsPreservedThroughIndexScan) {
@@ -218,7 +222,7 @@ TEST_F(DatabaseTest, ShowMetricsRoundTripsAndCounts) {
   Must("SHOW METRICS RESET");  // start from a clean registry
   LoadSmallTable();
   Must("SELECT id FROM items ORDER BY vec <-> '1,0,0,0' LIMIT 2");
-  EXPECT_FALSE(db_->Execute("SELECT nope FROM items ORDER BY vec <-> '1' "
+  EXPECT_FALSE(session_->Execute("SELECT nope FROM items ORDER BY vec <-> '1' "
                             "LIMIT 1")
                    .ok());
   auto shown = Must("SHOW METRICS");

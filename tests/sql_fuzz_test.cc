@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "sql/database.h"
+#include "sql/session.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 
@@ -119,11 +120,12 @@ TEST(SqlFuzzTest, WhereTokenSoupNeverCrashes) {
   const std::string dir = ::testing::TempDir() + "/fuzz_where_db";
   std::filesystem::remove_all(dir);
   auto db = std::move(MiniDatabase::Open(dir)).ValueOrDie();
+  auto session = db->CreateSession();
   ASSERT_TRUE(
-      db->Execute("CREATE TABLE t (id int, vec float[2], price int, "
+      session->Execute("CREATE TABLE t (id int, vec float[2], price int, "
                   "tag int)")
           .ok());
-  ASSERT_TRUE(db->Execute("INSERT INTO t VALUES (1, '1,2', 10, 0)").ok());
+  ASSERT_TRUE(session->Execute("INSERT INTO t VALUES (1, '1,2', 10, 0)").ok());
 
   Rng rng(4242);
   for (int trial = 0; trial < 2000; ++trial) {
@@ -133,15 +135,15 @@ TEST(SqlFuzzTest, WhereTokenSoupNeverCrashes) {
       where += fragments[rng.Uniform(fragments.size())];
       where += " ";
     }
-    (void)db->Execute("SELECT id FROM t WHERE " + where +
+    (void)session->Execute("SELECT id FROM t WHERE " + where +
                       "ORDER BY vec <-> '1,2' LIMIT 1");
-    (void)db->Execute("DELETE FROM t WHERE " + where);
+    (void)session->Execute("DELETE FROM t WHERE " + where);
   }
   // The table must still answer queries (row 1 may legally have been
   // deleted by a soup predicate that parsed; re-insert to check health).
-  (void)db->Execute("INSERT INTO t VALUES (2, '1,2', 11, 1)");
+  (void)session->Execute("INSERT INTO t VALUES (2, '1,2', 11, 1)");
   auto check =
-      db->Execute("SELECT id FROM t ORDER BY vec <-> '1,2' LIMIT 1");
+      session->Execute("SELECT id FROM t ORDER BY vec <-> '1,2' LIMIT 1");
   ASSERT_TRUE(check.ok()) << check.status().ToString();
   ASSERT_FALSE(check->rows.empty());
 }
@@ -160,8 +162,9 @@ TEST(SqlFuzzTest, RandomTokenSoupNeverCrashes) {
   const std::string dir = ::testing::TempDir() + "/fuzz_db";
   std::filesystem::remove_all(dir);
   auto db = std::move(MiniDatabase::Open(dir)).ValueOrDie();
-  ASSERT_TRUE(db->Execute("CREATE TABLE t (id int, vec float[2])").ok());
-  ASSERT_TRUE(db->Execute("INSERT INTO t VALUES (1, '1,2')").ok());
+  auto session = db->CreateSession();
+  ASSERT_TRUE(session->Execute("CREATE TABLE t (id int, vec float[2])").ok());
+  ASSERT_TRUE(session->Execute("INSERT INTO t VALUES (1, '1,2')").ok());
 
   Rng rng(2024);
   int valid = 0;
@@ -172,12 +175,12 @@ TEST(SqlFuzzTest, RandomTokenSoupNeverCrashes) {
       statement += fragments[rng.Uniform(fragments.size())];
       statement += " ";
     }
-    auto result = db->Execute(statement);  // must not crash or corrupt
+    auto result = session->Execute(statement);  // must not crash or corrupt
     if (result.ok()) ++valid;
   }
   // The soup occasionally forms valid statements; the catalog must still
   // answer a real query afterwards.
-  auto check = db->Execute("SELECT id FROM t ORDER BY vec <-> '1,2' LIMIT 1");
+  auto check = session->Execute("SELECT id FROM t ORDER BY vec <-> '1,2' LIMIT 1");
   ASSERT_TRUE(check.ok()) << check.status().ToString();
   ASSERT_FALSE(check->rows.empty());
   EXPECT_EQ(check->rows[0].id, 1);

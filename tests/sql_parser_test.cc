@@ -136,6 +136,26 @@ TEST(ParserTest, ShowMetrics) {
   EXPECT_FALSE(Parse("SHOW METRICS please").ok());
 }
 
+TEST(ParserTest, ShowSessions) {
+  auto stmt = Parse("SHOW SESSIONS;").ValueOrDie();
+  ASSERT_EQ(stmt.kind, Statement::Kind::kShow);
+  EXPECT_EQ(stmt.show->what, ShowStmt::What::kSessions);
+  EXPECT_FALSE(stmt.show->reset);
+
+  auto lower = Parse("show sessions").ValueOrDie();
+  EXPECT_EQ(lower.show->what, ShowStmt::What::kSessions);
+
+  auto metrics = Parse("SHOW METRICS").ValueOrDie();
+  EXPECT_EQ(metrics.show->what, ShowStmt::What::kMetrics);
+
+  EXPECT_FALSE(Parse("SHOW SESSIONS RESET").ok());
+  EXPECT_FALSE(Parse("SHOW SESSIONS extra").ok());
+  auto bad = Parse("SHOW GARBAGE");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("METRICS or SESSIONS"),
+            std::string::npos);
+}
+
 TEST(VectorLiteralTest, PlainAndBracketed) {
   auto a = ParseVectorLiteral("0.5, 1.5,2.5").ValueOrDie();
   ASSERT_EQ(a.size(), 3u);

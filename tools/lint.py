@@ -30,6 +30,12 @@ Rules (suppress one occurrence with a trailing `// lint-allow:<rule>`):
                     vecdb::SharedMutex instead so the field can carry
                     VECDB_GUARDED_BY and the Clang Thread Safety Analysis
                     gate (VECDB_TSA) can prove the lock discipline.
+  database-execute  Execute() called on a MiniDatabase object -- the
+                    single-session wrapper is deprecated; create a Session
+                    with MiniDatabase::CreateSession() and call
+                    Session::Execute so statements go through admission
+                    control and session accounting. (Scoped to variables
+                    the scan can prove are MiniDatabase handles.)
 
 Additionally, every `// lint-allow:<rule>` suppression is itself audited:
 naming a rule that does not exist, or sitting on a line where its rule no
@@ -54,7 +60,7 @@ RAW_MUTEX_ALLOWED = {os.path.join("src", "common", "thread_annotations.h")}
 # Every rule a lint-allow comment may name (stale-suppression audits this).
 KNOWN_RULES = {
     "new-array", "raw-pthread", "discarded-status", "pragma-once",
-    "std-endl", "removed-field", "raw-mutex",
+    "std-endl", "removed-field", "raw-mutex", "database-execute",
 }
 
 NEW_ARRAY_RE = re.compile(r"\bnew\s+[\w:<>]+\s*\[|\bdelete\s*\[\]")
@@ -69,6 +75,16 @@ SEARCHPARAMS_DECL_RE = re.compile(r"\bSearchParams\s+(\w+)\s*[;={]")
 # Designated init naming a removed field: `SearchParams{.profiler = ...}`.
 SEARCHPARAMS_REMOVED_INIT_RE = re.compile(
     r"\bSearchParams\s*\{[^}]*\.\s*(?:profiler|accounting)\b"
+)
+# MiniDatabase handle declarations, harvested per file so database-execute
+# only fires on objects the scan can prove are databases (not on Session
+# or other Execute-bearing types): `MiniDatabase* db` / `MiniDatabase& db`,
+# `unique_ptr<MiniDatabase> db`, and `db = [std::move(]MiniDatabase::Open`.
+MINIDATABASE_DECL_RES = (
+    re.compile(r"\b(?:sql::)?MiniDatabase\s*[*&]\s*(?:const\s+)?(\w+)"),
+    re.compile(r"\bunique_ptr<\s*(?:sql::)?MiniDatabase\s*>\s+(\w+)"),
+    re.compile(r"\b(\w+)\s*=\s*(?:std::move\()?\s*(?:sql::)?"
+               r"MiniDatabase::Open\b"),
 )
 PTHREAD_RE = re.compile(r"\bpthread_\w+\s*\(")
 ENDL_RE = re.compile(r"\bstd::endl\b")
@@ -167,15 +183,26 @@ def lint_file(root, path, status_stmt_re, errors):
     # (a different struct, fine). Any access -- read or write -- is banned:
     # the fields no longer exist.
     searchparams_vars = set()
+    database_vars = set()
     for raw in lines:
         line = strip_comments_and_strings(raw)
         for m in SEARCHPARAMS_DECL_RE.finditer(line):
             searchparams_vars.add(m.group(1))
+        for decl_re in MINIDATABASE_DECL_RES:
+            for m in decl_re.finditer(line):
+                database_vars.add(m.group(1))
     removed_field_re = None
     if searchparams_vars:
         removed_field_re = re.compile(
             r"\b(?:%s)\s*\.\s*(?:profiler|accounting)\b"
             % "|".join(sorted(searchparams_vars))
+        )
+    database_execute_re = None
+    if database_vars:
+        alt = "|".join(sorted(database_vars))
+        database_execute_re = re.compile(
+            r"(?:\b|\(\s*\*\s*)(?:%s)\s*(?:\)\s*)?(?:->|\.)\s*Execute\s*\("
+            % alt
         )
 
     in_src = path.startswith("src" + os.sep)
@@ -200,6 +227,10 @@ def lint_file(root, path, status_stmt_re, errors):
                    "raw pthread_ call; use std::thread or ThreadPool")
         if in_src and ENDL_RE.search(line):
             report(i, "std-endl", "std::endl flushes; use '\\n'")
+        if database_execute_re and database_execute_re.search(line):
+            report(i, "database-execute",
+                   "MiniDatabase::Execute is deprecated; CreateSession() "
+                   "and call Session::Execute (admission + accounting)")
         if (status_stmt_re.match(line)
                 and not CONSUMED_RE.search(line)
                 and not CONTINUATION_TAIL_RE.search(prev_code)):
