@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "distance/dispatch.h"
 #include "distance/kernels.h"
 #include "distance/sgemm.h"
 #include "faisslike/ivf_flat.h"
@@ -17,6 +18,7 @@
 #include "pgstub/heap_table.h"
 #include "pgstub/wal.h"
 #include "quantizer/pq.h"
+#include "quantizer/sq8.h"
 #include "topk/heaps.h"
 
 namespace vecdb {
@@ -38,6 +40,156 @@ void BM_L2SqrSingle(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_L2SqrSingle)->Arg(96)->Arg(128)->Arg(256)->Arg(960);
+
+// --- Per-ISA kernel tiers -------------------------------------------------
+// range(0) selects the tier (KernelIsa value); unsupported tiers skip, so
+// one binary covers every host. Pair with BENCH_kernels.json, which records
+// the same measurements machine-readably.
+
+const KernelDispatch* TierOrSkip(benchmark::State& state) {
+  const auto isa = static_cast<KernelIsa>(state.range(0));
+  const KernelDispatch* t = KernelTableFor(isa);
+  if (t == nullptr) {
+    state.SkipWithError("ISA tier not supported on this host");
+    return nullptr;
+  }
+  state.SetLabel(KernelIsaName(isa));
+  return t;
+}
+
+void BM_L2SqrTier(benchmark::State& state) {
+  const KernelDispatch* t = TierOrSkip(state);
+  if (t == nullptr) return;
+  const size_t d = static_cast<size_t>(state.range(1));
+  auto data = RandomVectors(2, d, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t->l2sqr(data.data(), data.data() + d, d));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2SqrTier)->ArgsProduct({{0, 1, 2}, {128, 960}});
+
+void BM_InnerProductTier(benchmark::State& state) {
+  const KernelDispatch* t = TierOrSkip(state);
+  if (t == nullptr) return;
+  const size_t d = static_cast<size_t>(state.range(1));
+  auto data = RandomVectors(2, d, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        t->inner_product(data.data(), data.data() + d, d));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InnerProductTier)->ArgsProduct({{0, 1, 2}, {128}});
+
+void BM_CosineTier(benchmark::State& state) {
+  // Fused single-pass cosine per tier (the pre-dispatch code walked the
+  // vectors three times).
+  const KernelDispatch* t = TierOrSkip(state);
+  if (t == nullptr) return;
+  const size_t d = static_cast<size_t>(state.range(1));
+  auto data = RandomVectors(2, d, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t->cosine(data.data(), data.data() + d, d));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CosineTier)->ArgsProduct({{0, 1, 2}, {128}});
+
+void BM_DistanceBatchTier(benchmark::State& state) {
+  // The bucket-scan shape: one query against n contiguous vectors.
+  const KernelDispatch* t = TierOrSkip(state);
+  if (t == nullptr) return;
+  const size_t d = static_cast<size_t>(state.range(1)), n = 1024;
+  auto base = RandomVectors(n, d, 2);
+  auto query = RandomVectors(1, d, 3);
+  std::vector<float> dists(n);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      dists[i] = t->l2sqr(query.data(), base.data() + i * d, d);
+    }
+    benchmark::DoNotOptimize(dists.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DistanceBatchTier)->ArgsProduct({{0, 1, 2}, {128}});
+
+// --- SQ8 fast scan --------------------------------------------------------
+
+struct Sq8BenchSetup {
+  ScalarQuantizer8 sq;
+  Sq8CodeStore store;
+  std::vector<float> query;
+
+  static Sq8BenchSetup Make(size_t n, size_t d) {
+    auto data = RandomVectors(n, d, 21);
+    Sq8BenchSetup out{
+        ScalarQuantizer8::Train(data.data(), n, d).ValueOrDie(),
+        Sq8CodeStore{},
+        RandomVectors(1, d, 22)};
+    out.store.Reset(d);
+    std::vector<uint8_t> code(d);
+    for (size_t i = 0; i < n; ++i) {
+      out.sq.Encode(data.data() + i * d, code.data());
+      out.store.Append(code.data(), static_cast<int64_t>(i));
+    }
+    return out;
+  }
+};
+
+void BM_Sq8PerCode(benchmark::State& state) {
+  // Baseline: decode-on-the-fly distance, one code at a time — the
+  // pre-fast-scan IVF_SQ8 bucket loop.
+  const size_t d = static_cast<size_t>(state.range(0)), n = 1024;
+  auto setup = Sq8BenchSetup::Make(n, d);
+  std::vector<float> dists(n);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      dists[i] = setup.sq.DistanceToCode(setup.query.data(),
+                                         setup.store.code_at(i));
+    }
+    benchmark::DoNotOptimize(dists.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Sq8PerCode)->Arg(128);
+
+void BM_Sq8FastScanTier(benchmark::State& state) {
+  // Blocked fast scan per tier: query pre-expanded once, codes widened in
+  // integer SIMD lanes, one kernel call per bucket.
+  const KernelDispatch* t = TierOrSkip(state);
+  if (t == nullptr) return;
+  const size_t d = static_cast<size_t>(state.range(1)), n = 1024;
+  auto setup = Sq8BenchSetup::Make(n, d);
+  const Sq8Query prep = setup.sq.PrepareQuery(setup.query.data());
+  std::vector<float> dists(n);
+  for (auto _ : state) {
+    t->sq8_l2_batch(prep.qadj.data(), setup.sq.scales(), d,
+                    setup.store.codes(), n, dists.data());
+    benchmark::DoNotOptimize(dists.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Sq8FastScanTier)->ArgsProduct({{0, 1, 2}, {128}});
+
+void BM_Sq8GatherTier(benchmark::State& state) {
+  // The page-resident shape: same kernel, codes addressed by pointer.
+  const KernelDispatch* t = TierOrSkip(state);
+  if (t == nullptr) return;
+  const size_t d = static_cast<size_t>(state.range(1)), n = 1024;
+  auto setup = Sq8BenchSetup::Make(n, d);
+  const Sq8Query prep = setup.sq.PrepareQuery(setup.query.data());
+  std::vector<const uint8_t*> ptrs(n);
+  for (size_t i = 0; i < n; ++i) ptrs[i] = setup.store.code_at(i);
+  std::vector<float> dists(n);
+  for (auto _ : state) {
+    t->sq8_l2_gather(prep.qadj.data(), setup.sq.scales(), d, ptrs.data(), n,
+                     dists.data());
+    benchmark::DoNotOptimize(dists.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Sq8GatherTier)->ArgsProduct({{0, 1, 2}, {128}});
 
 void BM_AssignNaive(benchmark::State& state) {
   // RC#1 baseline: per-pair distance loops over 256 centroids.

@@ -11,6 +11,12 @@
 #   sessions            the multi-session front end: full session_test
 #                       under ASan (epoch reclamation) and its stress
 #                       suite under TSan (snapshot readers vs writers)
+#   kernels             the kernel/SQ8 dispatch suites re-run with
+#                       VECDB_KERNEL_ISA=scalar (proving the override and
+#                       the scalar tier), and again under ASan/UBSan per
+#                       tier so the SIMD tails and masked loads are
+#                       sanitizer-checked (AVX-512 skipped with a notice
+#                       when the host lacks avx512f)
 #   TSA                 clang, -DVECDB_TSA=ON: Clang Thread Safety Analysis
 #                       as -Werror=thread-safety, with negative-compilation
 #                       probes proving the gate is live (skipped with a
@@ -72,6 +78,33 @@ echo "=== build-asan: crash-recovery fault-injection (recovery_test) ==="
 # use-after-free shape ASan exists to catch.
 echo "=== build-asan: session front-end (session_test) ==="
 ./build-asan/tests/session_test
+
+# Kernel-dispatch stage, part 1: force the scalar tier and re-run the
+# dispatch/SQ8/IVF_SQ8 suites in the already-built Release tree. The
+# kernel_dispatch_test ActiveTableMatchesResolutionRule case asserts the
+# override actually resolved to scalar, so this stage fails loudly if the
+# env plumbing regresses rather than silently re-testing the SIMD tier.
+echo "=== build-release: kernel suites under VECDB_KERNEL_ISA=scalar ==="
+VECDB_KERNEL_ISA=scalar ctest --test-dir build-release \
+  --output-on-failure -R '^(kernel_dispatch_test|sq8_test|ivf_sq8_test)$'
+
+# Kernel-dispatch stage, part 2: the same suites under ASan/UBSan once per
+# ISA tier the host can run. The masked tails and 64-bit partial loads in
+# the AVX2/AVX-512 kernels are exactly where an out-of-bounds read would
+# hide from functional tests; each forced tier pins the kernels the
+# sanitizers actually execute.
+KERNEL_TIERS=(scalar avx2)
+if grep -q avx512f /proc/cpuinfo 2>/dev/null; then
+  KERNEL_TIERS+=(avx512)
+else
+  echo "NOTICE: host lacks avx512f; SKIPPING the AVX-512 sanitizer pass"
+  echo "NOTICE: (the avx512 tier self-skips in tests but cannot execute here)."
+fi
+for tier in "${KERNEL_TIERS[@]}"; do
+  echo "=== build-asan: kernel suites under VECDB_KERNEL_ISA=${tier} ==="
+  VECDB_KERNEL_ISA="${tier}" ctest --test-dir build-asan \
+    --output-on-failure -R '^(kernel_dispatch_test|sq8_test|ivf_sq8_test)$'
+done
 
 run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVECDB_SANITIZE=thread

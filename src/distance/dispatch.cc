@@ -1,0 +1,118 @@
+// Resolution of the active kernel tier: cpuid picks the widest compiled-in
+// tier the host can run, VECDB_KERNEL_ISA can clamp it down, and the result
+// is latched in a function-local static on first use (same shape as the
+// CRC-32C dispatch in pgstub/crc32c.cc).
+#include "distance/dispatch.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "distance/kernels_impl.h"
+
+namespace vecdb {
+
+namespace {
+
+/// Widest tier this host can execute, among those compiled in.
+KernelIsa BestSupportedIsa() {
+#ifdef VECDB_KERNELS_X86_DISPATCH
+  __builtin_cpu_init();
+  if (detail::Avx512KernelTable() != nullptr &&
+      __builtin_cpu_supports("avx512f")) {
+    return KernelIsa::kAvx512;
+  }
+  if (detail::Avx2KernelTable() != nullptr && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma")) {
+    return KernelIsa::kAvx2;
+  }
+#endif
+  return KernelIsa::kScalar;
+}
+
+const KernelDispatch* TableForSupported(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return &detail::ScalarKernelTable();
+    case KernelIsa::kAvx2:
+      return detail::Avx2KernelTable();
+    case KernelIsa::kAvx512:
+      return detail::Avx512KernelTable();
+  }
+  return nullptr;
+}
+
+const KernelDispatch& ResolveActiveTable() {
+  const KernelIsa best = BestSupportedIsa();
+  std::string note;
+  const KernelIsa chosen =
+      ResolveKernelIsa(std::getenv("VECDB_KERNEL_ISA"), best, &note);
+  if (!note.empty()) {
+    std::fprintf(stderr, "[vecdb] %s\n", note.c_str());
+  }
+  const KernelDispatch* table = TableForSupported(chosen);
+  return table != nullptr ? *table : detail::ScalarKernelTable();
+}
+
+}  // namespace
+
+const char* KernelIsaName(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return "scalar";
+    case KernelIsa::kAvx2:
+      return "avx2";
+    case KernelIsa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+KernelIsa ResolveKernelIsa(const char* override_value, KernelIsa best,
+                           std::string* note) {
+  if (override_value == nullptr || override_value[0] == '\0') return best;
+
+  KernelIsa wanted;
+  if (std::strcmp(override_value, "scalar") == 0) {
+    wanted = KernelIsa::kScalar;
+  } else if (std::strcmp(override_value, "avx2") == 0) {
+    wanted = KernelIsa::kAvx2;
+  } else if (std::strcmp(override_value, "avx512") == 0) {
+    wanted = KernelIsa::kAvx512;
+  } else {
+    if (note != nullptr) {
+      *note = std::string("VECDB_KERNEL_ISA=") + override_value +
+              " not recognized (want scalar|avx2|avx512); using " +
+              KernelIsaName(best);
+    }
+    return best;
+  }
+
+  if (static_cast<uint8_t>(wanted) > static_cast<uint8_t>(best)) {
+    if (note != nullptr) {
+      *note = std::string("VECDB_KERNEL_ISA=") + override_value +
+              " not supported on this host; using " + KernelIsaName(best);
+    }
+    return best;
+  }
+  return wanted;
+}
+
+const KernelDispatch& ActiveKernels() {
+  static const KernelDispatch& table = ResolveActiveTable();
+  return table;
+}
+
+KernelIsa ActiveKernelIsa() { return ActiveKernels().isa; }
+
+bool KernelIsaSupported(KernelIsa isa) {
+  return static_cast<uint8_t>(isa) <=
+         static_cast<uint8_t>(BestSupportedIsa());
+}
+
+const KernelDispatch* KernelTableFor(KernelIsa isa) {
+  if (!KernelIsaSupported(isa)) return nullptr;
+  return TableForSupported(isa);
+}
+
+}  // namespace vecdb

@@ -1,0 +1,89 @@
+// Runtime ISA dispatch for the distance kernels. The paper pins PASE's
+// build/search gap on its scalar fvec_L2sqr_ref kernel (RC#1); this layer
+// is the other end of that axis: one dispatch table resolved at first use
+// from cpuid (scalar / AVX2+FMA / AVX-512F), so every index class gets the
+// widest kernels the host can run without a single call-site edit and
+// without baking -march flags into the build (the binary stays portable,
+// like the CRC-32C dispatch in pgstub/crc32c.cc).
+//
+// The resolved tier can be forced down with the VECDB_KERNEL_ISA
+// environment variable ("scalar", "avx2", "avx512"), read once at first
+// kernel use. Forcing a tier the host cannot run falls back to the best
+// supported tier with a one-time stderr notice — an override never turns
+// into a SIGILL.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vecdb {
+
+/// Kernel instruction-set tiers, widest last. kScalar is the portable
+/// baseline (auto-vectorized to the x86-64 SSE2 floor by the compiler).
+enum class KernelIsa : uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,    ///< AVX2 + FMA, 8-wide float lanes
+  kAvx512 = 2,  ///< AVX-512F, 16-wide float lanes with masked tails
+};
+
+/// Canonical lowercase tier name ("scalar", "avx2", "avx512"); also the
+/// accepted VECDB_KERNEL_ISA values.
+const char* KernelIsaName(KernelIsa isa);
+
+/// One tier's kernel implementations. Float kernels mirror the public
+/// functions in kernels.h; the sq8_* entries are the quantized fast-scan
+/// family consumed through ScalarQuantizer8 (quantizer/sq8.h).
+///
+/// Contract shared by every tier: each output element depends only on its
+/// own input pair/code (lane blocking runs along the dimension, never
+/// across codes), so batch results are bit-identical to one-at-a-time
+/// calls within a tier — the property the SQ8 oracle tests pin.
+struct KernelDispatch {
+  KernelIsa isa;
+
+  float (*l2sqr)(const float* a, const float* b, size_t d);
+  float (*inner_product)(const float* a, const float* b, size_t d);
+  float (*l2norm_sqr)(const float* a, size_t d);
+  /// Fused single-pass cosine distance: dot, |a|², |b|² accumulated in one
+  /// sweep (the pre-dispatch implementation made three passes).
+  float (*cosine)(const float* a, const float* b, size_t d);
+
+  /// Asymmetric SQ8 L2 fast scan over `n` contiguous d-byte codes:
+  /// out[j] = sum_t (qadj[t] - codes[j*d+t] * scale[t])², where qadj is
+  /// the query pre-expanded per dimension (see ScalarQuantizer8::
+  /// PrepareQuery). Codes widen u8 -> f32 in SIMD lanes.
+  void (*sq8_l2_batch)(const float* qadj, const float* scale, size_t d,
+                       const uint8_t* codes, size_t n, float* out);
+  /// Same kernel over `n` non-contiguous codes addressed by pointer — the
+  /// page-resident (PASE) scan shape, where codes sit behind tuple
+  /// headers. Bit-identical to sq8_l2_batch on the same codes.
+  void (*sq8_l2_gather)(const float* qadj, const float* scale, size_t d,
+                        const uint8_t* const* codes, size_t n, float* out);
+};
+
+/// The table serving this process, resolved once at first use:
+/// best-supported tier, clamped down by VECDB_KERNEL_ISA if set.
+const KernelDispatch& ActiveKernels();
+
+/// Tier of the table ActiveKernels() resolved to (for SHOW METRICS /
+/// diagnostics).
+KernelIsa ActiveKernelIsa();
+
+/// True when `isa` is both compiled in and runnable on this CPU.
+bool KernelIsaSupported(KernelIsa isa);
+
+/// The dispatch table for one specific tier, or nullptr when the host
+/// cannot run it. Lets tests and micro benches drive every supported tier
+/// side by side regardless of which one is active.
+const KernelDispatch* KernelTableFor(KernelIsa isa);
+
+/// Pure resolution rule, exposed for tests: applies `override_value` (the
+/// VECDB_KERNEL_ISA string, may be null) to the host's best tier. An
+/// unknown value or a tier the host lacks keeps `best` and explains why
+/// in `note`; a recognized, supported value selects it (notes stay empty
+/// for a plain downgrade, which is the supported use).
+KernelIsa ResolveKernelIsa(const char* override_value, KernelIsa best,
+                           std::string* note);
+
+}  // namespace vecdb

@@ -1,29 +1,16 @@
+// Public kernel entry points. These keep the historic signatures but now
+// forward through the runtime-resolved dispatch table (distance/dispatch.h),
+// so every caller picks up the widest ISA tier the host supports without a
+// call-site edit. L2SqrRef stays here untouched: it is the deliberately
+// scalar PASE reference kernel the paper profiles, never dispatched.
 #include "distance/kernels.h"
 
-#include <cmath>
+#include "distance/dispatch.h"
 
 namespace vecdb {
 
 float L2Sqr(const float* a, const float* b, size_t d) {
-  // Four accumulators break the loop-carried dependence so GCC vectorizes
-  // and pipelines the adds.
-  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
-  size_t i = 0;
-  for (; i + 4 <= d; i += 4) {
-    const float d0 = a[i] - b[i];
-    const float d1 = a[i + 1] - b[i + 1];
-    const float d2 = a[i + 2] - b[i + 2];
-    const float d3 = a[i + 3] - b[i + 3];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-  }
-  for (; i < d; ++i) {
-    const float di = a[i] - b[i];
-    s0 += di * di;
-  }
-  return (s0 + s1) + (s2 + s3);
+  return ActiveKernels().l2sqr(a, b, d);
 }
 
 __attribute__((optimize("no-tree-vectorize", "no-unroll-loops")))
@@ -37,44 +24,47 @@ float L2SqrRef(const float* a, const float* b, size_t d) {
 }
 
 float InnerProduct(const float* a, const float* b, size_t d) {
-  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
-  size_t i = 0;
-  for (; i + 4 <= d; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  for (; i < d; ++i) s0 += a[i] * b[i];
-  return (s0 + s1) + (s2 + s3);
+  return ActiveKernels().inner_product(a, b, d);
 }
 
-float L2NormSqr(const float* a, size_t d) { return InnerProduct(a, a, d); }
+float L2NormSqr(const float* a, size_t d) {
+  return ActiveKernels().l2norm_sqr(a, d);
+}
 
 float CosineDistance(const float* a, const float* b, size_t d) {
-  const float dot = InnerProduct(a, b, d);
-  const float na = L2NormSqr(a, d);
-  const float nb = L2NormSqr(b, d);
-  if (na == 0.f || nb == 0.f) return 1.f;
-  return 1.f - dot / std::sqrt(na * nb);
+  return ActiveKernels().cosine(a, b, d);
 }
 
 float Distance(Metric metric, const float* a, const float* b, size_t d) {
+  const KernelDispatch& k = ActiveKernels();
   switch (metric) {
     case Metric::kL2:
-      return L2Sqr(a, b, d);
+      return k.l2sqr(a, b, d);
     case Metric::kInnerProduct:
-      return -InnerProduct(a, b, d);
+      return -k.inner_product(a, b, d);
     case Metric::kCosine:
-      return CosineDistance(a, b, d);
+      return k.cosine(a, b, d);
   }
   return 0.f;
 }
 
 void DistanceBatch(Metric metric, const float* query, const float* base,
                    size_t n, size_t d, float* out) {
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = Distance(metric, query, base + i * d, d);
+  // Hoist the table once per batch instead of re-reading the dispatch
+  // static per vector.
+  const KernelDispatch& k = ActiveKernels();
+  switch (metric) {
+    case Metric::kL2:
+      for (size_t i = 0; i < n; ++i) out[i] = k.l2sqr(query, base + i * d, d);
+      return;
+    case Metric::kInnerProduct:
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = -k.inner_product(query, base + i * d, d);
+      }
+      return;
+    case Metric::kCosine:
+      for (size_t i = 0; i < n; ++i) out[i] = k.cosine(query, base + i * d, d);
+      return;
   }
 }
 

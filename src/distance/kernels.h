@@ -1,5 +1,8 @@
-// Scalar (auto-vectorized) distance kernels. `L2Sqr` is the hot function the
-// paper profiles as fvec_L2sqr / fvec_L2sqr_ref in both PASE and Faiss.
+// Public distance kernels. `L2Sqr` is the hot function the paper profiles
+// as fvec_L2sqr / fvec_L2sqr_ref in both PASE and Faiss. Every function
+// here except L2SqrRef forwards through the runtime ISA dispatch table
+// (distance/dispatch.h): scalar / AVX2+FMA / AVX-512F, resolved once from
+// cpuid with a VECDB_KERNEL_ISA env override.
 #pragma once
 
 #include <cstddef>
@@ -8,8 +11,8 @@
 
 namespace vecdb {
 
-/// Squared Euclidean distance between two d-dimensional vectors
-/// (optimized: unrolled, auto-vectorized — the Faiss fvec_L2sqr).
+/// Squared Euclidean distance between two d-dimensional vectors via the
+/// active ISA tier (the Faiss fvec_L2sqr role).
 float L2Sqr(const float* a, const float* b, size_t d);
 
 /// Reference scalar implementation (PASE's fvec_L2sqr_ref): a plain loop
@@ -27,6 +30,7 @@ float InnerProduct(const float* a, const float* b, size_t d);
 float L2NormSqr(const float* a, size_t d);
 
 /// Cosine distance 1 - (a·b)/(|a||b|); returns 1 if either vector is zero.
+/// Computed in one fused pass (dot and both norms in a single sweep).
 float CosineDistance(const float* a, const float* b, size_t d);
 
 /// Dispatches to the kernel for `metric`, returning a value where smaller
@@ -34,8 +38,9 @@ float CosineDistance(const float* a, const float* b, size_t d);
 float Distance(Metric metric, const float* a, const float* b, size_t d);
 
 /// Distances from one query to `n` contiguous base vectors (row-major),
-/// writing `n` outputs. A simple loop over the single-pair kernel; both
-/// engines use this on paths where the paper's systems do likewise.
+/// writing `n` outputs. Loops the single-pair kernel with the dispatch
+/// table hoisted once per batch; both engines use this on paths where the
+/// paper's systems do likewise.
 void DistanceBatch(Metric metric, const float* query, const float* base,
                    size_t n, size_t d, float* out);
 

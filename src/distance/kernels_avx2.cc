@@ -1,0 +1,177 @@
+// AVX2 + FMA kernel tier: 8-wide float lanes via function-level target
+// attributes, so no -march flags leak into the rest of the build and the
+// binary still boots on the x86-64 baseline (dispatch.cc gates on cpuid).
+//
+// Lane blocking runs along the dimension only — each output depends on
+// exactly one input pair/code — which keeps batch results bit-identical
+// to one-at-a-time calls within this tier (the SQ8 oracle contract).
+#include "distance/kernels_impl.h"
+
+#ifdef VECDB_KERNELS_X86_DISPATCH
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace vecdb::detail {
+namespace {
+
+#define VECDB_AVX2 __attribute__((target("avx2,fma")))
+
+VECDB_AVX2 inline float Hsum256(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+VECDB_AVX2 float L2SqrAvx2(const float* a, const float* b, size_t d) {
+  // Four independent accumulators: one FMA per cycle needs ~4 in flight
+  // to cover the 4-cycle FMA latency, or the loop is chain-bound.
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= d; i += 32) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8));
+    const __m256 d2 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 16),
+                                    _mm256_loadu_ps(b + i + 16));
+    const __m256 d3 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 24),
+                                    _mm256_loadu_ps(b + i + 24));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+    acc2 = _mm256_fmadd_ps(d2, d2, acc2);
+    acc3 = _mm256_fmadd_ps(d3, d3, acc3);
+  }
+  for (; i + 8 <= d; i += 8) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+  }
+  float s = Hsum256(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                  _mm256_add_ps(acc2, acc3)));
+  for (; i < d; ++i) {
+    const float di = a[i] - b[i];
+    s += di * di;
+  }
+  return s;
+}
+
+VECDB_AVX2 float InnerProductAvx2(const float* a, const float* b, size_t d) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= d; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+  }
+  for (; i + 8 <= d; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  float s = Hsum256(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                  _mm256_add_ps(acc2, acc3)));
+  for (; i < d; ++i) s += a[i] * b[i];
+  return s;
+}
+
+VECDB_AVX2 float L2NormSqrAvx2(const float* a, size_t d) {
+  return InnerProductAvx2(a, a, d);
+}
+
+VECDB_AVX2 float CosineAvx2(const float* a, const float* b, size_t d) {
+  // Fused single pass: three FMA accumulators per 8-lane block.
+  __m256 dot = _mm256_setzero_ps();
+  __m256 na = _mm256_setzero_ps();
+  __m256 nb = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    dot = _mm256_fmadd_ps(va, vb, dot);
+    na = _mm256_fmadd_ps(va, va, na);
+    nb = _mm256_fmadd_ps(vb, vb, nb);
+  }
+  float sdot = Hsum256(dot);
+  float sna = Hsum256(na);
+  float snb = Hsum256(nb);
+  for (; i < d; ++i) {
+    sdot += a[i] * b[i];
+    sna += a[i] * a[i];
+    snb += b[i] * b[i];
+  }
+  if (sna == 0.f || snb == 0.f) return 1.f;
+  return 1.f - sdot / std::sqrt(sna * snb);
+}
+
+VECDB_AVX2 inline float Sq8OneAvx2(const float* qadj, const float* scale,
+                                   size_t d, const uint8_t* code) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t t = 0;
+  for (; t + 8 <= d; t += 8) {
+    // Widen 8 code bytes u8 -> i32 -> f32, then diff = qadj - code*scale
+    // as one fnmadd and square-accumulate as one fmadd.
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(code + t));
+    const __m256 vcode = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+    const __m256 diff = _mm256_fnmadd_ps(vcode, _mm256_loadu_ps(scale + t),
+                                         _mm256_loadu_ps(qadj + t));
+    acc = _mm256_fmadd_ps(diff, diff, acc);
+  }
+  float s = Hsum256(acc);
+  for (; t < d; ++t) {
+    const float dt = qadj[t] - static_cast<float>(code[t]) * scale[t];
+    s += dt * dt;
+  }
+  return s;
+}
+
+VECDB_AVX2 void Sq8BatchAvx2(const float* qadj, const float* scale, size_t d,
+                             const uint8_t* codes, size_t n, float* out) {
+  for (size_t j = 0; j < n; ++j) {
+    out[j] = Sq8OneAvx2(qadj, scale, d, codes + j * d);
+  }
+}
+
+VECDB_AVX2 void Sq8GatherAvx2(const float* qadj, const float* scale, size_t d,
+                              const uint8_t* const* codes, size_t n,
+                              float* out) {
+  for (size_t j = 0; j < n; ++j) {
+    out[j] = Sq8OneAvx2(qadj, scale, d, codes[j]);
+  }
+}
+
+#undef VECDB_AVX2
+
+const KernelDispatch kAvx2Table = {
+    KernelIsa::kAvx2, L2SqrAvx2,    InnerProductAvx2, L2NormSqrAvx2,
+    CosineAvx2,       Sq8BatchAvx2, Sq8GatherAvx2,
+};
+
+}  // namespace
+
+const KernelDispatch* Avx2KernelTable() { return &kAvx2Table; }
+
+}  // namespace vecdb::detail
+
+#else  // !VECDB_KERNELS_X86_DISPATCH
+
+namespace vecdb::detail {
+const KernelDispatch* Avx2KernelTable() { return nullptr; }
+}  // namespace vecdb::detail
+
+#endif

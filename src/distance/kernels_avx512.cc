@@ -1,0 +1,182 @@
+// AVX-512F kernel tier: 16-wide float lanes with masked tails, written
+// with function-level target attributes like the AVX2 tier (no -march
+// flags; dispatch.cc gates on cpuid before this code ever executes).
+//
+// Only AVX-512F is required: float loads/FMA/reduce plus VPMOVZXBD for the
+// SQ8 byte widening are all F-level, so the tier runs on every AVX-512
+// machine regardless of the BW/VL/VNNI extension mix.
+#include "distance/kernels_impl.h"
+
+#ifdef VECDB_KERNELS_X86_DISPATCH
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace vecdb::detail {
+namespace {
+
+#define VECDB_AVX512 __attribute__((target("avx512f")))
+
+VECDB_AVX512 inline __mmask16 TailMask(size_t remaining) {
+  return static_cast<__mmask16>((1u << remaining) - 1u);
+}
+
+VECDB_AVX512 float L2SqrAvx512(const float* a, const float* b, size_t d) {
+  // Four independent accumulators to cover the FMA latency chain (same
+  // rationale as the AVX2 tier).
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  __m512 acc2 = _mm512_setzero_ps();
+  __m512 acc3 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 64 <= d; i += 64) {
+    const __m512 d0 =
+        _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    const __m512 d1 = _mm512_sub_ps(_mm512_loadu_ps(a + i + 16),
+                                    _mm512_loadu_ps(b + i + 16));
+    const __m512 d2 = _mm512_sub_ps(_mm512_loadu_ps(a + i + 32),
+                                    _mm512_loadu_ps(b + i + 32));
+    const __m512 d3 = _mm512_sub_ps(_mm512_loadu_ps(a + i + 48),
+                                    _mm512_loadu_ps(b + i + 48));
+    acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm512_fmadd_ps(d1, d1, acc1);
+    acc2 = _mm512_fmadd_ps(d2, d2, acc2);
+    acc3 = _mm512_fmadd_ps(d3, d3, acc3);
+  }
+  for (; i + 16 <= d; i += 16) {
+    const __m512 d0 =
+        _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+  }
+  if (i < d) {
+    const __mmask16 m = TailMask(d - i);
+    const __m512 d0 = _mm512_sub_ps(_mm512_maskz_loadu_ps(m, a + i),
+                                    _mm512_maskz_loadu_ps(m, b + i));
+    acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(_mm512_add_ps(acc0, acc1),
+                                            _mm512_add_ps(acc2, acc3)));
+}
+
+VECDB_AVX512 float InnerProductAvx512(const float* a, const float* b,
+                                      size_t d) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  __m512 acc2 = _mm512_setzero_ps();
+  __m512 acc3 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 64 <= d; i += 64) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16),
+                           _mm512_loadu_ps(b + i + 16), acc1);
+    acc2 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 32),
+                           _mm512_loadu_ps(b + i + 32), acc2);
+    acc3 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 48),
+                           _mm512_loadu_ps(b + i + 48), acc3);
+  }
+  for (; i + 16 <= d; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+  }
+  if (i < d) {
+    const __mmask16 m = TailMask(d - i);
+    acc0 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, a + i),
+                           _mm512_maskz_loadu_ps(m, b + i), acc0);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(_mm512_add_ps(acc0, acc1),
+                                            _mm512_add_ps(acc2, acc3)));
+}
+
+VECDB_AVX512 float L2NormSqrAvx512(const float* a, size_t d) {
+  return InnerProductAvx512(a, a, d);
+}
+
+VECDB_AVX512 float CosineAvx512(const float* a, const float* b, size_t d) {
+  __m512 dot = _mm512_setzero_ps();
+  __m512 na = _mm512_setzero_ps();
+  __m512 nb = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    const __m512 va = _mm512_loadu_ps(a + i);
+    const __m512 vb = _mm512_loadu_ps(b + i);
+    dot = _mm512_fmadd_ps(va, vb, dot);
+    na = _mm512_fmadd_ps(va, va, na);
+    nb = _mm512_fmadd_ps(vb, vb, nb);
+  }
+  if (i < d) {
+    const __mmask16 m = TailMask(d - i);
+    const __m512 va = _mm512_maskz_loadu_ps(m, a + i);
+    const __m512 vb = _mm512_maskz_loadu_ps(m, b + i);
+    dot = _mm512_fmadd_ps(va, vb, dot);
+    na = _mm512_fmadd_ps(va, va, na);
+    nb = _mm512_fmadd_ps(vb, vb, nb);
+  }
+  const float sdot = _mm512_reduce_add_ps(dot);
+  const float sna = _mm512_reduce_add_ps(na);
+  const float snb = _mm512_reduce_add_ps(nb);
+  if (sna == 0.f || snb == 0.f) return 1.f;
+  return 1.f - sdot / std::sqrt(sna * snb);
+}
+
+VECDB_AVX512 inline float Sq8OneAvx512(const float* qadj, const float* scale,
+                                       size_t d, const uint8_t* code) {
+  __m512 acc = _mm512_setzero_ps();
+  size_t t = 0;
+  for (; t + 16 <= d; t += 16) {
+    // 16 code bytes widen u8 -> i32 (VPMOVZXBD) -> f32, then the diff and
+    // square-accumulate are one fnmadd + one fmadd.
+    const __m128i bytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(code + t));
+    const __m512 vcode = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(bytes));
+    const __m512 diff = _mm512_fnmadd_ps(vcode, _mm512_loadu_ps(scale + t),
+                                         _mm512_loadu_ps(qadj + t));
+    acc = _mm512_fmadd_ps(diff, diff, acc);
+  }
+  float s = _mm512_reduce_add_ps(acc);
+  // Byte tails stay scalar: a masked byte load would need AVX-512BW, and
+  // this tier deliberately requires only F (see file comment).
+  for (; t < d; ++t) {
+    const float dt = qadj[t] - static_cast<float>(code[t]) * scale[t];
+    s += dt * dt;
+  }
+  return s;
+}
+
+VECDB_AVX512 void Sq8BatchAvx512(const float* qadj, const float* scale,
+                                 size_t d, const uint8_t* codes, size_t n,
+                                 float* out) {
+  for (size_t j = 0; j < n; ++j) {
+    out[j] = Sq8OneAvx512(qadj, scale, d, codes + j * d);
+  }
+}
+
+VECDB_AVX512 void Sq8GatherAvx512(const float* qadj, const float* scale,
+                                  size_t d, const uint8_t* const* codes,
+                                  size_t n, float* out) {
+  for (size_t j = 0; j < n; ++j) {
+    out[j] = Sq8OneAvx512(qadj, scale, d, codes[j]);
+  }
+}
+
+#undef VECDB_AVX512
+
+const KernelDispatch kAvx512Table = {
+    KernelIsa::kAvx512, L2SqrAvx512,    InnerProductAvx512, L2NormSqrAvx512,
+    CosineAvx512,       Sq8BatchAvx512, Sq8GatherAvx512,
+};
+
+}  // namespace
+
+const KernelDispatch* Avx512KernelTable() { return &kAvx512Table; }
+
+}  // namespace vecdb::detail
+
+#else  // !VECDB_KERNELS_X86_DISPATCH
+
+namespace vecdb::detail {
+const KernelDispatch* Avx512KernelTable() { return nullptr; }
+}  // namespace vecdb::detail
+
+#endif

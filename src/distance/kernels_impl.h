@@ -1,0 +1,25 @@
+// Internal seam between the per-tier kernel translation units and the
+// dispatch resolver. Not installed into any public header: everything here
+// is an implementation detail of src/distance.
+#pragma once
+
+#include "distance/dispatch.h"
+
+// The intrinsic tiers are written with __attribute__((target(...))) so the
+// build needs no -march flags (the binary stays runnable on the x86-64
+// baseline); that idiom needs gcc or clang on x86-64.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define VECDB_KERNELS_X86_DISPATCH 1
+#endif
+
+namespace vecdb::detail {
+
+/// Always available.
+const KernelDispatch& ScalarKernelTable();
+
+/// Compiled-in tier tables; nullptr on non-x86 builds. Callers must still
+/// gate on cpuid (dispatch.cc does) before executing them.
+const KernelDispatch* Avx2KernelTable();
+const KernelDispatch* Avx512KernelTable();
+
+}  // namespace vecdb::detail

@@ -1,0 +1,122 @@
+// Scalar kernel tier: portable C++ the compiler auto-vectorizes to the
+// x86-64 SSE2 baseline. This is both the fallback tier and the reference
+// the dispatch-parity tests measure the intrinsic tiers against.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "distance/kernels_impl.h"
+
+namespace vecdb::detail {
+namespace {
+
+float L2SqrScalar(const float* a, const float* b, size_t d) {
+  // Four accumulators break the loop-carried dependence so GCC vectorizes
+  // and pipelines the adds.
+  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; i < d; ++i) {
+    const float di = a[i] - b[i];
+    s0 += di * di;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+float InnerProductScalar(const float* a, const float* b, size_t d) {
+  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < d; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+float L2NormSqrScalar(const float* a, size_t d) {
+  return InnerProductScalar(a, a, d);
+}
+
+float CosineScalar(const float* a, const float* b, size_t d) {
+  // One fused sweep accumulating all three reductions (dot, |a|², |b|²);
+  // the pre-dispatch implementation walked the vectors three times.
+  float dot0 = 0.f, dot1 = 0.f, na0 = 0.f, na1 = 0.f, nb0 = 0.f, nb1 = 0.f;
+  size_t i = 0;
+  for (; i + 2 <= d; i += 2) {
+    dot0 += a[i] * b[i];
+    na0 += a[i] * a[i];
+    nb0 += b[i] * b[i];
+    dot1 += a[i + 1] * b[i + 1];
+    na1 += a[i + 1] * a[i + 1];
+    nb1 += b[i + 1] * b[i + 1];
+  }
+  for (; i < d; ++i) {
+    dot0 += a[i] * b[i];
+    na0 += a[i] * a[i];
+    nb0 += b[i] * b[i];
+  }
+  const float dot = dot0 + dot1;
+  const float na = na0 + na1;
+  const float nb = nb0 + nb1;
+  if (na == 0.f || nb == 0.f) return 1.f;
+  return 1.f - dot / std::sqrt(na * nb);
+}
+
+float Sq8OneScalar(const float* qadj, const float* scale, size_t d,
+                   const uint8_t* code) {
+  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
+  size_t t = 0;
+  for (; t + 4 <= d; t += 4) {
+    const float d0 = qadj[t] - static_cast<float>(code[t]) * scale[t];
+    const float d1 = qadj[t + 1] - static_cast<float>(code[t + 1]) * scale[t + 1];
+    const float d2 = qadj[t + 2] - static_cast<float>(code[t + 2]) * scale[t + 2];
+    const float d3 = qadj[t + 3] - static_cast<float>(code[t + 3]) * scale[t + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; t < d; ++t) {
+    const float dt = qadj[t] - static_cast<float>(code[t]) * scale[t];
+    s0 += dt * dt;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+void Sq8BatchScalar(const float* qadj, const float* scale, size_t d,
+                    const uint8_t* codes, size_t n, float* out) {
+  for (size_t j = 0; j < n; ++j) {
+    out[j] = Sq8OneScalar(qadj, scale, d, codes + j * d);
+  }
+}
+
+void Sq8GatherScalar(const float* qadj, const float* scale, size_t d,
+                     const uint8_t* const* codes, size_t n, float* out) {
+  for (size_t j = 0; j < n; ++j) {
+    out[j] = Sq8OneScalar(qadj, scale, d, codes[j]);
+  }
+}
+
+const KernelDispatch kScalarTable = {
+    KernelIsa::kScalar,  L2SqrScalar,    InnerProductScalar,
+    L2NormSqrScalar,     CosineScalar,   Sq8BatchScalar,
+    Sq8GatherScalar,
+};
+
+}  // namespace
+
+const KernelDispatch& ScalarKernelTable() { return kScalarTable; }
+
+}  // namespace vecdb::detail

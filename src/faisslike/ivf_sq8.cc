@@ -6,6 +6,30 @@
 #include "obs/metrics.h"
 
 namespace vecdb::faisslike {
+namespace {
+
+void FlushSearchCounters(obs::MetricsRegistry* m,
+                         const obs::SearchCounters& sc) {
+  sc.FlushTo(m, obs::Counter::kFaissBucketsProbed,
+             obs::Counter::kFaissTuplesVisited,
+             obs::Counter::kFaissHeapPushes,
+             obs::Counter::kFaissTombstonesSkipped);
+}
+
+/// Per-query fast-scan accounting, flushed once per search like
+/// SearchCounters (the sharded atomics stay off the per-code path).
+struct FastScanCounters {
+  uint64_t blocks = 0;
+  uint64_t codes = 0;
+
+  void FlushTo(obs::MetricsRegistry* m) const {
+    if (m == nullptr) return;
+    m->AddUnchecked(obs::Counter::kKernelSq8Blocks, blocks);
+    m->AddUnchecked(obs::Counter::kKernelSq8Codes, codes);
+  }
+};
+
+}  // namespace
 
 Status IvfSq8Index::Train(const float* data, size_t n) {
   KMeansOptions km;
@@ -24,16 +48,16 @@ Status IvfSq8Index::Train(const float* data, size_t n) {
   VECDB_ASSIGN_OR_RETURN(ScalarQuantizer8 sq,
                          ScalarQuantizer8::Train(data, n, dim_));
   sq_.emplace(std::move(sq));
-  bucket_codes_.assign(num_clusters_, {});
-  bucket_ids_.assign(num_clusters_, {});
+  buckets_ = std::vector<Sq8CodeStore>(num_clusters_);
+  for (auto& bucket : buckets_) bucket.Reset(sq_->code_size());
   num_vectors_ = 0;
   tombstones_.Clear();
   return Status::OK();
 }
 
 bool IvfSq8Index::ContainsId(int64_t id) const {
-  for (const auto& ids : bucket_ids_) {
-    for (int64_t stored : ids) {
+  for (const auto& bucket : buckets_) {
+    for (int64_t stored : bucket.ids()) {
       if (stored == id) return true;
     }
   }
@@ -61,11 +85,9 @@ Status IvfSq8Index::AddBatch(const float* data, size_t n,
   std::vector<uint8_t> code(sq_->code_size());
   for (size_t i = 0; i < n; ++i) {
     sq_->Encode(data + i * dim_, code.data());
-    const uint32_t b = assign[i];
-    bucket_codes_[b].insert(bucket_codes_[b].end(), code.begin(), code.end());
-    bucket_ids_[b].push_back(ids != nullptr
-                                 ? ids[i]
-                                 : static_cast<int64_t>(num_vectors_ + i));
+    buckets_[assign[i]].Append(
+        code.data(),
+        ids != nullptr ? ids[i] : static_cast<int64_t>(num_vectors_ + i));
   }
   num_vectors_ += n;
   return Status::OK();
@@ -121,31 +143,163 @@ Result<std::vector<Neighbor>> IvfSq8Index::Search(
   const uint32_t nprobe = std::min(params.nprobe, num_clusters_);
   auto probes = SelectBuckets(query, nprobe);
 
+  // Expand the query once; every probed bucket reuses the same qadj.
+  const Sq8Query prep = sq_->PrepareQuery(query);
+
   obs::SearchCounters counters;
+  FastScanCounters fast_scan;
   KMaxHeap heap(params.k);
+  thread_local std::vector<float> dists;
   for (uint32_t b : probes) {
-    const auto& ids = bucket_ids_[b];
-    const uint8_t* codes = bucket_codes_[b].data();
-    ProfScope scope(ctx.profiler, "sq8_scan");
-    size_t skipped = 0;
-    for (size_t i = 0; i < ids.size(); ++i) {
-      if (tombstones_.Contains(ids[i])) {
-        ++skipped;
-        continue;
-      }
-      heap.Push(sq_->DistanceToCode(query, codes + i * dim_), ids[i]);
-    }
+    const Sq8CodeStore& bucket = buckets_[b];
     counters.buckets_probed += 1;
+    if (bucket.empty()) continue;
+    // Like IvfFlat::ScanBucket: all in-bucket distances in one batched
+    // kernel call, then a heap pass.
+    dists.resize(bucket.size());
+    {
+      ProfScope scope(ctx.profiler, "sq8_scan");
+      sq_->DistanceToCodesBatch(prep, bucket.codes(), bucket.size(),
+                                dists.data());
+    }
+    fast_scan.blocks += bucket.num_blocks();
+    fast_scan.codes += bucket.size();
+    const auto& ids = bucket.ids();
+    size_t skipped = 0;
+    {
+      ProfScope scope(ctx.profiler, "MinHeap");
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (tombstones_.Contains(ids[i])) {
+          ++skipped;
+          continue;
+        }
+        heap.Push(dists[i], ids[i]);
+      }
+    }
     counters.tuples_visited += ids.size();
     counters.heap_pushes += ids.size() - skipped;
     counters.tombstones_skipped += skipped;
   }
   if (metrics != nullptr) {
     metrics->AddUnchecked(obs::Counter::kFaissQueries);
-    counters.FlushTo(metrics, obs::Counter::kFaissBucketsProbed,
-                     obs::Counter::kFaissTuplesVisited,
-                     obs::Counter::kFaissHeapPushes,
-                     obs::Counter::kFaissTombstonesSkipped);
+    FlushSearchCounters(metrics, counters);
+    fast_scan.FlushTo(metrics);
+  }
+  return heap.TakeSorted();
+}
+
+Result<std::vector<Neighbor>> IvfSq8Index::PreFilterSearch(
+    const float* query, const filter::SelectionVector& selection,
+    const SearchParams& params) const {
+  VECDB_RETURN_NOT_OK(ValidateSearchParams(params, IndexKind::kFlat,
+                                           "IvfSq8::PreFilterSearch"));
+  if (!sq_) {
+    return Status::InvalidArgument("IvfSq8::PreFilterSearch: not built");
+  }
+  obs::MetricsRegistry* metrics = params.Context().live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kFaissSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kFaissQueries);
+  // Gather pointers to the surviving codes, then fast-scan the predicate's
+  // output with one gather-kernel call — no code bytes are copied.
+  std::vector<const uint8_t*> gathered;
+  std::vector<int64_t> gathered_ids;
+  obs::SearchCounters counters;
+  for (uint32_t b = 0; b < num_clusters_; ++b) {
+    const Sq8CodeStore& bucket = buckets_[b];
+    const auto& ids = bucket.ids();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const int64_t id = ids[i];
+      if (id < 0 || !selection.Test(static_cast<size_t>(id))) continue;
+      if (tombstones_.Contains(id)) {
+        ++counters.tombstones_skipped;
+        continue;
+      }
+      gathered.push_back(bucket.code_at(i));
+      gathered_ids.push_back(id);
+    }
+  }
+  KMaxHeap heap(params.k);
+  FastScanCounters fast_scan;
+  if (!gathered_ids.empty()) {
+    const Sq8Query prep = sq_->PrepareQuery(query);
+    std::vector<float> dists(gathered_ids.size());
+    sq_->DistanceToCodesGather(prep, gathered.data(), gathered.size(),
+                               dists.data());
+    fast_scan.blocks += (gathered.size() + Sq8CodeStore::kBlockCodes - 1) /
+                        Sq8CodeStore::kBlockCodes;
+    fast_scan.codes += gathered.size();
+    for (size_t i = 0; i < gathered_ids.size(); ++i) {
+      heap.Push(dists[i], gathered_ids[i]);
+    }
+    counters.tuples_visited += gathered_ids.size();
+    counters.heap_pushes += gathered_ids.size();
+  }
+  if (metrics != nullptr) {
+    FlushSearchCounters(metrics, counters);
+    fast_scan.FlushTo(metrics);
+  }
+  return heap.TakeSorted();
+}
+
+Result<std::vector<Neighbor>> IvfSq8Index::InFilterSearch(
+    const float* query, const filter::SelectionVector& selection,
+    const SearchParams& params) const {
+  VECDB_RETURN_NOT_OK(ValidateSearchParams(params, IndexKind::kIvf,
+                                           "IvfSq8::InFilterSearch"));
+  if (!sq_) {
+    return Status::InvalidArgument("IvfSq8::InFilterSearch: not built");
+  }
+  obs::MetricsRegistry* metrics = params.Context().live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kFaissSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kFaissQueries);
+  const uint32_t nprobe = std::min(params.nprobe, num_clusters_);
+  const std::vector<uint32_t> probes = SelectBuckets(query, nprobe);
+  const Sq8Query prep = sq_->PrepareQuery(query);
+
+  obs::SearchCounters counters;
+  FastScanCounters fast_scan;
+  uint64_t bitmap_probes = 0;
+  KMaxHeap heap(params.k);
+  thread_local std::vector<const uint8_t*> selected;
+  thread_local std::vector<int64_t> selected_ids;
+  thread_local std::vector<float> dists;
+  for (uint32_t b : probes) {
+    const Sq8CodeStore& bucket = buckets_[b];
+    counters.buckets_probed += 1;
+    const auto& ids = bucket.ids();
+    selected.clear();
+    selected_ids.clear();
+    size_t skipped = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const int64_t id = ids[i];
+      ++bitmap_probes;
+      if (id < 0 || !selection.Test(static_cast<size_t>(id))) continue;
+      if (tombstones_.Contains(id)) {
+        ++skipped;
+        continue;
+      }
+      selected.push_back(bucket.code_at(i));
+      selected_ids.push_back(id);
+    }
+    if (!selected.empty()) {
+      dists.resize(selected.size());
+      sq_->DistanceToCodesGather(prep, selected.data(), selected.size(),
+                                 dists.data());
+      fast_scan.blocks += (selected.size() + Sq8CodeStore::kBlockCodes - 1) /
+                          Sq8CodeStore::kBlockCodes;
+      fast_scan.codes += selected.size();
+      for (size_t i = 0; i < selected_ids.size(); ++i) {
+        heap.Push(dists[i], selected_ids[i]);
+      }
+    }
+    counters.tuples_visited += selected.size();
+    counters.heap_pushes += selected.size();
+    counters.tombstones_skipped += skipped;
+  }
+  if (metrics != nullptr) {
+    FlushSearchCounters(metrics, counters);
+    fast_scan.FlushTo(metrics);
+    metrics->AddUnchecked(obs::Counter::kFilterBitmapProbes, bitmap_probes);
   }
   return heap.TakeSorted();
 }
@@ -153,10 +307,7 @@ Result<std::vector<Neighbor>> IvfSq8Index::Search(
 size_t IvfSq8Index::SizeBytes() const {
   size_t bytes = centroids_.size() * sizeof(float);
   bytes += 2 * static_cast<size_t>(dim_) * sizeof(float);  // vmin/vscale
-  for (uint32_t b = 0; b < num_clusters_; ++b) {
-    bytes += bucket_codes_[b].size();
-    bytes += bucket_ids_[b].size() * sizeof(int64_t);
-  }
+  for (const auto& bucket : buckets_) bytes += bucket.MemoryBytes();
   return bytes;
 }
 

@@ -27,7 +27,10 @@ struct IvfSq8Options {
   Profiler* profiler = nullptr;
 };
 
-/// Inverted file over SQ8-coded vectors.
+/// Inverted file over SQ8-coded vectors. Buckets hold their codes in the
+/// blocked Sq8CodeStore layout, scanned with the integer-SIMD fast-scan
+/// kernels (one prepared query per search, one batched kernel call per
+/// bucket).
 class IvfSq8Index final : public VectorIndex {
  public:
   IvfSq8Index(uint32_t dim, IvfSq8Options options)
@@ -60,6 +63,19 @@ class IvfSq8Index final : public VectorIndex {
 
   uint32_t num_clusters() const { return num_clusters_; }
 
+ protected:
+  /// Gathers the predicate's survivors across all buckets and fast-scans
+  /// them with the pointer-gather SQ8 kernel.
+  Result<std::vector<Neighbor>> PreFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
+  /// Probes nprobe buckets, testing the bitmap per code and fast-scanning
+  /// only the selected codes of each bucket.
+  Result<std::vector<Neighbor>> InFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
  private:
   std::vector<uint32_t> SelectBuckets(const float* query,
                                       uint32_t nprobe) const;
@@ -72,8 +88,7 @@ class IvfSq8Index final : public VectorIndex {
   uint32_t num_clusters_ = 0;
   AlignedFloats centroids_;
   std::optional<ScalarQuantizer8> sq_;
-  std::vector<std::vector<uint8_t>> bucket_codes_;
-  std::vector<std::vector<int64_t>> bucket_ids_;
+  std::vector<Sq8CodeStore> buckets_;
   size_t num_vectors_ = 0;
   TombstoneSet tombstones_;
 };

@@ -18,6 +18,8 @@ const char* CounterName(Counter c) {
     case Counter::kWalCheckpoints: return "wal.checkpoints";
     case Counter::kWalRecoveredPages: return "wal.recovered_pages";
     case Counter::kSgemmCalls: return "sgemm.calls";
+    case Counter::kKernelSq8Blocks: return "kernel.sq8_blocks";
+    case Counter::kKernelSq8Codes: return "kernel.sq8_codes";
     case Counter::kFaissQueries: return "faiss.queries";
     case Counter::kFaissBatchQueries: return "faiss.batch_queries";
     case Counter::kFaissBucketsProbed: return "faiss.buckets_probed";

@@ -39,6 +39,8 @@ enum class Counter : uint32_t {
   kWalRecoveredPages,
   // distance kernels (RC#1: batched SGEMM-decomposed distances).
   kSgemmCalls,
+  kKernelSq8Blocks,  ///< SQ8 fast-scan blocks (Sq8CodeStore::kBlockCodes grain)
+  kKernelSq8Codes,   ///< SQ8 codes scanned through the batched kernels
   // faisslike engine search/build.
   kFaissQueries,
   kFaissBatchQueries,

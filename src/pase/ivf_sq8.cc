@@ -17,6 +17,20 @@ struct DataPageSpecial {
 struct CodeTupleHeader {
   int64_t row_id;
 };
+
+void FlushSearchCounters(obs::MetricsRegistry* m,
+                         const obs::SearchCounters& sc) {
+  sc.FlushTo(m, obs::Counter::kPaseBucketsProbed,
+             obs::Counter::kPaseTuplesVisited,
+             obs::Counter::kPaseHeapPushes,
+             obs::Counter::kPaseTombstonesSkipped);
+}
+
+void FlushFastScan(obs::MetricsRegistry* m, uint64_t blocks, uint64_t codes) {
+  if (m == nullptr) return;
+  m->AddUnchecked(obs::Counter::kKernelSq8Blocks, blocks);
+  m->AddUnchecked(obs::Counter::kKernelSq8Codes, codes);
+}
 }  // namespace
 
 Status PaseIvfSq8Index::AppendToBucket(uint32_t bucket, int64_t row_id,
@@ -129,6 +143,75 @@ Status PaseIvfSq8Index::Insert(const float* vec) {
   return Status::OK();
 }
 
+Status PaseIvfSq8Index::ScanChain(uint32_t bucket, const Sq8Query& prep,
+                                  const filter::SelectionVector* selection,
+                                  NHeap* collector, Profiler* profiler,
+                                  obs::SearchCounters* counters,
+                                  uint64_t* bitmap_probes,
+                                  uint64_t* scan_blocks,
+                                  uint64_t* scan_codes) const {
+  // Per-page scratch: code tuples are interleaved with their headers, so
+  // each page's live codes are gathered by pointer and handed to one
+  // gather-kernel call while the page is pinned.
+  thread_local std::vector<const uint8_t*> codes;
+  thread_local std::vector<int64_t> row_ids;
+  thread_local std::vector<float> dists;
+  pgstub::BlockId block = chains_[bucket].head;
+  while (block != pgstub::kInvalidBlock) {
+    pgstub::BufferHandle handle;
+    {
+      ProfScope scope(profiler, "TupleAccess");
+      VECDB_ASSIGN_OR_RETURN(handle, env_.bufmgr->Pin(data_rel_, block));
+    }
+    pgstub::PageView page(handle.data, env_.bufmgr->page_size());
+    const uint16_t count = page.ItemCount();
+    {
+      ProfScope scope(profiler, "sq8_scan");
+      codes.clear();
+      row_ids.clear();
+      size_t skipped = 0;
+      for (pgstub::OffsetNumber slot = 1; slot <= count; ++slot) {
+        const char* item = page.GetItem(slot);
+        const auto* header = reinterpret_cast<const CodeTupleHeader*>(item);
+        if (selection != nullptr) {
+          ++*bitmap_probes;
+          if (header->row_id < 0 ||
+              !selection->Test(static_cast<size_t>(header->row_id))) {
+            continue;
+          }
+        }
+        if (tombstones_.Contains(header->row_id)) {
+          ++skipped;
+          continue;
+        }
+        codes.push_back(reinterpret_cast<const uint8_t*>(
+            item + sizeof(CodeTupleHeader)));
+        row_ids.push_back(header->row_id);
+      }
+      if (!codes.empty()) {
+        dists.resize(codes.size());
+        sq_->DistanceToCodesGather(prep, codes.data(), codes.size(),
+                                   dists.data());
+        *scan_blocks += (codes.size() + Sq8CodeStore::kBlockCodes - 1) /
+                        Sq8CodeStore::kBlockCodes;
+        *scan_codes += codes.size();
+        for (size_t i = 0; i < row_ids.size(); ++i) {
+          collector->Push(dists[i], row_ids[i]);
+        }
+      }
+      if (counters != nullptr) {
+        counters->tuples_visited +=
+            selection != nullptr ? codes.size() : count;
+        counters->heap_pushes += codes.size();
+        counters->tombstones_skipped += skipped;
+      }
+    }
+    block = reinterpret_cast<const DataPageSpecial*>(page.Special())->next;
+    env_.bufmgr->Unpin(handle, false);
+  }
+  return Status::OK();
+}
+
 Result<std::vector<Neighbor>> PaseIvfSq8Index::Search(
     const float* query, const SearchParams& params) const {
   if (query == nullptr) {
@@ -153,50 +236,93 @@ Result<std::vector<Neighbor>> PaseIvfSq8Index::Search(
     }
   }
 
+  const Sq8Query prep = sq_->PrepareQuery(query);
   obs::SearchCounters counters;
+  uint64_t scan_blocks = 0, scan_codes = 0;
   NHeap collector;  // RC#6 applies to every PASE IVF index
   for (const auto& probe : centroid_heap.TakeSorted()) {
     ++counters.buckets_probed;
-    pgstub::BlockId block = chains_[static_cast<uint32_t>(probe.id)].head;
-    while (block != pgstub::kInvalidBlock) {
-      pgstub::BufferHandle handle;
-      {
-        ProfScope scope(ctx.profiler, "TupleAccess");
-        VECDB_ASSIGN_OR_RETURN(handle, env_.bufmgr->Pin(data_rel_, block));
-      }
-      pgstub::PageView page(handle.data, env_.bufmgr->page_size());
-      const uint16_t count = page.ItemCount();
-      {
-        ProfScope scope(ctx.profiler, "sq8_scan");
-        size_t skipped = 0;
-        for (pgstub::OffsetNumber slot = 1; slot <= count; ++slot) {
-          const char* item = page.GetItem(slot);
-          const auto* header =
-              reinterpret_cast<const CodeTupleHeader*>(item);
-          if (tombstones_.Contains(header->row_id)) {
-            ++skipped;
-            continue;
-          }
-          const uint8_t* code = reinterpret_cast<const uint8_t*>(
-              item + sizeof(CodeTupleHeader));
-          collector.Push(sq_->DistanceToCode(query, code), header->row_id);
-        }
-        counters.tuples_visited += count;
-        counters.heap_pushes += count - skipped;
-        counters.tombstones_skipped += skipped;
-      }
-      block = reinterpret_cast<const DataPageSpecial*>(page.Special())->next;
-      env_.bufmgr->Unpin(handle, false);
-    }
+    VECDB_RETURN_NOT_OK(ScanChain(static_cast<uint32_t>(probe.id), prep,
+                                  /*selection=*/nullptr, &collector,
+                                  ctx.profiler, &counters,
+                                  /*bitmap_probes=*/nullptr, &scan_blocks,
+                                  &scan_codes));
   }
   if (metrics != nullptr) {
     metrics->AddUnchecked(obs::Counter::kPaseQueries);
-    counters.FlushTo(metrics, obs::Counter::kPaseBucketsProbed,
-                     obs::Counter::kPaseTuplesVisited,
-                     obs::Counter::kPaseHeapPushes,
-                     obs::Counter::kPaseTombstonesSkipped);
+    FlushSearchCounters(metrics, counters);
+    FlushFastScan(metrics, scan_blocks, scan_codes);
   }
   ProfScope scope(ctx.profiler, "MinHeap");
+  return collector.PopK(params.k);
+}
+
+Result<std::vector<Neighbor>> PaseIvfSq8Index::PreFilterSearch(
+    const float* query, const filter::SelectionVector& selection,
+    const SearchParams& params) const {
+  VECDB_RETURN_NOT_OK(ValidateSearchParams(params, IndexKind::kFlat,
+                                           "PaseIvfSq8::PreFilterSearch"));
+  if (!sq_) return Status::InvalidArgument("PaseIvfSq8: index not built");
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kPaseSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kPaseQueries);
+
+  const Sq8Query prep = sq_->PrepareQuery(query);
+  NHeap collector;
+  obs::SearchCounters counters;
+  obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
+  uint64_t bitmap_probes = 0, scan_blocks = 0, scan_codes = 0;
+  for (uint32_t b = 0; b < num_clusters_; ++b) {
+    VECDB_RETURN_NOT_OK(ScanChain(b, prep, &selection, &collector,
+                                  ctx.profiler, sc, &bitmap_probes,
+                                  &scan_blocks, &scan_codes));
+  }
+  if (metrics != nullptr) {
+    // The exhaustive pass touches every chain; that is not "probing", so
+    // the bucket counter stays out of the flush.
+    counters.buckets_probed = 0;
+    FlushSearchCounters(metrics, counters);
+    FlushFastScan(metrics, scan_blocks, scan_codes);
+  }
+  return collector.PopK(params.k);
+}
+
+Result<std::vector<Neighbor>> PaseIvfSq8Index::InFilterSearch(
+    const float* query, const filter::SelectionVector& selection,
+    const SearchParams& params) const {
+  VECDB_RETURN_NOT_OK(ValidateSearchParams(params, IndexKind::kIvf,
+                                           "PaseIvfSq8::InFilterSearch"));
+  if (!sq_) return Status::InvalidArgument("PaseIvfSq8: index not built");
+  const QueryContext ctx = params.Context();
+  obs::MetricsRegistry* metrics = ctx.live_metrics();
+  obs::LatencyScope latency(metrics, obs::Hist::kPaseSearchNanos);
+  if (metrics != nullptr) metrics->AddUnchecked(obs::Counter::kPaseQueries);
+  const uint32_t nprobe = std::min(params.nprobe, num_clusters_);
+
+  KMaxHeap centroid_heap(nprobe);
+  for (uint32_t c = 0; c < num_clusters_; ++c) {
+    centroid_heap.Push(
+        L2Sqr(query, centroids_.data() + static_cast<size_t>(c) * dim_, dim_),
+        c);
+  }
+
+  const Sq8Query prep = sq_->PrepareQuery(query);
+  NHeap collector;
+  obs::SearchCounters counters;
+  obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
+  uint64_t bitmap_probes = 0, scan_blocks = 0, scan_codes = 0;
+  for (const auto& probe : centroid_heap.TakeSorted()) {
+    ++counters.buckets_probed;
+    VECDB_RETURN_NOT_OK(ScanChain(static_cast<uint32_t>(probe.id), prep,
+                                  &selection, &collector, ctx.profiler, sc,
+                                  &bitmap_probes, &scan_blocks, &scan_codes));
+  }
+  if (metrics != nullptr) {
+    FlushSearchCounters(metrics, counters);
+    FlushFastScan(metrics, scan_blocks, scan_codes);
+    metrics->AddUnchecked(obs::Counter::kFilterBitmapProbes, bitmap_probes);
+  }
   return collector.PopK(params.k);
 }
 

@@ -59,6 +59,19 @@ class PaseIvfSq8Index final : public VectorIndex {
   uint32_t Dim() const override { return dim_; }
   std::string Describe() const override;
 
+ protected:
+  /// Walks every bucket chain, fast-scanning only the predicate's
+  /// survivors page by page (codes stay page-resident; the gather kernel
+  /// reads them behind their tuple headers).
+  Result<std::vector<Neighbor>> PreFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
+  /// Probes nprobe chains, testing the bitmap per tuple during the walk.
+  Result<std::vector<Neighbor>> InFilterSearch(
+      const float* query, const filter::SelectionVector& selection,
+      const SearchParams& params) const override;
+
  private:
   struct BucketChain {
     pgstub::BlockId head = pgstub::kInvalidBlock;
@@ -66,6 +79,15 @@ class PaseIvfSq8Index final : public VectorIndex {
   };
 
   Status AppendToBucket(uint32_t bucket, int64_t row_id, const uint8_t* code);
+
+  /// Walks one bucket chain, gathering each page's live (and, when
+  /// `selection` is non-null, selected) code pointers and running one
+  /// gather-kernel call per page while it is pinned.
+  Status ScanChain(uint32_t bucket, const Sq8Query& prep,
+                   const filter::SelectionVector* selection, NHeap* collector,
+                   Profiler* profiler, obs::SearchCounters* counters,
+                   uint64_t* bitmap_probes, uint64_t* scan_blocks,
+                   uint64_t* scan_codes) const;
 
   PaseEnv env_;
   uint32_t dim_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "distance/dispatch.h"
 
 namespace vecdb {
 
@@ -58,6 +61,59 @@ float ScalarQuantizer8::DistanceToCode(const float* query,
     s += diff * diff;
   }
   return s;
+}
+
+Sq8Query ScalarQuantizer8::PrepareQuery(const float* query) const {
+  Sq8Query q;
+  q.qadj.resize(dim_);
+  for (uint32_t t = 0; t < dim_; ++t) {
+    q.qadj[t] = query[t] - vmin_[t] - 0.5f * vscale_[t];
+  }
+  return q;
+}
+
+float ScalarQuantizer8::DistanceToCode(const Sq8Query& q,
+                                       const uint8_t* code) const {
+  float out;
+  ActiveKernels().sq8_l2_batch(q.qadj.data(), vscale_.data(), dim_, code, 1,
+                               &out);
+  return out;
+}
+
+void ScalarQuantizer8::DistanceToCodesBatch(const Sq8Query& q,
+                                            const uint8_t* codes, size_t n,
+                                            float* out) const {
+  ActiveKernels().sq8_l2_batch(q.qadj.data(), vscale_.data(), dim_, codes, n,
+                               out);
+}
+
+void ScalarQuantizer8::DistanceToCodesGather(const Sq8Query& q,
+                                             const uint8_t* const* codes,
+                                             size_t n, float* out) const {
+  ActiveKernels().sq8_l2_gather(q.qadj.data(), vscale_.data(), dim_, codes, n,
+                                out);
+}
+
+void Sq8CodeStore::Reset(size_t code_size) {
+  code_size_ = code_size;
+  ids_.clear();
+}
+
+void Sq8CodeStore::Append(const uint8_t* code, int64_t id) {
+  const size_t n = ids_.size();
+  if (n == capacity_codes_) {
+    size_t cap = capacity_codes_ == 0 ? kBlockCodes : capacity_codes_ * 2;
+    const size_t bytes = (cap * code_size_ + 63) / 64 * 64;
+    uint8_t* fresh = static_cast<uint8_t*>(std::aligned_alloc(64, bytes));
+    if (codes_ != nullptr) {
+      std::memcpy(fresh, codes_, n * code_size_);
+      std::free(codes_);
+    }
+    codes_ = fresh;
+    capacity_codes_ = cap;
+  }
+  std::memcpy(codes_ + n * code_size_, code, code_size_);
+  ids_.push_back(id);
 }
 
 }  // namespace vecdb

@@ -5,6 +5,7 @@
 
 #include "common/timer.h"
 #include "core/factory.h"
+#include "distance/dispatch.h"
 #include "distance/kernels.h"
 #include "faisslike/hnsw.h"
 #include "faisslike/ivf_flat.h"
@@ -956,6 +957,10 @@ Result<QueryResult> MiniDatabase::ExecShow(const ShowStmt& stmt) {
   }
   auto& metrics = obs::MetricsRegistry::Global();
   out.message = metrics.ExportTable();
+  // Resolved kernel tier: a config fact, not a counter, so it rides along
+  // as its own line like the wal.* health lines below.
+  out.message +=
+      std::string("distance.isa: ") + KernelIsaName(ActiveKernelIsa()) + "\n";
   // WAL health lines: the sticky wal_error() surfaces logging failures
   // that would otherwise hide inside void Unpin calls.
   if (wal_ != nullptr) {

@@ -6,8 +6,10 @@
 
 #include "datasets/ground_truth.h"
 #include "datasets/synthetic.h"
+#include "distance/dispatch.h"
 #include "faisslike/ivf_flat.h"
 #include "faisslike/ivf_sq8.h"
+#include "obs/metrics.h"
 #include "pase/ivf_sq8.h"
 #include "sql/database.h"
 #include "sql/session.h"
@@ -88,6 +90,174 @@ TEST(IvfSq8Test, ErrorPaths) {
   EXPECT_FALSE(index.Build(few.data(), 10).ok());  // c > n
   SearchParams params;
   EXPECT_FALSE(index.Search(few.data(), params).ok());  // not built
+}
+
+filter::SelectionVector EveryOther(size_t n) {
+  filter::SelectionVector sel(n);
+  for (size_t i = 0; i < n; i += 2) sel.Set(i);
+  return sel;
+}
+
+std::unique_ptr<pase::PaseIvfSq8Index> BuildPaseSq8(
+    const Dataset& ds, pgstub::StorageManager* smgr,
+    pgstub::BufferManager* bufmgr, const std::string& prefix) {
+  pase::PaseIvfSq8Options opt;
+  opt.num_clusters = 16;
+  opt.sample_ratio = 0.5;
+  opt.rel_prefix = prefix;
+  auto index = std::make_unique<pase::PaseIvfSq8Index>(
+      pase::PaseEnv{smgr, bufmgr}, ds.dim, opt);
+  EXPECT_TRUE(index->Build(ds.base.data(), ds.num_base).ok());
+  return index;
+}
+
+TEST(IvfSq8Test, FilterStrategiesAgreeAtFullProbe) {
+  // Pre-filter and in-filter at nprobe=c scan exactly the same surviving
+  // codes through the same gather kernel, so their results must be
+  // bit-identical; full-selection pre-filter must likewise match the
+  // unfiltered batched scan.
+  auto ds = TestData();
+  faisslike::IvfSq8Options opt;
+  opt.num_clusters = 16;
+  opt.sample_ratio = 0.5;
+  faisslike::IvfSq8Index index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 16;
+  const auto sel = EveryOther(ds.num_base);
+  FilterRequest pre, in;
+  pre.selection = &sel;
+  pre.strategy = filter::FilterStrategy::kPreFilter;
+  in.selection = &sel;
+  in.strategy = filter::FilterStrategy::kInFilter;
+  for (size_t q = 0; q < ds.num_queries; ++q) {
+    auto a = index.FilteredSearch(ds.query_vector(q), pre, params)
+                 .ValueOrDie();
+    auto b = index.FilteredSearch(ds.query_vector(q), in, params)
+                 .ValueOrDie();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << "q=" << q << " rank=" << i;
+      EXPECT_EQ(a[i].dist, b[i].dist);
+      EXPECT_EQ(a[i].id % 2, 0) << "unselected id surfaced";
+    }
+  }
+
+  filter::SelectionVector all(ds.num_base);
+  for (size_t i = 0; i < ds.num_base; ++i) all.Set(i);
+  FilterRequest full;
+  full.selection = &all;
+  full.strategy = filter::FilterStrategy::kPreFilter;
+  for (size_t q = 0; q < ds.num_queries; ++q) {
+    auto filtered =
+        index.FilteredSearch(ds.query_vector(q), full, params).ValueOrDie();
+    auto plain = index.Search(ds.query_vector(q), params).ValueOrDie();
+    ASSERT_EQ(filtered.size(), plain.size());
+    for (size_t i = 0; i < plain.size(); ++i) {
+      EXPECT_EQ(filtered[i].id, plain[i].id);
+      EXPECT_EQ(filtered[i].dist, plain[i].dist);
+    }
+  }
+}
+
+TEST(IvfSq8Test, PaseFilterStrategiesAgreeAtFullProbe) {
+  auto ds = TestData();
+  const std::string dir = ::testing::TempDir() + "/sq8_pase_filter";
+  std::filesystem::remove_all(dir);
+  auto smgr = std::make_unique<pgstub::StorageManager>(
+      pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
+  pgstub::BufferManager bufmgr(smgr.get(), 4096);
+  auto index = BuildPaseSq8(ds, smgr.get(), &bufmgr, "sq8_filter");
+
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 16;
+  const auto sel = EveryOther(ds.num_base);
+  FilterRequest pre, in;
+  pre.selection = &sel;
+  pre.strategy = filter::FilterStrategy::kPreFilter;
+  in.selection = &sel;
+  in.strategy = filter::FilterStrategy::kInFilter;
+  for (size_t q = 0; q < ds.num_queries; ++q) {
+    auto a = index->FilteredSearch(ds.query_vector(q), pre, params)
+                 .ValueOrDie();
+    auto b = index->FilteredSearch(ds.query_vector(q), in, params)
+                 .ValueOrDie();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << "q=" << q << " rank=" << i;
+      EXPECT_EQ(a[i].dist, b[i].dist);
+      EXPECT_EQ(a[i].id % 2, 0);
+    }
+  }
+}
+
+TEST(IvfSq8Test, FastScanCountersReported) {
+  auto ds = TestData();
+  faisslike::IvfSq8Options opt;
+  opt.num_clusters = 16;
+  opt.sample_ratio = 0.5;
+  faisslike::IvfSq8Index index(ds.dim, opt);
+  ASSERT_TRUE(index.Build(ds.base.data(), ds.num_base).ok());
+
+  obs::MetricsRegistry registry;
+  registry.SetEnabled(true);
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 16;
+  params.ctx.metrics = &registry;
+  auto with_metrics = index.Search(ds.query_vector(0), params).ValueOrDie();
+  // nprobe=c scans every stored code exactly once.
+  EXPECT_EQ(registry.Value(obs::Counter::kKernelSq8Codes), ds.num_base);
+  EXPECT_GE(registry.Value(obs::Counter::kKernelSq8Blocks),
+            ds.num_base / Sq8CodeStore::kBlockCodes / 16);
+  EXPECT_GT(registry.Value(obs::Counter::kKernelSq8Blocks), 0u);
+
+  // Metrics off (default params): identical results — instrumentation
+  // must not perturb the scan.
+  SearchParams quiet;
+  quiet.k = 10;
+  quiet.nprobe = 16;
+  auto without = index.Search(ds.query_vector(0), quiet).ValueOrDie();
+  ASSERT_EQ(with_metrics.size(), without.size());
+  for (size_t i = 0; i < without.size(); ++i) {
+    EXPECT_EQ(with_metrics[i].id, without[i].id);
+    EXPECT_EQ(with_metrics[i].dist, without[i].dist);
+  }
+}
+
+TEST(IvfSq8Test, PaseFastScanCountersReported) {
+  auto ds = TestData();
+  const std::string dir = ::testing::TempDir() + "/sq8_pase_counters";
+  std::filesystem::remove_all(dir);
+  auto smgr = std::make_unique<pgstub::StorageManager>(
+      pgstub::StorageManager::Open(dir, 8192).ValueOrDie());
+  pgstub::BufferManager bufmgr(smgr.get(), 4096);
+  auto index = BuildPaseSq8(ds, smgr.get(), &bufmgr, "sq8_counters");
+
+  obs::MetricsRegistry registry;
+  registry.SetEnabled(true);
+  SearchParams params;
+  params.k = 10;
+  params.nprobe = 16;
+  params.ctx.metrics = &registry;
+  ASSERT_TRUE(index->Search(ds.query_vector(0), params).ok());
+  EXPECT_EQ(registry.Value(obs::Counter::kKernelSq8Codes), ds.num_base);
+  EXPECT_GT(registry.Value(obs::Counter::kKernelSq8Blocks), 0u);
+}
+
+TEST(IvfSq8Test, ShowMetricsReportsKernelIsa) {
+  const std::string dir = ::testing::TempDir() + "/sq8_show_isa";
+  std::filesystem::remove_all(dir);
+  auto db = std::move(sql::MiniDatabase::Open(dir)).ValueOrDie();
+  auto session = db->CreateSession();
+  auto result = session->Execute("SHOW METRICS").ValueOrDie();
+  const std::string expected =
+      std::string("distance.isa: ") + KernelIsaName(ActiveKernelIsa());
+  EXPECT_NE(result.message.find(expected), std::string::npos)
+      << result.message;
 }
 
 TEST(IvfSq8Test, AvailableThroughSql) {

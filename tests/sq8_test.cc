@@ -80,5 +80,88 @@ TEST(Sq8Test, DistanceToCodeMatchesDecodedDistance) {
   }
 }
 
+TEST(Sq8Test, PreparedQueryMatchesDecodeOnTheFly) {
+  // The fast-scan form is an algebraic rewrite of the midpoint decode;
+  // both must agree up to float rounding on every dimension shape.
+  Rng rng(6);
+  for (size_t d : {1ul, 3ul, 7ul, 8ul, 9ul, 16ul, 25ul, 64ul}) {
+    const size_t n = 50;
+    std::vector<float> data(n * d);
+    for (auto& v : data) v = rng.Gaussian();
+    auto sq = ScalarQuantizer8::Train(data.data(), n, d).ValueOrDie();
+    std::vector<float> query(d);
+    for (auto& v : query) v = rng.Gaussian();
+    const Sq8Query prep = sq.PrepareQuery(query.data());
+    std::vector<uint8_t> code(d);
+    for (size_t i = 0; i < n; ++i) {
+      sq.Encode(data.data() + i * d, code.data());
+      const float slow = sq.DistanceToCode(query.data(), code.data());
+      const float fast = sq.DistanceToCode(prep, code.data());
+      EXPECT_NEAR(fast, slow, 1e-4f * static_cast<float>(d) + 1e-5f)
+          << "d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(Sq8Test, CodeStoreAppendAndLayout) {
+  const size_t d = 5;
+  Sq8CodeStore store;
+  store.Reset(d);
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.num_blocks(), 0u);
+  // Cross the initial capacity (kBlockCodes) to exercise regrowth.
+  const size_t n = Sq8CodeStore::kBlockCodes * 3 + 7;
+  std::vector<uint8_t> code(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t t = 0; t < d; ++t) {
+      code[t] = static_cast<uint8_t>((i * d + t) % 251);
+    }
+    store.Append(code.data(), static_cast<int64_t>(i) * 3);
+  }
+  ASSERT_EQ(store.size(), n);
+  EXPECT_EQ(store.code_size(), d);
+  EXPECT_EQ(store.num_blocks(), 4u);  // ceil(103 / 32)
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(store.codes()) % 64, 0u);
+  EXPECT_GE(store.MemoryBytes(), n * d + n * sizeof(int64_t));
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(store.ids()[i], static_cast<int64_t>(i) * 3);
+    for (size_t t = 0; t < d; ++t) {
+      EXPECT_EQ(store.code_at(i)[t],
+                static_cast<uint8_t>((i * d + t) % 251));
+    }
+  }
+  // Codes stay contiguous at code_size stride (the batch-kernel contract).
+  EXPECT_EQ(store.code_at(n - 1), store.codes() + (n - 1) * d);
+}
+
+TEST(Sq8Test, CodeStoreResetDropsCodes) {
+  Sq8CodeStore store;
+  store.Reset(4);
+  const uint8_t code[4] = {1, 2, 3, 4};
+  store.Append(code, 7);
+  ASSERT_EQ(store.size(), 1u);
+  store.Reset(4);
+  EXPECT_TRUE(store.empty());
+  store.Append(code, 9);
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.ids()[0], 9);
+}
+
+TEST(Sq8Test, CodeStoreMoveTransfersOwnership) {
+  Sq8CodeStore a;
+  a.Reset(2);
+  const uint8_t code[2] = {11, 22};
+  a.Append(code, 1);
+  const uint8_t* raw = a.codes();
+  Sq8CodeStore b(std::move(a));
+  EXPECT_EQ(b.codes(), raw);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.code_at(0)[1], 22);
+  Sq8CodeStore c;
+  c = std::move(b);
+  EXPECT_EQ(c.codes(), raw);
+  EXPECT_EQ(c.ids()[0], 1);
+}
+
 }  // namespace
 }  // namespace vecdb

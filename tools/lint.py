@@ -36,6 +36,13 @@ Rules (suppress one occurrence with a trailing `// lint-allow:<rule>`):
                     Session::Execute so statements go through admission
                     control and session accounting. (Scoped to variables
                     the scan can prove are MiniDatabase handles.)
+  raw-intrinsics    #include <*intrin.h>, an _mm* intrinsic, or an
+                    __m128/__m256/__m512 vector type outside src/distance/
+                    (and the CRC-32C dispatch in src/pgstub/crc32c.cc) --
+                    SIMD stays behind the KernelDispatch registry so every
+                    call site inherits runtime cpuid gating and the
+                    VECDB_KERNEL_ISA override instead of SIGILLing on older
+                    hosts.
 
 Additionally, every `// lint-allow:<rule>` suppression is itself audited:
 naming a rule that does not exist, or sitting on a line where its rule no
@@ -57,10 +64,17 @@ NEW_ARRAY_ALLOWED = {os.path.join("src", "common", "aligned_buffer.h")}
 # Files allowed to name raw std mutex types: the annotated wrapper itself.
 RAW_MUTEX_ALLOWED = {os.path.join("src", "common", "thread_annotations.h")}
 
+# Where raw SIMD may live: the dispatched kernel tiers and the CRC-32C
+# hardware fast path. Everything else consumes SIMD through the
+# KernelDispatch registry (distance/dispatch.h).
+INTRINSICS_ALLOWED_PREFIX = os.path.join("src", "distance") + os.sep
+INTRINSICS_ALLOWED = {os.path.join("src", "pgstub", "crc32c.cc")}
+
 # Every rule a lint-allow comment may name (stale-suppression audits this).
 KNOWN_RULES = {
     "new-array", "raw-pthread", "discarded-status", "pragma-once",
     "std-endl", "removed-field", "raw-mutex", "database-execute",
+    "raw-intrinsics",
 }
 
 NEW_ARRAY_RE = re.compile(r"\bnew\s+[\w:<>]+\s*\[|\bdelete\s*\[\]")
@@ -88,6 +102,9 @@ MINIDATABASE_DECL_RES = (
 )
 PTHREAD_RE = re.compile(r"\bpthread_\w+\s*\(")
 ENDL_RE = re.compile(r"\bstd::endl\b")
+INTRINSICS_RE = re.compile(
+    r"#\s*include\s*<\w*intrin\.h>|\b_mm\d*_\w+|\b__m(?:128|256|512)\w*\b"
+)
 
 # `Status Foo(`, `Result<T> Foo(`, with optional static/virtual/[[nodiscard]]
 # qualifiers -- harvested from headers to drive the discarded-status rule.
@@ -225,6 +242,13 @@ def lint_file(root, path, status_stmt_re, errors):
         if PTHREAD_RE.search(line):
             report(i, "raw-pthread",
                    "raw pthread_ call; use std::thread or ThreadPool")
+        if (INTRINSICS_RE.search(line)
+                and not path.startswith(INTRINSICS_ALLOWED_PREFIX)
+                and path not in INTRINSICS_ALLOWED):
+            report(i, "raw-intrinsics",
+                   "raw SIMD intrinsic/include outside src/distance/; go "
+                   "through the KernelDispatch registry (distance/dispatch.h) "
+                   "so cpuid gating and VECDB_KERNEL_ISA apply")
         if in_src and ENDL_RE.search(line):
             report(i, "std-endl", "std::endl flushes; use '\\n'")
         if database_execute_re and database_execute_re.search(line):
