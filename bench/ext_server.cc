@@ -1,0 +1,206 @@
+// Networked front-end overhead report: BENCH_server.json.
+//
+// Quantifies what the wire protocol + connection scheduler cost over the
+// in-process Session path, and how statement throughput scales with
+// concurrent clients multiplexed onto the fixed worker pool:
+//   - per-statement latency, in-process vs loopback TCP (same statement)
+//   - aggregate statements/sec at 1 / 4 / 8 concurrent connections
+//
+// Usage: ext_server [output.json]   (default ./BENCH_server.json)
+//
+// Standalone like kernels_report: no benchmark framework, one small JSON
+// artifact suitable for CI trend lines.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "sql/database.h"
+#include "sql/session.h"
+
+namespace vecdb {
+namespace {
+
+constexpr int kRows = 2000;
+constexpr int kLatencyIters = 400;
+constexpr int kThroughputStatements = 300;  // per client
+constexpr const char* kSelect =
+    "SELECT id FROM t ORDER BY vec <-> '1,2,3,4' OPTIONS (nprobe=8) "
+    "LIMIT 10";
+
+struct LatencyStats {
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+LatencyStats Summarize(std::vector<double>& micros) {
+  LatencyStats out;
+  if (micros.empty()) return out;
+  std::sort(micros.begin(), micros.end());
+  double sum = 0.0;
+  for (double v : micros) sum += v;
+  out.mean_us = sum / static_cast<double>(micros.size());
+  out.p50_us = micros[micros.size() / 2];
+  out.p99_us = micros[micros.size() * 99 / 100];
+  return out;
+}
+
+template <typename ExecFn>
+LatencyStats MeasureLatency(ExecFn&& exec) {
+  // Warmup, then timed iterations.
+  for (int i = 0; i < 20; ++i) {
+    if (!exec()) return {};
+  }
+  std::vector<double> micros;
+  micros.reserve(kLatencyIters);
+  for (int i = 0; i < kLatencyIters; ++i) {
+    Timer t;
+    if (!exec()) return {};
+    micros.push_back(t.ElapsedMicros());
+  }
+  return Summarize(micros);
+}
+
+/// Statements/sec with `nclients` connections hammering kSelect.
+double MeasureThroughput(uint16_t port, int nclients) {
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  Timer wall;
+  for (int c = 0; c < nclients; ++c) {
+    threads.emplace_back([&] {
+      auto client = net::VecClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kThroughputStatements; ++i) {
+        if (!(*client)->Execute(kSelect).ok()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = wall.ElapsedSeconds();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "[ext_server] throughput run had failures\n");
+    return -1.0;
+  }
+  return static_cast<double>(nclients) * kThroughputStatements / seconds;
+}
+
+int Run(const char* out_path) {
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "vecdb_bench_server";
+  std::filesystem::remove_all(dir);
+  sql::DatabaseOptions db_options;
+  auto db = sql::MiniDatabase::Open(dir, db_options).ValueOrDie();
+  auto setup = db->CreateSession();
+
+  std::fprintf(stderr, "[ext_server] loading %d rows...\n", kRows);
+  if (!setup->Execute("CREATE TABLE t (id int, vec float[4])").ok()) {
+    return 1;
+  }
+  for (int first = 0; first < kRows; first += 100) {
+    std::string sql = "INSERT INTO t VALUES ";
+    for (int i = 0; i < 100; ++i) {
+      const int id = first + i;
+      if (i > 0) sql += ", ";
+      sql += "(" + std::to_string(id) + ", '" + std::to_string(id % 13) +
+             "," + std::to_string(id % 7) + "," + std::to_string(id % 5) +
+             "," + std::to_string(id) + "')";
+    }
+    if (!setup->Execute(sql).ok()) return 1;
+  }
+  if (!setup->Execute("CREATE INDEX t_idx ON t USING ivfflat (vec) WITH "
+                      "(clusters=16, sample_ratio=1)")
+           .ok()) {
+    return 1;
+  }
+
+  net::ServerOptions server_options;
+  server_options.worker_threads = 8;
+  auto server = net::VecServer::Start(db.get(), server_options).ValueOrDie();
+  std::fprintf(stderr, "[ext_server] server on port %u\n", server->port());
+
+  std::fprintf(stderr, "[ext_server] in-process latency...\n");
+  auto session = db->CreateSession();
+  const LatencyStats inproc =
+      MeasureLatency([&] { return session->Execute(kSelect).ok(); });
+
+  std::fprintf(stderr, "[ext_server] loopback latency...\n");
+  auto client =
+      net::VecClient::Connect("127.0.0.1", server->port()).ValueOrDie();
+  const LatencyStats wire =
+      MeasureLatency([&] { return client->Execute(kSelect).ok(); });
+
+  double throughput[3] = {-1.0, -1.0, -1.0};
+  const int fleets[3] = {1, 4, 8};
+  for (int i = 0; i < 3; ++i) {
+    std::fprintf(stderr, "[ext_server] throughput with %d clients...\n",
+                 fleets[i]);
+    throughput[i] = MeasureThroughput(server->port(), fleets[i]);
+  }
+
+  char buf[512];
+  std::string json = "{\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"config\": {\"rows\": %d, \"latency_iters\": %d, "
+                "\"throughput_statements_per_client\": %d, "
+                "\"worker_threads\": %u},\n",
+                kRows, kLatencyIters, kThroughputStatements,
+                server_options.worker_threads);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"inproc_latency_us\": {\"mean\": %.1f, \"p50\": %.1f, "
+                "\"p99\": %.1f},\n",
+                inproc.mean_us, inproc.p50_us, inproc.p99_us);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"wire_latency_us\": {\"mean\": %.1f, \"p50\": %.1f, "
+                "\"p99\": %.1f},\n",
+                wire.mean_us, wire.p50_us, wire.p99_us);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"wire_overhead_us_p50\": %.1f,\n",
+                wire.p50_us - inproc.p50_us);
+  json += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"throughput_stmts_per_sec\": {\"clients_1\": %.0f, "
+      "\"clients_4\": %.0f, \"clients_8\": %.0f}\n",
+      throughput[0], throughput[1], throughput[2]);
+  json += buf;
+  json += "}\n";
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "[ext_server] wrote %s\n", out_path);
+  std::fputs(json.c_str(), stdout);
+
+  client->Close();
+  server->Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace vecdb
+
+int main(int argc, char** argv) {
+  return vecdb::Run(argc > 1 ? argv[1] : "BENCH_server.json");
+}

@@ -11,6 +11,11 @@
 #   sessions            the multi-session front end: full session_test
 #                       under ASan (epoch reclamation) and its stress
 #                       suite under TSan (snapshot readers vs writers)
+#   server              the networked front end: frame-decoder fuzz and
+#                       the loopback e2e/cancellation suite under ASan,
+#                       the connection-churn stress suite under TSan, and
+#                       the wire-overhead bench artifact (BENCH_server.json)
+#                       from the Release tree
 #   kernels             the kernel/SQ8 dispatch suites re-run with
 #                       VECDB_KERNEL_ISA=scalar (proving the override and
 #                       the scalar tier), and again under ASan/UBSan per
@@ -79,6 +84,18 @@ echo "=== build-asan: crash-recovery fault-injection (recovery_test) ==="
 echo "=== build-asan: session front-end (session_test) ==="
 ./build-asan/tests/session_test
 
+# Networked front end, part 1: the frame-decoder fuzz/property suite under
+# ASan/UBSan — torn frames, bit flips, and hostile length fields must fail
+# as clean Corruption errors with zero out-of-bounds reads. Then the full
+# loopback e2e suite (concurrent clients, CANCEL SQL, out-of-band cancel
+# frames, statement timeouts, protocol-error handling): the server's
+# buffer handoffs between scheduler and workers run with poisoned
+# redzones around every frame.
+echo "=== build-asan: wire-protocol fuzz (net_frame_test) ==="
+./build-asan/tests/net_frame_test
+echo "=== build-asan: server loopback e2e (net_server_test) ==="
+./build-asan/tests/net_server_test
+
 # Kernel-dispatch stage, part 1: force the scalar tier and re-run the
 # dispatch/SQ8/IVF_SQ8 suites in the already-built Release tree. The
 # kernel_dispatch_test ActiveTableMatchesResolutionRule case asserts the
@@ -139,6 +156,14 @@ echo "=== build-tsan: concurrent logging+checkpoint smoke (recovery_test) ==="
 echo "=== build-tsan: multi-session stress (session_test) ==="
 ./build-tsan/tests/session_test --gtest_filter='SessionStressTest.*'
 
+# Networked front end, part 2: connection churn + concurrent statements +
+# Stop() landing mid-statement, under the race detector. The per-Conn
+# outbound buffer, the pending-statement queue, and the submit-vs-shutdown
+# mutex are the shared state; TSan turns any unlocked touch into a hard
+# failure instead of a corrupted frame once a week.
+echo "=== build-tsan: server connection-churn stress (net_server_test) ==="
+./build-tsan/tests/net_server_test --gtest_filter='ServerStressTest.*'
+
 # Static lock discipline: compile everything under clang with Thread
 # Safety Analysis promoted to errors. The tsa_probe ctest entries (and the
 # configure-time try_compile probes) prove the gate actually rejects
@@ -164,6 +189,12 @@ else
   echo "NOTICE: clang-tidy not found; SKIPPING the tidy stage"
   echo "NOTICE: (install clang-tidy to enforce it)."
 fi
+
+# Networked front end, part 3: the wire-overhead/throughput artifact from
+# the optimized tree — BENCH_server.json records loopback-vs-inproc
+# statement latency and multi-client scaling for CI trend lines.
+echo "=== build-release: server overhead bench (ext_server) ==="
+./build-release/bench/ext_server BENCH_server.json
 
 echo "=== lint (standalone) ==="
 python3 tools/lint.py .

@@ -1,0 +1,133 @@
+// Networked SQL shell over VecClient — the remote twin of vecdb_shell.
+// Connects to a running vecdb_server, reads one statement per line, and
+// prints results. Ctrl-C cancels the statement in flight (out-of-band
+// cancel frame) instead of killing the shell, exactly like psql.
+//
+// Meta-commands: \q quit, \timing toggle timing, \help syntax summary.
+//
+// Usage: vecdb_cli [host [port]]     (default 127.0.0.1 5433)
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/timer.h"
+#include "net/client.h"
+
+using namespace vecdb;
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void OnSigint(int) { g_interrupted = 1; }
+
+void PrintHelp() {
+  std::printf(
+      "statements (executed on the server):\n"
+      "  CREATE TABLE t (id int, vec float[8]);\n"
+      "  INSERT INTO t VALUES (1, '0.1,0.2,...');\n"
+      "  CREATE INDEX i ON t USING {ivfflat|ivfpq|ivfsq8|hnsw} (vec) "
+      "WITH (...);\n"
+      "  SELECT id FROM t [WHERE ...] ORDER BY vec <-> '...' "
+      "[OPTIONS (...)] LIMIT 10;\n"
+      "  SET statement_timeout_ms = 500;   SET nprobe = 32;\n"
+      "  CANCEL <session-id>;   SHOW SESSIONS;   SHOW METRICS;\n"
+      "meta: \\q quit, \\timing toggle timing, \\help this text\n"
+      "Ctrl-C cancels the running statement without closing the "
+      "connection.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string host = argc > 1 ? argv[1] : "127.0.0.1";
+  const uint16_t port =
+      argc > 2 ? static_cast<uint16_t>(std::stoul(argv[2])) : 5433;
+
+  auto connected = net::VecClient::Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "cannot connect to %s:%u: %s\n", host.c_str(), port,
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<net::VecClient> client = std::move(connected).ValueOrDie();
+  std::printf("connected to %s:%u as session %llu. \\help for syntax, \\q "
+              "to quit.\n",
+              host.c_str(), port,
+              static_cast<unsigned long long>(client->session_id()));
+
+  // Ctrl-C → out-of-band cancel frame. The handler only sets a flag; a
+  // watcher thread does the actual (non-signal-safe) socket write.
+  std::signal(SIGINT, OnSigint);
+  std::atomic<bool> shutdown{false};
+  std::thread canceller([&] {
+    while (!shutdown.load()) {
+      if (g_interrupted) {
+        g_interrupted = 0;
+        std::printf("\ncancel requested\n");
+        std::fflush(stdout);
+        (void)client->Cancel();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  bool timing = false;
+  std::string line;
+  while (true) {
+    std::printf("vecdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    const auto begin = line.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r\n");
+    line = line.substr(begin, end - begin + 1);
+
+    if (line == "\\q" || line == "\\quit" || line == "exit") break;
+    if (line == "\\help" || line == "help") {
+      PrintHelp();
+      continue;
+    }
+    if (line == "\\timing") {
+      timing = !timing;
+      std::printf("timing %s\n", timing ? "on" : "off");
+      continue;
+    }
+
+    Timer timer;
+    auto result = client->Execute(line);
+    const double millis = timer.ElapsedMillis();
+    if (!result.ok()) {
+      std::printf("ERROR: %s\n", result.status().ToString().c_str());
+      if (result.status().IsIOError()) break;  // connection gone
+      continue;
+    }
+    if (!result->message.empty()) std::printf("%s\n", result->message.c_str());
+    if (!result->rows.empty()) {
+      if (result->columns.size() == 2) {
+        std::printf("%-12s %-12s\n", "id", "distance");
+        for (const auto& row : result->rows) {
+          std::printf("%-12lld %-12.4f\n", static_cast<long long>(row.id),
+                      row.distance);
+        }
+      } else {
+        std::printf("%-12s\n", "id");
+        for (const auto& row : result->rows) {
+          std::printf("%-12lld\n", static_cast<long long>(row.id));
+        }
+      }
+      std::printf("(%zu rows)\n", result->rows.size());
+    }
+    if (timing) std::printf("Time: %.3f ms (round trip)\n", millis);
+  }
+  shutdown.store(true);
+  canceller.join();
+  client->Close();
+  std::printf("bye\n");
+  return 0;
+}

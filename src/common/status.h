@@ -22,6 +22,7 @@ enum class StatusCode : uint8_t {
   kNotSupported,
   kResourceExhausted,
   kInternal,
+  kCancelled,
 };
 
 /// Returns the canonical name of a status code, e.g. "InvalidArgument".
@@ -83,6 +84,9 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -95,6 +99,7 @@ class [[nodiscard]] Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
  private:
   StatusCode code_ = StatusCode::kOk;

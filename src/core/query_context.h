@@ -6,7 +6,12 @@
 // channels (tracing, quotas) have one place to live.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+
 #include "common/profiler.h"
+#include "common/status.h"
+#include "common/timer.h"
 #include "core/parallel.h"
 #include "obs/metrics.h"
 
@@ -29,6 +34,41 @@ struct QueryContext {
   /// disabled. Engines resolve this once per query and branch on the
   /// pointer, so the disabled path costs one branch per scope — the same
   /// contract as the nullable Profiler.
+  /// Cooperative cancellation flag (docs/SERVER.md). Owned by the caller
+  /// (typically the statement's Session); null means "not cancellable".
+  /// Engines poll it at loop checkpoints — per IVF bucket, every few dozen
+  /// HNSW beam pops, every few hundred seq-scan rows — so a set flag stops
+  /// the statement within one checkpoint interval.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Absolute statement deadline on the NowNanos() (steady) clock; 0 means
+  /// no deadline. Resolved by the SQL layer from statement_timeout_ms
+  /// (statement OPTIONS > session default > DatabaseOptions).
+  int64_t deadline_nanos = 0;
+
+  /// True once the statement should stop: its cancel flag is set or its
+  /// deadline has passed. Cheap enough for checkpoint-granularity polling
+  /// (one relaxed load plus, when a deadline exists, one clock read).
+  bool StopRequested() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return deadline_nanos != 0 && NowNanos() >= deadline_nanos;
+  }
+
+  /// Checkpoint helper: OK while the statement may keep running, else a
+  /// Cancelled status whose message distinguishes an explicit cancel from
+  /// a deadline expiry (the SQL layer keys timeout metrics off it).
+  Status CheckStop(const char* who) const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return Status::Cancelled(std::string(who) + ": statement cancelled");
+    }
+    if (deadline_nanos != 0 && NowNanos() >= deadline_nanos) {
+      return Status::Cancelled(std::string(who) + ": statement timeout");
+    }
+    return Status::OK();
+  }
+
   obs::MetricsRegistry* live_metrics() const {
     obs::MetricsRegistry* m =
         metrics != nullptr ? metrics : &obs::MetricsRegistry::Global();

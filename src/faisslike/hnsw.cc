@@ -55,7 +55,8 @@ uint32_t HnswIndex::GreedyClosest(const float* query, uint32_t entry,
 
 std::vector<Neighbor> HnswIndex::SearchLayer(
     const float* query, uint32_t entry, uint32_t ef, int level,
-    Profiler* profiler, obs::SearchCounters* counters) const {
+    Profiler* profiler, obs::SearchCounters* counters,
+    const QueryContext* ctx) const {
   // O(1) visited reset via epoch stamping — the cheap path PASE's HVTGet
   // hash probing is contrasted against (Fig 8).
   if (++visit_epoch_ == 0) {
@@ -76,7 +77,14 @@ std::vector<Neighbor> HnswIndex::SearchLayer(
 
   std::vector<uint32_t> fresh;
   fresh.reserve(LevelCapacity(level));
+  uint32_t pops = 0;
   while (!candidates.empty()) {
+    // Cancellation checkpoint every 32 beam pops: each pop expands at
+    // most 2*bnn neighbors, so a cancel lands within a bounded slice of
+    // graph traversal even on adversarially long beams.
+    if (ctx != nullptr && (++pops & 31u) == 0u && ctx->StopRequested()) {
+      break;
+    }
     const Neighbor c = candidates.top();
     if (results.full() && c.dist > results.worst()) break;
     candidates.pop();
@@ -417,7 +425,8 @@ Result<std::vector<Neighbor>> HnswIndex::Search(
   const uint32_t ef = std::max<uint32_t>(
       params.efs,
       static_cast<uint32_t>(params.k + tombstones_.size()));
-  auto cands = SearchLayer(query, cur, ef, 0, ctx.profiler, sc);
+  auto cands = SearchLayer(query, cur, ef, 0, ctx.profiler, sc, &ctx);
+  VECDB_RETURN_NOT_OK(ctx.CheckStop("Hnsw::Search"));
   if (!tombstones_.empty()) {
     std::vector<Neighbor> kept;
     kept.reserve(cands.size());

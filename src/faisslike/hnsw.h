@@ -123,12 +123,15 @@ class HnswIndex final : public VectorIndex {
 
   /// Beam search at one level; returns up to `ef` candidates ascending.
   /// Instrumented with the Fig 8 sub-phase labels. `counters` (nullable,
-  /// query path only) picks up nodes visited and heap pushes.
+  /// query path only) picks up nodes visited and heap pushes. `ctx`
+  /// (nullable, query path only) makes the beam loop poll for
+  /// cancellation every few pops; the loop exits early with a partial
+  /// beam and the caller converts that into a Cancelled error.
   std::vector<Neighbor> SearchLayer(const float* query, uint32_t entry,
                                     uint32_t ef, int level,
                                     Profiler* profiler,
-                                    obs::SearchCounters* counters = nullptr)
-      const;
+                                    obs::SearchCounters* counters = nullptr,
+                                    const QueryContext* ctx = nullptr) const;
 
   /// HNSW neighbor-selection heuristic (ShrinkNbList phase): keeps a
   /// candidate only if it is closer to the base point than to every

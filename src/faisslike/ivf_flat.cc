@@ -295,6 +295,7 @@ Result<std::vector<Neighbor>> IvfFlatIndex::InFilterSearch(
   uint64_t bitmap_probes = 0;
   KMaxHeap heap(params.k);
   for (uint32_t b : probes) {
+    VECDB_RETURN_NOT_OK(params.Context().CheckStop("IvfFlat::InFilterSearch"));
     ScanBucketFiltered(b, query, selection, heap, sc, &bitmap_probes);
   }
   if (metrics != nullptr) {
@@ -332,7 +333,12 @@ Result<std::vector<Neighbor>> IvfFlatIndex::Search(
   if (params.num_threads <= 1) {
     CpuTimer timer;
     KMaxHeap heap(params.k);
-    for (uint32_t b : probes) ScanBucket(b, query, heap, ctx.profiler, sc);
+    for (uint32_t b : probes) {
+      // Cancellation checkpoint: one bucket is the unit of uninterruptible
+      // work, so a cancel or deadline lands within a bucket's scan time.
+      VECDB_RETURN_NOT_OK(ctx.CheckStop("IvfFlat::Search"));
+      ScanBucket(b, query, heap, ctx.profiler, sc);
+    }
     if (ctx.accounting != nullptr) {
       // Single-thread run: all scan work is one worker's busy time.
       if (ctx.accounting->worker_busy_nanos.empty()) {
@@ -359,6 +365,10 @@ Result<std::vector<Neighbor>> IvfFlatIndex::Search(
     CpuTimer timer;
     KMaxHeap local(params.k);
     for (size_t i = begin; i < end; ++i) {
+      // Workers cannot return a Status through ParallelFor; they bail at
+      // the next bucket boundary and the post-merge CheckStop below turns
+      // the partial result into a Cancelled error.
+      if (ctx.StopRequested()) break;
       ScanBucket(probes[i], query, local, nullptr,
                  sc != nullptr ? &worker_counters[worker] : nullptr);
     }
@@ -367,6 +377,7 @@ Result<std::vector<Neighbor>> IvfFlatIndex::Search(
       acct->worker_busy_nanos[worker] += timer.ElapsedNanos();
     }
   });
+  VECDB_RETURN_NOT_OK(ctx.CheckStop("IvfFlat::Search"));
   CpuTimer merge_timer;
   auto merged = MergeTopK(std::move(locals), params.k);
   if (acct != nullptr) acct->serial_nanos += merge_timer.ElapsedNanos();

@@ -1,0 +1,83 @@
+#include "net/client.h"
+
+namespace vecdb::net {
+
+Result<std::unique_ptr<VecClient>> VecClient::Connect(const std::string& host,
+                                                      uint16_t port) {
+  std::unique_ptr<VecClient> client(new VecClient());
+  VECDB_ASSIGN_OR_RETURN(client->sock_, Socket::ConnectTcp(host, port));
+  VECDB_RETURN_NOT_OK(client->sock_.SetNoDelay(true));
+  VECDB_RETURN_NOT_OK(client->SendFrame(
+      Frame{FrameType::kHello, EncodeHello(kProtocolVersion)}));
+  VECDB_ASSIGN_OR_RETURN(Frame reply, client->ReadFrame());
+  if (reply.type == FrameType::kError) {
+    // Capacity refusal or version mismatch, relayed verbatim.
+    VECDB_ASSIGN_OR_RETURN(WireError error, DecodeError(reply.payload));
+    return error.ToStatus();
+  }
+  if (reply.type != FrameType::kHelloOk) {
+    return Status::Corruption("expected HelloOk, got frame type " +
+                              std::to_string(static_cast<int>(reply.type)));
+  }
+  VECDB_ASSIGN_OR_RETURN(HelloOk ok, DecodeHelloOk(reply.payload));
+  if (ok.version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        "protocol version mismatch: server v" + std::to_string(ok.version));
+  }
+  client->session_id_ = ok.session_id;
+  return client;
+}
+
+VecClient::~VecClient() { Close(); }
+
+void VecClient::Close() {
+  if (closed_ || !sock_.valid()) return;
+  closed_ = true;
+  (void)SendFrame(Frame{FrameType::kGoodbye, {}});
+  sock_.Close();
+}
+
+Status VecClient::SendFrame(const Frame& frame) {
+  const std::vector<uint8_t> bytes = EncodeFrame(frame);
+  MutexLock lock(send_mu_);
+  return sock_.SendAll(bytes.data(), bytes.size());
+}
+
+Result<Frame> VecClient::ReadFrame() {
+  for (;;) {
+    VECDB_ASSIGN_OR_RETURN(auto frame, decoder_.Next());
+    if (frame.has_value()) return std::move(*frame);
+    uint8_t buf[4096];
+    VECDB_ASSIGN_OR_RETURN(size_t n, sock_.RecvSome(buf, sizeof(buf)));
+    if (n == 0) {
+      return Status::IOError("connection closed by server");
+    }
+    decoder_.Feed(buf, n);
+  }
+}
+
+Result<sql::QueryResult> VecClient::Execute(const std::string& statement) {
+  if (closed_) return Status::InvalidArgument("client is closed");
+  VECDB_RETURN_NOT_OK(
+      SendFrame(Frame{FrameType::kStatement, EncodeStatement(statement)}));
+  VECDB_ASSIGN_OR_RETURN(Frame reply, ReadFrame());
+  switch (reply.type) {
+    case FrameType::kResult:
+      return DecodeQueryResult(reply.payload);
+    case FrameType::kError: {
+      VECDB_ASSIGN_OR_RETURN(WireError error, DecodeError(reply.payload));
+      return error.ToStatus();
+    }
+    default:
+      return Status::Corruption(
+          "expected Result or Error, got frame type " +
+          std::to_string(static_cast<int>(reply.type)));
+  }
+}
+
+Status VecClient::Cancel() {
+  if (closed_) return Status::InvalidArgument("client is closed");
+  return SendFrame(Frame{FrameType::kCancel, {}});
+}
+
+}  // namespace vecdb::net

@@ -1,0 +1,62 @@
+// VecClient: blocking client for the vecdb wire protocol. One TCP
+// connection, one server-side session. Execute() is synchronous;
+// Cancel() may be called from another thread to abort the statement in
+// flight (it sends the out-of-band kCancel frame). See docs/SERVER.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "sql/database.h"
+
+namespace vecdb::net {
+
+class VecClient {
+ public:
+  /// Connects and completes the Hello/HelloOk handshake. Fails cleanly
+  /// if the server refuses the connection (capacity) or speaks a
+  /// different protocol version.
+  static Result<std::unique_ptr<VecClient>> Connect(const std::string& host,
+                                                    uint16_t port);
+  VecClient(const VecClient&) = delete;
+  VecClient& operator=(const VecClient&) = delete;
+
+  /// Executes one statement and blocks for its Result or Error frame.
+  /// A server-side error (including Cancelled) comes back as that
+  /// statement's Status — the connection remains usable.
+  Result<sql::QueryResult> Execute(const std::string& statement);
+
+  /// Requests cancellation of the statement currently executing on this
+  /// connection. Safe to call from any thread while another thread sits
+  /// in Execute(); that Execute returns the server's Cancelled error.
+  Status Cancel();
+
+  /// Sends Goodbye and closes. The destructor does the same.
+  void Close();
+  ~VecClient();
+
+  /// The server-side session id (SHOW SESSIONS / CANCEL <id> handle).
+  uint64_t session_id() const { return session_id_; }
+
+ private:
+  VecClient() = default;
+
+  /// Reads frames until one is decodable; fails on EOF or corruption.
+  Result<Frame> ReadFrame();
+  /// Sends one whole encoded frame under send_mu_, so a concurrent
+  /// Cancel() can never interleave bytes inside a Statement frame.
+  Status SendFrame(const Frame& frame) VECDB_EXCLUDES(send_mu_);
+
+  Socket sock_;
+  Mutex send_mu_;
+  FrameDecoder decoder_;  ///< only the Execute caller reads
+  uint64_t session_id_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace vecdb::net

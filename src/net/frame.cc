@@ -1,0 +1,308 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "pgstub/crc32c.h"
+
+namespace vecdb::net {
+namespace {
+
+// --- Little-endian put/get helpers over byte vectors ---------------------
+
+void PutU8(std::vector<uint8_t>& out, uint8_t v) { out.push_back(v); }
+
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutF64(std::vector<uint8_t>& out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::vector<uint8_t>& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked reader over a payload. Every Get* fails with
+/// Corruption instead of reading past the end, so a truncated or
+/// bit-flipped payload surfaces as a clean error.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> GetU8() {
+    VECDB_RETURN_NOT_OK(Need(1));
+    return data_[pos_++];
+  }
+
+  Result<uint32_t> GetU32() {
+    VECDB_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  Result<uint64_t> GetU64() {
+    VECDB_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  Result<double> GetF64() {
+    VECDB_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<std::string> GetString() {
+    VECDB_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+    VECDB_RETURN_NOT_OK(Need(n));
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  Status ExpectEnd() const {
+    if (pos_ != size_) {
+      return Status::Corruption("payload has " +
+                                std::to_string(size_ - pos_) +
+                                " trailing bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n) const {
+    if (size_ - pos_ < n) {
+      return Status::Corruption("payload truncated: need " +
+                                std::to_string(n) + " bytes, have " +
+                                std::to_string(size_ - pos_));
+    }
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool IsKnownFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kHello) &&
+         t <= static_cast<uint8_t>(FrameType::kGoodbye);
+}
+
+std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderSize + frame.payload.size() + 4);
+  PutU32(out, kFrameMagic);
+  PutU8(out, static_cast<uint8_t>(frame.type));
+  PutU8(out, 0);   // flags
+  PutU16(out, 0);  // reserved
+  PutU32(out, static_cast<uint32_t>(frame.payload.size()));
+  PutU32(out, pgstub::Crc32c(out.data(), 12));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  PutU32(out, pgstub::Crc32c(frame.payload.data(), frame.payload.size()));
+  return out;
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t n) {
+  // Compact the consumed prefix before growing, so the buffer's high-water
+  // mark tracks the largest single frame, not the whole session.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > kMaxPayload) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  VECDB_RETURN_NOT_OK(poisoned_);
+  auto poison = [&](std::string msg) -> Status {
+    poisoned_ = Status::Corruption(std::move(msg));
+    return poisoned_;
+  };
+  const size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderSize) return std::optional<Frame>{};
+  const uint8_t* h = buf_.data() + pos_;
+  auto get_u32 = [&](size_t off) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(h[off + i]) << (8 * i);
+    }
+    return v;
+  };
+  // Validate the header CRC first: it vouches for every other header
+  // field, including the length the decoder is about to trust.
+  if (get_u32(12) != pgstub::Crc32c(h, 12)) {
+    return poison("frame header CRC mismatch");
+  }
+  if (get_u32(0) != kFrameMagic) return poison("bad frame magic");
+  if (h[5] != 0 || h[6] != 0 || h[7] != 0) {
+    return poison("nonzero reserved frame bits");
+  }
+  const uint8_t type = h[4];
+  if (!IsKnownFrameType(type)) {
+    return poison("unknown frame type " + std::to_string(type));
+  }
+  const uint32_t payload_len = get_u32(8);
+  if (payload_len > kMaxPayload) {
+    return poison("frame payload too large: " + std::to_string(payload_len));
+  }
+  const size_t total = kFrameHeaderSize + payload_len + 4;
+  if (avail < total) {
+    return std::optional<Frame>{};  // torn frame: wait for more bytes
+  }
+  const uint8_t* body = h + kFrameHeaderSize;
+  uint32_t body_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    body_crc |= static_cast<uint32_t>(body[payload_len + i]) << (8 * i);
+  }
+  if (body_crc != pgstub::Crc32c(body, payload_len)) {
+    return poison("frame payload CRC mismatch");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(body, body + payload_len);
+  pos_ += total;
+  return std::optional<Frame>(std::move(frame));
+}
+
+std::vector<uint8_t> EncodeHello(uint32_t version) {
+  std::vector<uint8_t> out;
+  PutU32(out, version);
+  return out;
+}
+
+Result<uint32_t> DecodeHello(const std::vector<uint8_t>& payload) {
+  Reader r(payload.data(), payload.size());
+  VECDB_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  VECDB_RETURN_NOT_OK(r.ExpectEnd());
+  return version;
+}
+
+std::vector<uint8_t> EncodeHelloOk(uint32_t version, uint64_t session_id) {
+  std::vector<uint8_t> out;
+  PutU32(out, version);
+  PutU64(out, session_id);
+  return out;
+}
+
+Result<HelloOk> DecodeHelloOk(const std::vector<uint8_t>& payload) {
+  Reader r(payload.data(), payload.size());
+  HelloOk ok;
+  VECDB_ASSIGN_OR_RETURN(ok.version, r.GetU32());
+  VECDB_ASSIGN_OR_RETURN(ok.session_id, r.GetU64());
+  VECDB_RETURN_NOT_OK(r.ExpectEnd());
+  return ok;
+}
+
+std::vector<uint8_t> EncodeStatement(const std::string& sql) {
+  std::vector<uint8_t> out;
+  PutString(out, sql);
+  return out;
+}
+
+Result<std::string> DecodeStatement(const std::vector<uint8_t>& payload) {
+  Reader r(payload.data(), payload.size());
+  VECDB_ASSIGN_OR_RETURN(std::string sql, r.GetString());
+  VECDB_RETURN_NOT_OK(r.ExpectEnd());
+  return sql;
+}
+
+std::vector<uint8_t> EncodeQueryResult(const sql::QueryResult& result) {
+  std::vector<uint8_t> out;
+  PutString(out, result.message);
+  PutU32(out, static_cast<uint32_t>(result.columns.size()));
+  for (const auto& col : result.columns) PutString(out, col);
+  PutU64(out, result.rows.size());
+  for (const auto& row : result.rows) {
+    PutU64(out, static_cast<uint64_t>(row.id));
+    PutF64(out, row.distance);
+  }
+  PutF64(out, result.stats.wall_seconds);
+  PutU64(out, result.stats.rows_scanned);
+  PutU64(out, result.stats.rows_returned);
+  return out;
+}
+
+Result<sql::QueryResult> DecodeQueryResult(
+    const std::vector<uint8_t>& payload) {
+  Reader r(payload.data(), payload.size());
+  sql::QueryResult out;
+  VECDB_ASSIGN_OR_RETURN(out.message, r.GetString());
+  VECDB_ASSIGN_OR_RETURN(uint32_t ncols, r.GetU32());
+  // Sanity bound: the engine emits at most a handful of columns, and the
+  // payload must actually hold them. Guards against a corrupt count
+  // driving a huge allocation.
+  if (ncols > 64) {
+    return Status::Corruption("implausible column count " +
+                              std::to_string(ncols));
+  }
+  out.columns.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    VECDB_ASSIGN_OR_RETURN(std::string col, r.GetString());
+    out.columns.push_back(std::move(col));
+  }
+  VECDB_ASSIGN_OR_RETURN(uint64_t nrows, r.GetU64());
+  if (nrows > kMaxPayload / 16) {
+    return Status::Corruption("implausible row count " +
+                              std::to_string(nrows));
+  }
+  out.rows.reserve(nrows);
+  for (uint64_t i = 0; i < nrows; ++i) {
+    sql::QueryResult::Row row;
+    VECDB_ASSIGN_OR_RETURN(uint64_t id, r.GetU64());
+    row.id = static_cast<int64_t>(id);
+    VECDB_ASSIGN_OR_RETURN(row.distance, r.GetF64());
+    out.rows.push_back(row);
+  }
+  VECDB_ASSIGN_OR_RETURN(out.stats.wall_seconds, r.GetF64());
+  VECDB_ASSIGN_OR_RETURN(out.stats.rows_scanned, r.GetU64());
+  VECDB_ASSIGN_OR_RETURN(out.stats.rows_returned, r.GetU64());
+  VECDB_RETURN_NOT_OK(r.ExpectEnd());
+  return out;
+}
+
+std::vector<uint8_t> EncodeError(const Status& status) {
+  std::vector<uint8_t> out;
+  PutU32(out, static_cast<uint32_t>(status.code()));
+  PutString(out, status.message());
+  return out;
+}
+
+Result<WireError> DecodeError(const std::vector<uint8_t>& payload) {
+  Reader r(payload.data(), payload.size());
+  VECDB_ASSIGN_OR_RETURN(uint32_t code, r.GetU32());
+  VECDB_ASSIGN_OR_RETURN(std::string message, r.GetString());
+  VECDB_RETURN_NOT_OK(r.ExpectEnd());
+  if (code == static_cast<uint32_t>(StatusCode::kOk) ||
+      code > static_cast<uint32_t>(StatusCode::kCancelled)) {
+    return Status::Corruption("bad status code in error frame: " +
+                              std::to_string(code));
+  }
+  WireError err;
+  err.code = static_cast<StatusCode>(code);
+  err.message = std::move(message);
+  return err;
+}
+
+}  // namespace vecdb::net

@@ -1,0 +1,116 @@
+// The vecdb wire protocol: versioned, length-prefixed, CRC-guarded
+// frames, shared by VecServer and VecClient. See docs/SERVER.md for the
+// full specification.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic 0x56444246 ("VDBF")
+//   4       1     frame type (FrameType)
+//   5       1     flags (reserved, must be 0)
+//   6       2     reserved (must be 0)
+//   8       4     payload length (bytes; <= kMaxPayload)
+//   12      4     CRC-32C over bytes [0, 12)
+//   16      n     payload
+//   16+n    4     CRC-32C over the payload
+//
+// The header CRC lets the decoder reject a corrupt length field before
+// trusting it; the payload CRC catches corruption in the body. A decoder
+// that sees a bad magic, bad CRC, nonzero reserved bits, or an oversized
+// length fails the connection — framing is never resynchronized, exactly
+// like PostgreSQL's v3 protocol.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/database.h"
+
+namespace vecdb::net {
+
+inline constexpr uint32_t kFrameMagic = 0x56444246;  // "VDBF" LE
+inline constexpr uint32_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 16;
+/// Payload cap: statements and result sets are small; anything bigger is
+/// a corrupt or hostile length field.
+inline constexpr uint32_t kMaxPayload = 16u * 1024 * 1024;
+
+enum class FrameType : uint8_t {
+  kHello = 1,     ///< client -> server: u32 protocol version
+  kHelloOk = 2,   ///< server -> client: u32 version, u64 session id
+  kStatement = 3, ///< client -> server: UTF-8 SQL text
+  kResult = 4,    ///< server -> client: encoded QueryResult
+  kError = 5,     ///< server -> client: u32 status code, string message
+  kCancel = 6,    ///< client -> server: empty; out-of-band statement cancel
+  kGoodbye = 7,   ///< client -> server: empty; orderly close
+};
+
+/// Whether `t` is a type this protocol version defines.
+bool IsKnownFrameType(uint8_t t);
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::vector<uint8_t> payload;
+};
+
+/// Encodes one frame: header + payload + payload CRC.
+std::vector<uint8_t> EncodeFrame(const Frame& frame);
+
+/// Incremental decoder for a byte stream of frames. Feed() bytes as they
+/// arrive; Next() yields one frame at a time. Torn frames (partial
+/// header or payload) return nullopt until more bytes arrive; corrupt
+/// frames return Corruption and poison the decoder — the connection must
+/// be dropped, matching the no-resync rule above.
+class FrameDecoder {
+ public:
+  void Feed(const uint8_t* data, size_t n);
+
+  /// One decoded frame, nullopt if the buffer holds only a partial
+  /// frame, or Corruption (sticky) on a malformed stream.
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;  ///< consumed prefix of buf_
+  Status poisoned_ = Status::OK();
+};
+
+// --- Payload codecs ------------------------------------------------------
+// All multi-byte integers little-endian; strings are u32 length + bytes.
+
+std::vector<uint8_t> EncodeHello(uint32_t version);
+Result<uint32_t> DecodeHello(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeHelloOk(uint32_t version, uint64_t session_id);
+struct HelloOk {
+  uint32_t version = 0;
+  uint64_t session_id = 0;
+};
+Result<HelloOk> DecodeHelloOk(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeStatement(const std::string& sql);
+Result<std::string> DecodeStatement(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeQueryResult(const sql::QueryResult& result);
+Result<sql::QueryResult> DecodeQueryResult(
+    const std::vector<uint8_t>& payload);
+
+/// kError payload: the failing statement's Status (never OK). Decoded
+/// into a plain struct because Result<Status> is ill-formed (the value
+/// and error constructors would collide).
+std::vector<uint8_t> EncodeError(const Status& status);
+struct WireError {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  Status ToStatus() const { return Status(code, message); }
+};
+Result<WireError> DecodeError(const std::vector<uint8_t>& payload);
+
+}  // namespace vecdb::net

@@ -1,0 +1,364 @@
+#include "net/server.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace vecdb::net {
+namespace {
+
+constexpr int kListenBacklog = 64;
+/// Scheduler poll timeout: a safety net only — wakeups arrive via the
+/// wake pipe, so this bounds how stale a missed edge can get.
+constexpr int kPollTimeoutMs = 100;
+constexpr size_t kRecvChunk = 4096;
+
+}  // namespace
+
+VecServer::VecServer(sql::MiniDatabase* db, const ServerOptions& options)
+    : db_(db), options_(options) {}
+
+Result<std::unique_ptr<VecServer>> VecServer::Start(
+    sql::MiniDatabase* db, const ServerOptions& options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("VecServer::Start: null database");
+  }
+  if (options.listen_port > 65535) {
+    return Status::InvalidArgument(
+        "listen_port must be < 65536, got " +
+        std::to_string(options.listen_port));
+  }
+  if (options.max_connections < 1) {
+    return Status::InvalidArgument("max_connections must be >= 1");
+  }
+  if (options.worker_threads < 1) {
+    return Status::InvalidArgument("worker_threads must be >= 1");
+  }
+  std::unique_ptr<VecServer> server(new VecServer(db, options));
+  VECDB_ASSIGN_OR_RETURN(
+      server->listen_sock_,
+      Socket::ListenTcp(static_cast<uint16_t>(options.listen_port),
+                        kListenBacklog));
+  VECDB_ASSIGN_OR_RETURN(uint16_t port, server->listen_sock_.bound_port());
+  server->port_ = port;
+  // The listener polls, so accept readiness and shutdown share one wait.
+  VECDB_RETURN_NOT_OK(server->listen_sock_.SetNonBlocking(true));
+  VECDB_ASSIGN_OR_RETURN(server->wake_listen_, WakePipe::Create());
+  VECDB_ASSIGN_OR_RETURN(server->wake_sched_, WakePipe::Create());
+  server->pool_ = std::make_unique<ThreadPool>(
+      static_cast<int>(options.worker_threads));
+  server->listener_ = std::thread([s = server.get()] { s->ListenerLoop(); });
+  server->scheduler_ = std::thread([s = server.get()] { s->SchedulerLoop(); });
+  return server;
+}
+
+VecServer::~VecServer() { Stop(); }
+
+size_t VecServer::connections() const {
+  MutexLock lock(conns_mu_);
+  return conns_.size();
+}
+
+void VecServer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  {
+    // Once stopping_ is observed under submit_mu_, no thread submits to
+    // the pool again, so destroying it below cannot race a Submit.
+    MutexLock lock(submit_mu_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  wake_listen_.Signal();
+  if (listener_.joinable()) listener_.join();
+  // Abort in-flight SELECT scans so the pool drains promptly; statements
+  // finish with a Cancelled error, connections stay orderly.
+  {
+    MutexLock lock(conns_mu_);
+    for (const auto& conn : conns_) conn->session->RequestCancel();
+  }
+  // ~ThreadPool runs every already-queued statement, then joins.
+  pool_.reset();
+  wake_sched_.Signal();
+  if (scheduler_.joinable()) scheduler_.join();
+  MutexLock lock(conns_mu_);
+  for (const auto& conn : conns_) conn->session->Close();
+  conns_.clear();  // Conn destructors close the sockets
+}
+
+void VecServer::ListenerLoop() {
+  auto& metrics = obs::MetricsRegistry::Global();
+  std::vector<PollEntry> entries(2);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    entries[0] = PollEntry{wake_listen_.read_fd(), true, false};
+    entries[1] = PollEntry{listen_sock_.fd(), true, false};
+    auto polled = Poll(entries, -1);
+    if (!polled.ok()) break;
+    if (entries[0].readable) wake_listen_.Drain();
+    if (!entries[1].readable) continue;
+    std::string peer;
+    auto accepted = listen_sock_.Accept(&peer);
+    if (!accepted.ok()) continue;  // non-blocking race or transient error
+    Socket sock = std::move(*accepted);
+    size_t open;
+    {
+      MutexLock lock(conns_mu_);
+      open = conns_.size();
+    }
+    if (open >= options_.max_connections) {
+      metrics.Add(obs::Counter::kServerConnsRejected);
+      // Best-effort refusal: one error frame on the still-blocking
+      // socket, then close. A client mid-handshake sees a clean error
+      // instead of a silent RST.
+      Frame frame;
+      frame.type = FrameType::kError;
+      frame.payload = EncodeError(Status::ResourceExhausted(
+          "too many connections (max " +
+          std::to_string(options_.max_connections) + ")"));
+      const std::vector<uint8_t> bytes = EncodeFrame(frame);
+      (void)sock.SendAll(bytes.data(), bytes.size());
+      continue;
+    }
+    if (!sock.SetNoDelay(true).ok() || !sock.SetNonBlocking(true).ok()) {
+      continue;
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->sock = std::move(sock);
+    conn->peer = peer;
+    conn->session = db_->CreateSession();
+    conn->session->set_peer(peer);
+    metrics.Add(obs::Counter::kServerConnsAccepted);
+    {
+      MutexLock lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    wake_sched_.Signal();
+  }
+}
+
+void VecServer::SchedulerLoop() {
+  auto& metrics = obs::MetricsRegistry::Global();
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::vector<std::shared_ptr<Conn>> snapshot;
+    {
+      MutexLock lock(conns_mu_);
+      snapshot = conns_;
+    }
+    std::vector<PollEntry> entries;
+    entries.reserve(snapshot.size() + 1);
+    entries.push_back(PollEntry{wake_sched_.read_fd(), true, false});
+    for (const auto& conn : snapshot) {
+      bool want_write;
+      {
+        MutexLock lock(conn->mu);
+        want_write = conn->out_pos < conn->out.size();
+      }
+      // Always poll for readability: an out-of-band Cancel frame must be
+      // seen even while a statement occupies a worker.
+      entries.push_back(PollEntry{conn->sock.fd(), true, want_write});
+    }
+    if (!Poll(entries, kPollTimeoutMs).ok()) break;
+    if (entries[0].readable) wake_sched_.Drain();
+    std::vector<const Conn*> drop;
+    for (size_t i = 0; i < snapshot.size(); ++i) {
+      const auto& conn = snapshot[i];
+      const PollEntry& e = entries[i + 1];
+      bool alive = true;
+      if (e.error) alive = false;
+      if (alive && e.readable && !conn->protocol_failed) {
+        uint8_t buf[kRecvChunk];
+        auto got = conn->sock.RecvSome(buf, sizeof(buf));
+        if (got.ok()) {
+          if (*got == 0) {
+            alive = false;  // orderly EOF
+          } else {
+            metrics.Add(obs::Counter::kServerBytesIn, *got);
+            conn->decoder.Feed(buf, *got);
+            alive = PumpFrames(conn);
+          }
+        } else if (!got.status().IsNotSupported()) {
+          alive = false;  // read error (would-block is IsNotSupported)
+        }
+      }
+      if (alive) alive = FlushOut(conn);
+      if (!alive) drop.push_back(conn.get());
+    }
+    if (!drop.empty()) {
+      MutexLock lock(conns_mu_);
+      for (const Conn* dead : drop) {
+        for (auto it = conns_.begin(); it != conns_.end(); ++it) {
+          if (it->get() == dead) {
+            (*it)->session->Close();
+            conns_.erase(it);
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+bool VecServer::PumpFrames(const std::shared_ptr<Conn>& conn) {
+  auto& metrics = obs::MetricsRegistry::Global();
+  for (;;) {
+    auto next = conn->decoder.Next();
+    if (!next.ok()) {
+      // Malformed stream: answer with one error frame, then close after
+      // it flushes. The decoder is poisoned, so stop reading this
+      // connection entirely (protocol_failed gates future recv calls).
+      metrics.Add(obs::Counter::kServerProtocolErrors);
+      conn->protocol_failed = true;
+      QueueFrame(conn, Frame{FrameType::kError, EncodeError(next.status())});
+      MutexLock lock(conn->mu);
+      conn->close_after_flush = true;
+      return true;
+    }
+    if (!next->has_value()) return true;  // torn frame: wait for bytes
+    if (!HandleFrame(conn, **next)) return false;
+  }
+}
+
+bool VecServer::HandleFrame(const std::shared_ptr<Conn>& conn,
+                            const Frame& frame) {
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.Add(obs::Counter::kServerFramesIn);
+  auto protocol_error = [&](const Status& status) {
+    metrics.Add(obs::Counter::kServerProtocolErrors);
+    QueueFrame(conn, Frame{FrameType::kError, EncodeError(status)});
+    MutexLock lock(conn->mu);
+    conn->close_after_flush = true;
+    return true;  // keep the connection until the error frame flushes
+  };
+  if (!conn->hello_done) {
+    if (frame.type != FrameType::kHello) {
+      return protocol_error(
+          Status::InvalidArgument("expected Hello as the first frame"));
+    }
+    auto version = DecodeHello(frame.payload);
+    if (!version.ok()) return protocol_error(version.status());
+    if (*version != kProtocolVersion) {
+      return protocol_error(Status::InvalidArgument(
+          "protocol version mismatch: client v" + std::to_string(*version) +
+          ", server v" + std::to_string(kProtocolVersion)));
+    }
+    conn->hello_done = true;
+    QueueFrame(conn,
+               Frame{FrameType::kHelloOk,
+                     EncodeHelloOk(kProtocolVersion, conn->session->id())});
+    return true;
+  }
+  switch (frame.type) {
+    case FrameType::kStatement: {
+      auto sql = DecodeStatement(frame.payload);
+      if (!sql.ok()) return protocol_error(sql.status());
+      metrics.Add(obs::Counter::kServerStatements);
+      SubmitStatement(conn, std::move(*sql));
+      return true;
+    }
+    case FrameType::kCancel:
+      // Out-of-band: acts on the statement in flight immediately, no
+      // response frame — the cancelled statement's Error is the answer.
+      metrics.Add(obs::Counter::kServerCancelFrames);
+      conn->session->RequestCancel();
+      return true;
+    case FrameType::kGoodbye: {
+      MutexLock lock(conn->mu);
+      conn->close_after_flush = true;
+      return true;
+    }
+    default:
+      return protocol_error(Status::InvalidArgument(
+          "unexpected frame type " +
+          std::to_string(static_cast<int>(frame.type)) + " from client"));
+  }
+}
+
+void VecServer::SubmitStatement(const std::shared_ptr<Conn>& conn,
+                                std::string sql) {
+  {
+    MutexLock lock(conn->mu);
+    if (conn->executing) {
+      // One statement at a time per connection, in arrival order; the
+      // finishing worker chains the next one.
+      conn->pending.push_back(std::move(sql));
+      return;
+    }
+    conn->executing = true;
+  }
+  MutexLock lock(submit_mu_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    MutexLock conn_lock(conn->mu);
+    conn->executing = false;
+    return;
+  }
+  pool_->Submit([this, conn, sql = std::move(sql)]() mutable {
+    ExecuteOnWorker(conn, std::move(sql));
+  });
+}
+
+void VecServer::ExecuteOnWorker(std::shared_ptr<Conn> conn, std::string sql) {
+  auto& metrics = obs::MetricsRegistry::Global();
+  Timer timer;
+  Result<sql::QueryResult> result = conn->session->Execute(sql);
+  metrics.Record(obs::Hist::kServerStatementNanos,
+                 static_cast<uint64_t>(timer.ElapsedNanos()));
+  Frame frame;
+  if (result.ok()) {
+    frame.type = FrameType::kResult;
+    frame.payload = EncodeQueryResult(*result);
+  } else {
+    frame.type = FrameType::kError;
+    frame.payload = EncodeError(result.status());
+  }
+  QueueFrame(conn, frame);
+  std::string next;
+  {
+    MutexLock lock(conn->mu);
+    if (conn->pending.empty()) {
+      conn->executing = false;
+      return;
+    }
+    next = std::move(conn->pending.front());
+    conn->pending.pop_front();
+    // executing stays true: this worker hands the connection straight to
+    // the next statement.
+  }
+  MutexLock lock(submit_mu_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    MutexLock conn_lock(conn->mu);
+    conn->executing = false;
+    return;
+  }
+  pool_->Submit([this, conn = std::move(conn), sql = std::move(next)]() mutable {
+    ExecuteOnWorker(std::move(conn), std::move(sql));
+  });
+}
+
+void VecServer::QueueFrame(const std::shared_ptr<Conn>& conn,
+                           const Frame& frame) {
+  auto& metrics = obs::MetricsRegistry::Global();
+  const std::vector<uint8_t> bytes = EncodeFrame(frame);
+  metrics.Add(obs::Counter::kServerFramesOut);
+  metrics.Add(obs::Counter::kServerBytesOut, bytes.size());
+  {
+    MutexLock lock(conn->mu);
+    conn->out.insert(conn->out.end(), bytes.begin(), bytes.end());
+  }
+  wake_sched_.Signal();
+}
+
+bool VecServer::FlushOut(const std::shared_ptr<Conn>& conn) {
+  MutexLock lock(conn->mu);
+  while (conn->out_pos < conn->out.size()) {
+    auto sent = conn->sock.SendSome(conn->out.data() + conn->out_pos,
+                                    conn->out.size() - conn->out_pos);
+    if (!sent.ok()) return false;
+    if (*sent == 0) return true;  // kernel buffer full; poll for POLLOUT
+    conn->out_pos += *sent;
+  }
+  conn->out.clear();
+  conn->out_pos = 0;
+  return !conn->close_after_flush;
+}
+
+}  // namespace vecdb::net

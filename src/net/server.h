@@ -1,0 +1,133 @@
+// VecServer: the networked front end over the SQL/Session engine. One
+// listener thread accepts loopback TCP connections; one scheduler thread
+// multiplexes every connection with poll(2); statements execute on a
+// fixed ThreadPool. N clients never cost N OS threads — the thread bill
+// is listener + scheduler + worker_threads, regardless of connection
+// count. See docs/SERVER.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "sql/database.h"
+#include "sql/session.h"
+
+namespace vecdb::net {
+
+struct ServerOptions {
+  /// TCP port to listen on (loopback only). 0 picks an ephemeral port —
+  /// read the real one back with VecServer::port(). Must be < 65536.
+  uint32_t listen_port = 0;
+  /// Connections beyond this are refused with an Error frame at accept
+  /// time (PostgreSQL's "too many clients"). Must be >= 1.
+  uint32_t max_connections = 64;
+  /// Statement-executor pool size. Must be >= 1. Note the engine's
+  /// AdmissionController still bounds concurrent statements; this pool
+  /// just bounds the threads that run them.
+  uint32_t worker_threads = 4;
+};
+
+/// A running server. Construct with Start(); the destructor (or Stop())
+/// shuts down: stops accepting, cancels in-flight statements, drains the
+/// worker pool, and closes every connection.
+class VecServer {
+ public:
+  static Result<std::unique_ptr<VecServer>> Start(sql::MiniDatabase* db,
+                                                  const ServerOptions& options);
+  ~VecServer();
+  VecServer(const VecServer&) = delete;
+  VecServer& operator=(const VecServer&) = delete;
+
+  /// The port actually bound (resolves listen_port == 0).
+  uint16_t port() const { return port_; }
+
+  /// Currently open client connections.
+  size_t connections() const VECDB_EXCLUDES(conns_mu_);
+
+  /// Idempotent orderly shutdown (also run by the destructor).
+  void Stop();
+
+ private:
+  /// Per-connection state. The scheduler thread owns sock/decoder/
+  /// protocol state; `mu` guards only what workers share with the
+  /// scheduler (the outbound buffer and the statement queue).
+  struct Conn {
+    Socket sock;
+    std::string peer;
+    std::shared_ptr<sql::Session> session;
+    FrameDecoder decoder;   ///< scheduler thread only
+    bool hello_done = false;  ///< scheduler thread only
+    /// Decoder poisoned; reads stop, the connection drains its error
+    /// frame and closes. Scheduler thread only.
+    bool protocol_failed = false;
+
+    Mutex mu;
+    std::vector<uint8_t> out VECDB_GUARDED_BY(mu);
+    size_t out_pos VECDB_GUARDED_BY(mu) = 0;
+    /// Statements received while one is executing: FIFO, one at a time,
+    /// preserving per-connection statement order.
+    std::deque<std::string> pending VECDB_GUARDED_BY(mu);
+    bool executing VECDB_GUARDED_BY(mu) = false;
+    /// Close once the outbound buffer drains (Goodbye or protocol error).
+    bool close_after_flush VECDB_GUARDED_BY(mu) = false;
+  };
+
+  VecServer(sql::MiniDatabase* db, const ServerOptions& options);
+
+  void ListenerLoop();
+  void SchedulerLoop();
+
+  /// Handles every frame currently decodable on `conn`. Returns false if
+  /// the connection must be dropped (EOF, protocol error after the error
+  /// frame is queued, or decode failure).
+  bool PumpFrames(const std::shared_ptr<Conn>& conn);
+  bool HandleFrame(const std::shared_ptr<Conn>& conn, const Frame& frame);
+
+  /// Queues `sql` on the connection: executes immediately on the pool if
+  /// the connection is idle, else appends to its pending queue.
+  void SubmitStatement(const std::shared_ptr<Conn>& conn, std::string sql);
+  /// Runs on a pool worker: executes one statement, queues the response,
+  /// and chains the next pending statement if any.
+  void ExecuteOnWorker(std::shared_ptr<Conn> conn, std::string sql);
+
+  /// Appends an encoded frame to the connection's outbound buffer and
+  /// wakes the scheduler to flush it.
+  void QueueFrame(const std::shared_ptr<Conn>& conn, const Frame& frame);
+
+  /// Non-blocking flush of the outbound buffer. Returns false when the
+  /// connection should be dropped (send failure, or drained with
+  /// close_after_flush set).
+  bool FlushOut(const std::shared_ptr<Conn>& conn);
+
+  sql::MiniDatabase* const db_;
+  const ServerOptions options_;
+  uint16_t port_ = 0;
+
+  Socket listen_sock_;
+  WakePipe wake_listen_;
+  WakePipe wake_sched_;
+  std::atomic<bool> stopping_{false};
+  /// Serializes pool submission against Stop() destroying the pool:
+  /// Submit happens only with this held and stopping_ false.
+  Mutex submit_mu_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable Mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_ VECDB_GUARDED_BY(conns_mu_);
+
+  std::thread listener_;
+  std::thread scheduler_;
+  bool stopped_ = false;  ///< Stop() already ran (main thread only)
+};
+
+}  // namespace vecdb::net

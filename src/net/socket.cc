@@ -1,0 +1,235 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace vecdb::net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " +
+                         std::strerror(errno));
+}
+
+std::string PeerString(const sockaddr_in& addr) {
+  char ip[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> Socket::ListenTcp(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  const int one = 1;
+  // REUSEADDR so test servers can rebind a just-closed port without
+  // waiting out TIME_WAIT.
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(fd, backlog) != 0) return Errno("listen");
+  return sock;
+}
+
+Result<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect");
+  return sock;
+}
+
+Result<Socket> Socket::Accept(std::string* peer) const {
+  sockaddr_in addr = {};
+  socklen_t len = sizeof(addr);
+  int fd;
+  do {
+    fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Errno("accept");
+  if (peer != nullptr) *peer = PeerString(addr);
+  return Socket(fd);
+}
+
+Result<uint16_t> Socket::bound_port() const {
+  sockaddr_in addr = {};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Status Socket::SendAll(const void* data, size_t len) const {
+  const auto* p = static_cast<const uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> Socket::SendSome(const void* data, size_t len) const {
+  ssize_t n;
+  do {
+    n = ::send(fd_, data, len, MSG_NOSIGNAL);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return Errno("send");
+  }
+  return static_cast<size_t>(n);
+}
+
+Result<size_t> Socket::RecvSome(void* buf, size_t cap) const {
+  ssize_t n;
+  do {
+    n = ::recv(fd_, buf, cap, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::NotSupported("recv would block");
+    }
+    return Errno("recv");
+  }
+  return static_cast<size_t>(n);
+}
+
+Status Socket::SetNonBlocking(bool enabled) const {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int next = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, next) != 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Status Socket::SetNoDelay(bool enabled) const {
+  const int one = enabled ? 1 : 0;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Result<WakePipe> WakePipe::Create() {
+  int fds[2];
+  if (::pipe(fds) != 0) return Errno("pipe");
+  WakePipe wp;
+  wp.read_fd_ = fds[0];
+  wp.write_fd_ = fds[1];
+  for (int fd : fds) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+      return Errno("fcntl(pipe)");
+    }
+  }
+  return wp;
+}
+
+WakePipe::~WakePipe() {
+  if (read_fd_ >= 0) ::close(read_fd_);
+  if (write_fd_ >= 0) ::close(write_fd_);
+}
+
+WakePipe::WakePipe(WakePipe&& other) noexcept
+    : read_fd_(other.read_fd_), write_fd_(other.write_fd_) {
+  other.read_fd_ = -1;
+  other.write_fd_ = -1;
+}
+
+WakePipe& WakePipe::operator=(WakePipe&& other) noexcept {
+  if (this != &other) {
+    this->~WakePipe();
+    read_fd_ = other.read_fd_;
+    write_fd_ = other.write_fd_;
+    other.read_fd_ = -1;
+    other.write_fd_ = -1;
+  }
+  return *this;
+}
+
+void WakePipe::Signal() const {
+  const char byte = 'w';
+  // Non-blocking: if the pipe is already full, the scheduler has a wakeup
+  // pending anyway, so a dropped byte is harmless.
+  (void)!::write(write_fd_, &byte, 1);
+}
+
+void WakePipe::Drain() const {
+  char buf[64];
+  while (::read(read_fd_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+Result<int> Poll(std::vector<PollEntry>& entries, int timeout_ms) {
+  std::vector<pollfd> fds(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    fds[i].fd = entries[i].fd;
+    fds[i].events = static_cast<short>((entries[i].want_read ? POLLIN : 0) |
+                                       (entries[i].want_write ? POLLOUT : 0));
+    fds[i].revents = 0;
+  }
+  int rc;
+  do {
+    rc = ::poll(fds.data(), fds.size(), timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    entries[i].readable = (fds[i].revents & POLLIN) != 0;
+    entries[i].writable = (fds[i].revents & POLLOUT) != 0;
+    entries[i].error =
+        (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+  }
+  return rc;
+}
+
+}  // namespace vecdb::net

@@ -1,0 +1,111 @@
+// Thin RAII wrappers over the POSIX socket API. This is the ONLY place in
+// the tree allowed to touch socket(2)-family calls (enforced by
+// tools/lint.py rule raw-socket); everything above it — the frame codec,
+// VecServer, VecClient — works in terms of Socket, WakePipe, and Poll.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vecdb::net {
+
+/// One owned socket file descriptor. Move-only; the destructor closes.
+/// All methods are plain syscall wrappers — thread safety is the
+/// caller's concern (the server never touches one fd from two threads
+/// without its own lock).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Creates a TCP listener bound to 127.0.0.1:`port` (0 picks an
+  /// ephemeral port — read it back with bound_port()). Loopback only:
+  /// this is a test/measurement server, not an exposed service.
+  static Result<Socket> ListenTcp(uint16_t port, int backlog);
+
+  /// Blocking connect to `host`:`port` (numeric IPv4 only, e.g.
+  /// "127.0.0.1").
+  static Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+  /// Accepts one pending connection; fills `peer` with "ip:port".
+  /// Blocking unless this listener is non-blocking.
+  Result<Socket> Accept(std::string* peer) const;
+
+  /// The port this listener is actually bound to.
+  Result<uint16_t> bound_port() const;
+
+  /// Blocking send of the whole buffer (EINTR-retrying). Fails once the
+  /// peer is gone; never raises SIGPIPE.
+  Status SendAll(const void* data, size_t len) const;
+
+  /// One send(2) call; returns bytes accepted (possibly 0 on a
+  /// non-blocking socket with a full buffer). Never raises SIGPIPE.
+  Result<size_t> SendSome(const void* data, size_t len) const;
+
+  /// One recv(2) call; returns bytes read, 0 on orderly EOF. On a
+  /// non-blocking socket, returns NotSupported("would block") when no
+  /// data is ready (callers poll first, so this is rare).
+  Result<size_t> RecvSome(void* buf, size_t cap) const;
+
+  Status SetNonBlocking(bool enabled) const;
+
+  /// Disables Nagle so small frames (statements, cancels) are not
+  /// delayed behind a timer.
+  Status SetNoDelay(bool enabled) const;
+
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Self-pipe used to interrupt a poll() sleeping on sockets: any thread
+/// calls Signal(), the scheduler sees the read end readable and calls
+/// Drain(). Both fds are non-blocking so Signal never stalls a writer.
+class WakePipe {
+ public:
+  static Result<WakePipe> Create();
+  WakePipe() = default;
+  ~WakePipe();
+  WakePipe(WakePipe&& other) noexcept;
+  WakePipe& operator=(WakePipe&& other) noexcept;
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  void Signal() const;
+  void Drain() const;
+  int read_fd() const { return read_fd_; }
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+};
+
+/// One fd's interest and readiness for Poll() — mirrors struct pollfd
+/// without leaking <poll.h> into headers.
+struct PollEntry {
+  int fd = -1;
+  bool want_read = false;
+  bool want_write = false;
+  // Filled by Poll():
+  bool readable = false;
+  bool writable = false;
+  bool error = false;  ///< POLLERR | POLLHUP | POLLNVAL
+};
+
+/// poll(2) over `entries`; blocks up to `timeout_ms` (-1 = forever).
+/// Returns the number of ready entries (0 on timeout).
+Result<int> Poll(std::vector<PollEntry>& entries, int timeout_ms);
+
+}  // namespace vecdb::net

@@ -45,6 +45,8 @@ const char* CounterName(Counter c) {
     case Counter::kSqlDrop: return "sql.drop";
     case Counter::kSqlShow: return "sql.show";
     case Counter::kSqlCheckpoint: return "sql.checkpoint";
+    case Counter::kSqlSet: return "sql.set";
+    case Counter::kSqlCancel: return "sql.cancel";
     case Counter::kSqlErrors: return "sql.errors";
     case Counter::kFilterPrefilterQueries: return "filter.prefilter_queries";
     case Counter::kFilterPostfilterQueries:
@@ -56,6 +58,19 @@ const char* CounterName(Counter c) {
     case Counter::kSessionClosed: return "session.closed";
     case Counter::kSessionQueued: return "session.queued";
     case Counter::kSessionAdmitted: return "session.admitted";
+    case Counter::kServerConnsAccepted: return "server.connections_accepted";
+    case Counter::kServerConnsRejected: return "server.connections_rejected";
+    case Counter::kServerFramesIn: return "server.frames_in";
+    case Counter::kServerFramesOut: return "server.frames_out";
+    case Counter::kServerBytesIn: return "server.bytes_in";
+    case Counter::kServerBytesOut: return "server.bytes_out";
+    case Counter::kServerProtocolErrors: return "server.protocol_errors";
+    case Counter::kServerStatements: return "server.statements";
+    case Counter::kServerCancelFrames: return "server.cancel_frames";
+    case Counter::kServerStatementCancels:
+      return "server.statement_cancels";
+    case Counter::kServerStatementTimeouts:
+      return "server.statement_timeouts";
     case Counter::kNumCounters: break;
   }
   return "unknown";
@@ -73,6 +88,7 @@ const char* HistName(Hist h) {
     case Hist::kSqlDdlNanos: return "sql.ddl_nanos";
     case Hist::kFilterSelectivityBp: return "filter.selectivity_bp";
     case Hist::kSessionQueueWaitNanos: return "session.queue_wait_nanos";
+    case Hist::kServerStatementNanos: return "server.statement_nanos";
     case Hist::kNumHists: break;
   }
   return "unknown";

@@ -70,6 +70,8 @@ enum class Counter : uint32_t {
   kSqlDrop,
   kSqlShow,
   kSqlCheckpoint,
+  kSqlSet,
+  kSqlCancel,
   kSqlErrors,
   // filtered search (src/filter): one counter per executed strategy plus
   // the strategies' characteristic work units.
@@ -83,6 +85,20 @@ enum class Counter : uint32_t {
   kSessionClosed,
   kSessionQueued,    ///< statements that waited for an admission slot
   kSessionAdmitted,  ///< statements granted an execution slot
+  // networked server front end (src/net): connections, frame/byte traffic,
+  // and statement-abort outcomes. The cancel/timeout counters tick in the
+  // SQL layer (any transport), the rest in VecServer itself.
+  kServerConnsAccepted,    ///< connections admitted by the listener
+  kServerConnsRejected,    ///< connections refused at max_connections
+  kServerFramesIn,         ///< complete frames decoded from clients
+  kServerFramesOut,        ///< frames written to clients
+  kServerBytesIn,          ///< payload+header bytes read from sockets
+  kServerBytesOut,         ///< payload+header bytes written to sockets
+  kServerProtocolErrors,   ///< malformed/torn/mismatched frames rejected
+  kServerStatements,       ///< statements executed on behalf of clients
+  kServerCancelFrames,     ///< out-of-band cancel frames received
+  kServerStatementCancels,  ///< statements aborted by an explicit cancel
+  kServerStatementTimeouts, ///< statements aborted by statement_timeout_ms
   kNumCounters,  // sentinel
 };
 
@@ -103,6 +119,9 @@ enum class Hist : uint32_t {
   /// Time each statement spent waiting for admission before executing
   /// (~0 on the uncontended fast path; the tail shows queueing).
   kSessionQueueWaitNanos,
+  /// End-to-end server-side statement latency (decode to response frame
+  /// queued), the networked analogue of sql.select_nanos.
+  kServerStatementNanos,
   kNumHists,  // sentinel
 };
 

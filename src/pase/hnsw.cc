@@ -196,7 +196,8 @@ Result<PaseHnswIndex::Scored> PaseHnswIndex::GreedyClosest(
 
 Result<std::vector<PaseHnswIndex::Scored>> PaseHnswIndex::SearchLayer(
     const float* query, const Scored& entry, uint32_t ef, int level,
-    Profiler* profiler, obs::SearchCounters* counters) const {
+    Profiler* profiler, obs::SearchCounters* counters,
+    const QueryContext* ctx) const {
   visited_.Reset();
   visited_.GetAndSet(entry.ref.nblk);
 
@@ -231,7 +232,13 @@ Result<std::vector<PaseHnswIndex::Scored>> PaseHnswIndex::SearchLayer(
   std::vector<HnswNeighborTuple> nbrs;
   std::vector<HnswNeighborTuple> fresh;
   std::vector<float> vec(dim_);
+  uint32_t pops = 0;
   while (!candidates.empty()) {
+    // Cancellation checkpoint every 32 beam pops — same cadence as the
+    // faisslike engine, so both graph scans have bounded abort latency.
+    if (ctx != nullptr && (++pops & 31u) == 0u) {
+      VECDB_RETURN_NOT_OK(ctx->CheckStop("PaseHnsw::SearchLayer"));
+    }
     const Scored c = candidates.top();
     if (results.size() >= ef && c.dist > results_worst()) break;
     candidates.pop();
@@ -656,8 +663,12 @@ Result<std::vector<Neighbor>> PaseHnswIndex::Search(
   }
   const uint32_t ef = std::max<uint32_t>(
       params.efs, static_cast<uint32_t>(params.k + tombstones_.size()));
-  VECDB_ASSIGN_OR_RETURN(std::vector<Scored> found,
-                         SearchLayer(query, cur, ef, 0, ctx.profiler, sc));
+  VECDB_ASSIGN_OR_RETURN(
+      std::vector<Scored> found,
+      SearchLayer(query, cur, ef, 0, ctx.profiler, sc, &ctx));
+  // Beams shorter than one checkpoint interval still honor a stop
+  // request: never return partial results for a cancelled statement.
+  VECDB_RETURN_NOT_OK(ctx.CheckStop("PaseHnsw::Search"));
   std::vector<Neighbor> out;
   out.reserve(std::min(found.size(), params.k));
   for (const auto& s : found) {

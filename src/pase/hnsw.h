@@ -130,10 +130,12 @@ class PaseHnswIndex final : public VectorIndex {
 
   /// Beam search at one level (SearchNbToAdd when called from Add).
   /// `counters` (nullable, query path only) picks up tuples visited and
-  /// heap pushes.
+  /// heap pushes. `ctx` (nullable, query path only) makes the beam loop
+  /// poll for cancellation every few pops and fail with Cancelled.
   Result<std::vector<Scored>> SearchLayer(
       const float* query, const Scored& entry, uint32_t ef, int level,
-      Profiler* profiler, obs::SearchCounters* counters = nullptr) const;
+      Profiler* profiler, obs::SearchCounters* counters = nullptr,
+      const QueryContext* ctx = nullptr) const;
 
   /// SearchLayer with the candidate/result heaps decoupled by the bitmap:
   /// every improving vertex feeds the frontier, only selected

@@ -497,6 +497,7 @@ Result<std::vector<Neighbor>> PaseIvfFlatIndex::InFilterSearch(
   obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
   uint64_t bitmap_probes = 0;
   for (uint32_t b : probes) {
+    VECDB_RETURN_NOT_OK(ctx.CheckStop("PaseIvfFlat::InFilterSearch"));
     VECDB_RETURN_NOT_OK(ScanBucketFiltered(b, query, selection, &collector,
                                            ctx.profiler, sc, &bitmap_probes));
   }
@@ -534,6 +535,9 @@ Result<std::vector<Neighbor>> PaseIvfFlatIndex::Search(
     obs::SearchCounters counters;
     obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
     for (uint32_t b : probes) {
+      // Cancellation checkpoint at bucket granularity, as in the faisslike
+      // engine — the interruption latency is one bucket's scan time.
+      VECDB_RETURN_NOT_OK(ctx.CheckStop("PaseIvfFlat::Search"));
       VECDB_RETURN_NOT_OK(ScanBucket(b, query, &collector, nullptr, nullptr,
                                      ctx.profiler, sc));
     }
@@ -572,6 +576,9 @@ Result<std::vector<Neighbor>> PaseIvfFlatIndex::Search(
     obs::SearchCounters counters;
     obs::SearchCounters* sc = metrics != nullptr ? &counters : nullptr;
     for (size_t i = begin; i < end; ++i) {
+      // Workers cannot return through ParallelFor; bail at the next
+      // bucket and let the post-join CheckStop raise the Cancelled error.
+      if (ctx.StopRequested()) break;
       Status s = ScanBucket(probes[i], query, &collector, &mu, &serial_nanos,
                             nullptr, sc);
       if (!s.ok()) {
@@ -585,6 +592,7 @@ Result<std::vector<Neighbor>> PaseIvfFlatIndex::Search(
     }
   });
   VECDB_RETURN_NOT_OK(worker_status);
+  VECDB_RETURN_NOT_OK(ctx.CheckStop("PaseIvfFlat::Search"));
   CpuTimer pop_timer;
   auto results = collector.PopK(params.k);
   if (acct != nullptr) {

@@ -91,6 +91,23 @@ struct ShowStmt {
 /// checkpoint record, and rotate the WAL (PostgreSQL's CHECKPOINT command).
 struct CheckpointStmt {};
 
+/// SET name = value; — a session-default numeric knob (nprobe, efs,
+/// statement_timeout_ms), merged into later statements that do not set it
+/// explicitly in OPTIONS (...). Knob names and ranges are validated by the
+/// executor; PostgreSQL's `SET` with session scope.
+struct SetStmt {
+  std::string name;
+  double value = 0.0;
+};
+
+/// CANCEL <session-id>; — request cancellation of the target session's
+/// in-flight statement. The statement aborts with a Cancelled error at its
+/// next engine checkpoint; the target session (and its connection) stay
+/// usable. PostgreSQL's pg_cancel_backend().
+struct CancelStmt {
+  uint64_t session_id = 0;
+};
+
 /// A parsed statement (exactly one member is set).
 struct Statement {
   enum class Kind {
@@ -102,6 +119,8 @@ struct Statement {
     kDelete,
     kShow,
     kCheckpoint,
+    kSet,
+    kCancel,
   } kind;
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<InsertStmt> insert;
@@ -111,6 +130,8 @@ struct Statement {
   std::unique_ptr<DeleteStmt> delete_row;
   std::unique_ptr<ShowStmt> show;
   std::unique_ptr<CheckpointStmt> checkpoint;
+  std::unique_ptr<SetStmt> set;
+  std::unique_ptr<CancelStmt> cancel;
 };
 
 }  // namespace vecdb::sql

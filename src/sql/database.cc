@@ -72,6 +72,41 @@ class VECDB_SCOPED_CAPABILITY TableScanLock {
 };
 
 const char* kWalFileName = "/wal.log";
+
+/// Upper bound for every statement_timeout_ms source (DatabaseOptions,
+/// SET, statement OPTIONS): 24 hours. A "timeout" past that is a typo.
+constexpr uint32_t kMaxStatementTimeoutMs = 24u * 60 * 60 * 1000;
+
+/// Knob validation shared by `SET name = value` and the per-statement
+/// OPTIONS list (PR 3 convention: reject nonsense at the boundary with
+/// InvalidArgument, never clamp silently).
+Status ValidateSessionOption(const std::string& name, double value) {
+  auto require_positive_int = [&]() -> Status {
+    if (value < 1 || value != static_cast<double>(static_cast<uint64_t>(value))) {
+      return Status::InvalidArgument(name + " must be a positive integer");
+    }
+    return Status::OK();
+  };
+  if (name == "nprobe" || name == "efs" || name == "num_threads") {
+    return require_positive_int();
+  }
+  if (name == "statement_timeout_ms") {
+    if (value < 0 ||
+        value != static_cast<double>(static_cast<uint64_t>(value))) {
+      return Status::InvalidArgument(
+          "statement_timeout_ms must be a non-negative integer");
+    }
+    if (value > static_cast<double>(kMaxStatementTimeoutMs)) {
+      return Status::InvalidArgument("statement_timeout_ms must be <= " +
+                                     std::to_string(kMaxStatementTimeoutMs) +
+                                     " (24h); 0 disables the deadline");
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown session option: " + name +
+                                 " (expected nprobe, efs, num_threads, or "
+                                 "statement_timeout_ms)");
+}
 }  // namespace
 
 MiniDatabase::MiniDatabase(pgstub::StorageManager smgr, pgstub::Vfs* vfs,
@@ -91,6 +126,11 @@ Result<std::unique_ptr<MiniDatabase>> MiniDatabase::Open(
   }
   if (options.max_inflight_per_session == 0) {
     return Status::InvalidArgument("max_inflight_per_session must be >= 1");
+  }
+  if (options.statement_timeout_ms > kMaxStatementTimeoutMs) {
+    return Status::InvalidArgument("statement_timeout_ms must be <= " +
+                                   std::to_string(kMaxStatementTimeoutMs) +
+                                   " (24h); 0 disables the deadline");
   }
   pgstub::Vfs* vfs =
       options.vfs != nullptr ? options.vfs : pgstub::Vfs::Default();
@@ -167,18 +207,6 @@ MiniDatabase::~MiniDatabase() {
 
 std::shared_ptr<Session> MiniDatabase::CreateSession() {
   return sessions_->Create();
-}
-
-Result<QueryResult> MiniDatabase::Execute(const std::string& statement) {
-  std::shared_ptr<Session> session;
-  {
-    MutexLock lock(default_session_mu_);
-    if (default_session_ == nullptr) {
-      default_session_ = sessions_->Create();
-    }
-    session = default_session_;
-  }
-  return session->Execute(statement);
 }
 
 const std::unordered_set<int64_t>& MiniDatabase::DeletedRows(
@@ -452,7 +480,15 @@ Result<QueryResult> MiniDatabase::ExecuteForSession(
                    stmt.kind == Statement::Kind::kDrop ||
                    stmt.kind == Statement::Kind::kCheckpoint;
   Result<QueryResult> result = Status::Internal("statement not dispatched");
-  if (ddl) {
+  if (stmt.kind == Statement::Kind::kSet ||
+      stmt.kind == Statement::Kind::kCancel) {
+    // Session-control statements touch no catalog state — they run under
+    // neither lock mode, so a CANCEL reaches its target even while DDL
+    // holds the catalog exclusively.
+    result = stmt.kind == Statement::Kind::kSet
+                 ? ExecSet(*stmt.set, session)
+                 : ExecCancel(*stmt.cancel);
+  } else if (ddl) {
     // DDL (and CHECKPOINT) quiesce the database: exclusive catalog lock.
     WriterMutexLock lock(catalog_mu_);
     result = DispatchDdl(stmt);
@@ -500,9 +536,23 @@ Result<QueryResult> MiniDatabase::ExecuteForSession(
       metrics.Add(obs::Counter::kSqlCheckpoint);
       metrics.Record(obs::Hist::kSqlDdlNanos, nanos);
       break;
+    case Statement::Kind::kSet:
+      metrics.Add(obs::Counter::kSqlSet);
+      break;
+    case Statement::Kind::kCancel:
+      metrics.Add(obs::Counter::kSqlCancel);
+      break;
   }
   if (!result.ok()) {
     metrics.Add(obs::Counter::kSqlErrors);
+    if (result.status().IsCancelled()) {
+      // CheckStop tags deadline expiries with "statement timeout"; the
+      // two abort causes get separate counters (docs/OBSERVABILITY.md).
+      const bool timeout = result.status().message().find(
+                               "statement timeout") != std::string::npos;
+      metrics.Add(timeout ? obs::Counter::kServerStatementTimeouts
+                          : obs::Counter::kServerStatementCancels);
+    }
     return result;
   }
   if (mutating && wal_ != nullptr) {
@@ -691,7 +741,7 @@ Result<QueryResult> MiniDatabase::ExecCreateIndex(
 
 Result<QueryResult> MiniDatabase::SeqScanSelect(
     const SelectStmt& stmt, const TableEntry& table,
-    const filter::BoundPredicate* bound) {
+    const filter::BoundPredicate* bound, const QueryContext& ctx) {
   // Lock-free snapshot scan: pin an epoch, acquire-load the published
   // snapshot, and read only its heap prefix. Concurrent INSERT statements
   // extend the heap past visible_rows, but those rows (and any snapshot
@@ -705,12 +755,31 @@ Result<QueryResult> MiniDatabase::SeqScanSelect(
                                                   : nullptr;
   KMaxHeap heap(stmt.limit);
   uint64_t scanned = 0;
+  // Cancellation checkpoint cadence: the flag/deadline loads are cheap
+  // relaxed atomics plus a clock read, but per-row they would still tax
+  // the scan's hot loop, so poll every 256 rows. `stop` carries the
+  // Cancelled status out of the callback (returning false only halts the
+  // scan; ScanPrefixFull itself stays OK).
+  Status stop;
+  const uint64_t delay = options_.seqscan_delay_nanos_for_test;
   std::vector<int64_t> row_image(1 + table.schema.attr_columns.size());
   VECDB_RETURN_NOT_OK(table.heap->ScanPrefixFull(
       visible,
       [&](pgstub::TupleId, int64_t row_id, const float* vec,
           const int64_t* attrs) {
         ++scanned;
+        if ((scanned & 255u) == 0u) {
+          stop = ctx.CheckStop("seqscan");
+          if (!stop.ok()) return false;
+        }
+        if (delay != 0) {
+          // Test seam: stretch the scan so cancel/timeout tests have a
+          // reliably long statement to abort (busy-wait, not sleep, to
+          // keep the loop's cooperative structure honest).
+          const int64_t until = NowNanos() + static_cast<int64_t>(delay);
+          while (NowNanos() < until) {
+          }
+        }
         if (deleted != nullptr && deleted->count(row_id) != 0) {
           return true;  // dead tuple
         }
@@ -726,6 +795,7 @@ Result<QueryResult> MiniDatabase::SeqScanSelect(
                   row_id);
         return true;
       }));
+  VECDB_RETURN_NOT_OK(stop);
   QueryResult out;
   out.stats.rows_scanned = scanned;
   out.columns = stmt.select_distance
@@ -814,6 +884,20 @@ Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt,
     return fallback;
   };
 
+  // Statement control: deadline (OPTIONS > SET default > DatabaseOptions;
+  // 0 = none) and the session's cancel flag, carried by the same
+  // QueryContext the engines already thread through their scan loops.
+  // Statement OPTIONS bypass ExecSet, so the value is re-validated here.
+  const double timeout_ms = option_or(
+      "statement_timeout_ms", static_cast<double>(options_.statement_timeout_ms));
+  VECDB_RETURN_NOT_OK(ValidateSessionOption("statement_timeout_ms", timeout_ms));
+  QueryContext ctx;
+  ctx.metrics = sink;
+  if (session != nullptr) ctx.cancel = session->cancel_flag();
+  if (timeout_ms > 0) {
+    ctx.deadline_nanos = NowNanos() + static_cast<int64_t>(timeout_ms * 1e6);
+  }
+
   // Bind the WHERE predicate (if any) against id + attribute columns.
   filter::BoundPredicate bound;
   const bool has_predicate = stmt.predicate != nullptr;
@@ -851,7 +935,7 @@ Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt,
       }
       return out;
     }
-    return SeqScanSelect(stmt, table, has_predicate ? &bound : nullptr);
+    return SeqScanSelect(stmt, table, has_predicate ? &bound : nullptr, ctx);
   }
 
   // Index scan (or its EXPLAIN): lock the table — shared, so scans run
@@ -897,9 +981,10 @@ Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt,
   // the requested LIMIT.
   scan.efs = static_cast<uint32_t>(option_or(
       "efs", std::max<double>(200, static_cast<double>(stmt.limit))));
-  // Route the engine's scan metrics into the session's sink (process-wide
-  // registry when unset).
-  scan.ctx.metrics = sink;
+  // The context routes the engine's scan metrics into the session's sink
+  // (process-wide registry when unset) and carries the cancel flag and
+  // deadline into the engine scan loops.
+  scan.ctx = ctx;
   if (has_predicate) {
     scan.filter.selection = &plan.selection;
     scan.filter.strategy = strategy;
@@ -933,13 +1018,16 @@ Result<QueryResult> MiniDatabase::ExecSelect(const SelectStmt& stmt,
 Result<QueryResult> MiniDatabase::ExecShow(const ShowStmt& stmt) {
   QueryResult out;
   if (stmt.what == ShowStmt::What::kSessions) {
-    char line[128];
-    out.message = "session  state   in_flight  statements  queued\n";
+    char line[192];
+    out.message =
+        "session  state   peer                   in_flight  statements  "
+        "queued\n";
     for (const auto& session : sessions_->Snapshot()) {
-      std::snprintf(line, sizeof(line), "%-8llu %-7s %9u %11llu %7llu\n",
+      std::snprintf(line, sizeof(line),
+                    "%-8llu %-7s %-22s %9u %11llu %7llu\n",
                     static_cast<unsigned long long>(session->id()),
                     session->closed() ? "closed" : "open",
-                    session->inflight(),
+                    session->peer().c_str(), session->inflight(),
                     static_cast<unsigned long long>(
                         session->statements_executed()),
                     static_cast<unsigned long long>(
@@ -979,6 +1067,33 @@ Result<QueryResult> MiniDatabase::ExecCheckpoint() {
   VECDB_RETURN_NOT_OK(CheckpointLocked());
   QueryResult out;
   out.message = "CHECKPOINT";
+  return out;
+}
+
+Result<QueryResult> MiniDatabase::ExecSet(const SetStmt& stmt,
+                                          Session* session) {
+  VECDB_RETURN_NOT_OK(ValidateSessionOption(stmt.name, stmt.value));
+  if (session == nullptr) {
+    return Status::InvalidArgument("SET requires a session");
+  }
+  session->SetDefaultOption(stmt.name, stmt.value);
+  QueryResult out;
+  out.message = "SET";
+  return out;
+}
+
+Result<QueryResult> MiniDatabase::ExecCancel(const CancelStmt& stmt) {
+  std::shared_ptr<Session> target = sessions_->Find(stmt.session_id);
+  if (target == nullptr) {
+    return Status::NotFound("no session with id " +
+                            std::to_string(stmt.session_id));
+  }
+  // Fire-and-forget like pg_cancel_backend: the flag is set even when the
+  // target has nothing in flight (the next-statement reset drops it), and
+  // "CANCEL" is returned without waiting for the target to notice.
+  target->RequestCancel();
+  QueryResult out;
+  out.message = "CANCEL";
   return out;
 }
 

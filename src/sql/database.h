@@ -108,15 +108,24 @@ struct DatabaseOptions {
   /// Statements one session may have in flight at once (must be >= 1);
   /// keeps a single session from monopolizing the admission slots.
   uint32_t max_inflight_per_session = 4;
+  /// Database-wide default statement deadline in milliseconds; 0 disables.
+  /// A session's `SET statement_timeout_ms = n` overrides it, and a
+  /// statement's OPTIONS (statement_timeout_ms = n) overrides both. Must
+  /// be <= 24h (validated at Open; the same cap applies to the overrides).
+  uint32_t statement_timeout_ms = 0;
   /// Test seam: invoked with the session id after a statement is admitted
   /// and before it executes. Lets tests park admitted statements to pin
   /// the admission state. Never set in production code.
   std::function<void(uint64_t)> statement_hook_for_test;
+  /// Test seam: per-row busy-wait (nanoseconds) in sequential scans, so
+  /// cancellation/timeout tests can make a statement reliably long-running
+  /// without giant datasets. Never set in production code.
+  uint64_t seqscan_delay_nanos_for_test = 0;
 };
 
 /// A multi-session vector database over the pgstub substrate. Statements
-/// run through Session handles; Execute() below is a legacy single-caller
-/// convenience that routes through an implicit default session.
+/// run through Session handles (CreateSession); src/net's VecServer puts
+/// the same Session API behind a TCP wire protocol.
 class MiniDatabase {
  public:
   /// Opens (creating if needed) a database rooted at `data_dir`, running
@@ -128,11 +137,6 @@ class MiniDatabase {
 
   /// Creates a new session (the canonical way to execute statements).
   std::shared_ptr<Session> CreateSession();
-
-  /// DEPRECATED single-session convenience: executes on a lazily created
-  /// default session. New code must hold a Session from CreateSession()
-  /// and call Session::Execute (tools/lint.py rule: database-execute).
-  Result<QueryResult> Execute(const std::string& statement);
 
   /// Parses and executes one statement on behalf of `session` (nullable:
   /// no session defaults apply). Called by Session::Execute AFTER
@@ -221,6 +225,10 @@ class MiniDatabase {
   Result<QueryResult> ExecShow(const ShowStmt& stmt)
       VECDB_REQUIRES_SHARED(catalog_mu_);
   Result<QueryResult> ExecCheckpoint() VECDB_REQUIRES(catalog_mu_);
+  /// SET/CANCEL touch only session state, never the catalog: they run
+  /// before the lock split in ExecuteForSession.
+  Result<QueryResult> ExecSet(const SetStmt& stmt, Session* session);
+  Result<QueryResult> ExecCancel(const CancelStmt& stmt);
 
   /// Checkpoint body, for callers already holding the catalog lock.
   Status CheckpointLocked() VECDB_REQUIRES(catalog_mu_);
@@ -275,9 +283,12 @@ class MiniDatabase {
   /// Brute-force fallback when no usable index exists. `bound` (nullable)
   /// is the bound WHERE predicate. Lock-free: scans the published
   /// snapshot's heap prefix under an epoch pin, concurrent with writers.
+  /// `ctx` carries the statement's cancel flag and deadline, checked every
+  /// few hundred rows.
   Result<QueryResult> SeqScanSelect(const SelectStmt& stmt,
                                     const TableEntry& table,
-                                    const filter::BoundPredicate* bound);
+                                    const filter::BoundPredicate* bound,
+                                    const QueryContext& ctx);
 
   /// One heap pass producing the exact position-indexed selection bitmap
   /// (deleted rows excluded) plus a strided sampled selectivity estimate.
@@ -305,10 +316,6 @@ class MiniDatabase {
   mutable SharedMutex catalog_mu_;
   std::map<std::string, TableEntry> tables_ VECDB_GUARDED_BY(catalog_mu_);
   std::map<std::string, IndexEntry> indexes_ VECDB_GUARDED_BY(catalog_mu_);
-  Mutex default_session_mu_;
-  /// Backs the deprecated Execute(); created on first use.
-  std::shared_ptr<Session> default_session_
-      VECDB_GUARDED_BY(default_session_mu_);
 };
 
 }  // namespace vecdb::sql

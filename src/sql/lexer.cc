@@ -13,7 +13,8 @@ bool IsKeyword(const std::string& word) {
       "INDEX",  "ON",     "USING",  "WITH",   "INSERT", "INTO",   "VALUES",
       "INT",    "BIGINT", "FLOAT",  "ASC",    "DESC",   "DROP",   "OPTIONS",
       "AS",     "WHERE",  "EXPLAIN", "DELETE", "SHOW",  "METRICS", "RESET",
-      "AND",    "OR",     "IN",     "CHECKPOINT", "SESSIONS"};
+      "AND",    "OR",     "IN",     "CHECKPOINT", "SESSIONS", "CANCEL",
+      "SET"};
   return kKeywords.count(word) != 0;
 }
 

@@ -370,6 +370,30 @@ Result<Statement> ParseShow(Cursor& cur) {
   return out;
 }
 
+Result<Statement> ParseSet(Cursor& cur) {
+  auto stmt = std::make_unique<SetStmt>();
+  VECDB_ASSIGN_OR_RETURN(stmt->name, cur.ExpectIdentifier("option name"));
+  VECDB_RETURN_NOT_OK(cur.Expect(TokenType::kEquals, "'='"));
+  VECDB_ASSIGN_OR_RETURN(stmt->value, cur.ExpectNumber("option value"));
+  Statement out;
+  out.kind = Statement::Kind::kSet;
+  out.set = std::move(stmt);
+  return out;
+}
+
+Result<Statement> ParseCancel(Cursor& cur) {
+  auto stmt = std::make_unique<CancelStmt>();
+  VECDB_ASSIGN_OR_RETURN(double id, cur.ExpectNumber("session id"));
+  if (id < 1 || id != static_cast<double>(static_cast<uint64_t>(id))) {
+    return Status::InvalidArgument("CANCEL needs a positive session id");
+  }
+  stmt->session_id = static_cast<uint64_t>(id);
+  Statement out;
+  out.kind = Statement::Kind::kCancel;
+  out.cancel = std::move(stmt);
+  return out;
+}
+
 Result<Statement> ParseCheckpoint() {
   Statement out;
   out.kind = Statement::Kind::kCheckpoint;
@@ -459,6 +483,10 @@ Result<Statement> Parse(const std::string& input) {
     result = ParseShow(cur);
   } else if (cur.MatchKeyword("CHECKPOINT")) {
     result = ParseCheckpoint();
+  } else if (cur.MatchKeyword("SET")) {
+    result = ParseSet(cur);
+  } else if (cur.MatchKeyword("CANCEL")) {
+    result = ParseCancel(cur);
   } else {
     return Status::InvalidArgument("unrecognized statement start: '" +
                                    cur.Peek().text + "'");

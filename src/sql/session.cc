@@ -105,6 +105,16 @@ bool Session::closed() const {
   return closed_;
 }
 
+void Session::set_peer(const std::string& peer) {
+  MutexLock lock(mu_);
+  peer_ = peer;
+}
+
+std::string Session::peer() const {
+  MutexLock lock(mu_);
+  return peer_;
+}
+
 void Session::SetDefaultOption(const std::string& name, double value) {
   MutexLock lock(mu_);
   defaults_[name] = value;
@@ -155,6 +165,9 @@ Result<QueryResult> Session::Execute(const std::string& statement) {
   }
   const AdmissionController::Ticket ticket = db_->admission()->Admit(id_);
   inflight_.fetch_add(1, std::memory_order_relaxed);
+  // A cancel targets the statement in flight when it arrives; one that
+  // raced ahead of this statement is dropped here, not carried over.
+  cancel_requested_.store(false, std::memory_order_relaxed);
   // Test seam: lets a fixture park an *admitted* statement (holding its
   // slot) so admission-cap tests can pin running() at the cap.
   if (db_->options().statement_hook_for_test) {
@@ -194,6 +207,12 @@ std::vector<std::shared_ptr<Session>> SessionManager::Snapshot() const {
     if (auto strong = weak.lock()) out.push_back(std::move(strong));
   }
   return out;  // map iteration order: ascending by id
+}
+
+std::shared_ptr<Session> SessionManager::Find(uint64_t id) const {
+  MutexLock lock(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.lock();
 }
 
 size_t SessionManager::alive() const {

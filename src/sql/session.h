@@ -105,6 +105,26 @@ class Session {
   /// already in flight finish normally. Idempotent.
   void Close() VECDB_EXCLUDES(mu_);
 
+  /// Requests cancellation of the in-flight statement (if any): it aborts
+  /// with a Cancelled error at its next engine checkpoint. The flag is
+  /// cleared when the next statement starts, so a cancel that lands
+  /// between statements is dropped (PostgreSQL pg_cancel_backend
+  /// semantics). Safe from any thread — this is how `CANCEL <id>` and the
+  /// server's out-of-band cancel frame reach a running query.
+  void RequestCancel() {
+    cancel_requested_.store(true, std::memory_order_relaxed);
+  }
+
+  /// The cancel flag engines poll through QueryContext::cancel. Stable
+  /// for the session's lifetime.
+  const std::atomic<bool>* cancel_flag() const { return &cancel_requested_; }
+
+  /// Where this session's client lives: "local" for in-process sessions,
+  /// the peer address ("127.0.0.1:51234") when a VecServer connection owns
+  /// it. Shown by SHOW SESSIONS.
+  void set_peer(const std::string& peer) VECDB_EXCLUDES(mu_);
+  std::string peer() const VECDB_EXCLUDES(mu_);
+
   /// Sets a session-default numeric option (e.g. "nprobe", "efs") merged
   /// into every SELECT that does not set it explicitly in OPTIONS (...).
   void SetDefaultOption(const std::string& name, double value)
@@ -137,8 +157,12 @@ class Session {
   MiniDatabase* const db_;  ///< not owned; must outlive the session
   const uint64_t id_;
   std::atomic<uint32_t> inflight_{0};
+  /// Set by RequestCancel (any thread), polled by engine scan loops,
+  /// cleared when the next statement begins executing.
+  std::atomic<bool> cancel_requested_{false};
   mutable Mutex mu_;
   bool closed_ VECDB_GUARDED_BY(mu_) = false;
+  std::string peer_ VECDB_GUARDED_BY(mu_) = "local";
   uint64_t statements_ VECDB_GUARDED_BY(mu_) = 0;
   uint64_t queued_ VECDB_GUARDED_BY(mu_) = 0;
   QueryResult::ExecStats last_stats_ VECDB_GUARDED_BY(mu_);
@@ -160,6 +184,10 @@ class SessionManager {
 
   /// The live sessions, ascending by id.
   std::vector<std::shared_ptr<Session>> Snapshot() const VECDB_EXCLUDES(mu_);
+
+  /// The live session with this id, or null (dropped, closed-and-dropped,
+  /// or never created). Backs `CANCEL <id>`.
+  std::shared_ptr<Session> Find(uint64_t id) const VECDB_EXCLUDES(mu_);
 
   size_t alive() const VECDB_EXCLUDES(mu_);
 

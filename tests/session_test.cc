@@ -296,19 +296,6 @@ TEST(SessionApiTest, ShowSessionsListsStateAndAdmission) {
   EXPECT_NE(out.find("max_concurrent=8"), std::string::npos);
 }
 
-TEST(DeprecatedExecuteTest, WrapperRoutesThroughDefaultSession) {
-  auto db = MiniDatabase::Open(TestDir("data"), SmallPool()).ValueOrDie();
-  EXPECT_EQ(db->session_manager()->alive(), 0u);
-  auto r = db->Execute("CREATE TABLE t (id int, vec float[2])");  // lint-allow:database-execute
-  ASSERT_TRUE(r.ok());
-  // The wrapper materialized (and reuses) one implicit session.
-  EXPECT_EQ(db->session_manager()->alive(), 1u);
-  r = db->Execute("INSERT INTO t VALUES (1, '1,2')");  // lint-allow:database-execute
-  ASSERT_TRUE(r.ok());
-  EXPECT_EQ(db->session_manager()->alive(), 1u);
-  EXPECT_EQ(db->session_manager()->Snapshot()[0]->statements_executed(), 2u);
-}
-
 // ---------------------------------------------------------------------------
 // Admission control.
 

@@ -156,6 +156,41 @@ TEST(ParserTest, ShowSessions) {
             std::string::npos);
 }
 
+TEST(ParserTest, SetSessionOption) {
+  auto stmt = Parse("SET statement_timeout_ms = 250;").ValueOrDie();
+  ASSERT_EQ(stmt.kind, Statement::Kind::kSet);
+  EXPECT_EQ(stmt.set->name, "statement_timeout_ms");
+  EXPECT_DOUBLE_EQ(stmt.set->value, 250.0);
+
+  auto fractional = Parse("set nprobe = 1.5").ValueOrDie();
+  EXPECT_EQ(fractional.set->name, "nprobe");
+  EXPECT_DOUBLE_EQ(fractional.set->value, 1.5);
+
+  EXPECT_FALSE(Parse("SET").ok());
+  EXPECT_FALSE(Parse("SET statement_timeout_ms").ok());
+  EXPECT_FALSE(Parse("SET statement_timeout_ms = ").ok());
+  EXPECT_FALSE(Parse("SET statement_timeout_ms = banana").ok());
+  EXPECT_FALSE(Parse("SET statement_timeout_ms = 5 extra").ok());
+}
+
+TEST(ParserTest, CancelSession) {
+  auto stmt = Parse("CANCEL 7;").ValueOrDie();
+  ASSERT_EQ(stmt.kind, Statement::Kind::kCancel);
+  EXPECT_EQ(stmt.cancel->session_id, 7u);
+
+  EXPECT_FALSE(Parse("CANCEL").ok());
+  EXPECT_FALSE(Parse("CANCEL t").ok());
+  EXPECT_FALSE(Parse("CANCEL 7 8").ok());
+  // Session ids are positive integers: zero, negatives, and fractions
+  // must all be rejected, not truncated.
+  auto zero = Parse("CANCEL 0");
+  ASSERT_FALSE(zero.ok());
+  EXPECT_NE(zero.status().message().find("positive session id"),
+            std::string::npos);
+  EXPECT_FALSE(Parse("CANCEL -3").ok());
+  EXPECT_FALSE(Parse("CANCEL 1.5").ok());
+}
+
 TEST(VectorLiteralTest, PlainAndBracketed) {
   auto a = ParseVectorLiteral("0.5, 1.5,2.5").ValueOrDie();
   ASSERT_EQ(a.size(), 3u);

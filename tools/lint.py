@@ -43,6 +43,12 @@ Rules (suppress one occurrence with a trailing `// lint-allow:<rule>`):
                     call site inherits runtime cpuid gating and the
                     VECDB_KERNEL_ISA override instead of SIGILLing on older
                     hosts.
+  raw-socket        a socket(2)-family libc call (socket, bind, listen,
+                    accept, connect, send*/recv*, poll, setsockopt, ...)
+                    outside src/net/ -- networking goes through the RAII
+                    Socket/WakePipe/Poll wrappers (net/socket.h) so fd
+                    lifetimes, EINTR retries, and non-blocking semantics
+                    are handled once, in one audited place.
 
 Additionally, every `// lint-allow:<rule>` suppression is itself audited:
 naming a rule that does not exist, or sitting on a line where its rule no
@@ -70,11 +76,14 @@ RAW_MUTEX_ALLOWED = {os.path.join("src", "common", "thread_annotations.h")}
 INTRINSICS_ALLOWED_PREFIX = os.path.join("src", "distance") + os.sep
 INTRINSICS_ALLOWED = {os.path.join("src", "pgstub", "crc32c.cc")}
 
+# Where raw socket(2)-family calls may live: the RAII wrapper layer.
+SOCKET_ALLOWED_PREFIX = os.path.join("src", "net") + os.sep
+
 # Every rule a lint-allow comment may name (stale-suppression audits this).
 KNOWN_RULES = {
     "new-array", "raw-pthread", "discarded-status", "pragma-once",
     "std-endl", "removed-field", "raw-mutex", "database-execute",
-    "raw-intrinsics",
+    "raw-intrinsics", "raw-socket",
 }
 
 NEW_ARRAY_RE = re.compile(r"\bnew\s+[\w:<>]+\s*\[|\bdelete\s*\[\]")
@@ -104,6 +113,15 @@ PTHREAD_RE = re.compile(r"\bpthread_\w+\s*\(")
 ENDL_RE = re.compile(r"\bstd::endl\b")
 INTRINSICS_RE = re.compile(
     r"#\s*include\s*<\w*intrin\.h>|\b_mm\d*_\w+|\b__m(?:128|256|512)\w*\b"
+)
+# Bare libc socket-family calls. The lookbehind rejects qualified or
+# member calls (obj.send(, Socket::Accept(, foo->poll() so only the raw
+# global-namespace libc functions fire.
+RAW_SOCKET_RE = re.compile(
+    r"(?<![\w.:>])(?:socket|bind|listen|accept4?|connect|setsockopt|"
+    r"getsockopt|getsockname|getpeername|recv|recvfrom|recvmsg|send|"
+    r"sendto|sendmsg|shutdown|poll|ppoll|epoll_create1?|epoll_ctl|"
+    r"epoll_wait|select|pselect|inet_pton|inet_ntop)\s*\("
 )
 
 # `Status Foo(`, `Result<T> Foo(`, with optional static/virtual/[[nodiscard]]
@@ -249,6 +267,11 @@ def lint_file(root, path, status_stmt_re, errors):
                    "raw SIMD intrinsic/include outside src/distance/; go "
                    "through the KernelDispatch registry (distance/dispatch.h) "
                    "so cpuid gating and VECDB_KERNEL_ISA apply")
+        if (RAW_SOCKET_RE.search(line)
+                and not path.startswith(SOCKET_ALLOWED_PREFIX)):
+            report(i, "raw-socket",
+                   "raw socket(2)-family call outside src/net/; use the "
+                   "Socket/WakePipe/Poll wrappers (net/socket.h)")
         if in_src and ENDL_RE.search(line):
             report(i, "std-endl", "std::endl flushes; use '\\n'")
         if database_execute_re and database_execute_re.search(line):
